@@ -1,0 +1,29 @@
+//! B4 — the full explanation request path (embed → retrieve → prompt →
+//! generate), excluding the LLM wall-clock model: this measures the real
+//! compute our pipeline adds per request.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qpe_bench::bench_explainer;
+use qpe_core::workload::WorkloadGenerator;
+use std::hint::black_box;
+
+fn bench_explain(c: &mut Criterion) {
+    let explainer = bench_explainer();
+    let sql = WorkloadGenerator::example_1();
+    let outcome = explainer.system().run_sql(sql).expect("example 1 runs");
+
+    c.bench_function("explain_outcome_end_to_end", |b| {
+        b.iter(|| explainer.explain_outcome(black_box(&outcome), &[]))
+    });
+
+    c.bench_function("run_sql_both_engines", |b| {
+        b.iter(|| explainer.system().run_sql(black_box(sql)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_explain
+}
+criterion_main!(benches);

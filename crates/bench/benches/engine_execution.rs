@@ -1,0 +1,38 @@
+//! B3 — engine execution: the same queries on TP vs AP (bind + optimize +
+//! execute), showing the structural asymmetries the explainer explains.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qpe_htap::engine::{EngineKind, HtapSystem};
+use qpe_htap::tpch::TpchConfig;
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
+    let cases = [
+        ("point_lookup", "SELECT c_name FROM customer WHERE c_custkey = 42"),
+        (
+            "join_2way",
+            "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey",
+        ),
+        (
+            "topn_indexed",
+            "SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 10",
+        ),
+    ];
+    for (name, sql) in cases {
+        let bound = sys.bind(sql).expect("binds");
+        c.bench_function(&format!("tp_{name}"), |b| {
+            b.iter(|| sys.run_engine(black_box(&bound), EngineKind::Tp).unwrap())
+        });
+        c.bench_function(&format!("ap_{name}"), |b| {
+            b.iter(|| sys.run_engine(black_box(&bound), EngineKind::Ap).unwrap())
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engines
+}
+criterion_main!(benches);

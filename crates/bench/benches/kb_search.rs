@@ -1,0 +1,49 @@
+//! B2 — knowledge-base search: exact scan vs HNSW as the KB grows
+//! (the paper's "<0.1 ms at 20 entries; HNSW keeps search sub-dominant as
+//! it grows" claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpe_vectordb::{HnswConfig, HnswIndex, Metric};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+fn bench_search(c: &mut Criterion) {
+    let dim = 16; // the paper's pair-embedding width
+    let mut group = c.benchmark_group("kb_search_top2");
+    for &n in &[20usize, 200, 2_000, 20_000] {
+        let vectors = random_vectors(n, dim, 11);
+        let query: Vec<f64> = random_vectors(1, dim, 99).pop().unwrap();
+
+        let mut exact = qpe_vectordb::ExactIndex::new(Metric::Euclidean);
+        for v in &vectors {
+            exact.add(v.clone());
+        }
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| exact.search(black_box(&query), 2))
+        });
+
+        let mut hnsw = HnswIndex::new(HnswConfig::default());
+        for v in &vectors {
+            hnsw.add(v.clone());
+        }
+        group.bench_with_input(BenchmarkId::new("hnsw", n), &n, |b, _| {
+            b.iter(|| hnsw.search(black_box(&query), 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_search
+}
+criterion_main!(benches);

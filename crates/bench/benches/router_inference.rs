@@ -1,0 +1,33 @@
+//! B1 — smart-router microbenchmarks: plan featurization, pair embedding,
+//! and routing inference (the paper claims ~1 ms inference, <1 MB model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qpe_bench::bench_explainer;
+use qpe_core::workload::WorkloadGenerator;
+use qpe_treecnn::features::featurize;
+use std::hint::black_box;
+
+fn bench_router(c: &mut Criterion) {
+    let explainer = bench_explainer();
+    let sql = WorkloadGenerator::example_1();
+    let outcome = explainer.system().run_sql(sql).expect("example 1 runs");
+    let tp = &outcome.tp.plan;
+    let ap = &outcome.ap.plan;
+
+    c.bench_function("featurize_plan", |b| {
+        b.iter(|| featurize(black_box(tp)))
+    });
+    c.bench_function("router_pair_embedding", |b| {
+        b.iter(|| explainer.router().embed_pair(black_box(tp), black_box(ap)))
+    });
+    c.bench_function("router_route", |b| {
+        b.iter(|| explainer.router().route(black_box(tp), black_box(ap)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_router
+}
+criterion_main!(benches);

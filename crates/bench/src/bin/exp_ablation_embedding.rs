@@ -1,0 +1,24 @@
+//! A1 — ablation: tree-CNN pair embeddings vs flat (structure-free) plan
+//! features as retrieval keys. DESIGN.md's "task-specific design" claim:
+//! router embeddings encode performance distinctions, so retrieval with
+//! them should not lose to naive feature bags.
+
+use qpe_bench::{experiment_explainer, header, stats_row, test_set};
+use qpe_core::eval::{evaluate, flat_embedding_ablation};
+
+fn main() {
+    let explainer = experiment_explainer();
+    let tests = test_set(100);
+
+    header("A1: retrieval-key ablation (100 held-out queries, KB=20, K=2)");
+    let treecnn = evaluate(&explainer, &tests).expect("tree-CNN evaluation runs");
+    println!("{}", stats_row("tree-CNN key", &treecnn));
+    let flat = flat_embedding_ablation(&explainer, &tests).expect("flat evaluation runs");
+    println!("{}", stats_row("flat-feature", &flat));
+    println!(
+        "\nshape: the task-specific embedding should match or beat the flat bag \
+         (tree-CNN {:.1}% vs flat {:.1}%)",
+        treecnn.accuracy() * 100.0,
+        flat.accuracy() * 100.0
+    );
+}

@@ -1,0 +1,31 @@
+//! A2 — ablation: accuracy as the knowledge base grows (5 → 200 entries).
+//! The paper hypothesizes 20 representative entries suffice; this sweep
+//! checks where the curve saturates and feeds the KB-growth search bench.
+
+use qpe_bench::{experiment_explainer, header, stats_row, test_set};
+use qpe_core::eval::kb_size_sweep;
+use qpe_core::workload::{WorkloadConfig, WorkloadGenerator};
+use qpe_htap::engine::QueryOutcome;
+
+fn main() {
+    let explainer = experiment_explainer();
+    let tests = test_set(100);
+
+    // Extra annotated outcomes to grow the KB beyond its default 20.
+    let mut gen = WorkloadGenerator::new(WorkloadConfig {
+        seed: 2718,
+        ..Default::default()
+    });
+    let extra: Vec<QueryOutcome> = gen
+        .generate(180)
+        .iter()
+        .map(|sql| explainer.system().run_sql(sql).expect("query runs"))
+        .collect();
+
+    header("A2: accuracy vs knowledge-base size (100 held-out queries, K=2)");
+    let rows = kb_size_sweep(&explainer, &extra, &tests, &[5, 10, 20, 50, 100, 200])
+        .expect("sweep runs");
+    for row in &rows {
+        println!("{}", stats_row(&row.label, &row.stats));
+    }
+}

@@ -1,0 +1,44 @@
+//! A3 — ablation: prompt components. Removing the "do not compare cost
+//! estimates" warning re-enables the cross-engine cost-comparison failure
+//! mode (§V observed this during prompt design; §VI-D shows DBG-PT doing it
+//! even when warned).
+
+use qpe_bench::{experiment_explainer, header, test_set};
+use qpe_core::eval::dbgpt_eval;
+use qpe_llm::prompt::PromptConfig;
+
+fn main() {
+    let explainer = experiment_explainer();
+    let tests = test_set(100);
+
+    header("A3: prompt ablation — cost-comparison warning (100 queries, plan-diff mode)");
+    let with_warning = dbgpt_eval(&explainer, &tests, &PromptConfig::default())
+        .expect("evaluation runs");
+    let without_warning = dbgpt_eval(
+        &explainer,
+        &tests,
+        &PromptConfig {
+            forbid_cost_comparison: false,
+            ..Default::default()
+        },
+    )
+    .expect("evaluation runs");
+
+    println!(
+        "with warning    : cost comparisons used in {:>3}/{} outputs, accuracy {:.1}%",
+        with_warning.cost_comparison_used,
+        with_warning.stats.total(),
+        with_warning.stats.accuracy() * 100.0
+    );
+    println!(
+        "without warning : cost comparisons used in {:>3}/{} outputs, accuracy {:.1}%",
+        without_warning.cost_comparison_used,
+        without_warning.stats.total(),
+        without_warning.stats.accuracy() * 100.0
+    );
+    println!(
+        "\nshape: dropping the warning increases cost-comparison reliance \
+         ({} -> {}) and should not improve accuracy",
+        with_warning.cost_comparison_used, without_warning.cost_comparison_used
+    );
+}

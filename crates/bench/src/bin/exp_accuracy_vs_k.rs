@@ -1,0 +1,29 @@
+//! F1 — §VI-B retrieval-depth sweep: accuracy and None-rate for K=1..5.
+//! Paper: K=1 → 85% accurate, 8% None; K=2..5 → 89–91% with minimal
+//! differences. The reproduced shape: K=1 strictly worse (more None), a
+//! plateau from K=2 on.
+
+use qpe_bench::{experiment_explainer, header, stats_row, test_set, TEST_QUERIES};
+use qpe_core::eval::k_sweep;
+
+fn main() {
+    let mut explainer = experiment_explainer();
+    let tests = test_set(TEST_QUERIES);
+    header("F1: accuracy vs number of retrieved vectors K (200 queries, KB=20)");
+    let rows = k_sweep(&mut explainer, &tests, &[1, 2, 3, 4, 5]).expect("sweep runs");
+    for row in &rows {
+        println!("{}", stats_row(&row.label, &row.stats));
+    }
+    let k1 = &rows[0].stats;
+    let plateau: f64 = rows[1..]
+        .iter()
+        .map(|r| r.stats.accuracy())
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nshape check: K=1 accuracy {:.1}% ≤ K≥2 plateau minimum {:.1}%; \
+         K=1 None-rate {:.1}% is the highest",
+        k1.accuracy() * 100.0,
+        plateau * 100.0,
+        k1.none_rate() * 100.0
+    );
+}

@@ -1,0 +1,40 @@
+//! E4 — §VI-D comparison with DBG-PT: grade distribution plus the four
+//! documented failure modes, on the same 200-query test set.
+
+use qpe_bench::{experiment_explainer, header, stats_row, test_set, TEST_QUERIES};
+use qpe_core::eval::{dbgpt_eval, evaluate};
+
+fn main() {
+    let explainer = experiment_explainer();
+    let tests = test_set(TEST_QUERIES);
+
+    header("E4: our approach vs DBG-PT (200 held-out queries)");
+    let rag = evaluate(&explainer, &tests).expect("RAG evaluation runs");
+    println!("{}", stats_row("RAG (ours)", &rag));
+    let dbgpt = dbgpt_eval(&explainer, &tests, &explainer.config().prompt)
+        .expect("DBG-PT evaluation runs");
+    println!("{}", stats_row("DBG-PT", &dbgpt.stats));
+
+    header("DBG-PT failure-mode breakdown (paper's four categories)");
+    let n = dbgpt.stats.total().max(1) as f64;
+    println!(
+        "1. fundamental errors (index misinterpretation): {:>4} ({:.1}%)",
+        dbgpt.index_misinterpretation,
+        dbgpt.index_misinterpretation as f64 / n * 100.0
+    );
+    println!(
+        "2. overemphasis on column-oriented storage:      {:>4} ({:.1}%)",
+        dbgpt.columnar_overemphasis,
+        dbgpt.columnar_overemphasis as f64 / n * 100.0
+    );
+    println!(
+        "3. cost comparison despite instructions:         {:>4} ({:.1}%)",
+        dbgpt.cost_comparison_used,
+        dbgpt.cost_comparison_used as f64 / n * 100.0
+    );
+    println!(
+        "4. missed relative-value factors (OFFSET etc.):  {:>4} ({:.1}%)",
+        dbgpt.missed_relative_value,
+        dbgpt.missed_relative_value as f64 / n * 100.0
+    );
+}

@@ -1,0 +1,23 @@
+//! E6 — §III-B/§VI-B feedback loop: wrong/None outputs are corrected by
+//! experts and added to the KB "for future retrieval, further enhancing its
+//! accuracy for subsequent queries".
+
+use qpe_bench::{experiment_explainer, header, stats_row, test_set};
+use qpe_core::eval::feedback_round;
+
+fn main() {
+    let mut explainer = experiment_explainer();
+    let tests = test_set(100);
+
+    header("E6: expert-correction feedback round (100 held-out queries)");
+    let kb_before = explainer.kb().len();
+    let (before, after) = feedback_round(&mut explainer, &tests).expect("round runs");
+    let kb_after = explainer.kb().len();
+    println!("{}", stats_row("before", &before));
+    println!("{}", stats_row("after", &after));
+    println!(
+        "\nKB grew {kb_before} -> {kb_after} entries; accuracy {:.1}% -> {:.1}%",
+        before.accuracy() * 100.0,
+        after.accuracy() * 100.0
+    );
+}

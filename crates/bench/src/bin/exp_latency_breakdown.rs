@@ -1,0 +1,49 @@
+//! E2 — §VI-B end-to-end response-time breakdown.
+//! Paper: router inference <0.1 ms, KB search <0.1 ms (20 entries), LLM
+//! thinking ≤2 s, generation ~10 s; retrieval never dominates.
+
+use qpe_bench::{experiment_explainer, header, test_set};
+use qpe_htap::latency::format_latency;
+
+fn main() {
+    let explainer = experiment_explainer();
+    let tests = test_set(30);
+
+    header("E2: end-to-end response time breakdown (30 requests, KB=20, K=2)");
+    let mut encode = Vec::new();
+    let mut search = Vec::new();
+    let mut think = Vec::new();
+    let mut generate = Vec::new();
+    for sql in &tests {
+        let outcome = explainer.system().run_sql(sql).expect("query runs");
+        let r = explainer.explain_outcome(&outcome, &[]);
+        encode.push(r.timing.encode_ns);
+        search.push(r.timing.search_ns);
+        think.push(r.timing.llm_think_ns);
+        generate.push(r.timing.llm_generation_ns);
+    }
+    let avg = |v: &[u64]| v.iter().sum::<u64>() / v.len().max(1) as u64;
+    println!(
+        "router encoding   : avg {}  (paper: < 0.1 ms)   [measured]",
+        format_latency(avg(&encode))
+    );
+    println!(
+        "KB top-K search   : avg {}  (paper: < 0.1 ms)   [measured]",
+        format_latency(avg(&search))
+    );
+    println!(
+        "LLM thinking      : avg {}  (paper: <= 2 s)     [modeled]",
+        format_latency(avg(&think))
+    );
+    println!(
+        "LLM generation    : avg {}  (paper: ~10 s)      [modeled]",
+        format_latency(avg(&generate))
+    );
+    let total = avg(&encode) + avg(&search) + avg(&think) + avg(&generate);
+    let retrieval_frac = (avg(&encode) + avg(&search)) as f64 / total as f64;
+    println!(
+        "total             : avg {}  (retrieval fraction: {:.4}%)",
+        format_latency(total),
+        retrieval_frac * 100.0
+    );
+}

@@ -1,0 +1,45 @@
+//! E3 — §VI-C participant study (simulated readers; model in DESIGN.md).
+//! Paper: plans-only group 60% correct, 8.2 min, difficulty 8.5 (plans) vs
+//! 3 (explanation); LLM-first group 100% correct, 3.5 min.
+
+use qpe_bench::{experiment_explainer, header};
+use qpe_core::participant::{run_study, StudyConfig};
+use qpe_core::workload::WorkloadGenerator;
+
+fn main() {
+    // Use the real Example 1 artifacts to size the reading material.
+    let explainer = experiment_explainer();
+    let sql = WorkloadGenerator::example_1();
+    let outcome = explainer.system().run_sql(sql).expect("example 1 runs");
+    let report = explainer.explain_outcome(&outcome, &[]);
+    let plan_tokens = serde_json::to_string(&outcome.tp.plan.explain_json())
+        .unwrap()
+        .split_whitespace()
+        .count()
+        + serde_json::to_string(&outcome.ap.plan.explain_json())
+            .unwrap()
+            .split_whitespace()
+            .count();
+    let llm_tokens = report.output.token_count();
+
+    let result = run_study(&StudyConfig {
+        plan_tokens,
+        llm_tokens,
+        ..Default::default()
+    });
+
+    header("E3: participant study on Example 1 (10 simulated readers per group)");
+    println!("artifact sizes: plan JSON ~{plan_tokens} tokens, explanation ~{llm_tokens} tokens\n");
+    let g1 = &result.with_llm_first;
+    let g2 = &result.plans_only_first;
+    println!("group 1 (plans + LLM explanation from the start):");
+    println!("  avg time to full understanding: {:.1} min   (paper: 3.5 min)", g1.avg_minutes);
+    println!("  correct interpretations:        {:.0}%      (paper: 100%)", g1.final_correct_rate * 100.0);
+    println!("group 2 (plans only, explanation afterwards):");
+    println!("  avg time to full understanding: {:.1} min   (paper: 8.2 min)", g2.avg_minutes);
+    println!("  initially correct:              {:.0}%      (paper: 60%)", g2.initial_correct_rate * 100.0);
+    println!("  correct after explanation:      {:.0}%      (paper: 100%)", g2.final_correct_rate * 100.0);
+    println!("difficulty ratings (0 easiest .. 10 hardest):");
+    println!("  raw plan details:  {:.1}   (paper: 8.5)", g2.avg_plan_difficulty);
+    println!("  LLM explanation:   {:.1}   (paper: 3)", g2.avg_llm_difficulty);
+}

@@ -1,0 +1,45 @@
+//! E5 — §III-A smart-router quality: routing accuracy on held-out queries,
+//! model size (<1 MB claim) and inference latency (~1 ms claim).
+
+use qpe_bench::{experiment_explainer, header, test_set, TEST_QUERIES};
+use qpe_core::eval::router_accuracy;
+use qpe_htap::latency::format_latency;
+use std::time::Instant;
+
+fn main() {
+    let explainer = experiment_explainer();
+    let tests = test_set(TEST_QUERIES);
+
+    header("E5: smart router quality");
+    println!(
+        "training accuracy: {:.1}% over {} plan pairs",
+        explainer.router_report().train_accuracy * 100.0,
+        explainer.router_report().examples
+    );
+    let acc = router_accuracy(&explainer, &tests).expect("router evaluation runs");
+    println!("held-out routing accuracy: {:.1}% ({} queries)", acc * 100.0, tests.len());
+
+    let bytes = explainer.router().network().serialized_size();
+    println!(
+        "model size: {:.1} KB serialized (paper: < 1 MB)",
+        bytes as f64 / 1024.0
+    );
+
+    // Inference latency over the test set.
+    let outcome = explainer
+        .system()
+        .run_sql(&tests[0])
+        .expect("query runs");
+    let start = Instant::now();
+    let iters = 200;
+    for _ in 0..iters {
+        let _ = explainer
+            .router()
+            .route(&outcome.tp.plan, &outcome.ap.plan);
+    }
+    let per = start.elapsed().as_nanos() as u64 / iters;
+    println!(
+        "inference latency: {} per plan pair (paper: ~1 ms, later quoted < 0.1 ms)",
+        format_latency(per)
+    );
+}

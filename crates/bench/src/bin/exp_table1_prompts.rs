@@ -1,0 +1,37 @@
+//! T1 — regenerates Table I: the three-part prompt used in all experiments.
+
+use qpe_bench::header;
+use qpe_core::workload::WorkloadGenerator;
+use qpe_htap::engine::HtapSystem;
+use qpe_htap::tpch::TpchConfig;
+use qpe_llm::prompt::{Prompt, PromptConfig, Question};
+
+fn main() {
+    let sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
+    let sql = WorkloadGenerator::example_1();
+    let out = sys.run_sql(sql).expect("example 1 runs");
+    let prompt = Prompt {
+        config: PromptConfig::default(),
+        knowledge: vec![],
+        question: Question {
+            sql: sql.to_string(),
+            tp_plan: out.tp.plan.clone(),
+            ap_plan: out.ap.plan.clone(),
+            winner: out.winner(),
+        },
+        user_context: vec![
+            "Beyond the default indexes on primary and foreign keys, an additional \
+             index has been created on the c_phone column in the customer table."
+                .to_string(),
+        ],
+    };
+
+    header("Table I: prompt engineering — background information");
+    println!("{}", prompt.background());
+    header("Table I: prompt engineering — task description");
+    println!("{}", prompt.task_description());
+    header("Table I: prompt engineering — additional user context");
+    println!("{}", prompt.user_context.join(" "));
+    header("KNOWLEDGE/QUESTION format (as rendered to the LLM)");
+    println!("{}", prompt.render());
+}

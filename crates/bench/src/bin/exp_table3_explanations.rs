@@ -1,0 +1,61 @@
+//! T3 — regenerates Table III: expert vs our-approach vs DBG-PT
+//! explanations for Example 1.
+
+use qpe_bench::{experiment_explainer, header};
+use qpe_core::workload::WorkloadGenerator;
+use qpe_llm::dbgpt::DbgPt;
+use qpe_llm::expert::ExpertOracle;
+use qpe_llm::prompt::{Prompt, PromptConfig, Question};
+
+fn main() {
+    let explainer = experiment_explainer();
+    let sql = WorkloadGenerator::example_1();
+    let outcome = explainer.system().run_sql(sql).expect("example 1 runs");
+
+    header("Explanation by experts for Example 1");
+    let oracle = ExpertOracle::new(explainer.system().latency_model());
+    let (truth, expert_text) = oracle.explain(&outcome);
+    println!("{expert_text}");
+    println!("\n(primary factor: {:?}; all factors: {:?})", truth.primary, truth.valid);
+
+    header("Explanation by our approach for Example 1");
+    let report = explainer.explain_outcome(
+        &outcome,
+        &["Beyond the default indexes on primary and foreign keys, an additional \
+           index has been created on the c_phone column in the customer table."
+            .to_string()],
+    );
+    println!("{}", report.output.text);
+    println!(
+        "\n(grade: {:?}; retrieved KB entries: {:?})",
+        explainer.grade(&outcome, &report.output),
+        report.retrieved_ids
+    );
+
+    header("Explanation by DBG-PT for Example 1");
+    let dbgpt_prompt = Prompt {
+        config: PromptConfig {
+            include_rag: false,
+            ..Default::default()
+        },
+        knowledge: vec![],
+        question: Question {
+            sql: sql.to_string(),
+            tp_plan: outcome.tp.plan.clone(),
+            ap_plan: outcome.ap.plan.clone(),
+            winner: outcome.winner(),
+        },
+        user_context: vec![
+            "An additional index has been created on the c_phone column in the \
+             customer table."
+                .to_string(),
+        ],
+    };
+    let dbgpt_out = DbgPt::new().explain(&dbgpt_prompt);
+    println!("{}", dbgpt_out.text);
+    println!(
+        "\n(grade: {:?}; cited factors: {:?})",
+        explainer.grade(&outcome, &dbgpt_out),
+        dbgpt_out.cited
+    );
+}

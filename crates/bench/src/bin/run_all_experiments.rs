@@ -1,0 +1,94 @@
+//! Runs every experiment binary's logic in sequence with one shared
+//! pipeline, printing the full paper-vs-measured record that EXPERIMENTS.md
+//! captures. Slower than any single experiment but guarantees all numbers
+//! come from the same build.
+
+use qpe_bench::{experiment_explainer, header, stats_row, test_set, TEST_QUERIES};
+use qpe_core::eval::{dbgpt_eval, k_sweep, router_accuracy};
+use qpe_core::participant::{run_study, StudyConfig};
+use qpe_core::workload::WorkloadGenerator;
+use qpe_htap::latency::format_latency;
+
+fn main() {
+    let mut explainer = experiment_explainer();
+    let tests = test_set(TEST_QUERIES);
+
+    // T2/T3 digest
+    let sql = WorkloadGenerator::example_1();
+    let outcome = explainer.system().run_sql(sql).expect("example 1 runs");
+    header("Example 1 (T2/T3 digest)");
+    println!(
+        "TP {} vs AP {} -> {} wins {:.1}x",
+        format_latency(outcome.tp.latency_ns),
+        format_latency(outcome.ap.latency_ns),
+        outcome.winner(),
+        outcome.speedup()
+    );
+    let report = explainer.explain_outcome(&outcome, &[]);
+    println!(
+        "our explanation grade: {:?}",
+        explainer.grade(&outcome, &report.output)
+    );
+
+    // E1 + F1
+    header("E1/F1: accuracy and K sweep");
+    let rows = k_sweep(&mut explainer, &tests, &[1, 2, 3, 4, 5]).expect("sweep runs");
+    for row in &rows {
+        println!("{}", stats_row(&row.label, &row.stats));
+    }
+
+    // E4
+    header("E4: DBG-PT comparison");
+    let dbgpt =
+        dbgpt_eval(&explainer, &tests, &explainer.config().prompt).expect("dbgpt runs");
+    println!("{}", stats_row("DBG-PT", &dbgpt.stats));
+    println!(
+        "failure modes: index {}, columnar {}, cost {}, relative-value {}",
+        dbgpt.index_misinterpretation,
+        dbgpt.columnar_overemphasis,
+        dbgpt.cost_comparison_used,
+        dbgpt.missed_relative_value
+    );
+
+    // E5
+    header("E5: router");
+    let acc = router_accuracy(&explainer, &tests).expect("router eval runs");
+    println!(
+        "held-out routing accuracy {:.1}%, model {:.1} KB",
+        acc * 100.0,
+        explainer.router().network().serialized_size() as f64 / 1024.0
+    );
+
+    // E2
+    header("E2: latency breakdown (first 20 requests)");
+    let mut enc = 0u64;
+    let mut sea = 0u64;
+    let mut think = 0u64;
+    let mut genr = 0u64;
+    for sql in tests.iter().take(20) {
+        let o = explainer.system().run_sql(sql).expect("query runs");
+        let r = explainer.explain_outcome(&o, &[]);
+        enc += r.timing.encode_ns;
+        sea += r.timing.search_ns;
+        think += r.timing.llm_think_ns;
+        genr += r.timing.llm_generation_ns;
+    }
+    println!(
+        "encode {} | search {} | think {} | generate {}",
+        format_latency(enc / 20),
+        format_latency(sea / 20),
+        format_latency(think / 20),
+        format_latency(genr / 20)
+    );
+
+    // E3
+    header("E3: participant study");
+    let study = run_study(&StudyConfig::default());
+    println!(
+        "with-LLM group {:.1} min / {:.0}% correct; plans-only {:.1} min / {:.0}% initial",
+        study.with_llm_first.avg_minutes,
+        study.with_llm_first.final_correct_rate * 100.0,
+        study.plans_only_first.avg_minutes,
+        study.plans_only_first.initial_correct_rate * 100.0
+    );
+}

@@ -1,0 +1,38 @@
+//! qpe-core: the end-to-end query-performance-explanation pipeline.
+//!
+//! This crate assembles the paper's full framework (Figure 1) from the
+//! substrate crates:
+//!
+//! ```text
+//!             ┌──────────────── HTAP system (qpe-htap) ───────────────┐
+//!   SQL ────▶ │ bind → TP plan + AP plan → execute both → latencies   │
+//!             └──────┬──────────────────────────────┬─────────────────┘
+//!                    │ plans                        │ outcomes
+//!             ┌──────▼──────┐                ┌──────▼──────────┐
+//!             │ smart router│ 16-dim pair    │ expert oracle   │
+//!             │ (qpe-treecnn)│──embeddings──▶│ (qpe-llm)       │
+//!             └──────┬──────┘                └──────┬──────────┘
+//!                    │ query key                    │ KB entries
+//!             ┌──────▼───────────────────────────────▼─────┐
+//!             │ knowledge base (qpe-vectordb), top-K search │
+//!             └──────┬──────────────────────────────────────┘
+//!                    │ KNOWLEDGE + QUESTION prompt (Table I)
+//!             ┌──────▼──────────┐
+//!             │ simulated LLM   │──▶ explanation / None
+//!             └─────────────────┘
+//! ```
+//!
+//! [`explainer::Explainer`] is the user-facing entry point;
+//! [`workload`] synthesizes the paper's two query families (joins, top-N);
+//! [`eval`] reproduces the §VI-B accuracy experiments;
+//! [`participant`] simulates the §VI-C user study.
+
+pub mod eval;
+pub mod explainer;
+pub mod participant;
+pub mod timing;
+pub mod workload;
+
+pub use explainer::{ExplainReport, Explainer, PipelineConfig};
+pub use timing::EndToEndTiming;
+pub use workload::{WorkloadConfig, WorkloadGenerator};

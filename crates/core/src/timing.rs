@@ -1,0 +1,70 @@
+//! End-to-end response-time breakdown (paper §VI-B).
+//!
+//! The paper decomposes response time into: smart-router encoding (<0.1 ms
+//! measured), knowledge-base search (<0.1 ms at 20 entries), LLM thinking
+//! (≤2 s) and generation (~10 s). Encoding and search are *measured* wall
+//! clock here; the LLM components come from the deterministic timing model.
+
+use qpe_llm::timing::LlmTiming;
+use serde::{Deserialize, Serialize};
+
+/// One explanation request's time breakdown, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndToEndTiming {
+    /// Smart-router plan-pair encoding (measured).
+    pub encode_ns: u64,
+    /// Knowledge-base top-K search (measured).
+    pub search_ns: u64,
+    /// LLM prompt processing (modeled).
+    pub llm_think_ns: u64,
+    /// LLM generation (modeled).
+    pub llm_generation_ns: u64,
+}
+
+impl EndToEndTiming {
+    /// Builds a breakdown from measured retrieval times and the LLM model.
+    pub fn new(encode_ns: u64, search_ns: u64, llm: LlmTiming) -> Self {
+        EndToEndTiming {
+            encode_ns,
+            search_ns,
+            llm_think_ns: llm.think_ns,
+            llm_generation_ns: llm.generation_ns,
+        }
+    }
+
+    /// Total response time.
+    pub fn total_ns(&self) -> u64 {
+        self.encode_ns + self.search_ns + self.llm_think_ns + self.llm_generation_ns
+    }
+
+    /// Fraction of the total spent in retrieval (encode + search); the paper
+    /// argues this stays negligible.
+    pub fn retrieval_fraction(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.encode_ns + self.search_ns) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_fraction() {
+        let t = EndToEndTiming::new(50_000, 30_000, LlmTiming::estimate(500, 100));
+        assert_eq!(
+            t.total_ns(),
+            50_000 + 30_000 + t.llm_think_ns + t.llm_generation_ns
+        );
+        assert!(t.retrieval_fraction() < 0.01, "retrieval should be negligible");
+    }
+
+    #[test]
+    fn zero_total_fraction_is_zero() {
+        let t = EndToEndTiming::new(0, 0, LlmTiming::estimate(0, 0));
+        assert_eq!(t.retrieval_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,487 @@
+//! The HTAP system facade: one database, two engines, measured outcomes.
+//!
+//! [`HtapSystem::run_sql`] is the entry point the explanation framework sits
+//! on: it binds a query once, optimizes and executes it on *both* engines,
+//! verifies the engines agree on the result, and reports per-engine plans,
+//! work counters and simulated latencies — the raw material for router
+//! training, knowledge-base construction, and explanations.
+
+use crate::exec::{self, Row, WorkCounters};
+use crate::latency::LatencyModel;
+use crate::opt::{ap, tp, OptError, PlannerCtx};
+use crate::plan::PlanNode;
+use crate::stats::{DbStats, TableStats};
+use crate::storage::StoredTable;
+use crate::tpch::{self, TpchConfig};
+use qpe_sql::binder::{Binder, BoundQuery};
+use qpe_sql::catalog::{Catalog, MemoryCatalog};
+use qpe_sql::value::Value;
+use qpe_sql::SqlError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// Row-oriented OLTP engine.
+    Tp,
+    /// Column-oriented OLAP engine.
+    Ap,
+}
+
+impl EngineKind {
+    /// Paper-style short name: `TP` / `AP`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EngineKind::Tp => "TP",
+            EngineKind::Ap => "AP",
+        }
+    }
+
+    /// The other engine.
+    pub fn other(&self) -> EngineKind {
+        match self {
+            EngineKind::Tp => EngineKind::Ap,
+            EngineKind::Ap => EngineKind::Tp,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Everything that happened when one engine ran the query.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Which engine ran.
+    pub engine: EngineKind,
+    /// The physical plan.
+    pub plan: PlanNode,
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Work performed.
+    pub counters: WorkCounters,
+    /// Simulated latency in nanoseconds (deterministic).
+    pub latency_ns: u64,
+}
+
+/// Outcome of running one query on both engines.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Original SQL.
+    pub sql: String,
+    /// The bound query.
+    pub bound: BoundQuery,
+    /// TP run.
+    pub tp: EngineRun,
+    /// AP run.
+    pub ap: EngineRun,
+}
+
+impl QueryOutcome {
+    /// The faster engine.
+    pub fn winner(&self) -> EngineKind {
+        if self.tp.latency_ns <= self.ap.latency_ns {
+            EngineKind::Tp
+        } else {
+            EngineKind::Ap
+        }
+    }
+
+    /// Loser latency / winner latency (≥ 1).
+    pub fn speedup(&self) -> f64 {
+        let (w, l) = if self.winner() == EngineKind::Tp {
+            (self.tp.latency_ns, self.ap.latency_ns)
+        } else {
+            (self.ap.latency_ns, self.tp.latency_ns)
+        };
+        l as f64 / w.max(1) as f64
+    }
+
+    /// Run for a specific engine.
+    pub fn run(&self, engine: EngineKind) -> &EngineRun {
+        match engine {
+            EngineKind::Tp => &self.tp,
+            EngineKind::Ap => &self.ap,
+        }
+    }
+}
+
+/// Errors from the full bind→plan→execute pipeline.
+#[derive(Debug)]
+pub enum HtapError {
+    /// SQL front-end failure.
+    Sql(SqlError),
+    /// Planning failure.
+    Opt(OptError),
+    /// Execution failure.
+    Exec(exec::ExecError),
+    /// The two engines disagreed on the result — an internal invariant
+    /// violation that must surface loudly.
+    EngineMismatch {
+        /// The query.
+        sql: String,
+        /// TP row count.
+        tp_rows: usize,
+        /// AP row count.
+        ap_rows: usize,
+    },
+}
+
+impl From<SqlError> for HtapError {
+    fn from(e: SqlError) -> Self {
+        HtapError::Sql(e)
+    }
+}
+impl From<OptError> for HtapError {
+    fn from(e: OptError) -> Self {
+        HtapError::Opt(e)
+    }
+}
+impl From<exec::ExecError> for HtapError {
+    fn from(e: exec::ExecError) -> Self {
+        HtapError::Exec(e)
+    }
+}
+
+impl std::fmt::Display for HtapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HtapError::Sql(e) => write!(f, "sql: {e}"),
+            HtapError::Opt(e) => write!(f, "optimizer: {e}"),
+            HtapError::Exec(e) => write!(f, "executor: {e}"),
+            HtapError::EngineMismatch { sql, tp_rows, ap_rows } => write!(
+                f,
+                "engines disagree on {sql:?}: TP returned {tp_rows} rows, AP {ap_rows}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HtapError {}
+
+/// The database: catalog, statistics, and dual-format storage.
+pub struct Database {
+    catalog: MemoryCatalog,
+    stats: DbStats,
+    tables: HashMap<String, StoredTable>,
+    config: TpchConfig,
+}
+
+impl Database {
+    /// Generates TPC-H data and loads both storage formats.
+    pub fn generate(config: &TpchConfig) -> Self {
+        let (catalog, generated) = tpch::generate(config);
+        let mut stats = DbStats::new();
+        let mut tables = HashMap::new();
+        for g in &generated {
+            stats.insert(TableStats::collect(&g.name, &g.columns));
+            let def = catalog.table(&g.name).expect("generated table in catalog");
+            tables.insert(g.name.clone(), StoredTable::load(def, g));
+        }
+        Database {
+            catalog,
+            stats,
+            tables,
+            config: config.clone(),
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &MemoryCatalog {
+        &self.catalog
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    /// The generation config.
+    pub fn config(&self) -> &TpchConfig {
+        &self.config
+    }
+
+    /// Both storage formats for a table.
+    pub fn stored_table(&self, name: &str) -> Option<&StoredTable> {
+        self.tables.get(name)
+    }
+
+    /// Row-store side of a table.
+    pub fn row_table(&self, name: &str) -> Option<&crate::storage::RowTable> {
+        self.tables.get(name).map(|t| &t.rows)
+    }
+
+    /// Creates a TP-side secondary index at runtime (the paper's
+    /// "additional index on c_phone" user context). Returns false if the
+    /// table/column doesn't exist.
+    pub fn create_index(&mut self, table: &str, column: &str) -> bool {
+        let Some(def) = self.catalog.table_mut(table) else {
+            return false;
+        };
+        let Some(ci) = def.column_index(column) else {
+            return false;
+        };
+        if !def.indexed_columns.iter().any(|c| c == column) && def.primary_key != column {
+            def.indexed_columns.push(column.to_string());
+        }
+        if let Some(st) = self.tables.get_mut(table) {
+            st.rows.create_index(ci);
+        }
+        true
+    }
+}
+
+/// The HTAP system: database + latency model + per-engine pipelines.
+pub struct HtapSystem {
+    db: Database,
+    latency: LatencyModel,
+}
+
+impl HtapSystem {
+    /// Generates data and builds the system.
+    pub fn new(config: &TpchConfig) -> Self {
+        HtapSystem {
+            db: Database::generate(config),
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// Builds from an existing database.
+    pub fn with_database(db: Database) -> Self {
+        HtapSystem {
+            db,
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable database access (index creation).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The latency model.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Binds a SQL string against the system catalog.
+    pub fn bind(&self, sql: &str) -> Result<BoundQuery, HtapError> {
+        Ok(Binder::new(self.db.catalog()).bind_sql(sql)?)
+    }
+
+    /// Optimizes a bound query for one engine (EXPLAIN without execution).
+    pub fn explain(&self, bound: &BoundQuery, engine: EngineKind) -> Result<PlanNode, HtapError> {
+        let ctx = PlannerCtx::new(bound, self.db.stats(), self.db.catalog());
+        Ok(match engine {
+            EngineKind::Tp => tp::plan(&ctx)?,
+            EngineKind::Ap => ap::plan(&ctx)?,
+        })
+    }
+
+    /// Runs a bound query on one engine.
+    pub fn run_engine(
+        &self,
+        bound: &BoundQuery,
+        engine: EngineKind,
+    ) -> Result<EngineRun, HtapError> {
+        let plan = self.explain(bound, engine)?;
+        let (rows, counters) = exec::execute(&plan, bound, &self.db, engine)?;
+        let latency_ns = match engine {
+            EngineKind::Tp => self.latency.tp_latency_ns(&counters),
+            EngineKind::Ap => self.latency.ap_latency_ns(&counters),
+        };
+        Ok(EngineRun {
+            engine,
+            plan,
+            rows,
+            counters,
+            latency_ns,
+        })
+    }
+
+    /// Full pipeline: bind, run on both engines, check result agreement.
+    pub fn run_sql(&self, sql: &str) -> Result<QueryOutcome, HtapError> {
+        let bound = self.bind(sql)?;
+        let tp = self.run_engine(&bound, EngineKind::Tp)?;
+        let ap = self.run_engine(&bound, EngineKind::Ap)?;
+        if !results_match(&bound, &tp.rows, &ap.rows) {
+            return Err(HtapError::EngineMismatch {
+                sql: sql.to_string(),
+                tp_rows: tp.rows.len(),
+                ap_rows: ap.rows.len(),
+            });
+        }
+        Ok(QueryOutcome {
+            sql: sql.to_string(),
+            bound,
+            tp,
+            ap,
+        })
+    }
+}
+
+/// Result-agreement check: rows compare as multisets (ordered queries may
+/// permute ties), and floats compare with a relative tolerance because the
+/// two engines aggregate in different orders (float addition is not
+/// associative).
+fn results_match(bound: &BoundQuery, tp: &[Row], ap: &[Row]) -> bool {
+    let _ = bound;
+    if tp.len() != ap.len() {
+        return false;
+    }
+    let cmp = |x: &Row, y: &Row| {
+        for (u, v) in x.iter().zip(y.iter()) {
+            let o = u.total_cmp(v);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+    let mut a = tp.to_vec();
+    let mut b = ap.to_vec();
+    a.sort_by(cmp);
+    b.sort_by(cmp);
+    a.iter().zip(b.iter()).all(|(ra, rb)| {
+        ra.len() == rb.len() && ra.iter().zip(rb.iter()).all(|(u, v)| value_approx_eq(u, v))
+    })
+}
+
+/// Structural equality with relative tolerance on floats.
+fn value_approx_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        }
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpe_sql::value::Value;
+
+    fn system() -> HtapSystem {
+        HtapSystem::new(&TpchConfig::with_scale(0.002))
+    }
+
+    #[test]
+    fn run_sql_produces_consistent_outcome() {
+        let sys = system();
+        let out = sys
+            .run_sql("SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'machinery'")
+            .unwrap();
+        assert_eq!(out.tp.rows, out.ap.rows);
+        assert!(out.tp.latency_ns > 0 && out.ap.latency_ns > 0);
+        assert!(out.speedup() >= 1.0);
+    }
+
+    #[test]
+    fn point_lookup_favors_tp() {
+        let sys = system();
+        let out = sys
+            .run_sql("SELECT c_name FROM customer WHERE c_custkey = 42")
+            .unwrap();
+        assert_eq!(out.winner(), EngineKind::Tp);
+    }
+
+    #[test]
+    fn big_join_favors_ap() {
+        let sys = HtapSystem::new(&TpchConfig::with_scale(0.01));
+        let out = sys
+            .run_sql(
+                "SELECT COUNT(*) FROM customer, orders, lineitem \
+                 WHERE o_custkey = c_custkey AND l_orderkey = o_orderkey",
+            )
+            .unwrap();
+        assert_eq!(out.winner(), EngineKind::Ap, "speedup={}", out.speedup());
+    }
+
+    #[test]
+    fn index_served_topn_favors_tp() {
+        let sys = system();
+        let out = sys
+            .run_sql("SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 10")
+            .unwrap();
+        assert_eq!(out.winner(), EngineKind::Tp);
+    }
+
+    #[test]
+    fn unindexed_topn_on_big_table_favors_ap() {
+        let sys = HtapSystem::new(&TpchConfig::with_scale(0.01));
+        let out = sys
+            .run_sql(
+                "SELECT l_orderkey, l_extendedprice FROM lineitem \
+                 ORDER BY l_extendedprice DESC LIMIT 10",
+            )
+            .unwrap();
+        assert_eq!(out.winner(), EngineKind::Ap);
+    }
+
+    #[test]
+    fn create_index_changes_plans() {
+        let mut sys = system();
+        let before = sys
+            .run_sql("SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'machinery'")
+            .unwrap();
+        assert_eq!(before.tp.plan.count_type(crate::plan::NodeType::IndexScan), 0);
+        assert!(sys.database_mut().create_index("customer", "c_mktsegment"));
+        let after = sys
+            .run_sql("SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'machinery'")
+            .unwrap();
+        assert_eq!(after.tp.plan.count_type(crate::plan::NodeType::IndexScan), 1);
+        // Results identical either way.
+        assert_eq!(before.tp.rows, after.tp.rows);
+    }
+
+    #[test]
+    fn create_index_rejects_unknown() {
+        let mut sys = system();
+        assert!(!sys.database_mut().create_index("nope", "c_phone"));
+        assert!(!sys.database_mut().create_index("customer", "nope"));
+    }
+
+    #[test]
+    fn engine_kind_helpers() {
+        assert_eq!(EngineKind::Tp.other(), EngineKind::Ap);
+        assert_eq!(EngineKind::Ap.as_str(), "AP");
+        assert_eq!(EngineKind::Tp.to_string(), "TP");
+    }
+
+    #[test]
+    fn outcome_run_accessor() {
+        let sys = system();
+        let out = sys.run_sql("SELECT COUNT(*) FROM nation").unwrap();
+        assert_eq!(out.run(EngineKind::Tp).engine, EngineKind::Tp);
+        assert_eq!(out.run(EngineKind::Ap).engine, EngineKind::Ap);
+        assert_eq!(out.tp.rows[0][0], Value::Int(25));
+    }
+
+    #[test]
+    fn explain_does_not_execute() {
+        let sys = system();
+        let bound = sys.bind("SELECT COUNT(*) FROM customer").unwrap();
+        let plan = sys.explain(&bound, EngineKind::Ap).unwrap();
+        assert!(plan.total_cost > 0.0);
+    }
+
+    #[test]
+    fn bind_error_propagates() {
+        let sys = system();
+        assert!(matches!(
+            sys.run_sql("SELECT * FROM missing_table"),
+            Err(HtapError::Sql(_))
+        ));
+    }
+}

@@ -1,0 +1,417 @@
+//! Scalar expression evaluation over intermediate rows.
+//!
+//! Both engines share these semantics — the paper's two engines differ in
+//! *how* they execute plans, not in what a predicate means — so result
+//! equivalence between TP and AP is testable as an invariant.
+
+use qpe_sql::ast::BinaryOp;
+use qpe_sql::binder::BoundExpr;
+use qpe_sql::value::Value;
+
+/// The schema of an intermediate row: which `(table_slot, column_idx)` pair
+/// each position holds.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    cols: Vec<(usize, usize)>,
+}
+
+impl Schema {
+    /// Creates a schema from `(table_slot, column_idx)` pairs.
+    pub fn new(cols: Vec<(usize, usize)>) -> Self {
+        Schema { cols }
+    }
+
+    /// Position of a bound column in the row, if present.
+    pub fn position(&self, table_slot: usize, column_idx: usize) -> Option<usize> {
+        self.cols
+            .iter()
+            .position(|&(s, c)| s == table_slot && c == column_idx)
+    }
+
+    /// Concatenates two schemas (join output layout).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut cols = self.cols.clone();
+        cols.extend_from_slice(&other.cols);
+        Schema { cols }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// The underlying pairs.
+    pub fn columns(&self) -> &[(usize, usize)] {
+        &self.cols
+    }
+}
+
+/// Errors during evaluation — should not occur for bound queries over
+/// generated data, but the executor surfaces them rather than panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A column was not found in the row schema (planner bug).
+    MissingColumn {
+        /// Table slot requested.
+        table_slot: usize,
+        /// Column index requested.
+        column_idx: usize,
+    },
+    /// A type error, e.g. arithmetic on strings.
+    Type(String),
+    /// An aggregate reached the scalar evaluator.
+    AggregateInScalarContext,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::MissingColumn { table_slot, column_idx } => {
+                write!(f, "column (slot {table_slot}, idx {column_idx}) missing from row schema")
+            }
+            EvalError::Type(m) => write!(f, "type error: {m}"),
+            EvalError::AggregateInScalarContext => {
+                write!(f, "aggregate evaluated in scalar context")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates `expr` against `row` laid out by `schema`.
+pub fn eval(expr: &BoundExpr, schema: &Schema, row: &[Value]) -> Result<Value, EvalError> {
+    match expr {
+        BoundExpr::Column(c) => {
+            let pos = schema
+                .position(c.table_slot, c.column_idx)
+                .ok_or(EvalError::MissingColumn {
+                    table_slot: c.table_slot,
+                    column_idx: c.column_idx,
+                })?;
+            Ok(row[pos].clone())
+        }
+        BoundExpr::Literal(v) => Ok(v.clone()),
+        BoundExpr::Binary { left, op, right } => {
+            let l = eval(left, schema, row)?;
+            let r = eval(right, schema, row)?;
+            eval_binary(&l, *op, &r)
+        }
+        BoundExpr::Not(inner) => {
+            let v = eval(inner, schema, row)?;
+            Ok(Value::Int(if truthy(&v) { 0 } else { 1 }))
+        }
+        BoundExpr::InList { expr, list, negated } => {
+            let v = eval(expr, schema, row)?;
+            let found = list.iter().any(|item| v.sql_eq(item));
+            Ok(bool_val(found != *negated && !(v.is_null())))
+        }
+        BoundExpr::Between { expr, low, high } => {
+            let v = eval(expr, schema, row)?;
+            let lo = eval(low, schema, row)?;
+            let hi = eval(high, schema, row)?;
+            if v.is_null() || lo.is_null() || hi.is_null() {
+                return Ok(bool_val(false));
+            }
+            let ge = v.total_cmp(&lo) != std::cmp::Ordering::Less;
+            let le = v.total_cmp(&hi) != std::cmp::Ordering::Greater;
+            Ok(bool_val(ge && le))
+        }
+        BoundExpr::Like { expr, pattern, negated } => {
+            let v = eval(expr, schema, row)?;
+            match v.as_str() {
+                Some(s) => Ok(bool_val(like_match(s, pattern) != *negated)),
+                None => Ok(bool_val(false)),
+            }
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let v = eval(expr, schema, row)?;
+            Ok(bool_val(v.is_null() != *negated))
+        }
+        BoundExpr::Substring { expr, start, len } => {
+            let v = eval(expr, schema, row)?;
+            match v {
+                Value::Str(s) => {
+                    let chars: Vec<char> = s.chars().collect();
+                    let from = (*start as usize).saturating_sub(1).min(chars.len());
+                    let to = (from + *len as usize).min(chars.len());
+                    Ok(Value::Str(chars[from..to].iter().collect()))
+                }
+                Value::Null => Ok(Value::Null),
+                other => Err(EvalError::Type(format!(
+                    "SUBSTRING expects a string, got {other}"
+                ))),
+            }
+        }
+        BoundExpr::Aggregate { .. } => Err(EvalError::AggregateInScalarContext),
+    }
+}
+
+/// Evaluates a predicate to a boolean.
+pub fn eval_predicate(expr: &BoundExpr, schema: &Schema, row: &[Value]) -> Result<bool, EvalError> {
+    Ok(truthy(&eval(expr, schema, row)?))
+}
+
+fn bool_val(b: bool) -> Value {
+    Value::Int(if b { 1 } else { 0 })
+}
+
+/// SQL truthiness of an evaluated value.
+pub fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Null => false,
+        Value::Int(x) => *x != 0,
+        Value::Float(x) => *x != 0.0,
+        Value::Str(s) => !s.is_empty(),
+        Value::Date(_) => true,
+    }
+}
+
+fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value, EvalError> {
+    use BinaryOp::*;
+    match op {
+        And => Ok(bool_val(truthy(l) && truthy(r))),
+        Or => Ok(bool_val(truthy(l) || truthy(r))),
+        Eq => Ok(bool_val(l.sql_eq(r))),
+        NotEq => Ok(bool_val(!l.sql_eq(r) && !l.is_null() && !r.is_null())),
+        Lt | LtEq | Gt | GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(bool_val(false));
+            }
+            let ord = l.total_cmp(r);
+            let b = match op {
+                Lt => ord == std::cmp::Ordering::Less,
+                LtEq => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                GtEq => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(bool_val(b))
+        }
+        Add | Sub | Mul | Div => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            match (l, r) {
+                (Value::Int(a), Value::Int(b)) => Ok(match op {
+                    Add => Value::Int(a.wrapping_add(*b)),
+                    Sub => Value::Int(a.wrapping_sub(*b)),
+                    Mul => Value::Int(a.wrapping_mul(*b)),
+                    Div => {
+                        if *b == 0 {
+                            Value::Null
+                        } else {
+                            Value::Int(a / b)
+                        }
+                    }
+                    _ => unreachable!(),
+                }),
+                _ => {
+                    let (a, b) = match (l.as_float(), r.as_float()) {
+                        (Some(a), Some(b)) => (a, b),
+                        _ => {
+                            return Err(EvalError::Type(format!(
+                                "arithmetic on non-numeric values {l} {op} {r}"
+                            )))
+                        }
+                    };
+                    Ok(match op {
+                        Add => Value::Float(a + b),
+                        Sub => Value::Float(a - b),
+                        Mul => Value::Float(a * b),
+                        Div => {
+                            if b == 0.0 {
+                                Value::Null
+                            } else {
+                                Value::Float(a / b)
+                            }
+                        }
+                        _ => unreachable!(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// SQL `LIKE` with `%` (any run) and `_` (single char), case-sensitive.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // try consuming 0..=len chars
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = pattern.chars().collect();
+    rec(&sc, &pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpe_sql::binder::{Binder, BoundQuery};
+    use qpe_sql::catalog::{ColumnDef, DataType, MemoryCatalog, TableDef};
+
+    fn bind(sql: &str) -> BoundQuery {
+        let mut cat = MemoryCatalog::new();
+        cat.add_table(TableDef {
+            name: "t".into(),
+            columns: vec![
+                ColumnDef { name: "a".into(), data_type: DataType::Int, ndv: 10 },
+                ColumnDef { name: "s".into(), data_type: DataType::Str, ndv: 10 },
+                ColumnDef { name: "f".into(), data_type: DataType::Float, ndv: 10 },
+            ],
+            row_count: 10,
+            indexed_columns: vec![],
+            primary_key: "a".into(),
+        });
+        Binder::new(&cat).bind_sql(sql).unwrap()
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![(0, 0), (0, 1), (0, 2)])
+    }
+
+    fn row(a: i64, s: &str, f: f64) -> Vec<Value> {
+        vec![Value::Int(a), Value::Str(s.into()), Value::Float(f)]
+    }
+
+    fn check(sql_where: &str, r: &[Value]) -> bool {
+        let q = bind(&format!("SELECT * FROM t WHERE {sql_where}"));
+        let pred = &q.filters[0].expr;
+        eval_predicate(pred, &schema(), r).unwrap()
+    }
+
+    #[test]
+    fn comparison_predicates() {
+        assert!(check("a = 5", &row(5, "x", 0.0)));
+        assert!(!check("a = 5", &row(6, "x", 0.0)));
+        assert!(check("a < 5", &row(4, "x", 0.0)));
+        assert!(check("a >= 5", &row(5, "x", 0.0)));
+        assert!(check("a <> 5", &row(4, "x", 0.0)));
+    }
+
+    #[test]
+    fn numeric_widening_in_comparisons() {
+        assert!(check("f > 1", &row(0, "x", 1.5)));
+        assert!(check("a < 1.5", &row(1, "x", 0.0)));
+    }
+
+    #[test]
+    fn in_list_and_negation() {
+        assert!(check("a IN (1, 5, 9)", &row(5, "x", 0.0)));
+        assert!(!check("a IN (1, 5, 9)", &row(4, "x", 0.0)));
+        assert!(check("a NOT IN (1, 5, 9)", &row(4, "x", 0.0)));
+    }
+
+    #[test]
+    fn substring_semantics_one_based() {
+        assert!(check("SUBSTRING(s, 1, 2) = 'he'", &row(0, "hello", 0.0)));
+        assert!(check("SUBSTRING(s, 2, 3) = 'ell'", &row(0, "hello", 0.0)));
+        // start past end yields empty string
+        assert!(check("SUBSTRING(s, 9, 2) = ''", &row(0, "hello", 0.0)));
+        // len clipped at end
+        assert!(check("SUBSTRING(s, 4, 100) = 'lo'", &row(0, "hello", 0.0)));
+    }
+
+    #[test]
+    fn paper_example1_phone_prefix_predicate() {
+        assert!(check(
+            "SUBSTRING(s, 1, 2) IN ('20', '40', '22')",
+            &row(0, "20-123-456-7890", 0.0)
+        ));
+        assert!(!check(
+            "SUBSTRING(s, 1, 2) IN ('20', '40', '22')",
+            &row(0, "33-123-456-7890", 0.0)
+        ));
+    }
+
+    #[test]
+    fn between_inclusive() {
+        assert!(check("a BETWEEN 3 AND 5", &row(3, "x", 0.0)));
+        assert!(check("a BETWEEN 3 AND 5", &row(5, "x", 0.0)));
+        assert!(!check("a BETWEEN 3 AND 5", &row(6, "x", 0.0)));
+    }
+
+    #[test]
+    fn like_wildcards() {
+        assert!(like_match("hello world", "hello%"));
+        assert!(like_match("hello world", "%world"));
+        assert!(like_match("hello world", "%lo wo%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("x", ""));
+        assert!(check("s LIKE '%ell%'", &row(0, "hello", 0.0)));
+        assert!(check("s NOT LIKE '%zzz%'", &row(0, "hello", 0.0)));
+    }
+
+    #[test]
+    fn and_or_not() {
+        assert!(check("a = 1 OR a = 2", &row(2, "x", 0.0)));
+        assert!(!check("NOT (a = 2)", &row(2, "x", 0.0)));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let q = bind("SELECT * FROM t WHERE a = 5");
+        let pred = &q.filters[0].expr;
+        let r = vec![Value::Null, Value::Null, Value::Null];
+        assert!(!eval_predicate(pred, &schema(), &r).unwrap());
+    }
+
+    #[test]
+    fn is_null_tests() {
+        let r = vec![Value::Null, Value::Str("x".into()), Value::Float(0.0)];
+        assert!(check("a IS NULL", &r));
+        assert!(check("s IS NOT NULL", &r));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert!(check("a + 1 = 6", &row(5, "x", 0.0)));
+        assert!(check("a * 2 = 10", &row(5, "x", 0.0)));
+        assert!(check("f / 2 = 0.75", &row(0, "x", 1.5)));
+        // integer division
+        assert!(check("a / 2 = 2", &row(5, "x", 0.0)));
+    }
+
+    #[test]
+    fn division_by_zero_yields_null_predicate_false() {
+        assert!(!check("a / 0 = 1", &row(5, "x", 0.0)));
+    }
+
+    #[test]
+    fn missing_column_is_error() {
+        let q = bind("SELECT * FROM t WHERE a = 1");
+        let pred = &q.filters[0].expr;
+        let bad_schema = Schema::new(vec![(0, 1)]);
+        let r = vec![Value::Str("x".into())];
+        assert!(matches!(
+            eval_predicate(pred, &bad_schema, &r),
+            Err(EvalError::MissingColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn schema_concat_and_position() {
+        let a = Schema::new(vec![(0, 0), (0, 1)]);
+        let b = Schema::new(vec![(1, 0)]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.position(1, 0), Some(2));
+        assert_eq!(c.position(2, 0), None);
+        assert!(!c.is_empty());
+    }
+}

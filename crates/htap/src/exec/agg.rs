@@ -1,0 +1,400 @@
+//! Aggregation execution (sort-based for TP, hash-based for AP).
+//!
+//! Output expressions may embed aggregate calls arbitrarily (e.g.
+//! `SUM(x) / COUNT(*)`); we extract the distinct aggregate *leaves*, fold
+//! them per group, then evaluate each output expression with the folded
+//! values substituted in.
+
+use super::{ExecError, ExecutorInternal, Row};
+use crate::eval::{eval, truthy, EvalError, Schema};
+use crate::plan::AggSpec;
+use qpe_sql::ast::AggFunc;
+use qpe_sql::binder::BoundExpr;
+use qpe_sql::value::Value;
+use std::collections::{BTreeMap, HashSet};
+
+/// A distinct aggregate call appearing in the outputs / HAVING clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggLeaf {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Argument expression (`None` for `COUNT(*)`).
+    pub arg: Option<BoundExpr>,
+    /// DISTINCT flag.
+    pub distinct: bool,
+}
+
+/// Collects the distinct aggregate leaves of an expression tree.
+pub fn collect_leaves(expr: &BoundExpr, out: &mut Vec<AggLeaf>) {
+    match expr {
+        BoundExpr::Aggregate { func, arg, distinct } => {
+            let leaf = AggLeaf {
+                func: *func,
+                arg: arg.as_deref().cloned(),
+                distinct: *distinct,
+            };
+            if !out.contains(&leaf) {
+                out.push(leaf);
+            }
+        }
+        BoundExpr::Column(_) | BoundExpr::Literal(_) => {}
+        BoundExpr::Binary { left, right, .. } => {
+            collect_leaves(left, out);
+            collect_leaves(right, out);
+        }
+        BoundExpr::Not(e)
+        | BoundExpr::InList { expr: e, .. }
+        | BoundExpr::Like { expr: e, .. }
+        | BoundExpr::IsNull { expr: e, .. }
+        | BoundExpr::Substring { expr: e, .. } => collect_leaves(e, out),
+        BoundExpr::Between { expr, low, high } => {
+            collect_leaves(expr, out);
+            collect_leaves(low, out);
+            collect_leaves(high, out);
+        }
+    }
+}
+
+/// Running state for one aggregate leaf within one group.
+#[derive(Debug, Clone)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    sum_is_int: bool,
+    int_sum: i64,
+    min: Option<Value>,
+    max: Option<Value>,
+    distinct: HashSet<Value>,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            sum_is_int: true,
+            int_sum: 0,
+            min: None,
+            max: None,
+            distinct: HashSet::new(),
+        }
+    }
+
+    fn update(&mut self, leaf: &AggLeaf, v: Option<Value>) {
+        match v {
+            None => {
+                // COUNT(*) counts every row.
+                self.count += 1;
+            }
+            Some(Value::Null) => {
+                // SQL aggregates skip NULL inputs.
+            }
+            Some(val) => {
+                if leaf.distinct && !self.distinct.insert(val.clone()) {
+                    return;
+                }
+                self.count += 1;
+                if let Some(x) = val.as_float() {
+                    self.sum += x;
+                }
+                if let Value::Int(i) = val {
+                    self.int_sum = self.int_sum.wrapping_add(i);
+                } else {
+                    self.sum_is_int = false;
+                }
+                match &self.min {
+                    None => self.min = Some(val.clone()),
+                    Some(m) => {
+                        if val.total_cmp(m) == std::cmp::Ordering::Less {
+                            self.min = Some(val.clone());
+                        }
+                    }
+                }
+                match &self.max {
+                    None => self.max = Some(val.clone()),
+                    Some(m) => {
+                        if val.total_cmp(m) == std::cmp::Ordering::Greater {
+                            self.max = Some(val.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.sum_is_int {
+                    Value::Int(self.int_sum)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Evaluates an output expression with aggregate leaves substituted by their
+/// folded values.
+fn eval_with_aggs(
+    expr: &BoundExpr,
+    leaves: &[AggLeaf],
+    values: &[Value],
+    group_key_exprs: &[BoundExpr],
+    group_key_vals: &[Value],
+) -> Result<Value, EvalError> {
+    // Group-by key expressions may appear verbatim in the projection.
+    for (ge, gv) in group_key_exprs.iter().zip(group_key_vals.iter()) {
+        if expr == ge {
+            return Ok(gv.clone());
+        }
+    }
+    match expr {
+        BoundExpr::Aggregate { func, arg, distinct } => {
+            let leaf = AggLeaf {
+                func: *func,
+                arg: arg.as_deref().cloned(),
+                distinct: *distinct,
+            };
+            let idx = leaves
+                .iter()
+                .position(|l| *l == leaf)
+                .ok_or(EvalError::AggregateInScalarContext)?;
+            Ok(values[idx].clone())
+        }
+        BoundExpr::Literal(v) => Ok(v.clone()),
+        BoundExpr::Binary { left, op, right } => {
+            // Re-use the scalar evaluator by materializing both sides first.
+            let l = eval_with_aggs(left, leaves, values, group_key_exprs, group_key_vals)?;
+            let r = eval_with_aggs(right, leaves, values, group_key_exprs, group_key_vals)?;
+            let schema = Schema::new(vec![]);
+            let synthetic = BoundExpr::Binary {
+                left: Box::new(BoundExpr::Literal(l)),
+                op: *op,
+                right: Box::new(BoundExpr::Literal(r)),
+            };
+            eval(&synthetic, &schema, &[])
+        }
+        BoundExpr::Column(_) => {
+            // A bare column that is not a group key in an aggregate output —
+            // binder rejects this, but guard anyway.
+            Err(EvalError::AggregateInScalarContext)
+        }
+        other => {
+            // Wrap remaining shapes (Not/IsNull/... over aggregates) by
+            // evaluating sub-expressions first.
+            let schema = Schema::new(vec![]);
+            match other {
+                BoundExpr::Not(e) => {
+                    let v = eval_with_aggs(e, leaves, values, group_key_exprs, group_key_vals)?;
+                    Ok(Value::Int(if truthy(&v) { 0 } else { 1 }))
+                }
+                BoundExpr::IsNull { expr, negated } => {
+                    let v =
+                        eval_with_aggs(expr, leaves, values, group_key_exprs, group_key_vals)?;
+                    Ok(Value::Int(if v.is_null() != *negated { 1 } else { 0 }))
+                }
+                BoundExpr::InList { expr, list, negated } => {
+                    let v =
+                        eval_with_aggs(expr, leaves, values, group_key_exprs, group_key_vals)?;
+                    let synthetic = BoundExpr::InList {
+                        expr: Box::new(BoundExpr::Literal(v)),
+                        list: list.clone(),
+                        negated: *negated,
+                    };
+                    eval(&synthetic, &schema, &[])
+                }
+                BoundExpr::Substring { expr, start, len } => {
+                    let v =
+                        eval_with_aggs(expr, leaves, values, group_key_exprs, group_key_vals)?;
+                    let synthetic = BoundExpr::Substring {
+                        expr: Box::new(BoundExpr::Literal(v)),
+                        start: *start,
+                        len: *len,
+                    };
+                    eval(&synthetic, &schema, &[])
+                }
+                _ => Err(EvalError::AggregateInScalarContext),
+            }
+        }
+    }
+}
+
+/// Executes grouping + aggregation, returning final projected rows.
+///
+/// `hash = true` uses hash grouping (AP), `false` sorts first (TP). Both
+/// return rows ordered by group key so engine outputs are directly
+/// comparable (hash-group output is canonicalized the same way real engines
+/// do when asked for deterministic tests).
+pub fn aggregate(
+    ex: &mut ExecutorInternal,
+    input: &[Row],
+    schema: &Schema,
+    group_by: &[BoundExpr],
+    outputs: &[AggSpec],
+    having: Option<&BoundExpr>,
+    hash: bool,
+) -> Result<Vec<Row>, ExecError> {
+    // Distinct aggregate leaves across outputs and HAVING.
+    let mut leaves = Vec::new();
+    for o in outputs {
+        collect_leaves(&o.expr, &mut leaves);
+    }
+    if let Some(h) = having {
+        collect_leaves(h, &mut leaves);
+    }
+
+    // Group rows. BTreeMap keys give deterministic (key-sorted) output for
+    // both strategies; the sort-vs-hash distinction is carried by the work
+    // counters, which is what the latency model consumes.
+    let mut groups: BTreeMap<Vec<KeyWrap>, Vec<AggState>> = BTreeMap::new();
+    for row in input {
+        ex.counters_mut().agg_rows += 1;
+        if !hash {
+            // sort-based grouping pays comparison costs
+            ex.counters_mut().sort_comparisons += 1;
+        }
+        let key: Vec<KeyWrap> = group_by
+            .iter()
+            .map(|g| eval(g, schema, row).map(KeyWrap))
+            .collect::<Result<_, _>>()?;
+        let states = groups
+            .entry(key)
+            .or_insert_with(|| leaves.iter().map(|_| AggState::new()).collect());
+        for (leaf, state) in leaves.iter().zip(states.iter_mut()) {
+            let v = match &leaf.arg {
+                Some(a) => Some(eval(a, schema, row)?),
+                None => None,
+            };
+            state.update(leaf, v);
+        }
+    }
+
+    // Scalar aggregation over empty input still yields one row.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.insert(Vec::new(), leaves.iter().map(|_| AggState::new()).collect());
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, states) in &groups {
+        let folded: Vec<Value> = leaves
+            .iter()
+            .zip(states.iter())
+            .map(|(l, s)| s.finish(l.func))
+            .collect();
+        let key_vals: Vec<Value> = key.iter().map(|k| k.0.clone()).collect();
+        if let Some(h) = having {
+            let v = eval_with_aggs(h, &leaves, &folded, group_by, &key_vals)?;
+            if !truthy(&v) {
+                continue;
+            }
+        }
+        let mut row = Vec::with_capacity(outputs.len());
+        for o in outputs {
+            row.push(eval_with_aggs(&o.expr, &leaves, &folded, group_by, &key_vals)?);
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Ord wrapper over [`Value`] for BTreeMap grouping keys.
+#[derive(Debug, Clone, PartialEq)]
+struct KeyWrap(Value);
+
+impl Eq for KeyWrap {}
+
+impl PartialOrd for KeyWrap {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for KeyWrap {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_state_count_sum_avg() {
+        let leaf = AggLeaf { func: AggFunc::Sum, arg: None, distinct: false };
+        let mut s = AggState::new();
+        s.update(&leaf, Some(Value::Int(3)));
+        s.update(&leaf, Some(Value::Int(4)));
+        s.update(&leaf, Some(Value::Null)); // skipped
+        assert_eq!(s.finish(AggFunc::Count), Value::Int(2));
+        assert_eq!(s.finish(AggFunc::Sum), Value::Int(7));
+        assert_eq!(s.finish(AggFunc::Avg), Value::Float(3.5));
+    }
+
+    #[test]
+    fn agg_state_min_max() {
+        let leaf = AggLeaf { func: AggFunc::Min, arg: None, distinct: false };
+        let mut s = AggState::new();
+        for v in [5, 2, 9] {
+            s.update(&leaf, Some(Value::Int(v)));
+        }
+        assert_eq!(s.finish(AggFunc::Min), Value::Int(2));
+        assert_eq!(s.finish(AggFunc::Max), Value::Int(9));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let leaf = AggLeaf { func: AggFunc::Count, arg: None, distinct: true };
+        let mut s = AggState::new();
+        for v in [1, 1, 2, 2, 3] {
+            s.update(&leaf, Some(Value::Int(v)));
+        }
+        assert_eq!(s.finish(AggFunc::Count), Value::Int(3));
+    }
+
+    #[test]
+    fn sum_over_empty_is_null() {
+        let s = AggState::new();
+        assert_eq!(s.finish(AggFunc::Sum), Value::Null);
+        assert_eq!(s.finish(AggFunc::Avg), Value::Null);
+        assert_eq!(s.finish(AggFunc::Min), Value::Null);
+        assert_eq!(s.finish(AggFunc::Count), Value::Int(0));
+    }
+
+    #[test]
+    fn float_sum_stays_float() {
+        let leaf = AggLeaf { func: AggFunc::Sum, arg: None, distinct: false };
+        let mut s = AggState::new();
+        s.update(&leaf, Some(Value::Float(1.5)));
+        s.update(&leaf, Some(Value::Float(2.0)));
+        assert_eq!(s.finish(AggFunc::Sum), Value::Float(3.5));
+    }
+
+    #[test]
+    fn collect_leaves_dedups() {
+        // COUNT(*) appearing twice collects once.
+        let count = BoundExpr::Aggregate { func: AggFunc::Count, arg: None, distinct: false };
+        let expr = BoundExpr::Binary {
+            left: Box::new(count.clone()),
+            op: qpe_sql::ast::BinaryOp::Add,
+            right: Box::new(count),
+        };
+        let mut leaves = Vec::new();
+        collect_leaves(&expr, &mut leaves);
+        assert_eq!(leaves.len(), 1);
+    }
+}

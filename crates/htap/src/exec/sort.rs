@@ -1,0 +1,125 @@
+//! Sort, top-N and output-sort execution.
+
+use super::{ExecError, ExecutorInternal, Row};
+use crate::eval::{eval, Schema};
+use qpe_sql::binder::BoundExpr;
+use qpe_sql::value::Value;
+use std::cmp::Ordering;
+
+/// Compares two rows on pre-computed key values.
+fn cmp_keys(a: &[Value], b: &[Value], descs: &[bool]) -> Ordering {
+    for ((x, y), desc) in a.iter().zip(b.iter()).zip(descs.iter()) {
+        let o = x.total_cmp(y);
+        let o = if *desc { o.reverse() } else { o };
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Full sort on expression keys (TP's only ORDER BY strategy without an
+/// index; also AP's when no LIMIT bounds the sort).
+pub fn full_sort(
+    ex: &mut ExecutorInternal,
+    input: Vec<Row>,
+    schema: &Schema,
+    keys: &[(BoundExpr, bool)],
+) -> Result<Vec<Row>, ExecError> {
+    let descs: Vec<bool> = keys.iter().map(|(_, d)| *d).collect();
+    let mut keyed: Vec<(Vec<Value>, Row)> = input
+        .into_iter()
+        .map(|row| {
+            let kv: Result<Vec<Value>, _> =
+                keys.iter().map(|(k, _)| eval(k, schema, &row)).collect();
+            kv.map(|kv| (kv, row))
+        })
+        .collect::<Result<_, _>>()?;
+    // Count comparisons deterministically as n·log2(n) — the asymptotic
+    // charge — rather than instrumenting the comparator (which would make
+    // work depend on sort-implementation internals).
+    let n = keyed.len() as u64;
+    ex.counters_mut().sort_comparisons += n * (64 - n.max(1).leading_zeros() as u64).max(1);
+    keyed.sort_by(|(ka, _), (kb, _)| cmp_keys(ka, kb, &descs));
+    Ok(keyed.into_iter().map(|(_, r)| r).collect())
+}
+
+/// Bounded top-N selection (AP's dedicated operator): keeps the best
+/// `limit + offset` rows, then drops the first `offset`.
+pub fn top_n(
+    ex: &mut ExecutorInternal,
+    input: Vec<Row>,
+    schema: &Schema,
+    keys: &[(BoundExpr, bool)],
+    limit: u64,
+    offset: u64,
+) -> Result<Vec<Row>, ExecError> {
+    let need = (limit + offset) as usize;
+    if need == 0 {
+        return Ok(Vec::new());
+    }
+    let descs: Vec<bool> = keys.iter().map(|(_, d)| *d).collect();
+    // Simple bounded selection: maintain a sorted buffer of at most `need`
+    // rows. Each push charges one heap operation.
+    let mut buf: Vec<(Vec<Value>, Row)> = Vec::with_capacity(need + 1);
+    for row in input {
+        ex.counters_mut().topn_pushes += 1;
+        let kv: Vec<Value> = keys
+            .iter()
+            .map(|(k, _)| eval(k, schema, &row))
+            .collect::<Result<_, _>>()?;
+        if buf.len() < need {
+            let pos = buf
+                .binary_search_by(|(k, _)| cmp_keys(k, &kv, &descs))
+                .unwrap_or_else(|p| p);
+            buf.insert(pos, (kv, row));
+        } else if cmp_keys(&kv, &buf[need - 1].0, &descs) == Ordering::Less {
+            let pos = buf
+                .binary_search_by(|(k, _)| cmp_keys(k, &kv, &descs))
+                .unwrap_or_else(|p| p);
+            buf.insert(pos, (kv, row));
+            buf.pop();
+        }
+    }
+    Ok(buf
+        .into_iter()
+        .skip(offset as usize)
+        .map(|(_, r)| r)
+        .collect())
+}
+
+/// Positional sort over already-projected output rows (ORDER BY on
+/// aggregated projections).
+pub fn output_sort(
+    ex: &mut ExecutorInternal,
+    mut input: Vec<Row>,
+    keys: &[(usize, bool)],
+) -> Result<Vec<Row>, ExecError> {
+    let n = input.len() as u64;
+    ex.counters_mut().sort_comparisons += n * (64 - n.max(1).leading_zeros() as u64).max(1);
+    input.sort_by(|a, b| {
+        for &(pos, desc) in keys {
+            let o = a[pos].total_cmp(&b[pos]);
+            let o = if desc { o.reverse() } else { o };
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_keys_respects_direction() {
+        let a = vec![Value::Int(1), Value::Int(9)];
+        let b = vec![Value::Int(1), Value::Int(3)];
+        assert_eq!(cmp_keys(&a, &b, &[false, false]), Ordering::Greater);
+        assert_eq!(cmp_keys(&a, &b, &[false, true]), Ordering::Less);
+        assert_eq!(cmp_keys(&a, &a, &[false, false]), Ordering::Equal);
+    }
+}

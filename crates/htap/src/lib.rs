@@ -1,0 +1,32 @@
+//! In-process HTAP substrate for the QPE reproduction.
+//!
+//! This crate stands in for ByteHTAP in the paper: a single database with two
+//! execution engines over the same data —
+//!
+//! * the **TP engine** (row store): row-at-a-time execution, B-tree
+//!   primary/secondary indexes, nested-loop and index-nested-loop joins,
+//!   sort-based grouping; an OLTP-biased optimizer and cost model;
+//! * the **AP engine** (column store): vectorized columnar scans that touch
+//!   only referenced columns, hash joins, hash aggregation; an OLAP-biased
+//!   optimizer whose cost scale is deliberately *not comparable* to TP's
+//!   (the paper's "never compare costs across engines" trap).
+//!
+//! Queries are bound by `qpe-sql`, optimized per engine into [`plan::PlanNode`]
+//! trees (EXPLAIN JSON shaped exactly like the paper's Table II), executed for
+//! real on generated TPC-H data ([`tpch`]), and timed through a deterministic
+//! work-counter latency model ([`latency`]) so "which engine is faster" labels
+//! are measured, not assumed.
+
+pub mod engine;
+pub mod eval;
+pub mod exec;
+pub mod latency;
+pub mod opt;
+pub mod plan;
+pub mod stats;
+pub mod storage;
+pub mod tpch;
+
+pub use engine::{Database, EngineKind, EngineRun, HtapSystem, QueryOutcome};
+pub use plan::{NodeType, PlanNode};
+pub use tpch::TpchConfig;

@@ -1,0 +1,674 @@
+//! The TP (row-engine) optimizer.
+//!
+//! OLTP bias: prefers B-tree index access paths and (index-)nested-loop
+//! joins, groups by sorting, and exploits index order for top-N queries.
+//! Without a usable index it degrades to full scans and naive nested loops —
+//! the degradation the paper's Example 1 explanation hinges on ("TP has to
+//! use nested loop join with no index available").
+//!
+//! Cost units are "TP pages": small numbers (thousands) scaled like the
+//! paper's Table II TP plan.
+
+use super::{detail_of, OptError, PlannerCtx};
+use crate::plan::{AggSpec, IndexLookup, JoinCond, NodeType, PlanNode, PlanOp};
+use crate::stats;
+use qpe_sql::ast::BinaryOp;
+use qpe_sql::binder::{AggregateKind, BoundExpr, ColumnRef};
+
+/// Cost of scanning one row (full tuple) from the row store.
+pub const COST_ROW_SCAN: f64 = 0.25;
+/// Cost of one B-tree traversal step.
+pub const COST_BTREE_STEP: f64 = 0.5;
+/// Cost of fetching one row through an index.
+pub const COST_INDEX_FETCH: f64 = 0.3;
+/// Cost of evaluating a filter on one row.
+pub const COST_FILTER_ROW: f64 = 0.01;
+/// Cost of one nested-loop inner comparison.
+pub const COST_NLJ_PAIR: f64 = 0.005;
+/// Per-row sort factor (multiplied by log2 n).
+pub const COST_SORT_ROW: f64 = 0.02;
+/// Per-row aggregation cost.
+pub const COST_AGG_ROW: f64 = 0.05;
+
+/// Plans `ctx.query` for the TP engine.
+pub fn plan(ctx: &PlannerCtx) -> Result<PlanNode, OptError> {
+    // Special case: single-table top-N served directly from index order.
+    if let Some(p) = try_index_ordered_topn(ctx)? {
+        return Ok(p);
+    }
+
+    let order = ctx.join_order();
+    let mut current = access_path(ctx, order[0])?;
+    let mut joined = vec![order[0]];
+    for &next in &order[1..] {
+        current = plan_join(ctx, current, &joined, next)?;
+        joined.push(next);
+    }
+    current = apply_residuals(ctx, current);
+    finalize(ctx, current)
+}
+
+/// Index opportunity extracted from a slot's filters.
+struct IndexChoice {
+    column_idx: usize,
+    lookup: IndexLookup,
+    est_rows: f64,
+    /// Conjuncts NOT served by the index (still needed as a filter).
+    residual: Option<BoundExpr>,
+    /// Whether the index lookup answers its driving conjunct exactly.
+    /// Strict ranges (`<`, `>`) are served by an inclusive index range and
+    /// must re-check the predicate.
+    exact: bool,
+}
+
+/// Finds the best index access for `slot`, if any.
+///
+/// Only *bare-column* predicates qualify: `SUBSTRING(c_phone, 1, 2) IN (...)`
+/// cannot use the `c_phone` index — the misreading the paper's DBG-PT
+/// baseline makes.
+fn find_index_choice(ctx: &PlannerCtx, slot: usize) -> Result<Option<IndexChoice>, OptError> {
+    let def = ctx.table_def(slot)?;
+    let filters = ctx.query.filters_on(slot);
+    let n = def.row_count as f64;
+    let mut best: Option<(usize, IndexChoice)> = None; // (filter idx, choice)
+    for (fi, f) in filters.iter().enumerate() {
+        let candidate = match &f.expr {
+            BoundExpr::Binary { left, op, right } => {
+                let (col, lit, op) = match (left.as_bare_column(), right.as_ref()) {
+                    (Some(c), BoundExpr::Literal(v)) => (Some(c), Some(v.clone()), *op),
+                    _ => match (left.as_ref(), right.as_bare_column()) {
+                        (BoundExpr::Literal(v), Some(c)) => {
+                            // flip `lit OP col` into `col OP' lit`
+                            let flipped = match op {
+                                BinaryOp::Lt => BinaryOp::Gt,
+                                BinaryOp::LtEq => BinaryOp::GtEq,
+                                BinaryOp::Gt => BinaryOp::Lt,
+                                BinaryOp::GtEq => BinaryOp::LtEq,
+                                other => *other,
+                            };
+                            (Some(c), Some(v.clone()), flipped)
+                        }
+                        _ => (None, None, *op),
+                    },
+                };
+                match (col, lit, op) {
+                    (Some(c), Some(v), BinaryOp::Eq) => {
+                        Some((c, IndexLookup::Keys(vec![v]), true))
+                    }
+                    (Some(c), Some(v), BinaryOp::Lt) => Some((
+                        c,
+                        IndexLookup::Range { low: None, high: Some(v) },
+                        false, // inclusive range over-approximates `<`
+                    )),
+                    (Some(c), Some(v), BinaryOp::LtEq) => Some((
+                        c,
+                        IndexLookup::Range { low: None, high: Some(v) },
+                        true,
+                    )),
+                    (Some(c), Some(v), BinaryOp::Gt) => Some((
+                        c,
+                        IndexLookup::Range { low: Some(v), high: None },
+                        false,
+                    )),
+                    (Some(c), Some(v), BinaryOp::GtEq) => Some((
+                        c,
+                        IndexLookup::Range { low: Some(v), high: None },
+                        true,
+                    )),
+                    _ => None,
+                }
+            }
+            BoundExpr::InList { expr, list, negated: false } => expr
+                .as_bare_column()
+                .map(|c| (c, IndexLookup::Keys(list.clone()), true)),
+            BoundExpr::Between { expr, low, high } => {
+                match (expr.as_bare_column(), low.as_ref(), high.as_ref()) {
+                    (Some(c), BoundExpr::Literal(lo), BoundExpr::Literal(hi)) => Some((
+                        c,
+                        IndexLookup::Range {
+                            low: Some(lo.clone()),
+                            high: Some(hi.clone()),
+                        },
+                        true,
+                    )),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        let Some((col, lookup, exact)) = candidate else { continue };
+        let col_name = &def.columns[col.column_idx].name;
+        if !def.has_index(col_name) {
+            continue;
+        }
+        let sel = stats::selectivity(ctx.stats, ctx.query, &f.expr);
+        let est_rows = (n * sel).max(1.0);
+        // prefer the most selective index predicate; ties prefer Keys
+        let better = match &best {
+            None => true,
+            Some((_, b)) => est_rows < b.est_rows,
+        };
+        if better {
+            best = Some((
+                fi,
+                IndexChoice {
+                    column_idx: col.column_idx,
+                    lookup,
+                    est_rows,
+                    residual: None,
+                    exact,
+                },
+            ));
+        }
+    }
+    Ok(best.map(|(fi, mut choice)| {
+        // Residual = AND of the other conjuncts; inexact lookups re-check
+        // their own driving conjunct too.
+        let mut rest = filters
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != fi || !choice.exact)
+            .map(|(_, f)| f.expr.clone());
+        choice.residual = rest.next().map(|first| {
+            rest.fold(first, |acc, e| BoundExpr::Binary {
+                left: Box::new(acc),
+                op: BinaryOp::And,
+                right: Box::new(e),
+            })
+        });
+        choice
+    }))
+}
+
+/// Builds the access path (scan [+ filter]) for one table slot.
+pub fn access_path(ctx: &PlannerCtx, slot: usize) -> Result<PlanNode, OptError> {
+    let def = ctx.table_def(slot)?;
+    let n = def.row_count as f64;
+    let columns = ctx.all_columns(slot)?;
+    let table = def.name.clone();
+
+    if let Some(choice) = find_index_choice(ctx, slot)? {
+        let idx_name = def.columns[choice.column_idx].name.clone();
+        let scan_cost = (n.max(2.0)).log2() * COST_BTREE_STEP + choice.est_rows * COST_INDEX_FETCH;
+        let mut node = PlanNode::new(
+            NodeType::IndexScan,
+            PlanOp::IndexScan {
+                table_slot: slot,
+                column_idx: choice.column_idx,
+                lookup: choice.lookup,
+                columns,
+            },
+        )
+        .with_relation(&table)
+        .with_index(&idx_name)
+        .with_estimates(scan_cost, choice.est_rows);
+        if let Some(residual) = choice.residual {
+            let sel = stats::selectivity(ctx.stats, ctx.query, &residual);
+            let rows = (choice.est_rows * sel).max(1.0);
+            let cost = node.total_cost + choice.est_rows * COST_FILTER_ROW;
+            let detail = detail_of(&residual, ctx.query, ctx.catalog);
+            node = PlanNode::new(NodeType::Filter, PlanOp::Filter { predicate: residual })
+                .with_detail(detail)
+                .with_estimates(cost, rows)
+                .with_child(node);
+        }
+        return Ok(node);
+    }
+
+    let scan = PlanNode::new(
+        NodeType::TableScan,
+        PlanOp::TableScan { table_slot: slot, columns },
+    )
+    .with_relation(&table)
+    .with_estimates(n * COST_ROW_SCAN, n);
+    match ctx.combined_filter(slot) {
+        Some(pred) => {
+            let rows = ctx.filtered_card(slot);
+            let cost = scan.total_cost + n * COST_FILTER_ROW;
+            let detail = detail_of(&pred, ctx.query, ctx.catalog);
+            Ok(
+                PlanNode::new(NodeType::Filter, PlanOp::Filter { predicate: pred })
+                    .with_detail(detail)
+                    .with_estimates(cost, rows)
+                    .with_child(scan),
+            )
+        }
+        None => Ok(scan),
+    }
+}
+
+/// Chooses and builds the join of `current` with table `next`.
+fn plan_join(
+    ctx: &PlannerCtx,
+    current: PlanNode,
+    joined: &[usize],
+    next: usize,
+) -> Result<PlanNode, OptError> {
+    let conds = ctx.join_conds_with(joined, next);
+    let def = ctx.table_def(next)?;
+    let inner_n = def.row_count as f64;
+    let outer_rows = current.plan_rows.max(1.0);
+    let inner_filtered = ctx.filtered_card(next);
+    let out_rows = stats::join_cardinality(ctx.stats, ctx.query, outer_rows, inner_filtered, &conds);
+
+    // Index nested-loop: the inner join column must be indexed.
+    let indexable = conds.iter().find_map(|j| {
+        let (inner_col, outer_col) = if j.left.table_slot == next {
+            (j.left, j.right)
+        } else {
+            (j.right, j.left)
+        };
+        let name = &def.columns[inner_col.column_idx].name;
+        if def.has_index(name) {
+            Some((inner_col, outer_col, name.clone()))
+        } else {
+            None
+        }
+    });
+
+    if let Some((inner_col, outer_col, idx_name)) = indexable {
+        let residual = ctx.combined_filter(next);
+        let matches_per_probe =
+            (inner_n / def.columns[inner_col.column_idx].ndv.max(1) as f64).max(1.0);
+        let probe_cost = (inner_n.max(2.0)).log2() * COST_BTREE_STEP
+            + matches_per_probe * COST_INDEX_FETCH;
+        let cost = current.total_cost + outer_rows * probe_cost;
+        let detail = residual
+            .as_ref()
+            .map(|r| detail_of(r, ctx.query, ctx.catalog));
+        let mut probe = PlanNode::new(
+            NodeType::IndexScan,
+            PlanOp::IndexProbe {
+                table_slot: next,
+                column_idx: inner_col.column_idx,
+                residual,
+                columns: ctx.all_columns(next)?,
+            },
+        )
+        .with_relation(&def.name)
+        .with_index(idx_name)
+        .with_estimates(probe_cost, matches_per_probe);
+        if let Some(d) = detail {
+            probe = probe.with_detail(d);
+        }
+        let join_detail = format!(
+            "{} = {}",
+            col_display(ctx, outer_col),
+            col_display(ctx, inner_col)
+        );
+        return Ok(PlanNode::new(
+            NodeType::IndexNLJoin,
+            PlanOp::IndexNLJoin { outer_key: outer_col },
+        )
+        .with_detail(join_detail)
+        .with_estimates(cost, out_rows)
+        .with_child(current)
+        .with_child(probe));
+    }
+
+    // Naive nested loop over the (filtered) inner relation.
+    let inner = access_path(ctx, next)?;
+    let inner_rows = inner.plan_rows.max(1.0);
+    let cost = current.total_cost + inner.total_cost + outer_rows * inner_rows * COST_NLJ_PAIR;
+    let join_conds: Vec<JoinCond> = conds
+        .iter()
+        .map(|j| orient_cond(j, joined, next))
+        .collect();
+    let detail = if join_conds.is_empty() {
+        "cross product".to_string()
+    } else {
+        join_conds
+            .iter()
+            .map(|c| format!("{} = {}", col_display(ctx, c.left), col_display(ctx, c.right)))
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    };
+    Ok(PlanNode::new(
+        NodeType::NestedLoopJoin,
+        PlanOp::NestedLoopJoin { conds: join_conds, residual: None },
+    )
+    .with_detail(detail)
+    .with_estimates(cost, out_rows)
+    .with_child(current)
+    .with_child(inner))
+}
+
+/// Orients an equi-join condition so `left` comes from the already-joined
+/// side and `right` from the newly-added table.
+fn orient_cond(j: &qpe_sql::binder::EquiJoin, joined: &[usize], next: usize) -> JoinCond {
+    let _ = joined;
+    if j.right.table_slot == next {
+        JoinCond { left: j.left, right: j.right }
+    } else {
+        JoinCond { left: j.right, right: j.left }
+    }
+}
+
+fn col_display(ctx: &PlannerCtx, c: ColumnRef) -> String {
+    detail_of(&BoundExpr::Column(c), ctx.query, ctx.catalog)
+}
+
+/// Applies residual (multi-table, non-equi) predicates above the join tree.
+fn apply_residuals(ctx: &PlannerCtx, current: PlanNode) -> PlanNode {
+    let mut node = current;
+    for r in &ctx.query.residual_predicates {
+        let sel = stats::selectivity(ctx.stats, ctx.query, r);
+        let rows = (node.plan_rows * sel).max(1.0);
+        let cost = node.total_cost + node.plan_rows * COST_FILTER_ROW;
+        let detail = detail_of(r, ctx.query, ctx.catalog);
+        node = PlanNode::new(NodeType::Filter, PlanOp::Filter { predicate: r.clone() })
+            .with_detail(detail)
+            .with_estimates(cost, rows)
+            .with_child(node);
+    }
+    node
+}
+
+/// Estimated number of groups produced by GROUP BY.
+pub fn group_count_estimate(ctx: &PlannerCtx, input_rows: f64) -> f64 {
+    if ctx.query.group_by.is_empty() {
+        return 1.0;
+    }
+    let mut groups = 1.0;
+    for g in &ctx.query.group_by {
+        let ndv = g
+            .as_bare_column()
+            .and_then(|c| ctx.stats.column(ctx.query, c.table_slot, c.column_idx))
+            .map(|cs| cs.ndv as f64)
+            .unwrap_or(10.0);
+        groups *= ndv;
+    }
+    groups.min(input_rows).max(1.0)
+}
+
+/// Adds aggregation / sorting / limiting / projection above the join tree.
+fn finalize(ctx: &PlannerCtx, input: PlanNode) -> Result<PlanNode, OptError> {
+    let q = ctx.query;
+    let input_rows = input.plan_rows.max(1.0);
+
+    if q.aggregate_kind != AggregateKind::None {
+        let groups = group_count_estimate(ctx, input_rows);
+        // Sort-based grouping: sort cost + streaming aggregation.
+        let cost = input.total_cost
+            + input_rows * (input_rows.max(2.0)).log2() * COST_SORT_ROW
+            + input_rows * COST_AGG_ROW;
+        let outputs: Vec<AggSpec> = q
+            .projections
+            .iter()
+            .map(|p| AggSpec { expr: p.expr.clone(), label: p.label.clone() })
+            .collect();
+        let mut node = PlanNode::new(
+            NodeType::GroupAggregate,
+            PlanOp::Aggregate {
+                group_by: q.group_by.clone(),
+                outputs,
+                having: q.having.clone(),
+                hash: false,
+            },
+        )
+        .with_estimates(cost, groups)
+        .with_child(input);
+
+        if !q.order_by.is_empty() {
+            let keys = ctx.output_sort_keys()?;
+            let cost = node.total_cost + groups * (groups.max(2.0)).log2() * COST_SORT_ROW;
+            node = PlanNode::new(NodeType::Sort, PlanOp::OutputSort { keys })
+                .with_estimates(cost, groups)
+                .with_child(node);
+        }
+        if q.limit.is_some() || q.offset.is_some() {
+            let limit = q.limit.unwrap_or(u64::MAX);
+            let offset = q.offset.unwrap_or(0);
+            let rows = (node.plan_rows - offset as f64).clamp(0.0, limit as f64);
+            let cost = node.total_cost;
+            node = PlanNode::new(NodeType::Limit, PlanOp::Limit { limit, offset })
+                .with_estimates(cost, rows)
+                .with_child(node);
+        }
+        return Ok(node);
+    }
+
+    // Non-aggregate: sort / limit below a final projection.
+    let mut node = input;
+    if !q.order_by.is_empty() {
+        let keys: Vec<(BoundExpr, bool)> = q.order_by.clone();
+        let cost = node.total_cost + input_rows * (input_rows.max(2.0)).log2() * COST_SORT_ROW;
+        // TP sorts fully, then limits — it has no dedicated top-N operator
+        // (one of the engine asymmetries for top-N workloads).
+        node = PlanNode::new(NodeType::Sort, PlanOp::Sort { keys })
+            .with_estimates(cost, input_rows)
+            .with_child(node);
+    }
+    if q.limit.is_some() || q.offset.is_some() {
+        let limit = q.limit.unwrap_or(u64::MAX);
+        let offset = q.offset.unwrap_or(0);
+        let rows = (node.plan_rows - offset as f64).clamp(0.0, limit as f64);
+        node = PlanNode::new(NodeType::Limit, PlanOp::Limit { limit, offset })
+            .with_estimates(node.total_cost, rows)
+            .with_child(node);
+    }
+    let exprs: Vec<BoundExpr> = q.projections.iter().map(|p| p.expr.clone()).collect();
+    let labels: Vec<String> = q.projections.iter().map(|p| p.label.clone()).collect();
+    let rows = node.plan_rows;
+    let cost = node.total_cost + rows * COST_FILTER_ROW;
+    Ok(
+        PlanNode::new(NodeType::Projection, PlanOp::Projection { exprs, labels })
+            .with_estimates(cost, rows)
+            .with_child(node),
+    )
+}
+
+/// If the query is a single-table top-N whose sort key has a B-tree index,
+/// serve it in index order (scan stops after limit+offset matching rows).
+fn try_index_ordered_topn(ctx: &PlannerCtx) -> Result<Option<PlanNode>, OptError> {
+    let q = ctx.query;
+    if q.tables.len() != 1
+        || !q.is_top_n()
+        || q.order_by.len() != 1
+        || q.aggregate_kind != AggregateKind::None
+    {
+        return Ok(None);
+    }
+    let (key, desc) = &q.order_by[0];
+    let Some(col) = key.as_bare_column() else {
+        return Ok(None);
+    };
+    let def = ctx.table_def(0)?;
+    let col_name = &def.columns[col.column_idx].name;
+    if !def.has_index(col_name) {
+        return Ok(None);
+    }
+    let n = def.row_count as f64;
+    let limit = q.limit.unwrap_or(0);
+    let offset = q.offset.unwrap_or(0);
+    let filter = ctx.combined_filter(0);
+    let sel: f64 = q
+        .filters_on(0)
+        .iter()
+        .map(|f| stats::selectivity(ctx.stats, ctx.query, &f.expr))
+        .product();
+    // Expected rows examined before (limit+offset) matches accumulate.
+    let need = (limit + offset) as f64;
+    let scanned = (need / sel.max(1e-6)).min(n);
+    let scan_cost = (n.max(2.0)).log2() * COST_BTREE_STEP + scanned * COST_INDEX_FETCH;
+    let mut node = PlanNode::new(
+        NodeType::IndexScan,
+        PlanOp::IndexScan {
+            table_slot: 0,
+            column_idx: col.column_idx,
+            lookup: IndexLookup::Ordered { descending: *desc },
+            columns: ctx.all_columns(0)?,
+        },
+    )
+    .with_relation(&def.name)
+    .with_index(col_name)
+    .with_detail(format!(
+        "index order {} ({})",
+        col_name,
+        if *desc { "DESC" } else { "ASC" }
+    ))
+    .with_estimates(scan_cost, scanned.max(1.0));
+    if let Some(pred) = filter {
+        let detail = detail_of(&pred, ctx.query, ctx.catalog);
+        let cost = node.total_cost + scanned * COST_FILTER_ROW;
+        node = PlanNode::new(NodeType::Filter, PlanOp::Filter { predicate: pred })
+            .with_detail(detail)
+            .with_estimates(cost, need.min(n))
+            .with_child(node);
+    }
+    node = PlanNode::new(
+        NodeType::Limit,
+        PlanOp::Limit { limit, offset },
+    )
+    .with_estimates(node.total_cost, limit as f64)
+    .with_child(node);
+    let exprs: Vec<BoundExpr> = q.projections.iter().map(|p| p.expr.clone()).collect();
+    let labels: Vec<String> = q.projections.iter().map(|p| p.label.clone()).collect();
+    let rows = node.plan_rows;
+    Ok(Some(
+        PlanNode::new(NodeType::Projection, PlanOp::Projection { exprs, labels })
+            .with_estimates(node.total_cost + rows * COST_FILTER_ROW, rows)
+            .with_child(node),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DbStats;
+    use crate::tpch::{generate, TpchConfig};
+    use qpe_sql::binder::Binder;
+    use qpe_sql::catalog::MemoryCatalog;
+
+    fn setup() -> (MemoryCatalog, DbStats) {
+        let (catalog, tables) = generate(&TpchConfig::with_scale(0.002));
+        let mut stats = DbStats::new();
+        for t in &tables {
+            stats.insert(crate::stats::TableStats::collect(&t.name, &t.columns));
+        }
+        (catalog, stats)
+    }
+
+    fn plan_sql(sql: &str) -> PlanNode {
+        let (catalog, stats) = setup();
+        let q = Binder::new(&catalog).bind_sql(sql).unwrap();
+        let ctx = PlannerCtx::new(&q, &stats, &catalog);
+        plan(&ctx).unwrap()
+    }
+
+    #[test]
+    fn example1_uses_nested_loops_not_index() {
+        // No index serves SUBSTRING(c_phone,..) or the other predicates.
+        let p = plan_sql(
+            "SELECT COUNT(*) FROM customer, nation, orders \
+             WHERE SUBSTRING(c_phone, 1, 2) IN ('20', '40') \
+             AND c_mktsegment = 'machinery' \
+             AND n_name = 'egypt' AND o_orderstatus = 'p' \
+             AND o_custkey = c_custkey AND n_nationkey = c_nationkey",
+        );
+        assert_eq!(p.node_type, NodeType::GroupAggregate);
+        // joins on c_custkey (customer PK) and o_custkey: customer side is
+        // indexable via its PK, so at least one index NLJ may appear; the
+        // plan must contain two joins total and no hash joins.
+        let joins = p.count_type(NodeType::NestedLoopJoin) + p.count_type(NodeType::IndexNLJoin);
+        assert_eq!(joins, 2);
+        assert_eq!(p.count_type(NodeType::HashJoin), 0);
+    }
+
+    #[test]
+    fn equality_on_pk_uses_index_scan() {
+        let p = plan_sql("SELECT * FROM customer WHERE c_custkey = 42");
+        assert_eq!(p.count_type(NodeType::IndexScan), 1);
+        assert_eq!(p.count_type(NodeType::TableScan), 0);
+    }
+
+    #[test]
+    fn substring_predicate_cannot_use_index() {
+        // c_phone IS indexed (default config), but SUBSTRING disqualifies it.
+        let p = plan_sql(
+            "SELECT * FROM customer WHERE SUBSTRING(c_phone, 1, 2) = '20'",
+        );
+        assert_eq!(p.count_type(NodeType::IndexScan), 0);
+        assert_eq!(p.count_type(NodeType::TableScan), 1);
+    }
+
+    #[test]
+    fn bare_phone_equality_uses_index() {
+        let p = plan_sql("SELECT * FROM customer WHERE c_phone = '20-123-456-7890'");
+        assert_eq!(p.count_type(NodeType::IndexScan), 1);
+    }
+
+    #[test]
+    fn range_predicate_uses_index_range() {
+        let p = plan_sql("SELECT * FROM orders WHERE o_orderkey BETWEEN 10 AND 20");
+        assert_eq!(p.count_type(NodeType::IndexScan), 1);
+    }
+
+    #[test]
+    fn join_to_pk_side_uses_index_nlj() {
+        // The selective orders filter makes orders the outer side, so the
+        // join probes customer's primary-key index.
+        let p = plan_sql(
+            "SELECT COUNT(*) FROM orders, customer \
+             WHERE o_custkey = c_custkey AND o_orderkey < 50",
+        );
+        assert_eq!(p.count_type(NodeType::IndexNLJoin), 1);
+    }
+
+    #[test]
+    fn top_n_with_index_on_key_uses_ordered_scan() {
+        let p = plan_sql(
+            "SELECT o_orderkey FROM orders ORDER BY o_orderkey DESC LIMIT 10",
+        );
+        assert_eq!(p.count_type(NodeType::IndexScan), 1);
+        assert_eq!(p.count_type(NodeType::Sort), 0);
+        assert_eq!(p.count_type(NodeType::Limit), 1);
+    }
+
+    #[test]
+    fn top_n_without_index_sorts_fully() {
+        let p = plan_sql(
+            "SELECT o_orderkey FROM orders ORDER BY o_totalprice DESC LIMIT 10",
+        );
+        assert_eq!(p.count_type(NodeType::Sort), 1);
+        assert_eq!(p.count_type(NodeType::Limit), 1);
+    }
+
+    #[test]
+    fn grouped_aggregate_orders_by_output() {
+        let p = plan_sql(
+            "SELECT c_mktsegment, COUNT(*) FROM customer \
+             GROUP BY c_mktsegment ORDER BY c_mktsegment LIMIT 3",
+        );
+        assert_eq!(p.node_type, NodeType::Limit);
+        assert_eq!(p.children[0].node_type, NodeType::Sort);
+        assert_eq!(p.children[0].children[0].node_type, NodeType::GroupAggregate);
+    }
+
+    #[test]
+    fn costs_are_monotone_up_the_tree() {
+        let p = plan_sql(
+            "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey",
+        );
+        fn check(n: &PlanNode) {
+            for c in &n.children {
+                assert!(
+                    n.total_cost >= c.total_cost,
+                    "{} cost {} < child {} cost {}",
+                    n.node_type,
+                    n.total_cost,
+                    c.node_type,
+                    c.total_cost
+                );
+                check(c);
+            }
+        }
+        check(&p);
+    }
+
+    #[test]
+    fn projection_caps_non_aggregate_plans() {
+        let p = plan_sql("SELECT c_name FROM customer WHERE c_custkey < 10");
+        assert_eq!(p.node_type, NodeType::Projection);
+    }
+}

@@ -1,0 +1,183 @@
+//! B-tree secondary indexes for the row store.
+//!
+//! Indexes map a column value to the row ids holding it. The TP optimizer
+//! uses them for equality/IN lookups and for ordered (range / top-N) access;
+//! the AP engine deliberately has none — the asymmetry the paper's expert
+//! explanations repeatedly hinge on ("TP has to use nested loop join with no
+//! index available").
+
+use qpe_sql::value::Value;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A total-order wrapper so [`Value`] can key a `BTreeMap`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyVal(pub Value);
+
+impl Eq for KeyVal {}
+
+impl PartialOrd for KeyVal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for KeyVal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A B-tree index from column value to row ids (row ids ascending).
+#[derive(Debug, Default)]
+pub struct BTreeIndex {
+    map: BTreeMap<KeyVal, Vec<u32>>,
+    entries: usize,
+}
+
+impl BTreeIndex {
+    /// Builds an index over `values`, where position = row id.
+    pub fn build(values: &[Value]) -> Self {
+        let mut map: BTreeMap<KeyVal, Vec<u32>> = BTreeMap::new();
+        for (rid, v) in values.iter().enumerate() {
+            map.entry(KeyVal(v.clone())).or_default().push(rid as u32);
+        }
+        let entries = values.len();
+        BTreeIndex { map, entries }
+    }
+
+    /// Row ids with exactly this key.
+    pub fn lookup(&self, key: &Value) -> &[u32] {
+        self.map
+            .get(&KeyVal(key.clone()))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Row ids for any of `keys` (deduplicated, ascending).
+    pub fn lookup_many(&self, keys: &[Value]) -> Vec<u32> {
+        let mut out: Vec<u32> = keys.iter().flat_map(|k| self.lookup(k).iter().copied()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Row ids whose key lies in `[low, high]` (either bound optional).
+    pub fn range(&self, low: Option<&Value>, high: Option<&Value>) -> Vec<u32> {
+        let lo = match low {
+            Some(v) => Bound::Included(KeyVal(v.clone())),
+            None => Bound::Unbounded,
+        };
+        let hi = match high {
+            Some(v) => Bound::Included(KeyVal(v.clone())),
+            None => Bound::Unbounded,
+        };
+        self.map
+            .range((lo, hi))
+            .flat_map(|(_, rids)| rids.iter().copied())
+            .collect()
+    }
+
+    /// Row ids in key order (ascending or descending) — used for
+    /// index-ordered top-N scans.
+    pub fn ordered_row_ids(&self, descending: bool) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.entries);
+        if descending {
+            for (_, rids) in self.map.iter().rev() {
+                out.extend_from_slice(rids);
+            }
+        } else {
+            for rids in self.map.values() {
+                out.extend_from_slice(rids);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when no rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BTreeIndex {
+        BTreeIndex::build(&[
+            Value::Int(5),
+            Value::Int(3),
+            Value::Int(5),
+            Value::Int(1),
+            Value::Int(4),
+        ])
+    }
+
+    #[test]
+    fn lookup_finds_all_duplicates() {
+        let idx = sample();
+        assert_eq!(idx.lookup(&Value::Int(5)), &[0, 2]);
+        assert_eq!(idx.lookup(&Value::Int(99)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn lookup_many_dedups_and_sorts() {
+        let idx = sample();
+        let rids = idx.lookup_many(&[Value::Int(5), Value::Int(1), Value::Int(5)]);
+        assert_eq!(rids, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let idx = sample();
+        let rids = idx.range(Some(&Value::Int(3)), Some(&Value::Int(5)));
+        // keys 3,4,5 → rows 1,4,0,2 in key order
+        assert_eq!(rids, vec![1, 4, 0, 2]);
+    }
+
+    #[test]
+    fn open_ranges() {
+        let idx = sample();
+        assert_eq!(idx.range(None, Some(&Value::Int(1))), vec![3]);
+        assert_eq!(idx.range(Some(&Value::Int(5)), None), vec![0, 2]);
+        assert_eq!(idx.range(None, None).len(), 5);
+    }
+
+    #[test]
+    fn ordered_row_ids_both_directions() {
+        let idx = sample();
+        assert_eq!(idx.ordered_row_ids(false), vec![3, 1, 4, 0, 2]);
+        assert_eq!(idx.ordered_row_ids(true), vec![0, 2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn counts() {
+        let idx = sample();
+        assert_eq!(idx.distinct_keys(), 4);
+        assert_eq!(idx.len(), 5);
+        assert!(!idx.is_empty());
+        assert!(BTreeIndex::build(&[]).is_empty());
+    }
+
+    #[test]
+    fn string_keys_order_lexicographically() {
+        let idx = BTreeIndex::build(&[
+            Value::Str("b".into()),
+            Value::Str("a".into()),
+            Value::Str("c".into()),
+        ]);
+        assert_eq!(idx.ordered_row_ids(false), vec![1, 0, 2]);
+    }
+}

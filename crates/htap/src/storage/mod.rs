@@ -1,0 +1,86 @@
+//! Dual-format storage: a row store with B-tree indexes (TP side) and a
+//! column store (AP side), both loaded from the same generated data.
+//!
+//! The paper's ByteHTAP keeps a row-oriented copy for the TP engine and a
+//! column-oriented copy for the AP engine with high data freshness; here both
+//! copies are built once at load time and are immutable afterwards (the
+//! explanation framework only ever reads).
+
+pub mod col_store;
+pub mod index;
+pub mod row_store;
+
+pub use col_store::{ColumnData, ColumnTable};
+pub use index::{BTreeIndex, KeyVal};
+pub use row_store::RowTable;
+
+use crate::tpch::GeneratedTable;
+use qpe_sql::catalog::TableDef;
+
+/// Both physical representations of one logical table.
+#[derive(Debug)]
+pub struct StoredTable {
+    /// Row-oriented copy with indexes (TP engine).
+    pub rows: RowTable,
+    /// Column-oriented copy (AP engine).
+    pub cols: ColumnTable,
+}
+
+impl StoredTable {
+    /// Builds both representations from generated column-major data.
+    pub fn load(def: &TableDef, data: &GeneratedTable) -> Self {
+        let cols = ColumnTable::from_columns(&def.name, &data.columns);
+        let rows = RowTable::from_columns(def, &data.columns);
+        StoredTable { rows, cols }
+    }
+
+    /// Row count (identical in both representations).
+    pub fn row_count(&self) -> usize {
+        self.rows.row_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpe_sql::catalog::{ColumnDef, DataType};
+    use qpe_sql::value::Value;
+
+    fn tiny_table() -> (TableDef, GeneratedTable) {
+        let def = TableDef {
+            name: "t".into(),
+            columns: vec![
+                ColumnDef { name: "k".into(), data_type: DataType::Int, ndv: 4 },
+                ColumnDef { name: "s".into(), data_type: DataType::Str, ndv: 2 },
+            ],
+            row_count: 4,
+            indexed_columns: vec!["s".into()],
+            primary_key: "k".into(),
+        };
+        let data = GeneratedTable {
+            name: "t".into(),
+            columns: vec![
+                vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)],
+                vec![
+                    Value::Str("a".into()),
+                    Value::Str("b".into()),
+                    Value::Str("a".into()),
+                    Value::Str("b".into()),
+                ],
+            ],
+        };
+        (def, data)
+    }
+
+    #[test]
+    fn both_representations_agree() {
+        let (def, data) = tiny_table();
+        let st = StoredTable::load(&def, &data);
+        assert_eq!(st.row_count(), 4);
+        for r in 0..4 {
+            for c in 0..2 {
+                assert_eq!(st.rows.row(r)[c], st.cols.value(c, r));
+            }
+        }
+    }
+}

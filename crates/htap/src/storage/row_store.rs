@@ -1,0 +1,159 @@
+//! Row-oriented storage for the TP engine.
+//!
+//! Rows are materialized `Vec<Value>` tuples; every access touches the whole
+//! row (the latency model charges full tuple width per row read), which is
+//! what makes wide analytical scans expensive on this side.
+
+use super::index::BTreeIndex;
+use crate::tpch::GeneratedTable;
+use qpe_sql::catalog::TableDef;
+use qpe_sql::value::Value;
+use std::collections::HashMap;
+
+/// A row-store table: tuples plus B-tree indexes on the primary key and any
+/// declared secondary columns.
+#[derive(Debug)]
+pub struct RowTable {
+    name: String,
+    rows: Vec<Vec<Value>>,
+    /// column index -> B-tree index
+    indexes: HashMap<usize, BTreeIndex>,
+    width: usize,
+}
+
+impl RowTable {
+    /// Builds the table (and its indexes) from column-major data.
+    pub fn from_columns(def: &TableDef, columns: &[Vec<Value>]) -> Self {
+        let n = columns.first().map(|c| c.len()).unwrap_or(0);
+        let width = columns.len();
+        let mut rows = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut row = Vec::with_capacity(width);
+            for col in columns {
+                row.push(col[r].clone());
+            }
+            rows.push(row);
+        }
+        let mut indexes = HashMap::new();
+        for (ci, col) in def.columns.iter().enumerate() {
+            if def.has_index(&col.name) {
+                indexes.insert(ci, BTreeIndex::build(&columns[ci]));
+            }
+        }
+        RowTable {
+            name: def.name.clone(),
+            rows,
+            indexes,
+            width,
+        }
+    }
+
+    /// Loads from a [`GeneratedTable`] (convenience for tests).
+    pub fn from_generated(def: &TableDef, data: &GeneratedTable) -> Self {
+        Self::from_columns(def, &data.columns)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Borrow a full row by id.
+    pub fn row(&self, rid: usize) -> &[Value] {
+        &self.rows[rid]
+    }
+
+    /// All rows (sequential scan order).
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// The B-tree index on column `ci`, if one exists.
+    pub fn index_on(&self, ci: usize) -> Option<&BTreeIndex> {
+        self.indexes.get(&ci)
+    }
+
+    /// Column indexes that have B-tree indexes.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.indexes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Adds a secondary index at runtime (mirrors the paper's "an additional
+    /// index has been created on c_phone" user context).
+    pub fn create_index(&mut self, ci: usize) {
+        if self.indexes.contains_key(&ci) {
+            return;
+        }
+        let col: Vec<Value> = self.rows.iter().map(|r| r[ci].clone()).collect();
+        self.indexes.insert(ci, BTreeIndex::build(&col));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpe_sql::catalog::{ColumnDef, DataType};
+
+    fn def() -> TableDef {
+        TableDef {
+            name: "t".into(),
+            columns: vec![
+                ColumnDef { name: "k".into(), data_type: DataType::Int, ndv: 3 },
+                ColumnDef { name: "v".into(), data_type: DataType::Str, ndv: 3 },
+            ],
+            row_count: 3,
+            indexed_columns: vec![],
+            primary_key: "k".into(),
+        }
+    }
+
+    fn data() -> Vec<Vec<Value>> {
+        vec![
+            vec![Value::Int(10), Value::Int(20), Value::Int(30)],
+            vec![
+                Value::Str("x".into()),
+                Value::Str("y".into()),
+                Value::Str("z".into()),
+            ],
+        ]
+    }
+
+    #[test]
+    fn builds_rows_from_columns() {
+        let t = RowTable::from_columns(&def(), &data());
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.row(1), &[Value::Int(20), Value::Str("y".into())]);
+        assert_eq!(t.name(), "t");
+    }
+
+    #[test]
+    fn primary_key_is_indexed_automatically() {
+        let t = RowTable::from_columns(&def(), &data());
+        assert_eq!(t.indexed_columns(), vec![0]);
+        assert_eq!(t.index_on(0).unwrap().lookup(&Value::Int(20)), &[1]);
+        assert!(t.index_on(1).is_none());
+    }
+
+    #[test]
+    fn create_index_at_runtime() {
+        let mut t = RowTable::from_columns(&def(), &data());
+        t.create_index(1);
+        assert_eq!(t.index_on(1).unwrap().lookup(&Value::Str("z".into())), &[2]);
+        // idempotent
+        t.create_index(1);
+        assert_eq!(t.indexed_columns(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,572 @@
+//! TPC-H schema and deterministic synthetic data generation.
+//!
+//! The paper's knowledge base and test workloads are synthesized over the
+//! TPC-H schema (Section IV), executed on a 100 GB instance. We generate the
+//! same eight tables at a configurable scale factor; experiments default to a
+//! laptop-scale factor while the latency model reports paper-scale shapes.
+//!
+//! Generation is fully deterministic: each table derives its own seed from
+//! [`TpchConfig::seed`], so regenerating any one table is reproducible
+//! independently of the others.
+
+use qpe_sql::catalog::{ColumnDef, DataType, MemoryCatalog, TableDef};
+use qpe_sql::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The 25 TPC-H nation names (lowercased, as the paper's Example 1 queries
+/// them: `n_name = 'egypt'`).
+pub const NATIONS: [&str; 25] = [
+    "algeria", "argentina", "brazil", "canada", "egypt", "ethiopia", "france", "germany",
+    "india", "indonesia", "iran", "iraq", "japan", "jordan", "kenya", "morocco", "mozambique",
+    "peru", "china", "romania", "saudi arabia", "vietnam", "russia", "united kingdom",
+    "united states",
+];
+
+/// The five TPC-H regions.
+pub const REGIONS: [&str; 5] = ["africa", "america", "asia", "europe", "middle east"];
+
+/// The five market segments (lowercased; Example 1 uses `'machinery'`).
+pub const MKT_SEGMENTS: [&str; 5] =
+    ["automobile", "building", "furniture", "machinery", "household"];
+
+/// Order status domain. TPC-H uses `F`, `O`, `P`; the paper's Example 1
+/// filters `o_orderstatus = 'p'`, the rarest status.
+pub const ORDER_STATUS: [&str; 3] = ["f", "o", "p"];
+
+/// Order priorities.
+pub const ORDER_PRIORITIES: [&str; 5] =
+    ["1-urgent", "2-high", "3-medium", "4-not specified", "5-low"];
+
+/// Part type adjectives used to build `p_type`.
+pub const PART_TYPES: [&str; 6] = ["standard", "small", "medium", "large", "economy", "promo"];
+
+/// Configuration for the generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TpchConfig {
+    /// Scale factor. SF 1.0 is the canonical 1 GB TPC-H (customer 150k rows,
+    /// orders 1.5M, lineitem ~6M). Experiments default to 0.01.
+    pub scale_factor: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Extra secondary indexes to create on the TP side, as
+    /// `(table, column)` pairs. The paper's running example adds an index on
+    /// `customer.c_phone`.
+    pub extra_indexes: Vec<(String, String)>,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale_factor: 0.01,
+            seed: 42,
+            extra_indexes: vec![("customer".into(), "c_phone".into())],
+        }
+    }
+}
+
+impl TpchConfig {
+    /// Configuration with a given scale factor and default seed/indexes.
+    pub fn with_scale(scale_factor: f64) -> Self {
+        TpchConfig {
+            scale_factor,
+            ..Default::default()
+        }
+    }
+
+    fn rows(&self, base: u64) -> u64 {
+        ((base as f64 * self.scale_factor).round() as u64).max(1)
+    }
+
+    /// Row counts per table at this scale factor.
+    pub fn cardinalities(&self) -> TableCardinalities {
+        TableCardinalities {
+            region: 5,
+            nation: 25,
+            supplier: self.rows(10_000),
+            part: self.rows(200_000),
+            partsupp: self.rows(800_000),
+            customer: self.rows(150_000),
+            orders: self.rows(1_500_000),
+            lineitem: self.rows(6_000_000),
+        }
+    }
+}
+
+/// Row counts for the eight tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableCardinalities {
+    /// `region` rows (always 5).
+    pub region: u64,
+    /// `nation` rows (always 25).
+    pub nation: u64,
+    /// `supplier` rows.
+    pub supplier: u64,
+    /// `part` rows.
+    pub part: u64,
+    /// `partsupp` rows.
+    pub partsupp: u64,
+    /// `customer` rows.
+    pub customer: u64,
+    /// `orders` rows.
+    pub orders: u64,
+    /// `lineitem` rows.
+    pub lineitem: u64,
+}
+
+/// A generated table: name plus column-major data.
+#[derive(Debug, Clone)]
+pub struct GeneratedTable {
+    /// Table name.
+    pub name: String,
+    /// Column-major values; `columns[i][r]` is row `r` of column `i`.
+    pub columns: Vec<Vec<Value>>,
+}
+
+impl GeneratedTable {
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+}
+
+/// Generates the full eight-table TPC-H dataset plus its catalog.
+pub fn generate(config: &TpchConfig) -> (MemoryCatalog, Vec<GeneratedTable>) {
+    let card = config.cardinalities();
+    let tables = vec![
+        gen_region(),
+        gen_nation(),
+        gen_supplier(config, card.supplier),
+        gen_part(config, card.part),
+        gen_partsupp(config, card.partsupp, card.part, card.supplier),
+        gen_customer(config, card.customer),
+        gen_orders(config, card.orders, card.customer),
+        gen_lineitem(config, card.lineitem, card.orders, card.part, card.supplier),
+    ];
+    let mut catalog = MemoryCatalog::new();
+    for t in &tables {
+        catalog.add_table(table_def(&t.name, t, config));
+    }
+    (catalog, tables)
+}
+
+/// Derives a per-table RNG from the master seed so tables are independent.
+fn table_rng(config: &TpchConfig, table: &str) -> StdRng {
+    let mut seed = config.seed;
+    for b in table.bytes() {
+        seed = seed.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+fn gen_region() -> GeneratedTable {
+    let keys: Vec<Value> = (0..5).map(Value::Int).collect();
+    let names: Vec<Value> = REGIONS.iter().map(|s| Value::Str(s.to_string())).collect();
+    GeneratedTable {
+        name: "region".into(),
+        columns: vec![keys, names],
+    }
+}
+
+fn gen_nation() -> GeneratedTable {
+    let keys: Vec<Value> = (0..25).map(Value::Int).collect();
+    let names: Vec<Value> = NATIONS.iter().map(|s| Value::Str(s.to_string())).collect();
+    let regions: Vec<Value> = (0..25).map(|i| Value::Int(i % 5)).collect();
+    GeneratedTable {
+        name: "nation".into(),
+        columns: vec![keys, names, regions],
+    }
+}
+
+fn gen_supplier(config: &TpchConfig, n: u64) -> GeneratedTable {
+    let mut rng = table_rng(config, "supplier");
+    let mut keys = Vec::with_capacity(n as usize);
+    let mut names = Vec::with_capacity(n as usize);
+    let mut nations = Vec::with_capacity(n as usize);
+    let mut acctbals = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        keys.push(Value::Int(i as i64 + 1));
+        names.push(Value::Str(format!("supplier#{:09}", i + 1)));
+        nations.push(Value::Int(rng.gen_range(0..25)));
+        acctbals.push(Value::Float(round2(rng.gen_range(-999.99..9999.99))));
+    }
+    GeneratedTable {
+        name: "supplier".into(),
+        columns: vec![keys, names, nations, acctbals],
+    }
+}
+
+fn gen_part(config: &TpchConfig, n: u64) -> GeneratedTable {
+    let mut rng = table_rng(config, "part");
+    let mut keys = Vec::with_capacity(n as usize);
+    let mut names = Vec::with_capacity(n as usize);
+    let mut types = Vec::with_capacity(n as usize);
+    let mut sizes = Vec::with_capacity(n as usize);
+    let mut prices = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        keys.push(Value::Int(i as i64 + 1));
+        names.push(Value::Str(format!("part#{:09}", i + 1)));
+        let ty = PART_TYPES[rng.gen_range(0..PART_TYPES.len())];
+        types.push(Value::Str(ty.to_string()));
+        sizes.push(Value::Int(rng.gen_range(1..=50)));
+        // TPC-H retail price formula gives prices ~ [901, 2098]
+        prices.push(Value::Float(round2(
+            900.0 + ((i % 1000) as f64) / 10.0 + rng.gen_range(0.0..200.0),
+        )));
+    }
+    GeneratedTable {
+        name: "part".into(),
+        columns: vec![keys, names, types, sizes, prices],
+    }
+}
+
+fn gen_partsupp(config: &TpchConfig, n: u64, parts: u64, suppliers: u64) -> GeneratedTable {
+    let mut rng = table_rng(config, "partsupp");
+    let mut pkeys = Vec::with_capacity(n as usize);
+    let mut skeys = Vec::with_capacity(n as usize);
+    let mut qtys = Vec::with_capacity(n as usize);
+    let mut costs = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        pkeys.push(Value::Int((i % parts) as i64 + 1));
+        skeys.push(Value::Int(rng.gen_range(0..suppliers) as i64 + 1));
+        qtys.push(Value::Int(rng.gen_range(1..10_000)));
+        costs.push(Value::Float(round2(rng.gen_range(1.0..1000.0))));
+    }
+    GeneratedTable {
+        name: "partsupp".into(),
+        columns: vec![pkeys, skeys, qtys, costs],
+    }
+}
+
+fn gen_customer(config: &TpchConfig, n: u64) -> GeneratedTable {
+    let mut rng = table_rng(config, "customer");
+    let mut keys = Vec::with_capacity(n as usize);
+    let mut names = Vec::with_capacity(n as usize);
+    let mut nations = Vec::with_capacity(n as usize);
+    let mut phones = Vec::with_capacity(n as usize);
+    let mut acctbals = Vec::with_capacity(n as usize);
+    let mut segments = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        keys.push(Value::Int(i as i64 + 1));
+        names.push(Value::Str(format!("customer#{:09}", i + 1)));
+        let nation = rng.gen_range(0..25i64);
+        nations.push(Value::Int(nation));
+        // Phone country codes span 10..45 so that the paper's Example 1
+        // prefixes ('20','40','22','30','39','42','21') are selective but
+        // non-empty regardless of nation distribution.
+        let cc = 10 + rng.gen_range(0..35i64);
+        phones.push(Value::Str(format!(
+            "{}-{:03}-{:03}-{:04}",
+            cc,
+            rng.gen_range(100..1000),
+            rng.gen_range(100..1000),
+            rng.gen_range(1000..10000)
+        )));
+        acctbals.push(Value::Float(round2(rng.gen_range(-999.99..9999.99))));
+        segments.push(Value::Str(
+            MKT_SEGMENTS[rng.gen_range(0..MKT_SEGMENTS.len())].to_string(),
+        ));
+    }
+    GeneratedTable {
+        name: "customer".into(),
+        columns: vec![keys, names, nations, phones, acctbals, segments],
+    }
+}
+
+fn gen_orders(config: &TpchConfig, n: u64, customers: u64) -> GeneratedTable {
+    let mut rng = table_rng(config, "orders");
+    let mut keys = Vec::with_capacity(n as usize);
+    let mut custs = Vec::with_capacity(n as usize);
+    let mut statuses = Vec::with_capacity(n as usize);
+    let mut prices = Vec::with_capacity(n as usize);
+    let mut dates = Vec::with_capacity(n as usize);
+    let mut priorities = Vec::with_capacity(n as usize);
+    // Dates span 1992-01-01 .. 1998-08-02 as in TPC-H.
+    let date_lo = qpe_sql::parser::parse_date("1992-01-01").unwrap();
+    let date_hi = qpe_sql::parser::parse_date("1998-08-02").unwrap();
+    for i in 0..n {
+        keys.push(Value::Int(i as i64 + 1));
+        custs.push(Value::Int(rng.gen_range(0..customers) as i64 + 1));
+        // TPC-H status distribution: ~49% F, ~49% O, ~2% P ("pending" is the
+        // rare status Example 1 selects).
+        let r: f64 = rng.gen();
+        let status = if r < 0.49 {
+            "f"
+        } else if r < 0.98 {
+            "o"
+        } else {
+            "p"
+        };
+        statuses.push(Value::Str(status.to_string()));
+        prices.push(Value::Float(round2(rng.gen_range(850.0..500_000.0))));
+        dates.push(Value::Date(rng.gen_range(date_lo..=date_hi)));
+        priorities.push(Value::Str(
+            ORDER_PRIORITIES[rng.gen_range(0..ORDER_PRIORITIES.len())].to_string(),
+        ));
+    }
+    GeneratedTable {
+        name: "orders".into(),
+        columns: vec![keys, custs, statuses, prices, dates, priorities],
+    }
+}
+
+fn gen_lineitem(
+    config: &TpchConfig,
+    n: u64,
+    orders: u64,
+    parts: u64,
+    suppliers: u64,
+) -> GeneratedTable {
+    let mut rng = table_rng(config, "lineitem");
+    let mut okeys = Vec::with_capacity(n as usize);
+    let mut pkeys = Vec::with_capacity(n as usize);
+    let mut skeys = Vec::with_capacity(n as usize);
+    let mut qtys = Vec::with_capacity(n as usize);
+    let mut prices = Vec::with_capacity(n as usize);
+    let mut discounts = Vec::with_capacity(n as usize);
+    let mut shipdates = Vec::with_capacity(n as usize);
+    let mut statuses = Vec::with_capacity(n as usize);
+    let date_lo = qpe_sql::parser::parse_date("1992-01-02").unwrap();
+    let date_hi = qpe_sql::parser::parse_date("1998-12-01").unwrap();
+    for _ in 0..n {
+        okeys.push(Value::Int(rng.gen_range(0..orders) as i64 + 1));
+        pkeys.push(Value::Int(rng.gen_range(0..parts) as i64 + 1));
+        skeys.push(Value::Int(rng.gen_range(0..suppliers) as i64 + 1));
+        qtys.push(Value::Int(rng.gen_range(1..=50)));
+        prices.push(Value::Float(round2(rng.gen_range(900.0..105_000.0))));
+        discounts.push(Value::Float(round2(rng.gen_range(0.0..0.10))));
+        shipdates.push(Value::Date(rng.gen_range(date_lo..=date_hi)));
+        statuses.push(Value::Str(
+            if rng.gen_bool(0.5) { "o" } else { "f" }.to_string(),
+        ));
+    }
+    GeneratedTable {
+        name: "lineitem".into(),
+        columns: vec![
+            okeys, pkeys, skeys, qtys, prices, discounts, shipdates, statuses,
+        ],
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Schema metadata (column names, types, primary keys) per table.
+pub fn schema_columns(table: &str) -> Vec<(&'static str, DataType)> {
+    match table {
+        "region" => vec![("r_regionkey", DataType::Int), ("r_name", DataType::Str)],
+        "nation" => vec![
+            ("n_nationkey", DataType::Int),
+            ("n_name", DataType::Str),
+            ("n_regionkey", DataType::Int),
+        ],
+        "supplier" => vec![
+            ("s_suppkey", DataType::Int),
+            ("s_name", DataType::Str),
+            ("s_nationkey", DataType::Int),
+            ("s_acctbal", DataType::Float),
+        ],
+        "part" => vec![
+            ("p_partkey", DataType::Int),
+            ("p_name", DataType::Str),
+            ("p_type", DataType::Str),
+            ("p_size", DataType::Int),
+            ("p_retailprice", DataType::Float),
+        ],
+        "partsupp" => vec![
+            ("ps_partkey", DataType::Int),
+            ("ps_suppkey", DataType::Int),
+            ("ps_availqty", DataType::Int),
+            ("ps_supplycost", DataType::Float),
+        ],
+        "customer" => vec![
+            ("c_custkey", DataType::Int),
+            ("c_name", DataType::Str),
+            ("c_nationkey", DataType::Int),
+            ("c_phone", DataType::Str),
+            ("c_acctbal", DataType::Float),
+            ("c_mktsegment", DataType::Str),
+        ],
+        "orders" => vec![
+            ("o_orderkey", DataType::Int),
+            ("o_custkey", DataType::Int),
+            ("o_orderstatus", DataType::Str),
+            ("o_totalprice", DataType::Float),
+            ("o_orderdate", DataType::Date),
+            ("o_orderpriority", DataType::Str),
+        ],
+        "lineitem" => vec![
+            ("l_orderkey", DataType::Int),
+            ("l_partkey", DataType::Int),
+            ("l_suppkey", DataType::Int),
+            ("l_quantity", DataType::Int),
+            ("l_extendedprice", DataType::Float),
+            ("l_discount", DataType::Float),
+            ("l_shipdate", DataType::Date),
+            ("l_linestatus", DataType::Str),
+        ],
+        other => panic!("unknown TPC-H table {other}"),
+    }
+}
+
+/// Primary key column per table. `partsupp` and `lineitem` have composite
+/// physical keys in real TPC-H; we index their leading column.
+pub fn primary_key(table: &str) -> &'static str {
+    match table {
+        "region" => "r_regionkey",
+        "nation" => "n_nationkey",
+        "supplier" => "s_suppkey",
+        "part" => "p_partkey",
+        "partsupp" => "ps_partkey",
+        "customer" => "c_custkey",
+        "orders" => "o_orderkey",
+        "lineitem" => "l_orderkey",
+        other => panic!("unknown TPC-H table {other}"),
+    }
+}
+
+fn table_def(table: &str, data: &GeneratedTable, config: &TpchConfig) -> TableDef {
+    let cols = schema_columns(table);
+    let columns = cols
+        .iter()
+        .enumerate()
+        .map(|(i, (name, dt))| {
+            // NDV from data (cheap at our scales) keeps catalog honest.
+            let stats = crate::stats::ColumnStats::collect(data.columns[i].iter());
+            ColumnDef {
+                name: name.to_string(),
+                data_type: *dt,
+                ndv: stats.ndv,
+            }
+        })
+        .collect();
+    let indexed_columns = config
+        .extra_indexes
+        .iter()
+        .filter(|(t, _)| t == table)
+        .map(|(_, c)| c.clone())
+        .collect();
+    TableDef {
+        name: table.to_string(),
+        columns,
+        row_count: data.row_count() as u64,
+        indexed_columns,
+        primary_key: primary_key(table).to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpe_sql::catalog::Catalog;
+
+    #[test]
+    fn generates_all_eight_tables() {
+        let (catalog, tables) = generate(&TpchConfig::with_scale(0.001));
+        assert_eq!(tables.len(), 8);
+        for t in &tables {
+            assert!(catalog.table(&t.name).is_some(), "missing {}", t.name);
+            assert_eq!(
+                catalog.table(&t.name).unwrap().columns.len(),
+                t.columns.len()
+            );
+        }
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let c = TpchConfig::with_scale(0.01).cardinalities();
+        assert_eq!(c.customer, 1500);
+        assert_eq!(c.orders, 15000);
+        assert_eq!(c.nation, 25);
+        assert_eq!(c.region, 5);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&TpchConfig::with_scale(0.001));
+        let b = generate(&TpchConfig::with_scale(0.001));
+        for (ta, tb) in a.1.iter().zip(b.1.iter()) {
+            assert_eq!(ta.columns, tb.columns, "table {} differs", ta.name);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = TpchConfig::with_scale(0.001);
+        let a = generate(&cfg);
+        cfg.seed = 7;
+        let b = generate(&cfg);
+        let ca = &a.1.iter().find(|t| t.name == "customer").unwrap().columns[3];
+        let cb = &b.1.iter().find(|t| t.name == "customer").unwrap().columns[3];
+        assert_ne!(ca, cb);
+    }
+
+    #[test]
+    fn foreign_keys_are_in_range() {
+        let (_, tables) = generate(&TpchConfig::with_scale(0.002));
+        let customers = tables.iter().find(|t| t.name == "customer").unwrap();
+        let orders = tables.iter().find(|t| t.name == "orders").unwrap();
+        let n_cust = customers.row_count() as i64;
+        for v in &orders.columns[1] {
+            let k = v.as_int().unwrap();
+            assert!(k >= 1 && k <= n_cust, "o_custkey {k} out of range");
+        }
+        for v in &customers.columns[2] {
+            let k = v.as_int().unwrap();
+            assert!((0..25).contains(&k));
+        }
+    }
+
+    #[test]
+    fn order_status_distribution_has_rare_p() {
+        let (_, tables) = generate(&TpchConfig::with_scale(0.01));
+        let orders = tables.iter().find(|t| t.name == "orders").unwrap();
+        let n = orders.row_count() as f64;
+        let p_count = orders.columns[2]
+            .iter()
+            .filter(|v| v.as_str() == Some("p"))
+            .count() as f64;
+        let frac = p_count / n;
+        assert!(frac > 0.005 && frac < 0.05, "P fraction {frac}");
+    }
+
+    #[test]
+    fn example1_predicates_are_satisfiable() {
+        let (_, tables) = generate(&TpchConfig::with_scale(0.01));
+        let customers = tables.iter().find(|t| t.name == "customer").unwrap();
+        let machinery = customers.columns[5]
+            .iter()
+            .filter(|v| v.as_str() == Some("machinery"))
+            .count();
+        assert!(machinery > 0);
+        let prefix20 = customers.columns[3]
+            .iter()
+            .filter(|v| v.as_str().map(|s| s.starts_with("20")) == Some(true))
+            .count();
+        assert!(prefix20 > 0, "no customer with phone prefix 20");
+    }
+
+    #[test]
+    fn extra_index_lands_in_catalog() {
+        let (catalog, _) = generate(&TpchConfig::default());
+        assert!(catalog.table("customer").unwrap().has_index("c_phone"));
+        assert!(!catalog.table("customer").unwrap().has_index("c_mktsegment"));
+    }
+
+    #[test]
+    fn dates_are_in_tpch_range() {
+        let (_, tables) = generate(&TpchConfig::with_scale(0.001));
+        let orders = tables.iter().find(|t| t.name == "orders").unwrap();
+        let lo = qpe_sql::parser::parse_date("1992-01-01").unwrap();
+        let hi = qpe_sql::parser::parse_date("1998-08-02").unwrap();
+        for v in &orders.columns[4] {
+            match v {
+                Value::Date(d) => assert!(*d >= lo && *d <= hi),
+                other => panic!("expected date, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the HTAP substrate: cost-model and plan-shape
+//! invariants over randomized single- and two-table queries.
+
+use proptest::prelude::*;
+use qpe_htap::engine::{EngineKind, HtapSystem};
+use qpe_htap::plan::NodeType;
+use qpe_htap::tpch::TpchConfig;
+use std::sync::OnceLock;
+
+fn system() -> &'static HtapSystem {
+    static SYS: OnceLock<HtapSystem> = OnceLock::new();
+    SYS.get_or_init(|| HtapSystem::new(&TpchConfig::with_scale(0.002)))
+}
+
+/// Strategy over simple filtered single-table queries.
+fn single_table_sql() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![
+            Just(("customer", "c_custkey", "c_acctbal")),
+            Just(("orders", "o_orderkey", "o_totalprice")),
+            Just(("supplier", "s_suppkey", "s_acctbal")),
+        ],
+        1i64..500,
+        any::<bool>(),
+    )
+        .prop_map(|((table, key, num), k, use_range)| {
+            if use_range {
+                format!("SELECT COUNT(*) FROM {table} WHERE {key} < {k}")
+            } else {
+                format!("SELECT COUNT(*), AVG({num}) FROM {table} WHERE {key} = {k}")
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// AP plans never contain index operators; TP plans never contain hash
+    /// joins — the engine asymmetry is structural, not incidental.
+    #[test]
+    fn engine_operator_vocabularies_are_disjoint(sql in single_table_sql()) {
+        let sys = system();
+        let bound = sys.bind(&sql).expect("binds");
+        let tp = sys.explain(&bound, EngineKind::Tp).expect("tp plan");
+        let ap = sys.explain(&bound, EngineKind::Ap).expect("ap plan");
+        prop_assert_eq!(ap.count_type(NodeType::IndexScan), 0);
+        prop_assert_eq!(ap.count_type(NodeType::IndexNLJoin), 0);
+        prop_assert_eq!(tp.count_type(NodeType::HashJoin), 0);
+        prop_assert_eq!(tp.count_type(NodeType::Hash), 0);
+        prop_assert_eq!(tp.count_type(NodeType::TopNSort), 0);
+    }
+
+    /// Costs are monotone up the plan tree for both engines.
+    #[test]
+    fn costs_monotone(sql in single_table_sql()) {
+        let sys = system();
+        let bound = sys.bind(&sql).expect("binds");
+        for engine in [EngineKind::Tp, EngineKind::Ap] {
+            let plan = sys.explain(&bound, engine).expect("plans");
+            fn check(n: &qpe_htap::plan::PlanNode) -> bool {
+                n.children.iter().all(|c| n.total_cost >= c.total_cost && check(c))
+            }
+            prop_assert!(check(&plan), "{engine} cost not monotone for {sql}");
+        }
+    }
+
+    /// Executing a plan twice yields identical rows and counters (the
+    /// engines are pure functions of the database).
+    #[test]
+    fn execution_is_pure(sql in single_table_sql()) {
+        let sys = system();
+        let a = sys.run_sql(&sql).expect("first run");
+        let b = sys.run_sql(&sql).expect("second run");
+        prop_assert_eq!(a.tp.rows, b.tp.rows);
+        prop_assert_eq!(a.tp.counters, b.tp.counters);
+        prop_assert_eq!(a.ap.counters, b.ap.counters);
+        prop_assert_eq!(a.tp.latency_ns, b.tp.latency_ns);
+    }
+
+    /// EXPLAIN JSON always carries the paper's mandatory fields on every
+    /// node.
+    #[test]
+    fn explain_json_shape(sql in single_table_sql()) {
+        let sys = system();
+        let bound = sys.bind(&sql).expect("binds");
+        for engine in [EngineKind::Tp, EngineKind::Ap] {
+            let plan = sys.explain(&bound, engine).expect("plans");
+            fn check(v: &serde_json::Value) -> bool {
+                v.get("Node Type").map(|t| t.is_string()).unwrap_or(false)
+                    && v.get("Total Cost").map(|c| c.is_number()).unwrap_or(false)
+                    && v.get("Plan Rows").map(|r| r.is_number()).unwrap_or(false)
+                    && v.get("Plans")
+                        .map(|p| p.as_array().map(|a| a.iter().all(check)).unwrap_or(false))
+                        .unwrap_or(true)
+            }
+            prop_assert!(check(&plan.explain_json()));
+        }
+    }
+
+    /// COUNT(*) equals the number of rows a bare projection of the same
+    /// predicate returns (aggregate consistency).
+    #[test]
+    fn count_matches_materialized_rows(k in 1i64..300) {
+        let sys = system();
+        let count = sys
+            .run_sql(&format!("SELECT COUNT(*) FROM customer WHERE c_custkey < {k}"))
+            .expect("count runs");
+        let rows = sys
+            .run_sql(&format!("SELECT c_custkey FROM customer WHERE c_custkey < {k}"))
+            .expect("select runs");
+        let n = count.tp.rows[0][0].as_int().unwrap();
+        prop_assert_eq!(n as usize, rows.tp.rows.len());
+    }
+}

@@ -1,0 +1,289 @@
+//! The DBG-PT baseline: LLM plan-diffing without retrieval.
+//!
+//! DBG-PT (Giannakouris & Trummer, VLDB'24) compares two structured plans
+//! and reasons about their differences. The paper adapts it to the
+//! cross-engine setting and documents four systematic failure modes
+//! (§VI-D), all of which this implementation reproduces *mechanically* —
+//! they are not injected noise, they fall out of plan-surface reasoning
+//! without grounded knowledge:
+//!
+//! 1. **Fundamental errors** — it assumes an index helps whenever an index
+//!    exists on a mentioned column, missing that `SUBSTRING(col, ...)`
+//!    disqualifies the index.
+//! 2. **Overemphasis on minor factors** — column-oriented storage is always
+//!    its lead explanation for an AP win.
+//! 3. **Ignoring limitations** — told not to compare costs across engines,
+//!    it still falls back to cost comparison when the gap is extreme; and
+//!    with the warning removed from the prompt it always compares.
+//! 4. **No context for relative values** — it cannot judge whether an
+//!    OFFSET/LIMIT is large, so it never cites offset effects.
+
+use crate::evidence::PlanEvidence;
+use crate::expert::factor_sentence;
+use crate::factors::FactorKind;
+use crate::generator::ExplanationOutput;
+use crate::prompt::Prompt;
+use qpe_htap::engine::EngineKind;
+use serde::{Deserialize, Serialize};
+
+/// Cost-ratio beyond which DBG-PT "cannot help itself" and compares costs
+/// even when the prompt forbids it (failure mode 3). Cross-engine ratios of
+/// this magnitude occur for index-served queries, where TP's cost units are
+/// tiny next to AP's.
+pub const COST_OVERRIDE_RATIO: f64 = 50.0;
+
+/// The DBG-PT-style plan-diff explainer.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DbgPt;
+
+impl DbgPt {
+    /// Creates the baseline explainer.
+    pub fn new() -> Self {
+        DbgPt
+    }
+
+    /// Explains from plan details alone. Retrieved knowledge in the prompt
+    /// is ignored; the execution result is **not** used (the paper feeds
+    /// DBG-PT only the plan details).
+    pub fn explain(&self, prompt: &Prompt) -> ExplanationOutput {
+        let q = &prompt.question;
+        // Extract structure; the winner field of the evidence is NOT
+        // consulted — DBG-PT must guess.
+        let ev = PlanEvidence::extract(&q.sql, &q.tp_plan, &q.ap_plan, q.winner);
+        let tp_cost = q.tp_plan.total_cost;
+        let ap_cost = q.ap_plan.total_cost;
+
+        let index_mentioned = self.index_is_mentioned(prompt, &ev);
+
+        // --- Winner guess ---
+        let ratio = {
+            let (lo, hi) = if tp_cost <= ap_cost { (tp_cost, ap_cost) } else { (ap_cost, tp_cost) };
+            if lo <= 0.0 { f64::INFINITY } else { hi / lo }
+        };
+        let cost_comparison_used =
+            !prompt.config.forbid_cost_comparison || ratio > COST_OVERRIDE_RATIO;
+        let claimed = if cost_comparison_used {
+            // Failure mode 3: cross-engine cost comparison. TP's cost scale
+            // is much smaller, so this systematically favors TP.
+            if tp_cost <= ap_cost {
+                EngineKind::Tp
+            } else {
+                EngineKind::Ap
+            }
+        } else if ev.ap_hash_join && ev.tp_nested_loop {
+            EngineKind::Ap
+        } else if ev.tp_index_scan && !ev.is_top_n && ev.join_count == 0 && !index_mentioned {
+            EngineKind::Tp
+        } else {
+            // Failure mode 2: default to the column-store story.
+            EngineKind::Ap
+        };
+
+        // --- Cited factors ---
+        let mut cited: Vec<FactorKind> = Vec::new();
+        let primary;
+        match claimed {
+            EngineKind::Ap => {
+                // Columnar storage is always its headline (failure mode 2).
+                primary = FactorKind::ColumnarScanAdvantage;
+                cited.push(primary);
+                if ev.ap_hash_join {
+                    cited.push(FactorKind::HashJoinVsNestedLoop);
+                }
+                if index_mentioned {
+                    // Failure mode 1: "both engines likely benefit from the
+                    // index" — even when SUBSTRING disqualified it.
+                    cited.push(FactorKind::IndexLookupAdvantage);
+                }
+            }
+            EngineKind::Tp => {
+                primary = if ev.tp_index_scan || index_mentioned {
+                    FactorKind::IndexLookupAdvantage
+                } else if ev.tp_index_nlj {
+                    FactorKind::IndexNestedLoopAdvantage
+                } else {
+                    // cost-comparison-driven TP claims with no structural
+                    // story still need a reason; it reaches for indexes.
+                    FactorKind::IndexLookupAdvantage
+                };
+                cited.push(primary);
+            }
+        }
+        // Failure mode 4: LargeOffsetPenalty / ApFixedOverhead are never
+        // cited — DBG-PT has no history to judge relative values against.
+        debug_assert!(!cited.contains(&FactorKind::LargeOffsetPenalty));
+        debug_assert!(!cited.contains(&FactorKind::ApFixedOverhead));
+
+        let text = self.render_text(claimed, &cited, cost_comparison_used, index_mentioned, &ev);
+        ExplanationOutput {
+            text,
+            claimed_winner: Some(claimed),
+            primary: Some(primary),
+            cited,
+            is_none: false,
+        }
+    }
+
+    /// True when an index is "visible": named in a plan, or declared in the
+    /// user context for a column the query mentions.
+    fn index_is_mentioned(&self, prompt: &Prompt, ev: &PlanEvidence) -> bool {
+        let mut in_plans = false;
+        for plan in [&prompt.question.tp_plan, &prompt.question.ap_plan] {
+            plan.walk(&mut |n| {
+                if n.index.is_some() {
+                    in_plans = true;
+                }
+            });
+        }
+        if in_plans {
+            return true;
+        }
+        let _ = ev;
+        let sql_lower = prompt.question.sql.to_ascii_lowercase();
+        prompt.user_context.iter().any(|ctx| {
+            let ctx_lower = ctx.to_ascii_lowercase();
+            ctx_lower.contains("index")
+                && ctx_lower
+                    .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+                    .any(|word| word.contains('_') && sql_lower.contains(word))
+        })
+    }
+
+    fn render_text(
+        &self,
+        claimed: EngineKind,
+        cited: &[FactorKind],
+        cost_comparison_used: bool,
+        index_mentioned: bool,
+        ev: &PlanEvidence,
+    ) -> String {
+        let engine = claimed.as_str();
+        let mut text = format!("The {engine} engine is likely faster in this case.");
+        for (i, f) in cited.iter().enumerate() {
+            if i == 0 {
+                text.push_str(&format!(" Primarily, {}.", factor_sentence(*f)));
+            } else if *f == FactorKind::IndexLookupAdvantage && index_mentioned {
+                text.push_str(
+                    " Both engines likely benefit from the available index on the \
+                     filtered column, which speeds up access to qualifying rows.",
+                );
+            } else {
+                text.push_str(&format!(" Also, {}.", factor_sentence(*f)));
+            }
+        }
+        if cost_comparison_used {
+            text.push_str(&format!(
+                " Comparing the plan costs, the {engine} plan's total cost estimate is \
+                 substantially lower, which indicates better expected performance."
+            ));
+        }
+        if ev.is_top_n && ev.offset > 0 {
+            text.push_str(
+                " The query also uses OFFSET, though its impact on either plan is \
+                 unclear from the plans alone.",
+            );
+        }
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert::ExpertOracle;
+    use crate::prompt::{PromptConfig, Question};
+    use qpe_htap::engine::HtapSystem;
+    use qpe_htap::tpch::TpchConfig;
+
+    fn system() -> HtapSystem {
+        HtapSystem::new(&TpchConfig::with_scale(0.005))
+    }
+
+    fn prompt(sys: &HtapSystem, sql: &str, forbid: bool, user_context: Vec<String>) -> Prompt {
+        let out = sys.run_sql(sql).unwrap();
+        let _ = ExpertOracle::new(sys.latency_model());
+        Prompt {
+            config: PromptConfig {
+                forbid_cost_comparison: forbid,
+                include_rag: false,
+                ..Default::default()
+            },
+            knowledge: vec![],
+            question: Question {
+                sql: sql.into(),
+                tp_plan: out.tp.plan.clone(),
+                ap_plan: out.ap.plan.clone(),
+                winner: out.winner(),
+            },
+            user_context,
+        }
+    }
+
+    #[test]
+    fn columnar_overemphasis_leads_for_ap_claims() {
+        let sys = system();
+        let p = prompt(
+            &sys,
+            "SELECT COUNT(*) FROM customer, orders \
+             WHERE o_custkey = c_custkey AND c_mktsegment = 'machinery'",
+            true,
+            vec![],
+        );
+        let out = DbgPt::new().explain(&p);
+        if out.claimed_winner == Some(EngineKind::Ap) {
+            assert_eq!(out.primary, Some(FactorKind::ColumnarScanAdvantage));
+        }
+    }
+
+    #[test]
+    fn misreads_function_disabled_index() {
+        let sys = system();
+        // SUBSTRING over indexed c_phone: the index is useless, but DBG-PT
+        // cites index benefit when the user mentions it.
+        let p = prompt(
+            &sys,
+            "SELECT COUNT(*) FROM customer WHERE SUBSTRING(c_phone, 1, 2) IN ('20', '40')",
+            true,
+            vec!["An additional index has been created on the c_phone column.".into()],
+        );
+        let out = DbgPt::new().explain(&p);
+        assert!(
+            out.cited.contains(&FactorKind::IndexLookupAdvantage),
+            "expected the fundamental index error, cited: {:?}",
+            out.cited
+        );
+    }
+
+    #[test]
+    fn compares_costs_when_not_forbidden() {
+        let sys = system();
+        let sql = "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey";
+        let p = prompt(&sys, sql, false, vec![]);
+        let out = DbgPt::new().explain(&p);
+        assert!(out.text.contains("total cost estimate is substantially lower"));
+    }
+
+    #[test]
+    fn never_cites_relative_value_factors() {
+        let sys = system();
+        for sql in [
+            "SELECT o_orderkey FROM orders ORDER BY o_totalprice DESC LIMIT 10 OFFSET 2000",
+            "SELECT COUNT(*) FROM nation",
+            "SELECT c_name FROM customer WHERE c_custkey = 3",
+        ] {
+            let p = prompt(&sys, sql, true, vec![]);
+            let out = DbgPt::new().explain(&p);
+            assert!(!out.cited.contains(&FactorKind::LargeOffsetPenalty));
+            assert!(!out.cited.contains(&FactorKind::ApFixedOverhead));
+        }
+    }
+
+    #[test]
+    fn never_abstains() {
+        let sys = system();
+        let p = prompt(&sys, "SELECT COUNT(*) FROM region", true, vec![]);
+        let out = DbgPt::new().explain(&p);
+        assert!(!out.is_none);
+        assert!(out.claimed_winner.is_some());
+    }
+}

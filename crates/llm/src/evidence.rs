@@ -1,0 +1,252 @@
+//! Plan evidence: what an LLM can legitimately read off the plan pair.
+//!
+//! Unlike [`crate::factors`], this module sees only what the paper's prompt
+//! gives the LLM — the two EXPLAIN trees, the SQL, the execution result
+//! (which engine won), and optional user context. No work counters, no
+//! ground truth.
+
+use crate::factors::FactorKind;
+use qpe_htap::engine::EngineKind;
+use qpe_htap::plan::{NodeType, PlanNode};
+use serde::{Deserialize, Serialize};
+
+/// Structured facts readable from a plan pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanEvidence {
+    /// TP plan contains a naive nested-loop join.
+    pub tp_nested_loop: bool,
+    /// TP plan contains an index nested-loop join.
+    pub tp_index_nlj: bool,
+    /// TP plan contains an index scan.
+    pub tp_index_scan: bool,
+    /// TP plan contains a full sort.
+    pub tp_full_sort: bool,
+    /// AP plan contains hash joins.
+    pub ap_hash_join: bool,
+    /// AP plan contains a dedicated top-N operator.
+    pub ap_topn: bool,
+    /// The query aggregates.
+    pub has_aggregate: bool,
+    /// The query is ORDER BY + LIMIT shaped.
+    pub is_top_n: bool,
+    /// OFFSET value if present.
+    pub offset: u64,
+    /// LIMIT value if present.
+    pub limit: Option<u64>,
+    /// Number of joins in the TP plan.
+    pub join_count: usize,
+    /// Largest estimated scan cardinality anywhere in either plan.
+    pub max_scan_rows: f64,
+    /// A `SUBSTRING`/function appears in some filter (visible in plan
+    /// `Detail` fields and the SQL).
+    pub function_over_column: bool,
+    /// Relations scanned (union over both plans).
+    pub relations: Vec<String>,
+    /// Which engine the execution result reports as faster — the paper's
+    /// QUESTION includes the "new execution result".
+    pub winner: EngineKind,
+}
+
+impl PlanEvidence {
+    /// Extracts evidence from the QUESTION materials.
+    pub fn extract(
+        sql: &str,
+        tp_plan: &PlanNode,
+        ap_plan: &PlanNode,
+        winner: EngineKind,
+    ) -> Self {
+        let mut relations = Vec::new();
+        let mut max_scan_rows: f64 = 0.0;
+        for plan in [tp_plan, ap_plan] {
+            plan.walk(&mut |n| {
+                if let Some(rel) = &n.relation {
+                    if !relations.contains(rel) {
+                        relations.push(rel.clone());
+                    }
+                    max_scan_rows = max_scan_rows.max(n.plan_rows);
+                }
+            });
+        }
+        let mut function_over_column = sql.to_ascii_uppercase().contains("SUBSTRING");
+        tp_plan.walk(&mut |n| {
+            if let Some(d) = &n.detail {
+                if d.contains("SUBSTRING") {
+                    function_over_column = true;
+                }
+            }
+        });
+        // limit/offset read from plan Limit / TopNSort nodes
+        let mut offset = 0u64;
+        let mut limit = None;
+        for plan in [tp_plan, ap_plan] {
+            plan.walk(&mut |n| {
+                match &n.op {
+                    qpe_htap::plan::PlanOp::Limit { limit: l, offset: o } => {
+                        if *l != u64::MAX {
+                            limit = Some(*l);
+                        }
+                        offset = offset.max(*o);
+                    }
+                    qpe_htap::plan::PlanOp::TopNSort { limit: l, offset: o, .. } => {
+                        limit = Some(*l);
+                        offset = offset.max(*o);
+                    }
+                    _ => {}
+                }
+            });
+        }
+        let tp_full_sort = tp_plan.count_type(NodeType::Sort) > 0;
+        let ap_topn = ap_plan.count_type(NodeType::TopNSort) > 0;
+        PlanEvidence {
+            tp_nested_loop: tp_plan.count_type(NodeType::NestedLoopJoin) > 0,
+            tp_index_nlj: tp_plan.count_type(NodeType::IndexNLJoin) > 0,
+            tp_index_scan: tp_plan.count_type(NodeType::IndexScan) > 0,
+            tp_full_sort,
+            ap_hash_join: ap_plan.count_type(NodeType::HashJoin) > 0,
+            ap_topn,
+            has_aggregate: tp_plan.count_type(NodeType::GroupAggregate) > 0
+                || ap_plan.count_type(NodeType::HashAggregate) > 0,
+            is_top_n: limit.is_some() && (tp_full_sort || ap_topn || tp_plan.count_type(NodeType::IndexScan) > 0),
+            offset,
+            limit,
+            join_count: tp_plan.count_type(NodeType::NestedLoopJoin)
+                + tp_plan.count_type(NodeType::IndexNLJoin),
+            max_scan_rows,
+            function_over_column,
+            relations,
+            winner,
+        }
+    }
+
+    /// Candidate factors this evidence can support for the reported winner.
+    ///
+    /// This is deliberately *over-complete* — several candidates usually
+    /// survive, and retrieved expert knowledge is what picks the primary
+    /// one. Ordering is a weak plausibility heuristic only.
+    pub fn candidate_factors(&self) -> Vec<FactorKind> {
+        let mut out = Vec::new();
+        match self.winner {
+            EngineKind::Ap => {
+                if self.tp_nested_loop && self.ap_hash_join {
+                    out.push(FactorKind::HashJoinVsNestedLoop);
+                }
+                if self.tp_nested_loop && !self.tp_index_scan && !self.tp_index_nlj {
+                    out.push(FactorKind::NoUsableIndex);
+                }
+                if self.function_over_column && !self.tp_index_scan {
+                    out.push(FactorKind::FunctionDisablesIndex);
+                }
+                if self.is_top_n && self.tp_full_sort && self.ap_topn {
+                    out.push(FactorKind::TopNHeapAdvantage);
+                }
+                if self.is_top_n && self.offset >= 1000 {
+                    out.push(FactorKind::LargeOffsetPenalty);
+                }
+                // Columnar/row-width framing is almost always *available* as
+                // an AP story; listing it last models "minor factor unless
+                // knowledge promotes it".
+                out.push(FactorKind::ColumnarScanAdvantage);
+                out.push(FactorKind::RowStoreOverhead);
+                if self.has_aggregate {
+                    out.push(FactorKind::HashAggregateAdvantage);
+                }
+            }
+            EngineKind::Tp => {
+                if self.tp_index_nlj {
+                    out.push(FactorKind::IndexNestedLoopAdvantage);
+                }
+                if self.is_top_n && self.tp_index_scan && !self.tp_full_sort {
+                    out.push(FactorKind::IndexOrderedTopN);
+                }
+                if self.tp_index_scan && !self.is_top_n {
+                    out.push(FactorKind::IndexLookupAdvantage);
+                }
+                // Small inputs: AP startup dominating is always a candidate
+                // story for a TP win.
+                out.push(FactorKind::ApFixedOverhead);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpe_htap::engine::HtapSystem;
+    use qpe_htap::tpch::TpchConfig;
+
+    fn system() -> HtapSystem {
+        HtapSystem::new(&TpchConfig::with_scale(0.005))
+    }
+
+    fn evidence_for(sql: &str) -> PlanEvidence {
+        let sys = system();
+        let out = sys.run_sql(sql).unwrap();
+        PlanEvidence::extract(sql, &out.tp.plan, &out.ap.plan, out.winner())
+    }
+
+    #[test]
+    fn example1_evidence() {
+        let ev = evidence_for(
+            "SELECT COUNT(*) FROM customer, nation, orders \
+             WHERE SUBSTRING(c_phone, 1, 2) IN ('20', '40') \
+             AND c_mktsegment = 'machinery' \
+             AND n_name = 'egypt' AND o_orderstatus = 'p' \
+             AND o_custkey = c_custkey AND n_nationkey = c_nationkey",
+        );
+        assert!(ev.tp_nested_loop);
+        assert!(ev.ap_hash_join);
+        assert!(ev.has_aggregate);
+        assert!(ev.function_over_column);
+        assert_eq!(ev.join_count, 2);
+        assert_eq!(ev.relations.len(), 3);
+    }
+
+    #[test]
+    fn point_lookup_evidence() {
+        let ev = evidence_for("SELECT c_name FROM customer WHERE c_custkey = 7");
+        assert!(ev.tp_index_scan);
+        assert!(!ev.tp_nested_loop);
+        assert_eq!(ev.winner, EngineKind::Tp);
+        let candidates = ev.candidate_factors();
+        assert!(candidates.contains(&FactorKind::IndexLookupAdvantage));
+    }
+
+    #[test]
+    fn topn_evidence_reads_limit_offset() {
+        let ev = evidence_for(
+            "SELECT o_orderkey FROM orders ORDER BY o_totalprice DESC LIMIT 10 OFFSET 20",
+        );
+        assert_eq!(ev.limit, Some(10));
+        assert_eq!(ev.offset, 20);
+        assert!(ev.is_top_n);
+        assert!(ev.ap_topn);
+    }
+
+    #[test]
+    fn candidates_always_argue_for_winner() {
+        for sql in [
+            "SELECT COUNT(*) FROM customer",
+            "SELECT c_name FROM customer WHERE c_custkey = 7",
+            "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey",
+        ] {
+            let ev = evidence_for(sql);
+            for f in ev.candidate_factors() {
+                assert_eq!(f.favors(), ev.winner, "{sql}: {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_nonempty_for_all_outcomes() {
+        for sql in [
+            "SELECT COUNT(*) FROM nation",
+            "SELECT COUNT(*) FROM customer, orders, lineitem \
+             WHERE o_custkey = c_custkey AND l_orderkey = o_orderkey",
+        ] {
+            let ev = evidence_for(sql);
+            assert!(!ev.candidate_factors().is_empty(), "{sql}");
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The automated grader — three database experts, operationalized.
+//!
+//! The paper's §VI-B accuracy numbers come from experts judging each
+//! generated explanation for "correctness and completeness". Their rubric,
+//! read off the paper's examples, is: did the explanation name the right
+//! winner, and did it attribute the win to the actually-load-bearing
+//! factor? The grader applies exactly that rubric against the ground truth
+//! extracted from real execution.
+
+use crate::factors::GroundTruth;
+use crate::generator::ExplanationOutput;
+use serde::{Deserialize, Serialize};
+
+/// Expert judgment of one explanation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Grade {
+    /// Right winner, primary factor identified — "accurate and informative".
+    Accurate,
+    /// Right winner but the main factor was missed or under-emphasized —
+    /// "less precise than expert interpretations".
+    Imprecise,
+    /// Wrong winner, or a factually false claim (a contradicted factor).
+    Wrong,
+    /// The generator abstained with `None`.
+    None,
+}
+
+impl Grade {
+    /// Counts as usable output in the paper's accuracy metric.
+    pub fn is_accurate(&self) -> bool {
+        matches!(self, Grade::Accurate)
+    }
+}
+
+/// Grades explanations against ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct Grader;
+
+impl Grader {
+    /// Creates a grader.
+    pub fn new() -> Self {
+        Grader
+    }
+
+    /// Applies the expert rubric.
+    pub fn grade(&self, output: &ExplanationOutput, truth: &GroundTruth) -> Grade {
+        if output.is_none {
+            return Grade::None;
+        }
+        match output.claimed_winner {
+            Some(w) if w == truth.winner => {}
+            _ => return Grade::Wrong,
+        }
+        // Any factually-false citation sinks the explanation.
+        if output.cited.iter().any(|f| truth.contradicted.contains(f)) {
+            return Grade::Wrong;
+        }
+        match output.primary {
+            Some(p) if p == truth.primary => Grade::Accurate,
+            // Citing the true primary factor as a secondary still reads as
+            // broadly correct but under-emphasized.
+            _ if output.cited.contains(&truth.primary) => Grade::Imprecise,
+            _ => Grade::Imprecise,
+        }
+    }
+}
+
+/// Aggregate grading statistics over a test set (the paper's headline
+/// numbers: 91% accurate / 9% less precise / 3.5% None).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GradeStats {
+    /// Count of [`Grade::Accurate`].
+    pub accurate: usize,
+    /// Count of [`Grade::Imprecise`].
+    pub imprecise: usize,
+    /// Count of [`Grade::Wrong`].
+    pub wrong: usize,
+    /// Count of [`Grade::None`].
+    pub none: usize,
+}
+
+impl GradeStats {
+    /// Accumulates one grade.
+    pub fn record(&mut self, g: Grade) {
+        match g {
+            Grade::Accurate => self.accurate += 1,
+            Grade::Imprecise => self.imprecise += 1,
+            Grade::Wrong => self.wrong += 1,
+            Grade::None => self.none += 1,
+        }
+    }
+
+    /// Total graded.
+    pub fn total(&self) -> usize {
+        self.accurate + self.imprecise + self.wrong + self.none
+    }
+
+    /// Fraction accurate (the paper's headline metric).
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.accurate as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction abstaining.
+    pub fn none_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.none as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction wrong.
+    pub fn wrong_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.wrong as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factors::FactorKind;
+    use qpe_htap::engine::EngineKind;
+
+    fn truth() -> GroundTruth {
+        GroundTruth {
+            winner: EngineKind::Ap,
+            speedup: 5.0,
+            primary: FactorKind::HashJoinVsNestedLoop,
+            valid: vec![
+                FactorKind::HashJoinVsNestedLoop,
+                FactorKind::ColumnarScanAdvantage,
+            ],
+            contradicted: vec![FactorKind::IndexLookupAdvantage],
+        }
+    }
+
+    fn output(
+        winner: Option<EngineKind>,
+        primary: Option<FactorKind>,
+        cited: Vec<FactorKind>,
+    ) -> ExplanationOutput {
+        ExplanationOutput {
+            text: "t".into(),
+            claimed_winner: winner,
+            primary,
+            cited,
+            is_none: false,
+        }
+    }
+
+    #[test]
+    fn accurate_when_primary_matches() {
+        let g = Grader::new().grade(
+            &output(
+                Some(EngineKind::Ap),
+                Some(FactorKind::HashJoinVsNestedLoop),
+                vec![FactorKind::HashJoinVsNestedLoop],
+            ),
+            &truth(),
+        );
+        assert_eq!(g, Grade::Accurate);
+        assert!(g.is_accurate());
+    }
+
+    #[test]
+    fn imprecise_when_secondary_promoted() {
+        let g = Grader::new().grade(
+            &output(
+                Some(EngineKind::Ap),
+                Some(FactorKind::ColumnarScanAdvantage),
+                vec![FactorKind::ColumnarScanAdvantage],
+            ),
+            &truth(),
+        );
+        assert_eq!(g, Grade::Imprecise);
+    }
+
+    #[test]
+    fn wrong_winner_is_wrong() {
+        let g = Grader::new().grade(
+            &output(
+                Some(EngineKind::Tp),
+                Some(FactorKind::IndexLookupAdvantage),
+                vec![FactorKind::IndexLookupAdvantage],
+            ),
+            &truth(),
+        );
+        assert_eq!(g, Grade::Wrong);
+    }
+
+    #[test]
+    fn contradicted_citation_is_wrong() {
+        let g = Grader::new().grade(
+            &output(
+                Some(EngineKind::Ap),
+                Some(FactorKind::HashJoinVsNestedLoop),
+                vec![
+                    FactorKind::HashJoinVsNestedLoop,
+                    FactorKind::IndexLookupAdvantage, // factually false here
+                ],
+            ),
+            &truth(),
+        );
+        assert_eq!(g, Grade::Wrong);
+    }
+
+    #[test]
+    fn abstention_is_none() {
+        let g = Grader::new().grade(&ExplanationOutput::none(), &truth());
+        assert_eq!(g, Grade::None);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut s = GradeStats::default();
+        s.record(Grade::Accurate);
+        s.record(Grade::Accurate);
+        s.record(Grade::Imprecise);
+        s.record(Grade::None);
+        assert_eq!(s.total(), 4);
+        assert!((s.accuracy() - 0.5).abs() < 1e-12);
+        assert!((s.none_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(s.wrong_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = GradeStats::default();
+        assert_eq!(s.accuracy(), 0.0);
+        assert_eq!(s.none_rate(), 0.0);
+        assert_eq!(s.wrong_rate(), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Explanation generation: prompts, the simulated LLM, the DBG-PT baseline
+//! and the factor-based grader.
+//!
+//! # Why a *simulated* LLM
+//!
+//! The paper steers pre-trained public LLMs (Doubao, ChatGPT-4). This
+//! reproduction has no network access, so the LLM is replaced by a
+//! deterministic *knowledge-grounded generation engine* that makes the
+//! paper's central mechanism explicit and testable:
+//!
+//! * The generator sees exactly what the paper's prompt gives the LLM —
+//!   the QUESTION (new query + plan pair + execution result) and the
+//!   retrieved KNOWLEDGE (historical queries, plans, results, expert
+//!   explanations). It never sees execution counters or ground truth
+//!   factors.
+//! * Plan evidence ([`evidence`]) proposes *candidate* reasons; retrieved
+//!   expert knowledge is what disambiguates which reason is primary. No
+//!   matching knowledge → the generator returns `None`, exactly as the
+//!   paper's prompt instructs.
+//! * With RAG disabled the same generator degrades into the DBG-PT
+//!   baseline ([`dbgpt`]) with the four failure modes §VI-D documents.
+//!
+//! Accuracy therefore depends on retrieval quality (K, KB size, embedding
+//! fidelity) through the same causal path the paper credits — which is what
+//! the evaluation experiments measure.
+
+pub mod dbgpt;
+pub mod evidence;
+pub mod expert;
+pub mod factors;
+pub mod generator;
+pub mod grader;
+pub mod knowledge;
+pub mod prompt;
+pub mod timing;
+
+pub use dbgpt::DbgPt;
+pub use evidence::PlanEvidence;
+pub use expert::ExpertOracle;
+pub use factors::{FactorKind, GroundTruth};
+pub use generator::{ExplanationOutput, SimulatedLlm};
+pub use grader::{Grade, Grader};
+pub use knowledge::KnowledgeEntry;
+pub use prompt::{Prompt, PromptConfig};
+pub use timing::LlmTiming;

@@ -1,0 +1,264 @@
+//! Prompt engineering — the paper's Table I, as code.
+//!
+//! The prompt has three authored parts (background, task description,
+//! additional user context) plus the injected KNOWLEDGE blocks (retrieved
+//! entries) and the QUESTION (new query + plan pair + execution result).
+
+use crate::knowledge::KnowledgeEntry;
+use qpe_htap::engine::EngineKind;
+use serde::{Deserialize, Serialize};
+
+/// Prompt construction options (the ablation switches of DESIGN.md A3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PromptConfig {
+    /// Include the "you are not allowed to compare the cost estimates"
+    /// warning — the paper found omitting it re-enables a failure mode.
+    pub forbid_cost_comparison: bool,
+    /// Include retrieved KNOWLEDGE blocks (false = DBG-PT-style input).
+    pub include_rag: bool,
+    /// Scale-factor blurb for the background section.
+    pub dataset_description: String,
+}
+
+impl Default for PromptConfig {
+    fn default() -> Self {
+        PromptConfig {
+            forbid_cost_comparison: true,
+            include_rag: true,
+            dataset_description:
+                "our dataset follows the default TPC-H schema and contains 100GB of data"
+                    .to_string(),
+        }
+    }
+}
+
+/// The QUESTION block: the new query under explanation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Question {
+    /// New query SQL.
+    pub sql: String,
+    /// New TP plan.
+    pub tp_plan: qpe_htap::plan::PlanNode,
+    /// New AP plan.
+    pub ap_plan: qpe_htap::plan::PlanNode,
+    /// New execution result — the paper's QUESTION includes it.
+    pub winner: EngineKind,
+}
+
+/// A fully-assembled prompt.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Prompt {
+    /// Construction options used.
+    pub config: PromptConfig,
+    /// Retrieved knowledge (empty without RAG) with retrieval distances.
+    pub knowledge: Vec<(KnowledgeEntry, f64)>,
+    /// The question.
+    pub question: Question,
+    /// Additional user-provided context lines (e.g. "an additional index has
+    /// been created on the c_phone column in the customer table").
+    pub user_context: Vec<String>,
+}
+
+impl Prompt {
+    /// Background section (Table I, first block).
+    pub fn background(&self) -> String {
+        let mut s = String::from(
+            "Background information: We are using RAG to assist database users in \
+             understanding query performance across different engines in our HTAP \
+             system\u{2014}specifically, why one engine performs faster while the other is \
+             slower. Please ensure you are familiar with the TPC-H schema, and ",
+        );
+        s.push_str(&self.config.dataset_description);
+        s.push_str(
+            ". Our HTAP system has two database engines, \"TP\" and \"AP\". The TP \
+             engine uses row-oriented storage, while the AP engine utilizes \
+             column-oriented storage. Note that the optimizers for TP and AP engines \
+             are distinct, leading to different execution plans.",
+        );
+        if self.config.forbid_cost_comparison {
+            s.push_str(
+                " Therefore, you are not allowed to compare the cost estimates of the \
+                 execution plans from TP and AP engines.",
+            );
+        }
+        s
+    }
+
+    /// Task-description section (Table I, second block).
+    pub fn task_description(&self) -> String {
+        let mut s = String::from(
+            "Task description: I will input you the execution plans for the query from \
+             both the TP and AP engines, please evaluate the likely performance of each \
+             engine",
+        );
+        if self.config.forbid_cost_comparison {
+            s.push_str(" without directly comparing the cost estimates");
+        }
+        s.push_str(
+            ". Focus on factors such as the join methods used, the storage formats \
+             (row-oriented vs. column-oriented), index utilization, and any potential \
+             implications of the execution plan characteristics on query performance. \
+             Your task is to explain which engine might perform better for this \
+             specific query and why, based on these factors.",
+        );
+        if self.config.include_rag {
+            s.push_str(
+                " To assist you, we have a retriever that can find relevant historical \
+                 plans from the knowledge base with precise performance explanation from \
+                 our experts. You could use KNOWLEDGE to explain the new pair of plans \
+                 in QUESTION. If the KNOWLEDGE does not contain the facts to answer the \
+                 QUESTION return None.",
+            );
+        }
+        s
+    }
+
+    /// Renders the complete prompt text sent to the (simulated) LLM.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.background());
+        out.push_str("\n\n");
+        out.push_str(&self.task_description());
+        out.push_str("\n\n");
+        if !self.user_context.is_empty() {
+            out.push_str("Additional user context: ");
+            out.push_str(&self.user_context.join(" "));
+            out.push_str("\n\n");
+        }
+        if self.config.include_rag {
+            for (entry, dist) in &self.knowledge {
+                out.push_str(&entry.render());
+                out.push_str(&format!("  (retrieval distance: {dist:.4})\n\n"));
+            }
+        }
+        out.push_str(&format!(
+            "QUESTION:\n  new query: {}\n  new TP plan: {}\n  new AP plan: {}\n  \
+             new execution result: {} is faster\n",
+            self.question.sql,
+            serde_json::to_string(&self.question.tp_plan.explain_json()).unwrap_or_default(),
+            serde_json::to_string(&self.question.ap_plan.explain_json()).unwrap_or_default(),
+            self.question.winner,
+        ));
+        out
+    }
+
+    /// Approximate token count of the rendered prompt (whitespace split —
+    /// good enough for the latency model).
+    pub fn token_count(&self) -> usize {
+        self.render().split_whitespace().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factors::FactorKind;
+    use serde_json::json;
+
+    fn question() -> Question {
+        use qpe_htap::plan::{NodeType, PlanNode, PlanOp};
+        let scan = |cost: f64| {
+            PlanNode::new(
+                NodeType::TableScan,
+                PlanOp::TableScan { table_slot: 0, columns: vec![0] },
+            )
+            .with_relation("orders")
+            .with_estimates(cost, 100.0)
+        };
+        Question {
+            sql: "SELECT COUNT(*) FROM orders".into(),
+            tp_plan: scan(5213.0),
+            ap_plan: scan(16_500_000.0),
+            winner: EngineKind::Ap,
+        }
+    }
+
+    fn entry() -> KnowledgeEntry {
+        KnowledgeEntry {
+            sql: "SELECT COUNT(*) FROM customer".into(),
+            tp_plan: json!({"Node Type": "Table Scan"}),
+            ap_plan: json!({"Node Type": "Table Scan"}),
+            winner: EngineKind::Ap,
+            speedup: 2.0,
+            primary_factor: FactorKind::ColumnarScanAdvantage,
+            factors: vec![FactorKind::ColumnarScanAdvantage],
+            explanation: "columnar scan".into(),
+        }
+    }
+
+    #[test]
+    fn default_prompt_has_cost_warning() {
+        let p = Prompt {
+            config: PromptConfig::default(),
+            knowledge: vec![(entry(), 0.1)],
+            question: question(),
+            user_context: vec![],
+        };
+        let text = p.render();
+        assert!(text.contains("not allowed to compare the cost estimates"));
+        assert!(text.contains("KNOWLEDGE:"));
+        assert!(text.contains("QUESTION:"));
+        assert!(text.contains("new execution result: AP is faster"));
+    }
+
+    #[test]
+    fn ablated_prompt_drops_cost_warning() {
+        let p = Prompt {
+            config: PromptConfig {
+                forbid_cost_comparison: false,
+                ..Default::default()
+            },
+            knowledge: vec![],
+            question: question(),
+            user_context: vec![],
+        };
+        assert!(!p.render().contains("not allowed to compare"));
+    }
+
+    #[test]
+    fn no_rag_prompt_has_no_knowledge_section() {
+        let p = Prompt {
+            config: PromptConfig {
+                include_rag: false,
+                ..Default::default()
+            },
+            knowledge: vec![(entry(), 0.1)],
+            question: question(),
+            user_context: vec![],
+        };
+        let text = p.render();
+        assert!(!text.contains("KNOWLEDGE:"));
+        assert!(!text.contains("return None"));
+    }
+
+    #[test]
+    fn user_context_is_included() {
+        let p = Prompt {
+            config: PromptConfig::default(),
+            knowledge: vec![],
+            question: question(),
+            user_context: vec![
+                "Beyond the default indexes, an additional index has been created on \
+                 the c_phone column in the customer table."
+                    .into(),
+            ],
+        };
+        assert!(p.render().contains("additional index has been created on the c_phone"));
+    }
+
+    #[test]
+    fn token_count_is_positive_and_grows_with_knowledge() {
+        let base = Prompt {
+            config: PromptConfig::default(),
+            knowledge: vec![],
+            question: question(),
+            user_context: vec![],
+        };
+        let with_k = Prompt {
+            knowledge: vec![(entry(), 0.1), (entry(), 0.2)],
+            ..base.clone()
+        };
+        assert!(base.token_count() > 50);
+        assert!(with_k.token_count() > base.token_count());
+    }
+}

@@ -1,0 +1,71 @@
+//! LLM latency model.
+//!
+//! The paper's end-to-end timing (§VI-B): LLM "thinking" is fast (≤ 2 s),
+//! generation averages ~10 s, retrieval and encoding are sub-millisecond.
+//! We model thinking as prompt-length-bound (capped at 2 s) and generation
+//! as output-token-bound, matching typical streaming-decoder behavior.
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic LLM timing estimates (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlmTiming {
+    /// Prompt-processing ("thinking") time.
+    pub think_ns: u64,
+    /// Token-by-token generation time.
+    pub generation_ns: u64,
+}
+
+/// Per-prompt-token processing cost.
+pub const THINK_NS_PER_TOKEN: u64 = 2_000_000; // 2 ms
+/// Thinking cap — the paper observes ≤ 2 s.
+pub const THINK_CAP_NS: u64 = 2_000_000_000;
+/// Per-output-token decode cost (~55 ms/token ⇒ ~10 s for a ~180-token
+/// explanation, the paper's average).
+pub const GEN_NS_PER_TOKEN: u64 = 55_000_000;
+
+impl LlmTiming {
+    /// Estimates timing for a prompt/output token pair.
+    pub fn estimate(prompt_tokens: usize, output_tokens: usize) -> Self {
+        LlmTiming {
+            think_ns: (prompt_tokens as u64 * THINK_NS_PER_TOKEN).min(THINK_CAP_NS),
+            generation_ns: output_tokens as u64 * GEN_NS_PER_TOKEN,
+        }
+    }
+
+    /// Total LLM-side time.
+    pub fn total_ns(&self) -> u64 {
+        self.think_ns + self.generation_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thinking_is_capped_at_two_seconds() {
+        let t = LlmTiming::estimate(100_000, 10);
+        assert_eq!(t.think_ns, THINK_CAP_NS);
+    }
+
+    #[test]
+    fn typical_explanation_takes_about_ten_seconds() {
+        let t = LlmTiming::estimate(800, 180);
+        let gen_s = t.generation_ns as f64 / 1e9;
+        assert!((8.0..12.0).contains(&gen_s), "generation {gen_s}s");
+        assert!(t.think_ns <= THINK_CAP_NS);
+    }
+
+    #[test]
+    fn total_is_sum() {
+        let t = LlmTiming::estimate(10, 10);
+        assert_eq!(t.total_ns(), t.think_ns + t.generation_ns);
+    }
+
+    #[test]
+    fn zero_tokens_zero_time() {
+        let t = LlmTiming::estimate(0, 0);
+        assert_eq!(t.total_ns(), 0);
+    }
+}

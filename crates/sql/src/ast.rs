@@ -1,0 +1,440 @@
+//! Abstract syntax tree produced by the parser.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::value::Value;
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectStatement {
+    /// Projection list; `SELECT *` becomes a single [`SelectItem::Wildcard`].
+    pub projections: Vec<SelectItem>,
+    /// Tables in the `FROM` clause (comma-separated implicit-join style, as
+    /// in the paper's Example 1, or explicit `INNER JOIN ... ON`).
+    pub from: Vec<TableRef>,
+    /// The `WHERE` clause, if present, as a single expression tree.
+    pub selection: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+    /// `ORDER BY` items.
+    pub order_by: Vec<OrderByItem>,
+    /// `LIMIT n`.
+    pub limit: Option<u64>,
+    /// `OFFSET n`.
+    pub offset: Option<u64>,
+}
+
+/// One item in the projection list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `SELECT *`
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`, if given.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference in `FROM`, optionally joined with an `ON` condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRef {
+    /// Table name (lowercased).
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+    /// For `INNER JOIN t ON cond` syntax, the join condition; the binder
+    /// merges it into the global conjunction.
+    pub join_on: Option<Expr>,
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderByItem {
+    /// Sort key expression.
+    pub expr: Expr,
+    /// True for `DESC`.
+    pub desc: bool,
+}
+
+/// Binary operators in the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinaryOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinaryOp {
+    /// True for comparison operators (the ones predicates are built from).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregate functions in the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(expr)`
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scalar expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A column reference, optionally qualified: `customer.c_phone` or
+    /// `c_phone`.
+    Column {
+        /// Table name or alias qualifier, if written.
+        table: Option<String>,
+        /// Column name (lowercased).
+        name: String,
+    },
+    /// A literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `NOT expr`
+    Not(Box<Expr>),
+    /// `expr IN (v1, v2, ...)` — list of literals only in this subset.
+    InList {
+        /// The probed expression.
+        expr: Box<Expr>,
+        /// Literal list.
+        list: Vec<Value>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr BETWEEN low AND high`
+    Between {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+    },
+    /// `expr LIKE 'pattern'` with `%` and `_` wildcards.
+    Like {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The pattern literal.
+        pattern: String,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `SUBSTRING(expr, start, len)` — 1-based start, as in SQL.
+    Substring {
+        /// Source string expression.
+        expr: Box<Expr>,
+        /// 1-based start position.
+        start: i64,
+        /// Length in characters.
+        len: i64,
+    },
+    /// Aggregate call. `COUNT(*)` has `arg == None`.
+    Aggregate {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Argument (None only for `COUNT(*)`).
+        arg: Option<Box<Expr>>,
+        /// `COUNT(DISTINCT x)` flag.
+        distinct: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for an unqualified column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            table: None,
+            name: name.to_string(),
+        }
+    }
+
+    /// Convenience constructor for a qualified column reference.
+    pub fn qcol(table: &str, name: &str) -> Expr {
+        Expr::Column {
+            table: Some(table.to_string()),
+            name: name.to_string(),
+        }
+    }
+
+    /// Builds `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(self),
+            op: BinaryOp::And,
+            right: Box::new(other),
+        }
+    }
+
+    /// Splits a conjunction tree into its leaf conjuncts.
+    pub fn split_conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::Binary {
+                    left,
+                    op: BinaryOp::And,
+                    right,
+                } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// True if the expression contains an aggregate call anywhere.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Column { .. } | Expr::Literal(_) => false,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Not(e) => e.contains_aggregate(),
+            Expr::InList { expr, .. } => expr.contains_aggregate(),
+            Expr::Between { expr, low, high } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::Like { expr, .. } => expr.contains_aggregate(),
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Substring { expr, .. } => expr.contains_aggregate(),
+        }
+    }
+
+    /// Collects every column reference in the expression.
+    pub fn columns(&self) -> Vec<(&Option<String>, &str)> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<(&'a Option<String>, &'a str)>) {
+            match e {
+                Expr::Column { table, name } => out.push((table, name.as_str())),
+                Expr::Literal(_) => {}
+                Expr::Binary { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                Expr::Not(e) => walk(e, out),
+                Expr::InList { expr, .. } => walk(expr, out),
+                Expr::Between { expr, low, high } => {
+                    walk(expr, out);
+                    walk(low, out);
+                    walk(high, out);
+                }
+                Expr::Like { expr, .. } => walk(expr, out),
+                Expr::IsNull { expr, .. } => walk(expr, out),
+                Expr::Substring { expr, .. } => walk(expr, out),
+                Expr::Aggregate { arg, .. } => {
+                    if let Some(a) = arg {
+                        walk(a, out);
+                    }
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column { table: None, name } => write!(f, "{name}"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::InList { expr, list, negated } => {
+                let items: Vec<String> = list.iter().map(|v| v.to_string()).collect();
+                let not = if *negated { " NOT" } else { "" };
+                write!(f, "{expr}{not} IN ({})", items.join(", "))
+            }
+            Expr::Between { expr, low, high } => write!(f, "{expr} BETWEEN {low} AND {high}"),
+            Expr::Like { expr, pattern, negated } => {
+                let not = if *negated { " NOT" } else { "" };
+                write!(f, "{expr}{not} LIKE '{pattern}'")
+            }
+            Expr::IsNull { expr, negated } => {
+                let not = if *negated { " NOT" } else { "" };
+                write!(f, "{expr} IS{not} NULL")
+            }
+            Expr::Substring { expr, start, len } => {
+                write!(f, "SUBSTRING({expr}, {start}, {len})")
+            }
+            Expr::Aggregate { func, arg, distinct } => {
+                let d = if *distinct { "DISTINCT " } else { "" };
+                match arg {
+                    Some(a) => write!(f, "{func}({d}{a})"),
+                    None => write!(f, "{func}(*)"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_conjuncts_flattens_and_tree() {
+        let e = Expr::col("a").and(Expr::col("b")).and(Expr::col("c"));
+        let parts = e.split_conjuncts();
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    fn split_conjuncts_stops_at_or() {
+        let or = Expr::Binary {
+            left: Box::new(Expr::col("a")),
+            op: BinaryOp::Or,
+            right: Box::new(Expr::col("b")),
+        };
+        let e = or.clone().and(Expr::col("c"));
+        let parts = e.split_conjuncts();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], &or);
+    }
+
+    #[test]
+    fn contains_aggregate_sees_nested() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::Aggregate {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false,
+            }),
+            op: BinaryOp::Gt,
+            right: Box::new(Expr::Literal(Value::Int(5))),
+        };
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn columns_collects_all_references() {
+        let e = Expr::Substring {
+            expr: Box::new(Expr::qcol("customer", "c_phone")),
+            start: 1,
+            len: 2,
+        };
+        let cols = e.columns();
+        assert_eq!(cols.len(), 1);
+        assert_eq!(cols[0].1, "c_phone");
+    }
+
+    #[test]
+    fn display_renders_readable_sql() {
+        let e = Expr::InList {
+            expr: Box::new(Expr::Substring {
+                expr: Box::new(Expr::col("c_phone")),
+                start: 1,
+                len: 2,
+            }),
+            list: vec![Value::Str("20".into()), Value::Str("40".into())],
+            negated: false,
+        };
+        assert_eq!(e.to_string(), "SUBSTRING(c_phone, 1, 2) IN ('20', '40')");
+    }
+
+    #[test]
+    fn comparison_classifier() {
+        assert!(BinaryOp::Eq.is_comparison());
+        assert!(!BinaryOp::And.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+    }
+}

@@ -1,0 +1,800 @@
+//! Name resolution and predicate classification.
+//!
+//! The binder turns a parsed [`SelectStatement`] into a [`BoundQuery`]: every
+//! column reference is resolved to a `(table slot, column index)` pair, the
+//! `WHERE` conjunction is split into single-table filters and equi-join
+//! predicates, and the projection is classified as plain / scalar-aggregate /
+//! grouped-aggregate. Both HTAP optimizers start from this structure.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::ast::{AggFunc, BinaryOp, Expr, SelectItem, SelectStatement};
+use crate::catalog::{Catalog, DataType};
+use crate::error::SqlError;
+use crate::value::Value;
+
+/// A resolved column reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Index into [`BoundQuery::tables`].
+    pub table_slot: usize,
+    /// Index into the table's column list.
+    pub column_idx: usize,
+    /// Resolved type.
+    pub data_type: DataType,
+}
+
+/// A table occurrence in the query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundTable {
+    /// Catalog table name.
+    pub name: String,
+    /// Alias used in the query, if any.
+    pub alias: Option<String>,
+    /// Row count snapshot at bind time (optimizers read this).
+    pub row_count: u64,
+}
+
+/// Bound scalar expression; mirrors [`Expr`] with resolved columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BoundExpr {
+    /// Resolved column.
+    Column(ColumnRef),
+    /// Literal.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// Logical negation.
+    Not(Box<BoundExpr>),
+    /// `IN` list over literals.
+    InList {
+        /// Probed expression.
+        expr: Box<BoundExpr>,
+        /// Literal list.
+        list: Vec<Value>,
+        /// `NOT IN` flag.
+        negated: bool,
+    },
+    /// Range test.
+    Between {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Lower bound.
+        low: Box<BoundExpr>,
+        /// Upper bound.
+        high: Box<BoundExpr>,
+    },
+    /// Pattern match.
+    Like {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Pattern with `%`/`_`.
+        pattern: String,
+        /// `NOT LIKE` flag.
+        negated: bool,
+    },
+    /// NULL test.
+    IsNull {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// `IS NOT NULL` flag.
+        negated: bool,
+    },
+    /// `SUBSTRING(expr, start, len)`.
+    Substring {
+        /// Source expression.
+        expr: Box<BoundExpr>,
+        /// 1-based start.
+        start: i64,
+        /// Length.
+        len: i64,
+    },
+    /// Aggregate call (only valid in projections / HAVING / ORDER BY).
+    Aggregate {
+        /// Function.
+        func: AggFunc,
+        /// Argument; `None` for `COUNT(*)`.
+        arg: Option<Box<BoundExpr>>,
+        /// DISTINCT flag.
+        distinct: bool,
+    },
+}
+
+impl BoundExpr {
+    /// Set of table slots this expression touches.
+    pub fn table_slots(&self) -> Vec<usize> {
+        let mut slots = Vec::new();
+        self.walk_columns(&mut |c| {
+            if !slots.contains(&c.table_slot) {
+                slots.push(c.table_slot);
+            }
+        });
+        slots
+    }
+
+    /// Visits every column reference.
+    pub fn walk_columns(&self, f: &mut impl FnMut(&ColumnRef)) {
+        match self {
+            BoundExpr::Column(c) => f(c),
+            BoundExpr::Literal(_) => {}
+            BoundExpr::Binary { left, right, .. } => {
+                left.walk_columns(f);
+                right.walk_columns(f);
+            }
+            BoundExpr::Not(e) => e.walk_columns(f),
+            BoundExpr::InList { expr, .. } => expr.walk_columns(f),
+            BoundExpr::Between { expr, low, high } => {
+                expr.walk_columns(f);
+                low.walk_columns(f);
+                high.walk_columns(f);
+            }
+            BoundExpr::Like { expr, .. } => expr.walk_columns(f),
+            BoundExpr::IsNull { expr, .. } => expr.walk_columns(f),
+            BoundExpr::Substring { expr, .. } => expr.walk_columns(f),
+            BoundExpr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    a.walk_columns(f);
+                }
+            }
+        }
+    }
+
+    /// True if the expression contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            BoundExpr::Aggregate { .. } => true,
+            BoundExpr::Column(_) | BoundExpr::Literal(_) => false,
+            BoundExpr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            BoundExpr::Not(e)
+            | BoundExpr::InList { expr: e, .. }
+            | BoundExpr::Like { expr: e, .. }
+            | BoundExpr::IsNull { expr: e, .. }
+            | BoundExpr::Substring { expr: e, .. } => e.contains_aggregate(),
+            BoundExpr::Between { expr, low, high } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+        }
+    }
+
+    /// If the expression is a bare column (possibly wrapped in nothing),
+    /// returns the reference. Used for index-eligibility analysis: an index
+    /// only serves predicates on the *raw* column — `SUBSTRING(c_phone,..)`
+    /// disqualifies the `c_phone` index, which is the exact trap the paper's
+    /// DBG-PT baseline falls into.
+    pub fn as_bare_column(&self) -> Option<&ColumnRef> {
+        match self {
+            BoundExpr::Column(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// A single-table filter conjunct.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableFilter {
+    /// Which table slot the filter restricts.
+    pub table_slot: usize,
+    /// The predicate.
+    pub expr: BoundExpr,
+}
+
+/// An equi-join conjunct `left = right` between two different tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EquiJoin {
+    /// Left column.
+    pub left: ColumnRef,
+    /// Right column.
+    pub right: ColumnRef,
+}
+
+impl EquiJoin {
+    /// The pair of table slots this join connects, smaller first.
+    pub fn slots(&self) -> (usize, usize) {
+        let (a, b) = (self.left.table_slot, self.right.table_slot);
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// The column on the side of `slot`, if the join touches it.
+    pub fn column_for(&self, slot: usize) -> Option<ColumnRef> {
+        if self.left.table_slot == slot {
+            Some(self.left)
+        } else if self.right.table_slot == slot {
+            Some(self.right)
+        } else {
+            None
+        }
+    }
+}
+
+/// How the projection aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregateKind {
+    /// No aggregates at all.
+    None,
+    /// Aggregates with no GROUP BY → one output row.
+    Scalar,
+    /// GROUP BY aggregation.
+    Grouped,
+}
+
+/// A projected output column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundProjection {
+    /// The output expression.
+    pub expr: BoundExpr,
+    /// Output column label.
+    pub label: String,
+}
+
+/// A fully-bound query, ready for either optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundQuery {
+    /// Tables in FROM order; slot index is the canonical table id inside the
+    /// query.
+    pub tables: Vec<BoundTable>,
+    /// Single-table filter conjuncts.
+    pub filters: Vec<TableFilter>,
+    /// Equi-join conjuncts.
+    pub joins: Vec<EquiJoin>,
+    /// Remaining multi-table or non-equi conjuncts, applied after joins.
+    pub residual_predicates: Vec<BoundExpr>,
+    /// Output projections.
+    pub projections: Vec<BoundProjection>,
+    /// Aggregation classification.
+    pub aggregate_kind: AggregateKind,
+    /// GROUP BY keys.
+    pub group_by: Vec<BoundExpr>,
+    /// HAVING predicate.
+    pub having: Option<BoundExpr>,
+    /// ORDER BY keys with descending flags.
+    pub order_by: Vec<(BoundExpr, bool)>,
+    /// LIMIT.
+    pub limit: Option<u64>,
+    /// OFFSET.
+    pub offset: Option<u64>,
+    /// The original SQL text (used in prompts and the knowledge base).
+    pub sql: String,
+}
+
+impl BoundQuery {
+    /// Join conjuncts that connect `a` and `b` (in either order).
+    pub fn joins_between(&self, a: usize, b: usize) -> Vec<&EquiJoin> {
+        self.joins
+            .iter()
+            .filter(|j| j.slots() == if a <= b { (a, b) } else { (b, a) })
+            .collect()
+    }
+
+    /// Filters on table slot `slot`.
+    pub fn filters_on(&self, slot: usize) -> Vec<&TableFilter> {
+        self.filters.iter().filter(|f| f.table_slot == slot).collect()
+    }
+
+    /// True when the query is a top-N pattern (ORDER BY + LIMIT), one of the
+    /// two workload families in the paper's knowledge base.
+    pub fn is_top_n(&self) -> bool {
+        !self.order_by.is_empty() && self.limit.is_some()
+    }
+}
+
+/// Binds statements against a catalog.
+pub struct Binder<'a> {
+    catalog: &'a dyn Catalog,
+}
+
+impl<'a> Binder<'a> {
+    /// Creates a binder over `catalog`.
+    pub fn new(catalog: &'a dyn Catalog) -> Self {
+        Binder { catalog }
+    }
+
+    /// Parses and binds `sql` in one step.
+    pub fn bind_sql(&self, sql: &str) -> Result<BoundQuery, SqlError> {
+        let trimmed = sql.trim().trim_end_matches(';');
+        let stmt = crate::parser::parse_select(trimmed)?;
+        self.bind(&stmt, trimmed)
+    }
+
+    /// Binds a parsed statement. `sql` is kept verbatim for prompts/KB.
+    pub fn bind(&self, stmt: &SelectStatement, sql: &str) -> Result<BoundQuery, SqlError> {
+        // 1. Resolve tables.
+        let mut tables = Vec::new();
+        for tref in &stmt.from {
+            let def = self.catalog.table(&tref.name).ok_or_else(|| {
+                SqlError::bind(format!("unknown table '{}'", tref.name))
+            })?;
+            tables.push(BoundTable {
+                name: def.name.clone(),
+                alias: tref.alias.clone(),
+                row_count: def.row_count,
+            });
+        }
+        if tables.is_empty() {
+            return Err(SqlError::bind("FROM clause is empty"));
+        }
+
+        let resolver = Resolver {
+            catalog: self.catalog,
+            tables: &tables,
+        };
+
+        // 2. Gather the full WHERE conjunction (explicit JOIN ... ON merges in).
+        let mut conjuncts: Vec<Expr> = Vec::new();
+        for tref in &stmt.from {
+            if let Some(on) = &tref.join_on {
+                conjuncts.extend(on.split_conjuncts().into_iter().cloned());
+            }
+        }
+        if let Some(sel) = &stmt.selection {
+            conjuncts.extend(sel.split_conjuncts().into_iter().cloned());
+        }
+
+        // 3. Bind and classify each conjunct.
+        let mut filters = Vec::new();
+        let mut joins = Vec::new();
+        let mut residual = Vec::new();
+        for c in &conjuncts {
+            if c.contains_aggregate() {
+                return Err(SqlError::bind("aggregate in WHERE clause"));
+            }
+            let bound = resolver.bind_expr(c)?;
+            match classify(&bound) {
+                Classified::Filter(slot) => filters.push(TableFilter {
+                    table_slot: slot,
+                    expr: bound,
+                }),
+                Classified::Join(j) => joins.push(j),
+                Classified::Residual => residual.push(bound),
+            }
+        }
+
+        // 4. Bind projections.
+        let mut projections = Vec::new();
+        for item in &stmt.projections {
+            match item {
+                SelectItem::Wildcard => {
+                    for (slot, t) in tables.iter().enumerate() {
+                        let def = self.catalog.table(&t.name).expect("resolved above");
+                        for (ci, col) in def.columns.iter().enumerate() {
+                            projections.push(BoundProjection {
+                                expr: BoundExpr::Column(ColumnRef {
+                                    table_slot: slot,
+                                    column_idx: ci,
+                                    data_type: col.data_type,
+                                }),
+                                label: col.name.clone(),
+                            });
+                        }
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let bound = resolver.bind_expr(expr)?;
+                    let label = alias.clone().unwrap_or_else(|| expr.to_string());
+                    projections.push(BoundProjection { expr: bound, label });
+                }
+            }
+        }
+
+        // 5. Aggregation classification and validation.
+        let has_agg = projections.iter().any(|p| p.expr.contains_aggregate());
+        let aggregate_kind = if !stmt.group_by.is_empty() {
+            if !has_agg {
+                return Err(SqlError::bind("GROUP BY without aggregate projection"));
+            }
+            AggregateKind::Grouped
+        } else if has_agg {
+            // every projection must be an aggregate in scalar mode
+            if projections.iter().any(|p| !p.expr.contains_aggregate()) {
+                return Err(SqlError::bind(
+                    "mixing aggregate and non-aggregate projections without GROUP BY",
+                ));
+            }
+            AggregateKind::Scalar
+        } else {
+            AggregateKind::None
+        };
+
+        let group_by = stmt
+            .group_by
+            .iter()
+            .map(|e| resolver.bind_expr(e))
+            .collect::<Result<Vec<_>, _>>()?;
+        let having = stmt
+            .having
+            .as_ref()
+            .map(|e| resolver.bind_expr(e))
+            .transpose()?;
+        if having.is_some() && aggregate_kind == AggregateKind::None {
+            return Err(SqlError::bind("HAVING without aggregation"));
+        }
+        let order_by = stmt
+            .order_by
+            .iter()
+            .map(|o| resolver.bind_expr(&o.expr).map(|e| (e, o.desc)))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(BoundQuery {
+            tables,
+            filters,
+            joins,
+            residual_predicates: residual,
+            projections,
+            aggregate_kind,
+            group_by,
+            having,
+            order_by,
+            limit: stmt.limit,
+            offset: stmt.offset,
+            sql: sql.to_string(),
+        })
+    }
+}
+
+enum Classified {
+    Filter(usize),
+    Join(EquiJoin),
+    Residual,
+}
+
+fn classify(e: &BoundExpr) -> Classified {
+    // equi-join: bare_column = bare_column across different slots
+    if let BoundExpr::Binary {
+        left,
+        op: BinaryOp::Eq,
+        right,
+    } = e
+    {
+        if let (Some(l), Some(r)) = (left.as_bare_column(), right.as_bare_column()) {
+            if l.table_slot != r.table_slot {
+                return Classified::Join(EquiJoin {
+                    left: *l,
+                    right: *r,
+                });
+            }
+        }
+    }
+    let slots = e.table_slots();
+    match slots.len() {
+        0 | 1 => Classified::Filter(slots.first().copied().unwrap_or(0)),
+        _ => Classified::Residual,
+    }
+}
+
+struct Resolver<'a> {
+    catalog: &'a dyn Catalog,
+    tables: &'a [BoundTable],
+}
+
+impl Resolver<'_> {
+    fn resolve_column(&self, table: &Option<String>, name: &str) -> Result<ColumnRef, SqlError> {
+        let mut matches = Vec::new();
+        for (slot, t) in self.tables.iter().enumerate() {
+            if let Some(q) = table {
+                // SQL scoping: an alias shadows the base table name.
+                let matches_qualifier = match t.alias.as_deref() {
+                    Some(alias) => alias == q.as_str(),
+                    None => t.name == *q,
+                };
+                if !matches_qualifier {
+                    continue;
+                }
+            }
+            let def = self
+                .catalog
+                .table(&t.name)
+                .ok_or_else(|| SqlError::bind(format!("table '{}' vanished", t.name)))?;
+            if let Some(ci) = def.column_index(name) {
+                matches.push(ColumnRef {
+                    table_slot: slot,
+                    column_idx: ci,
+                    data_type: def.columns[ci].data_type,
+                });
+            }
+        }
+        match matches.len() {
+            0 => Err(SqlError::bind(format!(
+                "unknown column '{}{}{name}'",
+                table.as_deref().unwrap_or(""),
+                if table.is_some() { "." } else { "" },
+            ))),
+            1 => Ok(matches[0]),
+            _ => Err(SqlError::bind(format!("ambiguous column '{name}'"))),
+        }
+    }
+
+    fn bind_expr(&self, e: &Expr) -> Result<BoundExpr, SqlError> {
+        Ok(match e {
+            Expr::Column { table, name } => {
+                BoundExpr::Column(self.resolve_column(table, name)?)
+            }
+            Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+            Expr::Binary { left, op, right } => BoundExpr::Binary {
+                left: Box::new(self.bind_expr(left)?),
+                op: *op,
+                right: Box::new(self.bind_expr(right)?),
+            },
+            Expr::Not(inner) => BoundExpr::Not(Box::new(self.bind_expr(inner)?)),
+            Expr::InList { expr, list, negated } => BoundExpr::InList {
+                expr: Box::new(self.bind_expr(expr)?),
+                list: list.clone(),
+                negated: *negated,
+            },
+            Expr::Between { expr, low, high } => BoundExpr::Between {
+                expr: Box::new(self.bind_expr(expr)?),
+                low: Box::new(self.bind_expr(low)?),
+                high: Box::new(self.bind_expr(high)?),
+            },
+            Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+                expr: Box::new(self.bind_expr(expr)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(self.bind_expr(expr)?),
+                negated: *negated,
+            },
+            Expr::Substring { expr, start, len } => {
+                if *start < 1 || *len < 0 {
+                    return Err(SqlError::bind(format!(
+                        "SUBSTRING start must be >= 1 and len >= 0, got ({start}, {len})"
+                    )));
+                }
+                BoundExpr::Substring {
+                    expr: Box::new(self.bind_expr(expr)?),
+                    start: *start,
+                    len: *len,
+                }
+            }
+            Expr::Aggregate { func, arg, distinct } => BoundExpr::Aggregate {
+                func: *func,
+                arg: arg
+                    .as_ref()
+                    .map(|a| self.bind_expr(a).map(Box::new))
+                    .transpose()?,
+                distinct: *distinct,
+            },
+        })
+    }
+}
+
+impl fmt::Display for BoundQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BoundQuery[{} tables, {} filters, {} joins, agg={:?}]",
+            self.tables.len(),
+            self.filters.len(),
+            self.joins.len(),
+            self.aggregate_kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnDef, MemoryCatalog, TableDef};
+
+    fn tpch_mini() -> MemoryCatalog {
+        let mut cat = MemoryCatalog::new();
+        cat.add_table(TableDef {
+            name: "customer".into(),
+            columns: vec![
+                ColumnDef { name: "c_custkey".into(), data_type: DataType::Int, ndv: 1000 },
+                ColumnDef { name: "c_nationkey".into(), data_type: DataType::Int, ndv: 25 },
+                ColumnDef { name: "c_phone".into(), data_type: DataType::Str, ndv: 1000 },
+                ColumnDef { name: "c_mktsegment".into(), data_type: DataType::Str, ndv: 5 },
+            ],
+            row_count: 1000,
+            indexed_columns: vec![],
+            primary_key: "c_custkey".into(),
+        });
+        cat.add_table(TableDef {
+            name: "nation".into(),
+            columns: vec![
+                ColumnDef { name: "n_nationkey".into(), data_type: DataType::Int, ndv: 25 },
+                ColumnDef { name: "n_name".into(), data_type: DataType::Str, ndv: 25 },
+            ],
+            row_count: 25,
+            indexed_columns: vec![],
+            primary_key: "n_nationkey".into(),
+        });
+        cat.add_table(TableDef {
+            name: "orders".into(),
+            columns: vec![
+                ColumnDef { name: "o_orderkey".into(), data_type: DataType::Int, ndv: 10000 },
+                ColumnDef { name: "o_custkey".into(), data_type: DataType::Int, ndv: 1000 },
+                ColumnDef { name: "o_orderstatus".into(), data_type: DataType::Str, ndv: 3 },
+                ColumnDef { name: "o_totalprice".into(), data_type: DataType::Float, ndv: 9000 },
+            ],
+            row_count: 10000,
+            indexed_columns: vec![],
+            primary_key: "o_orderkey".into(),
+        });
+        cat
+    }
+
+    #[test]
+    fn binds_paper_example_1_classification() {
+        let cat = tpch_mini();
+        let binder = Binder::new(&cat);
+        let q = binder
+            .bind_sql(
+                "SELECT COUNT(*) FROM customer, nation, orders \
+                 WHERE SUBSTRING(c_phone, 1, 2) IN ('20', '40') \
+                 AND c_mktsegment = 'machinery' \
+                 AND n_name = 'egypt' AND o_orderstatus = 'p' \
+                 AND o_custkey = c_custkey \
+                 AND n_nationkey = c_nationkey;",
+            )
+            .unwrap();
+        assert_eq!(q.tables.len(), 3);
+        assert_eq!(q.filters.len(), 4);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.aggregate_kind, AggregateKind::Scalar);
+        assert!(q.residual_predicates.is_empty());
+    }
+
+    #[test]
+    fn join_slots_are_normalized() {
+        let cat = tpch_mini();
+        let q = Binder::new(&cat)
+            .bind_sql("SELECT * FROM customer, orders WHERE o_custkey = c_custkey")
+            .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].slots(), (0, 1));
+        assert_eq!(q.joins_between(1, 0).len(), 1);
+    }
+
+    #[test]
+    fn same_table_equality_is_filter_not_join() {
+        let cat = tpch_mini();
+        let q = Binder::new(&cat)
+            .bind_sql("SELECT * FROM customer WHERE c_custkey = c_nationkey")
+            .unwrap();
+        assert!(q.joins.is_empty());
+        assert_eq!(q.filters.len(), 1);
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let cat = tpch_mini();
+        let b = Binder::new(&cat);
+        assert!(matches!(
+            b.bind_sql("SELECT * FROM lineitem"),
+            Err(SqlError::Bind(_))
+        ));
+        assert!(matches!(
+            b.bind_sql("SELECT c_missing FROM customer"),
+            Err(SqlError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn ambiguous_column_errors() {
+        let mut cat = tpch_mini();
+        // Add a second table that also has c_custkey.
+        cat.add_table(TableDef {
+            name: "customer2".into(),
+            columns: vec![ColumnDef {
+                name: "c_custkey".into(),
+                data_type: DataType::Int,
+                ndv: 10,
+            }],
+            row_count: 10,
+            indexed_columns: vec![],
+            primary_key: "c_custkey".into(),
+        });
+        let b = Binder::new(&cat);
+        let err = b
+            .bind_sql("SELECT c_custkey FROM customer, customer2")
+            .unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn alias_resolution() {
+        let cat = tpch_mini();
+        let q = Binder::new(&cat)
+            .bind_sql("SELECT c.c_phone FROM customer c WHERE c.c_mktsegment = 'x'")
+            .unwrap();
+        assert_eq!(q.filters.len(), 1);
+        assert_eq!(q.filters[0].table_slot, 0);
+    }
+
+    #[test]
+    fn explicit_join_on_merges_into_joins() {
+        let cat = tpch_mini();
+        let q = Binder::new(&cat)
+            .bind_sql("SELECT * FROM customer INNER JOIN orders ON o_custkey = c_custkey")
+            .unwrap();
+        assert_eq!(q.joins.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_expands_all_tables() {
+        let cat = tpch_mini();
+        let q = Binder::new(&cat)
+            .bind_sql("SELECT * FROM customer, nation")
+            .unwrap();
+        assert_eq!(q.projections.len(), 4 + 2);
+    }
+
+    #[test]
+    fn mixed_agg_without_group_by_errors() {
+        let cat = tpch_mini();
+        assert!(Binder::new(&cat)
+            .bind_sql("SELECT c_phone, COUNT(*) FROM customer")
+            .is_err());
+    }
+
+    #[test]
+    fn group_by_without_agg_errors() {
+        let cat = tpch_mini();
+        assert!(Binder::new(&cat)
+            .bind_sql("SELECT c_phone FROM customer GROUP BY c_phone")
+            .is_err());
+    }
+
+    #[test]
+    fn having_without_agg_errors() {
+        let cat = tpch_mini();
+        assert!(Binder::new(&cat)
+            .bind_sql("SELECT c_phone FROM customer HAVING c_custkey > 1")
+            .is_err());
+    }
+
+    #[test]
+    fn aggregate_in_where_errors() {
+        let cat = tpch_mini();
+        assert!(Binder::new(&cat)
+            .bind_sql("SELECT COUNT(*) FROM customer WHERE COUNT(*) > 1")
+            .is_err());
+    }
+
+    #[test]
+    fn top_n_detection() {
+        let cat = tpch_mini();
+        let q = Binder::new(&cat)
+            .bind_sql("SELECT o_orderkey FROM orders ORDER BY o_totalprice DESC LIMIT 10")
+            .unwrap();
+        assert!(q.is_top_n());
+        let q2 = Binder::new(&cat)
+            .bind_sql("SELECT o_orderkey FROM orders ORDER BY o_totalprice DESC")
+            .unwrap();
+        assert!(!q2.is_top_n());
+    }
+
+    #[test]
+    fn substring_validation() {
+        let cat = tpch_mini();
+        assert!(Binder::new(&cat)
+            .bind_sql("SELECT * FROM customer WHERE SUBSTRING(c_phone, 0, 2) = 'xx'")
+            .is_err());
+    }
+
+    #[test]
+    fn residual_predicate_classification() {
+        let cat = tpch_mini();
+        // non-equi cross-table predicate
+        let q = Binder::new(&cat)
+            .bind_sql("SELECT * FROM customer, orders WHERE c_custkey < o_custkey")
+            .unwrap();
+        assert_eq!(q.residual_predicates.len(), 1);
+        assert!(q.joins.is_empty());
+    }
+}

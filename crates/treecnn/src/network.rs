@@ -1,0 +1,521 @@
+//! The tree-CNN network: layers, forward pass, and manual backprop.
+
+use crate::features::{FeatTree, NODE_FEATURE_DIM};
+use crate::tensor::{relu_inplace, softmax, Mat};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Tree-conv layer 1 output width.
+pub const CONV1_DIM: usize = 32;
+/// Tree-conv layer 2 output width (= pooled vector width).
+pub const CONV2_DIM: usize = 16;
+/// Per-plan embedding width; the pair key is twice this.
+pub const EMBED_DIM: usize = 8;
+/// Classifier hidden width.
+pub const HIDDEN_DIM: usize = 16;
+/// Output classes ({TP faster, AP faster}).
+pub const OUT_DIM: usize = 2;
+
+/// A tree-convolution layer: looks at a node and its two children through
+/// separate weight matrices (Mou-style triangular filter as used in Bao).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeConvLayer {
+    /// Weights applied to the node itself.
+    pub w_self: Mat,
+    /// Weights applied to the left child (zeros input when absent).
+    pub w_left: Mat,
+    /// Weights applied to the right child.
+    pub w_right: Mat,
+    /// Bias.
+    pub b: Vec<f64>,
+}
+
+impl TreeConvLayer {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        TreeConvLayer {
+            w_self: Mat::xavier(out_dim, in_dim, rng),
+            w_left: Mat::xavier(out_dim, in_dim, rng),
+            w_right: Mat::xavier(out_dim, in_dim, rng),
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    fn zeros(in_dim: usize, out_dim: usize) -> Self {
+        TreeConvLayer {
+            w_self: Mat::zeros(out_dim, in_dim),
+            w_left: Mat::zeros(out_dim, in_dim),
+            w_right: Mat::zeros(out_dim, in_dim),
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Forward over the whole tree; returns per-node activations and ReLU
+    /// masks.
+    fn forward(&self, tree: &FeatTree, inputs: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<bool>>) {
+        let out_dim = self.b.len();
+        let mut acts = Vec::with_capacity(inputs.len());
+        let mut masks = Vec::with_capacity(inputs.len());
+        for i in 0..inputs.len() {
+            let mut z = self.b.clone();
+            self.w_self.matvec_acc(&inputs[i], &mut z);
+            if let Some(l) = tree.left[i] {
+                self.w_left.matvec_acc(&inputs[l], &mut z);
+            }
+            if let Some(r) = tree.right[i] {
+                self.w_right.matvec_acc(&inputs[r], &mut z);
+            }
+            let mask = relu_inplace(&mut z);
+            debug_assert_eq!(z.len(), out_dim);
+            acts.push(z);
+            masks.push(mask);
+        }
+        (acts, masks)
+    }
+
+    /// Backward: `d_out[i]` is the loss gradient at node `i`'s output.
+    /// Accumulates weight gradients into `grads` and returns per-node input
+    /// gradients.
+    #[allow(clippy::too_many_arguments)]
+    fn backward(
+        &self,
+        tree: &FeatTree,
+        inputs: &[Vec<f64>],
+        masks: &[Vec<bool>],
+        d_out: &[Vec<f64>],
+        grads: &mut TreeConvLayer,
+    ) -> Vec<Vec<f64>> {
+        let in_dim = self.w_self.cols;
+        let mut d_in: Vec<Vec<f64>> = inputs.iter().map(|_| vec![0.0; in_dim]).collect();
+        for i in 0..inputs.len() {
+            // gate by ReLU mask
+            let dz: Vec<f64> = d_out[i]
+                .iter()
+                .zip(masks[i].iter())
+                .map(|(g, m)| if *m { *g } else { 0.0 })
+                .collect();
+            if dz.iter().all(|v| *v == 0.0) {
+                continue;
+            }
+            grads.w_self.outer_acc(&dz, &inputs[i]);
+            self.w_self.matvec_t_acc(&dz, &mut d_in[i]);
+            for (g, v) in grads.b.iter_mut().zip(dz.iter()) {
+                *g += v;
+            }
+            if let Some(l) = tree.left[i] {
+                grads.w_left.outer_acc(&dz, &inputs[l]);
+                self.w_left.matvec_t_acc(&dz, &mut d_in[l]);
+            }
+            if let Some(r) = tree.right[i] {
+                grads.w_right.outer_acc(&dz, &inputs[r]);
+                self.w_right.matvec_t_acc(&dz, &mut d_in[r]);
+            }
+        }
+        d_in
+    }
+
+    fn params(&self) -> impl Iterator<Item = &f64> {
+        self.w_self
+            .data
+            .iter()
+            .chain(self.w_left.data.iter())
+            .chain(self.w_right.data.iter())
+            .chain(self.b.iter())
+    }
+
+    fn params_mut(&mut self) -> impl Iterator<Item = &mut f64> {
+        self.w_self
+            .data
+            .iter_mut()
+            .chain(self.w_left.data.iter_mut())
+            .chain(self.w_right.data.iter_mut())
+            .chain(self.b.iter_mut())
+    }
+}
+
+/// Fully-connected layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FcLayer {
+    /// Weights, `out × in`.
+    pub w: Mat,
+    /// Bias.
+    pub b: Vec<f64>,
+}
+
+impl FcLayer {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        FcLayer {
+            w: Mat::xavier(out_dim, in_dim, rng),
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    fn zeros(in_dim: usize, out_dim: usize) -> Self {
+        FcLayer {
+            w: Mat::zeros(out_dim, in_dim),
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.b.clone();
+        self.w.matvec_acc(x, &mut y);
+        y
+    }
+
+    fn backward(&self, x: &[f64], d_out: &[f64], grads: &mut FcLayer) -> Vec<f64> {
+        grads.w.outer_acc(d_out, x);
+        for (g, v) in grads.b.iter_mut().zip(d_out.iter()) {
+            *g += v;
+        }
+        let mut d_in = vec![0.0; self.w.cols];
+        self.w.matvec_t_acc(d_out, &mut d_in);
+        d_in
+    }
+
+    fn params(&self) -> impl Iterator<Item = &f64> {
+        self.w.data.iter().chain(self.b.iter())
+    }
+
+    fn params_mut(&mut self) -> impl Iterator<Item = &mut f64> {
+        self.w.data.iter_mut().chain(self.b.iter_mut())
+    }
+}
+
+/// The full router network (see crate docs for the architecture).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterNetwork {
+    conv1: TreeConvLayer,
+    conv2: TreeConvLayer,
+    fc_embed: FcLayer,
+    fc_hidden: FcLayer,
+    fc_out: FcLayer,
+}
+
+/// Cached activations for one plan's encoder pass.
+pub struct PlanForward {
+    inputs: Vec<Vec<f64>>,
+    h1: Vec<Vec<f64>>,
+    mask1: Vec<Vec<bool>>,
+    h2: Vec<Vec<f64>>,
+    mask2: Vec<Vec<bool>>,
+    pooled: Vec<f64>,
+    argmax: Vec<usize>,
+    /// Post-tanh per-plan embedding.
+    pub embed: Vec<f64>,
+}
+
+/// Cached activations for one pair's classifier pass.
+pub struct PairForward {
+    /// TP-side encoder cache.
+    pub tp: PlanForward,
+    /// AP-side encoder cache.
+    pub ap: PlanForward,
+    /// The 16-dim pair key (concat of embeddings).
+    pub pair: Vec<f64>,
+    hidden: Vec<f64>,
+    mask_h: Vec<bool>,
+    /// Class probabilities `[P(TP faster), P(AP faster)]`.
+    pub probs: Vec<f64>,
+}
+
+impl RouterNetwork {
+    /// Fresh Xavier-initialized network.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = crate::tensor::seeded_rng(seed);
+        RouterNetwork {
+            conv1: TreeConvLayer::new(NODE_FEATURE_DIM, CONV1_DIM, &mut rng),
+            conv2: TreeConvLayer::new(CONV1_DIM, CONV2_DIM, &mut rng),
+            fc_embed: FcLayer::new(CONV2_DIM, EMBED_DIM, &mut rng),
+            fc_hidden: FcLayer::new(2 * EMBED_DIM, HIDDEN_DIM, &mut rng),
+            fc_out: FcLayer::new(HIDDEN_DIM, OUT_DIM, &mut rng),
+        }
+    }
+
+    /// All-zero network of identical shape (gradient accumulator).
+    pub fn zeros_like() -> Self {
+        RouterNetwork {
+            conv1: TreeConvLayer::zeros(NODE_FEATURE_DIM, CONV1_DIM),
+            conv2: TreeConvLayer::zeros(CONV1_DIM, CONV2_DIM),
+            fc_embed: FcLayer::zeros(CONV2_DIM, EMBED_DIM),
+            fc_hidden: FcLayer::zeros(2 * EMBED_DIM, HIDDEN_DIM),
+            fc_out: FcLayer::zeros(HIDDEN_DIM, OUT_DIM),
+        }
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.flat().len()
+    }
+
+    /// Flattens all parameters into one vector (Adam's view).
+    pub fn flat(&self) -> Vec<f64> {
+        self.conv1
+            .params()
+            .chain(self.conv2.params())
+            .chain(self.fc_embed.params())
+            .chain(self.fc_hidden.params())
+            .chain(self.fc_out.params())
+            .copied()
+            .collect()
+    }
+
+    /// Writes a flat parameter vector back into the layers.
+    pub fn set_flat(&mut self, flat: &[f64]) {
+        let mut it = flat.iter();
+        for p in self
+            .conv1
+            .params_mut()
+            .chain(self.conv2.params_mut())
+            .chain(self.fc_embed.params_mut())
+            .chain(self.fc_hidden.params_mut())
+            .chain(self.fc_out.params_mut())
+        {
+            *p = *it.next().expect("flat vector too short");
+        }
+        assert!(it.next().is_none(), "flat vector too long");
+    }
+
+    /// Encodes one plan tree into its cached forward pass.
+    pub fn encode_plan(&self, tree: &FeatTree) -> PlanForward {
+        assert!(!tree.is_empty(), "cannot encode an empty plan");
+        let inputs = tree.feats.clone();
+        let (h1, mask1) = self.conv1.forward(tree, &inputs);
+        let (h2, mask2) = self.conv2.forward(tree, &h1);
+        // dynamic max pooling
+        let mut pooled = vec![f64::NEG_INFINITY; CONV2_DIM];
+        let mut argmax = vec![0usize; CONV2_DIM];
+        for (i, h) in h2.iter().enumerate() {
+            for d in 0..CONV2_DIM {
+                if h[d] > pooled[d] {
+                    pooled[d] = h[d];
+                    argmax[d] = i;
+                }
+            }
+        }
+        let pre = self.fc_embed.forward(&pooled);
+        let embed: Vec<f64> = pre.iter().map(|v| v.tanh()).collect();
+        PlanForward {
+            inputs,
+            h1,
+            mask1,
+            h2,
+            mask2,
+            pooled,
+            argmax,
+            embed,
+        }
+    }
+
+    /// Full pair forward pass: encoder on both plans + classifier head.
+    pub fn forward_pair(&self, tp: &FeatTree, ap: &FeatTree) -> PairForward {
+        let tp_f = self.encode_plan(tp);
+        let ap_f = self.encode_plan(ap);
+        let mut pair = tp_f.embed.clone();
+        pair.extend_from_slice(&ap_f.embed);
+        let mut hidden = self.fc_hidden.forward(&pair);
+        let mask_h = relu_inplace(&mut hidden);
+        let logits = self.fc_out.forward(&hidden);
+        let probs = softmax(&logits);
+        PairForward {
+            tp: tp_f,
+            ap: ap_f,
+            pair,
+            hidden,
+            mask_h,
+            probs,
+        }
+    }
+
+    /// Backward pass for one pair; accumulates gradients into `grads` and
+    /// returns the cross-entropy loss. `label` is 0 when TP was faster,
+    /// 1 when AP was.
+    pub fn backward_pair(
+        &self,
+        tp_tree: &FeatTree,
+        ap_tree: &FeatTree,
+        fwd: &PairForward,
+        label: usize,
+        grads: &mut RouterNetwork,
+    ) -> f64 {
+        let loss = -fwd.probs[label].max(1e-12).ln();
+        // d logits
+        let mut d_logits = fwd.probs.clone();
+        d_logits[label] -= 1.0;
+        let d_hidden_raw = self.fc_out.backward(&fwd.hidden, &d_logits, &mut grads.fc_out);
+        let d_hidden: Vec<f64> = d_hidden_raw
+            .iter()
+            .zip(fwd.mask_h.iter())
+            .map(|(g, m)| if *m { *g } else { 0.0 })
+            .collect();
+        let d_pair = self
+            .fc_hidden
+            .backward(&fwd.pair, &d_hidden, &mut grads.fc_hidden);
+        let (d_tp_embed, d_ap_embed) = d_pair.split_at(EMBED_DIM);
+        self.backward_plan(tp_tree, &fwd.tp, d_tp_embed, grads);
+        self.backward_plan(ap_tree, &fwd.ap, d_ap_embed, grads);
+        loss
+    }
+
+    fn backward_plan(
+        &self,
+        tree: &FeatTree,
+        fwd: &PlanForward,
+        d_embed: &[f64],
+        grads: &mut RouterNetwork,
+    ) {
+        // tanh backward
+        let d_pre: Vec<f64> = d_embed
+            .iter()
+            .zip(fwd.embed.iter())
+            .map(|(g, y)| g * (1.0 - y * y))
+            .collect();
+        let d_pooled = self
+            .fc_embed
+            .backward(&fwd.pooled, &d_pre, &mut grads.fc_embed);
+        // pooling backward: route to argmax nodes
+        let mut d_h2: Vec<Vec<f64>> = fwd.h2.iter().map(|_| vec![0.0; CONV2_DIM]).collect();
+        for d in 0..CONV2_DIM {
+            d_h2[fwd.argmax[d]][d] += d_pooled[d];
+        }
+        let d_h1 = self
+            .conv2
+            .backward(tree, &fwd.h1, &fwd.mask2, &d_h2, &mut grads.conv2);
+        let _ = self
+            .conv1
+            .backward(tree, &fwd.inputs, &fwd.mask1, &d_h1, &mut grads.conv1);
+    }
+
+    /// Per-plan embedding (post-tanh, [`EMBED_DIM`] wide).
+    pub fn plan_embedding(&self, tree: &FeatTree) -> Vec<f64> {
+        self.encode_plan(tree).embed
+    }
+
+    /// Class probabilities `[P(TP), P(AP)]` for a plan pair.
+    pub fn predict(&self, tp: &FeatTree, ap: &FeatTree) -> Vec<f64> {
+        self.forward_pair(tp, ap).probs
+    }
+
+    /// The 16-dim pair embedding — the knowledge-base retrieval key.
+    pub fn pair_embedding(&self, tp: &FeatTree, ap: &FeatTree) -> Vec<f64> {
+        self.forward_pair(tp, ap).pair
+    }
+
+    /// Serialized model size in bytes (the paper claims < 1 MB).
+    pub fn serialized_size(&self) -> usize {
+        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::featurize;
+    use qpe_htap::plan::{NodeType, PlanNode, PlanOp};
+
+    fn tiny_tree(cost: f64) -> FeatTree {
+        let scan = PlanNode::new(
+            NodeType::TableScan,
+            PlanOp::TableScan { table_slot: 0, columns: vec![0] },
+        )
+        .with_relation("customer")
+        .with_estimates(cost, 100.0);
+        featurize(&scan)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let net = RouterNetwork::new(1);
+        let fwd = net.forward_pair(&tiny_tree(10.0), &tiny_tree(20.0));
+        assert_eq!(fwd.pair.len(), 2 * EMBED_DIM);
+        assert_eq!(fwd.probs.len(), 2);
+        assert!((fwd.probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(fwd.tp.embed.iter().all(|v| v.abs() <= 1.0), "tanh bounded");
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let net = RouterNetwork::new(2);
+        let flat = net.flat();
+        let mut net2 = RouterNetwork::zeros_like();
+        net2.set_flat(&flat);
+        assert_eq!(net, net2);
+        assert_eq!(net.param_count(), flat.len());
+    }
+
+    #[test]
+    fn model_is_small() {
+        let net = RouterNetwork::new(3);
+        assert!(net.param_count() < 10_000, "params={}", net.param_count());
+        let bytes = net.serialized_size();
+        assert!(bytes > 0 && bytes < 1_000_000, "size={bytes}");
+    }
+
+    #[test]
+    fn gradient_check_numerical() {
+        // Finite-difference check on a handful of parameters.
+        let net = RouterNetwork::new(4);
+        let tp = tiny_tree(10.0);
+        let ap = tiny_tree(1000.0);
+        let label = 1usize;
+
+        let loss_at = |n: &RouterNetwork| -> f64 {
+            let f = n.forward_pair(&tp, &ap);
+            -f.probs[label].max(1e-12).ln()
+        };
+
+        let mut grads = RouterNetwork::zeros_like();
+        let fwd = net.forward_pair(&tp, &ap);
+        net.backward_pair(&tp, &ap, &fwd, label, &mut grads);
+        let analytic = grads.flat();
+        let base_params = net.flat();
+
+        let eps = 1e-5;
+        // probe a spread of parameter indices across all layers
+        let n = base_params.len();
+        for &i in &[0usize, 7, n / 4, n / 2, 3 * n / 4, n - 3, n - 1] {
+            let mut plus = base_params.clone();
+            plus[i] += eps;
+            let mut net_p = RouterNetwork::zeros_like();
+            net_p.set_flat(&plus);
+            let mut minus = base_params.clone();
+            minus[i] -= eps;
+            let mut net_m = RouterNetwork::zeros_like();
+            net_m.set_flat(&minus);
+            let numeric = (loss_at(&net_p) - loss_at(&net_m)) / (2.0 * eps);
+            let diff = (numeric - analytic[i]).abs();
+            let scale = numeric.abs().max(analytic[i].abs()).max(1e-8);
+            assert!(
+                diff / scale < 1e-3 || diff < 1e-7,
+                "grad mismatch at {i}: numeric={numeric}, analytic={}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn embeddings_differ_for_different_plans() {
+        let net = RouterNetwork::new(5);
+        let a = net.plan_embedding(&tiny_tree(1.0));
+        let b = net.plan_embedding(&tiny_tree(1e6));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pair_embedding_is_concat() {
+        let net = RouterNetwork::new(6);
+        let t1 = tiny_tree(5.0);
+        let t2 = tiny_tree(50.0);
+        let pair = net.pair_embedding(&t1, &t2);
+        let e1 = net.plan_embedding(&t1);
+        let e2 = net.plan_embedding(&t2);
+        assert_eq!(&pair[..EMBED_DIM], e1.as_slice());
+        assert_eq!(&pair[EMBED_DIM..], e2.as_slice());
+    }
+
+    #[test]
+    fn deterministic_inference() {
+        let net = RouterNetwork::new(7);
+        let t = tiny_tree(42.0);
+        assert_eq!(net.predict(&t, &t), net.predict(&t, &t));
+    }
+}

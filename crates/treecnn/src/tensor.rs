@@ -1,0 +1,253 @@
+//! Minimal dense linear algebra for the tree-CNN.
+//!
+//! The router has a few thousand parameters; plain `Vec<f64>` matrices with
+//! straightforward loops are more than fast enough (and keep the crate free
+//! of ML-framework dependencies, as the paper's <1 MB model demands).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major data, `data[r * cols + c]`.
+    pub data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Xavier/Glorot-uniform initialized matrix.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Mat { rows, cols, data }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// `y += self * x` (matrix-vector product accumulated into `y`).
+    pub fn matvec_acc(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y.len(), self.rows);
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (w, v) in row.iter().zip(x.iter()) {
+                acc += w * v;
+            }
+            *yr += acc;
+        }
+    }
+
+    /// `y = self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_acc(x, &mut y);
+        y
+    }
+
+    /// `y += selfᵀ * x` (transposed matrix-vector product, for backprop).
+    pub fn matvec_t_acc(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.rows);
+        debug_assert_eq!(y.len(), self.cols);
+        for (r, &g) in x.iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (yc, w) in y.iter_mut().zip(row.iter()) {
+                *yc += g * w;
+            }
+        }
+    }
+
+    /// `self += g ⊗ x` (outer-product accumulation, for weight gradients).
+    pub fn outer_acc(&mut self, g: &[f64], x: &[f64]) {
+        debug_assert_eq!(g.len(), self.rows);
+        debug_assert_eq!(x.len(), self.cols);
+        for (r, &gr) in g.iter().enumerate() {
+            if gr == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (w, v) in row.iter_mut().zip(x.iter()) {
+                *w += gr * v;
+            }
+        }
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// In-place ReLU; returns a mask of active units for backprop.
+pub fn relu_inplace(x: &mut [f64]) -> Vec<bool> {
+    x.iter_mut()
+        .map(|v| {
+            if *v > 0.0 {
+                true
+            } else {
+                *v = 0.0;
+                false
+            }
+        })
+        .collect()
+}
+
+/// Numerically-stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// The Adam optimizer over a flat parameter view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates an optimizer for `n` parameters.
+    pub fn new(n: usize, lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
+    }
+
+    /// Applies one update step: `params -= lr * m̂ / (√v̂ + ε)`.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grads.len(), self.m.len());
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Deterministic RNG for weight init.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_basics() {
+        let m = Mat { rows: 2, cols: 3, data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] };
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose() {
+        let m = Mat { rows: 2, cols: 3, data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] };
+        let mut y = vec![0.0; 3];
+        m.matvec_t_acc(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn outer_acc_accumulates() {
+        let mut m = Mat::zeros(2, 2);
+        m.outer_acc(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(m.data, vec![3.0, 4.0, 6.0, 8.0]);
+        m.outer_acc(&[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(m.data, vec![4.0, 5.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn relu_masks() {
+        let mut x = vec![-1.0, 0.0, 2.0];
+        let mask = relu_inplace(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.0]);
+        assert_eq!(mask, vec![false, false, true]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[1] > p[0]);
+        let q = softmax(&[0.0, 0.0, 0.0]);
+        assert!((q[0] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adam_reduces_quadratic_loss() {
+        // minimize (x-3)^2
+        let mut params = vec![0.0];
+        let mut adam = Adam::new(1, 0.1);
+        for _ in 0..200 {
+            let grad = vec![2.0 * (params[0] - 3.0)];
+            adam.step(&mut params, &grad);
+        }
+        assert!((params[0] - 3.0).abs() < 0.05, "x={}", params[0]);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = seeded_rng(1);
+        let m = Mat::xavier(10, 10, &mut rng);
+        let bound = (6.0f64 / 20.0).sqrt();
+        assert!(m.data.iter().all(|v| v.abs() <= bound));
+        assert_eq!(m.len(), 100);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn xavier_is_deterministic() {
+        let a = Mat::xavier(4, 4, &mut seeded_rng(7));
+        let b = Mat::xavier(4, 4, &mut seeded_rng(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the tree-CNN: featurization totality, network
+//! numeric hygiene, and gradient correctness on random plan shapes.
+
+use proptest::prelude::*;
+use qpe_htap::plan::{NodeType, PlanNode, PlanOp};
+use qpe_treecnn::features::{featurize, NODE_FEATURE_DIM};
+use qpe_treecnn::network::RouterNetwork;
+
+/// Strategy over random plan trees of bounded depth.
+fn plan_tree() -> impl Strategy<Value = PlanNode> {
+    let leaf = (0.0f64..1e7, 0.0f64..1e7, 0usize..8).prop_map(|(cost, rows, rel)| {
+        let tables = ["region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"];
+        PlanNode::new(
+            NodeType::TableScan,
+            PlanOp::TableScan { table_slot: 0, columns: vec![0] },
+        )
+        .with_relation(tables[rel])
+        .with_estimates(cost, rows)
+    });
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), 0.0f64..1e7).prop_map(|(child, cost)| {
+                PlanNode::new(
+                    NodeType::Filter,
+                    PlanOp::Filter {
+                        predicate: qpe_sql::binder::BoundExpr::Literal(
+                            qpe_sql::value::Value::Int(1),
+                        ),
+                    },
+                )
+                .with_estimates(cost, child.plan_rows / 2.0)
+                .with_child(child)
+            }),
+            (inner.clone(), inner, 0.0f64..1e7).prop_map(|(l, r, cost)| {
+                PlanNode::new(
+                    NodeType::HashJoin,
+                    PlanOp::HashJoin { probe_keys: vec![], build_keys: vec![] },
+                )
+                .with_estimates(cost, l.plan_rows.max(r.plan_rows))
+                .with_child(l)
+                .with_child(r)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Featurization is total: node count preserved, features bounded.
+    #[test]
+    fn featurize_total_and_bounded(plan in plan_tree()) {
+        let tree = featurize(&plan);
+        prop_assert_eq!(tree.len(), plan.node_count());
+        for f in &tree.feats {
+            prop_assert_eq!(f.len(), NODE_FEATURE_DIM);
+            for v in f {
+                prop_assert!(v.is_finite());
+                prop_assert!((-0.01..=1.01).contains(v), "feature {v} out of range");
+            }
+        }
+    }
+
+    /// Forward passes are finite and produce proper probabilities for any
+    /// tree pair.
+    #[test]
+    fn forward_is_numerically_sane(tp in plan_tree(), ap in plan_tree()) {
+        let net = RouterNetwork::new(9);
+        let fwd = net.forward_pair(&featurize(&tp), &featurize(&ap));
+        prop_assert!((fwd.probs[0] + fwd.probs[1] - 1.0).abs() < 1e-9);
+        prop_assert!(fwd.probs.iter().all(|p| p.is_finite() && *p >= 0.0));
+        prop_assert!(fwd.pair.iter().all(|v| v.is_finite() && v.abs() <= 1.0));
+    }
+
+    /// Gradients are finite for any tree pair and both labels.
+    #[test]
+    fn gradients_finite(tp in plan_tree(), ap in plan_tree(), label in 0usize..2) {
+        let net = RouterNetwork::new(10);
+        let tpf = featurize(&tp);
+        let apf = featurize(&ap);
+        let fwd = net.forward_pair(&tpf, &apf);
+        let mut grads = RouterNetwork::zeros_like();
+        let loss = net.backward_pair(&tpf, &apf, &fwd, label, &mut grads);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        prop_assert!(grads.flat().iter().all(|g| g.is_finite()));
+    }
+
+    /// Embeddings are permutation-sensitive: swapping the pair halves swaps
+    /// the embedding halves.
+    #[test]
+    fn pair_embedding_order(a in plan_tree(), b in plan_tree()) {
+        let net = RouterNetwork::new(11);
+        let fa = featurize(&a);
+        let fb = featurize(&b);
+        let ab = net.pair_embedding(&fa, &fb);
+        let ba = net.pair_embedding(&fb, &fa);
+        let half = ab.len() / 2;
+        prop_assert_eq!(&ab[..half], &ba[half..]);
+        prop_assert_eq!(&ab[half..], &ba[..half]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Distance metrics for embedding search.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported distance metrics. All are *distances*: smaller is more similar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Metric {
+    /// Squared Euclidean distance (default; monotone with Euclidean).
+    #[default]
+    Euclidean,
+    /// Cosine distance `1 − cos(a, b)`.
+    Cosine,
+    /// Negative dot product (for normalized embeddings).
+    NegativeDot,
+}
+
+impl Metric {
+    /// Distance between two vectors (must be equal length).
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "vector dimensions differ");
+        match self {
+            Metric::Euclidean => a
+                .iter()
+                .zip(b.iter())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum(),
+            Metric::Cosine => {
+                let mut dot = 0.0;
+                let mut na = 0.0;
+                let mut nb = 0.0;
+                for (x, y) in a.iter().zip(b.iter()) {
+                    dot += x * y;
+                    na += x * x;
+                    nb += y * y;
+                }
+                if na == 0.0 || nb == 0.0 {
+                    return 1.0;
+                }
+                1.0 - dot / (na.sqrt() * nb.sqrt())
+            }
+            Metric::NegativeDot => -a.iter().zip(b.iter()).map(|(x, y)| x * y).sum::<f64>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_is_squared_l2() {
+        let d = Metric::Euclidean.distance(&[0.0, 0.0], &[3.0, 4.0]);
+        assert!((d - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_vectors_have_zero_distance() {
+        let v = vec![1.0, -2.0, 0.5];
+        assert_eq!(Metric::Euclidean.distance(&v, &v), 0.0);
+        assert!(Metric::Cosine.distance(&v, &v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_one() {
+        let d = Metric::Cosine.distance(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_opposite_is_two() {
+        let d = Metric::Cosine.distance(&[1.0, 0.0], &[-1.0, 0.0]);
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_max() {
+        assert_eq!(Metric::Cosine.distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn negative_dot_prefers_aligned() {
+        let q = [1.0, 1.0];
+        let close = Metric::NegativeDot.distance(&q, &[2.0, 2.0]);
+        let far = Metric::NegativeDot.distance(&q, &[-1.0, 0.0]);
+        assert!(close < far);
+    }
+}

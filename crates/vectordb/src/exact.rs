@@ -1,0 +1,110 @@
+//! Brute-force exact top-K search — the reference semantics and the right
+//! choice at the paper's knowledge-base size (20 entries, <0.1 ms).
+
+use crate::distance::Metric;
+use serde::{Deserialize, Serialize};
+
+/// An exact (linear scan) vector index.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExactIndex {
+    vectors: Vec<Vec<f64>>,
+    metric: Metric,
+}
+
+impl ExactIndex {
+    /// Creates an empty index with the given metric.
+    pub fn new(metric: Metric) -> Self {
+        ExactIndex {
+            vectors: Vec::new(),
+            metric,
+        }
+    }
+
+    /// Adds a vector; returns its id (insertion order).
+    pub fn add(&mut self, vector: Vec<f64>) -> u32 {
+        let id = self.vectors.len() as u32;
+        self.vectors.push(vector);
+        id
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The stored vector for an id.
+    pub fn vector(&self, id: u32) -> Option<&[f64]> {
+        self.vectors.get(id as usize).map(|v| v.as_slice())
+    }
+
+    /// Exact top-`k` nearest ids with distances, ascending by distance
+    /// (ties broken by id for determinism).
+    pub fn search(&self, query: &[f64], k: usize) -> Vec<(u32, f64)> {
+        let mut scored: Vec<(u32, f64)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, self.metric.distance(query, v)))
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> ExactIndex {
+        let mut idx = ExactIndex::new(Metric::Euclidean);
+        idx.add(vec![0.0, 0.0]);
+        idx.add(vec![1.0, 0.0]);
+        idx.add(vec![0.0, 2.0]);
+        idx.add(vec![5.0, 5.0]);
+        idx
+    }
+
+    #[test]
+    fn returns_nearest_first() {
+        let idx = index();
+        let hits = idx.search(&[0.9, 0.1], 2);
+        assert_eq!(hits[0].0, 1);
+        assert_eq!(hits[1].0, 0);
+    }
+
+    #[test]
+    fn k_larger_than_size_returns_all() {
+        let idx = index();
+        assert_eq!(idx.search(&[0.0, 0.0], 100).len(), 4);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        assert!(index().search(&[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut idx = ExactIndex::new(Metric::Euclidean);
+        idx.add(vec![1.0]);
+        idx.add(vec![1.0]);
+        let hits = idx.search(&[1.0], 2);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[1].0, 1);
+    }
+
+    #[test]
+    fn accessors() {
+        let idx = index();
+        assert_eq!(idx.len(), 4);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.vector(2), Some(&[0.0, 2.0][..]));
+        assert_eq!(idx.vector(99), None);
+    }
+}

@@ -1,0 +1,399 @@
+//! A from-scratch Hierarchical Navigable Small World (HNSW) index.
+//!
+//! Implements the construction and search algorithms of Malkov & Yashunin
+//! (the paper's citation [10] for why KB search will not dominate as the
+//! knowledge base grows): layered proximity graphs, greedy descent from the
+//! top layer, and beam search (`ef`) at the base layer.
+//!
+//! Insertions draw levels from the standard geometric distribution with
+//! `mL = 1/ln(M)`; neighbor sets are pruned to `M` (2·M at the base layer)
+//! by distance.
+
+use crate::distance::Metric;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HnswConfig {
+    /// Max neighbors per node per layer (base layer allows 2·M).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Beam width during search (must be ≥ k for good recall).
+    pub ef_search: usize,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Level-draw seed.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig {
+            m: 12,
+            ef_construction: 100,
+            ef_search: 64,
+            metric: Metric::Euclidean,
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    vector: Vec<f64>,
+    /// `neighbors[layer]` = adjacent node ids at that layer.
+    neighbors: Vec<Vec<u32>>,
+}
+
+/// The HNSW index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HnswIndex {
+    config: HnswConfig,
+    nodes: Vec<Node>,
+    entry: Option<u32>,
+    rng_state: u64,
+}
+
+/// Max-heap entry by distance (for result sets).
+#[derive(PartialEq)]
+struct Far(f64, u32);
+impl Eq for Far {}
+impl PartialOrd for Far {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Far {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Min-heap entry by distance (for candidate queues), via reversed ordering.
+#[derive(PartialEq)]
+struct Near(f64, u32);
+impl Eq for Near {}
+impl PartialOrd for Near {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Near {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.total_cmp(&self.0).then(other.1.cmp(&self.1))
+    }
+}
+
+impl HnswIndex {
+    /// Creates an empty index.
+    pub fn new(config: HnswConfig) -> Self {
+        let rng_state = config.seed;
+        HnswIndex {
+            config,
+            nodes: Vec::new(),
+            entry: None,
+            rng_state,
+        }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The stored vector for an id.
+    pub fn vector(&self, id: u32) -> Option<&[f64]> {
+        self.nodes.get(id as usize).map(|n| n.vector.as_slice())
+    }
+
+    fn draw_level(&mut self) -> usize {
+        // Deterministic per-insert RNG stream.
+        let mut rng = StdRng::seed_from_u64(self.rng_state);
+        self.rng_state = self.rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let ml = 1.0 / (self.config.m as f64).ln();
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        ((-u.ln()) * ml).floor() as usize
+    }
+
+    fn dist(&self, a: &[f64], id: u32) -> f64 {
+        self.config.metric.distance(a, &self.nodes[id as usize].vector)
+    }
+
+    /// Greedy beam search within one layer. Returns up to `ef` closest
+    /// nodes (ascending distance).
+    fn search_layer(&self, query: &[f64], entry: u32, layer: usize, ef: usize) -> Vec<(u32, f64)> {
+        let mut visited: HashSet<u32> = HashSet::new();
+        visited.insert(entry);
+        let d0 = self.dist(query, entry);
+        let mut candidates: BinaryHeap<Near> = BinaryHeap::new();
+        candidates.push(Near(d0, entry));
+        let mut results: BinaryHeap<Far> = BinaryHeap::new();
+        results.push(Far(d0, entry));
+
+        while let Some(Near(dc, c)) = candidates.pop() {
+            let worst = results.peek().map(|f| f.0).unwrap_or(f64::INFINITY);
+            if dc > worst && results.len() >= ef {
+                break;
+            }
+            let neighbors = &self.nodes[c as usize].neighbors;
+            if layer >= neighbors.len() {
+                continue;
+            }
+            for &nb in &neighbors[layer] {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let d = self.dist(query, nb);
+                let worst = results.peek().map(|f| f.0).unwrap_or(f64::INFINITY);
+                if results.len() < ef || d < worst {
+                    candidates.push(Near(d, nb));
+                    results.push(Far(d, nb));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(u32, f64)> = results.into_iter().map(|Far(d, id)| (id, d)).collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Inserts a vector, returning its id.
+    pub fn add(&mut self, vector: Vec<f64>) -> u32 {
+        let id = self.nodes.len() as u32;
+        let level = self.draw_level();
+        self.nodes.push(Node {
+            vector,
+            neighbors: vec![Vec::new(); level + 1],
+        });
+
+        let Some(mut ep) = self.entry else {
+            self.entry = Some(id);
+            return id;
+        };
+
+        let query = self.nodes[id as usize].vector.clone();
+        let top = self.nodes[ep as usize].neighbors.len() - 1;
+
+        // Greedy descent through layers above the new node's level.
+        let entry_top = self.top_layer(ep);
+        let mut layer = entry_top;
+        while layer > level {
+            let found = self.search_layer(&query, ep, layer, 1);
+            if let Some(&(best, _)) = found.first() {
+                ep = best;
+            }
+            if layer == 0 {
+                break;
+            }
+            layer -= 1;
+        }
+        let _ = top;
+
+        // Connect at each layer from min(level, entry_top) down to 0.
+        let mut layer = level.min(entry_top);
+        loop {
+            let found = self.search_layer(&query, ep, layer, self.config.ef_construction);
+            let max_links = if layer == 0 {
+                2 * self.config.m
+            } else {
+                self.config.m
+            };
+            let selected: Vec<u32> = found.iter().take(max_links).map(|&(i, _)| i).collect();
+            for &nb in &selected {
+                self.nodes[id as usize].neighbors[layer].push(nb);
+                self.nodes[nb as usize].neighbors[layer].push(id);
+                self.prune(nb, layer, max_links);
+            }
+            if let Some(&(best, _)) = found.first() {
+                ep = best;
+            }
+            if layer == 0 {
+                break;
+            }
+            layer -= 1;
+        }
+
+        // New global entry point if the new node reaches higher.
+        if level > self.top_layer(self.entry.unwrap()) {
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    fn top_layer(&self, id: u32) -> usize {
+        self.nodes[id as usize].neighbors.len() - 1
+    }
+
+    /// Keeps only the `max_links` nearest neighbors of `id` at `layer`.
+    fn prune(&mut self, id: u32, layer: usize, max_links: usize) {
+        let n = &self.nodes[id as usize];
+        if n.neighbors[layer].len() <= max_links {
+            return;
+        }
+        let base = n.vector.clone();
+        let mut scored: Vec<(u32, f64)> = self.nodes[id as usize].neighbors[layer]
+            .iter()
+            .map(|&nb| (nb, self.config.metric.distance(&base, &self.nodes[nb as usize].vector)))
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scored.truncate(max_links);
+        self.nodes[id as usize].neighbors[layer] = scored.into_iter().map(|(i, _)| i).collect();
+    }
+
+    /// Approximate top-`k` nearest ids with distances (ascending).
+    pub fn search(&self, query: &[f64], k: usize) -> Vec<(u32, f64)> {
+        let Some(mut ep) = self.entry else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut layer = self.top_layer(ep);
+        while layer > 0 {
+            let found = self.search_layer(query, ep, layer, 1);
+            if let Some(&(best, _)) = found.first() {
+                ep = best;
+            }
+            layer -= 1;
+        }
+        let ef = self.config.ef_search.max(k);
+        let mut out = self.search_layer(query, ep, 0, ef);
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactIndex;
+    use rand::Rng;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = HnswIndex::new(HnswConfig::default());
+        assert!(idx.search(&[0.0, 0.0], 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let mut idx = HnswIndex::new(HnswConfig::default());
+        idx.add(vec![1.0, 2.0]);
+        let hits = idx.search(&[1.0, 2.0], 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[0].1, 0.0);
+    }
+
+    #[test]
+    fn finds_exact_nearest_on_small_set() {
+        let mut idx = HnswIndex::new(HnswConfig::default());
+        for v in random_vectors(50, 8, 7) {
+            idx.add(v);
+        }
+        let query = vec![0.1; 8];
+        let hits = idx.search(&query, 1);
+        // brute-force ground truth
+        let mut exact = ExactIndex::new(Metric::Euclidean);
+        for i in 0..50 {
+            exact.add(idx.vector(i).unwrap().to_vec());
+        }
+        let truth = exact.search(&query, 1);
+        assert_eq!(hits[0].0, truth[0].0);
+    }
+
+    #[test]
+    fn recall_at_10_is_high() {
+        let vectors = random_vectors(500, 16, 13);
+        let mut idx = HnswIndex::new(HnswConfig::default());
+        let mut exact = ExactIndex::new(Metric::Euclidean);
+        for v in &vectors {
+            idx.add(v.clone());
+            exact.add(v.clone());
+        }
+        let queries = random_vectors(20, 16, 99);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in &queries {
+            let approx: HashSet<u32> = idx.search(q, 10).into_iter().map(|(i, _)| i).collect();
+            for (id, _) in exact.search(q, 10) {
+                total += 1;
+                if approx.contains(&id) {
+                    hit += 1;
+                }
+            }
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall >= 0.9, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn results_are_sorted_by_distance() {
+        let mut idx = HnswIndex::new(HnswConfig::default());
+        for v in random_vectors(100, 4, 3) {
+            idx.add(v);
+        }
+        let hits = idx.search(&[0.0; 4], 10);
+        for w in hits.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let vectors = random_vectors(80, 8, 21);
+        let build = || {
+            let mut idx = HnswIndex::new(HnswConfig::default());
+            for v in &vectors {
+                idx.add(v.clone());
+            }
+            idx.search(&[0.5; 8], 5)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut idx = HnswIndex::new(HnswConfig::default());
+        for v in random_vectors(30, 4, 5) {
+            idx.add(v);
+        }
+        let json = serde_json::to_string(&idx).unwrap();
+        let idx2: HnswIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(idx.search(&[0.0; 4], 5), idx2.search(&[0.0; 4], 5));
+        assert_eq!(idx.len(), idx2.len());
+    }
+
+    #[test]
+    fn cosine_metric_search() {
+        let mut cfg = HnswConfig::default();
+        cfg.metric = Metric::Cosine;
+        let mut idx = HnswIndex::new(cfg);
+        idx.add(vec![1.0, 0.0]);
+        idx.add(vec![0.0, 1.0]);
+        idx.add(vec![0.7, 0.7]);
+        let hits = idx.search(&[1.0, 0.1], 1);
+        assert_eq!(hits[0].0, 0);
+    }
+}

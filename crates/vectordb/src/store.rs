@@ -1,0 +1,235 @@
+//! The typed knowledge store: vectors + payloads + persistence.
+//!
+//! This is the paper's knowledge base container: entries are appended (new
+//! expert explanations arrive over time, including corrections of wrong LLM
+//! outputs), searched by embedding, and persisted as JSON.
+
+use crate::distance::Metric;
+use crate::exact::ExactIndex;
+use crate::hnsw::{HnswConfig, HnswIndex};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Which search structure backs the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SearchBackend {
+    /// Exact linear scan — the right default at the paper's KB size.
+    #[default]
+    Exact,
+    /// HNSW approximate index — for the KB-growth experiments.
+    Hnsw,
+}
+
+/// One search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit<'a, V> {
+    /// Entry id.
+    pub id: u32,
+    /// Distance to the query (smaller = more similar).
+    pub distance: f64,
+    /// The stored payload.
+    pub value: &'a V,
+}
+
+/// A vector-keyed store of payloads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnowledgeStore<V> {
+    metric: Metric,
+    backend: SearchBackend,
+    exact: ExactIndex,
+    hnsw: HnswIndex,
+    values: Vec<V>,
+}
+
+impl<V: Clone + Serialize + DeserializeOwned> KnowledgeStore<V> {
+    /// Creates an empty store.
+    pub fn new(metric: Metric, backend: SearchBackend) -> Self {
+        let hnsw_cfg = HnswConfig {
+            metric,
+            ..Default::default()
+        };
+        KnowledgeStore {
+            metric,
+            backend,
+            exact: ExactIndex::new(metric),
+            hnsw: HnswIndex::new(hnsw_cfg),
+            values: Vec::new(),
+        }
+    }
+
+    /// Inserts an entry; both indexes stay in sync so the backend can be
+    /// switched at any time (used by the exact-vs-HNSW benchmark).
+    pub fn insert(&mut self, vector: Vec<f64>, value: V) -> u32 {
+        let id = self.exact.add(vector.clone());
+        let hid = self.hnsw.add(vector);
+        debug_assert_eq!(id, hid);
+        self.values.push(value);
+        id
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the store has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The payload for an id.
+    pub fn get(&self, id: u32) -> Option<&V> {
+        self.values.get(id as usize)
+    }
+
+    /// Mutable payload access (expert corrections overwrite in place).
+    pub fn get_mut(&mut self, id: u32) -> Option<&mut V> {
+        self.values.get_mut(id as usize)
+    }
+
+    /// The stored key vector for an id.
+    pub fn vector(&self, id: u32) -> Option<&[f64]> {
+        self.exact.vector(id)
+    }
+
+    /// The active metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The active backend.
+    pub fn backend(&self) -> SearchBackend {
+        self.backend
+    }
+
+    /// Switches search backend.
+    pub fn set_backend(&mut self, backend: SearchBackend) {
+        self.backend = backend;
+    }
+
+    /// Top-`k` most similar entries.
+    pub fn search(&self, query: &[f64], k: usize) -> Vec<SearchHit<'_, V>> {
+        let ids = match self.backend {
+            SearchBackend::Exact => self.exact.search(query, k),
+            SearchBackend::Hnsw => self.hnsw.search(query, k),
+        };
+        ids.into_iter()
+            .map(|(id, distance)| SearchHit {
+                id,
+                distance,
+                value: &self.values[id as usize],
+            })
+            .collect()
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from a JSON string.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+
+    /// Saves to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = self
+            .to_json()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads from a file.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Payload {
+        name: String,
+    }
+
+    fn store() -> KnowledgeStore<Payload> {
+        let mut s = KnowledgeStore::new(Metric::Euclidean, SearchBackend::Exact);
+        s.insert(vec![0.0, 0.0], Payload { name: "origin".into() });
+        s.insert(vec![1.0, 0.0], Payload { name: "east".into() });
+        s.insert(vec![0.0, 1.0], Payload { name: "north".into() });
+        s
+    }
+
+    #[test]
+    fn insert_and_search() {
+        let s = store();
+        assert_eq!(s.len(), 3);
+        let hits = s.search(&[0.9, 0.0], 2);
+        assert_eq!(hits[0].value.name, "east");
+        assert_eq!(hits[1].value.name, "origin");
+        assert!(hits[0].distance < hits[1].distance);
+    }
+
+    #[test]
+    fn backends_agree_on_small_stores() {
+        let mut s = store();
+        let exact: Vec<u32> = s.search(&[0.5, 0.5], 3).iter().map(|h| h.id).collect();
+        s.set_backend(SearchBackend::Hnsw);
+        let approx: Vec<u32> = s.search(&[0.5, 0.5], 3).iter().map(|h| h.id).collect();
+        assert_eq!(exact, approx);
+        assert_eq!(s.backend(), SearchBackend::Hnsw);
+    }
+
+    #[test]
+    fn get_and_correct_in_place() {
+        let mut s = store();
+        assert_eq!(s.get(1).unwrap().name, "east");
+        s.get_mut(1).unwrap().name = "corrected".into();
+        assert_eq!(s.get(1).unwrap().name, "corrected");
+        assert!(s.get(99).is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = store();
+        let json = s.to_json().unwrap();
+        let s2: KnowledgeStore<Payload> = KnowledgeStore::from_json(&json).unwrap();
+        assert_eq!(s2.len(), 3);
+        assert_eq!(s2.get(0).unwrap().name, "origin");
+        let h1: Vec<u32> = s.search(&[1.0, 1.0], 2).iter().map(|h| h.id).collect();
+        let h2: Vec<u32> = s2.search(&[1.0, 1.0], 2).iter().map(|h| h.id).collect();
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn file_persistence() {
+        let s = store();
+        let dir = std::env::temp_dir().join("qpe_vectordb_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.json");
+        s.save(&path).unwrap();
+        let s2: KnowledgeStore<Payload> = KnowledgeStore::load(&path).unwrap();
+        assert_eq!(s2.len(), s.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_store_behaviour() {
+        let s: KnowledgeStore<Payload> = KnowledgeStore::new(Metric::Cosine, SearchBackend::Exact);
+        assert!(s.is_empty());
+        assert!(s.search(&[1.0, 2.0], 5).is_empty());
+        assert_eq!(s.metric(), Metric::Cosine);
+    }
+
+    #[test]
+    fn vector_accessor() {
+        let s = store();
+        assert_eq!(s.vector(1), Some(&[1.0, 0.0][..]));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the vector knowledge base: HNSW must track
+//! exact search closely, and the store must preserve its key invariants
+//! under arbitrary insert/search sequences.
+
+use proptest::prelude::*;
+use qpe_vectordb::{ExactIndex, HnswConfig, HnswIndex, KnowledgeStore, Metric, SearchBackend};
+
+fn vectors(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-10.0f64..10.0, dim..=dim),
+        n..=n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// HNSW's top-1 equals exact top-1 on small sets (HNSW is exact when the
+    /// graph spans everything).
+    #[test]
+    fn hnsw_top1_matches_exact_on_small_sets(vs in vectors(30, 8), q in prop::collection::vec(-10.0f64..10.0, 8)) {
+        let mut exact = ExactIndex::new(Metric::Euclidean);
+        let mut hnsw = HnswIndex::new(HnswConfig::default());
+        for v in &vs {
+            exact.add(v.clone());
+            hnsw.add(v.clone());
+        }
+        let e = exact.search(&q, 1)[0];
+        let h = hnsw.search(&q, 1)[0];
+        // ids may differ only under exact distance ties
+        prop_assert!((e.1 - h.1).abs() < 1e-9, "exact d={} hnsw d={}", e.1, h.1);
+    }
+
+    /// Search results are sorted ascending by distance and within bounds.
+    #[test]
+    fn hnsw_results_sorted_and_bounded(vs in vectors(50, 4), k in 1usize..20) {
+        let mut hnsw = HnswIndex::new(HnswConfig::default());
+        for v in &vs {
+            hnsw.add(v.clone());
+        }
+        let hits = hnsw.search(&[0.0; 4], k);
+        prop_assert!(hits.len() <= k.min(vs.len()));
+        for w in hits.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        for (id, _) in &hits {
+            prop_assert!((*id as usize) < vs.len());
+        }
+    }
+
+    /// Recall@5 over a moderately-sized set stays high for any data draw.
+    #[test]
+    fn hnsw_recall_at_5(vs in vectors(150, 8)) {
+        let mut exact = ExactIndex::new(Metric::Euclidean);
+        let mut hnsw = HnswIndex::new(HnswConfig::default());
+        for v in &vs {
+            exact.add(v.clone());
+            hnsw.add(v.clone());
+        }
+        let q = vec![0.5; 8];
+        let truth: Vec<u32> = exact.search(&q, 5).into_iter().map(|(i, _)| i).collect();
+        let approx: Vec<u32> = hnsw.search(&q, 5).into_iter().map(|(i, _)| i).collect();
+        let hit = truth.iter().filter(|t| approx.contains(t)).count();
+        prop_assert!(hit >= 4, "recall {hit}/5");
+    }
+
+    /// The store returns exactly the payload inserted under each id, for
+    /// both backends, and search never returns duplicate ids.
+    #[test]
+    fn store_integrity(vs in vectors(25, 6), backend in prop_oneof![Just(SearchBackend::Exact), Just(SearchBackend::Hnsw)]) {
+        let mut store: KnowledgeStore<usize> = KnowledgeStore::new(Metric::Euclidean, backend);
+        for (i, v) in vs.iter().enumerate() {
+            let id = store.insert(v.clone(), i);
+            prop_assert_eq!(id as usize, i);
+        }
+        for (i, v) in vs.iter().enumerate() {
+            prop_assert_eq!(store.get(i as u32), Some(&i));
+            prop_assert_eq!(store.vector(i as u32), Some(v.as_slice()));
+        }
+        let hits = store.search(&vs[0], 10);
+        let mut ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(before, ids.len(), "duplicate ids in results");
+    }
+
+    /// Exact search self-query always returns the queried vector first
+    /// (distance zero).
+    #[test]
+    fn exact_self_query_is_first(vs in vectors(20, 5), pick in 0usize..20) {
+        let mut exact = ExactIndex::new(Metric::Euclidean);
+        for v in &vs {
+            exact.add(v.clone());
+        }
+        let hits = exact.search(&vs[pick], 3);
+        prop_assert_eq!(hits[0].1, 0.0);
+    }
+}

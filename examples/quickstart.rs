@@ -1,0 +1,50 @@
+//! Quickstart: build the full pipeline and explain one query.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use qpe_core::explainer::{Explainer, PipelineConfig};
+use qpe_htap::latency::format_latency;
+use qpe_htap::tpch::TpchConfig;
+use qpe_treecnn::train::TrainerConfig;
+
+fn main() {
+    // 1. Build the system: generates TPC-H data, runs a training workload on
+    //    both engines, trains the smart router, annotates a 20-entry
+    //    knowledge base with expert explanations.
+    println!("building pipeline (datagen + dual-engine runs + router training)...");
+    let explainer = Explainer::build(PipelineConfig {
+        tpch: TpchConfig::with_scale(0.005),
+        n_train: 60,
+        kb_size: 20,
+        trainer: TrainerConfig {
+            epochs: 30,
+            ..TrainerConfig::default()
+        },
+        ..Default::default()
+    })
+    .expect("pipeline builds");
+
+    // 2. Ask the question the paper opens with: why is my query slow on one
+    //    engine and fast on the other?
+    let sql = "SELECT COUNT(*) FROM customer, orders \
+               WHERE o_custkey = c_custkey AND c_mktsegment = 'machinery'";
+    let report = explainer.explain_sql(sql, &[]).expect("query explains");
+
+    println!("\nquery: {sql}");
+    println!(
+        "\nTP ran in {}, AP ran in {} -> {} is {:.1}x faster",
+        format_latency(report.tp_latency_ns),
+        format_latency(report.ap_latency_ns),
+        report.winner,
+        report.speedup
+    );
+    println!("\nretrieved {} knowledge-base entries", report.retrieved_ids.len());
+    println!("\n--- explanation ---\n{}", report.output.text);
+    println!(
+        "\n(total response time {} — retrieval was {:.4}% of it)",
+        format_latency(report.timing.total_ns()),
+        report.timing.retrieval_fraction() * 100.0
+    );
+}

@@ -1,0 +1,85 @@
+//! Router playground: train the tree-CNN smart router on a labelled
+//! workload and inspect its routing decisions and pair embeddings.
+//!
+//! ```sh
+//! cargo run --example router_playground
+//! ```
+
+use qpe_core::workload::{WorkloadConfig, WorkloadGenerator};
+use qpe_htap::engine::{EngineKind, HtapSystem};
+use qpe_htap::tpch::TpchConfig;
+use qpe_treecnn::router::SmartRouter;
+use qpe_treecnn::train::{PlanPairExample, TrainerConfig};
+
+fn main() {
+    let sys = HtapSystem::new(&TpchConfig::with_scale(0.005));
+
+    // Label a training workload by actually executing it on both engines.
+    println!("labelling 60 training queries on both engines...");
+    let mut gen = WorkloadGenerator::new(WorkloadConfig::default());
+    let mut examples = Vec::new();
+    for sql in gen.generate(60) {
+        let out = sys.run_sql(&sql).expect("query runs");
+        examples.push(PlanPairExample::from_plans(
+            &out.tp.plan,
+            &out.ap.plan,
+            out.winner() == EngineKind::Ap,
+        ));
+    }
+
+    println!("training the tree-CNN router...");
+    let (router, report) = SmartRouter::train(
+        &examples,
+        TrainerConfig {
+            epochs: 40,
+            ..TrainerConfig::default()
+        },
+    );
+    println!(
+        "  trained on {} pairs, final train accuracy {:.1}%, model {:.1} KB",
+        report.examples,
+        report.train_accuracy * 100.0,
+        router.network().serialized_size() as f64 / 1024.0
+    );
+
+    // Route fresh queries (no execution needed — that's the router's point).
+    println!("\nrouting held-out queries (prediction vs measured winner):");
+    let mut test_gen = WorkloadGenerator::new(WorkloadConfig {
+        seed: 12345,
+        ..Default::default()
+    });
+    let mut correct = 0;
+    let n = 20;
+    for sql in test_gen.generate(n) {
+        let bound = sys.bind(&sql).expect("binds");
+        let tp = sys.explain(&bound, EngineKind::Tp).expect("plans");
+        let ap = sys.explain(&bound, EngineKind::Ap).expect("plans");
+        let (predicted, confidence) = router.route(&tp, &ap);
+        let actual = sys.run_sql(&sql).expect("runs").winner();
+        let mark = if predicted == actual { "ok " } else { "MISS" };
+        if predicted == actual {
+            correct += 1;
+        }
+        println!(
+            "  [{mark}] predicted {predicted} ({confidence:.2})  actual {actual}  {}",
+            &sql[..sql.len().min(70)]
+        );
+    }
+    println!("\nrouting accuracy: {correct}/{n}");
+
+    // Pair embeddings: the 16-dim knowledge-base keys.
+    let bound = sys
+        .bind(WorkloadGenerator::example_1())
+        .expect("example 1 binds");
+    let tp = sys.explain(&bound, EngineKind::Tp).expect("plans");
+    let ap = sys.explain(&bound, EngineKind::Ap).expect("plans");
+    let key = router.embed_pair(&tp, &ap);
+    println!("\nExample 1 pair embedding ({} dims):", key.len());
+    println!(
+        "  [{}]",
+        key.iter()
+            .map(|v| format!("{v:+.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

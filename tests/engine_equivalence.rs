@@ -1,0 +1,97 @@
+//! Property-based cross-engine equivalence: for any generated query, the TP
+//! and AP engines must return the same result — the foundational invariant
+//! the whole explanation framework rests on (an engine can be slower, never
+//! wrong).
+
+use proptest::prelude::*;
+use qpe_core::workload::{WorkloadConfig, WorkloadGenerator};
+use qpe_htap::engine::HtapSystem;
+use qpe_htap::tpch::TpchConfig;
+
+fn system() -> &'static HtapSystem {
+    use std::sync::OnceLock;
+    static SYS: OnceLock<HtapSystem> = OnceLock::new();
+    SYS.get_or_init(|| HtapSystem::new(&TpchConfig::with_scale(0.002)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any workload-generator query (any seed, any family mix) must run on
+    /// both engines and agree. `run_sql` internally asserts result
+    /// equivalence and errors with `EngineMismatch` otherwise.
+    #[test]
+    fn engines_agree_on_generated_queries(seed in 0u64..10_000, topn in 0.0f64..1.0) {
+        let mut gen = WorkloadGenerator::new(WorkloadConfig {
+            seed,
+            top_n_fraction: topn,
+        });
+        let sql = gen.next_query();
+        let out = system().run_sql(&sql);
+        prop_assert!(out.is_ok(), "engines disagreed or failed on {sql}: {:?}",
+            out.err().map(|e| e.to_string()));
+    }
+
+    /// Winner determination and speedup are consistent: speedup ≥ 1 and the
+    /// winner's latency is the smaller one.
+    #[test]
+    fn winner_speedup_invariants(seed in 0u64..10_000) {
+        let mut gen = WorkloadGenerator::new(WorkloadConfig { seed, ..Default::default() });
+        let sql = gen.next_query();
+        let out = system().run_sql(&sql).expect("runs");
+        prop_assert!(out.speedup() >= 1.0);
+        let w = out.run(out.winner());
+        let l = out.run(out.winner().other());
+        prop_assert!(w.latency_ns <= l.latency_ns);
+    }
+
+    /// Plan estimates stay finite and non-negative for arbitrary workload
+    /// queries (cost-model totality).
+    #[test]
+    fn plan_estimates_are_sane(seed in 0u64..10_000) {
+        let mut gen = WorkloadGenerator::new(WorkloadConfig { seed, ..Default::default() });
+        let sql = gen.next_query();
+        let out = system().run_sql(&sql).expect("runs");
+        for plan in [&out.tp.plan, &out.ap.plan] {
+            plan.walk(&mut |n| {
+                assert!(n.total_cost.is_finite() && n.total_cost >= 0.0,
+                    "bad cost {} at {:?} for {sql}", n.total_cost, n.node_type);
+                assert!(n.plan_rows.is_finite() && n.plan_rows >= 0.0,
+                    "bad rows {} at {:?} for {sql}", n.plan_rows, n.node_type);
+            });
+        }
+    }
+
+    /// LIMIT semantics: output row count never exceeds the limit.
+    #[test]
+    fn limit_bounds_output(seed in 0u64..10_000) {
+        let mut gen = WorkloadGenerator::new(WorkloadConfig {
+            seed,
+            top_n_fraction: 1.0,
+        });
+        let sql = gen.next_query();
+        let out = system().run_sql(&sql).expect("runs");
+        if let Some(limit) = out.bound.limit {
+            prop_assert!(out.tp.rows.len() as u64 <= limit);
+            prop_assert!(out.ap.rows.len() as u64 <= limit);
+        }
+    }
+}
+
+#[test]
+fn order_by_is_respected_by_both_engines() {
+    let sys = system();
+    let out = sys
+        .run_sql("SELECT o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 50")
+        .expect("runs");
+    for rows in [&out.tp.rows, &out.ap.rows] {
+        for w in rows.windows(2) {
+            let a = w[0][0].as_float().unwrap();
+            let b = w[1][0].as_float().unwrap();
+            assert!(a >= b, "descending order violated: {a} < {b}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Shape tests: small-scale versions of the paper's headline claims. The
+//! experiment binaries reproduce the full numbers; these tests pin the
+//! qualitative relationships so regressions are caught by `cargo test`.
+
+use qpe_core::eval::{dbgpt_eval, evaluate, router_accuracy};
+use qpe_core::explainer::{Explainer, PipelineConfig};
+use qpe_core::participant::{run_study, StudyConfig};
+use qpe_core::workload::{WorkloadConfig, WorkloadGenerator};
+use qpe_htap::tpch::TpchConfig;
+use qpe_treecnn::train::TrainerConfig;
+
+fn pipeline() -> Explainer {
+    Explainer::build(PipelineConfig {
+        tpch: TpchConfig::with_scale(0.003),
+        n_train: 40,
+        kb_size: 16,
+        trainer: TrainerConfig {
+            epochs: 25,
+            ..TrainerConfig::default()
+        },
+        ..Default::default()
+    })
+    .expect("pipeline builds")
+}
+
+fn test_set(n: usize) -> Vec<String> {
+    WorkloadGenerator::new(WorkloadConfig {
+        seed: 777,
+        ..Default::default()
+    })
+    .generate(n)
+}
+
+/// §VI-B: a large majority of explanations are accurate; the rest are
+/// imprecise or None, with wrong answers rare.
+#[test]
+fn rag_accuracy_shape() {
+    let explainer = pipeline();
+    let stats = evaluate(&explainer, &test_set(40)).expect("evaluation runs");
+    assert!(
+        stats.accuracy() >= 0.6,
+        "accuracy {:.2} below shape threshold ({stats:?})",
+        stats.accuracy()
+    );
+    assert!(
+        stats.wrong_rate() <= 0.15,
+        "wrong rate {:.2} too high",
+        stats.wrong_rate()
+    );
+    assert!(stats.none_rate() <= 0.25, "none rate {:.2} too high", stats.none_rate());
+}
+
+/// §VI-D: RAG beats plan-diffing without knowledge, and DBG-PT exhibits its
+/// documented failure modes.
+#[test]
+fn rag_beats_dbgpt_and_failure_modes_fire() {
+    let explainer = pipeline();
+    let tests = test_set(40);
+    let rag = evaluate(&explainer, &tests).expect("RAG runs");
+    let dbgpt = dbgpt_eval(&explainer, &tests, &explainer.config().prompt).expect("DBG-PT runs");
+    assert!(
+        rag.accuracy() > dbgpt.stats.accuracy() + 0.1,
+        "RAG {:.2} vs DBG-PT {:.2}: gap too small",
+        rag.accuracy(),
+        dbgpt.stats.accuracy()
+    );
+    // At least two of the four failure modes must be observed on a mixed
+    // workload of this size.
+    let modes_observed = [
+        dbgpt.index_misinterpretation > 0,
+        dbgpt.columnar_overemphasis > 0,
+        dbgpt.cost_comparison_used > 0,
+        dbgpt.missed_relative_value > 0,
+    ]
+    .iter()
+    .filter(|b| **b)
+    .count();
+    assert!(modes_observed >= 2, "only {modes_observed} failure modes observed");
+}
+
+/// §III-A: the router routes held-out queries well above chance.
+#[test]
+fn router_quality_shape() {
+    let explainer = pipeline();
+    let acc = router_accuracy(&explainer, &test_set(40)).expect("router eval runs");
+    assert!(acc >= 0.7, "router accuracy {acc:.2}");
+    // <1 MB claim
+    assert!(explainer.router().network().serialized_size() < 1_000_000);
+}
+
+/// §VI-C: the LLM explanation cuts comprehension time and difficulty.
+#[test]
+fn participant_study_shape() {
+    let r = run_study(&StudyConfig::default());
+    assert!(r.with_llm_first.avg_minutes < r.plans_only_first.avg_minutes / 2.0);
+    assert!(r.plans_only_first.initial_correct_rate < 1.0);
+    assert_eq!(r.plans_only_first.final_correct_rate, 1.0);
+    assert!(r.plans_only_first.avg_plan_difficulty > r.plans_only_first.avg_llm_difficulty + 3.0);
+}
+
+/// §VI-B timing: retrieval (encode + search) is a negligible share of the
+/// end-to-end response time.
+#[test]
+fn retrieval_never_dominates() {
+    let explainer = pipeline();
+    for sql in test_set(5) {
+        let outcome = explainer.system().run_sql(&sql).expect("runs");
+        let report = explainer.explain_outcome(&outcome, &[]);
+        assert!(
+            report.timing.retrieval_fraction() < 0.05,
+            "retrieval fraction {:.4} for {sql}",
+            report.timing.retrieval_fraction()
+        );
+    }
+}
