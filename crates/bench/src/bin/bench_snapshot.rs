@@ -1,0 +1,136 @@
+//! Perf-trajectory snapshot: times the three `engine_execution` cases with
+//! `std::time::Instant` and writes `BENCH_exec.json` (median ns per case) at
+//! the repository root, so successive PRs can compare executor performance
+//! against a checked-in baseline.
+//!
+//! ```sh
+//! cargo run --release --bin bench_snapshot              # print + write
+//! cargo run --release --bin bench_snapshot -- --check   # print only
+//! cargo run --release --bin bench_snapshot -- --compare # AP scalar-vs-batch
+//! ```
+
+use qpe_htap::engine::{EngineKind, HtapSystem};
+use qpe_htap::exec::{execute_scalar, execute_vectorized};
+use qpe_htap::opt::{ap, PlannerCtx};
+use qpe_htap::tpch::TpchConfig;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The same cases as `benches/engine_execution.rs`.
+const CASES: [(&str, &str); 3] = [
+    ("point_lookup", "SELECT c_name FROM customer WHERE c_custkey = 42"),
+    (
+        "join_2way",
+        "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey",
+    ),
+    (
+        "topn_indexed",
+        "SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 10",
+    ),
+];
+
+const SAMPLES: usize = 15;
+
+fn median_ns(mut samples: Vec<f64>) -> u64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2] as u64
+}
+
+fn time_case(sys: &HtapSystem, sql: &str, engine: EngineKind) -> u64 {
+    let bound = sys.bind(sql).expect("binds");
+    // Warm up and estimate per-iteration cost.
+    let warm = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm.elapsed().as_millis() < 100 || warm_iters < 3 {
+        black_box(sys.run_engine(black_box(&bound), engine).expect("runs"));
+        warm_iters += 1;
+    }
+    let per_iter = warm.elapsed().as_nanos() as f64 / warm_iters as f64;
+    // ~20ms of measurement per sample, at least one iteration.
+    let iters = ((20e6 / per_iter.max(1.0)) as u64).max(1);
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(sys.run_engine(black_box(&bound), engine).expect("runs"));
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    median_ns(samples)
+}
+
+/// Times one closure with the shared warm-up/median protocol.
+fn time_ns(mut f: impl FnMut()) -> u64 {
+    let warm = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm.elapsed().as_millis() < 100 || warm_iters < 3 {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = warm.elapsed().as_nanos() as f64 / warm_iters as f64;
+    let iters = ((20e6 / per_iter.max(1.0)) as u64).max(1);
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    median_ns(samples)
+}
+
+/// AP-plan execution: row interpreter vs. batch executor, side by side.
+fn compare_executors(sys: &HtapSystem) {
+    let db = sys.database();
+    for (name, sql) in CASES {
+        let bound = sys.bind(sql).expect("binds");
+        let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
+        let plan = ap::plan(&ctx).expect("ap plan");
+        let scalar = time_ns(|| {
+            black_box(execute_scalar(black_box(&plan), &bound, db, EngineKind::Ap).unwrap());
+        });
+        let batch = time_ns(|| {
+            black_box(execute_vectorized(black_box(&plan), &bound, db).unwrap());
+        });
+        println!(
+            "ap_{name:<20} scalar {scalar:>10} ns   batch {batch:>10} ns   speedup {:.2}x",
+            scalar as f64 / batch.max(1) as f64
+        );
+    }
+}
+
+fn main() {
+    let check_only = std::env::args().any(|a| a == "--check");
+    let sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
+    if std::env::args().any(|a| a == "--compare") {
+        compare_executors(&sys);
+        return;
+    }
+
+    let mut entries = Vec::new();
+    for (name, sql) in CASES {
+        for engine in [EngineKind::Tp, EngineKind::Ap] {
+            let label = format!("{}_{name}", engine.as_str().to_lowercase());
+            let ns = time_case(&sys, sql, engine);
+            println!("{label:<24} {ns:>12} ns/iter");
+            entries.push((label, ns));
+        }
+    }
+
+    let mut obj = serde_json::Map::new();
+    for (label, ns) in &entries {
+        obj.insert(label.clone(), serde_json::Value::from(*ns));
+    }
+    let json = serde_json::to_string_pretty(&serde_json::Value::Object(obj))
+        .expect("snapshot serializes");
+    if check_only {
+        println!("{json}");
+        return;
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_exec.json");
+    std::fs::write(&path, json + "\n").expect("writes BENCH_exec.json");
+    println!("wrote {}", path.display());
+}

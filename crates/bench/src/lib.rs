@@ -108,9 +108,7 @@ mod tests {
 
     #[test]
     fn stats_row_renders() {
-        let mut s = GradeStats::default();
-        s.accurate = 9;
-        s.none = 1;
+        let s = GradeStats { accurate: 9, none: 1, ..GradeStats::default() };
         let row = stats_row("K=2", &s);
         assert!(row.contains("K=2"));
         assert!(row.contains("90.0%"));

@@ -1,9 +1,16 @@
-//! Scalar expression evaluation over intermediate rows.
+//! Expression evaluation over intermediate rows and over column batches.
 //!
 //! Both engines share these semantics — the paper's two engines differ in
 //! *how* they execute plans, not in what a predicate means — so result
-//! equivalence between TP and AP is testable as an invariant.
+//! equivalence between TP and AP is testable as an invariant. The scalar
+//! entry points ([`eval`], [`eval_predicate`]) serve the row interpreter;
+//! the batch entry points ([`eval_batch`], [`eval_predicate_mask`]) serve
+//! the AP engine's vectorized executor and evaluate column-at-a-time over
+//! typed slices with per-element [`Cell`] views (no `Value` boxing on the
+//! hot comparison kernels). The batch kernels are element-wise ports of the
+//! scalar semantics, so both executors produce identical results.
 
+use crate::storage::col_store::ColumnData;
 use qpe_sql::ast::BinaryOp;
 use qpe_sql::binder::BoundExpr;
 use qpe_sql::value::Value;
@@ -235,6 +242,558 @@ fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value, EvalError> {
                     })
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch (vectorized) evaluation
+// ---------------------------------------------------------------------------
+
+/// Column-major view of an operator's input: one typed column per schema
+/// position (a `None` marks a column dropped by late materialization — legal
+/// only when no evaluated expression references it) plus an optional
+/// selection vector of physical row indices.
+pub struct BatchView<'a> {
+    /// Columns aligned with the operator's [`Schema`] positions.
+    pub cols: &'a [Option<&'a ColumnData>],
+    /// Selected physical rows, in output order; `None` means all rows.
+    pub sel: Option<&'a [u32]>,
+    /// Physical row count of the columns.
+    pub rows: usize,
+}
+
+impl<'a> BatchView<'a> {
+    /// Number of selected rows (the dense output length).
+    pub fn selected_len(&self) -> usize {
+        self.sel.map(|s| s.len()).unwrap_or(self.rows)
+    }
+
+    /// Physical index of dense position `j`.
+    #[inline]
+    pub fn phys(&self, j: usize) -> usize {
+        match self.sel {
+            Some(s) => s[j] as usize,
+            None => j,
+        }
+    }
+
+    fn col(&self, pos: usize) -> Result<&'a ColumnData, EvalError> {
+        self.cols
+            .get(pos)
+            .and_then(|c| *c)
+            .ok_or(EvalError::MissingColumn { table_slot: usize::MAX, column_idx: pos })
+    }
+}
+
+/// Borrowed scalar view of one cell — the zero-allocation counterpart of
+/// [`Value`] used by the batch kernels.
+#[derive(Clone, Copy, Debug)]
+enum Cell<'a> {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(&'a str),
+    Date(i32),
+}
+
+impl<'a> Cell<'a> {
+    #[inline]
+    fn from_col(col: &'a ColumnData, idx: usize) -> Cell<'a> {
+        match col {
+            ColumnData::Int(v) => Cell::Int(v[idx]),
+            ColumnData::Float(v) => Cell::Float(v[idx]),
+            ColumnData::Str(v) => Cell::Str(&v[idx]),
+            ColumnData::Date(v) => Cell::Date(v[idx]),
+            ColumnData::Mixed(v) => Cell::from_value(&v[idx]),
+        }
+    }
+
+    #[inline]
+    fn from_value(v: &'a Value) -> Cell<'a> {
+        match v {
+            Value::Null => Cell::Null,
+            Value::Int(x) => Cell::Int(*x),
+            Value::Float(x) => Cell::Float(*x),
+            Value::Str(s) => Cell::Str(s),
+            Value::Date(d) => Cell::Date(*d),
+        }
+    }
+
+    fn to_value(self) -> Value {
+        match self {
+            Cell::Null => Value::Null,
+            Cell::Int(x) => Value::Int(x),
+            Cell::Float(x) => Value::Float(x),
+            Cell::Str(s) => Value::Str(s.to_string()),
+            Cell::Date(d) => Value::Date(d),
+        }
+    }
+
+    #[inline]
+    fn is_null(self) -> bool {
+        matches!(self, Cell::Null)
+    }
+
+    #[inline]
+    fn as_float(self) -> Option<f64> {
+        match self {
+            Cell::Float(v) => Some(v),
+            Cell::Int(v) => Some(v as f64),
+            Cell::Date(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    fn type_rank(self) -> u8 {
+        match self {
+            Cell::Null => 0,
+            Cell::Int(_) => 1,
+            Cell::Float(_) => 2,
+            Cell::Date(_) => 3,
+            Cell::Str(_) => 4,
+        }
+    }
+}
+
+/// Element-wise port of [`Value::total_cmp`].
+#[inline]
+fn cell_total_cmp(a: Cell<'_>, b: Cell<'_>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Cell::Null, Cell::Null) => Ordering::Equal,
+        (Cell::Null, _) => Ordering::Less,
+        (_, Cell::Null) => Ordering::Greater,
+        (Cell::Int(x), Cell::Int(y)) => x.cmp(&y),
+        (Cell::Date(x), Cell::Date(y)) => x.cmp(&y),
+        (Cell::Str(x), Cell::Str(y)) => x.cmp(y),
+        (x, y) => match (x.as_float(), y.as_float()) {
+            (Some(u), Some(v)) => u.total_cmp(&v),
+            _ => x.type_rank().cmp(&y.type_rank()),
+        },
+    }
+}
+
+/// Element-wise port of [`Value::sql_eq`].
+#[inline]
+fn cell_sql_eq(a: Cell<'_>, b: Cell<'_>) -> bool {
+    match (a, b) {
+        (Cell::Null, _) | (_, Cell::Null) => false,
+        (Cell::Int(x), Cell::Int(y)) => x == y,
+        (Cell::Date(x), Cell::Date(y)) => x == y,
+        (Cell::Str(x), Cell::Str(y)) => x == y,
+        (x, y) => match (x.as_float(), y.as_float()) {
+            (Some(u), Some(v)) => u == v,
+            _ => false,
+        },
+    }
+}
+
+/// Element-wise port of [`truthy`].
+#[inline]
+fn cell_truthy(c: Cell<'_>) -> bool {
+    match c {
+        Cell::Null => false,
+        Cell::Int(x) => x != 0,
+        Cell::Float(x) => x != 0.0,
+        Cell::Str(s) => !s.is_empty(),
+        Cell::Date(_) => true,
+    }
+}
+
+/// Element-wise port of the scalar SUBSTRING semantics (1-based char start,
+/// char-count length, clipped at both ends) — without allocating.
+#[inline]
+fn substring_slice(s: &str, start: i64, len: i64) -> &str {
+    let n_chars = s.chars().count();
+    let from = (start as usize).saturating_sub(1).min(n_chars);
+    let to = (from + len as usize).min(n_chars);
+    let mut idx = s.char_indices().skip(from);
+    let Some((byte_from, _)) = idx.next() else {
+        return "";
+    };
+    match s.char_indices().nth(to.saturating_sub(1)) {
+        Some((byte_to, c)) if to > from => &s[byte_from..byte_to + c.len_utf8()],
+        _ => "",
+    }
+}
+
+/// One operand of a batch kernel: a physical column (read through the
+/// selection), a dense computed column (aligned with the selection), or a
+/// broadcast literal.
+enum Operand<'a> {
+    Col(&'a ColumnData),
+    Dense(ColumnData),
+    Lit(&'a Value),
+}
+
+impl Operand<'_> {
+    /// Cell at dense position `j` (with `phys` its physical counterpart).
+    #[inline]
+    fn cell(&self, j: usize, phys: usize) -> Cell<'_> {
+        match self {
+            Operand::Col(c) => Cell::from_col(c, phys),
+            Operand::Dense(c) => Cell::from_col(c, j),
+            Operand::Lit(v) => Cell::from_value(v),
+        }
+    }
+}
+
+fn operand_of<'a>(
+    expr: &'a BoundExpr,
+    schema: &Schema,
+    view: &BatchView<'a>,
+) -> Result<Operand<'a>, EvalError> {
+    match expr {
+        BoundExpr::Column(c) => {
+            let pos = schema
+                .position(c.table_slot, c.column_idx)
+                .ok_or(EvalError::MissingColumn {
+                    table_slot: c.table_slot,
+                    column_idx: c.column_idx,
+                })?;
+            Ok(Operand::Col(view.col(pos)?))
+        }
+        BoundExpr::Literal(v) => Ok(Operand::Lit(v)),
+        other => Ok(Operand::Dense(eval_batch(other, schema, view)?)),
+    }
+}
+
+/// Growable dense column that starts typed and demotes to `Mixed` when a
+/// value of another type (or NULL) arrives.
+enum ColBuilder {
+    /// No value seen yet; carries the capacity to pre-reserve on the first
+    /// push (these builders fill on hot vectorized paths).
+    Empty(usize),
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<String>),
+    Date(Vec<i32>),
+    Mixed(Vec<Value>),
+}
+
+impl ColBuilder {
+    fn with_capacity(n: usize) -> Self {
+        ColBuilder::Empty(n)
+    }
+
+    fn push(&mut self, v: Value) {
+        fn seeded<T>(cap: usize, first: T) -> Vec<T> {
+            let mut buf = Vec::with_capacity(cap.max(1));
+            buf.push(first);
+            buf
+        }
+        match (&mut *self, v) {
+            (ColBuilder::Empty(cap), v) => {
+                let cap = *cap;
+                *self = match v {
+                    Value::Int(x) => ColBuilder::Int(seeded(cap, x)),
+                    Value::Float(x) => ColBuilder::Float(seeded(cap, x)),
+                    Value::Str(s) => ColBuilder::Str(seeded(cap, s)),
+                    Value::Date(d) => ColBuilder::Date(seeded(cap, d)),
+                    Value::Null => ColBuilder::Mixed(seeded(cap, Value::Null)),
+                };
+            }
+            (ColBuilder::Int(buf), Value::Int(x)) => buf.push(x),
+            (ColBuilder::Float(buf), Value::Float(x)) => buf.push(x),
+            (ColBuilder::Str(buf), Value::Str(s)) => buf.push(s),
+            (ColBuilder::Date(buf), Value::Date(d)) => buf.push(d),
+            (ColBuilder::Mixed(buf), v) => buf.push(v),
+            (_, v) => {
+                self.demote();
+                self.push(v);
+            }
+        }
+    }
+
+    #[cold]
+    fn demote(&mut self) {
+        let values: Vec<Value> = match std::mem::replace(self, ColBuilder::Empty(0)) {
+            ColBuilder::Empty(_) => Vec::new(),
+            ColBuilder::Int(buf) => buf.into_iter().map(Value::Int).collect(),
+            ColBuilder::Float(buf) => buf.into_iter().map(Value::Float).collect(),
+            ColBuilder::Str(buf) => buf.into_iter().map(Value::Str).collect(),
+            ColBuilder::Date(buf) => buf.into_iter().map(Value::Date).collect(),
+            ColBuilder::Mixed(buf) => buf,
+        };
+        *self = ColBuilder::Mixed(values);
+    }
+
+    fn finish(self) -> ColumnData {
+        match self {
+            ColBuilder::Empty(_) => ColumnData::Mixed(Vec::new()),
+            ColBuilder::Int(buf) => ColumnData::Int(buf),
+            ColBuilder::Float(buf) => ColumnData::Float(buf),
+            ColBuilder::Str(buf) => ColumnData::Str(buf),
+            ColBuilder::Date(buf) => ColumnData::Date(buf),
+            ColBuilder::Mixed(buf) => ColumnData::Mixed(buf),
+        }
+    }
+}
+
+/// Batch predicate entry point: evaluates `expr` for every selected row of
+/// `view`, writing one truthiness flag per dense position into `mask`
+/// (cleared first). Element-for-element equivalent to calling
+/// [`eval_predicate`] on materialized rows.
+pub fn eval_predicate_mask(
+    expr: &BoundExpr,
+    schema: &Schema,
+    view: &BatchView<'_>,
+    mask: &mut Vec<bool>,
+) -> Result<(), EvalError> {
+    mask.clear();
+    pred_mask(expr, schema, view, mask)
+}
+
+fn pred_mask(
+    expr: &BoundExpr,
+    schema: &Schema,
+    view: &BatchView<'_>,
+    out: &mut Vec<bool>,
+) -> Result<(), EvalError> {
+    let n = view.selected_len();
+    match expr {
+        BoundExpr::Binary { left, op: BinaryOp::And, right } => {
+            pred_mask(left, schema, view, out)?;
+            let mut rhs = Vec::with_capacity(n);
+            pred_mask(right, schema, view, &mut rhs)?;
+            for (l, r) in out.iter_mut().zip(rhs) {
+                *l = *l && r;
+            }
+        }
+        BoundExpr::Binary { left, op: BinaryOp::Or, right } => {
+            pred_mask(left, schema, view, out)?;
+            let mut rhs = Vec::with_capacity(n);
+            pred_mask(right, schema, view, &mut rhs)?;
+            for (l, r) in out.iter_mut().zip(rhs) {
+                *l = *l || r;
+            }
+        }
+        BoundExpr::Not(inner) => {
+            pred_mask(inner, schema, view, out)?;
+            for b in out.iter_mut() {
+                *b = !*b;
+            }
+        }
+        BoundExpr::Binary { left, op, right }
+            if matches!(
+                op,
+                BinaryOp::Eq
+                    | BinaryOp::NotEq
+                    | BinaryOp::Lt
+                    | BinaryOp::LtEq
+                    | BinaryOp::Gt
+                    | BinaryOp::GtEq
+            ) =>
+        {
+            let l = operand_of(left, schema, view)?;
+            let r = operand_of(right, schema, view)?;
+            out.reserve(n);
+            for j in 0..n {
+                let phys = view.phys(j);
+                let (a, b) = (l.cell(j, phys), r.cell(j, phys));
+                out.push(cmp_cells(a, *op, b));
+            }
+        }
+        BoundExpr::InList { expr: inner, list, negated } => {
+            let v = operand_of(inner, schema, view)?;
+            out.reserve(n);
+            for j in 0..n {
+                let c = v.cell(j, view.phys(j));
+                let found = list.iter().any(|item| cell_sql_eq(c, Cell::from_value(item)));
+                out.push(found != *negated && !c.is_null());
+            }
+        }
+        BoundExpr::Between { expr: inner, low, high } => {
+            let v = operand_of(inner, schema, view)?;
+            let lo = operand_of(low, schema, view)?;
+            let hi = operand_of(high, schema, view)?;
+            out.reserve(n);
+            for j in 0..n {
+                let phys = view.phys(j);
+                let (c, l, h) = (v.cell(j, phys), lo.cell(j, phys), hi.cell(j, phys));
+                if c.is_null() || l.is_null() || h.is_null() {
+                    out.push(false);
+                    continue;
+                }
+                let ge = cell_total_cmp(c, l) != std::cmp::Ordering::Less;
+                let le = cell_total_cmp(c, h) != std::cmp::Ordering::Greater;
+                out.push(ge && le);
+            }
+        }
+        BoundExpr::Like { expr: inner, pattern, negated } => {
+            let v = operand_of(inner, schema, view)?;
+            out.reserve(n);
+            for j in 0..n {
+                match v.cell(j, view.phys(j)) {
+                    Cell::Str(s) => out.push(like_match(s, pattern) != *negated),
+                    _ => out.push(false),
+                }
+            }
+        }
+        BoundExpr::IsNull { expr: inner, negated } => {
+            let v = operand_of(inner, schema, view)?;
+            out.reserve(n);
+            for j in 0..n {
+                out.push(v.cell(j, view.phys(j)).is_null() != *negated);
+            }
+        }
+        other => {
+            // Generic truthiness of a computed column.
+            let col = eval_batch(other, schema, view)?;
+            out.reserve(n);
+            for j in 0..n {
+                out.push(cell_truthy(Cell::from_col(&col, j)));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[inline]
+fn cmp_cells(a: Cell<'_>, op: BinaryOp, b: Cell<'_>) -> bool {
+    use std::cmp::Ordering;
+    match op {
+        BinaryOp::Eq => cell_sql_eq(a, b),
+        BinaryOp::NotEq => !cell_sql_eq(a, b) && !a.is_null() && !b.is_null(),
+        _ => {
+            if a.is_null() || b.is_null() {
+                return false;
+            }
+            let ord = cell_total_cmp(a, b);
+            match op {
+                BinaryOp::Lt => ord == Ordering::Less,
+                BinaryOp::LtEq => ord != Ordering::Greater,
+                BinaryOp::Gt => ord == Ordering::Greater,
+                BinaryOp::GtEq => ord != Ordering::Less,
+                _ => unreachable!("cmp_cells called with non-comparison op"),
+            }
+        }
+    }
+}
+
+/// Batch value entry point: evaluates `expr` for every selected row of
+/// `view` into a dense typed column. Element-for-element equivalent to
+/// calling [`eval`] on materialized rows.
+pub fn eval_batch(
+    expr: &BoundExpr,
+    schema: &Schema,
+    view: &BatchView<'_>,
+) -> Result<ColumnData, EvalError> {
+    let n = view.selected_len();
+    match expr {
+        BoundExpr::Column(c) => {
+            let pos = schema
+                .position(c.table_slot, c.column_idx)
+                .ok_or(EvalError::MissingColumn {
+                    table_slot: c.table_slot,
+                    column_idx: c.column_idx,
+                })?;
+            let col = view.col(pos)?;
+            Ok(match view.sel {
+                Some(sel) => col.gather_rows(sel),
+                None => col.clone(),
+            })
+        }
+        BoundExpr::Literal(v) => {
+            let mut b = ColBuilder::with_capacity(n);
+            for _ in 0..n {
+                b.push(v.clone());
+            }
+            Ok(b.finish())
+        }
+        BoundExpr::Binary { left, op, right }
+            if matches!(op, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div) =>
+        {
+            let l = operand_of(left, schema, view)?;
+            let r = operand_of(right, schema, view)?;
+            let mut b = ColBuilder::with_capacity(n);
+            for j in 0..n {
+                let phys = view.phys(j);
+                b.push(arith_cells(l.cell(j, phys), *op, r.cell(j, phys))?);
+            }
+            Ok(b.finish())
+        }
+        BoundExpr::Substring { expr: inner, start, len } => {
+            let v = operand_of(inner, schema, view)?;
+            let mut b = ColBuilder::with_capacity(n);
+            for j in 0..n {
+                match v.cell(j, view.phys(j)) {
+                    Cell::Str(s) => {
+                        b.push(Value::Str(substring_slice(s, *start, *len).to_string()))
+                    }
+                    Cell::Null => b.push(Value::Null),
+                    other => {
+                        return Err(EvalError::Type(format!(
+                            "SUBSTRING expects a string, got {}",
+                            other.to_value()
+                        )))
+                    }
+                }
+            }
+            Ok(b.finish())
+        }
+        // Predicate-shaped expressions evaluated for their value produce the
+        // same 0/1 integers as the scalar path.
+        BoundExpr::Binary { .. }
+        | BoundExpr::Not(_)
+        | BoundExpr::InList { .. }
+        | BoundExpr::Between { .. }
+        | BoundExpr::Like { .. }
+        | BoundExpr::IsNull { .. } => {
+            let mut mask = Vec::with_capacity(n);
+            // AND/OR produce bool directly; comparisons likewise — but the
+            // scalar evaluator represents these as Int(0/1), so convert.
+            pred_mask(expr, schema, view, &mut mask)?;
+            Ok(ColumnData::Int(mask.into_iter().map(i64::from).collect()))
+        }
+        BoundExpr::Aggregate { .. } => Err(EvalError::AggregateInScalarContext),
+    }
+}
+
+#[inline]
+fn arith_cells(l: Cell<'_>, op: BinaryOp, r: Cell<'_>) -> Result<Value, EvalError> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (l, r) {
+        (Cell::Int(a), Cell::Int(b)) => Ok(match op {
+            BinaryOp::Add => Value::Int(a.wrapping_add(b)),
+            BinaryOp::Sub => Value::Int(a.wrapping_sub(b)),
+            BinaryOp::Mul => Value::Int(a.wrapping_mul(b)),
+            BinaryOp::Div => {
+                if b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+            _ => unreachable!("arith_cells called with non-arithmetic op"),
+        }),
+        _ => {
+            let (a, b) = match (l.as_float(), r.as_float()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(EvalError::Type(format!(
+                        "arithmetic on non-numeric values {} {op} {}",
+                        l.to_value(),
+                        r.to_value()
+                    )))
+                }
+            };
+            Ok(match op {
+                BinaryOp::Add => Value::Float(a + b),
+                BinaryOp::Sub => Value::Float(a - b),
+                BinaryOp::Mul => Value::Float(a * b),
+                BinaryOp::Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(a / b)
+                    }
+                }
+                _ => unreachable!("arith_cells called with non-arithmetic op"),
+            })
         }
     }
 }

@@ -5,9 +5,10 @@
 //! them per group, then evaluate each output expression with the folded
 //! values substituted in.
 
-use super::{ExecError, ExecutorInternal, Row};
+use super::{ExecError, Row, WorkCounters};
 use crate::eval::{eval, truthy, EvalError, Schema};
 use crate::plan::AggSpec;
+use crate::storage::col_store::ColumnData;
 use qpe_sql::ast::AggFunc;
 use qpe_sql::binder::BoundExpr;
 use qpe_sql::value::Value;
@@ -240,7 +241,7 @@ fn eval_with_aggs(
 /// comparable (hash-group output is canonicalized the same way real engines
 /// do when asked for deterministic tests).
 pub fn aggregate(
-    ex: &mut ExecutorInternal,
+    counters: &mut WorkCounters,
     input: &[Row],
     schema: &Schema,
     group_by: &[BoundExpr],
@@ -248,24 +249,17 @@ pub fn aggregate(
     having: Option<&BoundExpr>,
     hash: bool,
 ) -> Result<Vec<Row>, ExecError> {
-    // Distinct aggregate leaves across outputs and HAVING.
-    let mut leaves = Vec::new();
-    for o in outputs {
-        collect_leaves(&o.expr, &mut leaves);
-    }
-    if let Some(h) = having {
-        collect_leaves(h, &mut leaves);
-    }
+    let leaves = collect_all_leaves(outputs, having);
 
     // Group rows. BTreeMap keys give deterministic (key-sorted) output for
     // both strategies; the sort-vs-hash distinction is carried by the work
     // counters, which is what the latency model consumes.
     let mut groups: BTreeMap<Vec<KeyWrap>, Vec<AggState>> = BTreeMap::new();
     for row in input {
-        ex.counters_mut().agg_rows += 1;
+        counters.agg_rows += 1;
         if !hash {
             // sort-based grouping pays comparison costs
-            ex.counters_mut().sort_comparisons += 1;
+            counters.sort_comparisons += 1;
         }
         let key: Vec<KeyWrap> = group_by
             .iter()
@@ -283,6 +277,66 @@ pub fn aggregate(
         }
     }
 
+    finish_groups(groups, &leaves, group_by, outputs, having)
+}
+
+/// Vectorized aggregation: same grouping/folding/finishing machinery as
+/// [`aggregate`], but driven by pre-computed key and argument columns
+/// (dense, aligned with the selection) instead of per-row expression
+/// evaluation. `len` is the dense input length. Counters and output are
+/// identical to the row path by construction.
+#[allow(clippy::too_many_arguments)]
+pub fn aggregate_cols(
+    counters: &mut WorkCounters,
+    len: usize,
+    key_cols: &[ColumnData],
+    arg_cols: &[Option<ColumnData>],
+    group_by: &[BoundExpr],
+    leaves: &[AggLeaf],
+    outputs: &[AggSpec],
+    having: Option<&BoundExpr>,
+    hash: bool,
+) -> Result<Vec<Row>, ExecError> {
+    debug_assert_eq!(leaves.len(), arg_cols.len());
+    let mut groups: BTreeMap<Vec<KeyWrap>, Vec<AggState>> = BTreeMap::new();
+    for j in 0..len {
+        counters.agg_rows += 1;
+        if !hash {
+            counters.sort_comparisons += 1;
+        }
+        let key: Vec<KeyWrap> = key_cols.iter().map(|c| KeyWrap(c.get(j))).collect();
+        let states = groups
+            .entry(key)
+            .or_insert_with(|| leaves.iter().map(|_| AggState::new()).collect());
+        for (leaf, (arg, state)) in leaves.iter().zip(arg_cols.iter().zip(states.iter_mut())) {
+            state.update(leaf, arg.as_ref().map(|c| c.get(j)));
+        }
+    }
+    finish_groups(groups, leaves, group_by, outputs, having)
+}
+
+/// Collects the distinct aggregate leaves across outputs and HAVING.
+pub fn collect_all_leaves(outputs: &[AggSpec], having: Option<&BoundExpr>) -> Vec<AggLeaf> {
+    let mut leaves = Vec::new();
+    for o in outputs {
+        collect_leaves(&o.expr, &mut leaves);
+    }
+    if let Some(h) = having {
+        collect_leaves(h, &mut leaves);
+    }
+    leaves
+}
+
+/// Folds grouped aggregate states into final projected rows (shared by the
+/// row and columnar paths, so HAVING and output-expression semantics cannot
+/// diverge between executors).
+fn finish_groups(
+    mut groups: BTreeMap<Vec<KeyWrap>, Vec<AggState>>,
+    leaves: &[AggLeaf],
+    group_by: &[BoundExpr],
+    outputs: &[AggSpec],
+    having: Option<&BoundExpr>,
+) -> Result<Vec<Row>, ExecError> {
     // Scalar aggregation over empty input still yields one row.
     if groups.is_empty() && group_by.is_empty() {
         groups.insert(Vec::new(), leaves.iter().map(|_| AggState::new()).collect());
@@ -297,14 +351,14 @@ pub fn aggregate(
             .collect();
         let key_vals: Vec<Value> = key.iter().map(|k| k.0.clone()).collect();
         if let Some(h) = having {
-            let v = eval_with_aggs(h, &leaves, &folded, group_by, &key_vals)?;
+            let v = eval_with_aggs(h, leaves, &folded, group_by, &key_vals)?;
             if !truthy(&v) {
                 continue;
             }
         }
         let mut row = Vec::with_capacity(outputs.len());
         for o in outputs {
-            row.push(eval_with_aggs(&o.expr, &leaves, &folded, group_by, &key_vals)?);
+            row.push(eval_with_aggs(&o.expr, leaves, &folded, group_by, &key_vals)?);
         }
         out.push(row);
     }

@@ -1,12 +1,22 @@
 //! Plan execution.
 //!
-//! A single interpreter executes both engines' plans; the *operators in the
-//! plan* (and the storage they read) differ per engine, which is exactly the
-//! paper's setting. Every operator increments [`WorkCounters`], which the
-//! latency model converts into deterministic simulated latencies.
+//! Two executors share one plan vocabulary and one set of counters:
+//!
+//! * the **row interpreter** ([`execute_scalar`]) runs both engines' plans
+//!   row-at-a-time — TP plans always take this path;
+//! * the **vectorized batch executor** ([`vector`]) runs AP plans
+//!   column-at-a-time over typed batches with selection vectors and late
+//!   materialization.
+//!
+//! [`execute`] dispatches: AP plans route to the batch executor (falling
+//! back to the interpreter for out-of-vocabulary operators), TP plans to the
+//! interpreter. Every operator increments [`WorkCounters`] identically in
+//! both executors — the latency model, optimizer and explainer consume
+//! counters, not wall-clock, so the executor choice is invisible to them.
 
 mod agg;
 mod sort;
+pub mod vector;
 
 pub use agg::AggLeaf;
 
@@ -98,7 +108,26 @@ impl std::error::Error for ExecError {}
 
 /// Executes `plan` for `query` against `db`, returning the final output rows
 /// and the work counters accumulated along the way.
+///
+/// AP plans run on the vectorized batch executor when every operator is in
+/// its vocabulary (the AP optimizer only emits such plans); everything else
+/// runs on the row interpreter. Both executors produce identical rows and
+/// identical counters, so dispatch is purely a performance decision.
 pub fn execute(
+    plan: &PlanNode,
+    query: &BoundQuery,
+    db: &Database,
+    engine: EngineKind,
+) -> Result<(Vec<Row>, WorkCounters), ExecError> {
+    if engine == EngineKind::Ap && vector::supported(plan) {
+        return vector::execute(plan, query, db);
+    }
+    execute_scalar(plan, query, db, engine)
+}
+
+/// Executes `plan` on the row-at-a-time interpreter regardless of engine —
+/// the reference semantics the batch executor is tested against.
+pub fn execute_scalar(
     plan: &PlanNode,
     query: &BoundQuery,
     db: &Database,
@@ -110,6 +139,16 @@ pub fn execute(
     Ok((rows, ex.counters))
 }
 
+/// Executes `plan` on the vectorized batch executor, erroring on operators
+/// outside its vocabulary. Exposed for the cross-executor equivalence tests.
+pub fn execute_vectorized(
+    plan: &PlanNode,
+    query: &BoundQuery,
+    db: &Database,
+) -> Result<(Vec<Row>, WorkCounters), ExecError> {
+    vector::execute(plan, query, db)
+}
+
 pub(crate) struct Executor<'a> {
     query: &'a BoundQuery,
     db: &'a Database,
@@ -118,10 +157,6 @@ pub(crate) struct Executor<'a> {
 }
 
 impl Executor<'_> {
-    fn table_name(&self, slot: usize) -> &str {
-        &self.query.tables[slot].name
-    }
-
     fn run(&mut self, node: &PlanNode) -> Result<Vec<Row>, ExecError> {
         match &node.op {
             PlanOp::TableScan { table_slot, columns } => self.table_scan(*table_slot, columns),
@@ -200,15 +235,17 @@ impl Executor<'_> {
                     .position(outer_key.table_slot, outer_key.column_idx)
                     .ok_or_else(|| ExecError::BadPlan("IndexNLJ outer key missing".into()))?;
                 let outer = self.run(outer_node)?;
-                let table_name = self.table_name(*table_slot).to_string();
+                // Borrow the name once — no per-execution String rebuild.
+                let table_name: &str = &self.query.tables[*table_slot].name;
                 let table = self
                     .db
-                    .row_table(&table_name)
-                    .ok_or_else(|| ExecError::MissingTable(table_name.clone()))?;
+                    .row_table(table_name)
+                    .ok_or_else(|| ExecError::MissingTable(table_name.to_string()))?;
                 let index = table.index_on(*column_idx).ok_or_else(|| {
                     ExecError::BadPlan(format!("no index on {table_name}.{column_idx}"))
                 })?;
                 let mut out = Vec::new();
+                let out_width = outer_schema.len() + columns.len();
                 for o in &outer {
                     self.counters.index_probes += 1;
                     let rids = index.lookup(&o[key_pos]);
@@ -216,16 +253,18 @@ impl Executor<'_> {
                     for &rid in rids {
                         self.counters.rows_scanned += 1;
                         let full = table.row(rid as usize);
-                        let inner_row: Row =
-                            columns.iter().map(|&c| full[c].clone()).collect();
+                        // Build the joined row in place: outer prefix plus
+                        // fetched inner cells, one allocation, no
+                        // intermediate inner-row vector.
+                        let mut row: Row = Vec::with_capacity(out_width);
+                        row.extend_from_slice(o);
+                        row.extend(columns.iter().map(|&c| full[c].clone()));
                         if let Some(resid) = residual {
                             self.counters.filter_evals += 1;
-                            if !eval_predicate(resid, &probe_schema, &inner_row)? {
+                            if !eval_predicate(resid, &probe_schema, &row[o.len()..])? {
                                 continue;
                             }
                         }
-                        let mut row = o.clone();
-                        row.extend(inner_row);
                         out.push(row);
                     }
                 }
@@ -255,25 +294,53 @@ impl Executor<'_> {
                             .ok_or_else(|| ExecError::BadPlan("hash probe key missing".into()))
                     })
                     .collect::<Result<_, _>>()?;
-                let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
-                for row in &build_rows {
-                    self.counters.hash_build_rows += 1;
-                    let key: Vec<Value> = bpos.iter().map(|&p| row[p].clone()).collect();
-                    table.entry(key).or_default().push(row);
-                }
+                // Keys borrow from the build/probe rows — no per-row
+                // `Vec<Value>` clone. Single-key joins (the common case)
+                // skip the key vector entirely.
                 let mut out = Vec::new();
-                for row in &probe_rows {
-                    self.counters.hash_probe_rows += 1;
-                    let key: Vec<Value> = ppos.iter().map(|&p| row[p].clone()).collect();
-                    // NULL join keys never match (sql_eq semantics).
-                    if key.iter().any(|v| v.is_null()) {
-                        continue;
+                if let (&[bp], &[pp]) = (&bpos[..], &ppos[..]) {
+                    let mut table: HashMap<&Value, Vec<&Row>> =
+                        HashMap::with_capacity(build_rows.len());
+                    for row in &build_rows {
+                        self.counters.hash_build_rows += 1;
+                        table.entry(&row[bp]).or_default().push(row);
                     }
-                    if let Some(matches) = table.get(&key) {
-                        for m in matches {
-                            let mut r = row.clone();
-                            r.extend_from_slice(m);
-                            out.push(r);
+                    for row in &probe_rows {
+                        self.counters.hash_probe_rows += 1;
+                        // NULL join keys never match (sql_eq semantics).
+                        if row[pp].is_null() {
+                            continue;
+                        }
+                        if let Some(matches) = table.get(&row[pp]) {
+                            for m in matches {
+                                let mut r = row.clone();
+                                r.extend_from_slice(m);
+                                out.push(r);
+                            }
+                        }
+                    }
+                } else {
+                    let mut table: HashMap<Vec<&Value>, Vec<&Row>> =
+                        HashMap::with_capacity(build_rows.len());
+                    for row in &build_rows {
+                        self.counters.hash_build_rows += 1;
+                        let key: Vec<&Value> = bpos.iter().map(|&p| &row[p]).collect();
+                        table.entry(key).or_default().push(row);
+                    }
+                    let mut scratch: Vec<&Value> = Vec::with_capacity(ppos.len());
+                    for row in &probe_rows {
+                        self.counters.hash_probe_rows += 1;
+                        scratch.clear();
+                        scratch.extend(ppos.iter().map(|&p| &row[p]));
+                        if scratch.iter().any(|v| v.is_null()) {
+                            continue;
+                        }
+                        if let Some(matches) = table.get(&scratch) {
+                            for m in matches {
+                                let mut r = row.clone();
+                                r.extend_from_slice(m);
+                                out.push(r);
+                            }
                         }
                     }
                 }
@@ -284,19 +351,27 @@ impl Executor<'_> {
                 let child = &node.children[0];
                 let schema = child.output_schema();
                 let input = self.run(child)?;
-                agg::aggregate(self, &input, &schema, group_by, outputs, having.as_ref(), *hash)
+                agg::aggregate(
+                    &mut self.counters,
+                    &input,
+                    &schema,
+                    group_by,
+                    outputs,
+                    having.as_ref(),
+                    *hash,
+                )
             }
             PlanOp::Sort { keys } => {
                 let child = &node.children[0];
                 let schema = child.output_schema();
                 let input = self.run(child)?;
-                sort::full_sort(self, input, &schema, keys)
+                sort::full_sort(&mut self.counters, input, &schema, keys)
             }
             PlanOp::TopNSort { keys, limit, offset } => {
                 let child = &node.children[0];
                 let schema = child.output_schema();
                 let input = self.run(child)?;
-                sort::top_n(self, input, &schema, keys, *limit, *offset)
+                sort::top_n(&mut self.counters, input, &schema, keys, *limit, *offset)
             }
             PlanOp::Limit { limit, offset } => self.limit(node, *limit, *offset),
             PlanOp::Projection { exprs, .. } => {
@@ -319,17 +394,17 @@ impl Executor<'_> {
             }
             PlanOp::OutputSort { keys } => {
                 let input = self.run(&node.children[0])?;
-                sort::output_sort(self, input, keys)
+                sort::output_sort(&mut self.counters, input, keys)
             }
         }
     }
 
     fn table_scan(&mut self, slot: usize, columns: &[usize]) -> Result<Vec<Row>, ExecError> {
-        let name = self.table_name(slot).to_string();
+        let name: &str = &self.query.tables[slot].name;
         let stored = self
             .db
-            .stored_table(&name)
-            .ok_or_else(|| ExecError::MissingTable(name.clone()))?;
+            .stored_table(name)
+            .ok_or_else(|| ExecError::MissingTable(name.to_string()))?;
         let n = stored.row_count();
         match self.engine {
             EngineKind::Tp => {
@@ -364,11 +439,11 @@ impl Executor<'_> {
         lookup: &IndexLookup,
         columns: &[usize],
     ) -> Result<Vec<Row>, ExecError> {
-        let name = self.table_name(slot).to_string();
+        let name: &str = &self.query.tables[slot].name;
         let table = self
             .db
-            .row_table(&name)
-            .ok_or_else(|| ExecError::MissingTable(name.clone()))?;
+            .row_table(name)
+            .ok_or_else(|| ExecError::MissingTable(name.to_string()))?;
         let index = table
             .index_on(column_idx)
             .ok_or_else(|| ExecError::BadPlan(format!("no index on {name}.{column_idx}")))?;
@@ -436,11 +511,11 @@ impl Executor<'_> {
             return Ok(None);
         };
         let schema = scan.output_schema();
-        let name = self.table_name(*table_slot).to_string();
+        let name: &str = &self.query.tables[*table_slot].name;
         let table = self
             .db
-            .row_table(&name)
-            .ok_or_else(|| ExecError::MissingTable(name.clone()))?;
+            .row_table(name)
+            .ok_or_else(|| ExecError::MissingTable(name.to_string()))?;
         let index = table
             .index_on(*column_idx)
             .ok_or_else(|| ExecError::BadPlan(format!("no index on {name}.{column_idx}")))?;
@@ -475,14 +550,6 @@ fn produces_final_rows(node: &PlanNode) -> bool {
     }
 }
 
-/// Convenience accessor used by sub-modules.
-impl Executor<'_> {
-    pub(crate) fn counters_mut(&mut self) -> &mut WorkCounters {
-        &mut self.counters
-    }
-}
-
-pub(crate) type ExecutorInternal<'a> = Executor<'a>;
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,15 @@
 //! Sort, top-N and output-sort execution.
+//!
+//! Two flavors share one comparator: the row interpreter sorts materialized
+//! rows; the vectorized executor sorts *selection vectors* over column
+//! batches ([`full_sort_indices`], [`top_n_indices`]) and defers row
+//! materialization to the consumer. Both use the same key comparison and the
+//! same (stable sort / bounded-buffer) algorithms so tie-breaking — and
+//! therefore output order — is identical across executors.
 
-use super::{ExecError, ExecutorInternal, Row};
+use super::{ExecError, Row, WorkCounters};
 use crate::eval::{eval, Schema};
+use crate::storage::col_store::ColumnData;
 use qpe_sql::binder::BoundExpr;
 use qpe_sql::value::Value;
 use std::cmp::Ordering;
@@ -18,10 +26,17 @@ fn cmp_keys(a: &[Value], b: &[Value], descs: &[bool]) -> Ordering {
     Ordering::Equal
 }
 
+/// The deterministic n·log2(n) comparison charge shared by both executors —
+/// counted asymptotically rather than by instrumenting the comparator, so
+/// work does not depend on sort-implementation internals.
+pub(crate) fn charge_sort_comparisons(counters: &mut WorkCounters, n: u64) {
+    counters.sort_comparisons += n * (64 - n.max(1).leading_zeros() as u64).max(1);
+}
+
 /// Full sort on expression keys (TP's only ORDER BY strategy without an
 /// index; also AP's when no LIMIT bounds the sort).
 pub fn full_sort(
-    ex: &mut ExecutorInternal,
+    counters: &mut WorkCounters,
     input: Vec<Row>,
     schema: &Schema,
     keys: &[(BoundExpr, bool)],
@@ -35,19 +50,37 @@ pub fn full_sort(
             kv.map(|kv| (kv, row))
         })
         .collect::<Result<_, _>>()?;
-    // Count comparisons deterministically as n·log2(n) — the asymptotic
-    // charge — rather than instrumenting the comparator (which would make
-    // work depend on sort-implementation internals).
-    let n = keyed.len() as u64;
-    ex.counters_mut().sort_comparisons += n * (64 - n.max(1).leading_zeros() as u64).max(1);
+    charge_sort_comparisons(counters, keyed.len() as u64);
     keyed.sort_by(|(ka, _), (kb, _)| cmp_keys(ka, kb, &descs));
     Ok(keyed.into_iter().map(|(_, r)| r).collect())
+}
+
+/// Vectorized full sort: stable-sorts the selection by pre-computed key
+/// columns (dense, aligned with the selection). Returns the permuted
+/// selection; rows are never materialized here.
+pub fn full_sort_indices(
+    counters: &mut WorkCounters,
+    key_cols: &[ColumnData],
+    descs: &[bool],
+    sel: Vec<u32>,
+) -> Vec<u32> {
+    let n = sel.len();
+    charge_sort_comparisons(counters, n as u64);
+    // Key tuples per dense position; the stable sort then reproduces the row
+    // interpreter's permutation exactly (same comparator, same input order).
+    let mut keyed: Vec<(Vec<Value>, u32)> = sel
+        .into_iter()
+        .enumerate()
+        .map(|(j, phys)| (key_cols.iter().map(|c| c.get(j)).collect(), phys))
+        .collect();
+    keyed.sort_by(|(ka, _), (kb, _)| cmp_keys(ka, kb, descs));
+    keyed.into_iter().map(|(_, phys)| phys).collect()
 }
 
 /// Bounded top-N selection (AP's dedicated operator): keeps the best
 /// `limit + offset` rows, then drops the first `offset`.
 pub fn top_n(
-    ex: &mut ExecutorInternal,
+    counters: &mut WorkCounters,
     input: Vec<Row>,
     schema: &Schema,
     keys: &[(BoundExpr, bool)],
@@ -63,7 +96,7 @@ pub fn top_n(
     // rows. Each push charges one heap operation.
     let mut buf: Vec<(Vec<Value>, Row)> = Vec::with_capacity(need + 1);
     for row in input {
-        ex.counters_mut().topn_pushes += 1;
+        counters.topn_pushes += 1;
         let kv: Vec<Value> = keys
             .iter()
             .map(|(k, _)| eval(k, schema, &row))
@@ -88,15 +121,53 @@ pub fn top_n(
         .collect())
 }
 
+/// Vectorized top-N: identical bounded-buffer algorithm as [`top_n`], driven
+/// by pre-computed key columns over a selection. Only the winning
+/// `limit + offset` entries ever hold key tuples; rows are materialized
+/// later by the consumer from the returned selection.
+pub fn top_n_indices(
+    counters: &mut WorkCounters,
+    key_cols: &[ColumnData],
+    descs: &[bool],
+    sel: Vec<u32>,
+    limit: u64,
+    offset: u64,
+) -> Vec<u32> {
+    let need = (limit + offset) as usize;
+    if need == 0 {
+        return Vec::new();
+    }
+    let mut buf: Vec<(Vec<Value>, u32)> = Vec::with_capacity(need + 1);
+    for (j, phys) in sel.into_iter().enumerate() {
+        counters.topn_pushes += 1;
+        let kv: Vec<Value> = key_cols.iter().map(|c| c.get(j)).collect();
+        if buf.len() < need {
+            let pos = buf
+                .binary_search_by(|(k, _)| cmp_keys(k, &kv, descs))
+                .unwrap_or_else(|p| p);
+            buf.insert(pos, (kv, phys));
+        } else if cmp_keys(&kv, &buf[need - 1].0, descs) == Ordering::Less {
+            let pos = buf
+                .binary_search_by(|(k, _)| cmp_keys(k, &kv, descs))
+                .unwrap_or_else(|p| p);
+            buf.insert(pos, (kv, phys));
+            buf.pop();
+        }
+    }
+    buf.into_iter()
+        .skip(offset as usize)
+        .map(|(_, phys)| phys)
+        .collect()
+}
+
 /// Positional sort over already-projected output rows (ORDER BY on
 /// aggregated projections).
 pub fn output_sort(
-    ex: &mut ExecutorInternal,
+    counters: &mut WorkCounters,
     mut input: Vec<Row>,
     keys: &[(usize, bool)],
 ) -> Result<Vec<Row>, ExecError> {
-    let n = input.len() as u64;
-    ex.counters_mut().sort_comparisons += n * (64 - n.max(1).leading_zeros() as u64).max(1);
+    charge_sort_comparisons(counters, input.len() as u64);
     input.sort_by(|a, b| {
         for &(pos, desc) in keys {
             let o = a[pos].total_cmp(&b[pos]);
@@ -121,5 +192,28 @@ mod tests {
         assert_eq!(cmp_keys(&a, &b, &[false, false]), Ordering::Greater);
         assert_eq!(cmp_keys(&a, &b, &[false, true]), Ordering::Less);
         assert_eq!(cmp_keys(&a, &a, &[false, false]), Ordering::Equal);
+    }
+
+    #[test]
+    fn index_sort_matches_row_sort_on_ties() {
+        // Duplicate keys: the stable index sort must reproduce the row
+        // sort's tie order (input order).
+        let keys = ColumnData::Int(vec![3, 1, 3, 1, 2]);
+        let mut c = WorkCounters::default();
+        let sel: Vec<u32> = (0..5).collect();
+        let sorted = full_sort_indices(&mut c, &[keys], &[false], sel);
+        assert_eq!(sorted, vec![1, 3, 4, 0, 2]);
+        assert!(c.sort_comparisons > 0);
+    }
+
+    #[test]
+    fn top_n_indices_keeps_best_and_applies_offset() {
+        let keys = ColumnData::Int(vec![5, 2, 9, 1, 7, 3]);
+        let mut c = WorkCounters::default();
+        let sel: Vec<u32> = (0..6).collect();
+        let top = top_n_indices(&mut c, &[keys], &[false], sel, 2, 1);
+        // ascending: 1 (idx 3), 2 (idx 1), 3 (idx 5) → offset 1 drops idx 3
+        assert_eq!(top, vec![1, 5]);
+        assert_eq!(c.topn_pushes, 6);
     }
 }

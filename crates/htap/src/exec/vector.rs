@@ -1,0 +1,642 @@
+//! Vectorized batch executor for the AP engine.
+//!
+//! Where the row interpreter materializes every intermediate as
+//! `Vec<Vec<Value>>`, this executor moves *batches*: typed column arrays
+//! (borrowed zero-copy from the column store wherever possible) plus a
+//! selection vector of surviving row indices. The pipeline
+//! `TableScan → Filter → HashJoin → Aggregate/TopN` then works
+//! column-at-a-time:
+//!
+//! * scans borrow column storage outright — no per-cell clone;
+//! * filters evaluate predicates over typed slices into a new selection
+//!   vector ([`crate::eval::eval_predicate_mask`]) — no row construction;
+//! * joins match on typed key columns and gather only the columns that are
+//!   *live* above the join (late materialization);
+//! * sorts and top-N permute the selection instead of moving rows;
+//! * rows are materialized once, at the aggregation/projection boundary.
+//!
+//! **Invariant:** results and [`WorkCounters`] are identical to the row
+//! interpreter on every plan this executor accepts — the latency model, the
+//! optimizer and the explainer cannot tell which executor ran. Plans with
+//! operators outside the AP vocabulary fall back to the row interpreter.
+
+use super::{agg, produces_final_rows, sort, ExecError, Row, WorkCounters};
+use crate::engine::Database;
+use crate::eval::{eval_batch, eval_predicate_mask, BatchView, Schema};
+use crate::plan::{PlanNode, PlanOp};
+use crate::storage::col_store::ColumnData;
+use qpe_sql::binder::{BoundExpr, BoundQuery, ColumnRef};
+use qpe_sql::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// One column of a batch.
+enum BatchCol<'a> {
+    /// Zero-copy view into the column store (or a prior batch's storage).
+    Borrowed(&'a ColumnData),
+    /// Gathered/computed column owned by this batch.
+    Owned(ColumnData),
+    /// Dropped by late materialization: no consumer above reads it.
+    Dead,
+}
+
+impl BatchCol<'_> {
+    fn data(&self) -> Option<&ColumnData> {
+        match self {
+            BatchCol::Borrowed(c) => Some(c),
+            BatchCol::Owned(c) => Some(c),
+            BatchCol::Dead => None,
+        }
+    }
+}
+
+/// A batch: columns aligned with the operator's output schema plus an
+/// optional selection vector of physical row indices (in output order).
+struct Batch<'a> {
+    cols: Vec<BatchCol<'a>>,
+    sel: Option<Vec<u32>>,
+    rows: usize,
+}
+
+impl<'a> Batch<'a> {
+    fn selected_len(&self) -> usize {
+        self.sel.as_ref().map(|s| s.len()).unwrap_or(self.rows)
+    }
+
+    /// Takes ownership of the selection (materializing the identity
+    /// selection if none is set) — the caller is about to replace it, so no
+    /// clone is needed.
+    fn take_selection(&mut self) -> Vec<u32> {
+        match self.sel.take() {
+            Some(s) => s,
+            None => (0..self.rows as u32).collect(),
+        }
+    }
+}
+
+/// Operator output: batches flow until aggregation/projection produces
+/// final rows.
+enum VOut<'a> {
+    Batch(Batch<'a>),
+    Rows(Vec<Row>),
+}
+
+/// Which output columns an operator must actually materialize.
+#[derive(Clone)]
+enum Needs {
+    /// Everything (root default).
+    All,
+    /// Only these `(table_slot, column_idx)` pairs.
+    Cols(Rc<HashSet<(usize, usize)>>),
+}
+
+impl Needs {
+    fn contains(&self, slot: usize, cidx: usize) -> bool {
+        match self {
+            Needs::All => true,
+            Needs::Cols(set) => set.contains(&(slot, cidx)),
+        }
+    }
+
+    /// This need-set plus every column referenced by `exprs`.
+    fn with_exprs<'e>(&self, exprs: impl IntoIterator<Item = &'e BoundExpr>) -> Needs {
+        match self {
+            Needs::All => Needs::All,
+            Needs::Cols(set) => {
+                let mut set = (**set).clone();
+                for e in exprs {
+                    add_refs(e, &mut set);
+                }
+                Needs::Cols(Rc::new(set))
+            }
+        }
+    }
+
+    fn with_keys(&self, keys: &[ColumnRef]) -> Needs {
+        match self {
+            Needs::All => Needs::All,
+            Needs::Cols(set) => {
+                let mut set = (**set).clone();
+                for k in keys {
+                    set.insert((k.table_slot, k.column_idx));
+                }
+                Needs::Cols(Rc::new(set))
+            }
+        }
+    }
+
+    fn of_exprs<'e>(exprs: impl IntoIterator<Item = &'e BoundExpr>) -> Needs {
+        let mut set = HashSet::new();
+        for e in exprs {
+            add_refs(e, &mut set);
+        }
+        Needs::Cols(Rc::new(set))
+    }
+}
+
+fn add_refs(expr: &BoundExpr, set: &mut HashSet<(usize, usize)>) {
+    expr.walk_columns(&mut |c| {
+        set.insert((c.table_slot, c.column_idx));
+    });
+}
+
+/// True when every operator in `plan` is in the batch executor's vocabulary
+/// (the AP optimizer only emits these; anything else falls back to the row
+/// interpreter).
+pub fn supported(plan: &PlanNode) -> bool {
+    let mut ok = true;
+    plan.walk(&mut |n| {
+        ok &= matches!(
+            n.op,
+            PlanOp::TableScan { .. }
+                | PlanOp::Filter { .. }
+                | PlanOp::HashJoin { .. }
+                | PlanOp::Hash
+                | PlanOp::Aggregate { .. }
+                | PlanOp::Sort { .. }
+                | PlanOp::TopNSort { .. }
+                | PlanOp::Limit { .. }
+                | PlanOp::Projection { .. }
+                | PlanOp::OutputSort { .. }
+        );
+    });
+    ok
+}
+
+/// Executes `plan` with the vectorized batch executor. Callers must ensure
+/// [`supported`] holds; unsupported operators surface as `BadPlan`.
+pub fn execute(
+    plan: &PlanNode,
+    query: &BoundQuery,
+    db: &Database,
+) -> Result<(Vec<Row>, WorkCounters), ExecError> {
+    let mut ex = VecExecutor {
+        query,
+        db,
+        counters: WorkCounters::default(),
+        mask: Vec::new(),
+        sel_pool: Vec::new(),
+    };
+    let rows = match ex.run(plan, &Needs::All)? {
+        VOut::Rows(rows) => rows,
+        VOut::Batch(batch) => materialize(&batch),
+    };
+    ex.counters.output_rows = rows.len() as u64;
+    Ok((rows, ex.counters))
+}
+
+/// Materializes every live column of a batch into rows (root fallback for
+/// plans whose top operator is not a projection/aggregate).
+fn materialize(batch: &Batch<'_>) -> Vec<Row> {
+    let n = batch.selected_len();
+    let mut out = Vec::with_capacity(n);
+    for j in 0..n {
+        let phys = match &batch.sel {
+            Some(s) => s[j] as usize,
+            None => j,
+        };
+        out.push(
+            batch
+                .cols
+                .iter()
+                .map(|c| c.data().map(|d| d.get(phys)).unwrap_or(Value::Null))
+                .collect(),
+        );
+    }
+    out
+}
+
+struct VecExecutor<'a> {
+    query: &'a BoundQuery,
+    db: &'a Database,
+    counters: WorkCounters,
+    /// Scratch predicate mask, reused across every filter in the plan.
+    mask: Vec<bool>,
+    /// Scratch selection buffers, recycled as operators consume selections.
+    sel_pool: Vec<Vec<u32>>,
+}
+
+impl<'a> VecExecutor<'a> {
+    fn take_sel(&mut self) -> Vec<u32> {
+        self.sel_pool.pop().unwrap_or_default()
+    }
+
+    fn recycle_sel(&mut self, mut sel: Vec<u32>) {
+        sel.clear();
+        self.sel_pool.push(sel);
+    }
+
+    fn run(&mut self, node: &PlanNode, needs: &Needs) -> Result<VOut<'a>, ExecError> {
+        match &node.op {
+            PlanOp::TableScan { table_slot, columns } => self.table_scan(*table_slot, columns),
+            PlanOp::Filter { predicate } => self.filter(node, predicate, needs),
+            PlanOp::HashJoin { probe_keys, build_keys } => {
+                self.hash_join(node, probe_keys, build_keys, needs)
+            }
+            PlanOp::Hash => self.run(&node.children[0], needs),
+            PlanOp::Aggregate { group_by, outputs, having, hash } => {
+                self.aggregate(node, group_by, outputs, having.as_ref(), *hash)
+            }
+            PlanOp::Sort { keys } => self.sort(node, keys, needs),
+            PlanOp::TopNSort { keys, limit, offset } => {
+                self.top_n(node, keys, *limit, *offset, needs)
+            }
+            PlanOp::Limit { limit, offset } => {
+                let out = self.run(&node.children[0], needs)?;
+                Ok(match out {
+                    VOut::Rows(rows) => VOut::Rows(
+                        rows.into_iter()
+                            .skip(*offset as usize)
+                            .take(*limit as usize)
+                            .collect(),
+                    ),
+                    VOut::Batch(mut batch) => {
+                        let sel: Vec<u32> = batch
+                            .take_selection()
+                            .into_iter()
+                            .skip(*offset as usize)
+                            .take(*limit as usize)
+                            .collect();
+                        VOut::Batch(Batch { cols: batch.cols, sel: Some(sel), rows: batch.rows })
+                    }
+                })
+            }
+            PlanOp::Projection { exprs, .. } => self.projection(node, exprs),
+            PlanOp::OutputSort { keys } => {
+                let child = self.run(&node.children[0], needs)?;
+                let VOut::Rows(rows) = child else {
+                    return Err(ExecError::BadPlan("OutputSort over a batch".into()));
+                };
+                Ok(VOut::Rows(sort::output_sort(&mut self.counters, rows, keys)?))
+            }
+            _ => Err(ExecError::BadPlan(format!(
+                "operator {:?} not supported by the batch executor",
+                node.node_type
+            ))),
+        }
+    }
+
+    fn table_scan(&mut self, slot: usize, columns: &[usize]) -> Result<VOut<'a>, ExecError> {
+        let name = &self.query.tables[slot].name;
+        let stored = self
+            .db
+            .stored_table(name)
+            .ok_or_else(|| ExecError::MissingTable(name.clone()))?;
+        let n = stored.row_count();
+        // Same charge as the row interpreter's AP scan: every referenced
+        // column is touched in full.
+        self.counters.cells_scanned += (n * columns.len()) as u64;
+        let cols = columns
+            .iter()
+            .map(|&c| BatchCol::Borrowed(stored.cols.column(c)))
+            .collect();
+        Ok(VOut::Batch(Batch { cols, sel: None, rows: n }))
+    }
+
+    fn run_batch(&mut self, node: &PlanNode, needs: &Needs) -> Result<Batch<'a>, ExecError> {
+        match self.run(node, needs)? {
+            VOut::Batch(b) => Ok(b),
+            VOut::Rows(_) => Err(ExecError::BadPlan(
+                "batch operator over final-row child".into(),
+            )),
+        }
+    }
+
+    fn filter(
+        &mut self,
+        node: &PlanNode,
+        predicate: &BoundExpr,
+        needs: &Needs,
+    ) -> Result<VOut<'a>, ExecError> {
+        let child = &node.children[0];
+        let child_needs = needs.with_exprs([predicate]);
+        let batch = self.run_batch(child, &child_needs)?;
+        let schema = child.output_schema();
+
+        let n = batch.selected_len();
+        self.counters.filter_evals += n as u64;
+
+        let cols: Vec<Option<&ColumnData>> = batch.cols.iter().map(BatchCol::data).collect();
+        let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
+        let mut mask = std::mem::take(&mut self.mask);
+        eval_predicate_mask(predicate, &schema, &view, &mut mask)?;
+
+        let mut out_sel = self.take_sel();
+        out_sel.reserve(n);
+        for (j, keep) in mask.iter().enumerate() {
+            if *keep {
+                out_sel.push(view.phys(j) as u32);
+            }
+        }
+        self.mask = mask;
+        drop(cols);
+        if let Some(old) = batch.sel {
+            self.recycle_sel(old);
+        }
+        Ok(VOut::Batch(Batch { cols: batch.cols, sel: Some(out_sel), rows: batch.rows }))
+    }
+
+    fn hash_join(
+        &mut self,
+        node: &PlanNode,
+        probe_keys: &[ColumnRef],
+        build_keys: &[ColumnRef],
+        needs: &Needs,
+    ) -> Result<VOut<'a>, ExecError> {
+        let probe_node = &node.children[0];
+        let hash_node = &node.children[1];
+        let probe_schema = probe_node.output_schema();
+        let build_schema = hash_node.output_schema();
+
+        let child_needs = needs.with_keys(probe_keys).with_keys(build_keys);
+        // Build side first — the same execution order as the row interpreter.
+        let build = self.run_batch(&hash_node.children[0], &child_needs)?;
+        let probe = self.run_batch(probe_node, &child_needs)?;
+
+        let bpos: Vec<usize> = build_keys
+            .iter()
+            .map(|k| {
+                build_schema
+                    .position(k.table_slot, k.column_idx)
+                    .ok_or_else(|| ExecError::BadPlan("hash build key missing".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        let ppos: Vec<usize> = probe_keys
+            .iter()
+            .map(|k| {
+                probe_schema
+                    .position(k.table_slot, k.column_idx)
+                    .ok_or_else(|| ExecError::BadPlan("hash probe key missing".into()))
+            })
+            .collect::<Result<_, _>>()?;
+
+        self.counters.hash_build_rows += build.selected_len() as u64;
+        self.counters.hash_probe_rows += probe.selected_len() as u64;
+
+        let (probe_idx, build_idx) =
+            join_pairs(&probe, &ppos, &build, &bpos)?;
+
+        // Late materialization: gather only the columns some ancestor reads.
+        let out_schema = probe_schema.concat(&build_schema);
+        let probe_w = probe_schema.len();
+        let mut cols = Vec::with_capacity(out_schema.len());
+        for (p, &(slot, cidx)) in out_schema.columns().iter().enumerate() {
+            let (src, idxs) = if p < probe_w {
+                (&probe.cols[p], &probe_idx)
+            } else {
+                (&build.cols[p - probe_w], &build_idx)
+            };
+            let col = match (needs.contains(slot, cidx), src.data()) {
+                (true, Some(data)) => BatchCol::Owned(data.gather_rows(idxs)),
+                _ => BatchCol::Dead,
+            };
+            cols.push(col);
+        }
+        let rows = probe_idx.len();
+        if let Some(s) = probe.sel {
+            self.recycle_sel(s);
+        }
+        if let Some(s) = build.sel {
+            self.recycle_sel(s);
+        }
+        Ok(VOut::Batch(Batch { cols, sel: None, rows }))
+    }
+
+    fn aggregate(
+        &mut self,
+        node: &PlanNode,
+        group_by: &[BoundExpr],
+        outputs: &[crate::plan::AggSpec],
+        having: Option<&BoundExpr>,
+        hash: bool,
+    ) -> Result<VOut<'a>, ExecError> {
+        let child = &node.children[0];
+        let leaves = agg::collect_all_leaves(outputs, having);
+        let needed_exprs = group_by
+            .iter()
+            .chain(leaves.iter().filter_map(|l| l.arg.as_ref()));
+        let child_needs = Needs::of_exprs(needed_exprs.clone());
+        let batch = self.run_batch(child, &child_needs)?;
+        let schema = child.output_schema();
+
+        let cols: Vec<Option<&ColumnData>> = batch.cols.iter().map(BatchCol::data).collect();
+        let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
+        let key_cols: Vec<ColumnData> = group_by
+            .iter()
+            .map(|g| eval_batch(g, &schema, &view))
+            .collect::<Result<_, _>>()?;
+        let arg_cols: Vec<Option<ColumnData>> = leaves
+            .iter()
+            .map(|l| l.arg.as_ref().map(|a| eval_batch(a, &schema, &view)).transpose())
+            .collect::<Result<_, _>>()?;
+        let len = view.selected_len();
+        let rows = agg::aggregate_cols(
+            &mut self.counters,
+            len,
+            &key_cols,
+            &arg_cols,
+            group_by,
+            &leaves,
+            outputs,
+            having,
+            hash,
+        )?;
+        Ok(VOut::Rows(rows))
+    }
+
+    fn sort(
+        &mut self,
+        node: &PlanNode,
+        keys: &[(BoundExpr, bool)],
+        needs: &Needs,
+    ) -> Result<VOut<'a>, ExecError> {
+        let child = &node.children[0];
+        let child_needs = needs.with_exprs(keys.iter().map(|(k, _)| k));
+        let mut batch = self.run_batch(child, &child_needs)?;
+        let schema = child.output_schema();
+        let (key_cols, descs) = self.sort_keys(keys, &schema, &batch)?;
+        let sel = batch.take_selection();
+        let sorted = sort::full_sort_indices(&mut self.counters, &key_cols, &descs, sel);
+        Ok(VOut::Batch(Batch { cols: batch.cols, sel: Some(sorted), rows: batch.rows }))
+    }
+
+    fn top_n(
+        &mut self,
+        node: &PlanNode,
+        keys: &[(BoundExpr, bool)],
+        limit: u64,
+        offset: u64,
+        needs: &Needs,
+    ) -> Result<VOut<'a>, ExecError> {
+        let child = &node.children[0];
+        let child_needs = needs.with_exprs(keys.iter().map(|(k, _)| k));
+        let mut batch = self.run_batch(child, &child_needs)?;
+        let schema = child.output_schema();
+        let (key_cols, descs) = self.sort_keys(keys, &schema, &batch)?;
+        let sel = batch.take_selection();
+        let top = sort::top_n_indices(&mut self.counters, &key_cols, &descs, sel, limit, offset);
+        Ok(VOut::Batch(Batch { cols: batch.cols, sel: Some(top), rows: batch.rows }))
+    }
+
+    fn sort_keys(
+        &mut self,
+        keys: &[(BoundExpr, bool)],
+        schema: &Schema,
+        batch: &Batch<'_>,
+    ) -> Result<(Vec<ColumnData>, Vec<bool>), ExecError> {
+        let cols: Vec<Option<&ColumnData>> = batch.cols.iter().map(BatchCol::data).collect();
+        let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
+        let key_cols: Vec<ColumnData> = keys
+            .iter()
+            .map(|(k, _)| eval_batch(k, schema, &view))
+            .collect::<Result<_, _>>()?;
+        let descs: Vec<bool> = keys.iter().map(|(_, d)| *d).collect();
+        Ok((key_cols, descs))
+    }
+
+    fn projection(&mut self, node: &PlanNode, exprs: &[BoundExpr]) -> Result<VOut<'a>, ExecError> {
+        let child = &node.children[0];
+        // Aggregates / output sorts already produce final rows.
+        if produces_final_rows(child) {
+            return self.run(child, &Needs::All);
+        }
+        let child_needs = Needs::of_exprs(exprs);
+        let batch = self.run_batch(child, &child_needs)?;
+        let schema = child.output_schema();
+        let cols: Vec<Option<&ColumnData>> = batch.cols.iter().map(BatchCol::data).collect();
+        let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
+        let out_cols: Vec<ColumnData> = exprs
+            .iter()
+            .map(|e| eval_batch(e, &schema, &view))
+            .collect::<Result<_, _>>()?;
+        let n = view.selected_len();
+        let mut out = Vec::with_capacity(n);
+        for j in 0..n {
+            out.push(out_cols.iter().map(|c| c.get(j)).collect());
+        }
+        Ok(VOut::Rows(out))
+    }
+}
+
+/// Computes matching (probe physical index, build physical index) pairs in
+/// the row interpreter's output order: probe rows in order, matches in build
+/// insertion order. Uses a typed `i64` table when both key columns are
+/// integer-typed; otherwise falls back to generic `Value` keys (identical
+/// hashing/equality semantics to the row path).
+fn join_pairs(
+    probe: &Batch<'_>,
+    ppos: &[usize],
+    build: &Batch<'_>,
+    bpos: &[usize],
+) -> Result<(Vec<u32>, Vec<u32>), ExecError> {
+    let build_len = build.selected_len();
+    let probe_len = probe.selected_len();
+    let mut probe_idx = Vec::new();
+    let mut build_idx = Vec::new();
+
+    // Typed fast path: a single key of the same integer-backed variant on
+    // both sides. Restricted to same-variant pairs because the row
+    // interpreter's `Value` keys hash with a type tag — an `Int` never
+    // matches a `Date` there, so it must not match here either.
+    if ppos.len() == 1 && bpos.len() == 1 {
+        let pcol = probe.cols[ppos[0]]
+            .data()
+            .ok_or_else(|| ExecError::BadPlan("join key column not materialized".into()))?;
+        let bcol = build.cols[bpos[0]]
+            .data()
+            .ok_or_else(|| ExecError::BadPlan("join key column not materialized".into()))?;
+        let keyed = match (pcol, bcol) {
+            (ColumnData::Int(p), ColumnData::Int(b)) => {
+                Some((IntKeyed::I64(p), IntKeyed::I64(b)))
+            }
+            (ColumnData::Date(p), ColumnData::Date(b)) => {
+                Some((IntKeyed::I32(p), IntKeyed::I32(b)))
+            }
+            _ => None,
+        };
+        if let Some((pk, bk)) = keyed {
+            let mut table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(build_len);
+            for j in 0..build_len {
+                let phys = batch_phys(build, j);
+                table.entry(bk.get(phys)).or_default().push(phys as u32);
+            }
+            for j in 0..probe_len {
+                let phys = batch_phys(probe, j);
+                if let Some(matches) = table.get(&pk.get(phys)) {
+                    for &b in matches {
+                        probe_idx.push(phys as u32);
+                        build_idx.push(b);
+                    }
+                }
+            }
+            return Ok((probe_idx, build_idx));
+        }
+    }
+
+    // Generic path: Value keys, same structural equality as the row
+    // interpreter's `HashMap<Vec<Value>, _>`.
+    let bcols: Vec<&ColumnData> = bpos
+        .iter()
+        .map(|&p| {
+            build.cols[p]
+                .data()
+                .ok_or_else(|| ExecError::BadPlan("join key column not materialized".into()))
+        })
+        .collect::<Result<_, _>>()?;
+    let pcols: Vec<&ColumnData> = ppos
+        .iter()
+        .map(|&p| {
+            probe.cols[p]
+                .data()
+                .ok_or_else(|| ExecError::BadPlan("join key column not materialized".into()))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(build_len);
+    for j in 0..build_len {
+        let phys = batch_phys(build, j);
+        let key: Vec<Value> = bcols.iter().map(|c| c.get(phys)).collect();
+        table.entry(key).or_default().push(phys as u32);
+    }
+    let mut scratch: Vec<Value> = Vec::with_capacity(pcols.len());
+    for j in 0..probe_len {
+        let phys = batch_phys(probe, j);
+        scratch.clear();
+        scratch.extend(pcols.iter().map(|c| c.get(phys)));
+        // NULL join keys never match (sql_eq semantics).
+        if scratch.iter().any(|v| v.is_null()) {
+            continue;
+        }
+        if let Some(matches) = table.get(&scratch) {
+            for &b in matches {
+                probe_idx.push(phys as u32);
+                build_idx.push(b);
+            }
+        }
+    }
+    Ok((probe_idx, build_idx))
+}
+
+#[inline]
+fn batch_phys(batch: &Batch<'_>, j: usize) -> usize {
+    match &batch.sel {
+        Some(s) => s[j] as usize,
+        None => j,
+    }
+}
+
+/// Integer view over `Int` and `Date` key columns.
+#[derive(Clone, Copy)]
+enum IntKeyed<'a> {
+    I64(&'a [i64]),
+    I32(&'a [i32]),
+}
+
+impl IntKeyed<'_> {
+    #[inline]
+    fn get(self, idx: usize) -> i64 {
+        match self {
+            IntKeyed::I64(v) => v[idx],
+            IntKeyed::I32(v) => v[idx] as i64,
+        }
+    }
+}

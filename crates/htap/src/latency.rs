@@ -220,8 +220,7 @@ mod tests {
 
     #[test]
     fn display_scale_only_affects_display() {
-        let mut m = LatencyModel::default();
-        m.display_scale = 1000.0;
+        let m = LatencyModel { display_scale: 1000.0, ..LatencyModel::default() };
         let c = counters(100, 0);
         let ns = m.tp_latency_ns(&c);
         // raw latency unchanged; display shows scaled value

@@ -16,6 +16,36 @@
 //! real on generated TPC-H data ([`tpch`]), and timed through a deterministic
 //! work-counter latency model ([`latency`]) so "which engine is faster" labels
 //! are measured, not assumed.
+//!
+//! # Execution modes
+//!
+//! One plan vocabulary, two executors ([`exec`]):
+//!
+//! * **Row interpreter** ([`exec::execute_scalar`]) — the reference
+//!   semantics. Every operator materializes its output as `Vec<Vec<Value>>`
+//!   rows; TP plans always execute here (index probes are inherently
+//!   row-at-a-time).
+//! * **Vectorized batch executor** ([`exec::vector`]) — AP plans execute
+//!   over *batches*: typed column arrays (borrowed zero-copy from the column
+//!   store) plus a selection vector. Filters evaluate column-at-a-time over
+//!   typed slices ([`eval::eval_predicate_mask`]), joins match on typed key
+//!   columns and gather only the columns that remain live above them (late
+//!   materialization), sorts and top-N permute the selection, and rows are
+//!   materialized once at the aggregation/projection boundary. This makes
+//!   the AP engine *operationally* columnar, not just structurally — the
+//!   asymmetry the paper's explanations cite ("scan only relevant columns
+//!   and apply filters before joining") is now how the code actually runs.
+//!
+//! **Why counters must stay identical across modes:** everything downstream
+//! consumes [`exec::WorkCounters`], not wall-clock — the latency model turns
+//! counters into deterministic simulated latencies, those latencies pick the
+//! winning engine, the winner labels train the router, and the explainer
+//! justifies them. If the batch executor counted work differently, switching
+//! executors would silently change every latency, router label and
+//! explanation in the system. Both executors therefore charge the same
+//! counter values for the same plan (asserted, together with row-level
+//! result equality, by `tests/engine_equivalence.rs`), making executor
+//! choice a pure performance decision.
 
 pub mod engine;
 pub mod eval;

@@ -26,32 +26,64 @@ pub enum ColumnData {
 impl ColumnData {
     /// Builds typed storage from generic values, falling back to `Mixed` if
     /// the column is heterogeneous or contains NULLs.
+    ///
+    /// Single pass: the first value picks the candidate representation and
+    /// ingestion proceeds directly into the typed vector, demoting to
+    /// `Mixed` the moment a value disagrees (instead of pre-scanning the
+    /// column once per candidate type).
     pub fn from_values(values: &[Value]) -> Self {
-        if values.iter().all(|v| matches!(v, Value::Int(_))) {
-            return ColumnData::Int(values.iter().map(|v| v.as_int().unwrap()).collect());
+        let Some(first) = values.first() else {
+            return ColumnData::Mixed(Vec::new());
+        };
+        match first {
+            Value::Int(_) => {
+                let mut out = Vec::with_capacity(values.len());
+                for (i, v) in values.iter().enumerate() {
+                    match v {
+                        Value::Int(x) => out.push(*x),
+                        _ => return Self::demote(values, i),
+                    }
+                }
+                ColumnData::Int(out)
+            }
+            Value::Float(_) => {
+                let mut out = Vec::with_capacity(values.len());
+                for (i, v) in values.iter().enumerate() {
+                    match v {
+                        Value::Float(x) => out.push(*x),
+                        _ => return Self::demote(values, i),
+                    }
+                }
+                ColumnData::Float(out)
+            }
+            Value::Str(_) => {
+                let mut out = Vec::with_capacity(values.len());
+                for (i, v) in values.iter().enumerate() {
+                    match v {
+                        Value::Str(x) => out.push(x.clone()),
+                        _ => return Self::demote(values, i),
+                    }
+                }
+                ColumnData::Str(out)
+            }
+            Value::Date(_) => {
+                let mut out = Vec::with_capacity(values.len());
+                for (i, v) in values.iter().enumerate() {
+                    match v {
+                        Value::Date(x) => out.push(*x),
+                        _ => return Self::demote(values, i),
+                    }
+                }
+                ColumnData::Date(out)
+            }
+            Value::Null => ColumnData::Mixed(values.to_vec()),
         }
-        if values.iter().all(|v| matches!(v, Value::Float(_))) {
-            return ColumnData::Float(values.iter().map(|v| v.as_float().unwrap()).collect());
-        }
-        if values.iter().all(|v| matches!(v, Value::Str(_))) {
-            return ColumnData::Str(
-                values
-                    .iter()
-                    .map(|v| v.as_str().unwrap().to_string())
-                    .collect(),
-            );
-        }
-        if values.iter().all(|v| matches!(v, Value::Date(_))) {
-            return ColumnData::Date(
-                values
-                    .iter()
-                    .map(|v| match v {
-                        Value::Date(d) => *d,
-                        _ => unreachable!(),
-                    })
-                    .collect(),
-            );
-        }
+    }
+
+    /// Cold path of [`ColumnData::from_values`]: a type mismatch was found at
+    /// position `_at`; store the whole column as generic values.
+    #[cold]
+    fn demote(values: &[Value], _at: usize) -> Self {
         ColumnData::Mixed(values.to_vec())
     }
 
@@ -79,6 +111,61 @@ impl ColumnData {
             ColumnData::Str(v) => Value::Str(v[i].clone()),
             ColumnData::Date(v) => Value::Date(v[i]),
             ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Zero-copy typed view when the column stores `i64`.
+    pub fn as_int_slice(&self) -> Option<&[i64]> {
+        match self {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Zero-copy typed view when the column stores `f64`.
+    pub fn as_float_slice(&self) -> Option<&[f64]> {
+        match self {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Zero-copy typed view when the column stores strings.
+    pub fn as_str_slice(&self) -> Option<&[String]> {
+        match self {
+            ColumnData::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Zero-copy typed view when the column stores dates.
+    pub fn as_date_slice(&self) -> Option<&[i32]> {
+        match self {
+            ColumnData::Date(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Gathers the given physical positions into a new dense typed column,
+    /// preserving the storage representation (no per-cell [`Value`] boxing
+    /// for numeric columns).
+    pub fn gather_rows(&self, idxs: &[u32]) -> ColumnData {
+        match self {
+            ColumnData::Int(v) => {
+                ColumnData::Int(idxs.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Float(v) => {
+                ColumnData::Float(idxs.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Str(v) => {
+                ColumnData::Str(idxs.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+            ColumnData::Date(v) => {
+                ColumnData::Date(idxs.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Mixed(v) => {
+                ColumnData::Mixed(idxs.iter().map(|&i| v[i as usize].clone()).collect())
+            }
         }
     }
 }

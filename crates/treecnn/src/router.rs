@@ -116,7 +116,7 @@ mod tests {
             &plan(10.0, NodeType::NestedLoopJoin),
             &plan(5.0, NodeType::HashJoin),
         );
-        assert!(conf >= 0.5 && conf <= 1.0);
+        assert!((0.5..=1.0).contains(&conf));
         assert!(matches!(engine, EngineKind::Tp | EngineKind::Ap));
     }
 

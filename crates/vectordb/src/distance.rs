@@ -15,6 +15,34 @@ pub enum Metric {
 }
 
 impl Metric {
+    /// Distance with an early-abandon bound: once the running accumulation
+    /// provably exceeds `bound`, stop and return the partial sum (which is
+    /// `> bound` — callers only compare the result against `bound`).
+    ///
+    /// Only squared Euclidean accumulates monotonically, so only it can
+    /// abandon; the other metrics compute the full distance.
+    pub fn distance_upper_bounded(&self, a: &[f64], b: &[f64], bound: f64) -> f64 {
+        match self {
+            Metric::Euclidean => {
+                debug_assert_eq!(a.len(), b.len(), "vector dimensions differ");
+                let mut sum = 0.0;
+                // Check the bound once per 8-lane chunk: cheap enough to
+                // win on far-away candidates, coarse enough not to cost on
+                // near ones.
+                for (ca, cb) in a.chunks(8).zip(b.chunks(8)) {
+                    for (x, y) in ca.iter().zip(cb.iter()) {
+                        sum += (x - y) * (x - y);
+                    }
+                    if sum > bound {
+                        return sum;
+                    }
+                }
+                sum
+            }
+            _ => self.distance(a, b),
+        }
+    }
+
     /// Distance between two vectors (must be equal length).
     pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len(), "vector dimensions differ");
@@ -75,6 +103,21 @@ mod tests {
     #[test]
     fn cosine_zero_vector_is_max() {
         assert_eq!(Metric::Cosine.distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn bounded_distance_agrees_below_bound_and_abandons_above() {
+        let a: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..32).map(|i| (i * 2) as f64).collect();
+        let full = Metric::Euclidean.distance(&a, &b);
+        // Loose bound: identical exact result.
+        assert_eq!(Metric::Euclidean.distance_upper_bounded(&a, &b, full + 1.0), full);
+        // Tight bound: the partial sum must still prove "farther than bound".
+        let partial = Metric::Euclidean.distance_upper_bounded(&a, &b, 10.0);
+        assert!(partial > 10.0 && partial <= full);
+        // Non-monotone metrics fall back to the exact distance.
+        let cos = Metric::Cosine.distance(&a, &b);
+        assert_eq!(Metric::Cosine.distance_upper_bounded(&a, &b, 0.0), cos);
     }
 
     #[test]

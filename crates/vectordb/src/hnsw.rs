@@ -154,8 +154,20 @@ impl HnswIndex {
                 if !visited.insert(nb) {
                     continue;
                 }
-                let d = self.dist(query, nb);
                 let worst = results.peek().map(|f| f.0).unwrap_or(f64::INFINITY);
+                // Once the result set is full, a candidate only matters if
+                // it beats the current worst — let Euclidean abandon the
+                // accumulation as soon as that is impossible. Admitted
+                // candidates always carry their exact distance.
+                let d = if results.len() < ef {
+                    self.dist(query, nb)
+                } else {
+                    self.config.metric.distance_upper_bounded(
+                        query,
+                        &self.nodes[nb as usize].vector,
+                        worst,
+                    )
+                };
                 if results.len() < ef || d < worst {
                     candidates.push(Near(d, nb));
                     results.push(Far(d, nb));
@@ -243,11 +255,16 @@ impl HnswIndex {
         if n.neighbors[layer].len() <= max_links {
             return;
         }
-        let base = n.vector.clone();
-        let mut scored: Vec<(u32, f64)> = self.nodes[id as usize].neighbors[layer]
-            .iter()
-            .map(|&nb| (nb, self.config.metric.distance(&base, &self.nodes[nb as usize].vector)))
-            .collect();
+        // Score through shared borrows — no base-vector clone per prune.
+        let mut scored: Vec<(u32, f64)> = {
+            let base = &n.vector;
+            n.neighbors[layer]
+                .iter()
+                .map(|&nb| {
+                    (nb, self.config.metric.distance(base, &self.nodes[nb as usize].vector))
+                })
+                .collect()
+        };
         scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         scored.truncate(max_links);
         self.nodes[id as usize].neighbors[layer] = scored.into_iter().map(|(i, _)| i).collect();
@@ -387,8 +404,7 @@ mod tests {
 
     #[test]
     fn cosine_metric_search() {
-        let mut cfg = HnswConfig::default();
-        cfg.metric = Metric::Cosine;
+        let cfg = HnswConfig { metric: Metric::Cosine, ..HnswConfig::default() };
         let mut idx = HnswIndex::new(cfg);
         idx.add(vec![1.0, 0.0]);
         idx.add(vec![0.0, 1.0]);

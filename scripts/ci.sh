@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: release build, full test suite, lint, and a perf snapshot so every
+# PR leaves a comparable BENCH_exec.json trail.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> bench snapshot (BENCH_exec.json)"
+cargo run --release -p qpe_bench --bin bench_snapshot
+
+echo "CI OK"

@@ -1,0 +1,398 @@
+//! Offline stand-in for `serde`, API-compatible with the subset this
+//! workspace uses: `#[derive(Serialize, Deserialize)]`, trait bounds
+//! (`Serialize`, `de::DeserializeOwned`), and round-tripping through
+//! `serde_json`. The container registry is unreachable in this environment,
+//! so serialization flows through a self-describing [`Content`] tree instead
+//! of serde's visitor machinery — behaviourally equivalent for the JSON
+//! round-trips the workspace performs, at a fraction of the surface area.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Self-describing serialized form — the shim's entire data model.
+///
+/// Enum values use serde's externally-tagged representation: a unit variant
+/// is a plain string, a data-carrying variant is a single-entry map from the
+/// variant name to its payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Null / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer that does not fit `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (Vec, tuple, tuple-variant payload).
+    Seq(Vec<Content>),
+    /// Key-ordered map (struct fields, map entries, enum variant wrapper).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Borrows the map entries when this content is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements when this content is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string when this content is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error describing a type mismatch.
+    pub fn expected(what: &str, got: &Content) -> Self {
+        DeError(format!("expected {what}, got {got:?}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` into self-describing content.
+    fn serialize(&self) -> Content;
+}
+
+/// Deserialization from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from self-describing content.
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Looks up a struct field in a serialized map (derive-generated code).
+pub fn map_get<'a>(map: &'a [(String, Content)], key: &str) -> Result<&'a Content, DeError> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{key}`")))
+}
+
+/// Mirror of `serde::de` for the `DeserializeOwned` bound.
+pub mod de {
+    /// Owned deserialization marker — blanket-implemented for every
+    /// [`crate::Deserialize`] type, matching serde's semantics for the
+    /// owned-data use cases in this workspace.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(*v as $t),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 {
+                    Content::I64(v as i64)
+                } else {
+                    Content::U64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::I64(v) if *v >= 0 => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 => Ok(*v as $t),
+                    other => Err(DeError::expected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_uint!(u64, usize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    other => Err(DeError::expected("float", other)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        T::deserialize(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let items = c.as_seq().ok_or_else(|| DeError::expected("sequence", c))?;
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}")))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Content {
+        Content::Seq(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c.as_seq() {
+            Some([a, b]) => Ok((A::deserialize(a)?, B::deserialize(b)?)),
+            _ => Err(DeError::expected("2-tuple", c)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Content {
+        Content::Seq(vec![self.0.serialize(), self.1.serialize(), self.2.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c.as_seq() {
+            Some([a, b, cc]) => Ok((A::deserialize(a)?, B::deserialize(b)?, C::deserialize(cc)?)),
+            _ => Err(DeError::expected("3-tuple", c)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let map = c.as_map().ok_or_else(|| DeError::expected("map", c))?;
+        map.iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.serialize())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let map = c.as_map().ok_or_else(|| DeError::expected("map", c))?;
+        map.iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(i64::deserialize(&42i64.serialize()).unwrap(), 42);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(String::deserialize(&"x".to_string().serialize()).unwrap(), "x");
+        assert_eq!(Option::<i64>::deserialize(&Content::Null).unwrap(), None);
+        assert_eq!(Vec::<u32>::deserialize(&vec![1u32, 2].serialize()).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn tuple_and_array_round_trips() {
+        let t = (1i64, "a".to_string());
+        assert_eq!(<(i64, String)>::deserialize(&t.serialize()).unwrap(), t);
+        let a = [0.5f64, 0.25];
+        assert_eq!(<[f64; 2]>::deserialize(&a.serialize()).unwrap(), a);
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let err = map_get(&[], "foo").unwrap_err();
+        assert!(err.to_string().contains("foo"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Workspace façade crate.
+//!
+//! Hosts the cross-crate integration tests (`tests/`) and runnable examples
+//! (`examples/`); re-exports the member crates for convenience.
+
+pub use qpe_core as core;
+pub use qpe_htap as htap;
+pub use qpe_llm as llm;
+pub use qpe_sql as sql;
+pub use qpe_treecnn as treecnn;

@@ -81,6 +81,115 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Row interpreter vs. vectorized batch executor
+// ---------------------------------------------------------------------------
+//
+// The AP engine's plans execute on the vectorized batch executor; the row
+// interpreter remains the reference semantics. These tests pin the contract
+// the latency model, the optimizer and the explainer all rely on: both
+// executors return *identical rows* and *identical WorkCounters* — simulated
+// latencies, router features and explanations provably cannot depend on
+// which executor ran.
+
+mod scalar_vs_batch {
+    use super::system;
+    use qpe_htap::engine::EngineKind;
+    use qpe_htap::exec::{execute_scalar, execute_vectorized, vector};
+    use qpe_htap::opt::{ap, PlannerCtx};
+    use qpe_core::workload::{WorkloadConfig, WorkloadGenerator};
+    use proptest::prelude::*;
+
+    /// Runs `sql`'s AP plan through both executors and asserts rows and
+    /// counters are identical.
+    fn assert_executors_agree(sql: &str) {
+        let sys = system();
+        let db = sys.database();
+        let bound = sys.bind(sql).expect("binds");
+        let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
+        let plan = ap::plan(&ctx).expect("ap plan");
+        assert!(
+            vector::supported(&plan),
+            "AP plan outside batch-executor vocabulary for {sql}"
+        );
+        let (scalar_rows, scalar_counters) =
+            execute_scalar(&plan, &bound, db, EngineKind::Ap).expect("scalar");
+        let (batch_rows, batch_counters) =
+            execute_vectorized(&plan, &bound, db).expect("vectorized");
+        assert_eq!(scalar_rows, batch_rows, "rows diverged for {sql}");
+        assert_eq!(
+            scalar_counters, batch_counters,
+            "work counters diverged for {sql}"
+        );
+    }
+
+    #[test]
+    fn group_by_with_having_and_order() {
+        assert_executors_agree(
+            "SELECT c_nationkey, COUNT(*), AVG(c_acctbal) FROM customer \
+             GROUP BY c_nationkey HAVING COUNT(*) > 5 ORDER BY c_nationkey",
+        );
+        assert_executors_agree(
+            "SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment \
+             ORDER BY c_mktsegment",
+        );
+    }
+
+    #[test]
+    fn order_by_plus_limit_top_n() {
+        assert_executors_agree(
+            "SELECT o_orderkey, o_totalprice FROM orders \
+             ORDER BY o_totalprice DESC LIMIT 10",
+        );
+        assert_executors_agree(
+            "SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 5 OFFSET 10",
+        );
+        // Full sort (no limit) and projection-only shapes.
+        assert_executors_agree("SELECT c_name FROM customer WHERE c_custkey < 25");
+    }
+
+    #[test]
+    fn multi_join_with_filters() {
+        assert_executors_agree(
+            "SELECT COUNT(*) FROM customer, orders \
+             WHERE o_custkey = c_custkey AND o_orderkey < 500",
+        );
+        assert_executors_agree(
+            "SELECT COUNT(*) FROM customer, nation, orders \
+             WHERE SUBSTRING(c_phone, 1, 2) IN ('20', '40', '22', '30', '39', '42', '21') \
+             AND c_mktsegment = 'machinery' \
+             AND n_name = 'egypt' AND o_orderstatus = 'p' \
+             AND o_custkey = c_custkey AND n_nationkey = c_nationkey",
+        );
+        // Residual (non-equi) predicate above a cross join.
+        assert_executors_agree(
+            "SELECT COUNT(*) FROM nation, region WHERE n_regionkey < r_regionkey",
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Any workload-generator query: the batch executor must accept the
+        /// AP plan and match the row interpreter exactly — rows and counters.
+        #[test]
+        fn generated_queries_agree_across_executors(seed in 0u64..10_000, topn in 0.0f64..1.0) {
+            let mut gen = WorkloadGenerator::new(WorkloadConfig { seed, top_n_fraction: topn });
+            let sql = gen.next_query();
+            let sys = system();
+            let db = sys.database();
+            let bound = sys.bind(&sql).expect("binds");
+            let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
+            let plan = ap::plan(&ctx).expect("ap plan");
+            prop_assert!(vector::supported(&plan), "unsupported AP plan for {}", sql);
+            let (srows, sc) = execute_scalar(&plan, &bound, db, EngineKind::Ap).expect("scalar");
+            let (brows, bc) = execute_vectorized(&plan, &bound, db).expect("vectorized");
+            prop_assert_eq!(&srows, &brows, "rows diverged for {}", sql);
+            prop_assert_eq!(sc, bc, "counters diverged for {}", sql);
+        }
+    }
+}
+
 #[test]
 fn order_by_is_respected_by_both_engines() {
     let sys = system();
