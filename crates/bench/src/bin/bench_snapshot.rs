@@ -1,7 +1,15 @@
-//! Perf-trajectory snapshot: times the three `engine_execution` cases with
-//! `std::time::Instant` and writes `BENCH_exec.json` (median ns per case) at
-//! the repository root, so successive PRs can compare executor performance
-//! against a checked-in baseline.
+//! Perf-trajectory snapshot: times the read cases from `engine_execution`
+//! plus the write-path / delta-read cases with `std::time::Instant` and
+//! writes `BENCH_exec.json` (median ns per case) at the repository root, so
+//! successive PRs can compare executor performance against a checked-in
+//! baseline.
+//!
+//! Write-path cases:
+//! * `dml_insert_delete_compact` — one INSERT + targeted DELETE + compact
+//!   per iteration (steady-state: the table returns to baseline each time);
+//! * `mixed_90_10` — a serving loop of 9 TP point reads per write cycle;
+//! * `ap_scan_50pct_delta` — an AP aggregate scan over a table whose live
+//!   rows are 50% delta-resident (the freshness-read cost, pre-compaction).
 //!
 //! ```sh
 //! cargo run --release --bin bench_snapshot              # print + write
@@ -100,6 +108,76 @@ fn compare_executors(sys: &HtapSystem) {
     }
 }
 
+const INSERT_SQL: &str = "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, \
+     c_acctbal, c_mktsegment) VALUES (900001, 'customer#900001', 4, '20-555-000-1111', \
+     1234.56, 'machinery')";
+const DELETE_SQL: &str = "DELETE FROM customer WHERE c_custkey = 900001";
+
+/// Times the write-path and delta-read cases.
+fn write_path_cases() -> Vec<(&'static str, u64)> {
+    let mut out = Vec::new();
+
+    // Steady-state write cycle: each iteration inserts one row, deletes it
+    // through the PK index, and compacts both formats back to baseline.
+    let mut sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
+    let ns = time_ns(|| {
+        black_box(sys.execute_sql(INSERT_SQL).expect("insert"));
+        black_box(sys.execute_sql(DELETE_SQL).expect("delete"));
+        sys.database_mut().compact_table("customer");
+    });
+    out.push(("dml_insert_delete_compact", ns));
+
+    // 90/10 serving mix: 9 TP point reads per write cycle.
+    let point = sys
+        .bind("SELECT c_name FROM customer WHERE c_custkey = 42")
+        .expect("binds");
+    let ns = time_ns(|| {
+        for _ in 0..9 {
+            black_box(sys.run_engine(black_box(&point), EngineKind::Tp).expect("read"));
+        }
+        black_box(sys.execute_sql(INSERT_SQL).expect("insert"));
+        black_box(sys.execute_sql(DELETE_SQL).expect("delete"));
+        sys.database_mut().compact_table("customer");
+    });
+    out.push(("mixed_90_10", ns));
+
+    // AP scan over a half-delta table: double `customer` with uncompacted
+    // inserts, then time the delta-aware aggregate scan (read-only, so the
+    // 50% delta fraction holds for every sample).
+    let mut dirty = HtapSystem::new(&TpchConfig::with_scale(0.002));
+    let base_rows = dirty
+        .database()
+        .stored_table("customer")
+        .expect("customer exists")
+        .row_count();
+    let mut values = Vec::with_capacity(base_rows);
+    for i in 0..base_rows {
+        values.push(format!(
+            "({}, 'customer#delta{i}', {}, '20-000-000-0000', {}.5, 'machinery')",
+            910_000 + i,
+            i % 25,
+            i % 5000
+        ));
+    }
+    let bulk = format!(
+        "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
+         c_mktsegment) VALUES {}",
+        values.join(", ")
+    );
+    dirty.execute_sql(&bulk).expect("bulk insert");
+    let fresh = dirty.freshness("customer").expect("freshness");
+    assert_eq!(fresh.delta_rows, base_rows, "half the live rows sit in the delta");
+    let agg = dirty
+        .bind("SELECT COUNT(*), SUM(c_acctbal) FROM customer WHERE c_mktsegment = 'machinery'")
+        .expect("binds");
+    let ns = time_ns(|| {
+        black_box(dirty.run_engine(black_box(&agg), EngineKind::Ap).expect("scan"));
+    });
+    out.push(("ap_scan_50pct_delta", ns));
+
+    out
+}
+
 fn main() {
     let check_only = std::env::args().any(|a| a == "--check");
     let sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
@@ -116,6 +194,11 @@ fn main() {
             println!("{label:<24} {ns:>12} ns/iter");
             entries.push((label, ns));
         }
+    }
+
+    for (label, ns) in write_path_cases() {
+        println!("{label:<24} {ns:>12} ns/iter");
+        entries.push((label.to_string(), ns));
     }
 
     let mut obj = serde_json::Map::new();

@@ -18,6 +18,7 @@ fn main() {
             tp_plan: out.tp.plan.clone(),
             ap_plan: out.ap.plan.clone(),
             winner: out.winner(),
+            freshness: vec![],
         },
         user_context: vec![
             "Beyond the default indexes on primary and foreign keys, an additional \

@@ -44,6 +44,7 @@ fn main() {
             tp_plan: outcome.tp.plan.clone(),
             ap_plan: outcome.ap.plan.clone(),
             winner: outcome.winner(),
+            freshness: vec![],
         },
         user_context: vec![
             "An additional index has been created on the c_phone column in the \

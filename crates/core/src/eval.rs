@@ -98,6 +98,7 @@ pub fn dbgpt_eval(
                 tp_plan: outcome.tp.plan.clone(),
                 ap_plan: outcome.ap.plan.clone(),
                 winner: outcome.winner(),
+                freshness: vec![],
             },
             user_context: vec![],
         };
@@ -163,6 +164,7 @@ pub fn flat_embedding_ablation(
                 tp_plan: outcome.tp.plan.clone(),
                 ap_plan: outcome.ap.plan.clone(),
                 winner: outcome.winner(),
+                freshness: vec![],
             },
             user_context: vec![],
         };
@@ -218,6 +220,7 @@ pub fn kb_size_sweep(
                     tp_plan: outcome.tp.plan.clone(),
                     ap_plan: outcome.ap.plan.clone(),
                     winner: outcome.winner(),
+                    freshness: vec![],
                 },
                 user_context: vec![],
             };

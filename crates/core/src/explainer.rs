@@ -172,6 +172,15 @@ impl Explainer {
                 tp_plan: outcome.tp.plan.clone(),
                 ap_plan: outcome.ap.plan.clone(),
                 winner: outcome.winner(),
+                // Delta-store freshness of the scanned tables: how much
+                // recent write traffic the AP engine read through its delta
+                // region for this query.
+                freshness: outcome
+                    .bound
+                    .tables
+                    .iter()
+                    .filter_map(|t| self.system.database().freshness(&t.name))
+                    .collect(),
             },
             user_context: user_context.to_vec(),
         };

@@ -6,14 +6,14 @@
 //! work counters and simulated latencies — the raw material for router
 //! training, knowledge-base construction, and explanations.
 
-use crate::exec::{self, Row, WorkCounters};
+use crate::exec::{self, DmlResult, Row, WorkCounters};
 use crate::latency::LatencyModel;
 use crate::opt::{ap, tp, OptError, PlannerCtx};
 use crate::plan::PlanNode;
 use crate::stats::{DbStats, TableStats};
-use crate::storage::StoredTable;
+use crate::storage::{StoredTable, TableFreshness};
 use crate::tpch::{self, TpchConfig};
-use qpe_sql::binder::{Binder, BoundQuery};
+use qpe_sql::binder::{Binder, BoundDml, BoundQuery, BoundStatement};
 use qpe_sql::catalog::{Catalog, MemoryCatalog};
 use qpe_sql::value::Value;
 use qpe_sql::SqlError;
@@ -66,6 +66,54 @@ pub struct EngineRun {
     pub counters: WorkCounters,
     /// Simulated latency in nanoseconds (deterministic).
     pub latency_ns: u64,
+}
+
+/// Outcome of one write statement: DML runs on the TP engine only (the row
+/// store and its indexes are the write-optimized side; the column store
+/// absorbs the same write through its delta region).
+#[derive(Debug, Clone)]
+pub struct DmlOutcome {
+    /// Original SQL.
+    pub sql: String,
+    /// What happened (kind, table, rows affected, new version stamp).
+    pub result: DmlResult,
+    /// The TP write plan.
+    pub plan: PlanNode,
+    /// Work performed (scan + write counters).
+    pub counters: WorkCounters,
+    /// Simulated TP latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Freshness of the written table after the statement.
+    pub freshness: TableFreshness,
+}
+
+/// Outcome of [`HtapSystem::execute_sql`]: a read ran on both engines, or a
+/// write ran on the TP engine. The read variant boxes its payload — a
+/// [`QueryOutcome`] carries two full engine runs and dwarfs the DML variant.
+#[derive(Debug, Clone)]
+pub enum StatementOutcome {
+    /// A `SELECT` executed on both engines.
+    Query(Box<QueryOutcome>),
+    /// An `INSERT`/`UPDATE`/`DELETE` executed on the TP engine.
+    Dml(Box<DmlOutcome>),
+}
+
+impl StatementOutcome {
+    /// The read outcome, if this was a query.
+    pub fn as_query(&self) -> Option<&QueryOutcome> {
+        match self {
+            StatementOutcome::Query(q) => Some(q),
+            StatementOutcome::Dml(_) => None,
+        }
+    }
+
+    /// The write outcome, if this was DML.
+    pub fn as_dml(&self) -> Option<&DmlOutcome> {
+        match self {
+            StatementOutcome::Dml(d) => Some(d),
+            StatementOutcome::Query(_) => None,
+        }
+    }
 }
 
 /// Outcome of running one query on both engines.
@@ -215,6 +263,135 @@ impl Database {
         self.tables.get(name).map(|t| &t.rows)
     }
 
+    /// Applies validated full-width rows to both storage formats, keeping
+    /// statistics and the catalog row count current. Returns the insert
+    /// count.
+    pub fn apply_insert(&mut self, table: &str, rows: &[Vec<Value>]) -> u64 {
+        let Some(st) = self.tables.get_mut(table) else {
+            return 0;
+        };
+        for row in rows {
+            st.insert(row.clone());
+        }
+        self.stats.note_insert(table, rows);
+        self.sync_row_count(table);
+        self.maybe_refresh_stats(table);
+        rows.len() as u64
+    }
+
+    /// Tombstones the given rids in both storage formats. Returns how many
+    /// were live.
+    pub fn apply_delete(&mut self, table: &str, rids: &[u32]) -> u64 {
+        let Some(st) = self.tables.get_mut(table) else {
+            return 0;
+        };
+        let mut n = 0u64;
+        for &rid in rids {
+            if st.delete(rid) {
+                n += 1;
+            }
+        }
+        self.stats.note_delete(table, n);
+        self.sync_row_count(table);
+        self.maybe_refresh_stats(table);
+        n
+    }
+
+    /// Rewrites rows (relocating them in both formats). Returns the update
+    /// count.
+    pub fn apply_update(&mut self, table: &str, changes: Vec<(u32, Vec<Value>)>) -> u64 {
+        let Some(st) = self.tables.get_mut(table) else {
+            return 0;
+        };
+        let new_rows: Vec<Vec<Value>> = changes.iter().map(|(_, r)| r.clone()).collect();
+        let n = changes.len() as u64;
+        for (rid, row) in changes {
+            st.update(rid, row);
+        }
+        self.stats.note_update(table, &new_rows);
+        self.maybe_refresh_stats(table);
+        n
+    }
+
+    /// Compacts one table: the column store merges its delta into the base,
+    /// the row store drops tombstones, and — compaction being the moment the
+    /// data gets rewritten anyway — the table's ndv/min/max stats refresh
+    /// too. Compacting an already-clean table is a no-op (no rescan).
+    /// Returns false for an unknown table.
+    pub fn compact_table(&mut self, table: &str) -> bool {
+        let Some(st) = self.tables.get_mut(table) else {
+            return false;
+        };
+        if st.cols.is_clean() && !st.rows.has_deletions() {
+            return true;
+        }
+        st.compact();
+        self.refresh_table_stats(table);
+        true
+    }
+
+    /// Current freshness snapshot of a table's column-store side.
+    pub fn freshness(&self, table: &str) -> Option<crate::storage::TableFreshness> {
+        self.tables.get(table).map(|st| st.freshness())
+    }
+
+    /// Freshness snapshots for every table, sorted by name.
+    pub fn freshness_all(&self) -> Vec<crate::storage::TableFreshness> {
+        let mut out: Vec<_> = self.tables.values().map(|st| st.freshness()).collect();
+        out.sort_by(|a, b| a.table.cmp(&b.table));
+        out
+    }
+
+    /// Mirrors the live row count into the catalog so queries bound after a
+    /// write see current table sizes.
+    fn sync_row_count(&mut self, table: &str) {
+        let Some(st) = self.tables.get(table) else {
+            return;
+        };
+        let n = st.row_count() as u64;
+        if let Some(def) = self.catalog.table_mut(table) {
+            def.row_count = n;
+        }
+    }
+
+    /// Lazy ndv refresh: only once the write backlog crosses the staleness
+    /// threshold does the table pay for a full stats recompute.
+    fn maybe_refresh_stats(&mut self, table: &str) {
+        if self
+            .stats
+            .table(table)
+            .map(|ts| ts.ndv_is_stale())
+            .unwrap_or(false)
+        {
+            self.refresh_table_stats(table);
+        }
+    }
+
+    /// Full recompute of one table's column statistics (ndv, min/max,
+    /// null fraction) from the live rows, clearing the write backlog and
+    /// refreshing catalog ndv.
+    pub fn refresh_table_stats(&mut self, table: &str) {
+        let Some(st) = self.tables.get(table) else {
+            return;
+        };
+        let width = st.rows.width();
+        let mut columns: Vec<Vec<Value>> = vec![Vec::with_capacity(st.row_count()); width];
+        for (_, row) in st.rows.iter_live() {
+            for (c, v) in columns.iter_mut().zip(row) {
+                c.push(v.clone());
+            }
+        }
+        self.stats.insert(TableStats::collect(table, &columns));
+        if let Some(def) = self.catalog.table_mut(table) {
+            def.row_count = columns.first().map(|c| c.len()).unwrap_or(0) as u64;
+            if let Some(ts) = self.stats.table(table) {
+                for (cd, cs) in def.columns.iter_mut().zip(&ts.columns) {
+                    cd.ndv = cs.ndv;
+                }
+            }
+        }
+    }
+
     /// Creates a TP-side secondary index at runtime (the paper's
     /// "additional index on c_phone" user context). Returns false if the
     /// table/column doesn't exist.
@@ -308,9 +485,60 @@ impl HtapSystem {
         })
     }
 
+    /// Executes any statement. Reads take the dual-engine pipeline
+    /// ([`HtapSystem::run_sql`]); writes route to the TP engine *only* —
+    /// planned by the TP optimizer, executed against the row store, with the
+    /// column store absorbing the same change through its delta region, so
+    /// the next AP read is fresh without blocking writers of other tables.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<StatementOutcome, HtapError> {
+        match Binder::new(self.db.catalog()).bind_statement(sql)? {
+            BoundStatement::Query(bound) => Ok(StatementOutcome::Query(Box::new(
+                self.run_bound(sql, bound)?,
+            ))),
+            BoundStatement::Dml(dml) => Ok(StatementOutcome::Dml(Box::new(
+                self.execute_dml(sql, &dml)?,
+            ))),
+        }
+    }
+
+    /// Plans and executes one bound write statement on the TP engine.
+    pub fn execute_dml(&mut self, sql: &str, dml: &BoundDml) -> Result<DmlOutcome, HtapError> {
+        let plan = tp::plan_dml(dml, self.db.stats(), self.db.catalog())?;
+        let (result, counters) = exec::execute_dml(&plan, dml, &mut self.db)?;
+        let latency_ns = self.latency.tp_latency_ns(&counters);
+        let freshness = self
+            .db
+            .freshness(&result.table)
+            .expect("written table exists");
+        Ok(DmlOutcome {
+            sql: sql.to_string(),
+            result,
+            plan,
+            counters,
+            latency_ns,
+            freshness,
+        })
+    }
+
+    /// Compacts one table (merging the AP delta into the base and dropping
+    /// row-store tombstones). Returns false for an unknown table.
+    pub fn compact(&mut self, table: &str) -> bool {
+        self.db.compact_table(table)
+    }
+
+    /// Freshness snapshot of one table.
+    pub fn freshness(&self, table: &str) -> Option<TableFreshness> {
+        self.db.freshness(table)
+    }
+
     /// Full pipeline: bind, run on both engines, check result agreement.
     pub fn run_sql(&self, sql: &str) -> Result<QueryOutcome, HtapError> {
         let bound = self.bind(sql)?;
+        self.run_bound(sql, bound)
+    }
+
+    /// [`HtapSystem::run_sql`] over an already-bound query (no re-parse).
+    fn run_bound(&self, sql: &str, bound: BoundQuery) -> Result<QueryOutcome, HtapError> {
         let tp = self.run_engine(&bound, EngineKind::Tp)?;
         let ap = self.run_engine(&bound, EngineKind::Ap)?;
         if !results_match(&bound, &tp.rows, &ap.rows) {
@@ -483,5 +711,251 @@ mod tests {
             sys.run_sql("SELECT * FROM missing_table"),
             Err(HtapError::Sql(_))
         ));
+    }
+
+    fn count_machinery(sys: &HtapSystem) -> i64 {
+        sys.run_sql("SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'machinery'")
+            .unwrap()
+            .tp
+            .rows[0][0]
+            .as_int()
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_is_visible_to_both_engines_before_compaction() {
+        let mut sys = system();
+        let before = count_machinery(&sys);
+        let out = sys
+            .execute_sql(
+                "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
+                 c_mktsegment) VALUES (900001, 'customer#900001', 4, '20-555-000-1111', \
+                 1234.5, 'machinery')",
+            )
+            .unwrap();
+        let dml = out.as_dml().expect("insert is DML");
+        assert_eq!(dml.result.kind, crate::exec::DmlKind::Insert);
+        assert_eq!(dml.result.rows_affected, 1);
+        assert_eq!(dml.plan.node_type, crate::plan::NodeType::Insert);
+        assert!(dml.counters.rows_inserted == 1 && dml.counters.index_updates > 0);
+        assert!(dml.latency_ns > 0);
+        assert_eq!(dml.freshness.delta_rows, 1);
+        // run_sql internally asserts TP/AP agreement — the delta row is
+        // already visible to the AP engine.
+        assert_eq!(count_machinery(&sys), before + 1);
+        // ... and still after compaction.
+        assert!(sys.compact("customer"));
+        assert_eq!(count_machinery(&sys), before + 1);
+        assert_eq!(sys.freshness("customer").unwrap().delta_rows, 0);
+    }
+
+    #[test]
+    fn update_and_delete_round_trip() {
+        let mut sys = system();
+        let before = count_machinery(&sys);
+        let up = sys
+            .execute_sql("UPDATE customer SET c_mktsegment = 'machinery' WHERE c_custkey = 7")
+            .unwrap();
+        let up = up.as_dml().unwrap();
+        assert_eq!(up.result.kind, crate::exec::DmlKind::Update);
+        assert_eq!(up.result.rows_affected, 1);
+        // PK equality predicate drives an index access path, not a scan
+        assert_eq!(up.plan.children[0].node_type, crate::plan::NodeType::IndexScan);
+        let after_update = count_machinery(&sys);
+        assert!(after_update == before || after_update == before + 1);
+        let del = sys
+            .execute_sql("DELETE FROM customer WHERE c_custkey = 7")
+            .unwrap();
+        assert_eq!(del.as_dml().unwrap().result.rows_affected, 1);
+        // engines still agree after a delete, pre- and post-compaction
+        assert_eq!(count_machinery(&sys), after_update - 1);
+        sys.compact("customer");
+        assert_eq!(count_machinery(&sys), after_update - 1);
+    }
+
+    #[test]
+    fn update_assignment_reads_old_row() {
+        let mut sys = system();
+        let before = sys
+            .run_sql("SELECT c_acctbal FROM customer WHERE c_custkey = 3")
+            .unwrap()
+            .tp
+            .rows[0][0]
+            .as_float()
+            .unwrap();
+        sys.execute_sql("UPDATE customer SET c_acctbal = c_acctbal + 100 WHERE c_custkey = 3")
+            .unwrap();
+        let after = sys
+            .run_sql("SELECT c_acctbal FROM customer WHERE c_custkey = 3")
+            .unwrap()
+            .tp
+            .rows[0][0]
+            .as_float()
+            .unwrap();
+        assert!((after - (before + 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_or_null_primary_key_rejected() {
+        let mut sys = system();
+        // key 1 exists in generated data
+        assert!(matches!(
+            sys.execute_sql(
+                "INSERT INTO customer (c_custkey, c_name) VALUES (1, 'dup')"
+            ),
+            Err(HtapError::Exec(exec::ExecError::Write(_)))
+        ));
+        assert!(matches!(
+            sys.execute_sql("INSERT INTO customer (c_name) VALUES ('nokey')"),
+            Err(HtapError::Exec(exec::ExecError::Write(_)))
+        ));
+        // duplicate within one VALUES batch
+        assert!(matches!(
+            sys.execute_sql(
+                "INSERT INTO customer (c_custkey, c_name) VALUES (900009, 'a'), (900009, 'b')"
+            ),
+            Err(HtapError::Exec(exec::ExecError::Write(_)))
+        ));
+        // failed statements leave no trace
+        assert_eq!(sys.freshness("customer").unwrap().delta_rows, 0);
+    }
+
+    #[test]
+    fn update_enforces_primary_key_constraints() {
+        let mut sys = system();
+        // moving a PK onto a surviving row's key is rejected
+        assert!(matches!(
+            sys.execute_sql("UPDATE customer SET c_custkey = 1 WHERE c_custkey = 2"),
+            Err(HtapError::Exec(exec::ExecError::Write(_)))
+        ));
+        // two updated rows collapsing onto one new key is rejected
+        assert!(matches!(
+            sys.execute_sql("UPDATE customer SET c_custkey = 900100 WHERE c_custkey < 3"),
+            Err(HtapError::Exec(exec::ExecError::Write(_)))
+        ));
+        // rejections leave storage untouched
+        assert_eq!(sys.freshness("customer").unwrap().delta_rows, 0);
+        // an updated row may keep its own key (self-match is not a clash) …
+        let out = sys
+            .execute_sql("UPDATE customer SET c_custkey = 2, c_name = 'renamed' \
+                          WHERE c_custkey = 2")
+            .unwrap();
+        assert_eq!(out.as_dml().unwrap().result.rows_affected, 1);
+        // … and may move to a genuinely free key
+        sys.execute_sql("UPDATE customer SET c_custkey = 900200 WHERE c_custkey = 3")
+            .unwrap();
+        let rows = sys
+            .run_sql("SELECT c_custkey FROM customer WHERE c_custkey = 900200")
+            .unwrap()
+            .tp
+            .rows;
+        assert_eq!(rows.len(), 1);
+        // non-PK assignments never pay PK probes
+        let out = sys
+            .execute_sql("UPDATE customer SET c_acctbal = 1.0 WHERE c_custkey = 4")
+            .unwrap();
+        assert_eq!(out.as_dml().unwrap().result.rows_affected, 1);
+    }
+
+    #[test]
+    fn delta_fraction_ignores_tombstoned_delta_rows() {
+        let mut sys = system();
+        sys.execute_sql(
+            "INSERT INTO region (r_regionkey, r_name) VALUES (90, 'x'), (91, 'y')",
+        )
+        .unwrap();
+        let f = sys.freshness("region").unwrap();
+        assert_eq!(f.live_delta_rows, 2);
+        assert!(f.delta_fraction() > 0.0);
+        sys.execute_sql("DELETE FROM region WHERE r_regionkey >= 90").unwrap();
+        let f = sys.freshness("region").unwrap();
+        assert_eq!(f.delta_rows, 2, "physical backlog remains");
+        assert_eq!(f.live_delta_rows, 0);
+        assert_eq!(f.delta_fraction(), 0.0, "no live row resides in the delta");
+    }
+
+    /// Satellite: planner cardinality estimates must track post-DML table
+    /// sizes — both the catalog row count the binder snapshots and the
+    /// statistics row count the optimizers estimate from.
+    #[test]
+    fn stats_and_plans_track_post_dml_sizes() {
+        let mut sys = system();
+        let n0 = sys.database().stats().table("nation").unwrap().row_count;
+        assert_eq!(n0, 25);
+        for i in 0..5 {
+            sys.execute_sql(&format!(
+                "INSERT INTO nation (n_nationkey, n_name, n_regionkey) VALUES ({}, 'x{}', 0)",
+                100 + i,
+                i
+            ))
+            .unwrap();
+        }
+        // incremental row_count maintenance, no refresh needed
+        assert_eq!(sys.database().stats().table("nation").unwrap().row_count, 30);
+        let bound = sys.bind("SELECT COUNT(*) FROM nation").unwrap();
+        assert_eq!(bound.tables[0].row_count, 30);
+        // a full-scan plan's cardinality estimate reflects the new size
+        let plan = sys.explain(&bound, EngineKind::Ap).unwrap();
+        let mut scan_rows = 0.0;
+        plan.walk(&mut |n| {
+            if n.node_type == crate::plan::NodeType::TableScan {
+                scan_rows = n.plan_rows;
+            }
+        });
+        assert_eq!(scan_rows, 30.0);
+        sys.execute_sql("DELETE FROM nation WHERE n_nationkey >= 100")
+            .unwrap();
+        assert_eq!(sys.database().stats().table("nation").unwrap().row_count, 25);
+        // min/max widened incrementally by the inserts (lazy ndv refresh
+        // corrects them later; widening alone must be immediate)
+        assert!(sys.database().stats().table("nation").unwrap().columns[0]
+            .max
+            .unwrap()
+            >= 104.0);
+        // compaction triggers the full stats refresh: bounds shrink back
+        sys.compact("nation");
+        let ts = sys.database().stats().table("nation").unwrap();
+        assert_eq!(ts.columns[0].max, Some(24.0));
+        assert_eq!(ts.pending_ndv_writes, 0);
+    }
+
+    #[test]
+    fn lazy_ndv_refresh_after_write_backlog() {
+        let mut sys = system();
+        let ndv0 = sys.database().stats().table("nation").unwrap().columns[1].ndv;
+        assert_eq!(ndv0, 25);
+        // 64+ inserts with distinct names crosses the staleness threshold
+        for i in 0..70 {
+            sys.execute_sql(&format!(
+                "INSERT INTO nation (n_nationkey, n_name, n_regionkey) VALUES ({}, 'n{}', 0)",
+                1000 + i,
+                i
+            ))
+            .unwrap();
+        }
+        let ts = sys.database().stats().table("nation").unwrap();
+        assert_eq!(ts.row_count, 95);
+        // The refresh fired when the backlog hit the threshold (64 writes →
+        // 89 rows at that moment), not on every write: lazily, not eagerly.
+        assert_eq!(ts.columns[1].ndv, 89, "ndv refreshed once at the threshold");
+        assert_eq!(ts.pending_ndv_writes, 6, "post-refresh backlog keeps accumulating");
+    }
+
+    #[test]
+    fn dml_routes_to_tp_only_and_select_still_dual_runs(){
+        let mut sys = system();
+        let q = sys.execute_sql("SELECT COUNT(*) FROM region").unwrap();
+        assert!(q.as_query().is_some() && q.as_dml().is_none());
+        let w = sys
+            .execute_sql("DELETE FROM region WHERE r_regionkey = 4")
+            .unwrap();
+        let dml = w.as_dml().unwrap();
+        assert!(w.as_query().is_none());
+        // write counters priced by the TP latency model
+        assert_eq!(dml.counters.rows_deleted, 1);
+        assert_eq!(
+            dml.latency_ns,
+            sys.latency_model().tp_latency_ns(&dml.counters)
+        );
     }
 }

@@ -10,7 +10,7 @@
 //! hot comparison kernels). The batch kernels are element-wise ports of the
 //! scalar semantics, so both executors produce identical results.
 
-use crate::storage::col_store::ColumnData;
+use crate::storage::col_store::{ColRef, ColumnData};
 use qpe_sql::ast::BinaryOp;
 use qpe_sql::binder::BoundExpr;
 use qpe_sql::value::Value;
@@ -250,13 +250,15 @@ fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value, EvalError> {
 // Batch (vectorized) evaluation
 // ---------------------------------------------------------------------------
 
-/// Column-major view of an operator's input: one typed column per schema
-/// position (a `None` marks a column dropped by late materialization — legal
-/// only when no evaluated expression references it) plus an optional
-/// selection vector of physical row indices.
+/// Column-major view of an operator's input: one typed column view per
+/// schema position (a `None` marks a column dropped by late materialization
+/// — legal only when no evaluated expression references it) plus an optional
+/// selection vector of physical row indices. Columns are [`ColRef`]s, so a
+/// delta-aware scan's base+delta segments flow through the same kernels as a
+/// contiguous column — per-element access costs one extra segment branch.
 pub struct BatchView<'a> {
     /// Columns aligned with the operator's [`Schema`] positions.
-    pub cols: &'a [Option<&'a ColumnData>],
+    pub cols: &'a [Option<ColRef<'a>>],
     /// Selected physical rows, in output order; `None` means all rows.
     pub sel: Option<&'a [u32]>,
     /// Physical row count of the columns.
@@ -278,7 +280,7 @@ impl<'a> BatchView<'a> {
         }
     }
 
-    fn col(&self, pos: usize) -> Result<&'a ColumnData, EvalError> {
+    fn col(&self, pos: usize) -> Result<ColRef<'a>, EvalError> {
         self.cols
             .get(pos)
             .and_then(|c| *c)
@@ -306,6 +308,23 @@ impl<'a> Cell<'a> {
             ColumnData::Str(v) => Cell::Str(&v[idx]),
             ColumnData::Date(v) => Cell::Date(v[idx]),
             ColumnData::Mixed(v) => Cell::from_value(&v[idx]),
+        }
+    }
+
+    /// Cross-segment cell read: one branch to pick the segment, then the
+    /// same zero-allocation access as [`Cell::from_col`].
+    #[inline]
+    fn from_ref(col: ColRef<'a>, idx: usize) -> Cell<'a> {
+        match col {
+            ColRef::Single(c) => Cell::from_col(c, idx),
+            ColRef::Chunked { base, delta } => {
+                let split = base.len();
+                if idx < split {
+                    Cell::from_col(base, idx)
+                } else {
+                    Cell::from_col(delta, idx - split)
+                }
+            }
         }
     }
 
@@ -422,7 +441,11 @@ fn substring_slice(s: &str, start: i64, len: i64) -> &str {
 /// selection), a dense computed column (aligned with the selection), or a
 /// broadcast literal.
 enum Operand<'a> {
+    /// Contiguous physical column — the clean-table fast path (no
+    /// per-element segment branch).
     Col(&'a ColumnData),
+    /// Two-segment physical column from a dirty table's delta-aware scan.
+    Chunked(ColRef<'a>),
     Dense(ColumnData),
     Lit(&'a Value),
 }
@@ -433,6 +456,7 @@ impl Operand<'_> {
     fn cell(&self, j: usize, phys: usize) -> Cell<'_> {
         match self {
             Operand::Col(c) => Cell::from_col(c, phys),
+            Operand::Chunked(c) => Cell::from_ref(*c, phys),
             Operand::Dense(c) => Cell::from_col(c, j),
             Operand::Lit(v) => Cell::from_value(v),
         }
@@ -452,7 +476,13 @@ fn operand_of<'a>(
                     table_slot: c.table_slot,
                     column_idx: c.column_idx,
                 })?;
-            Ok(Operand::Col(view.col(pos)?))
+            // The segment dispatch hoists out of the per-element loop here:
+            // single-segment columns evaluate exactly as before the delta
+            // store existed.
+            Ok(match view.col(pos)? {
+                ColRef::Single(col) => Operand::Col(col),
+                chunked => Operand::Chunked(chunked),
+            })
         }
         BoundExpr::Literal(v) => Ok(Operand::Lit(v)),
         other => Ok(Operand::Dense(eval_batch(other, schema, view)?)),
@@ -692,7 +722,7 @@ pub fn eval_batch(
             let col = view.col(pos)?;
             Ok(match view.sel {
                 Some(sel) => col.gather_rows(sel),
-                None => col.clone(),
+                None => col.to_dense(),
             })
         }
         BoundExpr::Literal(v) => {

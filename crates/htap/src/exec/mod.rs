@@ -21,11 +21,12 @@ pub mod vector;
 pub use agg::AggLeaf;
 
 use crate::engine::{Database, EngineKind};
-use crate::eval::{eval, eval_predicate, EvalError};
+use crate::eval::{eval, eval_predicate, EvalError, Schema};
 use crate::plan::{IndexLookup, PlanNode, PlanOp};
-use qpe_sql::binder::BoundQuery;
+use qpe_sql::binder::{BoundDml, BoundQuery};
+use qpe_sql::catalog::Catalog;
 use qpe_sql::value::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A materialized row.
 pub type Row = Vec<Value>;
@@ -57,6 +58,14 @@ pub struct WorkCounters {
     pub agg_rows: u64,
     /// Rows in the final result.
     pub output_rows: u64,
+    /// Rows appended by `INSERT` (and the append half of an update).
+    pub rows_inserted: u64,
+    /// Rows rewritten by `UPDATE`.
+    pub rows_updated: u64,
+    /// Rows tombstoned by `DELETE`.
+    pub rows_deleted: u64,
+    /// B-tree index entry modifications performed by the write path.
+    pub index_updates: u64,
 }
 
 impl WorkCounters {
@@ -74,6 +83,10 @@ impl WorkCounters {
             + self.topn_pushes
             + self.agg_rows
             + self.output_rows
+            + self.rows_inserted
+            + self.rows_updated
+            + self.rows_deleted
+            + self.index_updates
     }
 }
 
@@ -86,6 +99,8 @@ pub enum ExecError {
     BadPlan(String),
     /// A table referenced by the plan is missing from the database.
     MissingTable(String),
+    /// A write violated a constraint (duplicate primary key, type mismatch).
+    Write(String),
 }
 
 impl From<EvalError> for ExecError {
@@ -100,6 +115,7 @@ impl std::fmt::Display for ExecError {
             ExecError::Eval(e) => write!(f, "evaluation error: {e}"),
             ExecError::BadPlan(m) => write!(f, "bad plan: {m}"),
             ExecError::MissingTable(t) => write!(f, "missing table: {t}"),
+            ExecError::Write(m) => write!(f, "write error: {m}"),
         }
     }
 }
@@ -396,6 +412,11 @@ impl Executor<'_> {
                 let input = self.run(&node.children[0])?;
                 sort::output_sort(&mut self.counters, input, keys)
             }
+            PlanOp::Insert { .. } | PlanOp::Update { .. } | PlanOp::Delete { .. } => {
+                Err(ExecError::BadPlan(
+                    "DML node reached the read executor; use execute_dml".into(),
+                ))
+            }
         }
     }
 
@@ -409,25 +430,30 @@ impl Executor<'_> {
         match self.engine {
             EngineKind::Tp => {
                 // Row-store scan: full tuples are touched even if the plan
-                // only materializes a subset.
+                // only materializes a subset. Tombstoned slots are skipped.
                 self.counters.rows_scanned += n as u64;
                 let full_width = stored.rows.width();
                 if columns.len() == full_width && columns.iter().copied().eq(0..full_width) {
-                    Ok(stored.rows.rows().to_vec())
+                    if !stored.rows.has_deletions() {
+                        Ok(stored.rows.rows().to_vec())
+                    } else {
+                        Ok(stored.rows.iter_live().map(|(_, r)| r.clone()).collect())
+                    }
                 } else {
                     Ok(stored
                         .rows
-                        .rows()
-                        .iter()
-                        .map(|r| columns.iter().map(|&c| r[c].clone()).collect())
+                        .iter_live()
+                        .map(|(_, r)| columns.iter().map(|&c| r[c].clone()).collect())
                         .collect())
                 }
             }
             EngineKind::Ap => {
-                // Column-store scan: touch only the referenced columns.
+                // Column-store scan: touch only the referenced columns of
+                // live rows, reading base and delta regions alike — a write
+                // is visible here before any compaction runs.
                 self.counters.cells_scanned += (n * columns.len()) as u64;
-                let all: Vec<u32> = (0..n as u32).collect();
-                Ok(stored.cols.gather(columns, &all))
+                let live = stored.cols.live_rids();
+                Ok(stored.cols.gather(columns, &live))
             }
         }
     }
@@ -548,6 +574,252 @@ fn produces_final_rows(node: &PlanNode) -> bool {
         PlanOp::Limit { .. } => produces_final_rows(&node.children[0]),
         _ => false,
     }
+}
+
+// ---------------------------------------------------------------------------
+// DML execution (TP engine only)
+// ---------------------------------------------------------------------------
+
+/// Which write shape ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmlKind {
+    /// `INSERT`.
+    Insert,
+    /// `UPDATE`.
+    Update,
+    /// `DELETE`.
+    Delete,
+}
+
+impl std::fmt::Display for DmlKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DmlKind::Insert => "INSERT",
+            DmlKind::Update => "UPDATE",
+            DmlKind::Delete => "DELETE",
+        })
+    }
+}
+
+/// Outcome of one write statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmlResult {
+    /// Which statement shape ran.
+    pub kind: DmlKind,
+    /// The written table.
+    pub table: String,
+    /// Rows inserted / updated / deleted.
+    pub rows_affected: u64,
+    /// The table's version stamp after the write (freshness signal).
+    pub version: u64,
+}
+
+/// Executes a DML plan on the TP engine: locates target rows through the
+/// plan's access path (index or scan, same counters as the read path), then
+/// applies the write to *both* storage formats through the database, which
+/// keeps statistics and catalog row counts current.
+///
+/// Target rids are fully collected before any mutation (snapshot semantics —
+/// an `UPDATE` whose assignments re-satisfy its own predicate cannot chase
+/// its relocated rows, the classic Halloween problem).
+pub fn execute_dml(
+    plan: &PlanNode,
+    dml: &BoundDml,
+    db: &mut Database,
+) -> Result<(DmlResult, WorkCounters), ExecError> {
+    let mut counters = WorkCounters::default();
+    let table = dml.table_name().to_string();
+    let stored = db
+        .stored_table(&table)
+        .ok_or_else(|| ExecError::MissingTable(table.clone()))?;
+    let n_indexes = stored.rows.index_count() as u64;
+    let (kind, rows_affected) = match dml {
+        BoundDml::Insert(ins) => {
+            check_primary_key(&mut counters, db, &table, &ins.rows)?;
+            counters.rows_inserted += ins.rows.len() as u64;
+            counters.index_updates += ins.rows.len() as u64 * n_indexes;
+            (DmlKind::Insert, db.apply_insert(&table, &ins.rows))
+        }
+        BoundDml::Update(up) => {
+            let child = plan
+                .children
+                .first()
+                .ok_or_else(|| ExecError::BadPlan("Update node without access path".into()))?;
+            let rids = collect_target_rids(&mut counters, child, &up.scan, db)?;
+            let def = db
+                .catalog()
+                .table(&table)
+                .ok_or_else(|| ExecError::MissingTable(table.clone()))?;
+            let types: Vec<_> = def.columns.iter().map(|c| (c.data_type, c.name.clone())).collect();
+            let stored = db.stored_table(&table).expect("checked above");
+            let schema = Schema::new((0..stored.rows.width()).map(|c| (0, c)).collect());
+            let mut changes = Vec::with_capacity(rids.len());
+            for &rid in &rids {
+                let old = stored.rows.row(rid as usize);
+                let mut new_row = old.to_vec();
+                for (ci, expr) in &up.assignments {
+                    let v = eval(expr, &schema, old)?;
+                    let (ty, name) = &types[*ci];
+                    new_row[*ci] = qpe_sql::binder::coerce_literal(v, *ty, name)
+                        .map_err(|e| ExecError::Write(e.to_string()))?;
+                }
+                changes.push((rid, new_row));
+            }
+            // An assignment targeting the PK column must uphold the same
+            // NULL/uniqueness invariant INSERT enforces — against surviving
+            // rows (the updated rids' old keys are leaving) and within the
+            // batch of new keys.
+            let pk_ci = def.column_index(&def.primary_key);
+            if let Some(pk_ci) = pk_ci.filter(|ci| up.assignments.iter().any(|(c, _)| c == ci)) {
+                let updated: HashSet<u32> = rids.iter().copied().collect();
+                let pk_index = stored.rows.index_on(pk_ci);
+                let mut batch_keys: HashSet<&Value> = HashSet::with_capacity(changes.len());
+                for (_, new_row) in &changes {
+                    let pk = &new_row[pk_ci];
+                    if pk.is_null() {
+                        return Err(ExecError::Write(format!(
+                            "primary key '{}' cannot be NULL",
+                            def.primary_key
+                        )));
+                    }
+                    counters.index_probes += 1;
+                    let clashes_surviving_row = pk_index
+                        .map(|idx| idx.lookup(pk).iter().any(|rid| !updated.contains(rid)))
+                        .unwrap_or(false);
+                    if clashes_surviving_row || !batch_keys.insert(pk) {
+                        return Err(ExecError::Write(format!(
+                            "duplicate primary key {pk} for '{}.{}'",
+                            table, def.primary_key
+                        )));
+                    }
+                }
+            }
+            counters.rows_updated += changes.len() as u64;
+            // relocation touches every index twice: remove old rid, add new
+            counters.index_updates += 2 * changes.len() as u64 * n_indexes;
+            (DmlKind::Update, db.apply_update(&table, changes))
+        }
+        BoundDml::Delete(del) => {
+            let child = plan
+                .children
+                .first()
+                .ok_or_else(|| ExecError::BadPlan("Delete node without access path".into()))?;
+            let rids = collect_target_rids(&mut counters, child, &del.scan, db)?;
+            counters.rows_deleted += rids.len() as u64;
+            counters.index_updates += rids.len() as u64 * n_indexes;
+            (DmlKind::Delete, db.apply_delete(&table, &rids))
+        }
+    };
+    counters.output_rows = 0;
+    let version = db.freshness(&table).map(|f| f.version).unwrap_or(0);
+    Ok((
+        DmlResult { kind, table, rows_affected, version },
+        counters,
+    ))
+}
+
+/// Rejects NULL and duplicate primary keys (against the table and within
+/// the inserted batch) through the PK index — one probe per row, charged
+/// like any other index probe.
+fn check_primary_key(
+    counters: &mut WorkCounters,
+    db: &Database,
+    table: &str,
+    rows: &[Row],
+) -> Result<(), ExecError> {
+    let def = db
+        .catalog()
+        .table(table)
+        .ok_or_else(|| ExecError::MissingTable(table.to_string()))?;
+    let Some(pk_ci) = def.column_index(&def.primary_key) else {
+        return Ok(());
+    };
+    let stored = db.stored_table(table).expect("caller checked");
+    let Some(pk_index) = stored.rows.index_on(pk_ci) else {
+        return Ok(());
+    };
+    let mut batch_keys: std::collections::HashSet<&Value> = HashSet::with_capacity(rows.len());
+    for row in rows {
+        let pk = &row[pk_ci];
+        if pk.is_null() {
+            return Err(ExecError::Write(format!(
+                "primary key '{}' cannot be NULL",
+                def.primary_key
+            )));
+        }
+        counters.index_probes += 1;
+        if !pk_index.lookup(pk).is_empty() || !batch_keys.insert(pk) {
+            return Err(ExecError::Write(format!(
+                "duplicate primary key {pk} for '{}.{}'",
+                table, def.primary_key
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Runs a DML access path (`[Filter →] TableScan | IndexScan` over the
+/// target table's row store) and returns the matching rids, charging the
+/// same counters the read executor would for the equivalent scan.
+fn collect_target_rids(
+    counters: &mut WorkCounters,
+    node: &PlanNode,
+    scan_query: &BoundQuery,
+    db: &Database,
+) -> Result<Vec<u32>, ExecError> {
+    let (filter, scan) = match &node.op {
+        PlanOp::Filter { predicate } => (Some(predicate), &node.children[0]),
+        _ => (None, node),
+    };
+    let table: &str = &scan_query.tables[0].name;
+    let row_table = db
+        .row_table(table)
+        .ok_or_else(|| ExecError::MissingTable(table.to_string()))?;
+    let candidates: Vec<u32> = match &scan.op {
+        PlanOp::TableScan { .. } => {
+            counters.rows_scanned += row_table.row_count() as u64;
+            row_table.iter_live().map(|(rid, _)| rid as u32).collect()
+        }
+        PlanOp::IndexScan { column_idx, lookup, .. } => {
+            let index = row_table.index_on(*column_idx).ok_or_else(|| {
+                ExecError::BadPlan(format!("no index on {table}.{column_idx}"))
+            })?;
+            let rids: Vec<u32> = match lookup {
+                IndexLookup::Keys(keys) => {
+                    counters.index_probes += keys.len() as u64;
+                    index.lookup_many(keys)
+                }
+                IndexLookup::Range { low, high } => {
+                    counters.index_probes += 1;
+                    index.range(low.as_ref(), high.as_ref())
+                }
+                IndexLookup::Ordered { descending } => {
+                    counters.index_probes += 1;
+                    index.ordered_row_ids(*descending)
+                }
+            };
+            counters.index_fetches += rids.len() as u64;
+            counters.rows_scanned += rids.len() as u64;
+            rids
+        }
+        other => {
+            return Err(ExecError::BadPlan(format!(
+                "unsupported DML access path {other:?}"
+            )))
+        }
+    };
+    let Some(pred) = filter else {
+        return Ok(candidates);
+    };
+    let schema = scan.output_schema();
+    let mut out = Vec::new();
+    for rid in candidates {
+        counters.filter_evals += 1;
+        if eval_predicate(pred, &schema, row_table.row(rid as usize))? {
+            out.push(rid);
+        }
+    }
+    Ok(out)
 }
 
 

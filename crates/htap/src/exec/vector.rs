@@ -24,7 +24,7 @@ use super::{agg, produces_final_rows, sort, ExecError, Row, WorkCounters};
 use crate::engine::Database;
 use crate::eval::{eval_batch, eval_predicate_mask, BatchView, Schema};
 use crate::plan::{PlanNode, PlanOp};
-use crate::storage::col_store::ColumnData;
+use crate::storage::col_store::{ColRef, ColumnData};
 use qpe_sql::binder::{BoundExpr, BoundQuery, ColumnRef};
 use qpe_sql::value::Value;
 use std::collections::{HashMap, HashSet};
@@ -32,8 +32,10 @@ use std::rc::Rc;
 
 /// One column of a batch.
 enum BatchCol<'a> {
-    /// Zero-copy view into the column store (or a prior batch's storage).
-    Borrowed(&'a ColumnData),
+    /// Zero-copy view into the column store (or a prior batch's storage);
+    /// a [`ColRef::Chunked`] view spans a dirty table's base + delta
+    /// segments without copying either.
+    Borrowed(ColRef<'a>),
     /// Gathered/computed column owned by this batch.
     Owned(ColumnData),
     /// Dropped by late materialization: no consumer above reads it.
@@ -41,10 +43,10 @@ enum BatchCol<'a> {
 }
 
 impl BatchCol<'_> {
-    fn data(&self) -> Option<&ColumnData> {
+    fn as_ref(&self) -> Option<ColRef<'_>> {
         match self {
-            BatchCol::Borrowed(c) => Some(c),
-            BatchCol::Owned(c) => Some(c),
+            BatchCol::Borrowed(c) => Some(*c),
+            BatchCol::Owned(c) => Some(ColRef::Single(c)),
             BatchCol::Dead => None,
         }
     }
@@ -199,7 +201,7 @@ fn materialize(batch: &Batch<'_>) -> Vec<Row> {
             batch
                 .cols
                 .iter()
-                .map(|c| c.data().map(|d| d.get(phys)).unwrap_or(Value::Null))
+                .map(|c| c.as_ref().map(|d| d.get(phys)).unwrap_or(Value::Null))
                 .collect(),
         );
     }
@@ -276,21 +278,34 @@ impl<'a> VecExecutor<'a> {
         }
     }
 
+    /// Delta-aware columnar scan. Clean tables borrow base columns outright
+    /// (zero-copy, no selection). Dirty tables borrow chunked base+delta
+    /// views and start from the live-rid selection vector, so buffered
+    /// writes are visible and tombstoned rids are masked — same kernels,
+    /// same counters, no base copy.
     fn table_scan(&mut self, slot: usize, columns: &[usize]) -> Result<VOut<'a>, ExecError> {
         let name = &self.query.tables[slot].name;
         let stored = self
             .db
             .stored_table(name)
             .ok_or_else(|| ExecError::MissingTable(name.clone()))?;
-        let n = stored.row_count();
+        let n_live = stored.cols.row_count();
         // Same charge as the row interpreter's AP scan: every referenced
-        // column is touched in full.
-        self.counters.cells_scanned += (n * columns.len()) as u64;
+        // column is touched in full (live rows only).
+        self.counters.cells_scanned += (n_live * columns.len()) as u64;
         let cols = columns
             .iter()
-            .map(|&c| BatchCol::Borrowed(stored.cols.column(c)))
+            .map(|&c| BatchCol::Borrowed(stored.cols.column_ref(c)))
             .collect();
-        Ok(VOut::Batch(Batch { cols, sel: None, rows: n }))
+        if stored.cols.is_clean() {
+            Ok(VOut::Batch(Batch { cols, sel: None, rows: n_live }))
+        } else {
+            Ok(VOut::Batch(Batch {
+                cols,
+                sel: Some(stored.cols.live_rids()),
+                rows: stored.cols.physical_len(),
+            }))
+        }
     }
 
     fn run_batch(&mut self, node: &PlanNode, needs: &Needs) -> Result<Batch<'a>, ExecError> {
@@ -316,7 +331,7 @@ impl<'a> VecExecutor<'a> {
         let n = batch.selected_len();
         self.counters.filter_evals += n as u64;
 
-        let cols: Vec<Option<&ColumnData>> = batch.cols.iter().map(BatchCol::data).collect();
+        let cols: Vec<Option<ColRef>> = batch.cols.iter().map(BatchCol::as_ref).collect();
         let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
         let mut mask = std::mem::take(&mut self.mask);
         eval_predicate_mask(predicate, &schema, &view, &mut mask)?;
@@ -386,7 +401,7 @@ impl<'a> VecExecutor<'a> {
             } else {
                 (&build.cols[p - probe_w], &build_idx)
             };
-            let col = match (needs.contains(slot, cidx), src.data()) {
+            let col = match (needs.contains(slot, cidx), src.as_ref()) {
                 (true, Some(data)) => BatchCol::Owned(data.gather_rows(idxs)),
                 _ => BatchCol::Dead,
             };
@@ -419,7 +434,7 @@ impl<'a> VecExecutor<'a> {
         let batch = self.run_batch(child, &child_needs)?;
         let schema = child.output_schema();
 
-        let cols: Vec<Option<&ColumnData>> = batch.cols.iter().map(BatchCol::data).collect();
+        let cols: Vec<Option<ColRef>> = batch.cols.iter().map(BatchCol::as_ref).collect();
         let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
         let key_cols: Vec<ColumnData> = group_by
             .iter()
@@ -484,7 +499,7 @@ impl<'a> VecExecutor<'a> {
         schema: &Schema,
         batch: &Batch<'_>,
     ) -> Result<(Vec<ColumnData>, Vec<bool>), ExecError> {
-        let cols: Vec<Option<&ColumnData>> = batch.cols.iter().map(BatchCol::data).collect();
+        let cols: Vec<Option<ColRef>> = batch.cols.iter().map(BatchCol::as_ref).collect();
         let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
         let key_cols: Vec<ColumnData> = keys
             .iter()
@@ -503,7 +518,7 @@ impl<'a> VecExecutor<'a> {
         let child_needs = Needs::of_exprs(exprs);
         let batch = self.run_batch(child, &child_needs)?;
         let schema = child.output_schema();
-        let cols: Vec<Option<&ColumnData>> = batch.cols.iter().map(BatchCol::data).collect();
+        let cols: Vec<Option<ColRef>> = batch.cols.iter().map(BatchCol::as_ref).collect();
         let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
         let out_cols: Vec<ColumnData> = exprs
             .iter()
@@ -535,21 +550,23 @@ fn join_pairs(
     let mut build_idx = Vec::new();
 
     // Typed fast path: a single key of the same integer-backed variant on
-    // both sides. Restricted to same-variant pairs because the row
-    // interpreter's `Value` keys hash with a type tag — an `Int` never
-    // matches a `Date` there, so it must not match here either.
+    // both sides, each in one contiguous segment (chunked keys from a dirty
+    // table's delta-aware scan take the generic path below). Restricted to
+    // same-variant pairs because the row interpreter's `Value` keys hash
+    // with a type tag — an `Int` never matches a `Date` there, so it must
+    // not match here either.
     if ppos.len() == 1 && bpos.len() == 1 {
         let pcol = probe.cols[ppos[0]]
-            .data()
+            .as_ref()
             .ok_or_else(|| ExecError::BadPlan("join key column not materialized".into()))?;
         let bcol = build.cols[bpos[0]]
-            .data()
+            .as_ref()
             .ok_or_else(|| ExecError::BadPlan("join key column not materialized".into()))?;
-        let keyed = match (pcol, bcol) {
-            (ColumnData::Int(p), ColumnData::Int(b)) => {
+        let keyed = match (pcol.as_single(), bcol.as_single()) {
+            (Some(ColumnData::Int(p)), Some(ColumnData::Int(b))) => {
                 Some((IntKeyed::I64(p), IntKeyed::I64(b)))
             }
-            (ColumnData::Date(p), ColumnData::Date(b)) => {
+            (Some(ColumnData::Date(p)), Some(ColumnData::Date(b))) => {
                 Some((IntKeyed::I32(p), IntKeyed::I32(b)))
             }
             _ => None,
@@ -575,19 +592,19 @@ fn join_pairs(
 
     // Generic path: Value keys, same structural equality as the row
     // interpreter's `HashMap<Vec<Value>, _>`.
-    let bcols: Vec<&ColumnData> = bpos
+    let bcols: Vec<ColRef<'_>> = bpos
         .iter()
         .map(|&p| {
             build.cols[p]
-                .data()
+                .as_ref()
                 .ok_or_else(|| ExecError::BadPlan("join key column not materialized".into()))
         })
         .collect::<Result<_, _>>()?;
-    let pcols: Vec<&ColumnData> = ppos
+    let pcols: Vec<ColRef<'_>> = ppos
         .iter()
         .map(|&p| {
             probe.cols[p]
-                .data()
+                .as_ref()
                 .ok_or_else(|| ExecError::BadPlan("join key column not materialized".into()))
         })
         .collect::<Result<_, _>>()?;

@@ -51,6 +51,14 @@ pub struct EngineCosts {
     pub agg_row_ns: u64,
     /// Per output row.
     pub output_ns: u64,
+    /// Per row appended by `INSERT`.
+    pub insert_row_ns: u64,
+    /// Per row rewritten by `UPDATE` (tuple relocation).
+    pub update_row_ns: u64,
+    /// Per row tombstoned by `DELETE`.
+    pub delete_row_ns: u64,
+    /// Per B-tree index entry modification on the write path.
+    pub index_update_ns: u64,
 }
 
 impl EngineCosts {
@@ -70,6 +78,12 @@ impl EngineCosts {
             topn_push_ns: 120,
             agg_row_ns: 100,
             output_ns: 100,
+            // Writes are the row engine's home turf: append + in-place
+            // index maintenance.
+            insert_row_ns: 1_500,
+            update_row_ns: 2_000,
+            delete_row_ns: 800,
+            index_update_ns: 600,
         }
     }
 
@@ -89,6 +103,13 @@ impl EngineCosts {
             topn_push_ns: 60,
             agg_row_ns: 50,
             output_ns: 100,
+            // Column-store write amplification: the system routes DML to TP,
+            // so these only matter if that routing ever changes — priced
+            // high to keep the asymmetry honest.
+            insert_row_ns: 6_000,
+            update_row_ns: 8_000,
+            delete_row_ns: 2_000,
+            index_update_ns: 0,
         }
     }
 
@@ -107,6 +128,10 @@ impl EngineCosts {
             + c.topn_pushes * self.topn_push_ns
             + c.agg_rows * self.agg_row_ns
             + c.output_rows * self.output_ns
+            + c.rows_inserted * self.insert_row_ns
+            + c.rows_updated * self.update_row_ns
+            + c.rows_deleted * self.delete_row_ns
+            + c.index_updates * self.index_update_ns
     }
 }
 

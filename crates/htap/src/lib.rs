@@ -1,15 +1,38 @@
 //! In-process HTAP substrate for the QPE reproduction.
 //!
-//! This crate stands in for ByteHTAP in the paper: a single database with two
-//! execution engines over the same data —
+//! This crate stands in for ByteHTAP in the paper: a single *mutable*
+//! database with two execution engines over the same data —
 //!
 //! * the **TP engine** (row store): row-at-a-time execution, B-tree
 //!   primary/secondary indexes, nested-loop and index-nested-loop joins,
-//!   sort-based grouping; an OLTP-biased optimizer and cost model;
+//!   sort-based grouping; an OLTP-biased optimizer and cost model. The row
+//!   store is also the **write-applying side**: inserts append, deletes
+//!   tombstone, updates relocate the tuple, and every index is maintained in
+//!   place per write;
 //! * the **AP engine** (column store): vectorized columnar scans that touch
 //!   only referenced columns, hash joins, hash aggregation; an OLAP-biased
 //!   optimizer whose cost scale is deliberately *not comparable* to TP's
-//!   (the paper's "never compare costs across engines" trap).
+//!   (the paper's "never compare costs across engines" trap). Its base
+//!   columns are immutable; writes buffer in a versioned **delta region**
+//!   (typed column builders + a deleted-rid bitmap) that scans read through,
+//!   and `compact()` merges into fresh base columns.
+//!
+//! # DML flow (freshness made explicit)
+//!
+//! `INSERT`/`UPDATE`/`DELETE` statements flow lexer → parser → binder like
+//! reads, then [`engine::HtapSystem::execute_sql`] routes them to the **TP
+//! engine only**: the TP optimizer plans the row-locating access path
+//! (index-aware, via the same single-table logic as reads), the DML executor
+//! collects target rids *before* mutating (snapshot semantics), and the
+//! write applies to both storage formats at the same rid. Write work is
+//! metered by dedicated [`exec::WorkCounters`] fields and priced by the
+//! latency model. Statistics stay honest across writes: row counts and
+//! min/max maintain incrementally per statement, while ndv refreshes lazily
+//! once a write backlog accumulates. Because AP scans always read
+//! base + delta, a committed write is visible to the very next analytical
+//! query — the ByteHTAP "high data freshness" property — and per-table
+//! freshness (delta size, version stamp) is surfaced to the explainer's
+//! evidence.
 //!
 //! Queries are bound by `qpe-sql`, optimized per engine into [`plan::PlanNode`]
 //! trees (EXPLAIN JSON shaped exactly like the paper's Table II), executed for
@@ -57,6 +80,10 @@ pub mod stats;
 pub mod storage;
 pub mod tpch;
 
-pub use engine::{Database, EngineKind, EngineRun, HtapSystem, QueryOutcome};
+pub use engine::{
+    Database, DmlOutcome, EngineKind, EngineRun, HtapSystem, QueryOutcome, StatementOutcome,
+};
+pub use exec::{DmlKind, DmlResult};
 pub use plan::{NodeType, PlanNode};
+pub use storage::TableFreshness;
 pub use tpch::TpchConfig;

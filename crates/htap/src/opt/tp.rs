@@ -11,9 +11,10 @@
 
 use super::{detail_of, OptError, PlannerCtx};
 use crate::plan::{AggSpec, IndexLookup, JoinCond, NodeType, PlanNode, PlanOp};
-use crate::stats;
+use crate::stats::{self, DbStats};
 use qpe_sql::ast::BinaryOp;
-use qpe_sql::binder::{AggregateKind, BoundExpr, ColumnRef};
+use qpe_sql::binder::{AggregateKind, BoundDml, BoundExpr, ColumnRef};
+use qpe_sql::catalog::Catalog;
 
 /// Cost of scanning one row (full tuple) from the row store.
 pub const COST_ROW_SCAN: f64 = 0.25;
@@ -29,6 +30,10 @@ pub const COST_NLJ_PAIR: f64 = 0.005;
 pub const COST_SORT_ROW: f64 = 0.02;
 /// Per-row aggregation cost.
 pub const COST_AGG_ROW: f64 = 0.05;
+/// Cost of writing one row (append or relocate) into the row store.
+pub const COST_WRITE_ROW: f64 = 0.4;
+/// Cost of one B-tree index entry modification on the write path.
+pub const COST_INDEX_UPDATE: f64 = 0.15;
 
 /// Plans `ctx.query` for the TP engine.
 pub fn plan(ctx: &PlannerCtx) -> Result<PlanNode, OptError> {
@@ -46,6 +51,67 @@ pub fn plan(ctx: &PlannerCtx) -> Result<PlanNode, OptError> {
     }
     current = apply_residuals(ctx, current);
     finalize(ctx, current)
+}
+
+/// Plans a write statement for the TP engine (the only engine with a write
+/// path — the system routes every DML statement here).
+///
+/// `INSERT` is a leaf node costed per row + per index entry. `UPDATE` and
+/// `DELETE` wrap the ordinary single-table [`access_path`] over the bound
+/// statement's synthetic scan query, so the index-selection logic (and the
+/// bare-column-only trap it encodes) applies to writes exactly as to reads.
+pub fn plan_dml(
+    dml: &BoundDml,
+    db_stats: &DbStats,
+    catalog: &dyn Catalog,
+) -> Result<PlanNode, OptError> {
+    let table = dml.table_name().to_string();
+    let def = catalog
+        .table(&table)
+        .ok_or_else(|| OptError::MissingTable(table.clone()))?;
+    let n_indexes = (1 + def.indexed_columns.len()) as f64;
+    match dml {
+        BoundDml::Insert(ins) => {
+            let rows = ins.rows.len();
+            let cost = rows as f64 * (COST_WRITE_ROW + n_indexes * COST_INDEX_UPDATE);
+            Ok(PlanNode::new(
+                NodeType::Insert,
+                PlanOp::Insert { table: table.clone(), rows },
+            )
+            .with_relation(&table)
+            .with_detail(format!("{rows} row(s)"))
+            .with_estimates(cost, rows as f64))
+        }
+        BoundDml::Update(up) => {
+            let ctx = PlannerCtx::new(&up.scan, db_stats, catalog);
+            let child = access_path(&ctx, 0)?;
+            let est_rows = child.plan_rows.max(1.0);
+            // relocation = tombstone + append, touching each index twice
+            let cost = child.total_cost
+                + est_rows * (2.0 * COST_WRITE_ROW + 2.0 * n_indexes * COST_INDEX_UPDATE);
+            Ok(PlanNode::new(
+                NodeType::Update,
+                PlanOp::Update { table: table.clone(), assignments: up.assignments.len() },
+            )
+            .with_relation(&table)
+            .with_detail(format!("{} assignment(s)", up.assignments.len()))
+            .with_estimates(cost, est_rows)
+            .with_child(child))
+        }
+        BoundDml::Delete(del) => {
+            let ctx = PlannerCtx::new(&del.scan, db_stats, catalog);
+            let child = access_path(&ctx, 0)?;
+            let est_rows = child.plan_rows.max(1.0);
+            let cost = child.total_cost + est_rows * n_indexes * COST_INDEX_UPDATE;
+            Ok(PlanNode::new(
+                NodeType::Delete,
+                PlanOp::Delete { table: table.clone() },
+            )
+            .with_relation(&table)
+            .with_estimates(cost, est_rows)
+            .with_child(child))
+        }
+    }
 }
 
 /// Index opportunity extracted from a slot's filters.

@@ -44,6 +44,12 @@ pub enum NodeType {
     Limit,
     /// Scalar projection.
     Projection,
+    /// Row insertion (TP write path).
+    Insert,
+    /// Row update (TP write path; child locates target rows).
+    Update,
+    /// Row deletion (TP write path; child locates target rows).
+    Delete,
 }
 
 impl NodeType {
@@ -63,11 +69,14 @@ impl NodeType {
             NodeType::TopNSort => "Top-N sort",
             NodeType::Limit => "Limit",
             NodeType::Projection => "Projection",
+            NodeType::Insert => "Insert",
+            NodeType::Update => "Update",
+            NodeType::Delete => "Delete",
         }
     }
 
     /// All node types, in a fixed order (the tree-CNN one-hot layout).
-    pub const ALL: [NodeType; 13] = [
+    pub const ALL: [NodeType; 16] = [
         NodeType::TableScan,
         NodeType::IndexScan,
         NodeType::Filter,
@@ -81,6 +90,9 @@ impl NodeType {
         NodeType::TopNSort,
         NodeType::Limit,
         NodeType::Projection,
+        NodeType::Insert,
+        NodeType::Update,
+        NodeType::Delete,
     ];
 
     /// Index of this node type within [`NodeType::ALL`].
@@ -248,6 +260,26 @@ pub enum PlanOp {
         /// (output position, descending) keys.
         keys: Vec<(usize, bool)>,
     },
+    /// Row insertion. Leaf node; the bound statement carries the rows.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Number of rows being inserted (estimate material for EXPLAIN).
+        rows: usize,
+    },
+    /// Row update; the single child is the row-locating access path over the
+    /// target table. The bound statement carries the assignments.
+    Update {
+        /// Target table.
+        table: String,
+        /// Number of `SET` assignments.
+        assignments: usize,
+    },
+    /// Row deletion; the single child is the row-locating access path.
+    Delete {
+        /// Target table.
+        table: String,
+    },
 }
 
 /// A node in a physical plan tree.
@@ -341,6 +373,10 @@ impl PlanNode {
                     .concat(&self.children[1].output_schema())
             }
             PlanOp::Aggregate { .. } | PlanOp::Projection { .. } | PlanOp::OutputSort { .. } => {
+                Schema::new(Vec::new())
+            }
+            // DML nodes emit no rows (their result is a row count).
+            PlanOp::Insert { .. } | PlanOp::Update { .. } | PlanOp::Delete { .. } => {
                 Schema::new(Vec::new())
             }
         }

@@ -1,8 +1,14 @@
 //! Table/column statistics and cardinality estimation.
 //!
 //! Both optimizers estimate selectivities from the same statistics but weight
-//! the resulting costs differently. Statistics are collected once when data
-//! is loaded ([`TableStats::collect`]).
+//! the resulting costs differently. Statistics are collected when data is
+//! loaded ([`TableStats::collect`]) and then **maintained on write**:
+//! `row_count` and numeric `min`/`max` update incrementally with every DML
+//! statement (so cardinality estimates track live table sizes immediately),
+//! while `ndv`/`null_frac` — too expensive to maintain exactly per write —
+//! are recomputed lazily: writes accumulate in
+//! [`TableStats::pending_ndv_writes`] and the database refreshes the column
+//! stats once the backlog crosses its threshold (or at compaction).
 
 use qpe_sql::binder::{BoundExpr, BoundQuery};
 use qpe_sql::ast::BinaryOp;
@@ -52,6 +58,16 @@ impl ColumnStats {
             null_frac: if total == 0 { 0.0 } else { nulls as f64 / total as f64 },
         }
     }
+
+    /// Widens `min`/`max` with one written value. Bounds only ever grow
+    /// between refreshes (a delete cannot shrink them without a rescan —
+    /// that correction happens at the lazy ndv refresh).
+    pub fn widen(&mut self, v: &Value) {
+        if let Some(x) = v.as_float() {
+            self.min = Some(self.min.map_or(x, |m| m.min(x)));
+            self.max = Some(self.max.map_or(x, |m| m.max(x)));
+        }
+    }
 }
 
 fn hash_value(v: &Value) -> u64 {
@@ -66,10 +82,13 @@ fn hash_value(v: &Value) -> u64 {
 pub struct TableStats {
     /// Table name.
     pub table: String,
-    /// Row count.
+    /// Row count (maintained incrementally on write).
     pub row_count: u64,
     /// Per-column stats, positionally aligned with the catalog definition.
     pub columns: Vec<ColumnStats>,
+    /// Writes since `ndv`/`null_frac` were last recomputed — the lazy
+    /// refresh trigger.
+    pub pending_ndv_writes: u64,
 }
 
 impl TableStats {
@@ -83,6 +102,21 @@ impl TableStats {
                 .iter()
                 .map(|c| ColumnStats::collect(c.iter()))
                 .collect(),
+            pending_ndv_writes: 0,
+        }
+    }
+
+    /// True once the write backlog justifies a full ndv recompute: at least
+    /// 64 writes and at least 1/16th of the table.
+    pub fn ndv_is_stale(&self) -> bool {
+        self.pending_ndv_writes >= 64.max(self.row_count / 16)
+    }
+
+    fn widen_with_rows(&mut self, rows: &[Vec<Value>]) {
+        for row in rows {
+            for (cs, v) in self.columns.iter_mut().zip(row) {
+                cs.widen(v);
+            }
         }
     }
 }
@@ -111,6 +145,38 @@ impl DbStats {
     /// Stats for `table`, if collected.
     pub fn table(&self, table: &str) -> Option<&TableStats> {
         self.tables.iter().find(|t| t.table == table)
+    }
+
+    /// Mutable stats for `table`.
+    pub fn table_mut(&mut self, table: &str) -> Option<&mut TableStats> {
+        self.tables.iter_mut().find(|t| t.table == table)
+    }
+
+    /// Incremental maintenance for inserted rows: row count, min/max, and
+    /// the lazy-ndv backlog.
+    pub fn note_insert(&mut self, table: &str, rows: &[Vec<Value>]) {
+        if let Some(ts) = self.table_mut(table) {
+            ts.row_count += rows.len() as u64;
+            ts.widen_with_rows(rows);
+            ts.pending_ndv_writes += rows.len() as u64;
+        }
+    }
+
+    /// Incremental maintenance for updated rows (new images widen min/max;
+    /// old images cannot be subtracted without a rescan).
+    pub fn note_update(&mut self, table: &str, new_rows: &[Vec<Value>]) {
+        if let Some(ts) = self.table_mut(table) {
+            ts.widen_with_rows(new_rows);
+            ts.pending_ndv_writes += new_rows.len() as u64;
+        }
+    }
+
+    /// Incremental maintenance for deleted rows.
+    pub fn note_delete(&mut self, table: &str, n: u64) {
+        if let Some(ts) = self.table_mut(table) {
+            ts.row_count = ts.row_count.saturating_sub(n);
+            ts.pending_ndv_writes += n;
+        }
     }
 
     /// Column stats for a bound column reference within `query`.

@@ -4,6 +4,23 @@
 //! references, and filters are evaluated vectorized over a selection vector.
 //! This is the structural advantage the paper's expert explanations cite for
 //! AP ("scan only relevant columns and apply filters before joining").
+//!
+//! # Delta region (write path)
+//!
+//! The base columns are immutable between compactions. Writes land in a
+//! **delta region** — one append-only typed column builder per base column —
+//! plus a deleted-rid bitmap over the combined `base + delta` rid space:
+//!
+//! * insert → append to the delta builders;
+//! * delete → set the rid's bit;
+//! * update → delete + append (out-of-place, the column-store discipline).
+//!
+//! A monotonically increasing **version stamp** advances on every write and
+//! on compaction; it is the freshness signal the system surfaces per table.
+//! [`ColumnTable::compact`] merges live delta rows into fresh base columns
+//! and clears the bitmap, restoring the zero-copy clean-scan fast path.
+//! Readers see every write immediately — scans cover both regions through
+//! [`ColRef`] — so AP reads are always fresh without waiting for compaction.
 
 use qpe_sql::value::Value;
 
@@ -85,6 +102,47 @@ impl ColumnData {
     #[cold]
     fn demote(values: &[Value], _at: usize) -> Self {
         ColumnData::Mixed(values.to_vec())
+    }
+
+    /// An empty column of the same typed representation — the shape of a
+    /// fresh delta builder for this base column.
+    pub fn empty_like(&self) -> ColumnData {
+        match self {
+            ColumnData::Int(_) => ColumnData::Int(Vec::new()),
+            ColumnData::Float(_) => ColumnData::Float(Vec::new()),
+            ColumnData::Str(_) => ColumnData::Str(Vec::new()),
+            ColumnData::Date(_) => ColumnData::Date(Vec::new()),
+            ColumnData::Mixed(_) => ColumnData::Mixed(Vec::new()),
+        }
+    }
+
+    /// Appends one value, demoting the whole column to `Mixed` when the
+    /// value does not fit the typed representation (e.g. a NULL arriving in
+    /// an `Int` delta builder).
+    pub fn push(&mut self, v: Value) {
+        match (&mut *self, v) {
+            (ColumnData::Int(buf), Value::Int(x)) => buf.push(x),
+            (ColumnData::Float(buf), Value::Float(x)) => buf.push(x),
+            (ColumnData::Str(buf), Value::Str(s)) => buf.push(s),
+            (ColumnData::Date(buf), Value::Date(d)) => buf.push(d),
+            (ColumnData::Mixed(buf), v) => buf.push(v),
+            (_, v) => {
+                self.demote_in_place();
+                self.push(v);
+            }
+        }
+    }
+
+    #[cold]
+    fn demote_in_place(&mut self) {
+        let values: Vec<Value> = match std::mem::replace(self, ColumnData::Mixed(Vec::new())) {
+            ColumnData::Int(buf) => buf.into_iter().map(Value::Int).collect(),
+            ColumnData::Float(buf) => buf.into_iter().map(Value::Float).collect(),
+            ColumnData::Str(buf) => buf.into_iter().map(Value::Str).collect(),
+            ColumnData::Date(buf) => buf.into_iter().map(Value::Date).collect(),
+            ColumnData::Mixed(buf) => buf,
+        };
+        *self = ColumnData::Mixed(values);
     }
 
     /// Number of values.
@@ -170,22 +228,144 @@ impl ColumnData {
     }
 }
 
-/// A column-store table.
+/// A borrowed view of one logical column that may span the immutable base
+/// segment and the delta segment. Physical rids index the concatenation:
+/// `rid < split` reads the base, `rid - split` reads the delta.
+///
+/// Clean tables hand out `Single` views (the zero-copy fast path the batch
+/// executor borrows outright); dirty tables hand out `Chunked` views so
+/// delta rows flow through the same selection-vector kernels without copying
+/// the base.
+#[derive(Debug, Clone, Copy)]
+pub enum ColRef<'a> {
+    /// One contiguous segment.
+    Single(&'a ColumnData),
+    /// Base + delta segments.
+    Chunked {
+        /// Immutable base segment.
+        base: &'a ColumnData,
+        /// Append-only delta segment.
+        delta: &'a ColumnData,
+    },
+}
+
+impl<'a> ColRef<'a> {
+    /// Total physical length across segments.
+    pub fn len(&self) -> usize {
+        match self {
+            ColRef::Single(c) => c.len(),
+            ColRef::Chunked { base, delta } => base.len() + delta.len(),
+        }
+    }
+
+    /// True when the view holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The contiguous segment, when there is only one.
+    pub fn as_single(&self) -> Option<&'a ColumnData> {
+        match self {
+            ColRef::Single(c) => Some(c),
+            ColRef::Chunked { .. } => None,
+        }
+    }
+
+    /// Value at physical position `rid` (cross-segment).
+    pub fn get(&self, rid: usize) -> Value {
+        match self {
+            ColRef::Single(c) => c.get(rid),
+            ColRef::Chunked { base, delta } => {
+                let split = base.len();
+                if rid < split {
+                    base.get(rid)
+                } else {
+                    delta.get(rid - split)
+                }
+            }
+        }
+    }
+
+    /// Gathers physical positions into a dense owned typed column,
+    /// preserving typed storage when both segments agree on representation.
+    pub fn gather_rows(&self, idxs: &[u32]) -> ColumnData {
+        match self {
+            ColRef::Single(c) => c.gather_rows(idxs),
+            ColRef::Chunked { base, delta } => {
+                let split = base.len();
+                macro_rules! typed_gather {
+                    ($variant:ident, $b:expr, $d:expr) => {
+                        ColumnData::$variant(
+                            idxs.iter()
+                                .map(|&i| {
+                                    let i = i as usize;
+                                    if i < split {
+                                        $b[i].clone()
+                                    } else {
+                                        $d[i - split].clone()
+                                    }
+                                })
+                                .collect(),
+                        )
+                    };
+                }
+                match (base, delta) {
+                    (ColumnData::Int(b), ColumnData::Int(d)) => typed_gather!(Int, b, d),
+                    (ColumnData::Float(b), ColumnData::Float(d)) => typed_gather!(Float, b, d),
+                    (ColumnData::Str(b), ColumnData::Str(d)) => typed_gather!(Str, b, d),
+                    (ColumnData::Date(b), ColumnData::Date(d)) => typed_gather!(Date, b, d),
+                    _ => ColumnData::Mixed(idxs.iter().map(|&i| self.get(i as usize)).collect()),
+                }
+            }
+        }
+    }
+
+    /// Materializes the whole view as one dense owned column.
+    pub fn to_dense(&self) -> ColumnData {
+        match self {
+            ColRef::Single(c) => (*c).clone(),
+            ColRef::Chunked { .. } => {
+                let all: Vec<u32> = (0..self.len() as u32).collect();
+                self.gather_rows(&all)
+            }
+        }
+    }
+}
+
+/// A column-store table: immutable typed base columns plus the delta region.
 #[derive(Debug)]
 pub struct ColumnTable {
     name: String,
-    columns: Vec<ColumnData>,
-    rows: usize,
+    /// Base segment — immutable between compactions.
+    base: Vec<ColumnData>,
+    /// Delta segment — append-only typed builders, one per column.
+    delta: Vec<ColumnData>,
+    base_rows: usize,
+    delta_rows: usize,
+    /// Deleted-rid bitmap over the combined `base + delta` rid space.
+    deleted: Vec<bool>,
+    n_deleted: usize,
+    /// Monotonically increasing write stamp (bumps on every insert, delete,
+    /// update and compaction).
+    version: u64,
 }
 
 impl ColumnTable {
     /// Builds typed columns from generic column-major data.
     pub fn from_columns(name: &str, columns: &[Vec<Value>]) -> Self {
         let rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        let base: Vec<ColumnData> =
+            columns.iter().map(|c| ColumnData::from_values(c)).collect();
+        let delta = base.iter().map(|c| c.empty_like()).collect();
         ColumnTable {
             name: name.to_string(),
-            columns: columns.iter().map(|c| ColumnData::from_values(c)).collect(),
-            rows,
+            base,
+            delta,
+            base_rows: rows,
+            delta_rows: 0,
+            deleted: vec![false; rows],
+            n_deleted: 0,
+            version: 0,
         }
     }
 
@@ -194,35 +374,152 @@ impl ColumnTable {
         &self.name
     }
 
-    /// Number of rows.
+    /// Number of *live* rows.
     pub fn row_count(&self) -> usize {
-        self.rows
+        self.base_rows + self.delta_rows - self.n_deleted
+    }
+
+    /// Number of physical rids (`base + delta`, tombstones included).
+    pub fn physical_len(&self) -> usize {
+        self.base_rows + self.delta_rows
+    }
+
+    /// Rows currently in the delta region (the freshness backlog),
+    /// tombstoned ones included.
+    pub fn delta_len(&self) -> usize {
+        self.delta_rows
+    }
+
+    /// Delta rows still live (inserted since the last compaction and not
+    /// deleted again).
+    pub fn live_delta_len(&self) -> usize {
+        self.deleted[self.base_rows..]
+            .iter()
+            .filter(|&&d| !d)
+            .count()
+    }
+
+    /// Rids currently tombstoned.
+    pub fn deleted_len(&self) -> usize {
+        self.n_deleted
+    }
+
+    /// Current version stamp.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// True when scans can borrow base columns with no selection vector:
+    /// empty delta and no tombstones.
+    pub fn is_clean(&self) -> bool {
+        self.delta_rows == 0 && self.n_deleted == 0
+    }
+
+    /// True when physical rid `rid` is tombstoned.
+    pub fn is_deleted(&self, rid: usize) -> bool {
+        self.deleted[rid]
     }
 
     /// Number of columns.
     pub fn width(&self) -> usize {
-        self.columns.len()
+        self.base.len()
     }
 
-    /// Typed column `ci`.
+    /// The *base segment* of column `ci` (zero-copy; pair with
+    /// [`ColumnTable::is_clean`], or use [`ColumnTable::column_ref`] for the
+    /// full delta-aware view).
     pub fn column(&self, ci: usize) -> &ColumnData {
-        &self.columns[ci]
+        &self.base[ci]
     }
 
-    /// Generic value at (column, row).
-    pub fn value(&self, ci: usize, row: usize) -> Value {
-        self.columns[ci].get(row)
+    /// Delta-aware view of column `ci`: `Single` (zero-copy base) when the
+    /// delta is empty, `Chunked` otherwise.
+    pub fn column_ref(&self, ci: usize) -> ColRef<'_> {
+        if self.delta_rows == 0 {
+            ColRef::Single(&self.base[ci])
+        } else {
+            ColRef::Chunked { base: &self.base[ci], delta: &self.delta[ci] }
+        }
     }
 
-    /// Materializes the selected rows restricted to `needed` columns; output
-    /// row layout follows the order of `needed`.
+    /// Generic value at (column, physical rid) — rid may point into either
+    /// segment.
+    pub fn value(&self, ci: usize, rid: usize) -> Value {
+        if rid < self.base_rows {
+            self.base[ci].get(rid)
+        } else {
+            self.delta[ci].get(rid - self.base_rows)
+        }
+    }
+
+    /// Physical rids of live rows, ascending (base region first, then
+    /// delta) — the selection vector a delta-aware scan starts from.
+    pub fn live_rids(&self) -> Vec<u32> {
+        (0..self.physical_len() as u32)
+            .filter(|&rid| !self.deleted[rid as usize])
+            .collect()
+    }
+
+    /// Appends a row to the delta region. Returns the new physical rid.
+    pub fn insert(&mut self, row: &[Value]) -> u32 {
+        debug_assert_eq!(row.len(), self.base.len());
+        for (col, v) in self.delta.iter_mut().zip(row) {
+            col.push(v.clone());
+        }
+        self.delta_rows += 1;
+        self.deleted.push(false);
+        self.version += 1;
+        (self.physical_len() - 1) as u32
+    }
+
+    /// Tombstones a physical rid. Returns false when already deleted.
+    pub fn delete(&mut self, rid: u32) -> bool {
+        let r = rid as usize;
+        if self.deleted[r] {
+            return false;
+        }
+        self.deleted[r] = true;
+        self.n_deleted += 1;
+        self.version += 1;
+        true
+    }
+
+    /// Out-of-place update: tombstone + delta append. Returns the new rid.
+    pub fn update(&mut self, rid: u32, row: &[Value]) -> u32 {
+        self.delete(rid);
+        self.insert(row)
+    }
+
+    /// Merges live delta rows into fresh base columns and clears the bitmap
+    /// — the freshness mechanism made explicit. Physical rids re-pack to
+    /// `0..row_count()`; subsequent scans take the zero-copy clean path.
+    pub fn compact(&mut self) {
+        if self.is_clean() {
+            return;
+        }
+        let live = self.live_rids();
+        let mut new_base = Vec::with_capacity(self.base.len());
+        for ci in 0..self.base.len() {
+            new_base.push(self.column_ref(ci).gather_rows(&live));
+        }
+        self.base_rows = live.len();
+        self.delta = new_base.iter().map(|c| c.empty_like()).collect();
+        self.base = new_base;
+        self.delta_rows = 0;
+        self.deleted = vec![false; self.base_rows];
+        self.n_deleted = 0;
+        self.version += 1;
+    }
+
+    /// Materializes the selected physical rids restricted to `needed`
+    /// columns; output row layout follows the order of `needed`.
     pub fn gather(&self, needed: &[usize], selection: &[u32]) -> Vec<Vec<Value>> {
         selection
             .iter()
             .map(|&rid| {
                 needed
                     .iter()
-                    .map(|&ci| self.columns[ci].get(rid as usize))
+                    .map(|&ci| self.value(ci, rid as usize))
                     .collect()
             })
             .collect()
@@ -251,6 +548,8 @@ mod tests {
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.width(), 5);
         assert_eq!(t.name(), "t");
+        assert!(t.is_clean());
+        assert_eq!(t.version(), 0);
     }
 
     #[test]
@@ -281,5 +580,84 @@ mod tests {
                 vec![Value::Str("a".into()), Value::Int(1)],
             ]
         );
+    }
+
+    fn two_col_table() -> ColumnTable {
+        ColumnTable::from_columns(
+            "t",
+            &[
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Str("a".into()), Value::Str("b".into())],
+            ],
+        )
+    }
+
+    #[test]
+    fn insert_lands_in_delta_and_bumps_version() {
+        let mut t = two_col_table();
+        let rid = t.insert(&[Value::Int(3), Value::Str("c".into())]);
+        assert_eq!(rid, 2);
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.delta_len(), 1);
+        assert!(!t.is_clean());
+        assert_eq!(t.version(), 1);
+        assert_eq!(t.value(0, 2), Value::Int(3));
+        // delta builder stays typed
+        assert!(matches!(t.column_ref(0), ColRef::Chunked { .. }));
+        assert_eq!(t.column_ref(0).get(2), Value::Int(3));
+    }
+
+    #[test]
+    fn delete_masks_rid_and_update_relocates() {
+        let mut t = two_col_table();
+        assert!(t.delete(0));
+        assert!(!t.delete(0));
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.live_rids(), vec![1]);
+        let new_rid = t.update(1, &[Value::Int(20), Value::Str("b2".into())]);
+        assert_eq!(new_rid, 2);
+        assert_eq!(t.live_rids(), vec![2]);
+        assert_eq!(t.value(0, 2), Value::Int(20));
+    }
+
+    #[test]
+    fn null_insert_demotes_delta_builder_only() {
+        let mut t = two_col_table();
+        t.insert(&[Value::Null, Value::Str("c".into())]);
+        assert!(matches!(t.column(0), ColumnData::Int(_))); // base untouched
+        assert_eq!(t.column_ref(0).get(2), Value::Null);
+    }
+
+    #[test]
+    fn compact_merges_delta_and_restores_clean_path() {
+        let mut t = two_col_table();
+        t.insert(&[Value::Int(3), Value::Str("c".into())]);
+        t.delete(0);
+        let v = t.version();
+        t.compact();
+        assert!(t.is_clean());
+        assert_eq!(t.version(), v + 1);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.physical_len(), 2);
+        // typed base preserved through compaction
+        assert!(matches!(t.column(0), ColumnData::Int(_)));
+        assert_eq!(t.value(0, 0), Value::Int(2));
+        assert_eq!(t.value(0, 1), Value::Int(3));
+        // compaction of a clean table is a no-op (no version bump)
+        t.compact();
+        assert_eq!(t.version(), v + 1);
+    }
+
+    #[test]
+    fn colref_gather_spans_segments() {
+        let mut t = two_col_table();
+        t.insert(&[Value::Int(3), Value::Str("c".into())]);
+        let gathered = t.column_ref(0).gather_rows(&[2, 0]);
+        assert!(matches!(gathered, ColumnData::Int(_)));
+        assert_eq!(gathered.get(0), Value::Int(3));
+        assert_eq!(gathered.get(1), Value::Int(1));
+        let dense = t.column_ref(1).to_dense();
+        assert_eq!(dense.len(), 3);
+        assert_eq!(dense.get(2), Value::Str("c".into()));
     }
 }

@@ -47,6 +47,34 @@ impl BTreeIndex {
         BTreeIndex { map, entries }
     }
 
+    /// Adds one `(key, rid)` entry, keeping per-key rid lists ascending.
+    /// This is the in-place write path: every row-store insert/update/delete
+    /// maintains its indexes eagerly, so index reads never see stale rids.
+    pub fn insert(&mut self, key: Value, rid: u32) {
+        let rids = self.map.entry(KeyVal(key)).or_default();
+        match rids.binary_search(&rid) {
+            Ok(_) => return, // already present (idempotent)
+            Err(pos) => rids.insert(pos, rid),
+        }
+        self.entries += 1;
+    }
+
+    /// Removes one `(key, rid)` entry; returns whether it was present.
+    pub fn remove(&mut self, key: &Value, rid: u32) -> bool {
+        let Some(rids) = self.map.get_mut(&KeyVal(key.clone())) else {
+            return false;
+        };
+        let Ok(pos) = rids.binary_search(&rid) else {
+            return false;
+        };
+        rids.remove(pos);
+        if rids.is_empty() {
+            self.map.remove(&KeyVal(key.clone()));
+        }
+        self.entries -= 1;
+        true
+    }
+
     /// Row ids with exactly this key.
     pub fn lookup(&self, key: &Value) -> &[u32] {
         self.map
@@ -169,6 +197,25 @@ mod tests {
         assert_eq!(idx.len(), 5);
         assert!(!idx.is_empty());
         assert!(BTreeIndex::build(&[]).is_empty());
+    }
+
+    #[test]
+    fn insert_and_remove_maintain_entries() {
+        let mut idx = sample();
+        idx.insert(Value::Int(5), 7);
+        assert_eq!(idx.lookup(&Value::Int(5)), &[0, 2, 7]);
+        assert_eq!(idx.len(), 6);
+        // duplicate insert is idempotent
+        idx.insert(Value::Int(5), 7);
+        assert_eq!(idx.len(), 6);
+        assert!(idx.remove(&Value::Int(5), 2));
+        assert_eq!(idx.lookup(&Value::Int(5)), &[0, 7]);
+        assert!(!idx.remove(&Value::Int(5), 2));
+        assert!(!idx.remove(&Value::Int(99), 0));
+        assert_eq!(idx.len(), 5);
+        // removing the last rid of a key drops the key entirely
+        assert!(idx.remove(&Value::Int(3), 1));
+        assert_eq!(idx.distinct_keys(), 3);
     }
 
     #[test]

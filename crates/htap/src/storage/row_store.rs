@@ -3,6 +3,13 @@
 //! Rows are materialized `Vec<Value>` tuples; every access touches the whole
 //! row (the latency model charges full tuple width per row read), which is
 //! what makes wide analytical scans expensive on this side.
+//!
+//! The row store is the *write-applying* side of the HTAP pair: inserts
+//! append, deletes tombstone the slot (rids stay stable for the indexes),
+//! updates relocate the tuple (tombstone + append, the classic heap-update
+//! discipline), and every B-tree index is maintained in place on each write.
+//! [`RowTable::compact`] drops tombstones and rebuilds the indexes over the
+//! re-packed rid space.
 
 use super::index::BTreeIndex;
 use crate::tpch::GeneratedTable;
@@ -16,6 +23,10 @@ use std::collections::HashMap;
 pub struct RowTable {
     name: String,
     rows: Vec<Vec<Value>>,
+    /// Tombstone flags, positionally aligned with `rows`.
+    deleted: Vec<bool>,
+    /// Number of tombstoned slots (`live = rows.len() - n_deleted`).
+    n_deleted: usize,
     /// column index -> B-tree index
     indexes: HashMap<usize, BTreeIndex>,
     width: usize,
@@ -43,6 +54,8 @@ impl RowTable {
         RowTable {
             name: def.name.clone(),
             rows,
+            deleted: vec![false; n],
+            n_deleted: 0,
             indexes,
             width,
         }
@@ -58,9 +71,25 @@ impl RowTable {
         &self.name
     }
 
-    /// Number of rows.
+    /// Number of *live* rows.
     pub fn row_count(&self) -> usize {
+        self.rows.len() - self.n_deleted
+    }
+
+    /// Number of physical slots (live rows plus tombstones); rids live in
+    /// `0..physical_len()`.
+    pub fn physical_len(&self) -> usize {
         self.rows.len()
+    }
+
+    /// True when some slots are tombstoned.
+    pub fn has_deletions(&self) -> bool {
+        self.n_deleted > 0
+    }
+
+    /// True when slot `rid` is tombstoned.
+    pub fn is_deleted(&self, rid: usize) -> bool {
+        self.deleted[rid]
     }
 
     /// Number of columns.
@@ -68,14 +97,25 @@ impl RowTable {
         self.width
     }
 
-    /// Borrow a full row by id.
+    /// Borrow a full row by id (tombstoned slots keep their last tuple; the
+    /// scan paths and indexes never hand out tombstoned rids).
     pub fn row(&self, rid: usize) -> &[Value] {
         &self.rows[rid]
     }
 
-    /// All rows (sequential scan order).
+    /// All physical slots in rid order, tombstones included — pair with
+    /// [`RowTable::has_deletions`] / [`RowTable::is_deleted`], or use
+    /// [`RowTable::iter_live`] for scan semantics.
     pub fn rows(&self) -> &[Vec<Value>] {
         &self.rows
+    }
+
+    /// Live rows in rid order (sequential scan order).
+    pub fn iter_live(&self) -> impl Iterator<Item = (usize, &Vec<Value>)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|&(rid, _)| !self.deleted[rid])
     }
 
     /// The B-tree index on column `ci`, if one exists.
@@ -90,14 +130,83 @@ impl RowTable {
         v
     }
 
+    /// Number of B-tree indexes on this table.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Appends a row, maintaining every index. Returns the new rid.
+    pub fn insert(&mut self, row: Vec<Value>) -> u32 {
+        debug_assert_eq!(row.len(), self.width);
+        let rid = self.rows.len() as u32;
+        for (&ci, idx) in self.indexes.iter_mut() {
+            idx.insert(row[ci].clone(), rid);
+        }
+        self.rows.push(row);
+        self.deleted.push(false);
+        rid
+    }
+
+    /// Tombstones a row, removing it from every index. Returns false when
+    /// the rid was already deleted.
+    pub fn delete(&mut self, rid: u32) -> bool {
+        let r = rid as usize;
+        if self.deleted[r] {
+            return false;
+        }
+        for (&ci, idx) in self.indexes.iter_mut() {
+            idx.remove(&self.rows[r][ci], rid);
+        }
+        self.deleted[r] = true;
+        self.n_deleted += 1;
+        true
+    }
+
+    /// Relocating update (tombstone + append): returns the row's new rid.
+    pub fn update(&mut self, rid: u32, new_row: Vec<Value>) -> u32 {
+        self.delete(rid);
+        self.insert(new_row)
+    }
+
+    /// Drops tombstones, re-packing rids to `0..row_count()` and rebuilding
+    /// every index over the new rid space.
+    pub fn compact(&mut self) {
+        if self.n_deleted == 0 {
+            return;
+        }
+        let mut rows = Vec::with_capacity(self.row_count());
+        for (rid, row) in self.rows.drain(..).enumerate() {
+            if !self.deleted[rid] {
+                rows.push(row);
+            }
+        }
+        self.rows = rows;
+        self.deleted = vec![false; self.rows.len()];
+        self.n_deleted = 0;
+        let indexed = self.indexed_columns();
+        for ci in indexed {
+            self.rebuild_index(ci);
+        }
+    }
+
+    fn rebuild_index(&mut self, ci: usize) {
+        let mut idx = BTreeIndex::default();
+        for (rid, row) in self.rows.iter().enumerate() {
+            if !self.deleted[rid] {
+                idx.insert(row[ci].clone(), rid as u32);
+            }
+        }
+        self.indexes.insert(ci, idx);
+    }
+
     /// Adds a secondary index at runtime (mirrors the paper's "an additional
-    /// index has been created on c_phone" user context).
+    /// index has been created on c_phone" user context). Only live rows are
+    /// indexed.
     pub fn create_index(&mut self, ci: usize) {
         if self.indexes.contains_key(&ci) {
             return;
         }
-        let col: Vec<Value> = self.rows.iter().map(|r| r[ci].clone()).collect();
-        self.indexes.insert(ci, BTreeIndex::build(&col));
+        self.rebuild_index(ci);
     }
 }
 
@@ -155,5 +264,52 @@ mod tests {
         // idempotent
         t.create_index(1);
         assert_eq!(t.indexed_columns(), vec![0, 1]);
+    }
+
+    #[test]
+    fn insert_appends_and_indexes() {
+        let mut t = RowTable::from_columns(&def(), &data());
+        let rid = t.insert(vec![Value::Int(40), Value::Str("w".into())]);
+        assert_eq!(rid, 3);
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.index_on(0).unwrap().lookup(&Value::Int(40)), &[3]);
+    }
+
+    #[test]
+    fn delete_tombstones_and_unindexes() {
+        let mut t = RowTable::from_columns(&def(), &data());
+        assert!(t.delete(1));
+        assert!(!t.delete(1)); // already gone
+        assert_eq!(t.row_count(), 2);
+        assert!(t.has_deletions());
+        assert!(t.is_deleted(1));
+        assert!(t.index_on(0).unwrap().lookup(&Value::Int(20)).is_empty());
+        let live: Vec<usize> = t.iter_live().map(|(rid, _)| rid).collect();
+        assert_eq!(live, vec![0, 2]);
+    }
+
+    #[test]
+    fn update_relocates_and_reindexes() {
+        let mut t = RowTable::from_columns(&def(), &data());
+        let new_rid = t.update(0, vec![Value::Int(11), Value::Str("x2".into())]);
+        assert_eq!(new_rid, 3);
+        assert_eq!(t.row_count(), 3);
+        assert!(t.index_on(0).unwrap().lookup(&Value::Int(10)).is_empty());
+        assert_eq!(t.index_on(0).unwrap().lookup(&Value::Int(11)), &[3]);
+    }
+
+    #[test]
+    fn compact_repacks_rids_and_rebuilds_indexes() {
+        let mut t = RowTable::from_columns(&def(), &data());
+        t.create_index(1);
+        t.delete(0);
+        t.insert(vec![Value::Int(40), Value::Str("w".into())]);
+        t.compact();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.physical_len(), 3);
+        assert!(!t.has_deletions());
+        assert_eq!(t.index_on(0).unwrap().lookup(&Value::Int(20)), &[0]);
+        assert_eq!(t.index_on(0).unwrap().lookup(&Value::Int(40)), &[2]);
+        assert_eq!(t.index_on(1).unwrap().lookup(&Value::Str("w".into())), &[2]);
     }
 }

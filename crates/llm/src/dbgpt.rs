@@ -49,7 +49,7 @@ impl DbgPt {
         let q = &prompt.question;
         // Extract structure; the winner field of the evidence is NOT
         // consulted — DBG-PT must guess.
-        let ev = PlanEvidence::extract(&q.sql, &q.tp_plan, &q.ap_plan, q.winner);
+        let ev = PlanEvidence::extract(&q.sql, &q.tp_plan, &q.ap_plan, q.winner, &q.freshness);
         let tp_cost = q.tp_plan.total_cost;
         let ap_cost = q.ap_plan.total_cost;
 
@@ -214,6 +214,7 @@ mod tests {
                 tp_plan: out.tp.plan.clone(),
                 ap_plan: out.ap.plan.clone(),
                 winner: out.winner(),
+                freshness: vec![],
             },
             user_context,
         }

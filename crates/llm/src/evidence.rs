@@ -8,6 +8,7 @@
 use crate::factors::FactorKind;
 use qpe_htap::engine::EngineKind;
 use qpe_htap::plan::{NodeType, PlanNode};
+use qpe_htap::storage::TableFreshness;
 use serde::{Deserialize, Serialize};
 
 /// Structured facts readable from a plan pair.
@@ -45,15 +46,23 @@ pub struct PlanEvidence {
     /// Which engine the execution result reports as faster — the paper's
     /// QUESTION includes the "new execution result".
     pub winner: EngineKind,
+    /// Freshness of the scanned relations (delta-region backlog + version
+    /// stamp) at execution time — writes buffered since the last compaction
+    /// that the AP engine read through its delta-aware scans. Restricted to
+    /// relations the plans actually touch.
+    pub freshness: Vec<TableFreshness>,
 }
 
 impl PlanEvidence {
-    /// Extracts evidence from the QUESTION materials.
+    /// Extracts evidence from the QUESTION materials. `freshness` is the
+    /// per-table snapshot the question carries (filtered here to scanned
+    /// relations).
     pub fn extract(
         sql: &str,
         tp_plan: &PlanNode,
         ap_plan: &PlanNode,
         winner: EngineKind,
+        freshness: &[TableFreshness],
     ) -> Self {
         let mut relations = Vec::new();
         let mut max_scan_rows: f64 = 0.0;
@@ -113,6 +122,11 @@ impl PlanEvidence {
                 + tp_plan.count_type(NodeType::IndexNLJoin),
             max_scan_rows,
             function_over_column,
+            freshness: freshness
+                .iter()
+                .filter(|f| relations.contains(&f.table))
+                .cloned()
+                .collect(),
             relations,
             winner,
         }
@@ -183,7 +197,8 @@ mod tests {
     fn evidence_for(sql: &str) -> PlanEvidence {
         let sys = system();
         let out = sys.run_sql(sql).unwrap();
-        PlanEvidence::extract(sql, &out.tp.plan, &out.ap.plan, out.winner())
+        let fresh = sys.database().freshness_all();
+        PlanEvidence::extract(sql, &out.tp.plan, &out.ap.plan, out.winner(), &fresh)
     }
 
     #[test]
@@ -236,6 +251,32 @@ mod tests {
                 assert_eq!(f.favors(), ev.winner, "{sql}: {f:?}");
             }
         }
+    }
+
+    #[test]
+    fn freshness_restricted_to_scanned_relations() {
+        let mut sys = system();
+        sys.execute_sql(
+            "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
+             c_mktsegment) VALUES (900001, 'customer#900001', 4, '20-000-000-0000', 1.0, \
+             'machinery')",
+        )
+        .unwrap();
+        sys.execute_sql("DELETE FROM orders WHERE o_orderkey = 1").unwrap();
+        let out = sys.run_sql("SELECT COUNT(*) FROM customer").unwrap();
+        let fresh = sys.database().freshness_all();
+        let ev = PlanEvidence::extract(
+            &out.sql,
+            &out.tp.plan,
+            &out.ap.plan,
+            out.winner(),
+            &fresh,
+        );
+        // only the scanned relation's freshness survives extraction
+        assert_eq!(ev.freshness.len(), 1);
+        assert_eq!(ev.freshness[0].table, "customer");
+        assert_eq!(ev.freshness[0].delta_rows, 1);
+        assert!(ev.freshness[0].version > 0);
     }
 
     #[test]

@@ -95,7 +95,7 @@ impl SimulatedLlm {
             return DbgPt::new().explain(prompt);
         }
         let q = &prompt.question;
-        let ev = PlanEvidence::extract(&q.sql, &q.tp_plan, &q.ap_plan, q.winner);
+        let ev = PlanEvidence::extract(&q.sql, &q.tp_plan, &q.ap_plan, q.winner, &q.freshness);
         let candidates = ev.candidate_factors();
         if candidates.is_empty() {
             return ExplanationOutput::none();
@@ -245,6 +245,7 @@ mod tests {
                 tp_plan: out.tp.plan.clone(),
                 ap_plan: out.ap.plan.clone(),
                 winner: out.winner(),
+                freshness: vec![],
             },
             user_context: vec![],
         }

@@ -43,6 +43,10 @@ pub struct Question {
     pub ap_plan: qpe_htap::plan::PlanNode,
     /// New execution result — the paper's QUESTION includes it.
     pub winner: EngineKind,
+    /// Per-table freshness of the scanned relations (delta backlog +
+    /// version stamp) at execution time. Empty when the database was clean
+    /// or the caller has no storage access.
+    pub freshness: Vec<qpe_htap::storage::TableFreshness>,
 }
 
 /// A fully-assembled prompt.
@@ -139,6 +143,12 @@ impl Prompt {
             serde_json::to_string(&self.question.ap_plan.explain_json()).unwrap_or_default(),
             self.question.winner,
         ));
+        for f in &self.question.freshness {
+            out.push_str(&format!(
+                "  table freshness: {} version={} delta_rows={} deleted_rows={}\n",
+                f.table, f.version, f.delta_rows, f.deleted_rows
+            ));
+        }
         out
     }
 
@@ -170,6 +180,7 @@ mod tests {
             tp_plan: scan(5213.0),
             ap_plan: scan(16_500_000.0),
             winner: EngineKind::Ap,
+            freshness: vec![],
         }
     }
 

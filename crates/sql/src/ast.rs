@@ -5,6 +5,53 @@ use std::fmt;
 
 use crate::value::Value;
 
+/// Any parsed SQL statement in the supported subset: one read shape
+/// (`SELECT`) and the three write shapes (`INSERT`/`UPDATE`/`DELETE`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// A read query.
+    Select(SelectStatement),
+    /// `INSERT INTO t [(cols)] VALUES (...), (...)`.
+    Insert(InsertStatement),
+    /// `UPDATE t SET col = expr [, ...] [WHERE pred]`.
+    Update(UpdateStatement),
+    /// `DELETE FROM t [WHERE pred]`.
+    Delete(DeleteStatement),
+}
+
+/// A parsed `INSERT` statement. Values are literal rows only in this subset
+/// (no `INSERT ... SELECT`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InsertStatement {
+    /// Target table name (lowercased).
+    pub table: String,
+    /// Explicit column list, if written; `None` means full-width rows in
+    /// table order.
+    pub columns: Option<Vec<String>>,
+    /// Literal rows to insert.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// A parsed `UPDATE` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateStatement {
+    /// Target table name (lowercased).
+    pub table: String,
+    /// `SET column = expr` assignments, in statement order.
+    pub assignments: Vec<(String, Expr)>,
+    /// The `WHERE` predicate; `None` updates every row.
+    pub selection: Option<Expr>,
+}
+
+/// A parsed `DELETE` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeleteStatement {
+    /// Target table name (lowercased).
+    pub table: String,
+    /// The `WHERE` predicate; `None` deletes every row.
+    pub selection: Option<Expr>,
+}
+
 /// A parsed `SELECT` statement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SelectStatement {

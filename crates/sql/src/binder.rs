@@ -9,8 +9,11 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-use crate::ast::{AggFunc, BinaryOp, Expr, SelectItem, SelectStatement};
-use crate::catalog::{Catalog, DataType};
+use crate::ast::{
+    AggFunc, BinaryOp, DeleteStatement, Expr, InsertStatement, SelectItem, SelectStatement,
+    Statement, UpdateStatement,
+};
+use crate::catalog::{Catalog, DataType, TableDef};
 use crate::error::SqlError;
 use crate::value::Value;
 
@@ -291,6 +294,82 @@ impl BoundQuery {
     }
 }
 
+/// A fully-bound statement: one read shape or one write shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BoundStatement {
+    /// A read query (dual-engine execution).
+    Query(BoundQuery),
+    /// A write statement (TP-engine execution only).
+    Dml(BoundDml),
+}
+
+/// A bound write statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BoundDml {
+    /// Bound `INSERT`.
+    Insert(BoundInsert),
+    /// Bound `UPDATE`.
+    Update(BoundUpdate),
+    /// Bound `DELETE`.
+    Delete(BoundDelete),
+}
+
+impl BoundDml {
+    /// The written table's name.
+    pub fn table_name(&self) -> &str {
+        match self {
+            BoundDml::Insert(i) => &i.table,
+            BoundDml::Update(u) => &u.table,
+            BoundDml::Delete(d) => &d.table,
+        }
+    }
+
+    /// The synthetic single-table read used to locate target rows
+    /// (`None` for `INSERT`, which touches no existing rows).
+    pub fn scan(&self) -> Option<&BoundQuery> {
+        match self {
+            BoundDml::Insert(_) => None,
+            BoundDml::Update(u) => Some(&u.scan),
+            BoundDml::Delete(d) => Some(&d.scan),
+        }
+    }
+}
+
+/// A bound `INSERT`: rows normalized to full table width (explicit column
+/// lists reordered, missing columns NULL-filled) with literals coerced to the
+/// catalog column types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundInsert {
+    /// Target table.
+    pub table: String,
+    /// Full-width rows in table column order.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// A bound `UPDATE`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundUpdate {
+    /// Target table.
+    pub table: String,
+    /// `(column index, value expression)` assignments; expressions may read
+    /// the old row (e.g. `SET c_acctbal = c_acctbal + 10`).
+    pub assignments: Vec<(usize, BoundExpr)>,
+    /// Synthetic single-table read (`SELECT * FROM t WHERE pred`) the TP
+    /// planner turns into the row-locating access path; the bound `WHERE`
+    /// conjuncts live in its `filters` (empty = every row targeted).
+    pub scan: BoundQuery,
+}
+
+/// A bound `DELETE`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundDelete {
+    /// Target table.
+    pub table: String,
+    /// Synthetic single-table read used to locate target rows; the bound
+    /// `WHERE` conjuncts live in its `filters`.
+    pub scan: BoundQuery,
+}
+
 /// Binds statements against a catalog.
 pub struct Binder<'a> {
     catalog: &'a dyn Catalog,
@@ -307,6 +386,163 @@ impl<'a> Binder<'a> {
         let trimmed = sql.trim().trim_end_matches(';');
         let stmt = crate::parser::parse_select(trimmed)?;
         self.bind(&stmt, trimmed)
+    }
+
+    /// Parses and binds any statement (read or write) in one step.
+    pub fn bind_statement(&self, sql: &str) -> Result<BoundStatement, SqlError> {
+        let trimmed = sql.trim().trim_end_matches(';');
+        Ok(match crate::parser::parse_statement(trimmed)? {
+            Statement::Select(stmt) => BoundStatement::Query(self.bind(&stmt, trimmed)?),
+            Statement::Insert(stmt) => {
+                BoundStatement::Dml(BoundDml::Insert(self.bind_insert(&stmt)?))
+            }
+            Statement::Update(stmt) => {
+                BoundStatement::Dml(BoundDml::Update(self.bind_update(&stmt, trimmed)?))
+            }
+            Statement::Delete(stmt) => {
+                BoundStatement::Dml(BoundDml::Delete(self.bind_delete(&stmt, trimmed)?))
+            }
+        })
+    }
+
+    fn target_table(&self, name: &str) -> Result<&TableDef, SqlError> {
+        self.catalog
+            .table(name)
+            .ok_or_else(|| SqlError::bind(format!("unknown table '{name}'")))
+    }
+
+    fn bind_insert(&self, stmt: &InsertStatement) -> Result<BoundInsert, SqlError> {
+        let def = self.target_table(&stmt.table)?;
+        let width = def.columns.len();
+        // Map each written position to a table column index.
+        let positions: Vec<usize> = match &stmt.columns {
+            None => (0..width).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    def.column_index(c).ok_or_else(|| {
+                        SqlError::bind(format!("unknown column '{c}' in table '{}'", stmt.table))
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        {
+            let mut seen = positions.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != positions.len() {
+                return Err(SqlError::bind("duplicate column in INSERT column list"));
+            }
+        }
+        let mut rows = Vec::with_capacity(stmt.rows.len());
+        for row in &stmt.rows {
+            if row.len() != positions.len() {
+                return Err(SqlError::bind(format!(
+                    "INSERT row has {} values but {} columns are targeted",
+                    row.len(),
+                    positions.len()
+                )));
+            }
+            let mut full = vec![Value::Null; width];
+            for (v, &ci) in row.iter().zip(&positions) {
+                full[ci] = coerce_literal(v.clone(), def.columns[ci].data_type, &def.columns[ci].name)?;
+            }
+            rows.push(full);
+        }
+        Ok(BoundInsert { table: def.name.clone(), rows })
+    }
+
+    /// Binds a predicate + target table into the synthetic single-table scan
+    /// query shared by `UPDATE` and `DELETE`: the filters are classified just
+    /// like a `SELECT * FROM t WHERE pred`, so the TP access-path planner
+    /// (index choice included) applies unchanged.
+    fn bind_dml_scan(
+        &self,
+        def: &TableDef,
+        selection: &Option<Expr>,
+        sql: &str,
+    ) -> Result<BoundQuery, SqlError> {
+        let tables = vec![BoundTable {
+            name: def.name.clone(),
+            alias: None,
+            row_count: def.row_count,
+        }];
+        let resolver = Resolver { catalog: self.catalog, tables: &tables };
+        let mut filters = Vec::new();
+        if let Some(sel) = selection {
+            if sel.contains_aggregate() {
+                return Err(SqlError::bind("aggregate in DML WHERE clause"));
+            }
+            for c in sel.split_conjuncts() {
+                filters.push(TableFilter {
+                    table_slot: 0,
+                    expr: resolver.bind_expr(c)?,
+                });
+            }
+        }
+        let projections = def
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(ci, col)| BoundProjection {
+                expr: BoundExpr::Column(ColumnRef {
+                    table_slot: 0,
+                    column_idx: ci,
+                    data_type: col.data_type,
+                }),
+                label: col.name.clone(),
+            })
+            .collect();
+        Ok(BoundQuery {
+            tables,
+            filters,
+            joins: Vec::new(),
+            residual_predicates: Vec::new(),
+            projections,
+            aggregate_kind: AggregateKind::None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+            sql: sql.to_string(),
+        })
+    }
+
+    fn bind_update(&self, stmt: &UpdateStatement, sql: &str) -> Result<BoundUpdate, SqlError> {
+        let def = self.target_table(&stmt.table)?;
+        let scan = self.bind_dml_scan(def, &stmt.selection, sql)?;
+        let resolver = Resolver { catalog: self.catalog, tables: &scan.tables };
+        let mut assignments = Vec::with_capacity(stmt.assignments.len());
+        for (col, expr) in &stmt.assignments {
+            let ci = def.column_index(col).ok_or_else(|| {
+                SqlError::bind(format!("unknown column '{col}' in table '{}'", stmt.table))
+            })?;
+            if expr.contains_aggregate() {
+                return Err(SqlError::bind("aggregate in UPDATE assignment"));
+            }
+            let mut bound = resolver.bind_expr(expr)?;
+            // Literal assignments are coerced to the column type at bind time
+            // so storage only ever sees catalog-typed values.
+            if let BoundExpr::Literal(v) = &bound {
+                bound = BoundExpr::Literal(coerce_literal(
+                    v.clone(),
+                    def.columns[ci].data_type,
+                    &def.columns[ci].name,
+                )?);
+            }
+            assignments.push((ci, bound));
+        }
+        if assignments.is_empty() {
+            return Err(SqlError::bind("UPDATE without assignments"));
+        }
+        Ok(BoundUpdate { table: def.name.clone(), assignments, scan })
+    }
+
+    fn bind_delete(&self, stmt: &DeleteStatement, sql: &str) -> Result<BoundDelete, SqlError> {
+        let def = self.target_table(&stmt.table)?;
+        let scan = self.bind_dml_scan(def, &stmt.selection, sql)?;
+        Ok(BoundDelete { table: def.name.clone(), scan })
     }
 
     /// Binds a parsed statement. `sql` is kept verbatim for prompts/KB.
@@ -442,6 +678,26 @@ impl<'a> Binder<'a> {
             sql: sql.to_string(),
         })
     }
+}
+
+/// Coerces a literal to a column's catalog type. Integers widen to floats;
+/// NULL passes through; everything else must match exactly — lossy coercions
+/// (float→int, int→date) are bind errors, not silent truncations.
+pub fn coerce_literal(v: Value, ty: DataType, column: &str) -> Result<Value, SqlError> {
+    let coerced = match (&v, ty) {
+        (Value::Null, _) => v,
+        (Value::Int(_), DataType::Int) => v,
+        (Value::Int(x), DataType::Float) => Value::Float(*x as f64),
+        (Value::Float(_), DataType::Float) => v,
+        (Value::Str(_), DataType::Str) => v,
+        (Value::Date(_), DataType::Date) => v,
+        _ => {
+            return Err(SqlError::bind(format!(
+                "value {v} is not assignable to {ty:?} column '{column}'"
+            )))
+        }
+    };
+    Ok(coerced)
 }
 
 enum Classified {
@@ -785,6 +1041,108 @@ mod tests {
         assert!(Binder::new(&cat)
             .bind_sql("SELECT * FROM customer WHERE SUBSTRING(c_phone, 0, 2) = 'xx'")
             .is_err());
+    }
+
+    #[test]
+    fn bind_insert_normalizes_and_coerces() {
+        let cat = tpch_mini();
+        let b = Binder::new(&cat);
+        // o_totalprice is Float; the Int literal 100 must widen.
+        let BoundStatement::Dml(BoundDml::Insert(ins)) = b
+            .bind_statement(
+                "INSERT INTO orders (o_orderkey, o_custkey, o_totalprice) VALUES (1, 2, 100)",
+            )
+            .unwrap()
+        else {
+            panic!("expected insert");
+        };
+        assert_eq!(ins.rows.len(), 1);
+        assert_eq!(
+            ins.rows[0],
+            vec![Value::Int(1), Value::Int(2), Value::Null, Value::Float(100.0)]
+        );
+    }
+
+    #[test]
+    fn bind_insert_rejects_bad_shapes() {
+        let cat = tpch_mini();
+        let b = Binder::new(&cat);
+        assert!(b.bind_statement("INSERT INTO missing VALUES (1)").is_err());
+        assert!(b
+            .bind_statement("INSERT INTO orders (o_orderkey, nope) VALUES (1, 2)")
+            .is_err());
+        assert!(b
+            .bind_statement("INSERT INTO orders (o_orderkey, o_custkey) VALUES (1)")
+            .is_err());
+        assert!(b
+            .bind_statement("INSERT INTO orders (o_orderkey, o_orderkey) VALUES (1, 1)")
+            .is_err());
+        // Float literal into Int column is a lossy coercion -> bind error.
+        assert!(b
+            .bind_statement("INSERT INTO orders (o_orderkey) VALUES (1.5)")
+            .is_err());
+    }
+
+    #[test]
+    fn bind_update_builds_scan_with_classified_filters() {
+        let cat = tpch_mini();
+        let b = Binder::new(&cat);
+        let BoundStatement::Dml(BoundDml::Update(up)) = b
+            .bind_statement(
+                "UPDATE customer SET c_mktsegment = 'machinery', c_custkey = c_custkey + 1 \
+                 WHERE c_custkey = 7 AND c_mktsegment = 'building'",
+            )
+            .unwrap()
+        else {
+            panic!("expected update");
+        };
+        assert_eq!(up.table, "customer");
+        assert_eq!(up.assignments.len(), 2);
+        assert_eq!(up.assignments[0].0, 3); // c_mktsegment
+        assert_eq!(up.scan.filters.len(), 2);
+        assert_eq!(up.scan.projections.len(), 4);
+        assert!(BoundDml::Update(up.clone()).scan().is_some());
+    }
+
+    #[test]
+    fn bind_delete_without_where_targets_all_rows() {
+        let cat = tpch_mini();
+        let BoundStatement::Dml(BoundDml::Delete(del)) = Binder::new(&cat)
+            .bind_statement("DELETE FROM nation")
+            .unwrap()
+        else {
+            panic!("expected delete");
+        };
+        assert!(del.scan.filters.is_empty());
+        assert_eq!(del.scan.tables[0].name, "nation");
+    }
+
+    #[test]
+    fn bind_dml_rejects_cross_table_and_aggregate_predicates() {
+        let cat = tpch_mini();
+        let b = Binder::new(&cat);
+        // Column of another table is simply unknown in DML scope.
+        assert!(b
+            .bind_statement("DELETE FROM customer WHERE o_orderkey = 1")
+            .is_err());
+        assert!(b
+            .bind_statement("DELETE FROM customer WHERE COUNT(*) > 1")
+            .is_err());
+        assert!(b
+            .bind_statement("UPDATE customer SET c_custkey = COUNT(*)")
+            .is_err());
+        assert!(b.bind_statement("UPDATE customer SET nope = 1").is_err());
+    }
+
+    #[test]
+    fn bind_statement_routes_select() {
+        let cat = tpch_mini();
+        assert!(matches!(
+            Binder::new(&cat)
+                .bind_statement("SELECT COUNT(*) FROM customer")
+                .unwrap(),
+            BoundStatement::Query(_)
+        ));
     }
 
     #[test]

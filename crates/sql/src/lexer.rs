@@ -63,6 +63,7 @@ const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL",
     "GROUP", "BY", "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "COUNT", "SUM", "AVG",
     "MIN", "MAX", "SUBSTRING", "DISTINCT", "HAVING", "JOIN", "INNER", "ON", "DATE",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
 ];
 
 /// Tokenizes `input`, returning the token stream terminated by [`TokenKind::Eof`].

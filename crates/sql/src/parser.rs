@@ -14,6 +14,21 @@ pub fn parse_select(input: &str) -> Result<SelectStatement, SqlError> {
     Ok(stmt)
 }
 
+/// Parses any statement in the subset: `SELECT`, `INSERT`, `UPDATE` or
+/// `DELETE` (dispatching on the first keyword).
+pub fn parse_statement(input: &str) -> Result<Statement, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = match p.peek() {
+        TokenKind::Keyword(k) if k == "INSERT" => Statement::Insert(p.insert()?),
+        TokenKind::Keyword(k) if k == "UPDATE" => Statement::Update(p.update()?),
+        TokenKind::Keyword(k) if k == "DELETE" => Statement::Delete(p.delete()?),
+        _ => Statement::Select(p.select()?),
+    };
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -171,6 +186,97 @@ impl Parser {
             limit,
             offset,
         })
+    }
+
+    fn insert(&mut self) -> Result<InsertStatement, SqlError> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.ident()?;
+        let columns = if self.eat(&TokenKind::LParen) {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.insert_value()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            rows.push(row);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(InsertStatement { table, columns, rows })
+    }
+
+    /// One literal in a `VALUES` row: plain literals plus `DATE 'yyyy-mm-dd'`.
+    fn insert_value(&mut self) -> Result<Value, SqlError> {
+        let pos = self.peek_pos();
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == "DATE") {
+            self.advance();
+            return match self.advance() {
+                TokenKind::Str(s) => {
+                    let days = parse_date(&s)
+                        .ok_or_else(|| SqlError::parse(pos, format!("bad date literal {s:?}")))?;
+                    Ok(Value::Date(days))
+                }
+                other => Err(SqlError::parse(
+                    pos,
+                    format!("expected string after DATE, found {other:?}"),
+                )),
+            };
+        }
+        self.literal_value()
+    }
+
+    fn update(&mut self) -> Result<UpdateStatement, SqlError> {
+        self.expect_keyword("UPDATE")?;
+        let table = self.ident()?;
+        self.expect_keyword("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let expr = self.expr()?;
+            assignments.push((col, expr));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let selection = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(UpdateStatement { table, assignments, selection })
+    }
+
+    fn delete(&mut self) -> Result<DeleteStatement, SqlError> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let selection = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(DeleteStatement { table, selection })
     }
 
     fn select_items(&mut self) -> Result<Vec<SelectItem>, SqlError> {
@@ -705,6 +811,75 @@ mod tests {
             }
             other => panic!("unexpected projection {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_insert_with_column_list() {
+        let sql = "INSERT INTO customer (c_custkey, c_name) VALUES (1, 'a'), (2, 'b')";
+        let Statement::Insert(ins) = parse_statement(sql).unwrap() else {
+            panic!("expected insert");
+        };
+        assert_eq!(ins.table, "customer");
+        assert_eq!(ins.columns.as_deref(), Some(&["c_custkey".to_string(), "c_name".into()][..]));
+        assert_eq!(ins.rows.len(), 2);
+        assert_eq!(ins.rows[1], vec![Value::Int(2), Value::Str("b".into())]);
+    }
+
+    #[test]
+    fn parses_insert_full_width_with_date_and_null() {
+        let sql = "INSERT INTO orders VALUES (9, 1, 'p', -3.5, DATE '1995-03-15', NULL)";
+        let Statement::Insert(ins) = parse_statement(sql).unwrap() else {
+            panic!("expected insert");
+        };
+        assert!(ins.columns.is_none());
+        assert_eq!(ins.rows[0][3], Value::Float(-3.5));
+        assert_eq!(ins.rows[0][4], Value::Date(parse_date("1995-03-15").unwrap()));
+        assert_eq!(ins.rows[0][5], Value::Null);
+    }
+
+    #[test]
+    fn parses_update_with_expression_and_where() {
+        let sql = "UPDATE customer SET c_acctbal = c_acctbal + 10, c_mktsegment = 'machinery' \
+                   WHERE c_custkey BETWEEN 5 AND 9";
+        let Statement::Update(up) = parse_statement(sql).unwrap() else {
+            panic!("expected update");
+        };
+        assert_eq!(up.table, "customer");
+        assert_eq!(up.assignments.len(), 2);
+        assert_eq!(up.assignments[0].0, "c_acctbal");
+        assert!(matches!(up.selection, Some(Expr::Between { .. })));
+    }
+
+    #[test]
+    fn parses_delete_with_and_without_where() {
+        let Statement::Delete(del) =
+            parse_statement("DELETE FROM orders WHERE o_orderkey = 3").unwrap()
+        else {
+            panic!("expected delete");
+        };
+        assert_eq!(del.table, "orders");
+        assert!(del.selection.is_some());
+        let Statement::Delete(del2) = parse_statement("DELETE FROM orders").unwrap() else {
+            panic!("expected delete");
+        };
+        assert!(del2.selection.is_none());
+    }
+
+    #[test]
+    fn parse_statement_dispatches_select() {
+        assert!(matches!(
+            parse_statement("SELECT * FROM t").unwrap(),
+            Statement::Select(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_dml() {
+        assert!(parse_statement("INSERT INTO t VALUES").is_err());
+        assert!(parse_statement("INSERT t VALUES (1)").is_err());
+        assert!(parse_statement("UPDATE t c = 1").is_err());
+        assert!(parse_statement("DELETE t WHERE a = 1").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (1) trailing").is_err());
     }
 
     #[test]

@@ -5,22 +5,37 @@
 //! so the tree-convolution filters (which look at a node and its two
 //! children) apply uniformly.
 //!
-//! Per-node features (width [`NODE_FEATURE_DIM`]):
+//! Per-node features (width [`NODE_FEATURE_DIM`], offsets derived from
+//! [`NodeType::ALL`] so the layout tracks the plan vocabulary — the DML
+//! node types occupy one-hot slots like any other operator):
 //!
 //! | slice | content |
 //! |---|---|
-//! | 0..13 | one-hot [`NodeType`] |
-//! | 13    | log10(1 + Total Cost) / 8 (engine-local scale) |
-//! | 14    | log10(1 + Plan Rows) / 8 |
-//! | 15    | uses an index (0/1) |
-//! | 16..24| one-hot TPC-H relation (8 tables) |
-//! | 24    | relation present but unknown |
+//! | 0..N            | one-hot [`NodeType`] (N = `NodeType::ALL.len()`) |
+//! | N (`COST_SLOT`) | log10(1 + Total Cost) / 8 (engine-local scale) |
+//! | N+1 (`ROWS_SLOT`) | log10(1 + Plan Rows) / 8 |
+//! | N+2 (`INDEX_SLOT`) | uses an index (0/1) |
+//! | N+3..N+11 (`REL_BASE`..) | one-hot TPC-H relation (8 tables) |
+//! | N+11 (`REL_UNKNOWN_SLOT`) | relation present but unknown |
 
 use qpe_htap::plan::{NodeType, PlanNode};
 use serde::{Deserialize, Serialize};
 
+/// Number of one-hot operator slots.
+const N_NODE_TYPES: usize = NodeType::ALL.len();
+/// Slot holding the log-scaled cost.
+const COST_SLOT: usize = N_NODE_TYPES;
+/// Slot holding the log-scaled cardinality estimate.
+const ROWS_SLOT: usize = N_NODE_TYPES + 1;
+/// Slot flagging index usage.
+const INDEX_SLOT: usize = N_NODE_TYPES + 2;
+/// First relation one-hot slot.
+const REL_BASE: usize = N_NODE_TYPES + 3;
+/// Slot flagging a relation outside the TPC-H eight.
+const REL_UNKNOWN_SLOT: usize = REL_BASE + TPCH_TABLES.len();
+
 /// Width of a node feature vector.
-pub const NODE_FEATURE_DIM: usize = 25;
+pub const NODE_FEATURE_DIM: usize = REL_UNKNOWN_SLOT + 1;
 
 const TPCH_TABLES: [&str; 8] = [
     "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
@@ -103,13 +118,13 @@ fn build(node: &PlanNode, tree: &mut FeatTree) -> usize {
 pub fn node_features(node: &PlanNode) -> Vec<f64> {
     let mut f = vec![0.0; NODE_FEATURE_DIM];
     f[node.node_type.ordinal()] = 1.0;
-    f[13] = (1.0 + node.total_cost.max(0.0)).log10() / 8.0;
-    f[14] = (1.0 + node.plan_rows.max(0.0)).log10() / 8.0;
-    f[15] = if node.index.is_some() { 1.0 } else { 0.0 };
+    f[COST_SLOT] = (1.0 + node.total_cost.max(0.0)).log10() / 8.0;
+    f[ROWS_SLOT] = (1.0 + node.plan_rows.max(0.0)).log10() / 8.0;
+    f[INDEX_SLOT] = if node.index.is_some() { 1.0 } else { 0.0 };
     if let Some(rel) = &node.relation {
         match TPCH_TABLES.iter().position(|t| t == rel) {
-            Some(i) => f[16 + i] = 1.0,
-            None => f[24] = 1.0,
+            Some(i) => f[REL_BASE + i] = 1.0,
+            None => f[REL_UNKNOWN_SLOT] = 1.0,
         }
     }
     f
@@ -197,23 +212,38 @@ mod tests {
         let f = node_features(&n);
         assert_eq!(f.len(), NODE_FEATURE_DIM);
         assert_eq!(f[NodeType::TableScan.ordinal()], 1.0);
-        assert_eq!(f[15], 1.0, "index flag");
-        assert_eq!(f[16 + 5], 1.0, "customer one-hot");
-        assert!(f[13] > 0.0 && f[14] > 0.0);
+        assert_eq!(f[INDEX_SLOT], 1.0, "index flag");
+        assert_eq!(f[REL_BASE + 5], 1.0, "customer one-hot");
+        assert!(f[COST_SLOT] > 0.0 && f[ROWS_SLOT] > 0.0);
     }
 
     #[test]
     fn unknown_relation_uses_fallback_slot() {
         let f = node_features(&scan("weird_table"));
-        assert_eq!(f[24], 1.0);
-        assert_eq!(f[16..24].iter().sum::<f64>(), 0.0);
+        assert_eq!(f[REL_UNKNOWN_SLOT], 1.0);
+        assert_eq!(f[REL_BASE..REL_UNKNOWN_SLOT].iter().sum::<f64>(), 0.0);
     }
 
     #[test]
     fn no_relation_leaves_slots_zero() {
         let plan = filter(scan("orders"));
         let f = node_features(&plan);
-        assert_eq!(f[16..25].iter().sum::<f64>(), 0.0);
+        assert_eq!(f[REL_BASE..NODE_FEATURE_DIM].iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn dml_node_types_one_hot_without_collision() {
+        let ins = PlanNode::new(
+            NodeType::Insert,
+            PlanOp::Insert { table: "customer".into(), rows: 1 },
+        )
+        .with_relation("customer")
+        .with_estimates(1.0, 1.0);
+        let f = node_features(&ins);
+        assert_eq!(f[NodeType::Insert.ordinal()], 1.0);
+        // one-hot region and scalar slots stay disjoint
+        assert!(NodeType::Insert.ordinal() < COST_SLOT);
+        assert_eq!(f[REL_BASE + 5], 1.0);
     }
 
     #[test]
@@ -224,8 +254,8 @@ mod tests {
         b.total_cost = 1e7;
         let fa = node_features(&a);
         let fb = node_features(&b);
-        assert!(fa[13] < fb[13]);
-        assert!(fb[13] <= 1.0, "stays bounded: {}", fb[13]);
+        assert!(fa[COST_SLOT] < fb[COST_SLOT]);
+        assert!(fb[COST_SLOT] <= 1.0, "stays bounded: {}", fb[COST_SLOT]);
     }
 
     #[test]

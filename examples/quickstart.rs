@@ -5,6 +5,7 @@
 //! ```
 
 use qpe_core::explainer::{Explainer, PipelineConfig};
+use qpe_htap::engine::HtapSystem;
 use qpe_htap::latency::format_latency;
 use qpe_htap::tpch::TpchConfig;
 use qpe_treecnn::train::TrainerConfig;
@@ -47,4 +48,45 @@ fn main() {
         format_latency(report.timing.total_ns()),
         report.timing.retrieval_fraction() * 100.0
     );
+
+    // 3. The database is writable: DML routes to the TP engine, the column
+    //    store buffers the write in its delta region, and the very next AP
+    //    query sees it — before AND after compaction.
+    println!("\n--- DML + fresh reads ---");
+    let mut sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
+    let count_sql = "SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'machinery'";
+    let count = |sys: &HtapSystem| {
+        sys.run_sql(count_sql).expect("count runs").ap.rows[0][0]
+            .as_int()
+            .expect("count is an int")
+    };
+    println!("machinery customers before insert: {}", count(&sys));
+
+    let outcome = sys
+        .execute_sql(
+            "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
+             c_mktsegment) VALUES (900001, 'customer#900001', 4, '20-555-000-1111', \
+             1234.56, 'machinery')",
+        )
+        .expect("insert runs");
+    let dml = outcome.as_dml().expect("insert is DML");
+    println!(
+        "INSERT affected {} row(s) on the TP engine in {}",
+        dml.result.rows_affected,
+        format_latency(dml.latency_ns)
+    );
+    let fresh = sys.freshness("customer").expect("table exists");
+    println!(
+        "freshness before compaction: version={} delta_rows={} (AP reads through the delta)",
+        fresh.version, fresh.delta_rows
+    );
+    println!("machinery customers after insert, BEFORE compact(): {}", count(&sys));
+
+    sys.compact("customer");
+    let fresh = sys.freshness("customer").expect("table exists");
+    println!(
+        "freshness after compaction:  version={} delta_rows={} (merged into base columns)",
+        fresh.version, fresh.delta_rows
+    );
+    println!("machinery customers after insert, AFTER compact():  {}", count(&sys));
 }

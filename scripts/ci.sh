@@ -10,6 +10,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> DML property sweep (write-path equivalence)"
+cargo test -q --test dml_props
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
