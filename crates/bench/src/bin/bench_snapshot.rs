@@ -1,8 +1,8 @@
 //! Perf-trajectory snapshot: times the read cases from `engine_execution`
-//! plus the write-path / delta-read cases with `std::time::Instant` and
-//! writes `BENCH_exec.json` (median ns per case) at the repository root, so
-//! successive PRs can compare executor performance against a checked-in
-//! baseline.
+//! plus the write-path / delta-read / parallel-execution cases with
+//! `std::time::Instant` and writes `BENCH_exec.json` (median ns per case) at
+//! the repository root, so successive PRs can compare executor performance
+//! against a checked-in baseline.
 //!
 //! Write-path cases:
 //! * `dml_insert_delete_compact` — one INSERT + targeted DELETE + compact
@@ -11,14 +11,34 @@
 //! * `ap_scan_50pct_delta` — an AP aggregate scan over a table whose live
 //!   rows are 50% delta-resident (the freshness-read cost, pre-compaction).
 //!
+//! Parallel cases (`par_*_tN` wall-clock at N worker threads, plus
+//! `sim_par_*_tN` — the deterministic critical-path latency the router
+//! sees) run the morsel-parallel executor at a larger scale (0.02) so the
+//! inputs actually split into many morsels:
+//! * `par_join_2way_tN` — 30k-row probe hash join;
+//! * `par_ap_scan_50pct_delta_tN` — filtered aggregate over a 24k-row
+//!   customer table whose live rows are 50% delta-resident.
+//!
+//! Wall-clock thread scaling is hardware-dependent (a single-core container
+//! cannot show it; the simulated entries are the portable signal).
+//!
 //! ```sh
-//! cargo run --release --bin bench_snapshot              # print + write
-//! cargo run --release --bin bench_snapshot -- --check   # print only
-//! cargo run --release --bin bench_snapshot -- --compare # AP scalar-vs-batch
+//! cargo run --release --bin bench_snapshot                # print + write
+//! cargo run --release --bin bench_snapshot -- --check     # print only
+//! cargo run --release --bin bench_snapshot -- --threads 4 # AP cases at 4 threads
+//! cargo run --release --bin bench_snapshot -- --compare scalar,batch
+//! cargo run --release --bin bench_snapshot -- --compare batch,par4
 //! ```
+//!
+//! `--compare A,B` times any two executor modes side by side on every AP
+//! plan; modes are `scalar` (row interpreter), `batch` (serial vectorized)
+//! and `parN` (morsel-parallel at N threads). Bare `--compare` defaults to
+//! `scalar,batch`.
 
 use qpe_htap::engine::{EngineKind, HtapSystem};
-use qpe_htap::exec::{execute_scalar, execute_vectorized};
+use qpe_htap::exec::{
+    execute_parallel, execute_scalar, execute_vectorized, ExecConfig, Row, WorkCounters,
+};
 use qpe_htap::opt::{ap, PlannerCtx};
 use qpe_htap::tpch::TpchConfig;
 use std::hint::black_box;
@@ -88,22 +108,76 @@ fn time_ns(mut f: impl FnMut()) -> u64 {
     median_ns(samples)
 }
 
-/// AP-plan execution: row interpreter vs. batch executor, side by side.
-fn compare_executors(sys: &HtapSystem) {
+/// An executor mode `--compare` can pit against another.
+#[derive(Clone, Copy, Debug)]
+enum Mode {
+    /// Row interpreter.
+    Scalar,
+    /// Serial vectorized batch executor.
+    Batch,
+    /// Morsel-parallel batch executor at N threads.
+    Par(usize),
+}
+
+impl Mode {
+    fn parse(s: &str) -> Option<Mode> {
+        match s {
+            "scalar" => Some(Mode::Scalar),
+            "batch" => Some(Mode::Batch),
+            _ => s
+                .strip_prefix("par")
+                .and_then(|n| n.parse::<usize>().ok())
+                .map(Mode::Par),
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            Mode::Scalar => "scalar".into(),
+            Mode::Batch => "batch".into(),
+            Mode::Par(n) => format!("par{n}"),
+        }
+    }
+
+    fn run(
+        &self,
+        plan: &qpe_htap::PlanNode,
+        bound: &qpe_sql::binder::BoundQuery,
+        db: &qpe_htap::Database,
+    ) -> (Vec<Row>, WorkCounters) {
+        match self {
+            Mode::Scalar => execute_scalar(plan, bound, db, EngineKind::Ap).expect("scalar"),
+            Mode::Batch => execute_vectorized(plan, bound, db).expect("batch"),
+            Mode::Par(n) => {
+                execute_parallel(plan, bound, db, &ExecConfig::with_threads(*n))
+                    .expect("parallel")
+            }
+        }
+    }
+}
+
+/// AP-plan execution: any two executor modes, side by side. Also verifies
+/// the modes agree on rows and counters before timing them.
+fn compare_executors(sys: &HtapSystem, a: Mode, b: Mode) {
     let db = sys.database();
+    let (la, lb) = (a.label(), b.label());
     for (name, sql) in CASES {
         let bound = sys.bind(sql).expect("binds");
         let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
         let plan = ap::plan(&ctx).expect("ap plan");
-        let scalar = time_ns(|| {
-            black_box(execute_scalar(black_box(&plan), &bound, db, EngineKind::Ap).unwrap());
+        let (rows_a, counters_a) = a.run(&plan, &bound, db);
+        let (rows_b, counters_b) = b.run(&plan, &bound, db);
+        assert_eq!(rows_a, rows_b, "{la} vs {lb} rows diverged for {name}");
+        assert_eq!(counters_a, counters_b, "{la} vs {lb} counters diverged for {name}");
+        let ns_a = time_ns(|| {
+            black_box(a.run(black_box(&plan), &bound, db));
         });
-        let batch = time_ns(|| {
-            black_box(execute_vectorized(black_box(&plan), &bound, db).unwrap());
+        let ns_b = time_ns(|| {
+            black_box(b.run(black_box(&plan), &bound, db));
         });
         println!(
-            "ap_{name:<20} scalar {scalar:>10} ns   batch {batch:>10} ns   speedup {:.2}x",
-            scalar as f64 / batch.max(1) as f64
+            "ap_{name:<20} {la} {ns_a:>10} ns   {lb} {ns_b:>10} ns   speedup {:.2}x",
+            ns_a as f64 / ns_b.max(1) as f64
         );
     }
 }
@@ -178,12 +252,124 @@ fn write_path_cases() -> Vec<(&'static str, u64)> {
     out
 }
 
+/// Bulk-inserts `n` synthetic customers starting at key `key0`, in
+/// 3000-row statements.
+fn bulk_insert_customers(sys: &mut HtapSystem, key0: usize, n: usize) {
+    let mut remaining = n;
+    let mut key = key0;
+    while remaining > 0 {
+        let chunk = remaining.min(3000);
+        let values: Vec<String> = (0..chunk)
+            .map(|i| {
+                format!(
+                    "({}, 'customer#delta{}', {}, '20-000-000-0000', {}.5, 'machinery')",
+                    key + i,
+                    key + i,
+                    (key + i) % 25,
+                    (key + i) % 5000
+                )
+            })
+            .collect();
+        sys.execute_sql(&format!(
+            "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
+             c_mktsegment) VALUES {}",
+            values.join(", ")
+        ))
+        .expect("bulk insert");
+        key += chunk;
+        remaining -= chunk;
+    }
+}
+
+/// Morsel-parallel executor cases at a scale where inputs split into many
+/// morsels (orders: 30k rows; dirty customer: 24k live rows, 50% in the
+/// delta). Each case runs at 1, 2 and 4 worker threads; `par_*` entries are
+/// wall-clock, `sim_par_*` entries are the deterministic critical-path
+/// latency the router/explainer see for the same counters.
+fn parallel_cases() -> Vec<(String, u64)> {
+    let mut sys = HtapSystem::new(&TpchConfig::with_scale(0.02));
+    // Grow customer to 12k clean base rows, then add a 12k-row delta:
+    // 50% of live rows are delta-resident, and morsels straddle the split.
+    bulk_insert_customers(&mut sys, 910_000, 9_000);
+    sys.database_mut().compact_table("customer");
+    bulk_insert_customers(&mut sys, 930_000, 12_000);
+    let fresh = sys.freshness("customer").expect("freshness");
+    assert_eq!(fresh.live_delta_rows, 12_000, "half the live rows sit in the delta");
+
+    let cases = [
+        (
+            "join_2way",
+            "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey",
+        ),
+        (
+            "ap_scan_50pct_delta",
+            "SELECT COUNT(*), SUM(c_acctbal) FROM customer WHERE c_mktsegment = 'machinery'",
+        ),
+    ];
+    let db = sys.database();
+    let mut out = Vec::new();
+    for (name, sql) in cases {
+        let bound = sys.bind(sql).expect("binds");
+        let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
+        let plan = ap::plan(&ctx).expect("ap plan");
+        let (_, counters) = execute_vectorized(&plan, &bound, db).expect("counters");
+        for threads in [1usize, 2, 4] {
+            let cfg = ExecConfig::with_threads(threads);
+            let ns = time_ns(|| {
+                black_box(execute_parallel(black_box(&plan), &bound, db, &cfg).unwrap());
+            });
+            out.push((format!("par_{name}_t{threads}"), ns));
+            // End-to-end simulated latency (includes the 15ms AP pipeline
+            // startup) and the execution-phase portion alone — the modeled
+            // counterpart of the wall-clock entry, where thread scaling is
+            // visible regardless of how many cores this host happens to
+            // have.
+            let sim = sys.latency_model().ap_latency_ns_threads(&counters, threads as u64);
+            out.push((format!("sim_par_{name}_t{threads}"), sim));
+            out.push((
+                format!("sim_exec_par_{name}_t{threads}"),
+                sim - sys.latency_model().ap.fixed_ns,
+            ));
+        }
+    }
+    out
+}
+
+/// Value of a `--flag N` style argument, if present.
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
     let check_only = std::env::args().any(|a| a == "--check");
     let sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
     if std::env::args().any(|a| a == "--compare") {
-        compare_executors(&sys);
+        let spec = arg_value("--compare").unwrap_or_default();
+        let (a, b) = match spec.split_once(',') {
+            Some((a, b)) => (
+                Mode::parse(a.trim()).unwrap_or_else(|| panic!("unknown mode {a:?}")),
+                Mode::parse(b.trim()).unwrap_or_else(|| panic!("unknown mode {b:?}")),
+            ),
+            None => (Mode::Scalar, Mode::Batch),
+        };
+        compare_executors(&sys, a, b);
         return;
+    }
+
+    // `--threads N` runs the per-engine cases with a parallel AP executor
+    // (the TP side and the snapshot's parallel cases are unaffected). The
+    // ap_* labels don't encode the thread count, so a threads run is
+    // print-only — it must never overwrite the serial baseline.
+    let mut sys = sys;
+    let threads_override = arg_value("--threads").and_then(|v| v.parse::<usize>().ok());
+    let check_only = check_only || threads_override.is_some();
+    if let Some(t) = threads_override {
+        println!("(--threads {t}: print-only, BENCH_exec.json untouched)");
+        sys.set_ap_threads(t);
     }
 
     let mut entries = Vec::new();
@@ -199,6 +385,11 @@ fn main() {
     for (label, ns) in write_path_cases() {
         println!("{label:<24} {ns:>12} ns/iter");
         entries.push((label.to_string(), ns));
+    }
+
+    for (label, ns) in parallel_cases() {
+        println!("{label:<24} {ns:>12} ns/iter");
+        entries.push((label, ns));
     }
 
     let mut obj = serde_json::Map::new();

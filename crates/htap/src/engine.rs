@@ -6,7 +6,7 @@
 //! work counters and simulated latencies — the raw material for router
 //! training, knowledge-base construction, and explanations.
 
-use crate::exec::{self, DmlResult, Row, WorkCounters};
+use crate::exec::{self, DmlResult, ExecConfig, Row, WorkCounters};
 use crate::latency::LatencyModel;
 use crate::opt::{ap, tp, OptError, PlannerCtx};
 use crate::plan::PlanNode;
@@ -416,15 +416,24 @@ impl Database {
 pub struct HtapSystem {
     db: Database,
     latency: LatencyModel,
+    /// Parallelism knob for the AP batch executor (threads + morsel size).
+    /// Defaults to the machine's available cores (`QPE_AP_THREADS` /
+    /// `QPE_MORSEL_ROWS` override); `threads == 1` is the exact serial
+    /// executor. Execution results are bit-identical at any setting — only
+    /// wall-clock depends on it.
+    exec_cfg: ExecConfig,
+    /// Thread count the *latency simulation* prices AP work at. Stays 1 —
+    /// the host-independent serial model — unless parallelism is explicitly
+    /// requested (env var or setter): simulated latencies, winner labels,
+    /// router training data and explanations must not silently vary with
+    /// how many cores the current machine happens to have.
+    priced_threads: u64,
 }
 
 impl HtapSystem {
     /// Generates data and builds the system.
     pub fn new(config: &TpchConfig) -> Self {
-        HtapSystem {
-            db: Database::generate(config),
-            latency: LatencyModel::default(),
-        }
+        Self::with_database(Database::generate(config))
     }
 
     /// Builds from an existing database.
@@ -432,6 +441,11 @@ impl HtapSystem {
         HtapSystem {
             db,
             latency: LatencyModel::default(),
+            exec_cfg: ExecConfig::global().clone(),
+            // Explicit env request ⇒ priced; available-cores default ⇒ the
+            // executor still uses the cores (results identical), but the
+            // simulation keeps the deterministic serial pricing.
+            priced_threads: ExecConfig::env_requested_threads().unwrap_or(1) as u64,
         }
     }
 
@@ -448,6 +462,30 @@ impl HtapSystem {
     /// The latency model.
     pub fn latency_model(&self) -> &LatencyModel {
         &self.latency
+    }
+
+    /// The AP executor's parallelism config.
+    pub fn exec_config(&self) -> &ExecConfig {
+        &self.exec_cfg
+    }
+
+    /// Replaces the AP executor's parallelism config. An explicit config
+    /// also opts the latency simulation into parallel pricing.
+    pub fn set_exec_config(&mut self, cfg: ExecConfig) {
+        self.priced_threads = cfg.threads as u64;
+        self.exec_cfg = cfg;
+    }
+
+    /// Sets the AP worker-thread count (execution *and* latency pricing),
+    /// keeping the morsel size.
+    pub fn set_ap_threads(&mut self, threads: usize) {
+        self.exec_cfg.threads = threads.max(1);
+        self.priced_threads = self.exec_cfg.threads as u64;
+    }
+
+    /// The thread count the latency simulation prices AP work at.
+    pub fn priced_threads(&self) -> u64 {
+        self.priced_threads
     }
 
     /// Binds a SQL string against the system catalog.
@@ -471,10 +509,16 @@ impl HtapSystem {
         engine: EngineKind,
     ) -> Result<EngineRun, HtapError> {
         let plan = self.explain(bound, engine)?;
-        let (rows, counters) = exec::execute(&plan, bound, &self.db, engine)?;
+        let (rows, counters) =
+            exec::execute_with(&plan, bound, &self.db, engine, &self.exec_cfg)?;
+        // Counters are executor-invariant, so the serial and parallel AP
+        // latencies price the *same* work — the parallel model just walks
+        // the critical path instead of the full sum.
         let latency_ns = match engine {
             EngineKind::Tp => self.latency.tp_latency_ns(&counters),
-            EngineKind::Ap => self.latency.ap_latency_ns(&counters),
+            EngineKind::Ap => self
+                .latency
+                .ap_latency_ns_threads(&counters, self.priced_threads),
         };
         Ok(EngineRun {
             engine,

@@ -315,6 +315,108 @@ pub fn aggregate_cols(
     finish_groups(groups, leaves, group_by, outputs, having)
 }
 
+/// Morsel-parallel variant of [`aggregate_cols`]: partitions *groups* (not
+/// rows) by a key hash consistent with the grouping order, so each group's
+/// state folds on exactly one worker over the global dense order — float
+/// sums, DISTINCT sets and min/max ties all accumulate in the serial
+/// association order, making the result bit-identical to the serial fold.
+///
+/// Scalar aggregation (no GROUP BY) has a single group and therefore no
+/// group parallelism; it falls back to the serial fold (its inputs — the
+/// key/argument columns — were already evaluated in parallel upstream).
+#[allow(clippy::too_many_arguments)]
+pub fn aggregate_cols_partitioned(
+    counters: &mut WorkCounters,
+    cfg: &super::parallel::ExecConfig,
+    len: usize,
+    key_cols: &[ColumnData],
+    arg_cols: &[Option<ColumnData>],
+    group_by: &[BoundExpr],
+    leaves: &[AggLeaf],
+    outputs: &[AggSpec],
+    having: Option<&BoundExpr>,
+    hash: bool,
+) -> Result<Vec<Row>, ExecError> {
+    use super::parallel::{morsel_ranges, run_tasks};
+    if group_by.is_empty() || !cfg.parallel_for(len) {
+        return aggregate_cols(
+            counters, len, key_cols, arg_cols, group_by, leaves, outputs, having, hash,
+        );
+    }
+    // Same counter totals as the serial per-row loop.
+    counters.agg_rows += len as u64;
+    if !hash {
+        counters.sort_comparisons += len as u64;
+    }
+    let n_parts = cfg.threads.clamp(2, 255);
+    // Pass 1, parallel over morsels: bucket row indices by the partition of
+    // their key. Concatenating morsel buckets in morsel order keeps every
+    // partition's index list in ascending dense order.
+    let ranges = morsel_ranges(len, cfg.morsel_rows, None);
+    let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
+        for j in ranges[i].clone() {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for c in key_cols {
+                hash_group_value(&c.get(j), &mut h);
+            }
+            let p = (std::hash::Hasher::finish(&h) % n_parts as u64) as usize;
+            lists[p].push(j as u32);
+        }
+        lists
+    });
+    let mut by_part: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
+    for lists in pieces {
+        for (p, l) in lists.into_iter().enumerate() {
+            by_part[p].extend(l);
+        }
+    }
+    // Pass 2, parallel over partitions: fold each partition's groups,
+    // touching only its own rows, in global dense order.
+    let folded = run_tasks(cfg.threads, n_parts, |p| {
+        let mut groups: BTreeMap<Vec<KeyWrap>, Vec<AggState>> = BTreeMap::new();
+        for &j in &by_part[p] {
+            let j = j as usize;
+            let key: Vec<KeyWrap> = key_cols.iter().map(|c| KeyWrap(c.get(j))).collect();
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| leaves.iter().map(|_| AggState::new()).collect());
+            for (leaf, (arg, state)) in leaves.iter().zip(arg_cols.iter().zip(states.iter_mut()))
+            {
+                state.update(leaf, arg.as_ref().map(|c| c.get(j)));
+            }
+        }
+        groups
+    });
+    // Partitions hold disjoint key sets, so extending reproduces the exact
+    // serial BTreeMap.
+    let mut groups: BTreeMap<Vec<KeyWrap>, Vec<AggState>> = BTreeMap::new();
+    for g in folded {
+        groups.extend(g);
+    }
+    finish_groups(groups, leaves, group_by, outputs, having)
+}
+
+/// Hashes a grouping value consistently with [`KeyWrap`]'s ordering
+/// ([`Value::total_cmp`]): values that compare equal *must* land in the same
+/// partition even across representations — `Int(1)`, `Float(1.0)` and
+/// `Date(1)` are total_cmp-equal, so all numeric values hash through their
+/// `f64` bit pattern (which also keeps `-0.0` and NaN payloads distinct,
+/// exactly as `f64::total_cmp` does).
+fn hash_group_value<H: std::hash::Hasher>(v: &Value, h: &mut H) {
+    use std::hash::Hash;
+    match v {
+        Value::Null => 0u8.hash(h),
+        Value::Int(x) => (*x as f64).to_bits().hash(h),
+        Value::Float(x) => x.to_bits().hash(h),
+        Value::Date(d) => (*d as f64).to_bits().hash(h),
+        Value::Str(s) => {
+            1u8.hash(h);
+            s.hash(h);
+        }
+    }
+}
+
 /// Collects the distinct aggregate leaves across outputs and HAVING.
 pub fn collect_all_leaves(outputs: &[AggSpec], having: Option<&BoundExpr>) -> Vec<AggLeaf> {
     let mut leaves = Vec::new();

@@ -1,24 +1,43 @@
 //! Plan execution.
 //!
-//! Two executors share one plan vocabulary and one set of counters:
+//! Three execution modes share one plan vocabulary and one set of counters:
 //!
 //! * the **row interpreter** ([`execute_scalar`]) runs both engines' plans
 //!   row-at-a-time — TP plans always take this path;
 //! * the **vectorized batch executor** ([`vector`]) runs AP plans
 //!   column-at-a-time over typed batches with selection vectors and late
-//!   materialization.
+//!   materialization;
+//! * the **morsel-driven parallel executor** ([`parallel`]) is the batch
+//!   executor with its kernels fanned out over a scoped worker pool: scans
+//!   and filters split into fixed-size morsels (cut at base/delta chunk
+//!   boundaries), hash-join builds partition by key hash, grouped
+//!   aggregation partitions *groups* across workers, and sorts merge
+//!   stable-sorted chunks.
 //!
 //! [`execute`] dispatches: AP plans route to the batch executor (falling
-//! back to the interpreter for out-of-vocabulary operators), TP plans to the
-//! interpreter. Every operator increments [`WorkCounters`] identically in
-//! both executors — the latency model, optimizer and explainer consume
-//! counters, not wall-clock, so the executor choice is invisible to them.
+//! back to the interpreter for out-of-vocabulary operators), TP plans to
+//! the interpreter. The AP side's parallelism comes from an
+//! [`parallel::ExecConfig`] (defaulting to the machine's cores;
+//! `QPE_AP_THREADS` / `QPE_MORSEL_ROWS` override it) — [`execute_with`]
+//! takes one explicitly, and `threads == 1` is the exact serial batch path.
+//!
+//! **Determinism contract:** every mode returns byte-identical rows *and*
+//! identical [`WorkCounters`] for the same plan — parallel merges are
+//! order-restoring (morsel order = serial order), grouped folds pin each
+//! group to one worker so even float accumulation keeps the serial
+//! association order, and counters are charged from input sizes by shared
+//! formulas. The latency model, optimizer, router and explainer consume
+//! counters, not wall-clock, so execution mode and thread count are
+//! invisible to them (`tests/engine_equivalence.rs` and
+//! `tests/parallel_determinism.rs` enforce this).
 
 mod agg;
+pub mod parallel;
 mod sort;
 pub mod vector;
 
 pub use agg::AggLeaf;
+pub use parallel::ExecConfig;
 
 use crate::engine::{Database, EngineKind};
 use crate::eval::{eval, eval_predicate, EvalError, Schema};
@@ -135,8 +154,21 @@ pub fn execute(
     db: &Database,
     engine: EngineKind,
 ) -> Result<(Vec<Row>, WorkCounters), ExecError> {
+    execute_with(plan, query, db, engine, ExecConfig::global())
+}
+
+/// [`execute`] with an explicit parallelism knob for the AP batch executor.
+/// `cfg.threads == 1` is the exact serial batch path; TP plans ignore the
+/// config entirely (index probes are inherently row-at-a-time).
+pub fn execute_with(
+    plan: &PlanNode,
+    query: &BoundQuery,
+    db: &Database,
+    engine: EngineKind,
+    cfg: &ExecConfig,
+) -> Result<(Vec<Row>, WorkCounters), ExecError> {
     if engine == EngineKind::Ap && vector::supported(plan) {
-        return vector::execute(plan, query, db);
+        return vector::execute_with(plan, query, db, cfg);
     }
     execute_scalar(plan, query, db, engine)
 }
@@ -155,14 +187,27 @@ pub fn execute_scalar(
     Ok((rows, ex.counters))
 }
 
-/// Executes `plan` on the vectorized batch executor, erroring on operators
-/// outside its vocabulary. Exposed for the cross-executor equivalence tests.
+/// Executes `plan` on the *serial* vectorized batch executor, erroring on
+/// operators outside its vocabulary. Exposed for the cross-executor
+/// equivalence tests (the reference the parallel executor is held to).
 pub fn execute_vectorized(
     plan: &PlanNode,
     query: &BoundQuery,
     db: &Database,
 ) -> Result<(Vec<Row>, WorkCounters), ExecError> {
     vector::execute(plan, query, db)
+}
+
+/// Executes `plan` on the morsel-driven parallel batch executor with the
+/// given config, erroring on operators outside the batch vocabulary.
+/// Exposed for the differential tests and the benchmark harness.
+pub fn execute_parallel(
+    plan: &PlanNode,
+    query: &BoundQuery,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> Result<(Vec<Row>, WorkCounters), ExecError> {
+    vector::execute_with(plan, query, db, cfg)
 }
 
 pub(crate) struct Executor<'a> {

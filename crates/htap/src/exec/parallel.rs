@@ -1,0 +1,484 @@
+//! Morsel-driven parallel execution for the AP batch executor.
+//!
+//! The vectorized executor's kernels (filter masks, hash-join pair finding,
+//! gathers, expression evaluation, grouped folds, sorts) all iterate a dense
+//! range of selected rows. This module splits that range into fixed-size
+//! **morsels** and runs them on a [`std::thread::scope`]d worker pool, with
+//! every parallel strategy chosen so the output is **bit-identical** to the
+//! serial batch executor (and therefore to the row interpreter):
+//!
+//! * **order-preserving kernels** (filter, gather, expression eval,
+//!   projection): each morsel computes its slice independently; slices are
+//!   reassembled in morsel order, which *is* the serial iteration order;
+//! * **hash joins**: the build side is partitioned by key hash — each
+//!   worker owns one partition and inserts build rows in build order, so
+//!   every key's match list equals the serial one; probe morsels then emit
+//!   pairs in probe order and concatenate in morsel order;
+//! * **grouped aggregation**: groups (not rows) are partitioned by key
+//!   hash, so each group's state is folded by exactly one worker over the
+//!   *global* dense order — even float sums accumulate in the serial
+//!   association order (scalar aggregation, which has a single group, keeps
+//!   its fold serial and parallelizes only the column evaluation feeding
+//!   it);
+//! * **sorts**: contiguous chunks are stable-sorted in parallel and merged
+//!   with ties taken from the lower chunk — a stable sort's output
+//!   permutation is unique, so this equals the serial stable sort;
+//! * **top-N**: the bounded buffer stays on the critical path (its order
+//!   among tied keys depends on insertion dynamics, which no parallel
+//!   decomposition can reproduce exactly), but the sort-key columns feeding
+//!   it evaluate morsel-parallel — matching the latency model, which prices
+//!   `topn_pushes` as serial work.
+//!
+//! [`WorkCounters`](super::WorkCounters) are charged from input sizes by
+//! the same formulas as the serial executor, so counters — and therefore
+//! simulated latencies, router labels and explanations — are identical by
+//! construction. `threads == 1`, or any input of at most one morsel, takes
+//! the exact serial code path.
+//!
+//! Morsel boundaries additionally respect [`ColRef`] chunk boundaries: when
+//! a batch is scanned without a selection vector over a chunked (base +
+//! delta) column view, morsels are cut at the segment split so no morsel
+//! straddles two storage segments.
+
+use crate::eval::{eval_batch, eval_predicate_mask, BatchView, EvalError};
+use crate::eval::Schema;
+use crate::storage::col_store::{ColRef, ColumnData};
+use qpe_sql::binder::BoundExpr;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, OnceLock};
+
+/// Rows per morsel when nothing overrides it.
+pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
+/// Parallelism knob for the AP batch executor.
+///
+/// `threads == 1` is the exact serial executor. With more threads, any
+/// kernel whose input exceeds one morsel fans out over a scoped worker
+/// pool; results are deterministic either way (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads for AP batch kernels (1 ⇒ serial).
+    pub threads: usize,
+    /// Rows per morsel; also the minimum input size before any kernel
+    /// bothers to go parallel.
+    pub morsel_rows: usize,
+}
+
+impl ExecConfig {
+    /// The exact serial executor.
+    pub fn serial() -> Self {
+        ExecConfig { threads: 1, morsel_rows: DEFAULT_MORSEL_ROWS }
+    }
+
+    /// `threads` workers with the default morsel size.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecConfig { threads: threads.max(1), morsel_rows: DEFAULT_MORSEL_ROWS }
+    }
+
+    /// The thread count explicitly requested via `QPE_AP_THREADS`, if any.
+    /// Callers that must stay host-independent (the latency simulation)
+    /// distinguish an explicit request from the available-cores default.
+    pub fn env_requested_threads() -> Option<usize> {
+        std::env::var("QPE_AP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|t| t.max(1))
+    }
+
+    /// Reads `QPE_AP_THREADS` / `QPE_MORSEL_ROWS` from the environment,
+    /// defaulting to the machine's available cores and
+    /// [`DEFAULT_MORSEL_ROWS`].
+    pub fn from_env() -> Self {
+        let threads = Self::env_requested_threads()
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+            .max(1);
+        let morsel_rows = std::env::var("QPE_MORSEL_ROWS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&m| m > 0)
+            .unwrap_or(DEFAULT_MORSEL_ROWS);
+        ExecConfig { threads, morsel_rows }
+    }
+
+    /// The process-wide default ([`ExecConfig::from_env`], read once).
+    pub fn global() -> &'static ExecConfig {
+        static GLOBAL: OnceLock<ExecConfig> = OnceLock::new();
+        GLOBAL.get_or_init(ExecConfig::from_env)
+    }
+
+    /// True when a kernel over `n` rows should fan out: more than one
+    /// worker configured and more than one morsel of input.
+    pub(crate) fn parallel_for(&self, n: usize) -> bool {
+        self.threads > 1 && n > self.morsel_rows
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig::from_env()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Morsel splitting and the scoped worker pool
+// ---------------------------------------------------------------------------
+
+/// Splits the dense range `0..n` into morsels of at most `morsel_rows`,
+/// additionally cutting at `split_at` (the dense position where a chunked
+/// column view crosses from its base segment into its delta segment) so no
+/// morsel straddles a segment boundary.
+pub(crate) fn morsel_ranges(
+    n: usize,
+    morsel_rows: usize,
+    split_at: Option<usize>,
+) -> Vec<Range<usize>> {
+    let step = morsel_rows.max(1);
+    let mut out = Vec::with_capacity(n / step + 2);
+    let mut cut = |mut lo: usize, hi: usize| {
+        while lo < hi {
+            let end = (lo + step).min(hi);
+            out.push(lo..end);
+            lo = end;
+        }
+    };
+    match split_at {
+        Some(s) if s > 0 && s < n => {
+            cut(0, s);
+            cut(s, n);
+        }
+        _ => cut(0, n),
+    }
+    out
+}
+
+/// Runs `n_tasks` closures on up to `threads` scoped workers (work is pulled
+/// from a shared atomic counter, so long tasks don't serialize behind a
+/// static assignment) and returns the results **in task order** regardless
+/// of completion order.
+pub(crate) fn run_tasks<T, F>(threads: usize, n_tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n_tasks == 0 {
+        return Vec::new();
+    }
+    let workers = threads.min(n_tasks);
+    if workers <= 1 {
+        return (0..n_tasks).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|o| o.expect("every task slot filled"))
+            .collect()
+    })
+}
+
+/// Folds per-morsel `Result`s into one, surfacing the error of the earliest
+/// failing morsel (matching where the serial pass would have stopped).
+fn first_err<T>(results: Vec<Result<T, EvalError>>) -> Result<Vec<T>, EvalError> {
+    results.into_iter().collect()
+}
+
+/// Builds the identity selection for a dense sub-range — the sub-view
+/// handed to a morsel worker when the parent batch has no selection vector.
+fn ident_sel(range: &Range<usize>) -> Vec<u32> {
+    (range.start as u32..range.end as u32).collect()
+}
+
+/// A morsel's view of `(cols, sel, rows)`: the parent selection sliced to
+/// the range, or an identity selection over it.
+fn sub_view<'v>(
+    cols: &'v [Option<ColRef<'v>>],
+    sel: Option<&'v [u32]>,
+    rows: usize,
+    range: &Range<usize>,
+    ident: &'v mut Vec<u32>,
+) -> BatchView<'v> {
+    match sel {
+        Some(s) => BatchView { cols, sel: Some(&s[range.clone()]), rows },
+        None => {
+            *ident = ident_sel(range);
+            BatchView { cols, sel: Some(ident), rows }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Order-preserving kernels: filter, eval, gather, projection
+// ---------------------------------------------------------------------------
+
+/// Parallel filter: evaluates the predicate mask per morsel and emits the
+/// surviving physical indices, concatenated in morsel (= serial) order.
+pub(crate) fn par_filter_sel(
+    cfg: &ExecConfig,
+    predicate: &BoundExpr,
+    schema: &Schema,
+    cols: &[Option<ColRef<'_>>],
+    sel: Option<&[u32]>,
+    rows: usize,
+    split_at: Option<usize>,
+) -> Result<Vec<u32>, EvalError> {
+    let n = sel.map(|s| s.len()).unwrap_or(rows);
+    let ranges = morsel_ranges(n, cfg.morsel_rows, if sel.is_none() { split_at } else { None });
+    let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
+        let range = &ranges[i];
+        let mut ident = Vec::new();
+        let view = sub_view(cols, sel, rows, range, &mut ident);
+        let mut mask = Vec::new();
+        eval_predicate_mask(predicate, schema, &view, &mut mask)?;
+        let mut out = Vec::with_capacity(mask.len());
+        for (j, keep) in mask.iter().enumerate() {
+            if *keep {
+                out.push(view.phys(j) as u32);
+            }
+        }
+        Ok(out)
+    });
+    let pieces = first_err(pieces)?;
+    let mut out = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
+    for p in pieces {
+        out.extend_from_slice(&p);
+    }
+    Ok(out)
+}
+
+/// Parallel [`eval_batch`]: evaluates the expression per morsel and splices
+/// the dense result columns back together in morsel order. Values are
+/// identical to the serial evaluation; the storage representation is too,
+/// except in the pathological case where a morsel-local type demotion would
+/// differ — and representation is invisible to every consumer (cells are
+/// read back as [`qpe_sql::value::Value`]s).
+pub(crate) fn par_eval_batch(
+    cfg: &ExecConfig,
+    expr: &BoundExpr,
+    schema: &Schema,
+    cols: &[Option<ColRef<'_>>],
+    sel: Option<&[u32]>,
+    rows: usize,
+) -> Result<ColumnData, EvalError> {
+    let n = sel.map(|s| s.len()).unwrap_or(rows);
+    if !cfg.parallel_for(n) {
+        let view = BatchView { cols, sel, rows };
+        return eval_batch(expr, schema, &view);
+    }
+    let ranges = morsel_ranges(n, cfg.morsel_rows, None);
+    let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
+        let range = &ranges[i];
+        let mut ident = Vec::new();
+        let view = sub_view(cols, sel, rows, range, &mut ident);
+        eval_batch(expr, schema, &view)
+    });
+    let mut iter = first_err(pieces)?.into_iter();
+    let mut acc = iter.next().expect("at least one morsel");
+    for piece in iter {
+        acc.append(piece);
+    }
+    Ok(acc)
+}
+
+/// Parallel [`ColRef::gather_rows`]: gathers index morsels independently
+/// and splices the typed pieces in order.
+pub(crate) fn par_gather(cfg: &ExecConfig, col: ColRef<'_>, idxs: &[u32]) -> ColumnData {
+    if !cfg.parallel_for(idxs.len()) {
+        return col.gather_rows(idxs);
+    }
+    let ranges = morsel_ranges(idxs.len(), cfg.morsel_rows, None);
+    let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
+        col.gather_rows(&idxs[ranges[i].clone()])
+    });
+    let mut iter = pieces.into_iter();
+    let mut acc = iter.next().expect("at least one morsel");
+    for piece in iter {
+        acc.append(piece);
+    }
+    acc
+}
+
+/// Parallel row materialization from dense output columns (projection /
+/// root fallback): each morsel builds its row slice, reassembled in order.
+pub(crate) fn par_build_rows(
+    cfg: &ExecConfig,
+    out_cols: &[ColumnData],
+    n: usize,
+) -> Vec<super::Row> {
+    let build = |range: Range<usize>| {
+        let mut rows = Vec::with_capacity(range.len());
+        for j in range {
+            rows.push(out_cols.iter().map(|c| c.get(j)).collect());
+        }
+        rows
+    };
+    if !cfg.parallel_for(n) {
+        return build(0..n);
+    }
+    let ranges = morsel_ranges(n, cfg.morsel_rows, None);
+    let pieces = run_tasks(cfg.threads, ranges.len(), |i| build(ranges[i].clone()));
+    let mut out = Vec::with_capacity(n);
+    for p in pieces {
+        out.extend(p);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Hash-join partitioning
+// ---------------------------------------------------------------------------
+
+/// Deterministic partition id for a hashable key (the std `DefaultHasher`
+/// is keyed with fixed constants, so partitioning is stable across runs —
+/// though correctness only needs per-key consistency within one run: the
+/// join's output order never depends on which partition a key landed in).
+pub(crate) fn partition_of<K: Hash + ?Sized>(key: &K, n_parts: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % n_parts as u64) as usize
+}
+
+/// Builds the join hash table partitioned by key hash, in two passes so no
+/// worker re-materializes another partition's keys: pass 1 computes each
+/// build row's partition id morsel-parallel; pass 2 has worker `p` insert
+/// only its own rows, in build order — so each key's match list is exactly
+/// the serial build's list.
+pub(crate) fn par_hash_build<K, KF>(
+    cfg: &ExecConfig,
+    build_len: usize,
+    key_at: KF,
+) -> Vec<HashMap<K, Vec<u32>>>
+where
+    K: Hash + Eq + Send,
+    KF: Fn(usize) -> (K, u32) + Sync,
+{
+    let n_parts = cfg.threads.clamp(1, 255);
+    let ranges = morsel_ranges(build_len, cfg.morsel_rows, None);
+    let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
+        ranges[i]
+            .clone()
+            .map(|j| partition_of(&key_at(j).0, n_parts) as u8)
+            .collect::<Vec<u8>>()
+    });
+    let mut parts: Vec<u8> = Vec::with_capacity(build_len);
+    for p in pieces {
+        parts.extend(p);
+    }
+    run_tasks(cfg.threads, n_parts, |p| {
+        let mut table: HashMap<K, Vec<u32>> = HashMap::new();
+        for (j, &part) in parts.iter().enumerate() {
+            if part == p as u8 {
+                let (key, phys) = key_at(j);
+                table.entry(key).or_default().push(phys);
+            }
+        }
+        table
+    })
+}
+
+/// Probes the partitioned tables morsel-by-morsel, emitting
+/// `(probe physical, build physical)` pairs in probe order within each
+/// morsel and concatenating morsels in order — the serial pair order.
+/// `key_at` returns `None` for NULL-bearing keys, which never match.
+pub(crate) fn par_hash_probe<K, KF>(
+    cfg: &ExecConfig,
+    probe_len: usize,
+    tables: &[HashMap<K, Vec<u32>>],
+    key_at: KF,
+) -> (Vec<u32>, Vec<u32>)
+where
+    K: Hash + Eq + Send + Sync,
+    KF: Fn(usize) -> Option<(K, u32)> + Sync,
+{
+    let n_parts = tables.len().max(1);
+    let ranges = morsel_ranges(probe_len, cfg.morsel_rows, None);
+    let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
+        let mut probe_idx = Vec::new();
+        let mut build_idx = Vec::new();
+        for j in ranges[i].clone() {
+            let Some((key, phys)) = key_at(j) else {
+                continue;
+            };
+            if let Some(matches) = tables[partition_of(&key, n_parts)].get(&key) {
+                for &b in matches {
+                    probe_idx.push(phys);
+                    build_idx.push(b);
+                }
+            }
+        }
+        (probe_idx, build_idx)
+    });
+    let total: usize = pieces.iter().map(|(p, _)| p.len()).sum();
+    let mut probe_idx = Vec::with_capacity(total);
+    let mut build_idx = Vec::with_capacity(total);
+    for (p, b) in pieces {
+        probe_idx.extend_from_slice(&p);
+        build_idx.extend_from_slice(&b);
+    }
+    (probe_idx, build_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_cover_range_and_respect_split() {
+        let r = morsel_ranges(10, 4, None);
+        assert_eq!(r, vec![0..4, 4..8, 8..10]);
+        // A chunk boundary at 6 cuts the second morsel.
+        let r = morsel_ranges(10, 4, Some(6));
+        assert_eq!(r, vec![0..4, 4..6, 6..10]);
+        // Degenerate splits are ignored.
+        assert_eq!(morsel_ranges(10, 4, Some(0)), morsel_ranges(10, 4, None));
+        assert_eq!(morsel_ranges(10, 4, Some(10)), morsel_ranges(10, 4, None));
+        assert!(morsel_ranges(0, 4, None).is_empty());
+    }
+
+    #[test]
+    fn run_tasks_returns_results_in_task_order() {
+        for threads in [1, 2, 4] {
+            let out = run_tasks(threads, 13, |i| i * i);
+            assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        for key in 0i64..100 {
+            assert_eq!(partition_of(&key, 4), partition_of(&key, 4));
+            assert!(partition_of(&key, 4) < 4);
+        }
+    }
+
+    #[test]
+    fn config_parallel_gate() {
+        let cfg = ExecConfig { threads: 4, morsel_rows: 100 };
+        assert!(cfg.parallel_for(101));
+        assert!(!cfg.parallel_for(100));
+        assert!(!ExecConfig::serial().parallel_for(1_000_000));
+    }
+}

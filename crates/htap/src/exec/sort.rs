@@ -77,6 +77,68 @@ pub fn full_sort_indices(
     keyed.into_iter().map(|(_, phys)| phys).collect()
 }
 
+/// Morsel-parallel variant of [`full_sort_indices`]: contiguous chunks of
+/// the selection are stable-sorted on worker threads, then merged with ties
+/// taken from the lower chunk. A stable sort's output permutation is
+/// *unique* (equal keys keep input order), and lower chunks hold lower
+/// input positions, so the merged result is bit-identical to the serial
+/// stable sort — same rows, same tie order, same counters (the comparison
+/// charge is asymptotic in `n`, not implementation-dependent).
+pub fn full_sort_indices_par(
+    counters: &mut WorkCounters,
+    cfg: &super::parallel::ExecConfig,
+    key_cols: &[ColumnData],
+    descs: &[bool],
+    sel: Vec<u32>,
+) -> Vec<u32> {
+    let n = sel.len();
+    if !cfg.parallel_for(n) {
+        return full_sort_indices(counters, key_cols, descs, sel);
+    }
+    charge_sort_comparisons(counters, n as u64);
+    // Contiguous equal chunks, one per worker (keys are keyed by *dense*
+    // position j, which is what ties break on).
+    let chunks = cfg.threads.min(n.div_ceil(cfg.morsel_rows)).max(1);
+    let step = n.div_ceil(chunks);
+    let sorted_chunks = super::parallel::run_tasks(cfg.threads, chunks, |c| {
+        let lo = c * step;
+        let hi = ((c + 1) * step).min(n);
+        let mut keyed: Vec<(Vec<Value>, u32)> = (lo..hi)
+            .map(|j| (key_cols.iter().map(|k| k.get(j)).collect(), sel[j]))
+            .collect();
+        keyed.sort_by(|(ka, _), (kb, _)| cmp_keys(ka, kb, descs));
+        keyed
+    });
+    // k-way stable merge: scan chunks in order, strictly-less replaces —
+    // so ties go to the lowest (earliest-input) chunk.
+    let mut cursors = vec![0usize; sorted_chunks.len()];
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        for (c, chunk) in sorted_chunks.iter().enumerate() {
+            if cursors[c] >= chunk.len() {
+                continue;
+            }
+            best = match best {
+                None => Some(c),
+                Some(b) => {
+                    let kb = &sorted_chunks[b][cursors[b]].0;
+                    let kc = &chunk[cursors[c]].0;
+                    if cmp_keys(kc, kb, descs) == Ordering::Less {
+                        Some(c)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let b = best.expect("n elements remain across chunks");
+        out.push(sorted_chunks[b][cursors[b]].1);
+        cursors[b] += 1;
+    }
+    out
+}
+
 /// Bounded top-N selection (AP's dedicated operator): keeps the best
 /// `limit + offset` rows, then drops the first `offset`.
 pub fn top_n(

@@ -19,10 +19,18 @@
 //! interpreter on every plan this executor accepts — the latency model, the
 //! optimizer and the explainer cannot tell which executor ran. Plans with
 //! operators outside the AP vocabulary fall back to the row interpreter.
+//!
+//! With an [`ExecConfig`] of more than one thread, the hot kernels (filter
+//! masks, join pair-finding, gathers, expression evaluation, grouped folds,
+//! sorts) fan out morsel-wise over a scoped worker pool ([`super::parallel`])
+//! using strategies chosen to keep rows *and* counters bit-identical to the
+//! serial path — `threads == 1` (the default on a single-core host) is the
+//! exact serial executor.
 
+use super::parallel::{self, ExecConfig};
 use super::{agg, produces_final_rows, sort, ExecError, Row, WorkCounters};
 use crate::engine::Database;
-use crate::eval::{eval_batch, eval_predicate_mask, BatchView, Schema};
+use crate::eval::{eval_predicate_mask, BatchView, Schema};
 use crate::plan::{PlanNode, PlanOp};
 use crate::storage::col_store::{ColRef, ColumnData};
 use qpe_sql::binder::{BoundExpr, BoundQuery, ColumnRef};
@@ -73,6 +81,18 @@ impl<'a> Batch<'a> {
             Some(s) => s,
             None => (0..self.rows as u32).collect(),
         }
+    }
+
+    /// Dense position where this batch's columns cross a storage-segment
+    /// boundary, if any column is a chunked base+delta view read without a
+    /// selection — the chunk boundary morsel splits respect.
+    fn split_hint(&self) -> Option<usize> {
+        if self.sel.is_some() {
+            return None; // selection order decouples dense from physical
+        }
+        self.cols
+            .iter()
+            .find_map(|c| c.as_ref().and_then(|r| r.split_point()))
     }
 }
 
@@ -165,16 +185,29 @@ pub fn supported(plan: &PlanNode) -> bool {
     ok
 }
 
-/// Executes `plan` with the vectorized batch executor. Callers must ensure
-/// [`supported`] holds; unsupported operators surface as `BadPlan`.
+/// Executes `plan` with the serial vectorized batch executor. Callers must
+/// ensure [`supported`] holds; unsupported operators surface as `BadPlan`.
 pub fn execute(
     plan: &PlanNode,
     query: &BoundQuery,
     db: &Database,
 ) -> Result<(Vec<Row>, WorkCounters), ExecError> {
+    execute_with(plan, query, db, &ExecConfig::serial())
+}
+
+/// [`execute`] with an explicit parallelism knob: `cfg.threads == 1` is the
+/// exact serial path; more threads fan the batch kernels out morsel-wise
+/// with bit-identical rows and counters.
+pub fn execute_with(
+    plan: &PlanNode,
+    query: &BoundQuery,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> Result<(Vec<Row>, WorkCounters), ExecError> {
     let mut ex = VecExecutor {
         query,
         db,
+        cfg,
         counters: WorkCounters::default(),
         mask: Vec::new(),
         sel_pool: Vec::new(),
@@ -211,6 +244,7 @@ fn materialize(batch: &Batch<'_>) -> Vec<Row> {
 struct VecExecutor<'a> {
     query: &'a BoundQuery,
     db: &'a Database,
+    cfg: &'a ExecConfig,
     counters: WorkCounters,
     /// Scratch predicate mask, reused across every filter in the plan.
     mask: Vec<bool>,
@@ -332,18 +366,30 @@ impl<'a> VecExecutor<'a> {
         self.counters.filter_evals += n as u64;
 
         let cols: Vec<Option<ColRef>> = batch.cols.iter().map(BatchCol::as_ref).collect();
-        let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
-        let mut mask = std::mem::take(&mut self.mask);
-        eval_predicate_mask(predicate, &schema, &view, &mut mask)?;
-
-        let mut out_sel = self.take_sel();
-        out_sel.reserve(n);
-        for (j, keep) in mask.iter().enumerate() {
-            if *keep {
-                out_sel.push(view.phys(j) as u32);
+        let out_sel = if self.cfg.parallel_for(n) {
+            parallel::par_filter_sel(
+                self.cfg,
+                predicate,
+                &schema,
+                &cols,
+                batch.sel.as_deref(),
+                batch.rows,
+                batch.split_hint(),
+            )?
+        } else {
+            let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
+            let mut mask = std::mem::take(&mut self.mask);
+            eval_predicate_mask(predicate, &schema, &view, &mut mask)?;
+            let mut out_sel = self.take_sel();
+            out_sel.reserve(n);
+            for (j, keep) in mask.iter().enumerate() {
+                if *keep {
+                    out_sel.push(view.phys(j) as u32);
+                }
             }
-        }
-        self.mask = mask;
+            self.mask = mask;
+            out_sel
+        };
         drop(cols);
         if let Some(old) = batch.sel {
             self.recycle_sel(old);
@@ -389,7 +435,7 @@ impl<'a> VecExecutor<'a> {
         self.counters.hash_probe_rows += probe.selected_len() as u64;
 
         let (probe_idx, build_idx) =
-            join_pairs(&probe, &ppos, &build, &bpos)?;
+            join_pairs(self.cfg, &probe, &ppos, &build, &bpos)?;
 
         // Late materialization: gather only the columns some ancestor reads.
         let out_schema = probe_schema.concat(&build_schema);
@@ -402,7 +448,7 @@ impl<'a> VecExecutor<'a> {
                 (&build.cols[p - probe_w], &build_idx)
             };
             let col = match (needs.contains(slot, cidx), src.as_ref()) {
-                (true, Some(data)) => BatchCol::Owned(data.gather_rows(idxs)),
+                (true, Some(data)) => BatchCol::Owned(parallel::par_gather(self.cfg, data, idxs)),
                 _ => BatchCol::Dead,
             };
             cols.push(col);
@@ -435,18 +481,24 @@ impl<'a> VecExecutor<'a> {
         let schema = child.output_schema();
 
         let cols: Vec<Option<ColRef>> = batch.cols.iter().map(BatchCol::as_ref).collect();
-        let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
+        let sel = batch.sel.as_deref();
         let key_cols: Vec<ColumnData> = group_by
             .iter()
-            .map(|g| eval_batch(g, &schema, &view))
+            .map(|g| parallel::par_eval_batch(self.cfg, g, &schema, &cols, sel, batch.rows))
             .collect::<Result<_, _>>()?;
         let arg_cols: Vec<Option<ColumnData>> = leaves
             .iter()
-            .map(|l| l.arg.as_ref().map(|a| eval_batch(a, &schema, &view)).transpose())
+            .map(|l| {
+                l.arg
+                    .as_ref()
+                    .map(|a| parallel::par_eval_batch(self.cfg, a, &schema, &cols, sel, batch.rows))
+                    .transpose()
+            })
             .collect::<Result<_, _>>()?;
-        let len = view.selected_len();
-        let rows = agg::aggregate_cols(
+        let len = sel.map(|s| s.len()).unwrap_or(batch.rows);
+        let rows = agg::aggregate_cols_partitioned(
             &mut self.counters,
+            self.cfg,
             len,
             &key_cols,
             &arg_cols,
@@ -471,7 +523,8 @@ impl<'a> VecExecutor<'a> {
         let schema = child.output_schema();
         let (key_cols, descs) = self.sort_keys(keys, &schema, &batch)?;
         let sel = batch.take_selection();
-        let sorted = sort::full_sort_indices(&mut self.counters, &key_cols, &descs, sel);
+        let sorted =
+            sort::full_sort_indices_par(&mut self.counters, self.cfg, &key_cols, &descs, sel);
         Ok(VOut::Batch(Batch { cols: batch.cols, sel: Some(sorted), rows: batch.rows }))
     }
 
@@ -500,10 +553,10 @@ impl<'a> VecExecutor<'a> {
         batch: &Batch<'_>,
     ) -> Result<(Vec<ColumnData>, Vec<bool>), ExecError> {
         let cols: Vec<Option<ColRef>> = batch.cols.iter().map(BatchCol::as_ref).collect();
-        let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
+        let sel = batch.sel.as_deref();
         let key_cols: Vec<ColumnData> = keys
             .iter()
-            .map(|(k, _)| eval_batch(k, schema, &view))
+            .map(|(k, _)| parallel::par_eval_batch(self.cfg, k, schema, &cols, sel, batch.rows))
             .collect::<Result<_, _>>()?;
         let descs: Vec<bool> = keys.iter().map(|(_, d)| *d).collect();
         Ok((key_cols, descs))
@@ -519,17 +572,13 @@ impl<'a> VecExecutor<'a> {
         let batch = self.run_batch(child, &child_needs)?;
         let schema = child.output_schema();
         let cols: Vec<Option<ColRef>> = batch.cols.iter().map(BatchCol::as_ref).collect();
-        let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
+        let sel = batch.sel.as_deref();
         let out_cols: Vec<ColumnData> = exprs
             .iter()
-            .map(|e| eval_batch(e, &schema, &view))
+            .map(|e| parallel::par_eval_batch(self.cfg, e, &schema, &cols, sel, batch.rows))
             .collect::<Result<_, _>>()?;
-        let n = view.selected_len();
-        let mut out = Vec::with_capacity(n);
-        for j in 0..n {
-            out.push(out_cols.iter().map(|c| c.get(j)).collect());
-        }
-        Ok(VOut::Rows(out))
+        let n = sel.map(|s| s.len()).unwrap_or(batch.rows);
+        Ok(VOut::Rows(parallel::par_build_rows(self.cfg, &out_cols, n)))
     }
 }
 
@@ -538,7 +587,13 @@ impl<'a> VecExecutor<'a> {
 /// insertion order. Uses a typed `i64` table when both key columns are
 /// integer-typed; otherwise falls back to generic `Value` keys (identical
 /// hashing/equality semantics to the row path).
+///
+/// With a parallel [`ExecConfig`], the build side is partitioned by key
+/// hash (each partition's per-key match lists still fill in build order)
+/// and probe morsels emit pairs concatenated in probe order — the output is
+/// bit-identical to the serial pass either way.
 fn join_pairs(
+    cfg: &ExecConfig,
     probe: &Batch<'_>,
     ppos: &[usize],
     build: &Batch<'_>,
@@ -546,6 +601,7 @@ fn join_pairs(
 ) -> Result<(Vec<u32>, Vec<u32>), ExecError> {
     let build_len = build.selected_len();
     let probe_len = probe.selected_len();
+    let parallel_join = cfg.parallel_for(probe_len.max(build_len));
     let mut probe_idx = Vec::new();
     let mut build_idx = Vec::new();
 
@@ -572,6 +628,16 @@ fn join_pairs(
             _ => None,
         };
         if let Some((pk, bk)) = keyed {
+            if parallel_join {
+                let tables = parallel::par_hash_build(cfg, build_len, |j| {
+                    let phys = batch_phys(build, j);
+                    (bk.get(phys), phys as u32)
+                });
+                return Ok(parallel::par_hash_probe(cfg, probe_len, &tables, |j| {
+                    let phys = batch_phys(probe, j);
+                    Some((pk.get(phys), phys as u32))
+                }));
+            }
             let mut table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(build_len);
             for j in 0..build_len {
                 let phys = batch_phys(build, j);
@@ -608,6 +674,23 @@ fn join_pairs(
                 .ok_or_else(|| ExecError::BadPlan("join key column not materialized".into()))
         })
         .collect::<Result<_, _>>()?;
+    if parallel_join {
+        let tables = parallel::par_hash_build(cfg, build_len, |j| {
+            let phys = batch_phys(build, j);
+            let key: Vec<Value> = bcols.iter().map(|c| c.get(phys)).collect();
+            (key, phys as u32)
+        });
+        return Ok(parallel::par_hash_probe(cfg, probe_len, &tables, |j| {
+            let phys = batch_phys(probe, j);
+            let key: Vec<Value> = pcols.iter().map(|c| c.get(phys)).collect();
+            // NULL join keys never match (sql_eq semantics).
+            if key.iter().any(|v| v.is_null()) {
+                None
+            } else {
+                Some((key, phys as u32))
+            }
+        }));
+    }
     let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(build_len);
     for j in 0..build_len {
         let phys = batch_phys(build, j);

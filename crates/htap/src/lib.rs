@@ -42,7 +42,7 @@
 //!
 //! # Execution modes
 //!
-//! One plan vocabulary, two executors ([`exec`]):
+//! One plan vocabulary, three execution modes ([`exec`]):
 //!
 //! * **Row interpreter** ([`exec::execute_scalar`]) — the reference
 //!   semantics. Every operator materializes its output as `Vec<Vec<Value>>`
@@ -58,17 +58,34 @@
 //!   the AP engine *operationally* columnar, not just structurally — the
 //!   asymmetry the paper's explanations cite ("scan only relevant columns
 //!   and apply filters before joining") is now how the code actually runs.
+//! * **Morsel-driven parallel executor** ([`exec::parallel`]) — the batch
+//!   executor with its kernels fanned out over a scoped worker pool, knobbed
+//!   by [`exec::ExecConfig`] (default: available cores; 1 thread is the
+//!   exact serial path). Dense kernel ranges split into fixed-size morsels
+//!   (cut at base/delta chunk boundaries); hash-join builds partition by
+//!   key hash while probes stream morsel-wise; grouped aggregation
+//!   partitions *groups* across workers so each group folds on one worker
+//!   in global row order (float sums keep the serial association order);
+//!   sorts stable-sort chunks and merge with ties to the lower chunk. Every
+//!   merge is order-restoring, so parallel output is **bit-identical** to
+//!   serial — rows and counters alike, at any thread count, on clean and
+//!   dirty tables.
 //!
 //! **Why counters must stay identical across modes:** everything downstream
 //! consumes [`exec::WorkCounters`], not wall-clock — the latency model turns
 //! counters into deterministic simulated latencies, those latencies pick the
 //! winning engine, the winner labels train the router, and the explainer
 //! justifies them. If the batch executor counted work differently, switching
-//! executors would silently change every latency, router label and
-//! explanation in the system. Both executors therefore charge the same
-//! counter values for the same plan (asserted, together with row-level
-//! result equality, by `tests/engine_equivalence.rs`), making executor
-//! choice a pure performance decision.
+//! executors (or thread counts) would silently change every latency, router
+//! label and explanation in the system. All modes therefore charge the same
+//! counter values for the same plan (asserted by
+//! `tests/engine_equivalence.rs`, `tests/dml_props.rs` and
+//! `tests/parallel_determinism.rs`), making execution mode a pure
+//! performance decision. Parallel *wall-clock* gains are then priced into
+//! the simulation separately: [`latency::ParallelCosts`] walks the critical
+//! path (parallelizable counters divided by threads, serial sections and
+//! per-morsel scheduling overhead added back), so the router and explainer
+//! see realistic parallel latencies without the counters ever diverging.
 
 pub mod engine;
 pub mod eval;
@@ -83,7 +100,7 @@ pub mod tpch;
 pub use engine::{
     Database, DmlOutcome, EngineKind, EngineRun, HtapSystem, QueryOutcome, StatementOutcome,
 };
-pub use exec::{DmlKind, DmlResult};
+pub use exec::{DmlKind, DmlResult, ExecConfig};
 pub use plan::{NodeType, PlanNode};
 pub use storage::TableFreshness;
 pub use tpch::TpchConfig;

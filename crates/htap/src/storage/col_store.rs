@@ -204,6 +204,26 @@ impl ColumnData {
         }
     }
 
+    /// Splices `other` onto the end of `self`, preserving typed storage when
+    /// the representations agree and demoting to `Mixed` otherwise — the
+    /// reassembly step of morsel-parallel kernels, whose per-morsel outputs
+    /// concatenate back into one dense column.
+    pub fn append(&mut self, other: ColumnData) {
+        match (&mut *self, other) {
+            (ColumnData::Int(a), ColumnData::Int(b)) => a.extend(b),
+            (ColumnData::Float(a), ColumnData::Float(b)) => a.extend(b),
+            (ColumnData::Str(a), ColumnData::Str(b)) => a.extend(b),
+            (ColumnData::Date(a), ColumnData::Date(b)) => a.extend(b),
+            (ColumnData::Mixed(a), b) => a.extend((0..b.len()).map(|i| b.get(i))),
+            (_, b) if b.is_empty() => {}
+            (a, b) if a.is_empty() => *a = b,
+            (_, b) => {
+                self.demote_in_place();
+                self.append(b);
+            }
+        }
+    }
+
     /// Gathers the given physical positions into a new dense typed column,
     /// preserving the storage representation (no per-cell [`Value`] boxing
     /// for numeric columns).
@@ -261,6 +281,15 @@ impl<'a> ColRef<'a> {
     /// True when the view holds no values.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Physical position where the view crosses from base into delta, if
+    /// it spans two segments — the chunk boundary morsel splits respect.
+    pub fn split_point(&self) -> Option<usize> {
+        match self {
+            ColRef::Single(_) => None,
+            ColRef::Chunked { base, .. } => Some(base.len()),
+        }
     }
 
     /// The contiguous segment, when there is only one.

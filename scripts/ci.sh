@@ -13,6 +13,20 @@ cargo test -q --workspace
 echo "==> DML property sweep (write-path equivalence)"
 cargo test -q --test dml_props
 
+echo "==> 3-way executor equivalence sweep at 1, 2 and 4 system threads"
+# QPE_AP_THREADS sets the system-level default the full bind->plan->execute
+# pipeline uses; QPE_MORSEL_ROWS shrinks morsels so test-scale tables
+# actually split. The sweep itself additionally runs the parallel executor
+# at 2 and 4 threads explicitly.
+for t in 1 2 4; do
+    QPE_AP_THREADS="$t" QPE_MORSEL_ROWS=64 cargo test -q --test engine_equivalence
+done
+
+echo "==> parallel determinism repeat loop (fixed queries, fresh scheduling each run)"
+for i in 1 2 3; do
+    cargo test -q --test parallel_determinism
+done
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -3,16 +3,18 @@
 //!
 //! * the TP row-store scan (tombstone-skipping row interpreter),
 //! * the AP delta-aware scan (vectorized, base zero-copy + delta via
-//!   selection vectors), and
+//!   selection vectors),
+//! * the AP *morsel-parallel* scan (same kernels fanned out over worker
+//!   threads, morsels straddling the base/delta split), and
 //! * the AP post-compaction scan (clean zero-copy fast path)
 //!
-//! — must return byte-identical rows, and the scalar-vs-batch executor
-//! invariants from `tests/engine_equivalence.rs` must keep holding on dirty
-//! tables exactly as they do on clean ones.
+//! — must return byte-identical rows, and the scalar ≡ serial batch ≡
+//! parallel batch executor invariants from `tests/engine_equivalence.rs`
+//! must keep holding on dirty tables exactly as they do on clean ones.
 
 use proptest::prelude::*;
 use qpe_htap::engine::{EngineKind, HtapSystem};
-use qpe_htap::exec::{execute_scalar, execute_vectorized, vector, Row};
+use qpe_htap::exec::{execute_parallel, execute_scalar, execute_vectorized, vector, ExecConfig, Row};
 use qpe_htap::opt::{ap, PlannerCtx};
 use qpe_htap::tpch::TpchConfig;
 use qpe_sql::catalog::Catalog;
@@ -101,8 +103,11 @@ fn scan_rows(sys: &HtapSystem, engine: EngineKind) -> Vec<Row> {
 }
 
 /// Asserts the AP plan produces identical rows AND counters on the row
-/// interpreter and the batch executor — the engine-equivalence contract,
-/// here exercised against dirty (delta-bearing) tables.
+/// interpreter, the serial batch executor, and the morsel-parallel executor
+/// at 2 and 4 threads — the engine-equivalence contract, here exercised
+/// against dirty (delta-bearing, tombstone-bearing) tables whose morsels
+/// straddle the base/delta split. The tiny morsel size forces real splits
+/// at test scale.
 fn assert_executor_equivalence(sys: &HtapSystem, sql: &str) {
     let db = sys.database();
     let bound = sys.bind(sql).expect("binds");
@@ -113,6 +118,23 @@ fn assert_executor_equivalence(sys: &HtapSystem, sql: &str) {
     let (brows, bc) = execute_vectorized(&plan, &bound, db).expect("vectorized");
     assert_eq!(srows, brows, "executor rows diverged for {sql}");
     assert_eq!(sc, bc, "executor counters diverged for {sql}");
+    for threads in [2usize, 4] {
+        let cfg = ExecConfig { threads, morsel_rows: 16 };
+        let (prows, pc) = execute_parallel(&plan, &bound, db, &cfg).expect("parallel");
+        assert_eq!(brows, prows, "parallel rows diverged at {threads} threads for {sql}");
+        assert_eq!(bc, pc, "parallel counters diverged at {threads} threads for {sql}");
+    }
+}
+
+/// Full-table parallel AP scan over the (possibly dirty) table, returning
+/// its rows — the delta + tombstone read path under morsel splits.
+fn parallel_scan_rows(sys: &HtapSystem, threads: usize) -> Vec<Row> {
+    let db = sys.database();
+    let bound = sys.bind("SELECT * FROM customer").expect("binds");
+    let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
+    let plan = ap::plan(&ctx).expect("ap plan");
+    let cfg = ExecConfig { threads, morsel_rows: 16 };
+    execute_parallel(&plan, &bound, db, &cfg).expect("parallel scan").0
 }
 
 proptest! {
@@ -137,6 +159,11 @@ proptest! {
         let tp_rows = sorted(scan_rows(&sys, EngineKind::Tp));
         let ap_rows = sorted(scan_rows(&sys, EngineKind::Ap));
         prop_assert_eq!(&tp_rows, &ap_rows, "TP vs AP pre-compaction");
+
+        // 1b. The *parallel* AP scan agrees with the TP scan on the dirty
+        //     table too — delta rows and tombstones under morsel splits.
+        let par_rows = sorted(parallel_scan_rows(&sys, 4));
+        prop_assert_eq!(&tp_rows, &par_rows, "TP vs parallel AP pre-compaction");
 
         // 2. Scalar and batch executors agree on the dirty table
         //    (engine_equivalence invariants extended to the write path).

@@ -82,26 +82,36 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
-// Row interpreter vs. vectorized batch executor
+// Row interpreter vs. serial batch executor vs. morsel-parallel executor
 // ---------------------------------------------------------------------------
 //
-// The AP engine's plans execute on the vectorized batch executor; the row
-// interpreter remains the reference semantics. These tests pin the contract
-// the latency model, the optimizer and the explainer all rely on: both
-// executors return *identical rows* and *identical WorkCounters* — simulated
-// latencies, router features and explanations provably cannot depend on
-// which executor ran.
+// The AP engine's plans execute on the vectorized batch executor — serial or
+// morsel-parallel; the row interpreter remains the reference semantics.
+// These tests pin the contract the latency model, the optimizer and the
+// explainer all rely on: every execution mode returns *identical rows* and
+// *identical WorkCounters* — simulated latencies, router features and
+// explanations provably cannot depend on which executor (or how many
+// threads) ran. The parallel runs force a tiny morsel size so even
+// 300-row test tables split into many morsels and actually exercise the
+// cross-thread merge paths.
 
 mod scalar_vs_batch {
     use super::system;
     use qpe_htap::engine::EngineKind;
-    use qpe_htap::exec::{execute_scalar, execute_vectorized, vector};
+    use qpe_htap::exec::{execute_parallel, execute_scalar, execute_vectorized, vector, ExecConfig};
     use qpe_htap::opt::{ap, PlannerCtx};
     use qpe_core::workload::{WorkloadConfig, WorkloadGenerator};
     use proptest::prelude::*;
 
-    /// Runs `sql`'s AP plan through both executors and asserts rows and
-    /// counters are identical.
+    /// A parallel config whose morsels are small enough that the test-scale
+    /// tables split into many of them.
+    fn par_cfg(threads: usize) -> ExecConfig {
+        ExecConfig { threads, morsel_rows: 48 }
+    }
+
+    /// Runs `sql`'s AP plan through the row interpreter, the serial batch
+    /// executor, and the parallel executor at 2 and 4 threads, asserting
+    /// rows and counters are identical across all four runs.
     fn assert_executors_agree(sql: &str) {
         let sys = system();
         let db = sys.database();
@@ -121,6 +131,18 @@ mod scalar_vs_batch {
             scalar_counters, batch_counters,
             "work counters diverged for {sql}"
         );
+        for threads in [2, 4] {
+            let (par_rows, par_counters) =
+                execute_parallel(&plan, &bound, db, &par_cfg(threads)).expect("parallel");
+            assert_eq!(
+                batch_rows, par_rows,
+                "rows diverged at {threads} threads for {sql}"
+            );
+            assert_eq!(
+                batch_counters, par_counters,
+                "work counters diverged at {threads} threads for {sql}"
+            );
+        }
     }
 
     #[test]
@@ -170,8 +192,11 @@ mod scalar_vs_batch {
     proptest! {
         #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 
-        /// Any workload-generator query: the batch executor must accept the
-        /// AP plan and match the row interpreter exactly — rows and counters.
+        /// The 3-way differential sweep: for any workload-generator query
+        /// (random plans spanning joins, aggregates and top-N), the row
+        /// interpreter, the serial batch executor, and the morsel-parallel
+        /// executor at 2 and 4 threads must produce identical rows AND
+        /// identical WorkCounters.
         #[test]
         fn generated_queries_agree_across_executors(seed in 0u64..10_000, topn in 0.0f64..1.0) {
             let mut gen = WorkloadGenerator::new(WorkloadConfig { seed, top_n_fraction: topn });
@@ -186,6 +211,12 @@ mod scalar_vs_batch {
             let (brows, bc) = execute_vectorized(&plan, &bound, db).expect("vectorized");
             prop_assert_eq!(&srows, &brows, "rows diverged for {}", sql);
             prop_assert_eq!(sc, bc, "counters diverged for {}", sql);
+            for threads in [2usize, 4] {
+                let (prows, pc) =
+                    execute_parallel(&plan, &bound, db, &par_cfg(threads)).expect("parallel");
+                prop_assert_eq!(&brows, &prows, "rows diverged at {} threads for {}", threads, sql);
+                prop_assert_eq!(bc, pc, "counters diverged at {} threads for {}", threads, sql);
+            }
         }
     }
 }
