@@ -22,18 +22,25 @@
 //! Wall-clock thread scaling is hardware-dependent (a single-core container
 //! cannot show it; the simulated entries are the portable signal).
 //!
+//! Zone-map cases (`ap_point_lookup_pruned`, `ap_selective_scan_1pct` and
+//! their `*_noprune` twins, plus `sim_*` modeled latencies) run at scale
+//! 0.02 and measure block pruning directly: the same query with pushdown on
+//! vs off on an identical table.
+//!
 //! ```sh
 //! cargo run --release --bin bench_snapshot                # print + write
 //! cargo run --release --bin bench_snapshot -- --check     # print only
 //! cargo run --release --bin bench_snapshot -- --threads 4 # AP cases at 4 threads
 //! cargo run --release --bin bench_snapshot -- --compare scalar,batch
+//! cargo run --release --bin bench_snapshot -- --compare scalar,batch --dirty
 //! cargo run --release --bin bench_snapshot -- --compare batch,par4
 //! ```
 //!
 //! `--compare A,B` times any two executor modes side by side on every AP
 //! plan; modes are `scalar` (row interpreter), `batch` (serial vectorized)
 //! and `parN` (morsel-parallel at N threads). Bare `--compare` defaults to
-//! `scalar,batch`.
+//! `scalar,batch`; `--dirty` first applies uncompacted DML so the modes are
+//! compared over the encoded-base + delta + tombstone read path.
 
 use qpe_htap::engine::{EngineKind, HtapSystem};
 use qpe_htap::exec::{
@@ -180,6 +187,62 @@ fn compare_executors(sys: &HtapSystem, a: Mode, b: Mode) {
             ns_a as f64 / ns_b.max(1) as f64
         );
     }
+}
+
+/// Zone-map pruning cases at scale 0.02 (orders: 30k rows, ~59 adaptive
+/// 512-row blocks): a point lookup and a 1%-selective key-range aggregate,
+/// each timed
+/// with pruning on and off (`*_noprune`), plus the modeled `sim_*` latencies
+/// for the same counters so the pruned-block savings are visible in the
+/// deterministic model the router consumes, not just in wall-clock.
+fn pruning_cases() -> Vec<(String, u64)> {
+    let mut sys = HtapSystem::new(&TpchConfig::with_scale(0.02));
+    let cases = [
+        (
+            "ap_point_lookup_pruned",
+            "SELECT o_totalprice FROM orders WHERE o_orderkey = 4242",
+        ),
+        (
+            "ap_selective_scan_1pct",
+            "SELECT COUNT(*), SUM(o_totalprice) FROM orders \
+             WHERE o_orderkey BETWEEN 12000 AND 12300",
+        ),
+    ];
+    let mut out = Vec::new();
+    for (name, sql) in cases {
+        let mut entry = |sys: &HtapSystem, label: String| {
+            let bound = sys.bind(sql).expect("binds");
+            let ns = time_ns(|| {
+                black_box(sys.run_engine(black_box(&bound), EngineKind::Ap).expect("runs"));
+            });
+            let run = sys.run_engine(&bound, EngineKind::Ap).expect("runs");
+            out.push((label.clone(), ns));
+            out.push((format!("sim_{label}"), run.latency_ns));
+        };
+        sys.set_pruning(true);
+        entry(&sys, name.to_string());
+        sys.set_pruning(false);
+        entry(&sys, format!("{name}_noprune"));
+        sys.set_pruning(true);
+    }
+    out
+}
+
+/// Applies uncompacted DML so `--compare --dirty` exercises the encoded
+/// base + typed delta + tombstone read path: inserts grow a delta over
+/// `customer` (whose segment column is dictionary-encoded at load) and
+/// range deletes tombstone base rows.
+fn dirty_for_compare(sys: &mut HtapSystem) {
+    let base = sys
+        .database()
+        .stored_table("customer")
+        .expect("customer exists")
+        .row_count();
+    bulk_insert_customers(sys, 920_000, (base / 4).max(8));
+    sys.execute_sql("DELETE FROM customer WHERE c_custkey BETWEEN 10 AND 30")
+        .expect("delete runs");
+    let fresh = sys.freshness("customer").expect("freshness");
+    assert!(fresh.delta_rows > 0 && fresh.deleted_rows > 0, "table must be dirty");
 }
 
 const INSERT_SQL: &str = "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, \
@@ -346,7 +409,7 @@ fn arg_value(flag: &str) -> Option<String> {
 
 fn main() {
     let check_only = std::env::args().any(|a| a == "--check");
-    let sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
+    let mut sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
     if std::env::args().any(|a| a == "--compare") {
         let spec = arg_value("--compare").unwrap_or_default();
         let (a, b) = match spec.split_once(',') {
@@ -356,6 +419,12 @@ fn main() {
             ),
             None => (Mode::Scalar, Mode::Batch),
         };
+        // `--dirty` leaves uncompacted writes in place so the comparison
+        // exercises the encoded-base + delta + tombstone read path.
+        if std::env::args().any(|a| a == "--dirty") {
+            println!("(--dirty: comparing over an uncompacted post-DML table)");
+            dirty_for_compare(&mut sys);
+        }
         compare_executors(&sys, a, b);
         return;
     }
@@ -364,7 +433,6 @@ fn main() {
     // (the TP side and the snapshot's parallel cases are unaffected). The
     // ap_* labels don't encode the thread count, so a threads run is
     // print-only — it must never overwrite the serial baseline.
-    let mut sys = sys;
     let threads_override = arg_value("--threads").and_then(|v| v.parse::<usize>().ok());
     let check_only = check_only || threads_override.is_some();
     if let Some(t) = threads_override {
@@ -385,6 +453,11 @@ fn main() {
     for (label, ns) in write_path_cases() {
         println!("{label:<24} {ns:>12} ns/iter");
         entries.push((label.to_string(), ns));
+    }
+
+    for (label, ns) in pruning_cases() {
+        println!("{label:<32} {ns:>12} ns/iter");
+        entries.push((label, ns));
     }
 
     for (label, ns) in parallel_cases() {

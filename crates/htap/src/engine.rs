@@ -330,6 +330,20 @@ impl Database {
         true
     }
 
+    /// Re-chunks one table's zone maps at a different block size (metadata
+    /// rebuild only — the base stays contiguous). Tests and small-scale
+    /// benchmarks use it so tiny tables still yield multiple prunable
+    /// blocks. Returns false for an unknown table.
+    pub fn set_zone_block_rows(&mut self, table: &str, rows: usize) -> bool {
+        match self.tables.get_mut(table) {
+            Some(st) => {
+                st.cols.set_block_rows(rows);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Current freshness snapshot of a table's column-store side.
     pub fn freshness(&self, table: &str) -> Option<crate::storage::TableFreshness> {
         self.tables.get(table).map(|st| st.freshness())
@@ -428,6 +442,12 @@ pub struct HtapSystem {
     /// router training data and explanations must not silently vary with
     /// how many cores the current machine happens to have.
     priced_threads: u64,
+    /// Whether AP plans push filter conjunctions into their scan nodes for
+    /// zone-map block pruning. On by default; turning it off restores the
+    /// read-every-block plans (results are identical either way — only the
+    /// work counters and latencies move), which is how benchmarks measure
+    /// the pruning win and differential tests pin the equivalence.
+    pruning: bool,
 }
 
 impl HtapSystem {
@@ -446,7 +466,19 @@ impl HtapSystem {
             // executor still uses the cores (results identical), but the
             // simulation keeps the deterministic serial pricing.
             priced_threads: ExecConfig::env_requested_threads().unwrap_or(1) as u64,
+            pruning: true,
         }
+    }
+
+    /// Enables/disables scan-predicate pushdown (zone-map pruning) for AP
+    /// plans built by this system.
+    pub fn set_pruning(&mut self, enabled: bool) {
+        self.pruning = enabled;
+    }
+
+    /// Whether AP plans currently push scan predicates for zone-map pruning.
+    pub fn pruning(&self) -> bool {
+        self.pruning
     }
 
     /// The underlying database.
@@ -495,7 +527,8 @@ impl HtapSystem {
 
     /// Optimizes a bound query for one engine (EXPLAIN without execution).
     pub fn explain(&self, bound: &BoundQuery, engine: EngineKind) -> Result<PlanNode, HtapError> {
-        let ctx = PlannerCtx::new(bound, self.db.stats(), self.db.catalog());
+        let mut ctx = PlannerCtx::new(bound, self.db.stats(), self.db.catalog());
+        ctx.pushdown = self.pruning;
         Ok(match engine {
             EngineKind::Tp => tp::plan(&ctx)?,
             EngineKind::Ap => ap::plan(&ctx)?,

@@ -307,6 +307,18 @@ impl<'a> Cell<'a> {
             ColumnData::Float(v) => Cell::Float(v[idx]),
             ColumnData::Str(v) => Cell::Str(&v[idx]),
             ColumnData::Date(v) => Cell::Date(v[idx]),
+            // Encoded columns stay zero-copy: a dictionary cell borrows the
+            // dictionary's string, RLE cells decode a fixed-width value.
+            ColumnData::Dict(d) => Cell::Str(d.get(idx)),
+            ColumnData::RleInt(r) => Cell::Int(r.get(idx)),
+            ColumnData::RleDate(r) => Cell::Date(r.get(idx)),
+            ColumnData::Nullable { nulls, values } => {
+                if nulls[idx] {
+                    Cell::Null
+                } else {
+                    Cell::from_col(values, idx)
+                }
+            }
             ColumnData::Mixed(v) => Cell::from_value(&v[idx]),
         }
     }
@@ -619,6 +631,9 @@ fn pred_mask(
             let l = operand_of(left, schema, view)?;
             let r = operand_of(right, schema, view)?;
             out.reserve(n);
+            if dict_eq_mask(&l, *op, &r, view, out) {
+                return Ok(());
+            }
             for j in 0..n {
                 let phys = view.phys(j);
                 let (a, b) = (l.cell(j, phys), r.cell(j, phys));
@@ -628,6 +643,26 @@ fn pred_mask(
         BoundExpr::InList { expr: inner, list, negated } => {
             let v = operand_of(inner, schema, view)?;
             out.reserve(n);
+            // Dictionary fast path: translate the literal list to codes once
+            // and test u32 membership per row — no string comparisons.
+            if let Operand::Col(ColumnData::Dict(d)) = &v {
+                let mut member = vec![false; d.values.len()];
+                for item in list {
+                    if let Value::Str(s) = item {
+                        if let Some(code) = d.code_of(s) {
+                            member[code as usize] = true;
+                        }
+                    }
+                    // Non-string (and NULL) items never sql_eq a dict string.
+                }
+                for j in 0..n {
+                    let code = d.codes[view.phys(j)] as usize;
+                    // Dictionary cells are never NULL, so truthiness reduces
+                    // to membership XOR negation — same as the generic path.
+                    out.push(member[code] != *negated);
+                }
+                return Ok(());
+            }
             for j in 0..n {
                 let c = v.cell(j, view.phys(j));
                 let found = list.iter().any(|item| cell_sql_eq(c, Cell::from_value(item)));
@@ -678,6 +713,48 @@ fn pred_mask(
         }
     }
     Ok(())
+}
+
+/// Dictionary fast path for `=` / `<>` against a literal: the literal is
+/// translated to a code once and every row compares `u32` codes — no string
+/// materialization. Returns true when the mask was fully written. Semantics
+/// mirror the generic path exactly: dictionary cells are never NULL, a
+/// missing or non-string literal can never `sql_eq` a dictionary string,
+/// and a NULL literal makes both operators false.
+fn dict_eq_mask(
+    l: &Operand<'_>,
+    op: BinaryOp,
+    r: &Operand<'_>,
+    view: &BatchView<'_>,
+    out: &mut Vec<bool>,
+) -> bool {
+    if !matches!(op, BinaryOp::Eq | BinaryOp::NotEq) {
+        // Orderings depend on string order, which code order does not mirror
+        // (codes are first-appearance); the generic kernel handles them.
+        return false;
+    }
+    let (d, lit) = match (l, r) {
+        (Operand::Col(ColumnData::Dict(d)), Operand::Lit(v)) => (d, *v),
+        (Operand::Lit(v), Operand::Col(ColumnData::Dict(d))) => (d, *v),
+        _ => return false,
+    };
+    let n = view.selected_len();
+    match lit {
+        Value::Null => out.extend(std::iter::repeat_n(false, n)),
+        Value::Str(s) => match d.code_of(s) {
+            Some(code) => {
+                let eq = op == BinaryOp::Eq;
+                for j in 0..n {
+                    out.push((d.codes[view.phys(j)] == code) == eq);
+                }
+            }
+            // Absent string: no row is equal, every row is not-equal.
+            None => out.extend(std::iter::repeat_n(op == BinaryOp::NotEq, n)),
+        },
+        // Non-string, non-NULL literal: never equal to a string cell.
+        _ => out.extend(std::iter::repeat_n(op == BinaryOp::NotEq, n)),
+    }
+    true
 }
 
 #[inline]

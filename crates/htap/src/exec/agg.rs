@@ -352,7 +352,7 @@ pub fn aggregate_cols_partitioned(
     // Pass 1, parallel over morsels: bucket row indices by the partition of
     // their key. Concatenating morsel buckets in morsel order keeps every
     // partition's index list in ascending dense order.
-    let ranges = morsel_ranges(len, cfg.morsel_rows, None);
+    let ranges = morsel_ranges(len, cfg.morsel_rows, &[]);
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
         for j in ranges[i].clone() {

@@ -42,7 +42,8 @@ pub use parallel::ExecConfig;
 use crate::engine::{Database, EngineKind};
 use crate::eval::{eval, eval_predicate, EvalError, Schema};
 use crate::plan::{IndexLookup, PlanNode, PlanOp};
-use qpe_sql::binder::{BoundDml, BoundQuery};
+use crate::storage::{ScanPruner, StoredTable};
+use qpe_sql::binder::{BoundDml, BoundExpr, BoundQuery};
 use qpe_sql::catalog::Catalog;
 use qpe_sql::value::Value;
 use std::collections::{HashMap, HashSet};
@@ -85,6 +86,11 @@ pub struct WorkCounters {
     pub rows_deleted: u64,
     /// B-tree index entry modifications performed by the write path.
     pub index_updates: u64,
+    /// Zone-map block stats headers consulted by pruned AP scans.
+    pub blocks_checked: u64,
+    /// Base blocks skipped outright by zone-map pruning — the storage-side
+    /// savings signal the latency model and router features consume.
+    pub blocks_pruned: u64,
 }
 
 impl WorkCounters {
@@ -106,6 +112,8 @@ impl WorkCounters {
             + self.rows_updated
             + self.rows_deleted
             + self.index_updates
+            + self.blocks_checked
+            + self.blocks_pruned
     }
 }
 
@@ -220,7 +228,9 @@ pub(crate) struct Executor<'a> {
 impl Executor<'_> {
     fn run(&mut self, node: &PlanNode) -> Result<Vec<Row>, ExecError> {
         match &node.op {
-            PlanOp::TableScan { table_slot, columns } => self.table_scan(*table_slot, columns),
+            PlanOp::TableScan { table_slot, columns, pushed } => {
+                self.table_scan(*table_slot, columns, pushed.as_ref())
+            }
             PlanOp::IndexScan { table_slot, column_idx, lookup, columns } => {
                 self.index_scan(*table_slot, *column_idx, lookup, columns)
             }
@@ -465,18 +475,22 @@ impl Executor<'_> {
         }
     }
 
-    fn table_scan(&mut self, slot: usize, columns: &[usize]) -> Result<Vec<Row>, ExecError> {
+    fn table_scan(
+        &mut self,
+        slot: usize,
+        columns: &[usize],
+        pushed: Option<&BoundExpr>,
+    ) -> Result<Vec<Row>, ExecError> {
         let name: &str = &self.query.tables[slot].name;
         let stored = self
             .db
             .stored_table(name)
             .ok_or_else(|| ExecError::MissingTable(name.to_string()))?;
-        let n = stored.row_count();
         match self.engine {
             EngineKind::Tp => {
                 // Row-store scan: full tuples are touched even if the plan
                 // only materializes a subset. Tombstoned slots are skipped.
-                self.counters.rows_scanned += n as u64;
+                self.counters.rows_scanned += stored.row_count() as u64;
                 let full_width = stored.rows.width();
                 if columns.len() == full_width && columns.iter().copied().eq(0..full_width) {
                     if !stored.rows.has_deletions() {
@@ -495,10 +509,14 @@ impl Executor<'_> {
             EngineKind::Ap => {
                 // Column-store scan: touch only the referenced columns of
                 // live rows, reading base and delta regions alike — a write
-                // is visible here before any compaction runs.
-                self.counters.cells_scanned += (n * columns.len()) as u64;
-                let live = stored.cols.live_rids();
-                Ok(stored.cols.gather(columns, &live))
+                // is visible here before any compaction runs. A pushed
+                // predicate lets zone maps drop whole base blocks first
+                // (same selection and charges as the batch executor).
+                let (sel, _) =
+                    ap_scan_access(stored, slot, pushed, columns.len(), &mut self.counters);
+                let rids = sel
+                    .unwrap_or_else(|| (0..stored.cols.physical_len() as u32).collect());
+                Ok(stored.cols.gather(columns, &rids))
             }
         }
     }
@@ -609,6 +627,54 @@ impl Executor<'_> {
             out.push(row);
         }
         Ok(Some(out))
+    }
+}
+
+/// Plans one AP columnar scan's physical access: applies zone-map pruning
+/// when the plan pushed a predicate down, and charges the scan counters.
+///
+/// This is the single entry every executor (row interpreter, serial batch,
+/// morsel-parallel) uses, which is what keeps rows *and* counters
+/// bit-identical across execution modes — the scan's selection and its
+/// charges are a function of (plan, table state), never of the executor.
+///
+/// Returns the surviving physical rids (ascending: kept base blocks minus
+/// tombstones, then all live delta rids — the delta is never pruned) or
+/// `None` for the dense zero-copy scan of a clean table, plus the dense
+/// positions where the selection jumps a storage discontinuity (pruned gap
+/// or base→delta boundary) for morsel cutting.
+pub(crate) fn ap_scan_access(
+    stored: &StoredTable,
+    slot: usize,
+    pushed: Option<&BoundExpr>,
+    n_columns: usize,
+    counters: &mut WorkCounters,
+) -> (Option<Vec<u32>>, Vec<usize>) {
+    let cols = &stored.cols;
+    if let Some(pruner) = pushed
+        .map(|e| ScanPruner::for_scan(e, slot))
+        .filter(|p| !p.is_empty())
+    {
+        let out = pruner.prune(cols);
+        counters.blocks_checked += out.blocks_checked;
+        counters.blocks_pruned += out.blocks_pruned;
+        counters.cells_scanned += (out.survivors * n_columns) as u64;
+        (out.sel, out.sel_cuts)
+    } else {
+        // No refutable conjunct: the pre-zone-map scan, charge and all.
+        counters.cells_scanned += (cols.row_count() * n_columns) as u64;
+        if cols.is_clean() {
+            (None, Vec::new())
+        } else {
+            let sel = cols.live_rids();
+            let base_live = sel.partition_point(|&rid| (rid as usize) < cols.base_len());
+            let cuts = if base_live > 0 && base_live < sel.len() {
+                vec![base_live]
+            } else {
+                Vec::new()
+            };
+            (Some(sel), cuts)
+        }
     }
 }
 
@@ -1025,9 +1091,29 @@ mod tests {
             "SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'p'",
         );
         // TP reads 3000 full rows (6 columns each → 18000 cell-equivalents);
-        // AP touches only the o_orderstatus column → 3000 cells.
+        // AP touches only the o_orderstatus column, and zone maps drop the
+        // blocks whose min/max excludes 'p' before any cell is read.
         assert_eq!(tp_c.rows_scanned, 3000);
-        assert_eq!(ap_c.cells_scanned, 3000);
+        assert!(
+            ap_c.cells_scanned <= 3000,
+            "one column at most: {}",
+            ap_c.cells_scanned
+        );
+        assert!(ap_c.blocks_checked > 0 && ap_c.blocks_pruned > 0);
+        assert!(
+            ap_c.cells_scanned < 3000,
+            "pruned blocks must save their cells: {}",
+            ap_c.cells_scanned
+        );
+        // With pushdown disabled the scan reads the full column again.
+        let q = Binder::new(db.catalog())
+            .bind_sql("SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'p'")
+            .unwrap();
+        let ctx = PlannerCtx::new(&q, db.stats(), db.catalog()).without_pushdown();
+        let plan = ap::plan(&ctx).unwrap();
+        let (_, c) = execute(&plan, &q, &db, EngineKind::Ap).unwrap();
+        assert_eq!(c.cells_scanned, 3000);
+        assert_eq!(c.blocks_checked, 0);
     }
 
     #[test]

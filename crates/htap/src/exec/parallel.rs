@@ -35,10 +35,11 @@
 //! construction. `threads == 1`, or any input of at most one morsel, takes
 //! the exact serial code path.
 //!
-//! Morsel boundaries additionally respect [`ColRef`] chunk boundaries: when
-//! a batch is scanned without a selection vector over a chunked (base +
-//! delta) column view, morsels are cut at the segment split so no morsel
-//! straddles two storage segments.
+//! Morsel boundaries additionally respect storage boundaries: a dense scan
+//! over a chunked (base + delta) column view cuts at the segment split, and
+//! a zone-map-pruned scan's selection cuts at every position where it jumps
+//! a pruned block gap or crosses into the delta — so no morsel straddles
+//! two storage regions.
 
 use crate::eval::{eval_batch, eval_predicate_mask, BatchView, EvalError};
 use crate::eval::Schema;
@@ -129,30 +130,32 @@ impl Default for ExecConfig {
 // ---------------------------------------------------------------------------
 
 /// Splits the dense range `0..n` into morsels of at most `morsel_rows`,
-/// additionally cutting at `split_at` (the dense position where a chunked
-/// column view crosses from its base segment into its delta segment) so no
-/// morsel straddles a segment boundary.
+/// additionally cutting at every position in `cuts` (ascending dense
+/// positions of storage discontinuities: the base→delta segment split and
+/// the gaps a zone-map-pruned scan's selection jumps across) so no morsel
+/// straddles a segment or block boundary.
 pub(crate) fn morsel_ranges(
     n: usize,
     morsel_rows: usize,
-    split_at: Option<usize>,
+    cuts: &[usize],
 ) -> Vec<Range<usize>> {
     let step = morsel_rows.max(1);
-    let mut out = Vec::with_capacity(n / step + 2);
-    let mut cut = |mut lo: usize, hi: usize| {
+    let mut out = Vec::with_capacity(n / step + 2 + cuts.len());
+    let mut chunk = |mut lo: usize, hi: usize| {
         while lo < hi {
             let end = (lo + step).min(hi);
             out.push(lo..end);
             lo = end;
         }
     };
-    match split_at {
-        Some(s) if s > 0 && s < n => {
-            cut(0, s);
-            cut(s, n);
+    let mut lo = 0usize;
+    for &c in cuts {
+        if c > lo && c < n {
+            chunk(lo, c);
+            lo = c;
         }
-        _ => cut(0, n),
     }
+    chunk(lo, n);
     out
 }
 
@@ -243,10 +246,10 @@ pub(crate) fn par_filter_sel(
     cols: &[Option<ColRef<'_>>],
     sel: Option<&[u32]>,
     rows: usize,
-    split_at: Option<usize>,
+    cuts: &[usize],
 ) -> Result<Vec<u32>, EvalError> {
     let n = sel.map(|s| s.len()).unwrap_or(rows);
-    let ranges = morsel_ranges(n, cfg.morsel_rows, if sel.is_none() { split_at } else { None });
+    let ranges = morsel_ranges(n, cfg.morsel_rows, cuts);
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
         let range = &ranges[i];
         let mut ident = Vec::new();
@@ -288,7 +291,7 @@ pub(crate) fn par_eval_batch(
         let view = BatchView { cols, sel, rows };
         return eval_batch(expr, schema, &view);
     }
-    let ranges = morsel_ranges(n, cfg.morsel_rows, None);
+    let ranges = morsel_ranges(n, cfg.morsel_rows, &[]);
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
         let range = &ranges[i];
         let mut ident = Vec::new();
@@ -309,7 +312,7 @@ pub(crate) fn par_gather(cfg: &ExecConfig, col: ColRef<'_>, idxs: &[u32]) -> Col
     if !cfg.parallel_for(idxs.len()) {
         return col.gather_rows(idxs);
     }
-    let ranges = morsel_ranges(idxs.len(), cfg.morsel_rows, None);
+    let ranges = morsel_ranges(idxs.len(), cfg.morsel_rows, &[]);
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
         col.gather_rows(&idxs[ranges[i].clone()])
     });
@@ -338,7 +341,7 @@ pub(crate) fn par_build_rows(
     if !cfg.parallel_for(n) {
         return build(0..n);
     }
-    let ranges = morsel_ranges(n, cfg.morsel_rows, None);
+    let ranges = morsel_ranges(n, cfg.morsel_rows, &[]);
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| build(ranges[i].clone()));
     let mut out = Vec::with_capacity(n);
     for p in pieces {
@@ -376,7 +379,7 @@ where
     KF: Fn(usize) -> (K, u32) + Sync,
 {
     let n_parts = cfg.threads.clamp(1, 255);
-    let ranges = morsel_ranges(build_len, cfg.morsel_rows, None);
+    let ranges = morsel_ranges(build_len, cfg.morsel_rows, &[]);
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
         ranges[i]
             .clone()
@@ -414,7 +417,7 @@ where
     KF: Fn(usize) -> Option<(K, u32)> + Sync,
 {
     let n_parts = tables.len().max(1);
-    let ranges = morsel_ranges(probe_len, cfg.morsel_rows, None);
+    let ranges = morsel_ranges(probe_len, cfg.morsel_rows, &[]);
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
         let mut probe_idx = Vec::new();
         let mut build_idx = Vec::new();
@@ -447,15 +450,18 @@ mod tests {
 
     #[test]
     fn morsels_cover_range_and_respect_split() {
-        let r = morsel_ranges(10, 4, None);
+        let r = morsel_ranges(10, 4, &[]);
         assert_eq!(r, vec![0..4, 4..8, 8..10]);
         // A chunk boundary at 6 cuts the second morsel.
-        let r = morsel_ranges(10, 4, Some(6));
+        let r = morsel_ranges(10, 4, &[6]);
         assert_eq!(r, vec![0..4, 4..6, 6..10]);
-        // Degenerate splits are ignored.
-        assert_eq!(morsel_ranges(10, 4, Some(0)), morsel_ranges(10, 4, None));
-        assert_eq!(morsel_ranges(10, 4, Some(10)), morsel_ranges(10, 4, None));
-        assert!(morsel_ranges(0, 4, None).is_empty());
+        // Multiple cuts (pruned-block gaps) all land on morsel boundaries.
+        let r = morsel_ranges(10, 4, &[2, 6]);
+        assert_eq!(r, vec![0..2, 2..6, 6..10]);
+        // Degenerate cuts are ignored.
+        assert_eq!(morsel_ranges(10, 4, &[0]), morsel_ranges(10, 4, &[]));
+        assert_eq!(morsel_ranges(10, 4, &[10]), morsel_ranges(10, 4, &[]));
+        assert!(morsel_ranges(0, 4, &[]).is_empty());
     }
 
     #[test]

@@ -66,9 +66,18 @@ struct Batch<'a> {
     cols: Vec<BatchCol<'a>>,
     sel: Option<Vec<u32>>,
     rows: usize,
+    /// Dense positions where the selection jumps a storage discontinuity
+    /// (zone-map-pruned gap, base→delta boundary) — set by scans, consumed
+    /// as morsel cut points so no morsel straddles a block boundary.
+    cuts: Vec<usize>,
 }
 
 impl<'a> Batch<'a> {
+    /// A batch with no storage cut points (every post-scan operator).
+    fn plain(cols: Vec<BatchCol<'a>>, sel: Option<Vec<u32>>, rows: usize) -> Batch<'a> {
+        Batch { cols, sel, rows, cuts: Vec::new() }
+    }
+
     fn selected_len(&self) -> usize {
         self.sel.as_ref().map(|s| s.len()).unwrap_or(self.rows)
     }
@@ -83,16 +92,19 @@ impl<'a> Batch<'a> {
         }
     }
 
-    /// Dense position where this batch's columns cross a storage-segment
-    /// boundary, if any column is a chunked base+delta view read without a
-    /// selection — the chunk boundary morsel splits respect.
-    fn split_hint(&self) -> Option<usize> {
+    /// Dense positions where morsel splits should cut so no morsel straddles
+    /// a storage-segment or pruned-block boundary: the scan-provided cut
+    /// list for selection batches, or the base/delta split point of a dense
+    /// chunked view.
+    fn morsel_cuts(&self) -> Vec<usize> {
         if self.sel.is_some() {
-            return None; // selection order decouples dense from physical
+            return self.cuts.clone();
         }
         self.cols
             .iter()
             .find_map(|c| c.as_ref().and_then(|r| r.split_point()))
+            .into_iter()
+            .collect()
     }
 }
 
@@ -264,7 +276,9 @@ impl<'a> VecExecutor<'a> {
 
     fn run(&mut self, node: &PlanNode, needs: &Needs) -> Result<VOut<'a>, ExecError> {
         match &node.op {
-            PlanOp::TableScan { table_slot, columns } => self.table_scan(*table_slot, columns),
+            PlanOp::TableScan { table_slot, columns, pushed } => {
+                self.table_scan(*table_slot, columns, pushed.as_ref())
+            }
             PlanOp::Filter { predicate } => self.filter(node, predicate, needs),
             PlanOp::HashJoin { probe_keys, build_keys } => {
                 self.hash_join(node, probe_keys, build_keys, needs)
@@ -293,7 +307,7 @@ impl<'a> VecExecutor<'a> {
                             .skip(*offset as usize)
                             .take(*limit as usize)
                             .collect();
-                        VOut::Batch(Batch { cols: batch.cols, sel: Some(sel), rows: batch.rows })
+                        VOut::Batch(Batch::plain(batch.cols, Some(sel), batch.rows))
                     }
                 })
             }
@@ -312,34 +326,40 @@ impl<'a> VecExecutor<'a> {
         }
     }
 
-    /// Delta-aware columnar scan. Clean tables borrow base columns outright
-    /// (zero-copy, no selection). Dirty tables borrow chunked base+delta
-    /// views and start from the live-rid selection vector, so buffered
-    /// writes are visible and tombstoned rids are masked — same kernels,
-    /// same counters, no base copy.
-    fn table_scan(&mut self, slot: usize, columns: &[usize]) -> Result<VOut<'a>, ExecError> {
+    /// Delta-aware, zone-map-pruned columnar scan. Clean tables with nothing
+    /// pruned borrow base columns outright (zero-copy, no selection).
+    /// Everything else borrows chunked base+delta views and starts from the
+    /// pruner's selection vector: kept-block live rids plus every live delta
+    /// rid — buffered writes stay visible, tombstones stay masked, and
+    /// refuted blocks are never touched. Selection and counter charges come
+    /// from [`super::ap_scan_access`], shared with the row interpreter, so
+    /// every executor reads (and charges) exactly the same cells.
+    fn table_scan(
+        &mut self,
+        slot: usize,
+        columns: &[usize],
+        pushed: Option<&BoundExpr>,
+    ) -> Result<VOut<'a>, ExecError> {
         let name = &self.query.tables[slot].name;
         let stored = self
             .db
             .stored_table(name)
             .ok_or_else(|| ExecError::MissingTable(name.clone()))?;
-        let n_live = stored.cols.row_count();
-        // Same charge as the row interpreter's AP scan: every referenced
-        // column is touched in full (live rows only).
-        self.counters.cells_scanned += (n_live * columns.len()) as u64;
+        let (sel, cuts) =
+            super::ap_scan_access(stored, slot, pushed, columns.len(), &mut self.counters);
         let cols = columns
             .iter()
             .map(|&c| BatchCol::Borrowed(stored.cols.column_ref(c)))
             .collect();
-        if stored.cols.is_clean() {
-            Ok(VOut::Batch(Batch { cols, sel: None, rows: n_live }))
-        } else {
-            Ok(VOut::Batch(Batch {
+        Ok(VOut::Batch(match sel {
+            None => Batch::plain(cols, None, stored.cols.row_count()),
+            Some(sel) => Batch {
                 cols,
-                sel: Some(stored.cols.live_rids()),
+                sel: Some(sel),
                 rows: stored.cols.physical_len(),
-            }))
-        }
+                cuts,
+            },
+        }))
     }
 
     fn run_batch(&mut self, node: &PlanNode, needs: &Needs) -> Result<Batch<'a>, ExecError> {
@@ -374,7 +394,7 @@ impl<'a> VecExecutor<'a> {
                 &cols,
                 batch.sel.as_deref(),
                 batch.rows,
-                batch.split_hint(),
+                &batch.morsel_cuts(),
             )?
         } else {
             let view = BatchView { cols: &cols, sel: batch.sel.as_deref(), rows: batch.rows };
@@ -394,7 +414,7 @@ impl<'a> VecExecutor<'a> {
         if let Some(old) = batch.sel {
             self.recycle_sel(old);
         }
-        Ok(VOut::Batch(Batch { cols: batch.cols, sel: Some(out_sel), rows: batch.rows }))
+        Ok(VOut::Batch(Batch::plain(batch.cols, Some(out_sel), batch.rows)))
     }
 
     fn hash_join(
@@ -460,7 +480,7 @@ impl<'a> VecExecutor<'a> {
         if let Some(s) = build.sel {
             self.recycle_sel(s);
         }
-        Ok(VOut::Batch(Batch { cols, sel: None, rows }))
+        Ok(VOut::Batch(Batch::plain(cols, None, rows)))
     }
 
     fn aggregate(
@@ -525,7 +545,7 @@ impl<'a> VecExecutor<'a> {
         let sel = batch.take_selection();
         let sorted =
             sort::full_sort_indices_par(&mut self.counters, self.cfg, &key_cols, &descs, sel);
-        Ok(VOut::Batch(Batch { cols: batch.cols, sel: Some(sorted), rows: batch.rows }))
+        Ok(VOut::Batch(Batch::plain(batch.cols, Some(sorted), batch.rows)))
     }
 
     fn top_n(
@@ -543,7 +563,7 @@ impl<'a> VecExecutor<'a> {
         let (key_cols, descs) = self.sort_keys(keys, &schema, &batch)?;
         let sel = batch.take_selection();
         let top = sort::top_n_indices(&mut self.counters, &key_cols, &descs, sel, limit, offset);
-        Ok(VOut::Batch(Batch { cols: batch.cols, sel: Some(top), rows: batch.rows }))
+        Ok(VOut::Batch(Batch::plain(batch.cols, Some(top), batch.rows)))
     }
 
     fn sort_keys(

@@ -59,6 +59,10 @@ pub struct EngineCosts {
     pub delete_row_ns: u64,
     /// Per B-tree index entry modification on the write path.
     pub index_update_ns: u64,
+    /// Per zone-map block stats header consulted by a pruned scan. Tiny —
+    /// a pruned block costs one header check instead of its cells, which is
+    /// exactly how block skipping shows up in simulated latencies.
+    pub block_check_ns: u64,
 }
 
 impl EngineCosts {
@@ -84,6 +88,7 @@ impl EngineCosts {
             update_row_ns: 2_000,
             delete_row_ns: 800,
             index_update_ns: 600,
+            block_check_ns: 0, // the row store has no zone maps
         }
     }
 
@@ -110,6 +115,7 @@ impl EngineCosts {
             update_row_ns: 8_000,
             delete_row_ns: 2_000,
             index_update_ns: 0,
+            block_check_ns: 25,
         }
     }
 
@@ -132,6 +138,7 @@ impl EngineCosts {
             + c.rows_updated * self.update_row_ns
             + c.rows_deleted * self.delete_row_ns
             + c.index_updates * self.index_update_ns
+            + c.blocks_checked * self.block_check_ns
     }
 }
 

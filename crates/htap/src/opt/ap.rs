@@ -46,32 +46,51 @@ pub fn plan(ctx: &PlannerCtx) -> Result<PlanNode, OptError> {
     finalize(ctx, current)
 }
 
-/// Columnar scan + vectorized filter for one slot.
+/// Fraction of the estimated zone-map block skipping the cost model trusts.
+/// Deliberately conservative: the planning-time estimate assumes clustering
+/// that only sequentially generated keys guarantee, and the AP cost scale
+/// feeds the tree-CNN plan embeddings the knowledge retrieval is calibrated
+/// on — a full-trust discount moves filtered-scan costs enough to degrade
+/// retrieval quality (`tests/paper_shapes.rs` pins that shape).
+pub const PRUNE_COST_TRUST: f64 = 0.5;
+
+/// Columnar scan + vectorized filter for one slot. When pushdown is enabled
+/// the filter conjunction also lands in the scan node, where the executors'
+/// [`crate::storage::ScanPruner`] uses it to skip whole base blocks; the
+/// filter's per-row cost estimate shrinks by the block-stat selectivity
+/// [`stats::zone_prune_fraction`] predicts for it.
 pub fn access_path(ctx: &PlannerCtx, slot: usize) -> Result<PlanNode, OptError> {
     let def = ctx.table_def(slot)?;
     let n = def.row_count as f64;
     let columns = ctx.referenced_columns(slot);
+    let filter = ctx.combined_filter(slot);
+    let pushed = filter.as_ref().filter(|_| ctx.pushdown).cloned();
     let scan = PlanNode::new(
         NodeType::TableScan,
-        PlanOp::TableScan { table_slot: slot, columns: columns.clone() },
+        PlanOp::TableScan { table_slot: slot, columns: columns.clone(), pushed },
     )
     .with_relation(&def.name)
     .with_estimates(COST_SCAN_OPEN, n);
-    match ctx.combined_filter(slot) {
-        Some(pred) => {
-            let rows = ctx.filtered_card(slot);
-            // Vectorized filter touches each referenced column once.
-            let cost = COST_SCAN_OPEN + n * COST_FILTER_ROW * (columns.len() as f64).sqrt();
-            let detail = detail_of(&pred, ctx.query, ctx.catalog);
-            Ok(
-                PlanNode::new(NodeType::Filter, PlanOp::Filter { predicate: pred })
-                    .with_detail(detail)
-                    .with_estimates(cost, rows)
-                    .with_child(scan),
-            )
-        }
-        None => Ok(scan),
-    }
+    let Some(pred) = filter else {
+        return Ok(scan);
+    };
+    let prune_frac = if ctx.pushdown {
+        stats::zone_prune_fraction(ctx.stats, ctx.query, ctx.catalog, &pred)
+    } else {
+        0.0
+    };
+    let rows = ctx.filtered_card(slot);
+    // Vectorized filter touches each referenced column once — over the
+    // blocks zone maps are expected to leave standing.
+    let scanned = n * (1.0 - PRUNE_COST_TRUST * prune_frac);
+    let cost = COST_SCAN_OPEN + scanned * COST_FILTER_ROW * (columns.len() as f64).sqrt();
+    let detail = detail_of(&pred, ctx.query, ctx.catalog);
+    Ok(
+        PlanNode::new(NodeType::Filter, PlanOp::Filter { predicate: pred })
+            .with_detail(detail)
+            .with_estimates(cost, rows)
+            .with_child(scan),
+    )
 }
 
 /// Hash join of `current` with table `next`; the smaller side builds.

@@ -56,12 +56,23 @@ pub struct PlannerCtx<'a> {
     pub stats: &'a DbStats,
     /// Catalog access (index metadata, column widths).
     pub catalog: &'a dyn Catalog,
+    /// Whether the AP planner pushes filter conjunctions into scan nodes for
+    /// zone-map block pruning (on by default; benchmarks and differential
+    /// tests turn it off to measure/verify the unpruned path).
+    pub pushdown: bool,
 }
 
 impl<'a> PlannerCtx<'a> {
-    /// Creates a context.
+    /// Creates a context (scan-predicate pushdown enabled).
     pub fn new(query: &'a BoundQuery, stats: &'a DbStats, catalog: &'a dyn Catalog) -> Self {
-        PlannerCtx { query, stats, catalog }
+        PlannerCtx { query, stats, catalog, pushdown: true }
+    }
+
+    /// The same context with scan-predicate pushdown disabled — plans then
+    /// read every block, exactly as before zone maps existed.
+    pub fn without_pushdown(mut self) -> Self {
+        self.pushdown = false;
+        self
     }
 
     /// Table definition for a slot.

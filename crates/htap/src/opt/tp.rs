@@ -283,7 +283,8 @@ pub fn access_path(ctx: &PlannerCtx, slot: usize) -> Result<PlanNode, OptError> 
 
     let scan = PlanNode::new(
         NodeType::TableScan,
-        PlanOp::TableScan { table_slot: slot, columns },
+        // The row store has no zone maps; TP scans never push predicates.
+        PlanOp::TableScan { table_slot: slot, columns, pushed: None },
     )
     .with_relation(&table)
     .with_estimates(n * COST_ROW_SCAN, n);

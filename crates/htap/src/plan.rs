@@ -164,6 +164,12 @@ pub enum PlanOp {
         table_slot: usize,
         /// Column indexes to materialize (output layout order).
         columns: Vec<usize>,
+        /// Filter conjunction pushed down for zone-map block pruning (AP
+        /// plans only; TP scans ignore it). The predicate still evaluates
+        /// row-wise in the Filter above — the scan uses it solely to skip
+        /// base blocks whose stats headers refute it, so results are
+        /// identical with or without the pushdown.
+        pushed: Option<BoundExpr>,
     },
     /// B-tree index scan on `column_idx`.
     IndexScan {
@@ -357,7 +363,7 @@ impl PlanNode {
     /// positionally).
     pub fn output_schema(&self) -> Schema {
         match &self.op {
-            PlanOp::TableScan { table_slot, columns }
+            PlanOp::TableScan { table_slot, columns, .. }
             | PlanOp::IndexScan { table_slot, columns, .. }
             | PlanOp::IndexProbe { table_slot, columns, .. } => Schema::new(
                 columns.iter().map(|&c| (*table_slot, c)).collect(),
@@ -478,9 +484,12 @@ mod tests {
     use super::*;
 
     fn scan(slot: usize, cols: Vec<usize>) -> PlanNode {
-        PlanNode::new(NodeType::TableScan, PlanOp::TableScan { table_slot: slot, columns: cols })
-            .with_relation(format!("t{slot}"))
-            .with_estimates(10.0, 100.0)
+        PlanNode::new(
+            NodeType::TableScan,
+            PlanOp::TableScan { table_slot: slot, columns: cols, pushed: None },
+        )
+        .with_relation(format!("t{slot}"))
+        .with_estimates(10.0, 100.0)
     }
 
     #[test]

@@ -279,6 +279,82 @@ fn raw_selectivity(stats: &DbStats, query: &BoundQuery, expr: &BoundExpr) -> f64
     }
 }
 
+/// Planning-time estimate of the fraction of base blocks a zone-map pruner
+/// can skip for predicate `expr` — the "block-stat selectivity" the AP cost
+/// model discounts filtered scans by.
+///
+/// Zone maps only skip blocks when matching rows are *clustered*: a range
+/// over a column whose values arrive in order refutes most blocks, while the
+/// same range over shuffled values leaves every block's min/max straddling
+/// it. Per-block layout is not in `DbStats`, so this uses the one clustering
+/// signal the system actually has: primary keys are generated sequentially,
+/// so range/BETWEEN conjuncts on a table's primary key prune roughly
+/// `1 - selectivity` of its blocks. Everything else estimates 0 — the
+/// executor may still prune (e.g. equality on a constant-heavy column), it
+/// is just not *predictable* from table-level stats, and a conservative cost
+/// model beats an optimistic one. Equality conjuncts are also excluded so
+/// the engines' deliberately incomparable cost scales keep their paper
+/// shape for point lookups.
+pub fn zone_prune_fraction(
+    stats: &DbStats,
+    query: &BoundQuery,
+    catalog: &dyn qpe_sql::catalog::Catalog,
+    expr: &BoundExpr,
+) -> f64 {
+    let frac = match expr {
+        BoundExpr::Binary { left, op: BinaryOp::And, right } => {
+            // One conjunct's skipping suffices: a block survives only if
+            // every conjunct admits it.
+            zone_prune_fraction(stats, query, catalog, left)
+                .max(zone_prune_fraction(stats, query, catalog, right))
+        }
+        BoundExpr::Binary { left, op, right }
+            if matches!(
+                op,
+                BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            ) =>
+        {
+            let clustered = left
+                .as_bare_column()
+                .or_else(|| right.as_bare_column())
+                .map(|c| column_is_primary_key(query, catalog, c))
+                .unwrap_or(false);
+            if clustered {
+                1.0 - range_selectivity(stats, query, left, *op, right)
+            } else {
+                0.0
+            }
+        }
+        BoundExpr::Between { expr: inner, .. } => {
+            let clustered = inner
+                .as_bare_column()
+                .map(|c| column_is_primary_key(query, catalog, c))
+                .unwrap_or(false);
+            if clustered {
+                1.0 - raw_selectivity(stats, query, expr)
+            } else {
+                0.0
+            }
+        }
+        _ => 0.0,
+    };
+    frac.clamp(0.0, 0.98)
+}
+
+fn column_is_primary_key(
+    query: &BoundQuery,
+    catalog: &dyn qpe_sql::catalog::Catalog,
+    c: &qpe_sql::binder::ColumnRef,
+) -> bool {
+    let Some(table) = query.tables.get(c.table_slot) else {
+        return false;
+    };
+    let Some(def) = catalog.table(&table.name) else {
+        return false;
+    };
+    def.column_index(&def.primary_key) == Some(c.column_idx)
+}
+
 fn eq_selectivity(
     stats: &DbStats,
     query: &BoundQuery,

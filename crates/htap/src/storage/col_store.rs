@@ -5,6 +5,35 @@
 //! This is the structural advantage the paper's expert explanations cite for
 //! AP ("scan only relevant columns and apply filters before joining").
 //!
+//! # Base segment: blocks, zone maps, encodings
+//!
+//! The immutable base segment is logically divided into fixed-size blocks
+//! (sized adaptively per table by
+//! [`crate::storage::zone::default_block_rows`]). Each block carries a
+//! stats header — min/max, NULL count, constant hint
+//! ([`crate::storage::zone::BlockZone`]) — built at load and rebuilt by
+//! [`ColumnTable::compact`]. Scans with a pushed-down predicate consult the
+//! headers through [`crate::storage::zone::ScanPruner`] and skip whole
+//! blocks without touching a cell.
+//!
+//! On top of the plain typed vectors, two encoded representations are chosen
+//! per column by a cost rule over the data ([`ColumnData::encoded`]):
+//!
+//! * **dictionary** ([`ColumnData::Dict`]) for low-cardinality strings —
+//!   per-row `u32` codes into a small value table, so equality and IN
+//!   predicates compare codes instead of strings and cell reads stay
+//!   zero-copy (`&str` borrowed from the dictionary);
+//! * **run-length** ([`ColumnData::RleInt`] / [`ColumnData::RleDate`]) for
+//!   run-heavy (sorted or constant) integer/date columns — `(value, end)`
+//!   runs with `O(log runs)` point access.
+//!
+//! Typed-but-nullable data keeps its typed vector plus a null mask
+//! ([`ColumnData::Nullable`]) instead of demoting to generic `Value`s, so a
+//! single NULL no longer knocks a column off the vectorized fast path.
+//! Encodings apply to the *base* only; delta builders stay plain typed
+//! (append-friendly), and compaction re-runs the cost rule over the merged
+//! data.
+//!
 //! # Delta region (write path)
 //!
 //! The base columns are immutable between compactions. Writes land in a
@@ -21,11 +50,137 @@
 //! and clears the bitmap, restoring the zero-copy clean-scan fast path.
 //! Readers see every write immediately — scans cover both regions through
 //! [`ColRef`] — so AP reads are always fresh without waiting for compaction.
+//! Zone-map pruning never touches the delta (it has no headers), which is
+//! the rule that keeps block skipping correct under DML: a block header can
+//! only be stale in the conservative direction (tombstones shrink the true
+//! range), and every buffered write is always scanned.
 
+use super::zone::{self, BlockZone};
 use qpe_sql::value::Value;
 
-/// Typed column data. Generated TPC-H data has no NULLs, but a NULL-tolerant
-/// variant keeps the executor general.
+/// Minimum base-segment length before the encoder considers dictionary/RLE
+/// representations (tiny columns gain nothing and keep tests transparent).
+pub const ENCODE_MIN_ROWS: usize = 64;
+/// Maximum distinct strings a dictionary may hold.
+pub const DICT_MAX_VALUES: usize = 255;
+
+/// Dictionary-encoded low-cardinality string column: per-row codes into a
+/// small table of distinct values (first-appearance order).
+#[derive(Debug, Clone)]
+pub struct DictColumn {
+    /// One code per row.
+    pub codes: Vec<u32>,
+    /// Distinct strings, indexed by code.
+    pub values: Vec<String>,
+}
+
+impl DictColumn {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Borrowed string at row `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &str {
+        &self.values[self.codes[i] as usize]
+    }
+
+    /// The code for `s`, if the dictionary contains it — the entry point for
+    /// code-to-code equality kernels (a miss means no row can match).
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.values.iter().position(|v| v == s).map(|p| p as u32)
+    }
+
+    /// Builds a dictionary when the cost rule holds: at most
+    /// [`DICT_MAX_VALUES`] distinct strings and at least 4 rows per distinct
+    /// value on average.
+    fn build(strings: &[String]) -> Option<DictColumn> {
+        let mut values: Vec<String> = Vec::new();
+        let mut index: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+        let mut codes = Vec::with_capacity(strings.len());
+        for s in strings {
+            let next = values.len() as u32;
+            let code = *index.entry(s.as_str()).or_insert_with(|| {
+                values.push(s.clone());
+                next
+            });
+            if values.len() > DICT_MAX_VALUES {
+                return None;
+            }
+            codes.push(code);
+        }
+        if values.len() * 4 <= strings.len() {
+            Some(DictColumn { codes, values })
+        } else {
+            None
+        }
+    }
+}
+
+/// Run-length encoded fixed-width column: run `k` covers rows
+/// `ends[k-1]..ends[k]` with value `vals[k]`.
+#[derive(Debug, Clone)]
+pub struct RleRuns<T> {
+    /// Exclusive end row of each run, ascending.
+    pub ends: Vec<u32>,
+    /// Value of each run.
+    pub vals: Vec<T>,
+}
+
+impl<T: Copy + PartialEq> RleRuns<T> {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.ends.last().copied().unwrap_or(0) as usize
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Number of runs.
+    pub fn n_runs(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Value at row `i` (`O(log runs)` binary search).
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        let run = self.ends.partition_point(|&e| e as usize <= i);
+        self.vals[run]
+    }
+
+    /// Encodes `v` when the cost rule holds: at least 4 rows per run on
+    /// average (sorted/constant data; random data stays plain).
+    fn build(v: &[T]) -> Option<RleRuns<T>> {
+        let mut ends = Vec::new();
+        let mut vals: Vec<T> = Vec::new();
+        for (i, x) in v.iter().enumerate() {
+            match vals.last() {
+                Some(last) if last == x => *ends.last_mut().unwrap() = (i + 1) as u32,
+                _ => {
+                    vals.push(*x);
+                    ends.push((i + 1) as u32);
+                }
+            }
+        }
+        if vals.len() * 4 <= v.len() {
+            Some(RleRuns { ends, vals })
+        } else {
+            None
+        }
+    }
+}
+
+/// Typed column data. Plain typed vectors are the default; the encoded and
+/// nullable representations are produced by [`ColumnData::from_values`] and
+/// [`ColumnData::encoded`] and read back through the same cell interface.
 #[derive(Debug, Clone)]
 pub enum ColumnData {
     /// i64 column.
@@ -36,89 +191,165 @@ pub enum ColumnData {
     Str(Vec<String>),
     /// Date column (days since epoch).
     Date(Vec<i32>),
-    /// Mixed/NULL-bearing column (fallback representation).
+    /// Dictionary-encoded low-cardinality string column (base segments).
+    Dict(DictColumn),
+    /// Run-length encoded i64 column (base segments).
+    RleInt(RleRuns<i64>),
+    /// Run-length encoded date column (base segments).
+    RleDate(RleRuns<i32>),
+    /// Typed column with a null mask: `nulls[i]` marks NULL and the value at
+    /// that position in `values` is a meaningless sentinel. Keeps nullable
+    /// columns on the typed fast path instead of demoting to `Mixed`.
+    Nullable {
+        /// Per-row NULL flags.
+        nulls: Vec<bool>,
+        /// Dense typed values (sentinel-filled at NULL positions); always a
+        /// plain typed variant.
+        values: Box<ColumnData>,
+    },
+    /// Heterogeneous column (fallback representation).
     Mixed(Vec<Value>),
 }
 
 impl ColumnData {
-    /// Builds typed storage from generic values, falling back to `Mixed` if
-    /// the column is heterogeneous or contains NULLs.
-    ///
-    /// Single pass: the first value picks the candidate representation and
-    /// ingestion proceeds directly into the typed vector, demoting to
-    /// `Mixed` the moment a value disagrees (instead of pre-scanning the
-    /// column once per candidate type).
+    /// Builds typed storage from generic values. The first *non-NULL* value
+    /// picks the representation; NULLs grow a null mask over the typed
+    /// vector ([`ColumnData::Nullable`]) instead of demoting the column, so
+    /// only genuinely heterogeneous data falls back to `Mixed`.
     pub fn from_values(values: &[Value]) -> Self {
-        let Some(first) = values.first() else {
-            return ColumnData::Mixed(Vec::new());
+        let Some(first) = values.iter().find(|v| !v.is_null()) else {
+            // Empty or all-NULL.
+            return ColumnData::Mixed(values.to_vec());
         };
+        macro_rules! ingest {
+            ($variant:ident, $pat:pat => $val:expr, $sentinel:expr) => {{
+                let mut out = Vec::with_capacity(values.len());
+                let mut nulls: Option<Vec<bool>> = None;
+                for (i, v) in values.iter().enumerate() {
+                    match v {
+                        $pat => {
+                            out.push($val);
+                            if let Some(n) = &mut nulls {
+                                n.push(false);
+                            }
+                        }
+                        Value::Null => {
+                            nulls.get_or_insert_with(|| vec![false; i]).push(true);
+                            out.push($sentinel);
+                        }
+                        _ => return Self::demote(values, i),
+                    }
+                }
+                match nulls {
+                    Some(nulls) => ColumnData::Nullable {
+                        nulls,
+                        values: Box::new(ColumnData::$variant(out)),
+                    },
+                    None => ColumnData::$variant(out),
+                }
+            }};
+        }
         match first {
-            Value::Int(_) => {
-                let mut out = Vec::with_capacity(values.len());
-                for (i, v) in values.iter().enumerate() {
-                    match v {
-                        Value::Int(x) => out.push(*x),
-                        _ => return Self::demote(values, i),
-                    }
-                }
-                ColumnData::Int(out)
-            }
-            Value::Float(_) => {
-                let mut out = Vec::with_capacity(values.len());
-                for (i, v) in values.iter().enumerate() {
-                    match v {
-                        Value::Float(x) => out.push(*x),
-                        _ => return Self::demote(values, i),
-                    }
-                }
-                ColumnData::Float(out)
-            }
-            Value::Str(_) => {
-                let mut out = Vec::with_capacity(values.len());
-                for (i, v) in values.iter().enumerate() {
-                    match v {
-                        Value::Str(x) => out.push(x.clone()),
-                        _ => return Self::demote(values, i),
-                    }
-                }
-                ColumnData::Str(out)
-            }
-            Value::Date(_) => {
-                let mut out = Vec::with_capacity(values.len());
-                for (i, v) in values.iter().enumerate() {
-                    match v {
-                        Value::Date(x) => out.push(*x),
-                        _ => return Self::demote(values, i),
-                    }
-                }
-                ColumnData::Date(out)
-            }
-            Value::Null => ColumnData::Mixed(values.to_vec()),
+            Value::Int(_) => ingest!(Int, Value::Int(x) => *x, 0),
+            Value::Float(_) => ingest!(Float, Value::Float(x) => *x, 0.0),
+            Value::Str(_) => ingest!(Str, Value::Str(s) => s.clone(), String::new()),
+            Value::Date(_) => ingest!(Date, Value::Date(d) => *d, 0),
+            Value::Null => unreachable!("first is non-null"),
         }
     }
 
-    /// Cold path of [`ColumnData::from_values`]: a type mismatch was found at
-    /// position `_at`; store the whole column as generic values.
+    /// Cold path of [`ColumnData::from_values`]: a genuine type mismatch was
+    /// found at position `_at`; store the whole column as generic values.
     #[cold]
     fn demote(values: &[Value], _at: usize) -> Self {
         ColumnData::Mixed(values.to_vec())
     }
 
-    /// An empty column of the same typed representation — the shape of a
-    /// fresh delta builder for this base column.
+    /// Applies the base-segment encoding cost rule: re-types homogeneous
+    /// `Mixed` columns first, then dictionary-encodes low-cardinality
+    /// strings and run-length-encodes run-heavy integers/dates. Columns
+    /// below [`ENCODE_MIN_ROWS`] and poor fits stay plain.
+    pub fn encoded(self) -> ColumnData {
+        let col = match self {
+            ColumnData::Mixed(values) => ColumnData::from_values(&values),
+            other => other,
+        };
+        if col.len() < ENCODE_MIN_ROWS {
+            return col;
+        }
+        match col {
+            ColumnData::Str(v) => match DictColumn::build(&v) {
+                Some(d) => ColumnData::Dict(d),
+                None => ColumnData::Str(v),
+            },
+            ColumnData::Int(v) => match RleRuns::build(&v) {
+                Some(r) => ColumnData::RleInt(r),
+                None => ColumnData::Int(v),
+            },
+            ColumnData::Date(v) => match RleRuns::build(&v) {
+                Some(r) => ColumnData::RleDate(r),
+                None => ColumnData::Date(v),
+            },
+            other => other,
+        }
+    }
+
+    /// An empty column of the shape a fresh delta builder should have for
+    /// this base column: plain typed (append-friendly) — encoded bases get
+    /// plain builders of the decoded type.
     pub fn empty_like(&self) -> ColumnData {
         match self {
-            ColumnData::Int(_) => ColumnData::Int(Vec::new()),
+            ColumnData::Int(_) | ColumnData::RleInt(_) => ColumnData::Int(Vec::new()),
             ColumnData::Float(_) => ColumnData::Float(Vec::new()),
-            ColumnData::Str(_) => ColumnData::Str(Vec::new()),
-            ColumnData::Date(_) => ColumnData::Date(Vec::new()),
+            ColumnData::Str(_) | ColumnData::Dict(_) => ColumnData::Str(Vec::new()),
+            ColumnData::Date(_) | ColumnData::RleDate(_) => ColumnData::Date(Vec::new()),
+            ColumnData::Nullable { values, .. } => values.empty_like(),
             ColumnData::Mixed(_) => ColumnData::Mixed(Vec::new()),
         }
     }
 
-    /// Appends one value, demoting the whole column to `Mixed` when the
-    /// value does not fit the typed representation (e.g. a NULL arriving in
-    /// an `Int` delta builder).
+    /// True for the four plain typed vector representations.
+    fn is_plain_typed(&self) -> bool {
+        matches!(
+            self,
+            ColumnData::Int(_) | ColumnData::Float(_) | ColumnData::Str(_) | ColumnData::Date(_)
+        )
+    }
+
+    /// True when a non-NULL `v` fits this plain typed representation.
+    fn fits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (ColumnData::Int(_), Value::Int(_))
+                | (ColumnData::Float(_), Value::Float(_))
+                | (ColumnData::Str(_), Value::Str(_))
+                | (ColumnData::Date(_), Value::Date(_))
+        )
+    }
+
+    /// Pushes the NULL sentinel of this plain typed representation.
+    fn push_sentinel(&mut self) {
+        match self {
+            ColumnData::Int(b) => b.push(0),
+            ColumnData::Float(b) => b.push(0.0),
+            ColumnData::Str(b) => b.push(String::new()),
+            ColumnData::Date(b) => b.push(0),
+            other => other.push(Value::Null),
+        }
+    }
+
+    /// Wraps a plain typed column into [`ColumnData::Nullable`] with an
+    /// all-false mask (the step a typed builder takes when its first NULL
+    /// arrives, instead of demoting to `Mixed`).
+    #[cold]
+    fn promote_nullable(&mut self) {
+        let inner = std::mem::replace(self, ColumnData::Mixed(Vec::new()));
+        let n = inner.len();
+        *self = ColumnData::Nullable { nulls: vec![false; n], values: Box::new(inner) };
+    }
+
+    /// Appends one value. NULLs arriving in plain typed storage grow a null
+    /// mask; only genuine type mismatches demote the column to `Mixed`.
     pub fn push(&mut self, v: Value) {
         match (&mut *self, v) {
             (ColumnData::Int(buf), Value::Int(x)) => buf.push(x),
@@ -126,8 +357,20 @@ impl ColumnData {
             (ColumnData::Str(buf), Value::Str(s)) => buf.push(s),
             (ColumnData::Date(buf), Value::Date(d)) => buf.push(d),
             (ColumnData::Mixed(buf), v) => buf.push(v),
+            (ColumnData::Nullable { nulls, values }, Value::Null) => {
+                nulls.push(true);
+                values.push_sentinel();
+            }
+            (ColumnData::Nullable { nulls, values }, v) if values.fits(&v) => {
+                nulls.push(false);
+                values.push(v);
+            }
             (_, v) => {
-                self.demote_in_place();
+                if v.is_null() && self.is_plain_typed() {
+                    self.promote_nullable();
+                } else {
+                    self.demote_in_place();
+                }
                 self.push(v);
             }
         }
@@ -135,13 +378,7 @@ impl ColumnData {
 
     #[cold]
     fn demote_in_place(&mut self) {
-        let values: Vec<Value> = match std::mem::replace(self, ColumnData::Mixed(Vec::new())) {
-            ColumnData::Int(buf) => buf.into_iter().map(Value::Int).collect(),
-            ColumnData::Float(buf) => buf.into_iter().map(Value::Float).collect(),
-            ColumnData::Str(buf) => buf.into_iter().map(Value::Str).collect(),
-            ColumnData::Date(buf) => buf.into_iter().map(Value::Date).collect(),
-            ColumnData::Mixed(buf) => buf,
-        };
+        let values: Vec<Value> = (0..self.len()).map(|i| self.get(i)).collect();
         *self = ColumnData::Mixed(values);
     }
 
@@ -152,6 +389,10 @@ impl ColumnData {
             ColumnData::Float(v) => v.len(),
             ColumnData::Str(v) => v.len(),
             ColumnData::Date(v) => v.len(),
+            ColumnData::Dict(d) => d.len(),
+            ColumnData::RleInt(r) => r.len(),
+            ColumnData::RleDate(r) => r.len(),
+            ColumnData::Nullable { nulls, .. } => nulls.len(),
             ColumnData::Mixed(v) => v.len(),
         }
     }
@@ -168,6 +409,16 @@ impl ColumnData {
             ColumnData::Float(v) => Value::Float(v[i]),
             ColumnData::Str(v) => Value::Str(v[i].clone()),
             ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Dict(d) => Value::Str(d.get(i).to_string()),
+            ColumnData::RleInt(r) => Value::Int(r.get(i)),
+            ColumnData::RleDate(r) => Value::Date(r.get(i)),
+            ColumnData::Nullable { nulls, values } => {
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    values.get(i)
+                }
+            }
             ColumnData::Mixed(v) => v[i].clone(),
         }
     }
@@ -214,19 +465,35 @@ impl ColumnData {
             (ColumnData::Float(a), ColumnData::Float(b)) => a.extend(b),
             (ColumnData::Str(a), ColumnData::Str(b)) => a.extend(b),
             (ColumnData::Date(a), ColumnData::Date(b)) => a.extend(b),
+            (
+                ColumnData::Nullable { nulls, values },
+                ColumnData::Nullable { nulls: n2, values: v2 },
+            ) => {
+                nulls.extend(n2);
+                values.append(*v2);
+            }
+            (ColumnData::Nullable { nulls, values }, b) if b.is_plain_typed() => {
+                nulls.extend(std::iter::repeat_n(false, b.len()));
+                values.append(b);
+            }
             (ColumnData::Mixed(a), b) => a.extend((0..b.len()).map(|i| b.get(i))),
             (_, b) if b.is_empty() => {}
             (a, b) if a.is_empty() => *a = b,
             (_, b) => {
-                self.demote_in_place();
+                if self.is_plain_typed() && matches!(b, ColumnData::Nullable { .. }) {
+                    self.promote_nullable();
+                } else {
+                    self.demote_in_place();
+                }
                 self.append(b);
             }
         }
     }
 
     /// Gathers the given physical positions into a new dense typed column,
-    /// preserving the storage representation (no per-cell [`Value`] boxing
-    /// for numeric columns).
+    /// preserving the storage representation where it stays profitable
+    /// (dictionary gathers copy `u32` codes, not strings; RLE decodes — a
+    /// gathered subset rarely keeps its runs).
     pub fn gather_rows(&self, idxs: &[u32]) -> ColumnData {
         match self {
             ColumnData::Int(v) => {
@@ -241,6 +508,20 @@ impl ColumnData {
             ColumnData::Date(v) => {
                 ColumnData::Date(idxs.iter().map(|&i| v[i as usize]).collect())
             }
+            ColumnData::Dict(d) => ColumnData::Dict(DictColumn {
+                codes: idxs.iter().map(|&i| d.codes[i as usize]).collect(),
+                values: d.values.clone(),
+            }),
+            ColumnData::RleInt(r) => {
+                ColumnData::Int(idxs.iter().map(|&i| r.get(i as usize)).collect())
+            }
+            ColumnData::RleDate(r) => {
+                ColumnData::Date(idxs.iter().map(|&i| r.get(i as usize)).collect())
+            }
+            ColumnData::Nullable { nulls, values } => ColumnData::Nullable {
+                nulls: idxs.iter().map(|&i| nulls[i as usize]).collect(),
+                values: Box::new(values.gather_rows(idxs)),
+            },
             ColumnData::Mixed(v) => {
                 ColumnData::Mixed(idxs.iter().map(|&i| v[i as usize].clone()).collect())
             }
@@ -343,6 +624,44 @@ impl<'a> ColRef<'a> {
                     (ColumnData::Float(b), ColumnData::Float(d)) => typed_gather!(Float, b, d),
                     (ColumnData::Str(b), ColumnData::Str(d)) => typed_gather!(Str, b, d),
                     (ColumnData::Date(b), ColumnData::Date(d)) => typed_gather!(Date, b, d),
+                    // Encoded base + plain delta: decode through `get` into
+                    // the plain typed representation the delta already has.
+                    (ColumnData::Dict(db), ColumnData::Str(d)) => ColumnData::Str(
+                        idxs.iter()
+                            .map(|&i| {
+                                let i = i as usize;
+                                if i < split {
+                                    db.get(i).to_string()
+                                } else {
+                                    d[i - split].clone()
+                                }
+                            })
+                            .collect(),
+                    ),
+                    (ColumnData::RleInt(rb), ColumnData::Int(d)) => ColumnData::Int(
+                        idxs.iter()
+                            .map(|&i| {
+                                let i = i as usize;
+                                if i < split {
+                                    rb.get(i)
+                                } else {
+                                    d[i - split]
+                                }
+                            })
+                            .collect(),
+                    ),
+                    (ColumnData::RleDate(rb), ColumnData::Date(d)) => ColumnData::Date(
+                        idxs.iter()
+                            .map(|&i| {
+                                let i = i as usize;
+                                if i < split {
+                                    rb.get(i)
+                                } else {
+                                    d[i - split]
+                                }
+                            })
+                            .collect(),
+                    ),
                     _ => ColumnData::Mixed(idxs.iter().map(|&i| self.get(i as usize)).collect()),
                 }
             }
@@ -361,7 +680,8 @@ impl<'a> ColRef<'a> {
     }
 }
 
-/// A column-store table: immutable typed base columns plus the delta region.
+/// A column-store table: immutable typed base columns (block-structured,
+/// possibly encoded) plus the delta region.
 #[derive(Debug)]
 pub struct ColumnTable {
     name: String,
@@ -377,16 +697,27 @@ pub struct ColumnTable {
     /// Monotonically increasing write stamp (bumps on every insert, delete,
     /// update and compaction).
     version: u64,
+    /// Rows per zone-map block (recomputed adaptively per base rebuild
+    /// unless pinned by [`ColumnTable::set_block_rows`]).
+    block_rows: usize,
+    /// Explicit block-size override (tests / experiments).
+    block_rows_override: Option<usize>,
+    /// Per-column block stats headers over the base segment, rebuilt at
+    /// load and at compaction.
+    zones: Vec<Vec<BlockZone>>,
 }
 
 impl ColumnTable {
-    /// Builds typed columns from generic column-major data.
+    /// Builds typed (and, where the cost rule fires, encoded) columns from
+    /// generic column-major data and computes the block stats headers.
     pub fn from_columns(name: &str, columns: &[Vec<Value>]) -> Self {
         let rows = columns.first().map(|c| c.len()).unwrap_or(0);
-        let base: Vec<ColumnData> =
-            columns.iter().map(|c| ColumnData::from_values(c)).collect();
+        let base: Vec<ColumnData> = columns
+            .iter()
+            .map(|c| ColumnData::from_values(c).encoded())
+            .collect();
         let delta = base.iter().map(|c| c.empty_like()).collect();
-        ColumnTable {
+        let mut t = ColumnTable {
             name: name.to_string(),
             base,
             delta,
@@ -395,7 +726,12 @@ impl ColumnTable {
             deleted: vec![false; rows],
             n_deleted: 0,
             version: 0,
-        }
+            block_rows: zone::default_block_rows(rows),
+            block_rows_override: None,
+            zones: Vec::new(),
+        };
+        t.rebuild_zones();
+        t
     }
 
     /// Table name.
@@ -411,6 +747,11 @@ impl ColumnTable {
     /// Number of physical rids (`base + delta`, tombstones included).
     pub fn physical_len(&self) -> usize {
         self.base_rows + self.delta_rows
+    }
+
+    /// Rows in the base segment (tombstones included).
+    pub fn base_len(&self) -> usize {
+        self.base_rows
     }
 
     /// Rows currently in the delta region (the freshness backlog),
@@ -452,6 +793,45 @@ impl ColumnTable {
     /// Number of columns.
     pub fn width(&self) -> usize {
         self.base.len()
+    }
+
+    /// Rows per zone-map block.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Number of zone-map blocks over the base segment.
+    pub fn n_blocks(&self) -> usize {
+        self.base_rows.div_ceil(self.block_rows)
+    }
+
+    /// Physical rid range of base block `b`.
+    pub fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        let lo = b * self.block_rows;
+        lo..((b + 1) * self.block_rows).min(self.base_rows)
+    }
+
+    /// Block stats headers of column `ci` (one per base block).
+    pub fn zones(&self, ci: usize) -> &[BlockZone] {
+        &self.zones[ci]
+    }
+
+    /// Re-chunks the zone maps at a different block size (blocks are
+    /// metadata over the contiguous base, so this rebuilds headers only —
+    /// tests and small-scale benchmarks use it to get real block counts out
+    /// of tiny tables).
+    pub fn set_block_rows(&mut self, rows: usize) {
+        self.block_rows_override = Some(rows.max(1));
+        self.block_rows = rows.max(1);
+        self.rebuild_zones();
+    }
+
+    fn rebuild_zones(&mut self) {
+        self.zones = self
+            .base
+            .iter()
+            .map(|c| zone::column_zones(c, self.block_rows))
+            .collect();
     }
 
     /// The *base segment* of column `ci` (zero-copy; pair with
@@ -522,6 +902,9 @@ impl ColumnTable {
     /// Merges live delta rows into fresh base columns and clears the bitmap
     /// — the freshness mechanism made explicit. Physical rids re-pack to
     /// `0..row_count()`; subsequent scans take the zero-copy clean path.
+    /// The merged base re-runs the encoding cost rule and rebuilds every
+    /// block stats header, so zone maps left stale by deletes (conservative
+    /// but loose) tighten back to exact.
     pub fn compact(&mut self) {
         if self.is_clean() {
             return;
@@ -529,7 +912,7 @@ impl ColumnTable {
         let live = self.live_rids();
         let mut new_base = Vec::with_capacity(self.base.len());
         for ci in 0..self.base.len() {
-            new_base.push(self.column_ref(ci).gather_rows(&live));
+            new_base.push(self.column_ref(ci).gather_rows(&live).encoded());
         }
         self.base_rows = live.len();
         self.delta = new_base.iter().map(|c| c.empty_like()).collect();
@@ -538,6 +921,10 @@ impl ColumnTable {
         self.deleted = vec![false; self.base_rows];
         self.n_deleted = 0;
         self.version += 1;
+        self.block_rows = self
+            .block_rows_override
+            .unwrap_or_else(|| zone::default_block_rows(self.base_rows));
+        self.rebuild_zones();
     }
 
     /// Materializes the selected physical rids restricted to `needed`
@@ -573,12 +960,132 @@ mod tests {
         assert!(matches!(t.column(1), ColumnData::Float(_)));
         assert!(matches!(t.column(2), ColumnData::Str(_)));
         assert!(matches!(t.column(3), ColumnData::Date(_)));
-        assert!(matches!(t.column(4), ColumnData::Mixed(_)));
+        // A NULL no longer demotes the column to Mixed: typed + null mask.
+        assert!(matches!(t.column(4), ColumnData::Nullable { .. }));
+        assert_eq!(t.column(4).get(0), Value::Int(1));
+        assert_eq!(t.column(4).get(1), Value::Null);
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.width(), 5);
         assert_eq!(t.name(), "t");
         assert!(t.is_clean());
         assert_eq!(t.version(), 0);
+    }
+
+    #[test]
+    fn leading_null_keeps_typed_storage() {
+        let col = ColumnData::from_values(&[
+            Value::Null,
+            Value::Str("x".into()),
+            Value::Null,
+            Value::Str("y".into()),
+        ]);
+        let ColumnData::Nullable { nulls, values } = &col else {
+            panic!("expected Nullable, got {col:?}");
+        };
+        assert_eq!(nulls, &vec![true, false, true, false]);
+        assert!(matches!(**values, ColumnData::Str(_)));
+        assert_eq!(col.get(0), Value::Null);
+        assert_eq!(col.get(1), Value::Str("x".into()));
+        // All-NULL and genuinely mixed columns still fall back.
+        assert!(matches!(
+            ColumnData::from_values(&[Value::Null, Value::Null]),
+            ColumnData::Mixed(_)
+        ));
+        assert!(matches!(
+            ColumnData::from_values(&[Value::Int(1), Value::Str("x".into())]),
+            ColumnData::Mixed(_)
+        ));
+    }
+
+    #[test]
+    fn nullable_push_append_gather_round_trip() {
+        let mut col = ColumnData::Int(vec![1, 2]);
+        col.push(Value::Null); // promotes instead of demoting
+        col.push(Value::Int(4));
+        assert!(matches!(col, ColumnData::Nullable { .. }));
+        assert_eq!(col.len(), 4);
+        assert_eq!(col.get(2), Value::Null);
+        assert_eq!(col.get(3), Value::Int(4));
+        let gathered = col.gather_rows(&[3, 2, 0]);
+        assert!(matches!(gathered, ColumnData::Nullable { .. }));
+        assert_eq!(gathered.get(0), Value::Int(4));
+        assert_eq!(gathered.get(1), Value::Null);
+        assert_eq!(gathered.get(2), Value::Int(1));
+        // Nullable + plain append keeps the mask aligned.
+        let mut a = ColumnData::from_values(&[Value::Null, Value::Int(1)]);
+        a.append(ColumnData::Int(vec![7, 8]));
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.get(0), Value::Null);
+        assert_eq!(a.get(3), Value::Int(8));
+        // A true type mismatch still demotes.
+        col.push(Value::Str("oops".into()));
+        assert!(matches!(col, ColumnData::Mixed(_)));
+        assert_eq!(col.get(2), Value::Null);
+    }
+
+    #[test]
+    fn dictionary_encoding_round_trips_low_cardinality_strings() {
+        let strings: Vec<Value> = (0..200)
+            .map(|i| Value::Str(["red", "green", "blue"][i % 3].to_string()))
+            .collect();
+        let col = ColumnData::from_values(&strings).encoded();
+        let ColumnData::Dict(d) = &col else {
+            panic!("expected Dict, got plain");
+        };
+        assert_eq!(d.values.len(), 3);
+        assert_eq!(d.code_of("green"), Some(1));
+        assert_eq!(d.code_of("mauve"), None);
+        for (i, v) in strings.iter().enumerate() {
+            assert_eq!(&col.get(i), v);
+        }
+        // Gather keeps the dictionary (codes copied, strings shared).
+        let g = col.gather_rows(&[0, 3, 1]);
+        assert!(matches!(g, ColumnData::Dict(_)));
+        assert_eq!(g.get(2), Value::Str("green".into()));
+        // High-cardinality strings stay plain.
+        let unique: Vec<Value> = (0..200).map(|i| Value::Str(format!("s{i}"))).collect();
+        assert!(matches!(
+            ColumnData::from_values(&unique).encoded(),
+            ColumnData::Str(_)
+        ));
+    }
+
+    #[test]
+    fn rle_encoding_round_trips_run_heavy_ints_and_dates() {
+        let ints: Vec<Value> = (0..256).map(|i| Value::Int((i / 64) as i64)).collect();
+        let col = ColumnData::from_values(&ints).encoded();
+        let ColumnData::RleInt(r) = &col else {
+            panic!("expected RleInt");
+        };
+        assert_eq!(r.n_runs(), 4);
+        assert_eq!(col.len(), 256);
+        for (i, v) in ints.iter().enumerate() {
+            assert_eq!(&col.get(i), v);
+        }
+        // Gather decodes.
+        let g = col.gather_rows(&[0, 200]);
+        assert!(matches!(g, ColumnData::Int(_)));
+        assert_eq!(g.get(1), Value::Int(3));
+        let dates: Vec<Value> = (0..128).map(|i| Value::Date(i / 32)).collect();
+        assert!(matches!(
+            ColumnData::from_values(&dates).encoded(),
+            ColumnData::RleDate(_)
+        ));
+        // Random ints stay plain.
+        let random: Vec<Value> = (0..256).map(|i| Value::Int((i * 37 % 251) as i64)).collect();
+        assert!(matches!(
+            ColumnData::from_values(&random).encoded(),
+            ColumnData::Int(_)
+        ));
+    }
+
+    #[test]
+    fn small_columns_are_never_encoded() {
+        let small: Vec<Value> = (0..8).map(|_| Value::Str("x".into())).collect();
+        assert!(matches!(
+            ColumnData::from_values(&small).encoded(),
+            ColumnData::Str(_)
+        ));
     }
 
     #[test]
@@ -650,11 +1157,14 @@ mod tests {
     }
 
     #[test]
-    fn null_insert_demotes_delta_builder_only() {
+    fn null_insert_keeps_delta_builder_typed() {
         let mut t = two_col_table();
         t.insert(&[Value::Null, Value::Str("c".into())]);
         assert!(matches!(t.column(0), ColumnData::Int(_))); // base untouched
         assert_eq!(t.column_ref(0).get(2), Value::Null);
+        // The delta builder grew a null mask instead of demoting to Mixed.
+        t.insert(&[Value::Int(9), Value::Str("d".into())]);
+        assert_eq!(t.column_ref(0).get(3), Value::Int(9));
     }
 
     #[test]
@@ -678,6 +1188,26 @@ mod tests {
     }
 
     #[test]
+    fn zones_built_at_load_and_rebuilt_by_compact() {
+        let cols = vec![(0..20).map(Value::Int).collect::<Vec<_>>()];
+        let mut t = ColumnTable::from_columns("t", &cols);
+        t.set_block_rows(8);
+        assert_eq!(t.n_blocks(), 3);
+        assert_eq!(t.block_range(2), 16..20);
+        assert_eq!(t.zones(0)[0].max, Some(Value::Int(7)));
+        assert_eq!(t.zones(0)[2].min, Some(Value::Int(16)));
+        // A delta insert does not touch base headers (delta is never pruned).
+        t.insert(&[Value::Int(999)]);
+        assert_eq!(t.zones(0)[2].max, Some(Value::Int(19)));
+        // Compaction folds the delta in and rebuilds headers.
+        t.compact();
+        assert_eq!(t.n_blocks(), 3);
+        let last = t.zones(0).last().unwrap();
+        assert_eq!(last.max, Some(Value::Int(999)));
+        assert_eq!(last.rows, 5);
+    }
+
+    #[test]
     fn colref_gather_spans_segments() {
         let mut t = two_col_table();
         t.insert(&[Value::Int(3), Value::Str("c".into())]);
@@ -688,5 +1218,24 @@ mod tests {
         let dense = t.column_ref(1).to_dense();
         assert_eq!(dense.len(), 3);
         assert_eq!(dense.get(2), Value::Str("c".into()));
+    }
+
+    #[test]
+    fn chunked_gather_decodes_encoded_base_plus_plain_delta() {
+        let strings: Vec<Value> = (0..100)
+            .map(|i| Value::Str(["hot", "cold"][i % 2].to_string()))
+            .collect();
+        let mut t = ColumnTable::from_columns("t", &[strings]);
+        assert!(matches!(t.column(0), ColumnData::Dict(_)));
+        t.insert(&[Value::Str("warm".into())]);
+        let g = t.column_ref(0).gather_rows(&[0, 100, 1]);
+        assert!(matches!(g, ColumnData::Str(_)));
+        assert_eq!(g.get(0), Value::Str("hot".into()));
+        assert_eq!(g.get(1), Value::Str("warm".into()));
+        assert_eq!(g.get(2), Value::Str("cold".into()));
+        // Compaction re-runs the cost rule over the merged column.
+        t.compact();
+        assert!(matches!(t.column(0), ColumnData::Dict(_)));
+        assert_eq!(t.value(0, 100), Value::Str("warm".into()));
     }
 }

@@ -93,6 +93,13 @@ impl BTreeIndex {
 
     /// Row ids whose key lies in `[low, high]` (either bound optional).
     pub fn range(&self, low: Option<&Value>, high: Option<&Value>) -> Vec<u32> {
+        // An inverted range (e.g. BETWEEN 300 AND 1) matches nothing;
+        // BTreeMap::range panics on start > end instead of returning empty.
+        if let (Some(l), Some(h)) = (low, high) {
+            if l.total_cmp(h) == std::cmp::Ordering::Greater {
+                return Vec::new();
+            }
+        }
         let lo = match low {
             Some(v) => Bound::Included(KeyVal(v.clone())),
             None => Bound::Unbounded,
@@ -173,6 +180,15 @@ mod tests {
         let rids = idx.range(Some(&Value::Int(3)), Some(&Value::Int(5)));
         // keys 3,4,5 → rows 1,4,0,2 in key order
         assert_eq!(rids, vec![1, 4, 0, 2]);
+    }
+
+    #[test]
+    fn inverted_range_is_empty_not_a_panic() {
+        // e.g. `WHERE k BETWEEN 5 AND 3` planned as an index range: matches
+        // nothing (BTreeMap::range would panic on start > end).
+        let idx = sample();
+        assert!(idx.range(Some(&Value::Int(5)), Some(&Value::Int(3))).is_empty());
+        assert_eq!(idx.range(Some(&Value::Int(3)), Some(&Value::Int(3))), vec![1]);
     }
 
     #[test]

@@ -22,14 +22,37 @@
 //! and applies the change to both copies. AP scans read base + delta through
 //! selection vectors, which is why a committed write is visible to the next
 //! analytical query *before* any compaction runs.
+//!
+//! # Blocks, zone maps and encodings (AP base segment)
+//!
+//! The column store's base segment is block-structured: each fixed-size
+//! block (sized adaptively per table by [`zone::default_block_rows`], ~64
+//! blocks per segment) carries a per-column stats header
+//! ([`zone::BlockZone`] — min/max, NULL count, constant hint) built at load
+//! and rebuilt by compaction. AP scans whose plan pushed a filter
+//! conjunction into the scan node consult the headers through
+//! [`zone::ScanPruner`] and skip refuted blocks wholesale. Base columns may
+//! additionally be dictionary-encoded (low-cardinality strings — equality
+//! compares `u32` codes) or run-length-encoded (run-heavy ints/dates); see
+//! [`col_store`].
+//!
+//! **Pruning-safety rule for delta rows:** zone maps cover *only* the
+//! immutable base. The delta region and the tombstone bitmap change on
+//! every write, so delta rids are always scanned (never pruned), and base
+//! headers — which deletes can only make conservatively loose, never wrong
+//! — are refreshed by the same `compact()` that folds the delta in. A
+//! pruned scan and an unpruned scan therefore return identical rows at any
+//! point of the DML timeline (`tests/dml_props.rs` sweeps this).
 
 pub mod col_store;
 pub mod index;
 pub mod row_store;
+pub mod zone;
 
-pub use col_store::{ColRef, ColumnData, ColumnTable};
+pub use col_store::{ColRef, ColumnData, ColumnTable, DictColumn, RleRuns};
 pub use index::{BTreeIndex, KeyVal};
 pub use row_store::RowTable;
+pub use zone::{BlockZone, PruneOutcome, ScanPruner, DEFAULT_BLOCK_ROWS};
 
 use crate::tpch::GeneratedTable;
 use qpe_sql::catalog::TableDef;

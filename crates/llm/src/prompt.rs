@@ -170,7 +170,7 @@ mod tests {
         let scan = |cost: f64| {
             PlanNode::new(
                 NodeType::TableScan,
-                PlanOp::TableScan { table_slot: 0, columns: vec![0] },
+                PlanOp::TableScan { table_slot: 0, columns: vec![0], pushed: None },
             )
             .with_relation("orders")
             .with_estimates(cost, 100.0)

@@ -168,7 +168,7 @@ mod tests {
     fn scan(rel: &str) -> PlanNode {
         PlanNode::new(
             NodeType::TableScan,
-            PlanOp::TableScan { table_slot: 0, columns: vec![0] },
+            PlanOp::TableScan { table_slot: 0, columns: vec![0], pushed: None },
         )
         .with_relation(rel)
         .with_estimates(10.0, 100.0)

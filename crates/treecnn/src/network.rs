@@ -415,7 +415,7 @@ mod tests {
     fn tiny_tree(cost: f64) -> FeatTree {
         let scan = PlanNode::new(
             NodeType::TableScan,
-            PlanOp::TableScan { table_slot: 0, columns: vec![0] },
+            PlanOp::TableScan { table_slot: 0, columns: vec![0], pushed: None },
         )
         .with_relation("customer")
         .with_estimates(cost, 100.0);

@@ -83,7 +83,7 @@ mod tests {
             .with_child(
                 PlanNode::new(
                     NodeType::TableScan,
-                    PlanOp::TableScan { table_slot: 0, columns: vec![0] },
+                    PlanOp::TableScan { table_slot: 0, columns: vec![0], pushed: None },
                 )
                 .with_relation("orders")
                 .with_estimates(cost / 2.0, 1000.0),

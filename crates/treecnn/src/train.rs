@@ -161,7 +161,7 @@ mod tests {
             } else {
                 PlanNode::new(
                     NodeType::IndexScan,
-                    PlanOp::TableScan { table_slot: 0, columns: vec![0] },
+                    PlanOp::TableScan { table_slot: 0, columns: vec![0], pushed: None },
                 )
                 .with_relation("customer")
                 .with_index("c_custkey")
@@ -182,7 +182,7 @@ mod tests {
     fn scan(rel: &str, rows: f64) -> PlanNode {
         PlanNode::new(
             NodeType::TableScan,
-            PlanOp::TableScan { table_slot: 0, columns: vec![0] },
+            PlanOp::TableScan { table_slot: 0, columns: vec![0], pushed: None },
         )
         .with_relation(rel)
         .with_estimates(rows / 10.0, rows)

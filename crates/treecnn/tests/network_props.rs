@@ -12,7 +12,7 @@ fn plan_tree() -> impl Strategy<Value = PlanNode> {
         let tables = ["region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"];
         PlanNode::new(
             NodeType::TableScan,
-            PlanOp::TableScan { table_slot: 0, columns: vec![0] },
+            PlanOp::TableScan { table_slot: 0, columns: vec![0], pushed: None },
         )
         .with_relation(tables[rel])
         .with_estimates(cost, rows)

@@ -27,6 +27,13 @@ for i in 1 2 3; do
     cargo test -q --test parallel_determinism
 done
 
+echo "==> dirty-table executor comparison (encoded base + delta + tombstones)"
+# --dirty applies uncompacted INSERT/DELETEs first, so the scalar-vs-batch
+# agreement check runs over dictionary-encoded base blocks read through
+# chunked views with live delta rows and tombstones — the encoded-path
+# equivalence a clean-table comparison would never exercise.
+cargo run --release -p qpe_bench --bin bench_snapshot -- --compare scalar,batch --dirty
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

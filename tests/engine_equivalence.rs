@@ -192,11 +192,14 @@ mod scalar_vs_batch {
     proptest! {
         #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 
-        /// The 3-way differential sweep: for any workload-generator query
-        /// (random plans spanning joins, aggregates and top-N), the row
-        /// interpreter, the serial batch executor, and the morsel-parallel
-        /// executor at 2 and 4 threads must produce identical rows AND
-        /// identical WorkCounters.
+        /// The 3-way differential sweep — run for BOTH the zone-map-pruned
+        /// plan (scan-predicate pushdown, the default) and the unpruned
+        /// plan: for any workload-generator query (random plans spanning
+        /// joins, aggregates and top-N), the row interpreter, the serial
+        /// batch executor, and the morsel-parallel executor at 2 and 4
+        /// threads must produce identical rows AND identical WorkCounters;
+        /// the two plan flavors must also agree on rows with the pruned one
+        /// never touching more cells.
         #[test]
         fn generated_queries_agree_across_executors(seed in 0u64..10_000, topn in 0.0f64..1.0) {
             let mut gen = WorkloadGenerator::new(WorkloadConfig { seed, top_n_fraction: topn });
@@ -204,19 +207,31 @@ mod scalar_vs_batch {
             let sys = system();
             let db = sys.database();
             let bound = sys.bind(&sql).expect("binds");
-            let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
-            let plan = ap::plan(&ctx).expect("ap plan");
-            prop_assert!(vector::supported(&plan), "unsupported AP plan for {}", sql);
-            let (srows, sc) = execute_scalar(&plan, &bound, db, EngineKind::Ap).expect("scalar");
-            let (brows, bc) = execute_vectorized(&plan, &bound, db).expect("vectorized");
-            prop_assert_eq!(&srows, &brows, "rows diverged for {}", sql);
-            prop_assert_eq!(sc, bc, "counters diverged for {}", sql);
-            for threads in [2usize, 4] {
-                let (prows, pc) =
-                    execute_parallel(&plan, &bound, db, &par_cfg(threads)).expect("parallel");
-                prop_assert_eq!(&brows, &prows, "rows diverged at {} threads for {}", threads, sql);
-                prop_assert_eq!(bc, pc, "counters diverged at {} threads for {}", threads, sql);
+            let mut flavor_rows = Vec::new();
+            let mut flavor_cells = Vec::new();
+            for pruning in [true, false] {
+                let mut ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
+                ctx.pushdown = pruning;
+                let plan = ap::plan(&ctx).expect("ap plan");
+                prop_assert!(vector::supported(&plan), "unsupported AP plan for {}", sql);
+                let (srows, sc) = execute_scalar(&plan, &bound, db, EngineKind::Ap).expect("scalar");
+                let (brows, bc) = execute_vectorized(&plan, &bound, db).expect("vectorized");
+                prop_assert_eq!(&srows, &brows, "rows diverged for {}", sql);
+                prop_assert_eq!(sc, bc, "counters diverged for {}", sql);
+                for threads in [2usize, 4] {
+                    let (prows, pc) =
+                        execute_parallel(&plan, &bound, db, &par_cfg(threads)).expect("parallel");
+                    prop_assert_eq!(&brows, &prows, "rows diverged at {} threads for {}", threads, sql);
+                    prop_assert_eq!(bc, pc, "counters diverged at {} threads for {}", threads, sql);
+                }
+                flavor_rows.push(brows);
+                flavor_cells.push(bc.cells_scanned);
             }
+            prop_assert_eq!(&flavor_rows[0], &flavor_rows[1], "pruning changed rows for {}", sql);
+            prop_assert!(
+                flavor_cells[0] <= flavor_cells[1],
+                "pruning increased cells for {}: {} vs {}", sql, flavor_cells[0], flavor_cells[1]
+            );
         }
     }
 }
