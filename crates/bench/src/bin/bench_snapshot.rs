@@ -27,6 +27,19 @@
 //! 0.02 and measure block pruning directly: the same query with pushdown on
 //! vs off on an identical table.
 //!
+//! Session cases (values are **queries per second**, not ns/iter):
+//! * `prepared_point_lookup_qps` — `Session::prepare` once, `execute` 10k
+//!   times with varying parameters (median of 3 runs);
+//! * `unprepared_point_lookup_qps` — the same lookups as per-call SQL text
+//!   through `execute_statement` (full front end every time);
+//! * `mixed_clients_qps` — 4 threads × disjoint sessions over one shared
+//!   system, all on the prepared path (`&self` reads under real
+//!   concurrency).
+//!
+//! The prepared results are asserted row- and counter-identical to the
+//! inlined-literal runs before timing, and the prepared/unprepared ratio
+//! plus the plan-cache hit rate are printed.
+//!
 //! ```sh
 //! cargo run --release --bin bench_snapshot                # print + write
 //! cargo run --release --bin bench_snapshot -- --check     # print only
@@ -172,15 +185,15 @@ fn compare_executors(sys: &HtapSystem, a: Mode, b: Mode) {
         let bound = sys.bind(sql).expect("binds");
         let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
         let plan = ap::plan(&ctx).expect("ap plan");
-        let (rows_a, counters_a) = a.run(&plan, &bound, db);
-        let (rows_b, counters_b) = b.run(&plan, &bound, db);
+        let (rows_a, counters_a) = a.run(&plan, &bound, &db);
+        let (rows_b, counters_b) = b.run(&plan, &bound, &db);
         assert_eq!(rows_a, rows_b, "{la} vs {lb} rows diverged for {name}");
         assert_eq!(counters_a, counters_b, "{la} vs {lb} counters diverged for {name}");
         let ns_a = time_ns(|| {
-            black_box(a.run(black_box(&plan), &bound, db));
+            black_box(a.run(black_box(&plan), &bound, &db));
         });
         let ns_b = time_ns(|| {
-            black_box(b.run(black_box(&plan), &bound, db));
+            black_box(b.run(black_box(&plan), &bound, &db));
         });
         println!(
             "ap_{name:<20} {la} {ns_a:>10} ns   {lb} {ns_b:>10} ns   speedup {:.2}x",
@@ -239,7 +252,7 @@ fn dirty_for_compare(sys: &mut HtapSystem) {
         .expect("customer exists")
         .row_count();
     bulk_insert_customers(sys, 920_000, (base / 4).max(8));
-    sys.execute_sql("DELETE FROM customer WHERE c_custkey BETWEEN 10 AND 30")
+    sys.execute_statement("DELETE FROM customer WHERE c_custkey BETWEEN 10 AND 30")
         .expect("delete runs");
     let fresh = sys.freshness("customer").expect("freshness");
     assert!(fresh.delta_rows > 0 && fresh.deleted_rows > 0, "table must be dirty");
@@ -258,8 +271,8 @@ fn write_path_cases() -> Vec<(&'static str, u64)> {
     // through the PK index, and compacts both formats back to baseline.
     let mut sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
     let ns = time_ns(|| {
-        black_box(sys.execute_sql(INSERT_SQL).expect("insert"));
-        black_box(sys.execute_sql(DELETE_SQL).expect("delete"));
+        black_box(sys.execute_statement(INSERT_SQL).expect("insert"));
+        black_box(sys.execute_statement(DELETE_SQL).expect("delete"));
         sys.database_mut().compact_table("customer");
     });
     out.push(("dml_insert_delete_compact", ns));
@@ -272,8 +285,8 @@ fn write_path_cases() -> Vec<(&'static str, u64)> {
         for _ in 0..9 {
             black_box(sys.run_engine(black_box(&point), EngineKind::Tp).expect("read"));
         }
-        black_box(sys.execute_sql(INSERT_SQL).expect("insert"));
-        black_box(sys.execute_sql(DELETE_SQL).expect("delete"));
+        black_box(sys.execute_statement(INSERT_SQL).expect("insert"));
+        black_box(sys.execute_statement(DELETE_SQL).expect("delete"));
         sys.database_mut().compact_table("customer");
     });
     out.push(("mixed_90_10", ns));
@@ -281,7 +294,7 @@ fn write_path_cases() -> Vec<(&'static str, u64)> {
     // AP scan over a half-delta table: double `customer` with uncompacted
     // inserts, then time the delta-aware aggregate scan (read-only, so the
     // 50% delta fraction holds for every sample).
-    let mut dirty = HtapSystem::new(&TpchConfig::with_scale(0.002));
+    let dirty = HtapSystem::new(&TpchConfig::with_scale(0.002));
     let base_rows = dirty
         .database()
         .stored_table("customer")
@@ -301,7 +314,7 @@ fn write_path_cases() -> Vec<(&'static str, u64)> {
          c_mktsegment) VALUES {}",
         values.join(", ")
     );
-    dirty.execute_sql(&bulk).expect("bulk insert");
+    dirty.execute_statement(&bulk).expect("bulk insert");
     let fresh = dirty.freshness("customer").expect("freshness");
     assert_eq!(fresh.delta_rows, base_rows, "half the live rows sit in the delta");
     let agg = dirty
@@ -333,7 +346,7 @@ fn bulk_insert_customers(sys: &mut HtapSystem, key0: usize, n: usize) {
                 )
             })
             .collect();
-        sys.execute_sql(&format!(
+        sys.execute_statement(&format!(
             "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
              c_mktsegment) VALUES {}",
             values.join(", ")
@@ -375,11 +388,11 @@ fn parallel_cases() -> Vec<(String, u64)> {
         let bound = sys.bind(sql).expect("binds");
         let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
         let plan = ap::plan(&ctx).expect("ap plan");
-        let (_, counters) = execute_vectorized(&plan, &bound, db).expect("counters");
+        let (_, counters) = execute_vectorized(&plan, &bound, &db).expect("counters");
         for threads in [1usize, 2, 4] {
             let cfg = ExecConfig::with_threads(threads);
             let ns = time_ns(|| {
-                black_box(execute_parallel(black_box(&plan), &bound, db, &cfg).unwrap());
+                black_box(execute_parallel(black_box(&plan), &bound, &db, &cfg).unwrap());
             });
             out.push((format!("par_{name}_t{threads}"), ns));
             // End-to-end simulated latency (includes the 15ms AP pipeline
@@ -396,6 +409,130 @@ fn parallel_cases() -> Vec<(String, u64)> {
         }
     }
     out
+}
+
+/// Prepared-statement session cases: the parse-once / execute-many contract.
+///
+/// * `prepared_point_lookup_qps` — one `Session::prepare`, then repeated
+///   `execute(&[key])` with varying keys (front end paid once);
+/// * `unprepared_point_lookup_qps` — the same point lookups as ad-hoc SQL
+///   strings through `execute_statement` (lex+parse+bind+plan per call, the
+///   realistic client that formats its literals into the text);
+/// * `mixed_clients_qps` — 4 threads × disjoint sessions over one shared
+///   `Arc<HtapSystem>`, all hammering the same prepared statement: the
+///   `&self` read path under actual concurrency.
+///
+/// Values are **queries per second** (higher is better), unlike the ns/iter
+/// entries. Before timing, prepared results are verified row- and
+/// counter-identical to the inlined-literal runs.
+fn session_cases() -> Vec<(&'static str, u64)> {
+    use qpe_htap::session::Session;
+    use qpe_sql::value::Value;
+    use std::sync::Arc;
+
+    // A realistic OLTP point lookup: PK equality plus the usual pile of
+    // guard predicates. The per-statement front end (lex, parse, bind, two
+    // planners) scales with the predicate count while execution stays
+    // one-block cheap — exactly the overhead prepare-once amortizes.
+    const PARAM_SQL: &str = "SELECT c_name, c_acctbal FROM customer \
+        WHERE c_custkey = ? AND c_mktsegment = ? AND c_acctbal BETWEEN ? AND ? \
+        AND c_nationkey <> ? AND c_phone <> ? AND c_name IS NOT NULL";
+    let inlined_sql = |key: i64| {
+        format!(
+            "SELECT c_name, c_acctbal FROM customer WHERE c_custkey = {key} \
+             AND c_mktsegment = 'machinery' AND c_acctbal BETWEEN -100000.0 AND 100000.0 \
+             AND c_nationkey <> 26 AND c_phone <> 'none' AND c_name IS NOT NULL"
+        )
+    };
+    let params_for = |key: i64| {
+        vec![
+            Value::Int(key),
+            Value::Str("machinery".into()),
+            Value::Float(-100000.0),
+            Value::Float(100000.0),
+            Value::Int(26),
+            Value::Str("none".into()),
+        ]
+    };
+    let sys = Arc::new(HtapSystem::new(&TpchConfig::with_scale(0.002)));
+    let n_keys = sys
+        .database()
+        .stored_table("customer")
+        .expect("customer exists")
+        .row_count() as i64;
+    let key_of = |i: u64| 1 + (i as i64 % n_keys);
+
+    let session = Session::new(Arc::clone(&sys));
+    let stmt = session.prepare(PARAM_SQL).expect("prepares");
+
+    // Equivalence gate: prepared ≡ inlined on rows AND WorkCounters.
+    for key in [1, 42, n_keys / 2, n_keys] {
+        let prepared = stmt.execute(&params_for(key)).expect("prepared runs");
+        let prepared = prepared.as_query().expect("is a query");
+        let inlined = sys.run_sql(&inlined_sql(key)).expect("inlined runs");
+        assert_eq!(prepared.tp.rows, inlined.tp.rows, "rows diverged at key {key}");
+        assert_eq!(prepared.ap.rows, inlined.ap.rows, "rows diverged at key {key}");
+        assert_eq!(prepared.tp.counters, inlined.tp.counters, "TP counters at {key}");
+        assert_eq!(prepared.ap.counters, inlined.ap.counters, "AP counters at {key}");
+    }
+
+    const N: u64 = 10_000;
+    let qps = |start: Instant, n: u64| (n as f64 / start.elapsed().as_secs_f64()) as u64;
+    // Median of three 10k-execution runs per flavor, interleaved so both see
+    // the same machine conditions.
+    let mut prepared_runs = Vec::new();
+    let mut unprepared_runs = Vec::new();
+    for _ in 0..3 {
+        let start = Instant::now();
+        for i in 0..N {
+            black_box(stmt.execute(&params_for(key_of(i))).expect("prepared runs"));
+        }
+        prepared_runs.push(qps(start, N));
+        let start = Instant::now();
+        for i in 0..N {
+            black_box(sys.execute_statement(&inlined_sql(key_of(i))).expect("unprepared runs"));
+        }
+        unprepared_runs.push(qps(start, N));
+    }
+    prepared_runs.sort_unstable();
+    unprepared_runs.sort_unstable();
+    let prepared_qps = prepared_runs[1];
+    let unprepared_qps = unprepared_runs[1];
+
+    // Concurrent serving: 4 client threads, each with its own session and
+    // prepared handle, disjoint key phases, one shared system. QPS is the
+    // aggregate over all threads' wall-clock.
+    const THREADS: u64 = 4;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let sys = Arc::clone(&sys);
+            scope.spawn(move || {
+                let session = Session::new(sys);
+                let stmt = session.prepare(PARAM_SQL).expect("prepares");
+                for i in 0..N / THREADS {
+                    let key = key_of(t * (N / THREADS) + i);
+                    black_box(stmt.execute(&params_for(key)).expect("runs"));
+                }
+            });
+        }
+    });
+    let mixed_qps = qps(start, N);
+
+    let cache = sys.plan_cache_stats();
+    println!(
+        "(prepared {:.2}x unprepared; plan cache: {} hits / {} misses, hit rate {:.1}%)",
+        prepared_qps as f64 / unprepared_qps.max(1) as f64,
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0
+    );
+
+    vec![
+        ("prepared_point_lookup_qps", prepared_qps),
+        ("unprepared_point_lookup_qps", unprepared_qps),
+        ("mixed_clients_qps", mixed_qps),
+    ]
 }
 
 /// Value of a `--flag N` style argument, if present.
@@ -453,6 +590,11 @@ fn main() {
     for (label, ns) in write_path_cases() {
         println!("{label:<24} {ns:>12} ns/iter");
         entries.push((label.to_string(), ns));
+    }
+
+    for (label, qps) in session_cases() {
+        println!("{label:<28} {qps:>12} q/s");
+        entries.push((label.to_string(), qps));
     }
 
     for (label, ns) in pruning_cases() {

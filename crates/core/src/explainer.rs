@@ -2,7 +2,8 @@
 
 use crate::timing::EndToEndTiming;
 use crate::workload::{WorkloadConfig, WorkloadGenerator};
-use qpe_htap::engine::{EngineKind, HtapError, HtapSystem, QueryOutcome};
+use qpe_htap::engine::{EngineKind, HtapError, HtapSystem, QueryOutcome, StatementOutcome};
+use qpe_htap::session::Session;
 use qpe_htap::tpch::TpchConfig;
 use qpe_llm::expert::ExpertOracle;
 use qpe_llm::factors::GroundTruth;
@@ -16,6 +17,7 @@ use qpe_treecnn::train::{PlanPairExample, TrainReport, TrainerConfig};
 use qpe_vectordb::{KnowledgeStore, Metric, SearchBackend};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Pipeline construction options.
@@ -77,8 +79,12 @@ pub struct ExplainReport {
 }
 
 /// The assembled framework: HTAP system + router + KB + LLM + grader.
+///
+/// The HTAP system is `Arc`-shared: the explainer talks to it through
+/// [`Session`]s (the prepare/execute client API), and callers can open their
+/// own concurrent sessions over [`Explainer::system_arc`].
 pub struct Explainer {
-    system: HtapSystem,
+    system: Arc<HtapSystem>,
     router: SmartRouter,
     router_report: TrainReport,
     kb: KnowledgeStore<KnowledgeEntry>,
@@ -93,12 +99,18 @@ impl Explainer {
     /// Builds the full pipeline: generate data, run the training workload on
     /// both engines, train the router, select and annotate KB entries.
     pub fn build(config: PipelineConfig) -> Result<Self, HtapError> {
-        let system = HtapSystem::new(&config.tpch);
+        let system = Arc::new(HtapSystem::new(&config.tpch));
         let mut gen = WorkloadGenerator::new(config.workload.clone());
         let sqls = gen.generate(config.n_train);
+        // The training workload runs through a session: repeated statements
+        // (the generator reuses shapes) hit the shared plan cache.
+        let session = Session::new(Arc::clone(&system));
         let mut outcomes = Vec::with_capacity(sqls.len());
         for sql in &sqls {
-            outcomes.push(system.run_sql(sql)?);
+            match session.execute_sql(sql)? {
+                StatementOutcome::Query(q) => outcomes.push(*q),
+                StatementOutcome::Dml(_) => unreachable!("training workload is read-only"),
+            }
         }
 
         // Train the smart router on every historical query.
@@ -144,7 +156,15 @@ impl Explainer {
         sql: &str,
         user_context: &[String],
     ) -> Result<ExplainReport, HtapError> {
-        let outcome = self.system.run_sql(sql)?;
+        let outcome = match self.session().execute_sql(sql)? {
+            StatementOutcome::Query(q) => *q,
+            StatementOutcome::Dml(d) => {
+                return Err(HtapError::Sql(qpe_sql::SqlError::Unsupported(format!(
+                    "cannot explain a write statement: {}",
+                    d.sql
+                ))))
+            }
+        };
         Ok(self.explain_outcome(&outcome, user_context))
     }
 
@@ -241,13 +261,29 @@ impl Explainer {
         &self.system
     }
 
+    /// The shared system handle — clone it to open independent concurrent
+    /// [`Session`]s.
+    pub fn system_arc(&self) -> &Arc<HtapSystem> {
+        &self.system
+    }
+
+    /// Opens a fresh session over the shared system (cheap: one `Arc`
+    /// clone). Prepared statements from any session share the system-wide
+    /// plan cache.
+    pub fn session(&self) -> Session {
+        Session::new(Arc::clone(&self.system))
+    }
+
     /// Mutable HTAP system access (index creation from user context).
+    /// Requires that no other `Arc` handle (session or clone of
+    /// [`Explainer::system_arc`]) is outstanding.
     ///
     /// Note: plans embedded in existing KB entries are not re-derived when
     /// the physical design changes; the paper leaves stale-knowledge
     /// management as future work, and so do we (see DESIGN.md).
     pub fn system_mut(&mut self) -> &mut HtapSystem {
-        &mut self.system
+        Arc::get_mut(&mut self.system)
+            .expect("exclusive system access requires dropping outstanding sessions")
     }
 
     /// The trained router.

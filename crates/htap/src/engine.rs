@@ -10,15 +10,17 @@ use crate::exec::{self, DmlResult, ExecConfig, Row, WorkCounters};
 use crate::latency::LatencyModel;
 use crate::opt::{ap, tp, OptError, PlannerCtx};
 use crate::plan::PlanNode;
+use crate::session::{PlanCache, PlanCacheStats};
 use crate::stats::{DbStats, TableStats};
 use crate::storage::{StoredTable, TableFreshness};
 use crate::tpch::{self, TpchConfig};
 use qpe_sql::binder::{Binder, BoundDml, BoundQuery, BoundStatement};
-use qpe_sql::catalog::{Catalog, MemoryCatalog};
+use qpe_sql::catalog::{Catalog, DataType, MemoryCatalog};
 use qpe_sql::value::Value;
 use qpe_sql::SqlError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Which engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -87,7 +89,7 @@ pub struct DmlOutcome {
     pub freshness: TableFreshness,
 }
 
-/// Outcome of [`HtapSystem::execute_sql`]: a read ran on both engines, or a
+/// Outcome of [`HtapSystem::execute_statement`]: a read ran on both engines, or a
 /// write ran on the TP engine. The read variant boxes its payload — a
 /// [`QueryOutcome`] carries two full engine runs and dwarfs the DML variant.
 #[derive(Debug, Clone)]
@@ -121,8 +123,9 @@ impl StatementOutcome {
 pub struct QueryOutcome {
     /// Original SQL.
     pub sql: String,
-    /// The bound query.
-    pub bound: BoundQuery,
+    /// The bound query (shared — prepared statements reuse one bound form
+    /// across executions, and outcome clones stay cheap).
+    pub bound: Arc<BoundQuery>,
     /// TP run.
     pub tp: EngineRun,
     /// AP run.
@@ -177,6 +180,24 @@ pub enum HtapError {
         /// AP row count.
         ap_rows: usize,
     },
+    /// A prepared statement was executed with the wrong number of parameter
+    /// values.
+    ParamCountMismatch {
+        /// Parameters the statement declares.
+        expected: usize,
+        /// Values the caller supplied.
+        got: usize,
+    },
+    /// A supplied parameter value does not fit the type its
+    /// comparison/assignment context inferred at prepare time.
+    ParamTypeMismatch {
+        /// 0-based parameter index.
+        idx: usize,
+        /// The context-inferred type.
+        expected: DataType,
+        /// The offending value.
+        got: Value,
+    },
 }
 
 impl From<SqlError> for HtapError {
@@ -204,6 +225,15 @@ impl std::fmt::Display for HtapError {
             HtapError::EngineMismatch { sql, tp_rows, ap_rows } => write!(
                 f,
                 "engines disagree on {sql:?}: TP returned {tp_rows} rows, AP {ap_rows}"
+            ),
+            HtapError::ParamCountMismatch { expected, got } => write!(
+                f,
+                "statement expects {expected} parameter(s), {got} supplied"
+            ),
+            HtapError::ParamTypeMismatch { idx, expected, got } => write!(
+                f,
+                "parameter ${} expects a {expected:?} value, got {got}",
+                idx + 1
             ),
         }
     }
@@ -427,8 +457,17 @@ impl Database {
 }
 
 /// The HTAP system: database + latency model + per-engine pipelines.
+///
+/// The **query path is `&self`**: binding, planning and execution of reads
+/// only ever take a shared (read) lock on the database, so any number of
+/// sessions/threads can execute SELECTs concurrently over one
+/// `Arc<HtapSystem>`. Writes (`INSERT`/`UPDATE`/`DELETE`, `compact`) take
+/// the write lock internally — interior mutability confined to the one
+/// place the data actually changes. The shared [`PlanCache`] serves
+/// prepared statements ([`crate::session::Session::prepare`]) across all
+/// sessions.
 pub struct HtapSystem {
-    db: Database,
+    db: RwLock<Database>,
     latency: LatencyModel,
     /// Parallelism knob for the AP batch executor (threads + morsel size).
     /// Defaults to the machine's available cores (`QPE_AP_THREADS` /
@@ -448,6 +487,10 @@ pub struct HtapSystem {
     /// work counters and latencies move), which is how benchmarks measure
     /// the pruning win and differential tests pin the equivalence.
     pruning: bool,
+    /// Shared prepared-statement cache: parameterized bound statements and
+    /// their physical plans, keyed by SQL fingerprint, LRU-evicted, with
+    /// hit/miss stats.
+    plan_cache: PlanCache,
 }
 
 impl HtapSystem {
@@ -459,7 +502,7 @@ impl HtapSystem {
     /// Builds from an existing database.
     pub fn with_database(db: Database) -> Self {
         HtapSystem {
-            db,
+            db: RwLock::new(db),
             latency: LatencyModel::default(),
             exec_cfg: ExecConfig::global().clone(),
             // Explicit env request ⇒ priced; available-cores default ⇒ the
@@ -467,13 +510,16 @@ impl HtapSystem {
             // simulation keeps the deterministic serial pricing.
             priced_threads: ExecConfig::env_requested_threads().unwrap_or(1) as u64,
             pruning: true,
+            plan_cache: PlanCache::default(),
         }
     }
 
     /// Enables/disables scan-predicate pushdown (zone-map pruning) for AP
-    /// plans built by this system.
+    /// plans built by this system. Clears the plan cache — cached plans were
+    /// built under the previous setting.
     pub fn set_pruning(&mut self, enabled: bool) {
         self.pruning = enabled;
+        self.plan_cache.clear();
     }
 
     /// Whether AP plans currently push scan predicates for zone-map pruning.
@@ -481,14 +527,42 @@ impl HtapSystem {
         self.pruning
     }
 
-    /// The underlying database.
-    pub fn database(&self) -> &Database {
-        &self.db
+    /// Shared read access to the database. The guard holds the read lock —
+    /// writes block while it lives, so keep it short-lived; any number of
+    /// concurrent readers proceed in parallel.
+    pub fn database(&self) -> RwLockReadGuard<'_, Database> {
+        self.db_read()
     }
 
-    /// Mutable database access (index creation).
+    /// Mutable database access (index creation). Requires exclusive system
+    /// access, so it bypasses the lock entirely. Physical-design changes
+    /// invalidate cached plans, so the plan cache is cleared.
     pub fn database_mut(&mut self) -> &mut Database {
-        &mut self.db
+        self.plan_cache.clear();
+        self.db.get_mut().expect("database lock poisoned")
+    }
+
+    fn db_read(&self) -> RwLockReadGuard<'_, Database> {
+        self.db.read().expect("database lock poisoned")
+    }
+
+    fn db_write(&self) -> RwLockWriteGuard<'_, Database> {
+        self.db.write().expect("database lock poisoned")
+    }
+
+    /// Shared plan-cache counters (hits, misses, residency).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Drops every cached prepared statement (prepared handles stay valid —
+    /// they own their statement via `Arc`).
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.clear();
+    }
+
+    pub(crate) fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
     }
 
     /// The latency model.
@@ -522,12 +596,26 @@ impl HtapSystem {
 
     /// Binds a SQL string against the system catalog.
     pub fn bind(&self, sql: &str) -> Result<BoundQuery, HtapError> {
-        Ok(Binder::new(self.db.catalog()).bind_sql(sql)?)
+        Ok(Binder::new(self.db_read().catalog()).bind_sql(sql)?)
+    }
+
+    /// Binds any statement (read or write) against the system catalog.
+    pub fn bind_statement(&self, sql: &str) -> Result<BoundStatement, HtapError> {
+        Ok(Binder::new(self.db_read().catalog()).bind_statement(sql)?)
     }
 
     /// Optimizes a bound query for one engine (EXPLAIN without execution).
     pub fn explain(&self, bound: &BoundQuery, engine: EngineKind) -> Result<PlanNode, HtapError> {
-        let mut ctx = PlannerCtx::new(bound, self.db.stats(), self.db.catalog());
+        self.plan_on(&self.db_read(), bound, engine)
+    }
+
+    fn plan_on(
+        &self,
+        db: &Database,
+        bound: &BoundQuery,
+        engine: EngineKind,
+    ) -> Result<PlanNode, HtapError> {
+        let mut ctx = PlannerCtx::new(bound, db.stats(), db.catalog());
         ctx.pushdown = self.pruning;
         Ok(match engine {
             EngineKind::Tp => tp::plan(&ctx)?,
@@ -541,9 +629,31 @@ impl HtapSystem {
         bound: &BoundQuery,
         engine: EngineKind,
     ) -> Result<EngineRun, HtapError> {
-        let plan = self.explain(bound, engine)?;
-        let (rows, counters) =
-            exec::execute_with(&plan, bound, &self.db, engine, &self.exec_cfg)?;
+        let db = self.db_read();
+        let plan = self.plan_on(&db, bound, engine)?;
+        self.run_plan_on(&db, plan, bound, engine)
+    }
+
+    /// Executes an already-built physical plan on one engine (the prepared
+    /// path: no re-bind, no re-plan) and prices its counters.
+    pub fn run_engine_with_plan(
+        &self,
+        plan: PlanNode,
+        bound: &BoundQuery,
+        engine: EngineKind,
+    ) -> Result<EngineRun, HtapError> {
+        let db = self.db_read();
+        self.run_plan_on(&db, plan, bound, engine)
+    }
+
+    fn run_plan_on(
+        &self,
+        db: &Database,
+        plan: PlanNode,
+        bound: &BoundQuery,
+        engine: EngineKind,
+    ) -> Result<EngineRun, HtapError> {
+        let (rows, counters) = exec::execute_with(&plan, bound, db, engine, &self.exec_cfg)?;
         // Counters are executor-invariant, so the serial and parallel AP
         // latencies price the *same* work — the parallel model just walks
         // the critical path instead of the full sum.
@@ -562,29 +672,52 @@ impl HtapSystem {
         })
     }
 
-    /// Executes any statement. Reads take the dual-engine pipeline
-    /// ([`HtapSystem::run_sql`]); writes route to the TP engine *only* —
-    /// planned by the TP optimizer, executed against the row store, with the
-    /// column store absorbing the same change through its delta region, so
-    /// the next AP read is fresh without blocking writers of other tables.
-    pub fn execute_sql(&mut self, sql: &str) -> Result<StatementOutcome, HtapError> {
-        match Binder::new(self.db.catalog()).bind_statement(sql)? {
+    /// Executes any statement through a **shared** reference. Reads take the
+    /// dual-engine pipeline ([`HtapSystem::run_sql`]) under the read lock;
+    /// writes route to the TP engine *only* — planned by the TP optimizer,
+    /// executed against the row store under the write lock, with the column
+    /// store absorbing the same change through its delta region, so the next
+    /// AP read is fresh without blocking readers of other tables.
+    pub fn execute_statement(&self, sql: &str) -> Result<StatementOutcome, HtapError> {
+        match self.bind_statement(sql)? {
             BoundStatement::Query(bound) => Ok(StatementOutcome::Query(Box::new(
                 self.run_bound(sql, bound)?,
             ))),
             BoundStatement::Dml(dml) => Ok(StatementOutcome::Dml(Box::new(
-                self.execute_dml(sql, &dml)?,
+                self.execute_dml_with_plan(sql, &dml, None)?,
             ))),
         }
     }
 
-    /// Plans and executes one bound write statement on the TP engine.
-    pub fn execute_dml(&mut self, sql: &str, dml: &BoundDml) -> Result<DmlOutcome, HtapError> {
-        let plan = tp::plan_dml(dml, self.db.stats(), self.db.catalog())?;
-        let (result, counters) = exec::execute_dml(&plan, dml, &mut self.db)?;
+    /// Deprecated shim for the pre-session API: read-only statements never
+    /// needed `&mut`, and writes lock internally now.
+    #[deprecated(since = "0.2.0", note = "use execute_statement(&self) or a Session")]
+    pub fn execute_sql(&mut self, sql: &str) -> Result<StatementOutcome, HtapError> {
+        self.execute_statement(sql)
+    }
+
+    /// Plans and executes one bound write statement on the TP engine. Takes
+    /// the write lock internally — `&self`, like every other entry point.
+    pub fn execute_dml(&self, sql: &str, dml: &BoundDml) -> Result<DmlOutcome, HtapError> {
+        self.execute_dml_with_plan(sql, dml, None)
+    }
+
+    /// [`HtapSystem::execute_dml`] with an optional pre-built (prepared,
+    /// parameter-substituted) write plan.
+    pub(crate) fn execute_dml_with_plan(
+        &self,
+        sql: &str,
+        dml: &BoundDml,
+        plan: Option<PlanNode>,
+    ) -> Result<DmlOutcome, HtapError> {
+        let mut db = self.db_write();
+        let plan = match plan {
+            Some(p) => p,
+            None => tp::plan_dml(dml, db.stats(), db.catalog())?,
+        };
+        let (result, counters) = exec::execute_dml(&plan, dml, &mut db)?;
         let latency_ns = self.latency.tp_latency_ns(&counters);
-        let freshness = self
-            .db
+        let freshness = db
             .freshness(&result.table)
             .expect("written table exists");
         Ok(DmlOutcome {
@@ -598,14 +731,15 @@ impl HtapSystem {
     }
 
     /// Compacts one table (merging the AP delta into the base and dropping
-    /// row-store tombstones). Returns false for an unknown table.
-    pub fn compact(&mut self, table: &str) -> bool {
-        self.db.compact_table(table)
+    /// row-store tombstones). Takes the write lock internally. Returns false
+    /// for an unknown table.
+    pub fn compact(&self, table: &str) -> bool {
+        self.db_write().compact_table(table)
     }
 
     /// Freshness snapshot of one table.
     pub fn freshness(&self, table: &str) -> Option<TableFreshness> {
-        self.db.freshness(table)
+        self.db_read().freshness(table)
     }
 
     /// Full pipeline: bind, run on both engines, check result agreement.
@@ -616,22 +750,59 @@ impl HtapSystem {
 
     /// [`HtapSystem::run_sql`] over an already-bound query (no re-parse).
     fn run_bound(&self, sql: &str, bound: BoundQuery) -> Result<QueryOutcome, HtapError> {
-        let tp = self.run_engine(&bound, EngineKind::Tp)?;
-        let ap = self.run_engine(&bound, EngineKind::Ap)?;
-        if !results_match(&bound, &tp.rows, &ap.rows) {
-            return Err(HtapError::EngineMismatch {
-                sql: sql.to_string(),
-                tp_rows: tp.rows.len(),
-                ap_rows: ap.rows.len(),
-            });
-        }
+        let db = self.db_read();
+        let tp_plan = self.plan_on(&db, &bound, EngineKind::Tp)?;
+        let ap_plan = self.plan_on(&db, &bound, EngineKind::Ap)?;
+        let tp = self.run_plan_on(&db, tp_plan, &bound, EngineKind::Tp)?;
+        let ap = self.run_plan_on(&db, ap_plan, &bound, EngineKind::Ap)?;
+        drop(db);
+        check_results_match(sql, &bound, &tp, &ap)?;
         Ok(QueryOutcome {
             sql: sql.to_string(),
-            bound,
+            bound: Arc::new(bound),
             tp,
             ap,
         })
     }
+
+    /// Runs a prepared query's two substituted plans (no re-bind, no
+    /// re-plan) under one read-lock acquisition, checking engine agreement
+    /// like [`HtapSystem::run_sql`].
+    pub(crate) fn run_prepared(
+        &self,
+        bound: &Arc<BoundQuery>,
+        tp_plan: PlanNode,
+        ap_plan: PlanNode,
+    ) -> Result<QueryOutcome, HtapError> {
+        let db = self.db_read();
+        let tp = self.run_plan_on(&db, tp_plan, bound, EngineKind::Tp)?;
+        let ap = self.run_plan_on(&db, ap_plan, bound, EngineKind::Ap)?;
+        drop(db);
+        check_results_match(&bound.sql, bound, &tp, &ap)?;
+        Ok(QueryOutcome {
+            sql: bound.sql.clone(),
+            bound: Arc::clone(bound),
+            tp,
+            ap,
+        })
+    }
+}
+
+/// Engine-agreement gate shared by the ad-hoc and prepared paths.
+fn check_results_match(
+    sql: &str,
+    bound: &BoundQuery,
+    tp: &EngineRun,
+    ap: &EngineRun,
+) -> Result<(), HtapError> {
+    if !results_match(bound, &tp.rows, &ap.rows) {
+        return Err(HtapError::EngineMismatch {
+            sql: sql.to_string(),
+            tp_rows: tp.rows.len(),
+            ap_rows: ap.rows.len(),
+        });
+    }
+    Ok(())
 }
 
 /// Result-agreement check: rows compare as multisets (ordered queries may
@@ -652,10 +823,17 @@ fn results_match(bound: &BoundQuery, tp: &[Row], ap: &[Row]) -> bool {
         }
         std::cmp::Ordering::Equal
     };
-    let mut a = tp.to_vec();
-    let mut b = ap.to_vec();
-    a.sort_by(cmp);
-    b.sort_by(cmp);
+    // Single-row results (point lookups, scalar aggregates — the serving
+    // hot path) need no sort or copy.
+    if tp.len() <= 1 {
+        return tp.iter().zip(ap.iter()).all(|(ra, rb)| {
+            ra.len() == rb.len() && ra.iter().zip(rb.iter()).all(|(u, v)| value_approx_eq(u, v))
+        });
+    }
+    let mut a: Vec<&Row> = tp.iter().collect();
+    let mut b: Vec<&Row> = ap.iter().collect();
+    a.sort_by(|x, y| cmp(x, y));
+    b.sort_by(|x, y| cmp(x, y));
     a.iter().zip(b.iter()).all(|(ra, rb)| {
         ra.len() == rb.len() && ra.iter().zip(rb.iter()).all(|(u, v)| value_approx_eq(u, v))
     })
@@ -801,10 +979,10 @@ mod tests {
 
     #[test]
     fn insert_is_visible_to_both_engines_before_compaction() {
-        let mut sys = system();
+        let sys = system();
         let before = count_machinery(&sys);
         let out = sys
-            .execute_sql(
+            .execute_statement(
                 "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
                  c_mktsegment) VALUES (900001, 'customer#900001', 4, '20-555-000-1111', \
                  1234.5, 'machinery')",
@@ -828,10 +1006,10 @@ mod tests {
 
     #[test]
     fn update_and_delete_round_trip() {
-        let mut sys = system();
+        let sys = system();
         let before = count_machinery(&sys);
         let up = sys
-            .execute_sql("UPDATE customer SET c_mktsegment = 'machinery' WHERE c_custkey = 7")
+            .execute_statement("UPDATE customer SET c_mktsegment = 'machinery' WHERE c_custkey = 7")
             .unwrap();
         let up = up.as_dml().unwrap();
         assert_eq!(up.result.kind, crate::exec::DmlKind::Update);
@@ -841,7 +1019,7 @@ mod tests {
         let after_update = count_machinery(&sys);
         assert!(after_update == before || after_update == before + 1);
         let del = sys
-            .execute_sql("DELETE FROM customer WHERE c_custkey = 7")
+            .execute_statement("DELETE FROM customer WHERE c_custkey = 7")
             .unwrap();
         assert_eq!(del.as_dml().unwrap().result.rows_affected, 1);
         // engines still agree after a delete, pre- and post-compaction
@@ -852,7 +1030,7 @@ mod tests {
 
     #[test]
     fn update_assignment_reads_old_row() {
-        let mut sys = system();
+        let sys = system();
         let before = sys
             .run_sql("SELECT c_acctbal FROM customer WHERE c_custkey = 3")
             .unwrap()
@@ -860,7 +1038,7 @@ mod tests {
             .rows[0][0]
             .as_float()
             .unwrap();
-        sys.execute_sql("UPDATE customer SET c_acctbal = c_acctbal + 100 WHERE c_custkey = 3")
+        sys.execute_statement("UPDATE customer SET c_acctbal = c_acctbal + 100 WHERE c_custkey = 3")
             .unwrap();
         let after = sys
             .run_sql("SELECT c_acctbal FROM customer WHERE c_custkey = 3")
@@ -874,21 +1052,21 @@ mod tests {
 
     #[test]
     fn duplicate_or_null_primary_key_rejected() {
-        let mut sys = system();
+        let sys = system();
         // key 1 exists in generated data
         assert!(matches!(
-            sys.execute_sql(
+            sys.execute_statement(
                 "INSERT INTO customer (c_custkey, c_name) VALUES (1, 'dup')"
             ),
             Err(HtapError::Exec(exec::ExecError::Write(_)))
         ));
         assert!(matches!(
-            sys.execute_sql("INSERT INTO customer (c_name) VALUES ('nokey')"),
+            sys.execute_statement("INSERT INTO customer (c_name) VALUES ('nokey')"),
             Err(HtapError::Exec(exec::ExecError::Write(_)))
         ));
         // duplicate within one VALUES batch
         assert!(matches!(
-            sys.execute_sql(
+            sys.execute_statement(
                 "INSERT INTO customer (c_custkey, c_name) VALUES (900009, 'a'), (900009, 'b')"
             ),
             Err(HtapError::Exec(exec::ExecError::Write(_)))
@@ -899,27 +1077,27 @@ mod tests {
 
     #[test]
     fn update_enforces_primary_key_constraints() {
-        let mut sys = system();
+        let sys = system();
         // moving a PK onto a surviving row's key is rejected
         assert!(matches!(
-            sys.execute_sql("UPDATE customer SET c_custkey = 1 WHERE c_custkey = 2"),
+            sys.execute_statement("UPDATE customer SET c_custkey = 1 WHERE c_custkey = 2"),
             Err(HtapError::Exec(exec::ExecError::Write(_)))
         ));
         // two updated rows collapsing onto one new key is rejected
         assert!(matches!(
-            sys.execute_sql("UPDATE customer SET c_custkey = 900100 WHERE c_custkey < 3"),
+            sys.execute_statement("UPDATE customer SET c_custkey = 900100 WHERE c_custkey < 3"),
             Err(HtapError::Exec(exec::ExecError::Write(_)))
         ));
         // rejections leave storage untouched
         assert_eq!(sys.freshness("customer").unwrap().delta_rows, 0);
         // an updated row may keep its own key (self-match is not a clash) …
         let out = sys
-            .execute_sql("UPDATE customer SET c_custkey = 2, c_name = 'renamed' \
+            .execute_statement("UPDATE customer SET c_custkey = 2, c_name = 'renamed' \
                           WHERE c_custkey = 2")
             .unwrap();
         assert_eq!(out.as_dml().unwrap().result.rows_affected, 1);
         // … and may move to a genuinely free key
-        sys.execute_sql("UPDATE customer SET c_custkey = 900200 WHERE c_custkey = 3")
+        sys.execute_statement("UPDATE customer SET c_custkey = 900200 WHERE c_custkey = 3")
             .unwrap();
         let rows = sys
             .run_sql("SELECT c_custkey FROM customer WHERE c_custkey = 900200")
@@ -929,22 +1107,22 @@ mod tests {
         assert_eq!(rows.len(), 1);
         // non-PK assignments never pay PK probes
         let out = sys
-            .execute_sql("UPDATE customer SET c_acctbal = 1.0 WHERE c_custkey = 4")
+            .execute_statement("UPDATE customer SET c_acctbal = 1.0 WHERE c_custkey = 4")
             .unwrap();
         assert_eq!(out.as_dml().unwrap().result.rows_affected, 1);
     }
 
     #[test]
     fn delta_fraction_ignores_tombstoned_delta_rows() {
-        let mut sys = system();
-        sys.execute_sql(
+        let sys = system();
+        sys.execute_statement(
             "INSERT INTO region (r_regionkey, r_name) VALUES (90, 'x'), (91, 'y')",
         )
         .unwrap();
         let f = sys.freshness("region").unwrap();
         assert_eq!(f.live_delta_rows, 2);
         assert!(f.delta_fraction() > 0.0);
-        sys.execute_sql("DELETE FROM region WHERE r_regionkey >= 90").unwrap();
+        sys.execute_statement("DELETE FROM region WHERE r_regionkey >= 90").unwrap();
         let f = sys.freshness("region").unwrap();
         assert_eq!(f.delta_rows, 2, "physical backlog remains");
         assert_eq!(f.live_delta_rows, 0);
@@ -956,11 +1134,11 @@ mod tests {
     /// statistics row count the optimizers estimate from.
     #[test]
     fn stats_and_plans_track_post_dml_sizes() {
-        let mut sys = system();
+        let sys = system();
         let n0 = sys.database().stats().table("nation").unwrap().row_count;
         assert_eq!(n0, 25);
         for i in 0..5 {
-            sys.execute_sql(&format!(
+            sys.execute_statement(&format!(
                 "INSERT INTO nation (n_nationkey, n_name, n_regionkey) VALUES ({}, 'x{}', 0)",
                 100 + i,
                 i
@@ -980,7 +1158,7 @@ mod tests {
             }
         });
         assert_eq!(scan_rows, 30.0);
-        sys.execute_sql("DELETE FROM nation WHERE n_nationkey >= 100")
+        sys.execute_statement("DELETE FROM nation WHERE n_nationkey >= 100")
             .unwrap();
         assert_eq!(sys.database().stats().table("nation").unwrap().row_count, 25);
         // min/max widened incrementally by the inserts (lazy ndv refresh
@@ -991,26 +1169,28 @@ mod tests {
             >= 104.0);
         // compaction triggers the full stats refresh: bounds shrink back
         sys.compact("nation");
-        let ts = sys.database().stats().table("nation").unwrap();
+        let db = sys.database();
+        let ts = db.stats().table("nation").unwrap();
         assert_eq!(ts.columns[0].max, Some(24.0));
         assert_eq!(ts.pending_ndv_writes, 0);
     }
 
     #[test]
     fn lazy_ndv_refresh_after_write_backlog() {
-        let mut sys = system();
+        let sys = system();
         let ndv0 = sys.database().stats().table("nation").unwrap().columns[1].ndv;
         assert_eq!(ndv0, 25);
         // 64+ inserts with distinct names crosses the staleness threshold
         for i in 0..70 {
-            sys.execute_sql(&format!(
+            sys.execute_statement(&format!(
                 "INSERT INTO nation (n_nationkey, n_name, n_regionkey) VALUES ({}, 'n{}', 0)",
                 1000 + i,
                 i
             ))
             .unwrap();
         }
-        let ts = sys.database().stats().table("nation").unwrap();
+        let db = sys.database();
+        let ts = db.stats().table("nation").unwrap();
         assert_eq!(ts.row_count, 95);
         // The refresh fired when the backlog hit the threshold (64 writes →
         // 89 rows at that moment), not on every write: lazily, not eagerly.
@@ -1018,13 +1198,53 @@ mod tests {
         assert_eq!(ts.pending_ndv_writes, 6, "post-refresh backlog keeps accumulating");
     }
 
+    /// The pre-session `&mut self` entry point stays as a thin deprecated
+    /// shim: old callers compile and behave identically.
     #[test]
-    fn dml_routes_to_tp_only_and_select_still_dual_runs(){
+    #[allow(deprecated)]
+    fn deprecated_execute_sql_shim_still_works() {
         let mut sys = system();
         let q = sys.execute_sql("SELECT COUNT(*) FROM region").unwrap();
+        assert_eq!(q.as_query().unwrap().tp.rows[0][0], Value::Int(5));
+        let w = sys
+            .execute_sql("INSERT INTO region (r_regionkey, r_name) VALUES (80, 'shim')")
+            .unwrap();
+        assert_eq!(w.as_dml().unwrap().result.rows_affected, 1);
+    }
+
+    /// Read-only statements go through `&self`: two threads can execute
+    /// SELECTs concurrently against one shared system.
+    #[test]
+    fn concurrent_reads_share_the_system() {
+        let sys = std::sync::Arc::new(system());
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let sys = std::sync::Arc::clone(&sys);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5 {
+                    let key = 1 + (t * 5 + i) % 20;
+                    let out = sys
+                        .execute_statement(&format!(
+                            "SELECT c_custkey FROM customer WHERE c_custkey = {key}"
+                        ))
+                        .unwrap();
+                    let q = out.as_query().unwrap();
+                    assert_eq!(q.tp.rows, vec![vec![Value::Int(key)]]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn dml_routes_to_tp_only_and_select_still_dual_runs(){
+        let sys = system();
+        let q = sys.execute_statement("SELECT COUNT(*) FROM region").unwrap();
         assert!(q.as_query().is_some() && q.as_dml().is_none());
         let w = sys
-            .execute_sql("DELETE FROM region WHERE r_regionkey = 4")
+            .execute_statement("DELETE FROM region WHERE r_regionkey = 4")
             .unwrap();
         let dml = w.as_dml().unwrap();
         assert!(w.as_query().is_none());

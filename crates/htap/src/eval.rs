@@ -73,6 +73,10 @@ pub enum EvalError {
     Type(String),
     /// An aggregate reached the scalar evaluator.
     AggregateInScalarContext,
+    /// A prepared-statement parameter reached execution without being
+    /// substituted (session-layer bug — `PlanNode::substitute_params` runs
+    /// before any executor sees the plan).
+    UnboundParam(usize),
 }
 
 impl std::fmt::Display for EvalError {
@@ -84,6 +88,9 @@ impl std::fmt::Display for EvalError {
             EvalError::Type(m) => write!(f, "type error: {m}"),
             EvalError::AggregateInScalarContext => {
                 write!(f, "aggregate evaluated in scalar context")
+            }
+            EvalError::UnboundParam(idx) => {
+                write!(f, "parameter ${} reached execution unbound", idx + 1)
             }
         }
     }
@@ -156,6 +163,7 @@ pub fn eval(expr: &BoundExpr, schema: &Schema, row: &[Value]) -> Result<Value, E
             }
         }
         BoundExpr::Aggregate { .. } => Err(EvalError::AggregateInScalarContext),
+        BoundExpr::Param { idx, .. } => Err(EvalError::UnboundParam(*idx)),
     }
 }
 
@@ -501,73 +509,162 @@ fn operand_of<'a>(
     }
 }
 
-/// Growable dense column that starts typed and demotes to `Mixed` when a
-/// value of another type (or NULL) arrives.
+/// Growable dense column for computed outputs. Stays typed as long as the
+/// values agree: NULLs grow a lazily-allocated null mask over the typed
+/// buffer (finishing as [`ColumnData::Nullable`], the same typed+mask shape
+/// storage uses) instead of demoting the whole column to `Mixed` — only a
+/// genuine type conflict falls back to generic values. This keeps
+/// NULL-bearing computed columns (e.g. arithmetic over a nullable input) on
+/// the vectorized fast path downstream.
 enum ColBuilder {
-    /// No value seen yet; carries the capacity to pre-reserve on the first
-    /// push (these builders fill on hot vectorized paths).
-    Empty(usize),
+    /// No non-NULL value seen yet; carries the capacity to pre-reserve on
+    /// the first typed push and the count of leading NULLs to backfill.
+    Empty {
+        /// Capacity hint for the first typed allocation.
+        cap: usize,
+        /// NULLs pushed before any typed value arrived.
+        nulls: usize,
+    },
+    /// Typed values with an optional null mask (allocated on first NULL;
+    /// masked positions hold the type's sentinel, like storage's
+    /// `Nullable`).
+    Typed {
+        /// Per-row NULL flags, present once any NULL has been pushed.
+        nulls: Option<Vec<bool>>,
+        /// The dense typed buffer.
+        buf: TypedBuf,
+    },
+    /// Genuinely heterogeneous (or all-NULL) column.
+    Mixed(Vec<Value>),
+}
+
+/// The four plain typed buffers a [`ColBuilder`] can hold.
+enum TypedBuf {
     Int(Vec<i64>),
     Float(Vec<f64>),
     Str(Vec<String>),
     Date(Vec<i32>),
-    Mixed(Vec<Value>),
+}
+
+impl TypedBuf {
+    fn seeded(cap: usize, nulls: usize, first: Value) -> Option<TypedBuf> {
+        fn seed<T: Clone>(cap: usize, nulls: usize, sentinel: T, first: T) -> Vec<T> {
+            let mut buf = Vec::with_capacity(cap.max(nulls + 1));
+            buf.extend(std::iter::repeat_n(sentinel, nulls));
+            buf.push(first);
+            buf
+        }
+        Some(match first {
+            Value::Int(x) => TypedBuf::Int(seed(cap, nulls, 0, x)),
+            Value::Float(x) => TypedBuf::Float(seed(cap, nulls, 0.0, x)),
+            Value::Str(s) => TypedBuf::Str(seed(cap, nulls, String::new(), s)),
+            Value::Date(d) => TypedBuf::Date(seed(cap, nulls, 0, d)),
+            Value::Null => return None,
+        })
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            TypedBuf::Int(b) => b.len(),
+            TypedBuf::Float(b) => b.len(),
+            TypedBuf::Str(b) => b.len(),
+            TypedBuf::Date(b) => b.len(),
+        }
+    }
+
+    /// Pushes a matching value; false on a type mismatch (caller demotes).
+    fn try_push(&mut self, v: &mut Option<Value>) -> bool {
+        match (self, v.take().expect("value present")) {
+            (TypedBuf::Int(b), Value::Int(x)) => b.push(x),
+            (TypedBuf::Float(b), Value::Float(x)) => b.push(x),
+            (TypedBuf::Str(b), Value::Str(s)) => b.push(s),
+            (TypedBuf::Date(b), Value::Date(d)) => b.push(d),
+            (_, other) => {
+                *v = Some(other);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Pushes the type's NULL sentinel (masked by the null vector).
+    fn push_sentinel(&mut self) {
+        match self {
+            TypedBuf::Int(b) => b.push(0),
+            TypedBuf::Float(b) => b.push(0.0),
+            TypedBuf::Str(b) => b.push(String::new()),
+            TypedBuf::Date(b) => b.push(0),
+        }
+    }
+
+    fn into_column(self) -> ColumnData {
+        match self {
+            TypedBuf::Int(b) => ColumnData::Int(b),
+            TypedBuf::Float(b) => ColumnData::Float(b),
+            TypedBuf::Str(b) => ColumnData::Str(b),
+            TypedBuf::Date(b) => ColumnData::Date(b),
+        }
+    }
 }
 
 impl ColBuilder {
     fn with_capacity(n: usize) -> Self {
-        ColBuilder::Empty(n)
+        ColBuilder::Empty { cap: n, nulls: 0 }
     }
 
     fn push(&mut self, v: Value) {
-        fn seeded<T>(cap: usize, first: T) -> Vec<T> {
-            let mut buf = Vec::with_capacity(cap.max(1));
-            buf.push(first);
-            buf
-        }
         match (&mut *self, v) {
-            (ColBuilder::Empty(cap), v) => {
-                let cap = *cap;
-                *self = match v {
-                    Value::Int(x) => ColBuilder::Int(seeded(cap, x)),
-                    Value::Float(x) => ColBuilder::Float(seeded(cap, x)),
-                    Value::Str(s) => ColBuilder::Str(seeded(cap, s)),
-                    Value::Date(d) => ColBuilder::Date(seeded(cap, d)),
-                    Value::Null => ColBuilder::Mixed(seeded(cap, Value::Null)),
-                };
+            (ColBuilder::Empty { nulls, .. }, Value::Null) => *nulls += 1,
+            (ColBuilder::Empty { cap, nulls }, v) => {
+                let (cap, leading) = (*cap, *nulls);
+                let buf = TypedBuf::seeded(cap, leading, v).expect("non-null first value");
+                let nulls = (leading > 0).then(|| {
+                    let mut mask = Vec::with_capacity(cap.max(leading + 1));
+                    mask.extend(std::iter::repeat_n(true, leading));
+                    mask.push(false);
+                    mask
+                });
+                *self = ColBuilder::Typed { nulls, buf };
             }
-            (ColBuilder::Int(buf), Value::Int(x)) => buf.push(x),
-            (ColBuilder::Float(buf), Value::Float(x)) => buf.push(x),
-            (ColBuilder::Str(buf), Value::Str(s)) => buf.push(s),
-            (ColBuilder::Date(buf), Value::Date(d)) => buf.push(d),
+            (ColBuilder::Typed { nulls, buf }, Value::Null) => {
+                nulls
+                    .get_or_insert_with(|| vec![false; buf.len()])
+                    .push(true);
+                buf.push_sentinel();
+            }
+            (ColBuilder::Typed { nulls, buf }, v) => {
+                let mut slot = Some(v);
+                if buf.try_push(&mut slot) {
+                    if let Some(mask) = nulls {
+                        mask.push(false);
+                    }
+                } else {
+                    self.demote();
+                    self.push(slot.expect("mismatched value returned"));
+                }
+            }
             (ColBuilder::Mixed(buf), v) => buf.push(v),
-            (_, v) => {
-                self.demote();
-                self.push(v);
-            }
         }
     }
 
+    /// Genuine type conflict: fall back to generic values (NULLs included).
     #[cold]
     fn demote(&mut self) {
-        let values: Vec<Value> = match std::mem::replace(self, ColBuilder::Empty(0)) {
-            ColBuilder::Empty(_) => Vec::new(),
-            ColBuilder::Int(buf) => buf.into_iter().map(Value::Int).collect(),
-            ColBuilder::Float(buf) => buf.into_iter().map(Value::Float).collect(),
-            ColBuilder::Str(buf) => buf.into_iter().map(Value::Str).collect(),
-            ColBuilder::Date(buf) => buf.into_iter().map(Value::Date).collect(),
-            ColBuilder::Mixed(buf) => buf,
-        };
+        let col = std::mem::replace(self, ColBuilder::Mixed(Vec::new())).finish();
+        let values: Vec<Value> = (0..col.len()).map(|i| col.get(i)).collect();
         *self = ColBuilder::Mixed(values);
     }
 
     fn finish(self) -> ColumnData {
         match self {
-            ColBuilder::Empty(_) => ColumnData::Mixed(Vec::new()),
-            ColBuilder::Int(buf) => ColumnData::Int(buf),
-            ColBuilder::Float(buf) => ColumnData::Float(buf),
-            ColBuilder::Str(buf) => ColumnData::Str(buf),
-            ColBuilder::Date(buf) => ColumnData::Date(buf),
+            // All-NULL (or empty) columns have no type to anchor a mask to —
+            // same generic representation storage's `from_values` picks.
+            ColBuilder::Empty { nulls, .. } => ColumnData::Mixed(vec![Value::Null; nulls]),
+            ColBuilder::Typed { nulls: None, buf } => buf.into_column(),
+            ColBuilder::Typed { nulls: Some(mask), buf } => ColumnData::Nullable {
+                nulls: mask,
+                values: Box::new(buf.into_column()),
+            },
             ColBuilder::Mixed(buf) => ColumnData::Mixed(buf),
         }
     }
@@ -855,6 +952,7 @@ pub fn eval_batch(
             Ok(ColumnData::Int(mask.into_iter().map(i64::from).collect()))
         }
         BoundExpr::Aggregate { .. } => Err(EvalError::AggregateInScalarContext),
+        BoundExpr::Param { idx, .. } => Err(EvalError::UnboundParam(*idx)),
     }
 }
 
@@ -1068,6 +1166,55 @@ mod tests {
             eval_predicate(pred, &bad_schema, &r),
             Err(EvalError::MissingColumn { .. })
         ));
+    }
+
+    /// Satellite: NULL-bearing computed columns keep the typed+mask
+    /// (`Nullable`) representation instead of demoting to `Mixed` — the same
+    /// fast path storage columns take.
+    #[test]
+    fn computed_nullable_columns_stay_typed() {
+        let q = bind("SELECT a + 1 FROM t");
+        let expr = &q.projections[0].expr;
+        let one_col_schema = Schema::new(vec![(0, 0)]);
+
+        // NULL in the middle: mask allocated on demand, typed buffer kept.
+        let col = ColumnData::from_values(&[Value::Int(1), Value::Null, Value::Int(3)]);
+        let cols = vec![Some(ColRef::Single(&col))];
+        let view = BatchView { cols: &cols, sel: None, rows: 3 };
+        let out = eval_batch(expr, &one_col_schema, &view).unwrap();
+        match &out {
+            ColumnData::Nullable { nulls, values } => {
+                assert_eq!(nulls, &vec![false, true, false]);
+                assert!(matches!(**values, ColumnData::Int(_)));
+            }
+            other => panic!("expected Nullable, got {other:?}"),
+        }
+        assert_eq!(out.get(0), Value::Int(2));
+        assert_eq!(out.get(1), Value::Null);
+        assert_eq!(out.get(2), Value::Int(4));
+
+        // Leading NULLs backfill sentinels once the type is known.
+        let col = ColumnData::from_values(&[Value::Null, Value::Null, Value::Int(7)]);
+        let cols = vec![Some(ColRef::Single(&col))];
+        let view = BatchView { cols: &cols, sel: None, rows: 3 };
+        let out = eval_batch(expr, &one_col_schema, &view).unwrap();
+        assert!(matches!(out, ColumnData::Nullable { .. }));
+        assert_eq!(out.get(0), Value::Null);
+        assert_eq!(out.get(2), Value::Int(8));
+
+        // No NULLs: plain typed column, no mask allocated.
+        let col = ColumnData::Int(vec![1, 2]);
+        let cols = vec![Some(ColRef::Single(&col))];
+        let view = BatchView { cols: &cols, sel: None, rows: 2 };
+        let out = eval_batch(expr, &one_col_schema, &view).unwrap();
+        assert!(matches!(out, ColumnData::Int(_)));
+
+        // All-NULL stays generic (no type to anchor a mask to).
+        let col = ColumnData::from_values(&[Value::Null, Value::Null]);
+        let cols = vec![Some(ColRef::Single(&col))];
+        let view = BatchView { cols: &cols, sel: None, rows: 2 };
+        let out = eval_batch(expr, &one_col_schema, &view).unwrap();
+        assert!(matches!(&out, ColumnData::Mixed(v) if v == &vec![Value::Null, Value::Null]));
     }
 
     #[test]

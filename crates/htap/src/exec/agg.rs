@@ -38,7 +38,7 @@ pub fn collect_leaves(expr: &BoundExpr, out: &mut Vec<AggLeaf>) {
                 out.push(leaf);
             }
         }
-        BoundExpr::Column(_) | BoundExpr::Literal(_) => {}
+        BoundExpr::Column(_) | BoundExpr::Literal(_) | BoundExpr::Param { .. } => {}
         BoundExpr::Binary { left, right, .. } => {
             collect_leaves(left, out);
             collect_leaves(right, out);

@@ -41,7 +41,7 @@ pub use parallel::ExecConfig;
 
 use crate::engine::{Database, EngineKind};
 use crate::eval::{eval, eval_predicate, EvalError, Schema};
-use crate::plan::{IndexLookup, PlanNode, PlanOp};
+use crate::plan::{IndexLookup, PlanNode, PlanOp, PlanTerm};
 use crate::storage::{ScanPruner, StoredTable};
 use qpe_sql::binder::{BoundDml, BoundExpr, BoundQuery};
 use qpe_sql::catalog::Catalog;
@@ -216,6 +216,21 @@ pub fn execute_parallel(
     cfg: &ExecConfig,
 ) -> Result<(Vec<Row>, WorkCounters), ExecError> {
     vector::execute_with(plan, query, db, cfg)
+}
+
+/// Resolves one index-lookup term to its literal value. Prepared plans are
+/// parameter-substituted before execution, so a surviving `Param` term is a
+/// session-layer bug, not a user error.
+fn term_value(t: &PlanTerm) -> Result<&Value, ExecError> {
+    t.as_lit().ok_or_else(|| {
+        ExecError::BadPlan("unresolved parameter in index lookup (plan not substituted)".into())
+    })
+}
+
+/// Resolves a whole key list ([`IndexLookup::Keys`]) to borrowed values —
+/// no per-execution key clones on the index-scan hot path.
+fn term_values(terms: &[PlanTerm]) -> Result<Vec<&Value>, ExecError> {
+    terms.iter().map(term_value).collect()
 }
 
 pub(crate) struct Executor<'a> {
@@ -539,11 +554,13 @@ impl Executor<'_> {
         let rids: Vec<u32> = match lookup {
             IndexLookup::Keys(keys) => {
                 self.counters.index_probes += keys.len() as u64;
-                index.lookup_many(keys)
+                index.lookup_many_refs(term_values(keys)?.into_iter())
             }
             IndexLookup::Range { low, high } => {
                 self.counters.index_probes += 1;
-                index.range(low.as_ref(), high.as_ref())
+                let lo = low.as_ref().map(term_value).transpose()?;
+                let hi = high.as_ref().map(term_value).transpose()?;
+                index.range(lo, hi)
             }
             IndexLookup::Ordered { descending } => {
                 self.counters.index_probes += 1;
@@ -898,11 +915,13 @@ fn collect_target_rids(
             let rids: Vec<u32> = match lookup {
                 IndexLookup::Keys(keys) => {
                     counters.index_probes += keys.len() as u64;
-                    index.lookup_many(keys)
+                    index.lookup_many_refs(term_values(keys)?.into_iter())
                 }
                 IndexLookup::Range { low, high } => {
                     counters.index_probes += 1;
-                    index.range(low.as_ref(), high.as_ref())
+                    let lo = low.as_ref().map(term_value).transpose()?;
+                    let hi = high.as_ref().map(term_value).transpose()?;
+                    index.range(lo, hi)
                 }
                 IndexLookup::Ordered { descending } => {
                     counters.index_probes += 1;

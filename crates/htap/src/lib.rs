@@ -17,10 +17,39 @@
 //!   (typed column builders + a deleted-rid bitmap) that scans read through,
 //!   and `compact()` merges into fresh base columns.
 //!
+//! # Sessions: prepare once, execute many
+//!
+//! The client-facing API is the **session layer** ([`session`]):
+//! [`session::Session::new`] wraps a shared `Arc<HtapSystem>`, and
+//! [`session::Session::prepare`] runs the SQL front end **once** —
+//! lex → parse → bind → plan for both engines — with parameter placeholders
+//! (`?` positional, `$n` numbered) threaded through every layer:
+//! `Expr::Param` in the AST, typed `BoundExpr::Param { idx, ty }` in the
+//! binder (types inferred from the comparison/assignment context, coerced by
+//! the same rules as INSERT literals), and parameterized index-lookup terms
+//! ([`plan::PlanTerm`]) in the physical plan. Prepared statements land in a
+//! system-wide LRU **plan cache** (keyed by SQL fingerprint, hit/miss stats
+//! via [`engine::HtapSystem::plan_cache_stats`]), so every session shares
+//! one front-end investment per distinct statement.
+//!
+//! [`session::PreparedStatement::execute`] injects the bound values into a
+//! clone of the cached plans (*below* the planner, *above* the executors):
+//! the executed predicates, pushed scan conjunctions and index keys are
+//! byte-identical to what planning the literal-inlined SQL would produce, so
+//! zone-map pruning re-specializes per execution and rows, counters and
+//! pruning effectiveness exactly match the unprepared run
+//! (`tests/prepared_props.rs`).
+//!
+//! **Concurrency:** the entire read path is `&self` — binding, planning and
+//! execution take a shared read lock, so N threads with N sessions execute
+//! prepared SELECTs fully in parallel over one system. Writes take the write
+//! lock internally; nothing on the public surface needs `&mut` anymore (the
+//! old `execute_sql(&mut self)` remains as a deprecated shim).
+//!
 //! # DML flow (freshness made explicit)
 //!
 //! `INSERT`/`UPDATE`/`DELETE` statements flow lexer → parser → binder like
-//! reads, then [`engine::HtapSystem::execute_sql`] routes them to the **TP
+//! reads, then [`engine::HtapSystem::execute_statement`] routes them to the **TP
 //! engine only**: the TP optimizer plans the row-locating access path
 //! (index-aware, via the same single-table logic as reads), the DML executor
 //! collects target rids *before* mutating (snapshot semantics), and the
@@ -114,6 +143,7 @@ pub mod exec;
 pub mod latency;
 pub mod opt;
 pub mod plan;
+pub mod session;
 pub mod stats;
 pub mod storage;
 pub mod tpch;
@@ -123,5 +153,6 @@ pub use engine::{
 };
 pub use exec::{DmlKind, DmlResult, ExecConfig};
 pub use plan::{NodeType, PlanNode};
+pub use session::{PlanCacheStats, PreparedStatement, Session};
 pub use storage::TableFreshness;
 pub use tpch::TpchConfig;

@@ -257,6 +257,7 @@ pub fn detail_of(expr: &BoundExpr, query: &BoundQuery, catalog: &dyn Catalog) ->
         match e {
             E::Column(c) => f(c),
             E::Literal(v) => v.to_string(),
+            E::Param { idx, .. } => format!("${}", idx + 1),
             E::Binary { left, op, right } => {
                 format!("{} {} {}", rec(left, f), op, rec(right, f))
             }

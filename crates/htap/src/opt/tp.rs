@@ -10,11 +10,24 @@
 //! paper's Table II TP plan.
 
 use super::{detail_of, OptError, PlannerCtx};
-use crate::plan::{AggSpec, IndexLookup, JoinCond, NodeType, PlanNode, PlanOp};
+use crate::plan::{AggSpec, IndexLookup, JoinCond, NodeType, PlanNode, PlanOp, PlanTerm};
 use crate::stats::{self, DbStats};
 use qpe_sql::ast::BinaryOp;
 use qpe_sql::binder::{AggregateKind, BoundDml, BoundExpr, ColumnRef};
 use qpe_sql::catalog::Catalog;
+
+/// The index-servable "value side" of a predicate: a literal known at plan
+/// time, or a prepared-statement parameter resolved at execution time. Both
+/// drive the same index access paths — a prepared `c_custkey = ?` must plan
+/// exactly like `c_custkey = 42`, or prepared execution would differ from
+/// inlined execution in shape, counters and latency.
+fn term_of(e: &BoundExpr) -> Option<PlanTerm> {
+    match e {
+        BoundExpr::Literal(v) => Some(PlanTerm::Lit(v.clone())),
+        BoundExpr::Param { idx, .. } => Some(PlanTerm::Param(*idx)),
+        _ => None,
+    }
+}
 
 /// Cost of scanning one row (full tuple) from the row store.
 pub const COST_ROW_SCAN: f64 = 0.25;
@@ -140,10 +153,10 @@ fn find_index_choice(ctx: &PlannerCtx, slot: usize) -> Result<Option<IndexChoice
     for (fi, f) in filters.iter().enumerate() {
         let candidate = match &f.expr {
             BoundExpr::Binary { left, op, right } => {
-                let (col, lit, op) = match (left.as_bare_column(), right.as_ref()) {
-                    (Some(c), BoundExpr::Literal(v)) => (Some(c), Some(v.clone()), *op),
-                    _ => match (left.as_ref(), right.as_bare_column()) {
-                        (BoundExpr::Literal(v), Some(c)) => {
+                let (col, lit, op) = match (left.as_bare_column(), term_of(right)) {
+                    (Some(c), Some(t)) => (Some(c), Some(t), *op),
+                    _ => match (term_of(left), right.as_bare_column()) {
+                        (Some(t), Some(c)) => {
                             // flip `lit OP col` into `col OP' lit`
                             let flipped = match op {
                                 BinaryOp::Lt => BinaryOp::Gt,
@@ -152,7 +165,7 @@ fn find_index_choice(ctx: &PlannerCtx, slot: usize) -> Result<Option<IndexChoice
                                 BinaryOp::GtEq => BinaryOp::LtEq,
                                 other => *other,
                             };
-                            (Some(c), Some(v.clone()), flipped)
+                            (Some(c), Some(t), flipped)
                         }
                         _ => (None, None, *op),
                     },
@@ -184,17 +197,18 @@ fn find_index_choice(ctx: &PlannerCtx, slot: usize) -> Result<Option<IndexChoice
                     _ => None,
                 }
             }
-            BoundExpr::InList { expr, list, negated: false } => expr
-                .as_bare_column()
-                .map(|c| (c, IndexLookup::Keys(list.clone()), true)),
+            BoundExpr::InList { expr, list, negated: false } => expr.as_bare_column().map(|c| {
+                (
+                    c,
+                    IndexLookup::Keys(list.iter().cloned().map(PlanTerm::Lit).collect()),
+                    true,
+                )
+            }),
             BoundExpr::Between { expr, low, high } => {
-                match (expr.as_bare_column(), low.as_ref(), high.as_ref()) {
-                    (Some(c), BoundExpr::Literal(lo), BoundExpr::Literal(hi)) => Some((
+                match (expr.as_bare_column(), term_of(low), term_of(high)) {
+                    (Some(c), Some(lo), Some(hi)) => Some((
                         c,
-                        IndexLookup::Range {
-                            low: Some(lo.clone()),
-                            high: Some(hi.clone()),
-                        },
+                        IndexLookup::Range { low: Some(lo), high: Some(hi) },
                         true,
                     )),
                     _ => None,

@@ -115,23 +115,78 @@ impl std::fmt::Display for NodeType {
     }
 }
 
+/// One key position inside an [`IndexLookup`]: a concrete literal, or a
+/// prepared-statement parameter resolved at execution time. Prepared plans
+/// carry `Param` terms; [`PlanNode::substitute_params`] lowers them to `Lit`
+/// before execution, so the executors only ever see literals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanTerm {
+    /// A concrete value known at plan time.
+    Lit(Value),
+    /// A parameter placeholder (0-based index).
+    Param(usize),
+}
+
+impl PlanTerm {
+    /// The literal value, if already concrete.
+    pub fn as_lit(&self) -> Option<&Value> {
+        match self {
+            PlanTerm::Lit(v) => Some(v),
+            PlanTerm::Param(_) => None,
+        }
+    }
+
+    /// Resolves a parameter term against a bound parameter vector.
+    fn substitute(&self, params: &[Value]) -> PlanTerm {
+        match self {
+            PlanTerm::Param(idx) => match params.get(*idx) {
+                Some(v) => PlanTerm::Lit(v.clone()),
+                None => self.clone(),
+            },
+            lit => lit.clone(),
+        }
+    }
+}
+
+impl From<Value> for PlanTerm {
+    fn from(v: Value) -> Self {
+        PlanTerm::Lit(v)
+    }
+}
+
 /// How an index scan selects rows.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum IndexLookup {
     /// Equality on one or more keys (`=` or `IN`).
-    Keys(Vec<Value>),
+    Keys(Vec<PlanTerm>),
     /// Inclusive range.
     Range {
         /// Lower bound, if any.
-        low: Option<Value>,
+        low: Option<PlanTerm>,
         /// Upper bound, if any.
-        high: Option<Value>,
+        high: Option<PlanTerm>,
     },
     /// Whole index in key order (for index-ordered top-N).
     Ordered {
         /// Descending order flag.
         descending: bool,
     },
+}
+
+impl IndexLookup {
+    /// Clones the lookup with parameter terms resolved to literals.
+    fn substitute(&self, params: &[Value]) -> IndexLookup {
+        match self {
+            IndexLookup::Keys(keys) => {
+                IndexLookup::Keys(keys.iter().map(|k| k.substitute(params)).collect())
+            }
+            IndexLookup::Range { low, high } => IndexLookup::Range {
+                low: low.as_ref().map(|t| t.substitute(params)),
+                high: high.as_ref().map(|t| t.substitute(params)),
+            },
+            ordered => ordered.clone(),
+        }
+    }
 }
 
 /// One equi-join condition at execution level.
@@ -471,6 +526,123 @@ impl PlanNode {
         out.push('\n');
         for c in &self.children {
             c.explain_text_rec(depth + 1, out);
+        }
+    }
+
+    /// True when any operator payload in the tree still references a
+    /// prepared-statement parameter.
+    pub fn has_params(&self) -> bool {
+        use qpe_sql::binder::expr_has_params as hp;
+        let mut found = false;
+        self.walk(&mut |n| {
+            if found {
+                return;
+            }
+            found = match &n.op {
+                PlanOp::TableScan { pushed, .. } => pushed.as_ref().is_some_and(hp),
+                PlanOp::IndexScan { lookup, .. } => match lookup {
+                    IndexLookup::Keys(keys) => {
+                        keys.iter().any(|k| matches!(k, PlanTerm::Param(_)))
+                    }
+                    IndexLookup::Range { low, high } => [low, high]
+                        .iter()
+                        .any(|t| matches!(t, Some(PlanTerm::Param(_)))),
+                    IndexLookup::Ordered { .. } => false,
+                },
+                PlanOp::IndexProbe { residual, .. } => residual.as_ref().is_some_and(hp),
+                PlanOp::Filter { predicate } => hp(predicate),
+                PlanOp::NestedLoopJoin { residual, .. } => residual.as_ref().is_some_and(hp),
+                PlanOp::Aggregate { group_by, outputs, having, .. } => {
+                    group_by.iter().any(hp)
+                        || outputs.iter().any(|o| hp(&o.expr))
+                        || having.as_ref().is_some_and(hp)
+                }
+                PlanOp::Sort { keys } | PlanOp::TopNSort { keys, .. } => {
+                    keys.iter().any(|(k, _)| hp(k))
+                }
+                PlanOp::Projection { exprs, .. } => exprs.iter().any(hp),
+                PlanOp::IndexNLJoin { .. }
+                | PlanOp::HashJoin { .. }
+                | PlanOp::Hash
+                | PlanOp::Limit { .. }
+                | PlanOp::OutputSort { .. }
+                | PlanOp::Insert { .. }
+                | PlanOp::Update { .. }
+                | PlanOp::Delete { .. } => false,
+            };
+        });
+        found
+    }
+
+    /// Clones the plan with every parameter placeholder replaced by its bound
+    /// value — the execution-time injection step of a prepared statement.
+    /// The substituted tree is exactly what planning the same SQL with the
+    /// literals inlined would produce for the execution payload (predicates,
+    /// pushed conjunctions, index keys), so pruning and all work counters
+    /// match the inlined run. Plans without parameters are cloned as-is.
+    pub fn substitute_params(&self, params: &[Value]) -> PlanNode {
+        use qpe_sql::binder::substitute_params as subst;
+        let op = match &self.op {
+            PlanOp::TableScan { table_slot, columns, pushed } => PlanOp::TableScan {
+                table_slot: *table_slot,
+                columns: columns.clone(),
+                pushed: pushed.as_ref().map(|p| subst(p, params)),
+            },
+            PlanOp::IndexScan { table_slot, column_idx, lookup, columns } => PlanOp::IndexScan {
+                table_slot: *table_slot,
+                column_idx: *column_idx,
+                lookup: lookup.substitute(params),
+                columns: columns.clone(),
+            },
+            PlanOp::IndexProbe { table_slot, column_idx, residual, columns } => {
+                PlanOp::IndexProbe {
+                    table_slot: *table_slot,
+                    column_idx: *column_idx,
+                    residual: residual.as_ref().map(|r| subst(r, params)),
+                    columns: columns.clone(),
+                }
+            }
+            PlanOp::Filter { predicate } => PlanOp::Filter { predicate: subst(predicate, params) },
+            PlanOp::NestedLoopJoin { conds, residual } => PlanOp::NestedLoopJoin {
+                conds: conds.clone(),
+                residual: residual.as_ref().map(|r| subst(r, params)),
+            },
+            PlanOp::Aggregate { group_by, outputs, having, hash } => PlanOp::Aggregate {
+                group_by: group_by.iter().map(|g| subst(g, params)).collect(),
+                outputs: outputs
+                    .iter()
+                    .map(|o| AggSpec { expr: subst(&o.expr, params), label: o.label.clone() })
+                    .collect(),
+                having: having.as_ref().map(|h| subst(h, params)),
+                hash: *hash,
+            },
+            PlanOp::Sort { keys } => PlanOp::Sort {
+                keys: keys.iter().map(|(k, d)| (subst(k, params), *d)).collect(),
+            },
+            PlanOp::TopNSort { keys, limit, offset } => PlanOp::TopNSort {
+                keys: keys.iter().map(|(k, d)| (subst(k, params), *d)).collect(),
+                limit: *limit,
+                offset: *offset,
+            },
+            PlanOp::Projection { exprs, labels } => PlanOp::Projection {
+                exprs: exprs.iter().map(|e| subst(e, params)).collect(),
+                labels: labels.clone(),
+            },
+            other => other.clone(),
+        };
+        PlanNode {
+            node_type: self.node_type,
+            relation: self.relation.clone(),
+            index: self.index.clone(),
+            total_cost: self.total_cost,
+            plan_rows: self.plan_rows,
+            detail: self.detail.clone(),
+            op,
+            children: self
+                .children
+                .iter()
+                .map(|c| c.substitute_params(params))
+                .collect(),
         }
     }
 }

@@ -1,0 +1,626 @@
+//! Client-facing session layer: prepare once, execute many.
+//!
+//! A [`Session`] is one client's handle onto a shared [`HtapSystem`]
+//! (`Arc`-shared — open as many sessions as you have clients/threads).
+//! [`Session::prepare`] pays the SQL front end **once**: lex → parse → bind
+//! (parameter placeholders `?`/`$n` become typed [`BoundExpr::Param`] nodes)
+//! → physical planning for both engines. The resulting parameterized plans
+//! land in the system-wide LRU [`PlanCache`], keyed by SQL fingerprint, so a
+//! second session preparing the same statement gets a cache hit and shares
+//! the same `Arc`'d plans.
+//!
+//! [`PreparedStatement::execute`] then does only the per-call work: validate
+//! and coerce the parameter values (the same widening rules INSERT literals
+//! go through — mismatches surface as structured
+//! [`HtapError::ParamTypeMismatch`] / [`HtapError::ParamCountMismatch`]
+//! errors), inject them into a clone of the cached plans
+//! ([`crate::plan::PlanNode::substitute_params`]) and execute. Because
+//! injection happens *below* the planner but *above* the executors, the
+//! executed plan's predicates, pushed scan conjunctions and index keys are
+//! exactly what planning the literal-inlined SQL would have produced — zone
+//! map pruning re-specializes per execution against the concrete values
+//! ([`crate::storage::ScanPruner`] extracts conjuncts from the substituted
+//! pushed predicate), so pruning quality, result rows and
+//! [`crate::exec::WorkCounters`] are identical to the unprepared run
+//! (`tests/prepared_props.rs` sweeps this).
+//!
+//! Reads execute through `&self` (a shared read lock), so concurrent
+//! sessions run prepared SELECTs fully in parallel; prepared DML takes the
+//! write lock internally, exactly like [`HtapSystem::execute_statement`].
+
+use crate::engine::{HtapError, HtapSystem, StatementOutcome};
+use crate::opt::{ap, tp, PlannerCtx};
+use crate::plan::PlanNode;
+use qpe_sql::binder::{coerce_param, substitute_params, BoundDml, BoundExpr, BoundQuery, BoundStatement};
+use qpe_sql::catalog::DataType;
+use qpe_sql::value::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+/// Snapshot of the shared plan cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Prepared lookups answered from the cache.
+    pub hits: u64,
+    /// Prepared lookups that had to run the full front end.
+    pub misses: u64,
+    /// Statements currently resident.
+    pub entries: usize,
+    /// Maximum resident statements before LRU eviction.
+    pub capacity: usize,
+}
+
+impl PlanCacheStats {
+    /// Hits / (hits + misses); 0 when nothing was looked up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Default number of cached statements.
+pub const PLAN_CACHE_CAPACITY: usize = 256;
+
+struct CacheSlot {
+    stmt: Arc<CachedStatement>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct PlanCacheInner {
+    map: HashMap<String, CacheSlot>,
+    stamp: u64,
+}
+
+/// System-wide LRU cache of prepared statements, shared by every session.
+/// Lookups bump an access stamp; inserts beyond capacity evict the
+/// least-recently-used entry. Hit/miss counters are lock-free.
+pub struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_capacity(PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// A cache bounded to `capacity` statements (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(PlanCacheInner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCacheInner> {
+        self.inner.lock().expect("plan cache poisoned")
+    }
+
+    fn get(&self, fingerprint: &str) -> Option<Arc<CachedStatement>> {
+        let mut inner = self.lock();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        match inner.map.get_mut(fingerprint) {
+            Some(slot) => {
+                slot.last_used = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.stmt))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, fingerprint: String, stmt: Arc<CachedStatement>) {
+        let mut inner = self.lock();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&fingerprint) {
+            // O(n) LRU eviction — n is the (small) cache capacity, and this
+            // only runs on insert-at-capacity, never on the hit path.
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(fingerprint, CacheSlot { stmt, last_used: stamp });
+    }
+
+    /// Drops every entry (prepared handles keep their `Arc`'d statements).
+    pub fn clear(&self) {
+        self.lock().map.clear();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.lock().map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cached statements
+// ---------------------------------------------------------------------------
+
+/// One fully-front-ended statement: the parameterized bound form plus its
+/// physical plan(s). Shared via `Arc` between the plan cache and every
+/// prepared handle.
+pub struct CachedStatement {
+    /// The fingerprint SQL (trimmed, trailing `;` stripped).
+    sql: String,
+    kind: CachedKind,
+}
+
+enum CachedKind {
+    /// A read: both engines' parameterized plans. The bound query is
+    /// `Arc`-shared into every execution's `QueryOutcome` — no per-call
+    /// clone.
+    Query {
+        bound: Arc<BoundQuery>,
+        tp: PlanNode,
+        ap: PlanNode,
+    },
+    /// A write: the TP write plan.
+    Dml { dml: BoundDml, plan: PlanNode },
+}
+
+impl CachedStatement {
+    /// The prepared SQL text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// Per-parameter context-inferred types.
+    pub fn param_types(&self) -> &[Option<DataType>] {
+        match &self.kind {
+            CachedKind::Query { bound, .. } => &bound.params,
+            CachedKind::Dml { dml, .. } => dml.param_types(),
+        }
+    }
+
+    /// True for `SELECT` statements.
+    pub fn is_query(&self) -> bool {
+        matches!(self.kind, CachedKind::Query { .. })
+    }
+}
+
+impl HtapSystem {
+    /// Runs the full front end for `sql` — or returns the cached result.
+    /// This is the "parse once" half of the prepared-statement contract;
+    /// [`PreparedStatement::execute`] is the "execute many" half.
+    pub(crate) fn prepare_cached(&self, sql: &str) -> Result<Arc<CachedStatement>, HtapError> {
+        let fingerprint = sql.trim().trim_end_matches(';');
+        if let Some(hit) = self.plan_cache().get(fingerprint) {
+            return Ok(hit);
+        }
+        let kind = match self.bind_statement(fingerprint)? {
+            BoundStatement::Query(bound) => {
+                let db = self.database();
+                let mut ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
+                ctx.pushdown = self.pruning();
+                let tp = tp::plan(&ctx)?;
+                let ap = ap::plan(&ctx)?;
+                drop(db);
+                CachedKind::Query { bound: Arc::new(bound), tp, ap }
+            }
+            BoundStatement::Dml(dml) => {
+                let db = self.database();
+                let plan = tp::plan_dml(&dml, db.stats(), db.catalog())?;
+                drop(db);
+                CachedKind::Dml { dml, plan }
+            }
+        };
+        let stmt = Arc::new(CachedStatement { sql: fingerprint.to_string(), kind });
+        self.plan_cache()
+            .insert(fingerprint.to_string(), Arc::clone(&stmt));
+        Ok(stmt)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sessions and prepared statements
+// ---------------------------------------------------------------------------
+
+/// One client's handle onto a shared [`HtapSystem`]. Sessions are cheap
+/// (an `Arc` clone) and independent — every thread gets its own.
+pub struct Session {
+    system: Arc<HtapSystem>,
+}
+
+impl Session {
+    /// Opens a session over a shared system.
+    pub fn new(system: Arc<HtapSystem>) -> Self {
+        Session { system }
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &Arc<HtapSystem> {
+        &self.system
+    }
+
+    /// Prepares a statement: full front end on cache miss, `Arc` clone on
+    /// hit. Placeholders (`?` positional, `$n` numbered) may appear anywhere
+    /// a literal may in comparisons, `BETWEEN` bounds, `SET` assignments and
+    /// `VALUES` rows.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, HtapError> {
+        let stmt = self.system.prepare_cached(sql)?;
+        Ok(PreparedStatement { system: Arc::clone(&self.system), stmt })
+    }
+
+    /// One-shot convenience: prepare (through the shared cache) and execute
+    /// with no parameters. Repeated calls with identical SQL skip the front
+    /// end after the first.
+    pub fn execute_sql(&self, sql: &str) -> Result<StatementOutcome, HtapError> {
+        self.prepare(sql)?.execute(&[])
+    }
+}
+
+/// A prepared statement bound to the session's system: execute it any number
+/// of times with varying parameter values. Cloning is cheap (two `Arc`s) and
+/// handles stay valid across cache eviction.
+#[derive(Clone)]
+pub struct PreparedStatement {
+    system: Arc<HtapSystem>,
+    stmt: Arc<CachedStatement>,
+}
+
+impl PreparedStatement {
+    /// The prepared SQL text.
+    pub fn sql(&self) -> &str {
+        self.stmt.sql()
+    }
+
+    /// Number of parameters the statement expects.
+    pub fn param_count(&self) -> usize {
+        self.stmt.param_types().len()
+    }
+
+    /// Per-parameter context-inferred types (`None` = unconstrained).
+    pub fn param_types(&self) -> &[Option<DataType>] {
+        self.stmt.param_types()
+    }
+
+    /// Executes with the given parameter values: validate + coerce, inject
+    /// into the cached plans, run. No re-lex, re-parse, re-bind or re-plan.
+    pub fn execute(&self, params: &[Value]) -> Result<StatementOutcome, HtapError> {
+        let params = self.coerce(params)?;
+        match &self.stmt.kind {
+            CachedKind::Query { bound, tp, ap } => {
+                let (tp_plan, ap_plan) = if params.is_empty() {
+                    (tp.clone(), ap.clone())
+                } else {
+                    (tp.substitute_params(&params), ap.substitute_params(&params))
+                };
+                let outcome = self.system.run_prepared(bound, tp_plan, ap_plan)?;
+                Ok(StatementOutcome::Query(Box::new(outcome)))
+            }
+            CachedKind::Dml { dml, plan } => {
+                let (dml, plan) = if params.is_empty() {
+                    (dml.clone(), plan.clone())
+                } else {
+                    (substitute_dml_params(dml, &params), plan.substitute_params(&params))
+                };
+                let outcome = self
+                    .system
+                    .execute_dml_with_plan(self.stmt.sql(), &dml, Some(plan))?;
+                Ok(StatementOutcome::Dml(Box::new(outcome)))
+            }
+        }
+    }
+
+    /// Validates count and coerces every value to its context-inferred type
+    /// (the INSERT literal rules: NULL passes, Int widens to Float,
+    /// everything else must match exactly).
+    fn coerce(&self, params: &[Value]) -> Result<Vec<Value>, HtapError> {
+        let tys = self.stmt.param_types();
+        if params.len() != tys.len() {
+            return Err(HtapError::ParamCountMismatch {
+                expected: tys.len(),
+                got: params.len(),
+            });
+        }
+        params
+            .iter()
+            .zip(tys)
+            .enumerate()
+            .map(|(idx, (v, ty))| {
+                coerce_param(v.clone(), *ty)
+                    .map_err(|(expected, got)| HtapError::ParamTypeMismatch { idx, expected, got })
+            })
+            .collect()
+    }
+}
+
+/// Clones a bound write statement with parameters injected: `VALUES`
+/// placeholders patch their (already column-typed) values into the row
+/// buffer, assignment and predicate expressions substitute like any other.
+fn substitute_dml_params(dml: &BoundDml, params: &[Value]) -> BoundDml {
+    match dml {
+        BoundDml::Insert(ins) => {
+            let mut ins = ins.clone();
+            for slot in &ins.param_slots {
+                if let Some(v) = params.get(slot.idx) {
+                    ins.rows[slot.row][slot.col] = v.clone();
+                }
+            }
+            BoundDml::Insert(ins)
+        }
+        BoundDml::Update(up) => {
+            let mut up = up.clone();
+            for (_, expr) in &mut up.assignments {
+                *expr = substitute_params(expr, params);
+            }
+            substitute_query_params(&mut up.scan, params);
+            BoundDml::Update(up)
+        }
+        BoundDml::Delete(del) => {
+            let mut del = del.clone();
+            substitute_query_params(&mut del.scan, params);
+            BoundDml::Delete(del)
+        }
+    }
+}
+
+/// In-place parameter substitution over a bound query's expression trees
+/// (the DML scan query — the executors read its filters through the plan,
+/// but `collect_target_rids` re-evaluates plan predicates, so both must
+/// agree).
+fn substitute_query_params(q: &mut BoundQuery, params: &[Value]) {
+    let subst = |e: &mut BoundExpr| *e = substitute_params(e, params);
+    for f in &mut q.filters {
+        subst(&mut f.expr);
+    }
+    for r in &mut q.residual_predicates {
+        subst(r);
+    }
+    for p in &mut q.projections {
+        subst(&mut p.expr);
+    }
+    for g in &mut q.group_by {
+        subst(g);
+    }
+    if let Some(h) = &mut q.having {
+        subst(h);
+    }
+    for (o, _) in &mut q.order_by {
+        subst(o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineKind;
+    use crate::tpch::TpchConfig;
+
+    fn shared_system() -> Arc<HtapSystem> {
+        Arc::new(HtapSystem::new(&TpchConfig::with_scale(0.002)))
+    }
+
+    #[test]
+    fn prepare_once_execute_many_matches_inlined() {
+        let sys = shared_system();
+        let session = Session::new(Arc::clone(&sys));
+        let stmt = session
+            .prepare("SELECT c_name FROM customer WHERE c_custkey = ?")
+            .unwrap();
+        assert_eq!(stmt.param_count(), 1);
+        for key in [1i64, 42, 137, 299] {
+            let prepared = stmt.execute(&[Value::Int(key)]).unwrap();
+            let prepared = prepared.as_query().unwrap();
+            let inlined = sys
+                .run_sql(&format!("SELECT c_name FROM customer WHERE c_custkey = {key}"))
+                .unwrap();
+            assert_eq!(prepared.tp.rows, inlined.tp.rows);
+            assert_eq!(prepared.ap.rows, inlined.ap.rows);
+            assert_eq!(prepared.tp.counters, inlined.tp.counters);
+            assert_eq!(prepared.ap.counters, inlined.ap.counters);
+            assert_eq!(prepared.tp.latency_ns, inlined.tp.latency_ns);
+            assert_eq!(prepared.ap.latency_ns, inlined.ap.latency_ns);
+        }
+    }
+
+    #[test]
+    fn prepared_point_lookup_uses_the_index() {
+        let sys = shared_system();
+        let session = Session::new(Arc::clone(&sys));
+        let stmt = session
+            .prepare("SELECT c_name FROM customer WHERE c_custkey = ?")
+            .unwrap();
+        let out = stmt.execute(&[Value::Int(7)]).unwrap();
+        let q = out.as_query().unwrap();
+        assert_eq!(q.tp.plan.count_type(crate::plan::NodeType::IndexScan), 1);
+        assert_eq!(q.run(EngineKind::Tp).rows.len(), 1);
+    }
+
+    #[test]
+    fn plan_cache_hits_across_sessions() {
+        let sys = shared_system();
+        let s1 = Session::new(Arc::clone(&sys));
+        let s2 = Session::new(Arc::clone(&sys));
+        let sql = "SELECT COUNT(*) FROM customer WHERE c_mktsegment = ?";
+        let before = sys.plan_cache_stats();
+        s1.prepare(sql).unwrap();
+        s2.prepare(sql).unwrap();
+        let after = sys.plan_cache_stats();
+        assert_eq!(after.misses, before.misses + 1, "one front-end run");
+        assert_eq!(after.hits, before.hits + 1, "second session hits");
+        assert!(after.entries >= 1);
+        assert!(after.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn plan_cache_evicts_lru() {
+        let cache = PlanCache::with_capacity(2);
+        let mk = |sql: &str| {
+            Arc::new(CachedStatement {
+                sql: sql.to_string(),
+                kind: CachedKind::Dml {
+                    dml: BoundDml::Insert(qpe_sql::binder::BoundInsert {
+                        table: "t".into(),
+                        rows: vec![],
+                        param_slots: vec![],
+                        params: vec![],
+                    }),
+                    plan: PlanNode::new(
+                        crate::plan::NodeType::Insert,
+                        crate::plan::PlanOp::Insert { table: "t".into(), rows: 0 },
+                    ),
+                },
+            })
+        };
+        cache.insert("a".into(), mk("a"));
+        cache.insert("b".into(), mk("b"));
+        assert!(cache.get("a").is_some()); // a is now fresher than b
+        cache.insert("c".into(), mk("c")); // evicts b
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().capacity, 2);
+    }
+
+    #[test]
+    fn param_count_mismatch_is_structured() {
+        let session = Session::new(shared_system());
+        let stmt = session
+            .prepare("SELECT * FROM customer WHERE c_custkey = ?")
+            .unwrap();
+        match stmt.execute(&[]) {
+            Err(HtapError::ParamCountMismatch { expected: 1, got: 0 }) => {}
+            other => panic!("expected ParamCountMismatch, got {other:?}"),
+        }
+        match stmt.execute(&[Value::Int(1), Value::Int(2)]) {
+            Err(HtapError::ParamCountMismatch { expected: 1, got: 2 }) => {}
+            other => panic!("expected ParamCountMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn param_type_mismatch_is_structured() {
+        let session = Session::new(shared_system());
+        let stmt = session
+            .prepare("SELECT * FROM customer WHERE c_custkey = ?")
+            .unwrap();
+        match stmt.execute(&[Value::Str("not a key".into())]) {
+            Err(HtapError::ParamTypeMismatch { idx: 0, expected: DataType::Int, got }) => {
+                assert_eq!(got, Value::Str("not a key".into()));
+            }
+            other => panic!("expected ParamTypeMismatch, got {other:?}"),
+        }
+        // Int widens into Float parameters, as for INSERT literals.
+        let stmt = session
+            .prepare("SELECT COUNT(*) FROM customer WHERE c_acctbal < ?")
+            .unwrap();
+        assert!(stmt.execute(&[Value::Int(500)]).is_ok());
+    }
+
+    #[test]
+    fn prepared_dml_round_trip() {
+        let sys = shared_system();
+        let session = Session::new(Arc::clone(&sys));
+        let insert = session
+            .prepare(
+                "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
+                 c_mktsegment) VALUES (?, ?, ?, ?, ?, ?)",
+            )
+            .unwrap();
+        for i in 0..3i64 {
+            let out = insert
+                .execute(&[
+                    Value::Int(910_000 + i),
+                    Value::Str(format!("prepared#{i}")),
+                    Value::Int(i % 25),
+                    Value::Str("20-000-000-0000".into()),
+                    Value::Int(100 + i), // Int → Float widening
+                    Value::Str("machinery".into()),
+                ])
+                .unwrap();
+            assert_eq!(out.as_dml().unwrap().result.rows_affected, 1);
+        }
+        let lookup = session
+            .prepare("SELECT c_name, c_acctbal FROM customer WHERE c_custkey = ?")
+            .unwrap();
+        let q = lookup.execute(&[Value::Int(910_001)]).unwrap();
+        let rows = &q.as_query().unwrap().tp.rows;
+        assert_eq!(rows[0][0], Value::Str("prepared#1".into()));
+        assert_eq!(rows[0][1], Value::Float(101.0));
+
+        let update = session
+            .prepare("UPDATE customer SET c_acctbal = ? WHERE c_custkey = ?")
+            .unwrap();
+        update
+            .execute(&[Value::Float(7.5), Value::Int(910_002)])
+            .unwrap();
+        let q = lookup.execute(&[Value::Int(910_002)]).unwrap();
+        assert_eq!(q.as_query().unwrap().tp.rows[0][1], Value::Float(7.5));
+
+        let delete = session
+            .prepare("DELETE FROM customer WHERE c_custkey = ?")
+            .unwrap();
+        for i in 0..3i64 {
+            let out = delete.execute(&[Value::Int(910_000 + i)]).unwrap();
+            assert_eq!(out.as_dml().unwrap().result.rows_affected, 1);
+        }
+        let q = lookup.execute(&[Value::Int(910_000)]).unwrap();
+        assert!(q.as_query().unwrap().tp.rows.is_empty());
+    }
+
+    #[test]
+    fn duplicate_pk_through_prepared_insert_errors() {
+        let session = Session::new(shared_system());
+        let insert = session
+            .prepare("INSERT INTO customer (c_custkey, c_name) VALUES (?, ?)")
+            .unwrap();
+        assert!(matches!(
+            insert.execute(&[Value::Int(1), Value::Str("dup".into())]),
+            Err(HtapError::Exec(_))
+        ));
+        // NULL primary key through a parameter is also rejected.
+        assert!(matches!(
+            insert.execute(&[Value::Null, Value::Str("nokey".into())]),
+            Err(HtapError::Exec(_))
+        ));
+    }
+
+    #[test]
+    fn session_execute_sql_is_cached_convenience() {
+        let sys = shared_system();
+        let session = Session::new(Arc::clone(&sys));
+        let sql = "SELECT COUNT(*) FROM nation";
+        let a = session.execute_sql(sql).unwrap();
+        let b = session.execute_sql(sql).unwrap();
+        assert_eq!(
+            a.as_query().unwrap().tp.rows,
+            b.as_query().unwrap().tp.rows
+        );
+        let stats = sys.plan_cache_stats();
+        assert!(stats.hits >= 1, "second call must hit: {stats:?}");
+    }
+}

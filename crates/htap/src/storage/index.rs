@@ -85,7 +85,13 @@ impl BTreeIndex {
 
     /// Row ids for any of `keys` (deduplicated, ascending).
     pub fn lookup_many(&self, keys: &[Value]) -> Vec<u32> {
-        let mut out: Vec<u32> = keys.iter().flat_map(|k| self.lookup(k).iter().copied()).collect();
+        self.lookup_many_refs(keys.iter())
+    }
+
+    /// [`BTreeIndex::lookup_many`] over borrowed keys — the executor's index
+    /// scans resolve plan terms to references, no per-execution key clones.
+    pub fn lookup_many_refs<'a>(&self, keys: impl Iterator<Item = &'a Value>) -> Vec<u32> {
+        let mut out: Vec<u32> = keys.flat_map(|k| self.lookup(k).iter().copied()).collect();
         out.sort_unstable();
         out.dedup();
         out

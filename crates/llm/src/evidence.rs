@@ -255,14 +255,14 @@ mod tests {
 
     #[test]
     fn freshness_restricted_to_scanned_relations() {
-        let mut sys = system();
-        sys.execute_sql(
+        let sys = system();
+        sys.execute_statement(
             "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
              c_mktsegment) VALUES (900001, 'customer#900001', 4, '20-000-000-0000', 1.0, \
              'machinery')",
         )
         .unwrap();
-        sys.execute_sql("DELETE FROM orders WHERE o_orderkey = 1").unwrap();
+        sys.execute_statement("DELETE FROM orders WHERE o_orderkey = 1").unwrap();
         let out = sys.run_sql("SELECT COUNT(*) FROM customer").unwrap();
         let fresh = sys.database().freshness_all();
         let ev = PlanEvidence::extract(

@@ -282,7 +282,7 @@ pub fn function_disables_index(outcome: &QueryOutcome) -> bool {
         fn has_substr(e: &BoundExpr) -> bool {
             match e {
                 BoundExpr::Substring { .. } => true,
-                BoundExpr::Column(_) | BoundExpr::Literal(_) => false,
+                BoundExpr::Column(_) | BoundExpr::Literal(_) | BoundExpr::Param { .. } => false,
                 BoundExpr::Binary { left, right, .. } => has_substr(left) || has_substr(right),
                 BoundExpr::Not(x)
                 | BoundExpr::InList { expr: x, .. }

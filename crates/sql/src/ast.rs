@@ -28,8 +28,10 @@ pub struct InsertStatement {
     /// Explicit column list, if written; `None` means full-width rows in
     /// table order.
     pub columns: Option<Vec<String>>,
-    /// Literal rows to insert.
-    pub rows: Vec<Vec<Value>>,
+    /// Rows to insert. Each cell is a literal ([`Expr::Literal`]) or a
+    /// parameter placeholder ([`Expr::Param`]) — the parser rejects anything
+    /// else in a `VALUES` position.
+    pub rows: Vec<Vec<Expr>>,
 }
 
 /// A parsed `UPDATE` statement.
@@ -214,6 +216,11 @@ pub enum Expr {
     },
     /// A literal value.
     Literal(Value),
+    /// A prepared-statement parameter placeholder (`?` or `$n`), carrying its
+    /// 0-based parameter index. The binder threads it through as
+    /// [`crate::binder::BoundExpr::Param`]; a concrete value is injected at
+    /// execution time.
+    Param(u32),
     /// Binary operation.
     Binary {
         /// Left operand.
@@ -329,7 +336,7 @@ impl Expr {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             Expr::Aggregate { .. } => true,
-            Expr::Column { .. } | Expr::Literal(_) => false,
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Param(_) => false,
             Expr::Binary { left, right, .. } => {
                 left.contains_aggregate() || right.contains_aggregate()
             }
@@ -350,7 +357,7 @@ impl Expr {
         fn walk<'a>(e: &'a Expr, out: &mut Vec<(&'a Option<String>, &'a str)>) {
             match e {
                 Expr::Column { table, name } => out.push((table, name.as_str())),
-                Expr::Literal(_) => {}
+                Expr::Literal(_) | Expr::Param(_) => {}
                 Expr::Binary { left, right, .. } => {
                     walk(left, out);
                     walk(right, out);
@@ -383,6 +390,7 @@ impl fmt::Display for Expr {
             Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
             Expr::Column { table: None, name } => write!(f, "{name}"),
             Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Param(idx) => write!(f, "${}", idx + 1),
             Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
             Expr::Not(e) => write!(f, "NOT ({e})"),
             Expr::InList { expr, list, negated } => {

@@ -46,6 +46,17 @@ pub enum BoundExpr {
     Column(ColumnRef),
     /// Literal.
     Literal(Value),
+    /// Prepared-statement parameter placeholder. `ty` is the type inferred
+    /// from the comparison/assignment context at bind time (`None` when no
+    /// context constrains it); the concrete value is injected at execution
+    /// time via [`substitute_params`], after coercion through the same rules
+    /// INSERT literals use.
+    Param {
+        /// 0-based parameter index.
+        idx: usize,
+        /// Context-inferred type, if any.
+        ty: Option<DataType>,
+    },
     /// Binary operation.
     Binary {
         /// Left operand.
@@ -127,7 +138,7 @@ impl BoundExpr {
     pub fn walk_columns(&self, f: &mut impl FnMut(&ColumnRef)) {
         match self {
             BoundExpr::Column(c) => f(c),
-            BoundExpr::Literal(_) => {}
+            BoundExpr::Literal(_) | BoundExpr::Param { .. } => {}
             BoundExpr::Binary { left, right, .. } => {
                 left.walk_columns(f);
                 right.walk_columns(f);
@@ -154,7 +165,7 @@ impl BoundExpr {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             BoundExpr::Aggregate { .. } => true,
-            BoundExpr::Column(_) | BoundExpr::Literal(_) => false,
+            BoundExpr::Column(_) | BoundExpr::Literal(_) | BoundExpr::Param { .. } => false,
             BoundExpr::Binary { left, right, .. } => {
                 left.contains_aggregate() || right.contains_aggregate()
             }
@@ -271,6 +282,10 @@ pub struct BoundQuery {
     pub offset: Option<u64>,
     /// The original SQL text (used in prompts and the knowledge base).
     pub sql: String,
+    /// Per-parameter context-inferred types, indexed by parameter index
+    /// (empty for statements without placeholders). `None` marks a parameter
+    /// no comparison/assignment context constrained — any value is accepted.
+    pub params: Vec<Option<DataType>>,
 }
 
 impl BoundQuery {
@@ -333,17 +348,59 @@ impl BoundDml {
             BoundDml::Delete(d) => Some(&d.scan),
         }
     }
+
+    /// Context-inferred parameter types, indexed by parameter index.
+    pub fn param_types(&self) -> &[Option<DataType>] {
+        match self {
+            BoundDml::Insert(i) => &i.params,
+            BoundDml::Update(u) => &u.params,
+            BoundDml::Delete(d) => &d.params,
+        }
+    }
+}
+
+impl BoundStatement {
+    /// Context-inferred parameter types, indexed by parameter index (empty
+    /// for statements without placeholders).
+    pub fn param_types(&self) -> &[Option<DataType>] {
+        match self {
+            BoundStatement::Query(q) => &q.params,
+            BoundStatement::Dml(d) => d.param_types(),
+        }
+    }
+
+    /// Number of parameters the statement expects.
+    pub fn param_count(&self) -> usize {
+        self.param_types().len()
+    }
 }
 
 /// A bound `INSERT`: rows normalized to full table width (explicit column
 /// lists reordered, missing columns NULL-filled) with literals coerced to the
-/// catalog column types.
+/// catalog column types. Parameter placeholders leave a NULL in `rows` and a
+/// patch entry in `param_slots`; execution coerces the bound value to the
+/// column type (the same rules literals went through) and patches it in.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BoundInsert {
     /// Target table.
     pub table: String,
     /// Full-width rows in table column order.
     pub rows: Vec<Vec<Value>>,
+    /// Placeholder positions: which `rows` cell each parameter fills.
+    pub param_slots: Vec<InsertParamSlot>,
+    /// Per-parameter types (always the target column's catalog type).
+    pub params: Vec<Option<DataType>>,
+}
+
+/// One parameter placeholder inside a bound `INSERT`'s `VALUES` rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InsertParamSlot {
+    /// Row index into [`BoundInsert::rows`].
+    pub row: usize,
+    /// Column index within the full-width row.
+    pub col: usize,
+    /// 0-based parameter index.
+    pub idx: usize,
 }
 
 /// A bound `UPDATE`.
@@ -358,6 +415,9 @@ pub struct BoundUpdate {
     /// planner turns into the row-locating access path; the bound `WHERE`
     /// conjuncts live in its `filters` (empty = every row targeted).
     pub scan: BoundQuery,
+    /// Statement-level parameter types (assignments and WHERE share one
+    /// numbering).
+    pub params: Vec<Option<DataType>>,
 }
 
 /// A bound `DELETE`.
@@ -368,6 +428,279 @@ pub struct BoundDelete {
     /// Synthetic single-table read used to locate target rows; the bound
     /// `WHERE` conjuncts live in its `filters`.
     pub scan: BoundQuery,
+    /// Statement-level parameter types.
+    pub params: Vec<Option<DataType>>,
+}
+
+/// Accumulates parameter indices and context-inferred types across every
+/// expression of one statement (the statement-global numbering the parser
+/// assigned).
+#[derive(Default)]
+struct ParamTable {
+    types: Vec<Option<DataType>>,
+    seen: Vec<bool>,
+}
+
+impl ParamTable {
+    fn grow(&mut self, idx: usize) {
+        if idx >= self.types.len() {
+            self.types.resize(idx + 1, None);
+            self.seen.resize(idx + 1, false);
+        }
+    }
+
+    /// Marks a parameter as referenced (no type context).
+    fn note(&mut self, idx: usize) {
+        self.grow(idx);
+        self.seen[idx] = true;
+    }
+
+    /// Constrains a parameter's type from context. A parameter reused under
+    /// conflicting concrete types is a bind error, not a silent coin flip.
+    fn constrain(&mut self, idx: usize, ty: DataType) -> Result<DataType, SqlError> {
+        self.grow(idx);
+        self.seen[idx] = true;
+        match self.types[idx] {
+            None => {
+                self.types[idx] = Some(ty);
+                Ok(ty)
+            }
+            Some(prev) if prev == ty => Ok(prev),
+            Some(prev) => Err(SqlError::bind(format!(
+                "parameter ${} used with conflicting types {prev:?} and {ty:?}",
+                idx + 1
+            ))),
+        }
+    }
+
+    /// Final per-parameter type table; errors on numbering gaps ($3 written
+    /// but $2 never referenced).
+    fn finish(self) -> Result<Vec<Option<DataType>>, SqlError> {
+        if let Some(gap) = self.seen.iter().position(|s| !s) {
+            return Err(SqlError::bind(format!(
+                "parameter ${} is never referenced (parameter numbers must be contiguous)",
+                gap + 1
+            )));
+        }
+        Ok(self.types)
+    }
+}
+
+/// The data type a literal value would need a column to have, if any.
+fn literal_type(v: &Value) -> Option<DataType> {
+    match v {
+        Value::Int(_) => Some(DataType::Int),
+        Value::Float(_) => Some(DataType::Float),
+        Value::Str(_) => Some(DataType::Str),
+        Value::Date(_) => Some(DataType::Date),
+        Value::Null => None,
+    }
+}
+
+/// If `e` is a parameter, constrain it to `ty` and record the result on the
+/// node itself.
+fn constrain_param(e: &mut BoundExpr, ty: DataType, t: &mut ParamTable) -> Result<(), SqlError> {
+    if let BoundExpr::Param { idx, ty: slot } = e {
+        *slot = Some(t.constrain(*idx, ty)?);
+    }
+    Ok(())
+}
+
+/// The context type the other side of a comparison/arithmetic pins a
+/// parameter to: a bare column's catalog type, or a literal's own type.
+fn context_type(e: &BoundExpr) -> Option<DataType> {
+    match e {
+        BoundExpr::Column(c) => Some(c.data_type),
+        BoundExpr::Literal(v) => literal_type(v),
+        _ => None,
+    }
+}
+
+/// Walks one bound expression, recording every parameter and inferring types
+/// from comparison/assignment context (`col = ?` pins the parameter to the
+/// column's type; `? LIKE`/`SUBSTRING(?)` pin strings; IN lists pin the item
+/// type).
+fn infer_expr_params(e: &mut BoundExpr, t: &mut ParamTable) -> Result<(), SqlError> {
+    match e {
+        BoundExpr::Param { idx, .. } => t.note(*idx),
+        BoundExpr::Column(_) | BoundExpr::Literal(_) => {}
+        BoundExpr::Binary { left, op, right } => {
+            infer_expr_params(left, t)?;
+            infer_expr_params(right, t)?;
+            let contextual = op.is_comparison()
+                || matches!(
+                    op,
+                    BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div
+                );
+            if contextual {
+                if let Some(ty) = context_type(left) {
+                    constrain_param(right, ty, t)?;
+                }
+                if let Some(ty) = context_type(right) {
+                    constrain_param(left, ty, t)?;
+                }
+            }
+        }
+        BoundExpr::Not(inner) => infer_expr_params(inner, t)?,
+        BoundExpr::InList { expr, list, .. } => {
+            infer_expr_params(expr, t)?;
+            if let Some(ty) = list.iter().find_map(literal_type) {
+                constrain_param(expr, ty, t)?;
+            }
+        }
+        BoundExpr::Between { expr, low, high } => {
+            infer_expr_params(expr, t)?;
+            infer_expr_params(low, t)?;
+            infer_expr_params(high, t)?;
+            if let Some(ty) = context_type(expr) {
+                constrain_param(low, ty, t)?;
+                constrain_param(high, ty, t)?;
+            }
+            if let Some(ty) = context_type(low).or_else(|| context_type(high)) {
+                constrain_param(expr, ty, t)?;
+            }
+        }
+        BoundExpr::Like { expr, .. } => {
+            infer_expr_params(expr, t)?;
+            constrain_param(expr, DataType::Str, t)?;
+        }
+        BoundExpr::IsNull { expr, .. } => infer_expr_params(expr, t)?,
+        BoundExpr::Substring { expr, .. } => {
+            infer_expr_params(expr, t)?;
+            constrain_param(expr, DataType::Str, t)?;
+        }
+        BoundExpr::Aggregate { arg, .. } => {
+            if let Some(a) = arg {
+                infer_expr_params(a, t)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs parameter inference over every expression tree of a bound query,
+/// returning the statement's parameter type table.
+fn infer_query_params(q: &mut BoundQuery) -> Result<ParamTable, SqlError> {
+    let mut t = ParamTable::default();
+    infer_query_params_into(q, &mut t)?;
+    Ok(t)
+}
+
+fn infer_query_params_into(q: &mut BoundQuery, t: &mut ParamTable) -> Result<(), SqlError> {
+    for f in &mut q.filters {
+        infer_expr_params(&mut f.expr, t)?;
+    }
+    for r in &mut q.residual_predicates {
+        infer_expr_params(r, t)?;
+    }
+    for p in &mut q.projections {
+        infer_expr_params(&mut p.expr, t)?;
+    }
+    for g in &mut q.group_by {
+        infer_expr_params(g, t)?;
+    }
+    if let Some(h) = &mut q.having {
+        infer_expr_params(h, t)?;
+    }
+    for (o, _) in &mut q.order_by {
+        infer_expr_params(o, t)?;
+    }
+    Ok(())
+}
+
+/// True when the expression contains a parameter placeholder anywhere.
+pub fn expr_has_params(e: &BoundExpr) -> bool {
+    match e {
+        BoundExpr::Param { .. } => true,
+        BoundExpr::Column(_) | BoundExpr::Literal(_) => false,
+        BoundExpr::Binary { left, right, .. } => expr_has_params(left) || expr_has_params(right),
+        BoundExpr::Not(x)
+        | BoundExpr::InList { expr: x, .. }
+        | BoundExpr::Like { expr: x, .. }
+        | BoundExpr::IsNull { expr: x, .. }
+        | BoundExpr::Substring { expr: x, .. } => expr_has_params(x),
+        BoundExpr::Between { expr, low, high } => {
+            expr_has_params(expr) || expr_has_params(low) || expr_has_params(high)
+        }
+        BoundExpr::Aggregate { arg, .. } => arg.as_deref().is_some_and(expr_has_params),
+    }
+}
+
+/// Clones `e` with every parameter replaced by its bound value — the
+/// execution-time injection step. Callers validate the parameter vector
+/// (count and types) first; an out-of-range index is left as a `Param` node
+/// and surfaces as an execution error downstream.
+pub fn substitute_params(e: &BoundExpr, params: &[Value]) -> BoundExpr {
+    // One containment walk up front; the recursive substitution below never
+    // re-checks (a per-level check would walk subtrees quadratically).
+    if !expr_has_params(e) {
+        return e.clone();
+    }
+    subst_rec(e, params)
+}
+
+fn subst_rec(e: &BoundExpr, params: &[Value]) -> BoundExpr {
+    match e {
+        BoundExpr::Param { idx, ty } => match params.get(*idx) {
+            Some(v) => BoundExpr::Literal(v.clone()),
+            None => BoundExpr::Param { idx: *idx, ty: *ty },
+        },
+        BoundExpr::Binary { left, op, right } => BoundExpr::Binary {
+            left: Box::new(subst_rec(left, params)),
+            op: *op,
+            right: Box::new(subst_rec(right, params)),
+        },
+        BoundExpr::Not(x) => BoundExpr::Not(Box::new(subst_rec(x, params))),
+        BoundExpr::InList { expr, list, negated } => BoundExpr::InList {
+            expr: Box::new(subst_rec(expr, params)),
+            list: list.clone(),
+            negated: *negated,
+        },
+        BoundExpr::Between { expr, low, high } => BoundExpr::Between {
+            expr: Box::new(subst_rec(expr, params)),
+            low: Box::new(subst_rec(low, params)),
+            high: Box::new(subst_rec(high, params)),
+        },
+        BoundExpr::Like { expr, pattern, negated } => BoundExpr::Like {
+            expr: Box::new(subst_rec(expr, params)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
+            expr: Box::new(subst_rec(expr, params)),
+            negated: *negated,
+        },
+        BoundExpr::Substring { expr, start, len } => BoundExpr::Substring {
+            expr: Box::new(subst_rec(expr, params)),
+            start: *start,
+            len: *len,
+        },
+        BoundExpr::Aggregate { func, arg, distinct } => BoundExpr::Aggregate {
+            func: *func,
+            arg: arg.as_ref().map(|a| Box::new(subst_rec(a, params))),
+            distinct: *distinct,
+        },
+        BoundExpr::Column(_) | BoundExpr::Literal(_) => e.clone(),
+    }
+}
+
+/// Coerces one bound parameter value to its context-inferred type with the
+/// same rules INSERT literals use (NULL passes, `Int` widens to `Float`,
+/// everything else must match exactly). `Err` carries the expected type and
+/// the offending value for structured error reporting.
+pub fn coerce_param(v: Value, ty: Option<DataType>) -> Result<Value, (DataType, Value)> {
+    let Some(ty) = ty else {
+        return Ok(v);
+    };
+    match (&v, ty) {
+        (Value::Null, _) => Ok(v),
+        (Value::Int(_), DataType::Int) => Ok(v),
+        (Value::Int(x), DataType::Float) => Ok(Value::Float(*x as f64)),
+        (Value::Float(_), DataType::Float) => Ok(v),
+        (Value::Str(_), DataType::Str) => Ok(v),
+        (Value::Date(_), DataType::Date) => Ok(v),
+        _ => Err((ty, v)),
+    }
 }
 
 /// Binds statements against a catalog.
@@ -434,8 +767,10 @@ impl<'a> Binder<'a> {
                 return Err(SqlError::bind("duplicate column in INSERT column list"));
             }
         }
+        let mut table = ParamTable::default();
+        let mut param_slots = Vec::new();
         let mut rows = Vec::with_capacity(stmt.rows.len());
-        for row in &stmt.rows {
+        for (ri, row) in stmt.rows.iter().enumerate() {
             if row.len() != positions.len() {
                 return Err(SqlError::bind(format!(
                     "INSERT row has {} values but {} columns are targeted",
@@ -444,12 +779,38 @@ impl<'a> Binder<'a> {
                 )));
             }
             let mut full = vec![Value::Null; width];
-            for (v, &ci) in row.iter().zip(&positions) {
-                full[ci] = coerce_literal(v.clone(), def.columns[ci].data_type, &def.columns[ci].name)?;
+            for (cell, &ci) in row.iter().zip(&positions) {
+                match cell {
+                    Expr::Literal(v) => {
+                        full[ci] = coerce_literal(
+                            v.clone(),
+                            def.columns[ci].data_type,
+                            &def.columns[ci].name,
+                        )?;
+                    }
+                    Expr::Param(idx) => {
+                        // The target column's catalog type IS the parameter's
+                        // type; the value patches in (and coerces) at
+                        // execution. The placeholder NULL never reaches
+                        // storage un-patched.
+                        table.constrain(*idx as usize, def.columns[ci].data_type)?;
+                        param_slots.push(InsertParamSlot { row: ri, col: ci, idx: *idx as usize });
+                    }
+                    other => {
+                        return Err(SqlError::bind(format!(
+                            "only literals and parameters are allowed in VALUES, found {other}"
+                        )))
+                    }
+                }
             }
             rows.push(full);
         }
-        Ok(BoundInsert { table: def.name.clone(), rows })
+        Ok(BoundInsert {
+            table: def.name.clone(),
+            rows,
+            param_slots,
+            params: table.finish()?,
+        })
     }
 
     /// Binds a predicate + target table into the synthetic single-table scan
@@ -506,13 +867,17 @@ impl<'a> Binder<'a> {
             limit: None,
             offset: None,
             sql: sql.to_string(),
+            params: Vec::new(),
         })
     }
 
     fn bind_update(&self, stmt: &UpdateStatement, sql: &str) -> Result<BoundUpdate, SqlError> {
         let def = self.target_table(&stmt.table)?;
-        let scan = self.bind_dml_scan(def, &stmt.selection, sql)?;
+        let mut scan = self.bind_dml_scan(def, &stmt.selection, sql)?;
         let resolver = Resolver { catalog: self.catalog, tables: &scan.tables };
+        // Assignments and the WHERE clause share one statement-level
+        // parameter numbering.
+        let mut table = ParamTable::default();
         let mut assignments = Vec::with_capacity(stmt.assignments.len());
         for (col, expr) in &stmt.assignments {
             let ci = def.column_index(col).ok_or_else(|| {
@@ -531,18 +896,26 @@ impl<'a> Binder<'a> {
                     &def.columns[ci].name,
                 )?);
             }
+            infer_expr_params(&mut bound, &mut table)?;
+            // `SET col = ?` — the assignment context types the parameter.
+            constrain_param(&mut bound, def.columns[ci].data_type, &mut table)?;
             assignments.push((ci, bound));
         }
         if assignments.is_empty() {
             return Err(SqlError::bind("UPDATE without assignments"));
         }
-        Ok(BoundUpdate { table: def.name.clone(), assignments, scan })
+        infer_query_params_into(&mut scan, &mut table)?;
+        let params = table.finish()?;
+        scan.params = params.clone();
+        Ok(BoundUpdate { table: def.name.clone(), assignments, scan, params })
     }
 
     fn bind_delete(&self, stmt: &DeleteStatement, sql: &str) -> Result<BoundDelete, SqlError> {
         let def = self.target_table(&stmt.table)?;
-        let scan = self.bind_dml_scan(def, &stmt.selection, sql)?;
-        Ok(BoundDelete { table: def.name.clone(), scan })
+        let mut scan = self.bind_dml_scan(def, &stmt.selection, sql)?;
+        let params = infer_query_params(&mut scan)?.finish()?;
+        scan.params = params.clone();
+        Ok(BoundDelete { table: def.name.clone(), scan, params })
     }
 
     /// Binds a parsed statement. `sql` is kept verbatim for prompts/KB.
@@ -663,7 +1036,7 @@ impl<'a> Binder<'a> {
             .map(|o| resolver.bind_expr(&o.expr).map(|e| (e, o.desc)))
             .collect::<Result<Vec<_>, _>>()?;
 
-        Ok(BoundQuery {
+        let mut q = BoundQuery {
             tables,
             filters,
             joins,
@@ -676,7 +1049,10 @@ impl<'a> Binder<'a> {
             limit: stmt.limit,
             offset: stmt.offset,
             sql: sql.to_string(),
-        })
+            params: Vec::new(),
+        };
+        q.params = infer_query_params(&mut q)?.finish()?;
+        Ok(q)
     }
 }
 
@@ -778,6 +1154,7 @@ impl Resolver<'_> {
                 BoundExpr::Column(self.resolve_column(table, name)?)
             }
             Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+            Expr::Param(idx) => BoundExpr::Param { idx: *idx as usize, ty: None },
             Expr::Binary { left, op, right } => BoundExpr::Binary {
                 left: Box::new(self.bind_expr(left)?),
                 op: *op,
@@ -1143,6 +1520,115 @@ mod tests {
                 .unwrap(),
             BoundStatement::Query(_)
         ));
+    }
+
+    #[test]
+    fn param_types_infer_from_comparison_context() {
+        let cat = tpch_mini();
+        let q = Binder::new(&cat)
+            .bind_sql(
+                "SELECT c_phone FROM customer \
+                 WHERE c_custkey = ? AND c_mktsegment = ? AND c_nationkey BETWEEN ? AND ?",
+            )
+            .unwrap();
+        assert_eq!(
+            q.params,
+            vec![
+                Some(DataType::Int),
+                Some(DataType::Str),
+                Some(DataType::Int),
+                Some(DataType::Int)
+            ]
+        );
+        // The Param nodes themselves carry the inferred type.
+        let BoundExpr::Binary { right, .. } = &q.filters[0].expr else {
+            panic!("expected comparison");
+        };
+        assert_eq!(**right, BoundExpr::Param { idx: 0, ty: Some(DataType::Int) });
+    }
+
+    #[test]
+    fn param_conflicting_types_is_bind_error() {
+        let cat = tpch_mini();
+        let err = Binder::new(&cat)
+            .bind_sql("SELECT * FROM customer WHERE c_custkey = $1 AND c_phone = $1")
+            .unwrap_err();
+        assert!(err.to_string().contains("conflicting types"), "{err}");
+    }
+
+    #[test]
+    fn param_numbering_gaps_are_bind_errors() {
+        let cat = tpch_mini();
+        let err = Binder::new(&cat)
+            .bind_sql("SELECT * FROM customer WHERE c_custkey = $2")
+            .unwrap_err();
+        assert!(err.to_string().contains("never referenced"), "{err}");
+    }
+
+    #[test]
+    fn insert_params_take_column_types() {
+        let cat = tpch_mini();
+        let BoundStatement::Dml(BoundDml::Insert(ins)) = Binder::new(&cat)
+            .bind_statement("INSERT INTO orders (o_orderkey, o_totalprice) VALUES (?, ?)")
+            .unwrap()
+        else {
+            panic!("expected insert");
+        };
+        assert_eq!(ins.params, vec![Some(DataType::Int), Some(DataType::Float)]);
+        assert_eq!(ins.param_slots.len(), 2);
+        assert_eq!((ins.param_slots[0].row, ins.param_slots[0].col), (0, 0));
+        assert_eq!(ins.param_slots[1].col, 3); // o_totalprice
+        // Placeholder cells hold NULL until execution patches them.
+        assert_eq!(ins.rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn update_assignment_and_where_share_numbering() {
+        let cat = tpch_mini();
+        let BoundStatement::Dml(BoundDml::Update(up)) = Binder::new(&cat)
+            .bind_statement("UPDATE customer SET c_mktsegment = ? WHERE c_custkey = ?")
+            .unwrap()
+        else {
+            panic!("expected update");
+        };
+        assert_eq!(up.params, vec![Some(DataType::Str), Some(DataType::Int)]);
+        assert_eq!(up.scan.params, up.params);
+    }
+
+    #[test]
+    fn substitute_params_replaces_placeholders() {
+        let cat = tpch_mini();
+        let q = Binder::new(&cat)
+            .bind_sql("SELECT * FROM customer WHERE c_custkey = ? AND c_nationkey < 5")
+            .unwrap();
+        let inlined = Binder::new(&cat)
+            .bind_sql("SELECT * FROM customer WHERE c_custkey = 42 AND c_nationkey < 5")
+            .unwrap();
+        let substituted = substitute_params(&q.filters[0].expr, &[Value::Int(42)]);
+        assert_eq!(substituted, inlined.filters[0].expr);
+        // Non-parameterized conjuncts survive unchanged.
+        assert_eq!(
+            substitute_params(&q.filters[1].expr, &[Value::Int(42)]),
+            inlined.filters[1].expr
+        );
+    }
+
+    #[test]
+    fn coerce_param_follows_insert_literal_rules() {
+        assert_eq!(
+            coerce_param(Value::Int(3), Some(DataType::Float)),
+            Ok(Value::Float(3.0))
+        );
+        assert_eq!(coerce_param(Value::Null, Some(DataType::Int)), Ok(Value::Null));
+        assert_eq!(coerce_param(Value::Int(3), None), Ok(Value::Int(3)));
+        assert_eq!(
+            coerce_param(Value::Float(1.5), Some(DataType::Int)),
+            Err((DataType::Int, Value::Float(1.5)))
+        );
+        assert_eq!(
+            coerce_param(Value::Str("x".into()), Some(DataType::Date)),
+            Err((DataType::Date, Value::Str("x".into())))
+        );
     }
 
     #[test]

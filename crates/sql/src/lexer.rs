@@ -55,6 +55,11 @@ pub enum TokenKind {
     Minus,
     /// `/`
     Slash,
+    /// `?` — an anonymous prepared-statement parameter placeholder.
+    Question,
+    /// `$n` — a numbered prepared-statement parameter placeholder (1-based,
+    /// as written; the payload keeps the written number).
+    Dollar(u32),
     /// End of input sentinel.
     Eof,
 }
@@ -146,6 +151,34 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                     tokens.push(Token { kind: TokenKind::Gt, pos: start });
                     i += 1;
                 }
+            }
+            '?' => {
+                tokens.push(Token { kind: TokenKind::Question, pos: start });
+                i += 1;
+            }
+            '$' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(SqlError::Lex {
+                        pos: start,
+                        message: "expected digits after '$' in parameter placeholder".into(),
+                    });
+                }
+                let n: u32 = input[i + 1..j].parse().map_err(|e| SqlError::Lex {
+                    pos: start,
+                    message: format!("bad parameter number {:?}: {e}", &input[i + 1..j]),
+                })?;
+                if n == 0 {
+                    return Err(SqlError::Lex {
+                        pos: start,
+                        message: "parameter numbers start at $1".into(),
+                    });
+                }
+                tokens.push(Token { kind: TokenKind::Dollar(n), pos: start });
+                i = j;
             }
             '\'' => {
                 let (s, next) = lex_string(input, start)?;
@@ -355,5 +388,22 @@ mod tests {
     #[test]
     fn lexes_multibyte_string_contents() {
         assert_eq!(kinds("'naïve'")[0], TokenKind::Str("naïve".into()));
+    }
+
+    #[test]
+    fn lexes_parameter_placeholders() {
+        assert_eq!(kinds("?")[0], TokenKind::Question);
+        assert_eq!(kinds("$1")[0], TokenKind::Dollar(1));
+        assert_eq!(kinds("$42")[0], TokenKind::Dollar(42));
+        let ks = kinds("a = ? AND b = $2");
+        assert!(ks.contains(&TokenKind::Question));
+        assert!(ks.contains(&TokenKind::Dollar(2)));
+    }
+
+    #[test]
+    fn bad_parameter_placeholders_error() {
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("$x").is_err());
+        assert!(tokenize("$0").is_err());
     }
 }

@@ -8,7 +8,7 @@ use crate::value::Value;
 /// Parses a single `SELECT` statement.
 pub fn parse_select(input: &str) -> Result<SelectStatement, SqlError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser::new(tokens);
     let stmt = p.select()?;
     p.expect_eof()?;
     Ok(stmt)
@@ -18,7 +18,7 @@ pub fn parse_select(input: &str) -> Result<SelectStatement, SqlError> {
 /// `DELETE` (dispatching on the first keyword).
 pub fn parse_statement(input: &str) -> Result<Statement, SqlError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser::new(tokens);
     let stmt = match p.peek() {
         TokenKind::Keyword(k) if k == "INSERT" => Statement::Insert(p.insert()?),
         TokenKind::Keyword(k) if k == "UPDATE" => Statement::Update(p.update()?),
@@ -32,11 +32,60 @@ pub fn parse_statement(input: &str) -> Result<Statement, SqlError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Next index handed to an anonymous `?` placeholder.
+    next_anon: u32,
+    /// Placeholder styles seen so far — `?` and `$n` must not mix in one
+    /// statement (their numberings would silently collide).
+    saw_anon: bool,
+    saw_numbered: bool,
 }
 
 impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, next_anon: 0, saw_anon: false, saw_numbered: false }
+    }
+
     fn peek(&self) -> &TokenKind {
         &self.tokens[self.pos].kind
+    }
+
+    /// Resolves one placeholder token to a 0-based parameter index: `?`
+    /// numbers by order of appearance, `$n` is explicit (1-based as written).
+    fn param_index(&mut self, numbered: Option<u32>, pos: usize) -> Result<u32, SqlError> {
+        /// Upper bound on `$n` — parameter numbers size bind-time tables, so
+        /// an absurd written number must fail here, not as a giant
+        /// allocation downstream.
+        const MAX_PARAM_NUMBER: u32 = 1 << 16;
+        match numbered {
+            Some(n) => {
+                if self.saw_anon {
+                    return Err(SqlError::parse(
+                        pos,
+                        "cannot mix '?' and '$n' parameter styles in one statement",
+                    ));
+                }
+                if n > MAX_PARAM_NUMBER {
+                    return Err(SqlError::parse(
+                        pos,
+                        format!("parameter number ${n} exceeds the maximum ${MAX_PARAM_NUMBER}"),
+                    ));
+                }
+                self.saw_numbered = true;
+                Ok(n - 1)
+            }
+            None => {
+                if self.saw_numbered {
+                    return Err(SqlError::parse(
+                        pos,
+                        "cannot mix '?' and '$n' parameter styles in one statement",
+                    ));
+                }
+                self.saw_anon = true;
+                let idx = self.next_anon;
+                self.next_anon += 1;
+                Ok(idx)
+            }
+        }
     }
 
     fn peek_pos(&self) -> usize {
@@ -225,16 +274,31 @@ impl Parser {
         Ok(InsertStatement { table, columns, rows })
     }
 
-    /// One literal in a `VALUES` row: plain literals plus `DATE 'yyyy-mm-dd'`.
-    fn insert_value(&mut self) -> Result<Value, SqlError> {
+    /// One cell in a `VALUES` row: a plain literal, `DATE 'yyyy-mm-dd'`, or a
+    /// parameter placeholder.
+    fn insert_value(&mut self) -> Result<Expr, SqlError> {
         let pos = self.peek_pos();
+        match self.peek() {
+            TokenKind::Question => {
+                self.advance();
+                let idx = self.param_index(None, pos)?;
+                return Ok(Expr::Param(idx));
+            }
+            TokenKind::Dollar(n) => {
+                let n = *n;
+                self.advance();
+                let idx = self.param_index(Some(n), pos)?;
+                return Ok(Expr::Param(idx));
+            }
+            _ => {}
+        }
         if matches!(self.peek(), TokenKind::Keyword(k) if k == "DATE") {
             self.advance();
             return match self.advance() {
                 TokenKind::Str(s) => {
                     let days = parse_date(&s)
                         .ok_or_else(|| SqlError::parse(pos, format!("bad date literal {s:?}")))?;
-                    Ok(Value::Date(days))
+                    Ok(Expr::Literal(Value::Date(days)))
                 }
                 other => Err(SqlError::parse(
                     pos,
@@ -242,7 +306,7 @@ impl Parser {
                 )),
             };
         }
-        self.literal_value()
+        self.literal_value().map(Expr::Literal)
     }
 
     fn update(&mut self) -> Result<UpdateStatement, SqlError> {
@@ -521,6 +585,14 @@ impl Parser {
             TokenKind::Int(v) => Ok(Expr::Literal(Value::Int(v))),
             TokenKind::Float(v) => Ok(Expr::Literal(Value::Float(v))),
             TokenKind::Str(s) => Ok(Expr::Literal(Value::Str(s))),
+            TokenKind::Question => {
+                let idx = self.param_index(None, pos)?;
+                Ok(Expr::Param(idx))
+            }
+            TokenKind::Dollar(n) => {
+                let idx = self.param_index(Some(n), pos)?;
+                Ok(Expr::Param(idx))
+            }
             TokenKind::Minus => {
                 // unary minus on numeric literal
                 match self.advance() {
@@ -822,7 +894,13 @@ mod tests {
         assert_eq!(ins.table, "customer");
         assert_eq!(ins.columns.as_deref(), Some(&["c_custkey".to_string(), "c_name".into()][..]));
         assert_eq!(ins.rows.len(), 2);
-        assert_eq!(ins.rows[1], vec![Value::Int(2), Value::Str("b".into())]);
+        assert_eq!(
+            ins.rows[1],
+            vec![
+                Expr::Literal(Value::Int(2)),
+                Expr::Literal(Value::Str("b".into()))
+            ]
+        );
     }
 
     #[test]
@@ -832,9 +910,91 @@ mod tests {
             panic!("expected insert");
         };
         assert!(ins.columns.is_none());
-        assert_eq!(ins.rows[0][3], Value::Float(-3.5));
-        assert_eq!(ins.rows[0][4], Value::Date(parse_date("1995-03-15").unwrap()));
-        assert_eq!(ins.rows[0][5], Value::Null);
+        assert_eq!(ins.rows[0][3], Expr::Literal(Value::Float(-3.5)));
+        assert_eq!(
+            ins.rows[0][4],
+            Expr::Literal(Value::Date(parse_date("1995-03-15").unwrap()))
+        );
+        assert_eq!(ins.rows[0][5], Expr::Literal(Value::Null));
+    }
+
+    #[test]
+    fn parses_anonymous_parameters_in_order() {
+        let stmt = parse_select("SELECT * FROM t WHERE a = ? AND b BETWEEN ? AND ?").unwrap();
+        let conj = stmt.selection.unwrap();
+        let parts = conj.split_conjuncts();
+        assert!(matches!(
+            parts[0],
+            Expr::Binary { right, .. } if matches!(**right, Expr::Param(0))
+        ));
+        match parts[1] {
+            Expr::Between { low, high, .. } => {
+                assert_eq!(**low, Expr::Param(1));
+                assert_eq!(**high, Expr::Param(2));
+            }
+            other => panic!("expected BETWEEN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_numbered_parameters() {
+        let stmt = parse_select("SELECT * FROM t WHERE a = $2 AND b = $1").unwrap();
+        let conj = stmt.selection.unwrap();
+        let parts = conj.split_conjuncts();
+        assert!(matches!(
+            parts[0],
+            Expr::Binary { right, .. } if matches!(**right, Expr::Param(1))
+        ));
+        assert!(matches!(
+            parts[1],
+            Expr::Binary { right, .. } if matches!(**right, Expr::Param(0))
+        ));
+    }
+
+    #[test]
+    fn rejects_mixed_parameter_styles() {
+        assert!(parse_select("SELECT * FROM t WHERE a = ? AND b = $2").is_err());
+        assert!(parse_select("SELECT * FROM t WHERE a = $1 AND b = ?").is_err());
+    }
+
+    #[test]
+    fn rejects_absurd_parameter_numbers() {
+        // Must fail at parse time, not as a multi-gigabyte bind-time table.
+        assert!(parse_select("SELECT * FROM t WHERE a = $4294967295").is_err());
+        assert!(parse_select("SELECT * FROM t WHERE a = $65537").is_err());
+        // The cap itself parses (the binder's gap check handles the rest).
+        assert!(parse_select("SELECT * FROM t WHERE a = $65536").is_ok());
+    }
+
+    #[test]
+    fn parses_parameters_in_dml() {
+        let Statement::Insert(ins) =
+            parse_statement("INSERT INTO t (a, b) VALUES (?, ?)").unwrap()
+        else {
+            panic!("expected insert");
+        };
+        assert_eq!(ins.rows[0], vec![Expr::Param(0), Expr::Param(1)]);
+        let Statement::Update(up) =
+            parse_statement("UPDATE t SET a = ? WHERE b = ?").unwrap()
+        else {
+            panic!("expected update");
+        };
+        assert_eq!(up.assignments[0].1, Expr::Param(0));
+        assert!(matches!(
+            up.selection.unwrap(),
+            Expr::Binary { right, .. } if matches!(*right, Expr::Param(1))
+        ));
+        let Statement::Delete(del) = parse_statement("DELETE FROM t WHERE a = $1").unwrap()
+        else {
+            panic!("expected delete");
+        };
+        assert!(del.selection.is_some());
+    }
+
+    #[test]
+    fn param_display_is_one_based() {
+        assert_eq!(Expr::Param(0).to_string(), "$1");
+        assert_eq!(Expr::Param(6).to_string(), "$7");
     }
 
     #[test]

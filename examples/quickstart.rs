@@ -7,8 +7,11 @@
 use qpe_core::explainer::{Explainer, PipelineConfig};
 use qpe_htap::engine::HtapSystem;
 use qpe_htap::latency::format_latency;
+use qpe_htap::session::Session;
 use qpe_htap::tpch::TpchConfig;
+use qpe_sql::value::Value;
 use qpe_treecnn::train::TrainerConfig;
+use std::sync::Arc;
 
 fn main() {
     // 1. Build the system: generates TPC-H data, runs a training workload on
@@ -49,25 +52,64 @@ fn main() {
         report.timing.retrieval_fraction() * 100.0
     );
 
-    // 3. The database is writable: DML routes to the TP engine, the column
-    //    store buffers the write in its delta region, and the very next AP
-    //    query sees it — before AND after compaction.
-    println!("\n--- DML + fresh reads ---");
-    let mut sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
-    let count_sql = "SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'machinery'";
-    let count = |sys: &HtapSystem| {
-        sys.run_sql(count_sql).expect("count runs").ap.rows[0][0]
+    // 3. The client API is the session layer: share one system via Arc,
+    //    open a Session per client, and prepare statements once — every
+    //    subsequent execute() skips the whole SQL front end (lex, parse,
+    //    bind, plan) and only injects the parameter values.
+    println!("\n--- Session API: prepare once, execute many ---");
+    let sys = Arc::new(HtapSystem::new(&TpchConfig::with_scale(0.002)));
+    let session = Session::new(Arc::clone(&sys));
+
+    let lookup = session
+        .prepare("SELECT c_name, c_acctbal FROM customer WHERE c_custkey = ?")
+        .expect("prepares");
+    for key in [7i64, 42, 137] {
+        let out = lookup
+            .execute(&[Value::Int(key)])
+            .expect("executes")
+            .as_query()
+            .expect("is a query")
+            .tp
+            .rows
+            .clone();
+        println!("  c_custkey = {key:>3} -> {:?}", out.first().map(|r| &r[0]));
+    }
+
+    // Prepared DML: writes route to the TP engine, the column store buffers
+    // them in its delta region, and the very next AP read sees them —
+    // before AND after compaction. All through &self: the write lock is
+    // internal.
+    let count_stmt = session
+        .prepare("SELECT COUNT(*) FROM customer WHERE c_mktsegment = ?")
+        .expect("prepares");
+    let machinery = || {
+        count_stmt
+            .execute(&[Value::Str("machinery".into())])
+            .expect("count runs")
+            .as_query()
+            .expect("query")
+            .ap
+            .rows[0][0]
             .as_int()
             .expect("count is an int")
     };
-    println!("machinery customers before insert: {}", count(&sys));
+    println!("machinery customers before insert: {}", machinery());
 
-    let outcome = sys
-        .execute_sql(
+    let insert = session
+        .prepare(
             "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
-             c_mktsegment) VALUES (900001, 'customer#900001', 4, '20-555-000-1111', \
-             1234.56, 'machinery')",
+             c_mktsegment) VALUES (?, ?, ?, ?, ?, ?)",
         )
+        .expect("prepares");
+    let outcome = insert
+        .execute(&[
+            Value::Int(900_001),
+            Value::Str("customer#900001".into()),
+            Value::Int(4),
+            Value::Str("20-555-000-1111".into()),
+            Value::Float(1234.56),
+            Value::Str("machinery".into()),
+        ])
         .expect("insert runs");
     let dml = outcome.as_dml().expect("insert is DML");
     println!(
@@ -80,7 +122,7 @@ fn main() {
         "freshness before compaction: version={} delta_rows={} (AP reads through the delta)",
         fresh.version, fresh.delta_rows
     );
-    println!("machinery customers after insert, BEFORE compact(): {}", count(&sys));
+    println!("machinery customers after insert, BEFORE compact(): {}", machinery());
 
     sys.compact("customer");
     let fresh = sys.freshness("customer").expect("table exists");
@@ -88,5 +130,21 @@ fn main() {
         "freshness after compaction:  version={} delta_rows={} (merged into base columns)",
         fresh.version, fresh.delta_rows
     );
-    println!("machinery customers after insert, AFTER compact():  {}", count(&sys));
+    println!("machinery customers after insert, AFTER compact():  {}", machinery());
+
+    // The plan cache is shared across sessions: a second client preparing
+    // the same statement gets a cache hit (no front end at all), and
+    // repeated execute()s never re-parse, re-bind or re-plan.
+    let second_client = Session::new(Arc::clone(&sys));
+    let _hit = second_client
+        .prepare("SELECT c_name, c_acctbal FROM customer WHERE c_custkey = ?")
+        .expect("prepares from cache");
+    let cache = sys.plan_cache_stats();
+    println!(
+        "\nplan cache: {} entries, {} hits / {} misses ({:.0}% hit rate)",
+        cache.entries,
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0
+    );
 }

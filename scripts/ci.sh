@@ -27,6 +27,12 @@ for i in 1 2 3; do
     cargo test -q --test parallel_determinism
 done
 
+echo "==> prepared-statement equivalence sweep (prepared ≡ inlined, clean + dirty, 3 executors)"
+# prepare+execute(params) must return byte-identical rows AND WorkCounters
+# (blocks_pruned included) to the literal-inlined SQL, plus the concurrent
+# multi-session smoke test over one shared Arc<HtapSystem>.
+cargo test -q --test prepared_props
+
 echo "==> dirty-table executor comparison (encoded base + delta + tombstones)"
 # --dirty applies uncompacted INSERT/DELETEs first, so the scalar-vs-batch
 # agreement check runs over dictionary-encoded base blocks read through
@@ -37,7 +43,7 @@ cargo run --release -p qpe_bench --bin bench_snapshot -- --compare scalar,batch 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> bench snapshot (BENCH_exec.json)"
+echo "==> bench snapshot (BENCH_exec.json; includes prepared-vs-unprepared QPS + plan-cache hit rate)"
 cargo run --release -p qpe_bench --bin bench_snapshot
 
 echo "CI OK"

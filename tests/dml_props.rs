@@ -54,7 +54,7 @@ fn apply(sys: &mut HtapSystem, op: Op, seed: u64, i: usize) {
             let seg = ["machinery", "building", "household"][(salt % 3) as usize];
             // duplicate keys across ops are possible -> constraint errors
             // are legal outcomes, never storage corruption
-            let _ = sys.execute_sql(&format!(
+            let _ = sys.execute_statement(&format!(
                 "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
                  c_mktsegment) VALUES ({key}, 'customer#{key}', {}, '20-000-000-0000', \
                  {}.25, '{seg}')",
@@ -64,7 +64,7 @@ fn apply(sys: &mut HtapSystem, op: Op, seed: u64, i: usize) {
         }
         Op::Update => {
             let lo = 1 + salt % 70;
-            sys.execute_sql(&format!(
+            sys.execute_statement(&format!(
                 "UPDATE customer SET c_acctbal = c_acctbal + {}, c_mktsegment = 'machinery' \
                  WHERE c_custkey BETWEEN {lo} AND {}",
                 salt % 100,
@@ -74,7 +74,7 @@ fn apply(sys: &mut HtapSystem, op: Op, seed: u64, i: usize) {
         }
         Op::Delete => {
             let lo = 1 + salt % 70;
-            sys.execute_sql(&format!(
+            sys.execute_statement(&format!(
                 "DELETE FROM customer WHERE c_custkey BETWEEN {lo} AND {}",
                 lo + 2
             ))
@@ -117,13 +117,13 @@ fn assert_executor_equivalence(sys: &HtapSystem, sql: &str) {
     let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
     let plan = ap::plan(&ctx).expect("ap plan");
     assert!(vector::supported(&plan), "AP plan outside batch vocabulary");
-    let (srows, sc) = execute_scalar(&plan, &bound, db, EngineKind::Ap).expect("scalar");
-    let (brows, bc) = execute_vectorized(&plan, &bound, db).expect("vectorized");
+    let (srows, sc) = execute_scalar(&plan, &bound, &db, EngineKind::Ap).expect("scalar");
+    let (brows, bc) = execute_vectorized(&plan, &bound, &db).expect("vectorized");
     assert_eq!(srows, brows, "executor rows diverged for {sql}");
     assert_eq!(sc, bc, "executor counters diverged for {sql}");
     for threads in [2usize, 4] {
         let cfg = ExecConfig { threads, morsel_rows: 16 };
-        let (prows, pc) = execute_parallel(&plan, &bound, db, &cfg).expect("parallel");
+        let (prows, pc) = execute_parallel(&plan, &bound, &db, &cfg).expect("parallel");
         assert_eq!(brows, prows, "parallel rows diverged at {threads} threads for {sql}");
         assert_eq!(bc, pc, "parallel counters diverged at {threads} threads for {sql}");
     }
@@ -137,7 +137,7 @@ fn parallel_scan_rows(sys: &HtapSystem, threads: usize) -> Vec<Row> {
     let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
     let plan = ap::plan(&ctx).expect("ap plan");
     let cfg = ExecConfig { threads, morsel_rows: 16 };
-    execute_parallel(&plan, &bound, db, &cfg).expect("parallel scan").0
+    execute_parallel(&plan, &bound, &db, &cfg).expect("parallel scan").0
 }
 
 /// Runs one AP plan on all three executors, asserting rows and counters are
@@ -150,13 +150,13 @@ fn run_all_executors(
 ) -> (Vec<Row>, WorkCounters) {
     let db = sys.database();
     assert!(vector::supported(plan), "AP plan outside batch vocabulary");
-    let (srows, sc) = execute_scalar(plan, bound, db, EngineKind::Ap).expect("scalar");
-    let (brows, bc) = execute_vectorized(plan, bound, db).expect("vectorized");
+    let (srows, sc) = execute_scalar(plan, bound, &db, EngineKind::Ap).expect("scalar");
+    let (brows, bc) = execute_vectorized(plan, bound, &db).expect("vectorized");
     assert_eq!(srows, brows, "{label}: scalar vs batch rows");
     assert_eq!(sc, bc, "{label}: scalar vs batch counters");
     for threads in [2usize, 4] {
         let cfg = ExecConfig { threads, morsel_rows: 16 };
-        let (prows, pc) = execute_parallel(plan, bound, db, &cfg).expect("parallel");
+        let (prows, pc) = execute_parallel(plan, bound, &db, &cfg).expect("parallel");
         assert_eq!(brows, prows, "{label}: parallel rows at {threads} threads");
         assert_eq!(bc, pc, "{label}: parallel counters at {threads} threads");
     }
@@ -351,7 +351,7 @@ fn compact_rebuilds_stale_block_stats() {
     let mut sys = fresh_system();
     assert!(sys.database_mut().set_zone_block_rows("customer", 8));
     // Relocate one row far outside the original key range (75 rows seeded).
-    sys.execute_sql("UPDATE customer SET c_custkey = 900000 WHERE c_custkey = 10")
+    sys.execute_statement("UPDATE customer SET c_custkey = 900000 WHERE c_custkey = 10")
         .expect("update runs");
     let probe = "SELECT c_custkey FROM customer WHERE c_custkey = 900000";
 
@@ -361,22 +361,27 @@ fn compact_rebuilds_stale_block_stats() {
     let db = sys.database();
     let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
     let plan = ap::plan(&ctx).unwrap();
-    let (rows, c) = execute_vectorized(&plan, &bound, db).expect("runs");
+    let (rows, c) = execute_vectorized(&plan, &bound, &db).expect("runs");
     assert_eq!(rows.len(), 1, "delta row must survive full base pruning");
     assert_eq!(c.blocks_pruned, c.blocks_checked, "stale headers refute every base block");
+    // Shadowing below does not drop this read guard — release it before the
+    // write-locking compact().
+    drop(db);
 
     // Post-compaction: the header of the merged table's last block now
     // covers the relocated key (stale stats rebuilt), pruning still leaves
     // exactly the covering block, and the answer is unchanged.
     sys.compact("customer");
-    let cols = &sys.database().stored_table("customer").unwrap().cols;
+    let guard = sys.database();
+    let cols = &guard.stored_table("customer").unwrap().cols;
     let max_of_last = cols.zones(0).last().unwrap().max.clone();
+    drop(guard);
     assert_eq!(max_of_last, Some(qpe_sql::value::Value::Int(900000)));
     let bound = sys.bind(probe).unwrap();
     let db = sys.database();
     let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
     let plan = ap::plan(&ctx).unwrap();
-    let (rows, c) = execute_vectorized(&plan, &bound, db).expect("runs");
+    let (rows, c) = execute_vectorized(&plan, &bound, &db).expect("runs");
     assert_eq!(rows.len(), 1);
     assert!(c.blocks_pruned > 0, "rebuilt headers prune the non-covering blocks");
     assert!(c.blocks_pruned < c.blocks_checked, "the covering block survives");

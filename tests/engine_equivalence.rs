@@ -123,9 +123,9 @@ mod scalar_vs_batch {
             "AP plan outside batch-executor vocabulary for {sql}"
         );
         let (scalar_rows, scalar_counters) =
-            execute_scalar(&plan, &bound, db, EngineKind::Ap).expect("scalar");
+            execute_scalar(&plan, &bound, &db, EngineKind::Ap).expect("scalar");
         let (batch_rows, batch_counters) =
-            execute_vectorized(&plan, &bound, db).expect("vectorized");
+            execute_vectorized(&plan, &bound, &db).expect("vectorized");
         assert_eq!(scalar_rows, batch_rows, "rows diverged for {sql}");
         assert_eq!(
             scalar_counters, batch_counters,
@@ -133,7 +133,7 @@ mod scalar_vs_batch {
         );
         for threads in [2, 4] {
             let (par_rows, par_counters) =
-                execute_parallel(&plan, &bound, db, &par_cfg(threads)).expect("parallel");
+                execute_parallel(&plan, &bound, &db, &par_cfg(threads)).expect("parallel");
             assert_eq!(
                 batch_rows, par_rows,
                 "rows diverged at {threads} threads for {sql}"
@@ -214,13 +214,13 @@ mod scalar_vs_batch {
                 ctx.pushdown = pruning;
                 let plan = ap::plan(&ctx).expect("ap plan");
                 prop_assert!(vector::supported(&plan), "unsupported AP plan for {}", sql);
-                let (srows, sc) = execute_scalar(&plan, &bound, db, EngineKind::Ap).expect("scalar");
-                let (brows, bc) = execute_vectorized(&plan, &bound, db).expect("vectorized");
+                let (srows, sc) = execute_scalar(&plan, &bound, &db, EngineKind::Ap).expect("scalar");
+                let (brows, bc) = execute_vectorized(&plan, &bound, &db).expect("vectorized");
                 prop_assert_eq!(&srows, &brows, "rows diverged for {}", sql);
                 prop_assert_eq!(sc, bc, "counters diverged for {}", sql);
                 for threads in [2usize, 4] {
                     let (prows, pc) =
-                        execute_parallel(&plan, &bound, db, &par_cfg(threads)).expect("parallel");
+                        execute_parallel(&plan, &bound, &db, &par_cfg(threads)).expect("parallel");
                     prop_assert_eq!(&brows, &prows, "rows diverged at {} threads for {}", threads, sql);
                     prop_assert_eq!(bc, pc, "counters diverged at {} threads for {}", threads, sql);
                 }

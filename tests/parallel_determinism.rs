@@ -44,11 +44,11 @@ fn ap_plan(sys: &HtapSystem, sql: &str) -> (qpe_htap::PlanNode, BoundQuery) {
 }
 
 fn dirty_system() -> HtapSystem {
-    let mut sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
+    let sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
     // Leave customer dirty (delta rows + tombstones) so morsels straddle
     // the base/delta split and the live-rid selection is non-trivial.
     for i in 0..40 {
-        sys.execute_sql(&format!(
+        sys.execute_statement(&format!(
             "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
              c_mktsegment) VALUES ({}, 'customer#par{i}', {}, '20-000-000-0000', {}.75, \
              'machinery')",
@@ -58,9 +58,9 @@ fn dirty_system() -> HtapSystem {
         ))
         .expect("insert");
     }
-    sys.execute_sql("DELETE FROM customer WHERE c_custkey BETWEEN 10 AND 25")
+    sys.execute_statement("DELETE FROM customer WHERE c_custkey BETWEEN 10 AND 25")
         .expect("delete");
-    sys.execute_sql("UPDATE customer SET c_acctbal = c_acctbal + 1 WHERE c_custkey < 8")
+    sys.execute_statement("UPDATE customer SET c_acctbal = c_acctbal + 1 WHERE c_custkey < 8")
         .expect("update");
     assert!(sys.freshness("customer").unwrap().delta_rows > 0, "table must be dirty");
     sys
@@ -76,10 +76,10 @@ fn repeated_parallel_runs_are_byte_identical() {
     for sql in QUERIES {
         let (plan, bound) = ap_plan(&sys, sql);
         let (serial_rows, serial_counters): (Vec<Row>, WorkCounters) =
-            execute_vectorized(&plan, &bound, db).expect("serial batch");
+            execute_vectorized(&plan, &bound, &db).expect("serial batch");
         for run in 0..REPEATS {
             let (rows, counters) =
-                execute_parallel(&plan, &bound, db, &cfg).expect("parallel");
+                execute_parallel(&plan, &bound, &db, &cfg).expect("parallel");
             assert_eq!(
                 serial_rows, rows,
                 "run {run}: parallel rows diverged from serial for {sql}"
@@ -101,12 +101,12 @@ fn thread_count_and_morsel_size_are_invisible() {
     for sql in QUERIES {
         let (plan, bound) = ap_plan(&sys, sql);
         let (serial_rows, serial_counters) =
-            execute_vectorized(&plan, &bound, db).expect("serial batch");
+            execute_vectorized(&plan, &bound, &db).expect("serial batch");
         for threads in [2usize, 3, 4, 8] {
             for morsel_rows in [7usize, 33, 256] {
                 let cfg = ExecConfig { threads, morsel_rows };
                 let (rows, counters) =
-                    execute_parallel(&plan, &bound, db, &cfg).expect("parallel");
+                    execute_parallel(&plan, &bound, &db, &cfg).expect("parallel");
                 assert_eq!(
                     serial_rows, rows,
                     "rows diverged at {threads} threads / {morsel_rows}-row morsels for {sql}"
