@@ -40,6 +40,18 @@
 //! inlined-literal runs before timing, and the prepared/unprepared ratio
 //! plus the plan-cache hit rate are printed.
 //!
+//! Durability cases (real disk I/O against a tempdir):
+//! * `wal_commit_qps` — 8 client threads of durable single-row INSERTs
+//!   under group commit, in queries per second;
+//! * `wal_commit_qps_per_statement` — the same load with an fsync inside
+//!   every statement (the naive contrast; the group-commit ratio is
+//!   printed);
+//! * `recovery_time_100k_rows` — wall-clock ns of `HtapSystem::open` on a
+//!   directory whose WAL holds 100k uncheckpointed inserted rows;
+//! * `background_compact_p99_write_stall` — p99 per-statement write
+//!   latency (ns) while the background compactor repeatedly rebuilds and
+//!   swaps the table underneath the writer.
+//!
 //! ```sh
 //! cargo run --release --bin bench_snapshot                # print + write
 //! cargo run --release --bin bench_snapshot -- --check     # print only
@@ -535,6 +547,157 @@ fn session_cases() -> Vec<(&'static str, u64)> {
     ]
 }
 
+/// Durability cases — see the module docs. These do real file I/O (write,
+/// fsync, reopen) in a per-process tempdir that is removed afterwards, so
+/// the numbers reflect the host filesystem's actual fsync cost.
+fn durability_cases() -> Vec<(&'static str, u64)> {
+    use qpe_htap::engine::{BackgroundCompaction, DurabilityOptions};
+    use qpe_htap::SyncPolicy;
+    use std::time::Duration;
+
+    let root = std::env::temp_dir().join(format!("qpe_bench_dur_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let config = TpchConfig::with_scale(0.002);
+    let mut out = Vec::new();
+
+    // Group commit vs fsync-per-statement: 32 client threads on the
+    // prepared path (front end paid once, so the metric is commit
+    // throughput, not parse throughput), disjoint keys, every INSERT
+    // acknowledged only once durable. Group commit releases the write lock
+    // before the fsync and batches every statement that arrives while a
+    // flush is in flight; per-statement fsyncs inside the lock, so the
+    // client count buys it nothing.
+    let commit_qps = |label: &str, sync: SyncPolicy| -> u64 {
+        use qpe_htap::session::Session;
+        use qpe_sql::value::Value;
+        use std::sync::Arc;
+
+        const THREADS: u64 = 32;
+        const PER_THREAD: u64 = 128;
+        const INSERT: &str = "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, \
+             c_acctbal, c_mktsegment) VALUES (?, ?, 4, '20-555-000-1111', 10.5, 'machinery')";
+        let dir = root.join(label);
+        let opts = DurabilityOptions { sync, ..DurabilityOptions::default() };
+        let sys =
+            Arc::new(HtapSystem::open_with(&dir, &config, opts).expect("opens durable dir"));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let sys = Arc::clone(&sys);
+                scope.spawn(move || {
+                    let session = Session::new(sys);
+                    let stmt = session.prepare(INSERT).expect("prepares");
+                    for i in 0..PER_THREAD {
+                        let key = (900_000 + t * PER_THREAD + i) as i64;
+                        stmt.execute(&[Value::Int(key), Value::Str(format!("customer#{key}"))])
+                            .expect("durable insert");
+                    }
+                });
+            }
+        });
+        let qps = (THREADS * PER_THREAD) as f64 / start.elapsed().as_secs_f64();
+        let wal = sys.wal_stats().expect("durable system");
+        println!(
+            "  ({label}: {} records / {} fsyncs = {:.1} records per fsync)",
+            wal.records,
+            wal.fsyncs,
+            wal.records as f64 / wal.fsyncs.max(1) as f64
+        );
+        qps as u64
+    };
+    let group_qps = commit_qps("wal_commit_qps", SyncPolicy::GroupCommit {
+        interval: Duration::ZERO,
+    });
+    let per_stmt_qps = commit_qps("wal_commit_qps_per_statement", SyncPolicy::PerStatement);
+    let ratio = group_qps as f64 / per_stmt_qps.max(1) as f64;
+    println!("  (group commit is {ratio:.1}x fsync-per-statement)");
+    if ratio < 5.0 {
+        println!("  (WARNING: group-commit win below the 5x target — fast-fsync host?)");
+    }
+    out.push(("wal_commit_qps", group_qps));
+    out.push(("wal_commit_qps_per_statement", per_stmt_qps));
+
+    // Recovery wall-clock: leave 100k inserted rows sitting in the WAL (no
+    // checkpoint), then time the whole `open` — manifest + segment load,
+    // chain replay, index and zone rebuild.
+    {
+        let dir = root.join("recovery_100k");
+        let mut sys = HtapSystem::open_with(&dir, &config, DurabilityOptions::default())
+            .expect("opens durable dir");
+        let base = sys
+            .database()
+            .stored_table("customer")
+            .expect("customer exists")
+            .row_count();
+        bulk_insert_customers(&mut sys, 1_000_000, 100_000);
+        drop(sys); // kill without checkpoint: recovery must replay the WAL
+        let start = Instant::now();
+        let sys = HtapSystem::open(&dir, &config).expect("recovers");
+        let ns = start.elapsed().as_nanos() as u64;
+        let report = sys.recovery_report().expect("durable open").clone();
+        let rows = sys
+            .database()
+            .stored_table("customer")
+            .expect("customer exists")
+            .row_count();
+        assert_eq!(rows, base + 100_000, "recovery must replay all 100k rows");
+        println!(
+            "  (recovered {} WAL records across {} file(s) in {:?})",
+            report.wal_records_replayed, report.wal_files_replayed, report.elapsed
+        );
+        out.push(("recovery_time_100k_rows", ns));
+    }
+
+    // Write stall under background compaction: a single writer streams
+    // durable INSERTs while the compactor thread repeatedly rebuilds the
+    // table offline and swaps it in. p99 statement latency is the stall
+    // the swap (not the rebuild) costs the writer.
+    {
+        let dir = root.join("bg_compact");
+        let opts = DurabilityOptions {
+            background: Some(BackgroundCompaction {
+                min_delta_rows: 1024,
+                poll: Duration::from_millis(1),
+            }),
+            ..DurabilityOptions::default()
+        };
+        let sys = HtapSystem::open_with(&dir, &config, opts).expect("opens durable dir");
+        const WRITES: usize = 6_000;
+        let mut lat = Vec::with_capacity(WRITES);
+        for i in 0..WRITES {
+            let key = 2_000_000 + i;
+            let sql = format!(
+                "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
+                 c_mktsegment) VALUES ({key}, 'customer#{key}', 4, '20-555-000-1111', \
+                 10.5, 'machinery')"
+            );
+            let start = Instant::now();
+            sys.execute_statement(&sql).expect("durable insert");
+            lat.push(start.elapsed().as_nanos() as u64);
+        }
+        // Every insert lands in the delta; only a compaction swap shrinks
+        // it, so a full delta means the compactor never ran.
+        let fresh = sys.freshness("customer").expect("table exists");
+        assert!(
+            fresh.delta_rows < WRITES,
+            "background compactor must have merged the delta at least once"
+        );
+        lat.sort_unstable();
+        let p50 = lat[WRITES / 2];
+        let p99 = lat[WRITES * 99 / 100];
+        println!(
+            "  ({} of {WRITES} inserted rows still delta-resident; write latency \
+             p50 {p50} ns, p99 {p99} ns, max {} ns)",
+            fresh.delta_rows,
+            lat[WRITES - 1]
+        );
+        out.push(("background_compact_p99_write_stall", p99));
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+    out
+}
+
 /// Value of a `--flag N` style argument, if present.
 fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -595,6 +758,12 @@ fn main() {
     for (label, qps) in session_cases() {
         println!("{label:<28} {qps:>12} q/s");
         entries.push((label.to_string(), qps));
+    }
+
+    for (label, v) in durability_cases() {
+        let unit = if label.contains("qps") { "q/s" } else { "ns" };
+        println!("{label:<36} {v:>12} {unit}");
+        entries.push((label.to_string(), v));
     }
 
     for (label, ns) in pruning_cases() {

@@ -12,7 +12,11 @@ use crate::opt::{ap, tp, OptError, PlannerCtx};
 use crate::plan::PlanNode;
 use crate::session::{PlanCache, PlanCacheStats};
 use crate::stats::{DbStats, TableStats};
-use crate::storage::{StoredTable, TableFreshness};
+use crate::storage::col_store::ColumnTableSnapshot;
+use crate::storage::durable_io::{DurabilityError, DurableFile, FailPoints};
+use crate::storage::persist::{self, Manifest, SegmentRef, MANIFEST_FORMAT};
+use crate::storage::wal::{self, SyncPolicy, Wal, WalRecord, WalStats};
+use crate::storage::{CompactSnapshot, CompactedTable, StoredTable, TableFreshness, TableOp};
 use crate::tpch::{self, TpchConfig};
 use qpe_sql::binder::{Binder, BoundDml, BoundQuery, BoundStatement};
 use qpe_sql::catalog::{Catalog, DataType, MemoryCatalog};
@@ -20,7 +24,10 @@ use qpe_sql::value::Value;
 use qpe_sql::SqlError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 /// Which engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -198,6 +205,9 @@ pub enum HtapError {
         /// The offending value.
         got: Value,
     },
+    /// Durable storage failed: I/O error, simulated crash, or corrupt
+    /// on-disk state discovered during recovery.
+    Durability(DurabilityError),
 }
 
 impl From<SqlError> for HtapError {
@@ -213,6 +223,11 @@ impl From<OptError> for HtapError {
 impl From<exec::ExecError> for HtapError {
     fn from(e: exec::ExecError) -> Self {
         HtapError::Exec(e)
+    }
+}
+impl From<DurabilityError> for HtapError {
+    fn from(e: DurabilityError) -> Self {
+        HtapError::Durability(e)
     }
 }
 
@@ -235,6 +250,7 @@ impl std::fmt::Display for HtapError {
                 "parameter ${} expects a {expected:?} value, got {got}",
                 idx + 1
             ),
+            HtapError::Durability(e) => write!(f, "durability: {e}"),
         }
     }
 }
@@ -247,6 +263,11 @@ pub struct Database {
     stats: DbStats,
     tables: HashMap<String, StoredTable>,
     config: TpchConfig,
+    /// When armed (one DML statement's scope), every `apply_*` records the
+    /// logical [`TableOp`]s it performed, for the WAL. `None` outside
+    /// durable DML — and during WAL replay, which is what makes replay
+    /// re-run the same entry points without re-logging.
+    op_tap: Option<Vec<(String, TableOp)>>,
 }
 
 impl Database {
@@ -265,7 +286,35 @@ impl Database {
             stats,
             tables,
             config: config.clone(),
+            op_tap: None,
         }
+    }
+
+    /// Rebuilds a database from recovered durable state: the manifest's
+    /// catalog/stats/config plus one recovered column table per entry. The
+    /// row-store side (tuples + indexes) derives from the column state.
+    pub(crate) fn from_recovered(
+        catalog: MemoryCatalog,
+        stats: DbStats,
+        config: TpchConfig,
+        col_tables: Vec<crate::storage::ColumnTable>,
+    ) -> Result<Self, DurabilityError> {
+        let mut tables = HashMap::new();
+        for cols in col_tables {
+            let name = cols.name().to_string();
+            let def = catalog.table(&name).ok_or_else(|| {
+                DurabilityError::Corrupt(format!("segment table {name:?} not in manifest catalog"))
+            })?;
+            if def.columns.len() != cols.width() {
+                return Err(DurabilityError::Corrupt(format!(
+                    "table {name:?}: segment width {} != catalog width {}",
+                    cols.width(),
+                    def.columns.len()
+                )));
+            }
+            tables.insert(name.clone(), StoredTable::from_recovered(def, cols));
+        }
+        Ok(Database { catalog, stats, tables, config, op_tap: None })
     }
 
     /// The catalog.
@@ -303,6 +352,13 @@ impl Database {
         for row in rows {
             st.insert(row.clone());
         }
+        if !rows.is_empty() && (st.captures_window() || self.op_tap.is_some()) {
+            let op = TableOp::Insert { rows: rows.to_vec() };
+            st.record_op(&op);
+            if let Some(tap) = &mut self.op_tap {
+                tap.push((table.to_string(), op));
+            }
+        }
         self.stats.note_insert(table, rows);
         self.sync_row_count(table);
         self.maybe_refresh_stats(table);
@@ -315,10 +371,25 @@ impl Database {
         let Some(st) = self.tables.get_mut(table) else {
             return 0;
         };
+        let capture = st.captures_window() || self.op_tap.is_some();
         let mut n = 0u64;
+        let mut effective = Vec::new();
         for &rid in rids {
             if st.delete(rid) {
                 n += 1;
+                if capture {
+                    effective.push(rid);
+                }
+            }
+        }
+        // Only *effective* deletes are recorded: replay flips exactly the
+        // same tombstone bits, and a background-compaction remap never sees
+        // a rid that was already dead.
+        if capture && !effective.is_empty() {
+            let op = TableOp::Delete { rids: effective };
+            st.record_op(&op);
+            if let Some(tap) = &mut self.op_tap {
+                tap.push((table.to_string(), op));
             }
         }
         self.stats.note_delete(table, n);
@@ -335,12 +406,133 @@ impl Database {
         };
         let new_rows: Vec<Vec<Value>> = changes.iter().map(|(_, r)| r.clone()).collect();
         let n = changes.len() as u64;
+        if !changes.is_empty() && (st.captures_window() || self.op_tap.is_some()) {
+            let op = TableOp::Update { changes: changes.clone() };
+            st.record_op(&op);
+            if let Some(tap) = &mut self.op_tap {
+                tap.push((table.to_string(), op));
+            }
+        }
         for (rid, row) in changes {
             st.update(rid, row);
         }
         self.stats.note_update(table, &new_rows);
         self.maybe_refresh_stats(table);
         n
+    }
+
+    /// Arms the per-statement op tap ([`Database::apply_insert`] et al.
+    /// record into it). Called by durable DML before execution.
+    pub(crate) fn begin_op_capture(&mut self) {
+        self.op_tap = Some(Vec::new());
+    }
+
+    /// Takes whatever the statement recorded and disarms the tap.
+    pub(crate) fn take_op_capture(&mut self) -> Vec<(String, TableOp)> {
+        self.op_tap.take().unwrap_or_default()
+    }
+
+    /// Converts captured ops into WAL records, translating rids through the
+    /// table's background-compaction remap when a durable build is in
+    /// flight (the log must stay consistent with the `Compact` record
+    /// already written at the build's snapshot point).
+    pub(crate) fn wal_records_for(&self, ops: &[(String, TableOp)]) -> Vec<WalRecord> {
+        ops.iter()
+            .map(|(table, op)| WalRecord::Op {
+                table: table.clone(),
+                op: match self.tables.get(table).and_then(|st| st.wal_remap()) {
+                    Some(remap) => op.translate(remap),
+                    None => op.clone(),
+                },
+            })
+            .collect()
+    }
+
+    /// Re-applies one logged op through the same entry points the live
+    /// statement used, so statistics maintenance (incremental widening,
+    /// lazy ndv refresh) fires at identical points of the timeline.
+    pub(crate) fn replay_op(&mut self, table: &str, op: TableOp) {
+        match op {
+            TableOp::Insert { rows } => {
+                self.apply_insert(table, &rows);
+            }
+            TableOp::Delete { rids } => {
+                self.apply_delete(table, &rids);
+            }
+            TableOp::Update { changes } => {
+                self.apply_update(table, changes);
+            }
+        }
+    }
+
+    /// Replays one WAL record during recovery.
+    pub(crate) fn replay_wal_record(&mut self, record: WalRecord) {
+        match record {
+            WalRecord::Op { table, op } => self.replay_op(&table, op),
+            WalRecord::Compact { table } => {
+                self.compact_table(&table);
+            }
+            // Pure rotation marker; the generation chain carries the
+            // continuity, nothing to apply.
+            WalRecord::Checkpoint { .. } => {}
+        }
+    }
+
+    /// Consistent snapshots of every table's physical column-store state,
+    /// sorted by name (O(width) each — base columns are `Arc`-shared).
+    pub(crate) fn snapshot_tables(&self) -> Vec<ColumnTableSnapshot> {
+        let mut snaps: Vec<_> = self.tables.values().map(|st| st.cols.snapshot()).collect();
+        snaps.sort_by(|a, b| a.name.cmp(&b.name));
+        snaps
+    }
+
+    /// Opens a background compaction on one table (see
+    /// [`StoredTable::begin_background_compact`]).
+    pub(crate) fn begin_background_compact(
+        &mut self,
+        table: &str,
+        durable: bool,
+    ) -> Option<CompactSnapshot> {
+        let def = self.catalog.table(table)?.clone();
+        self.tables
+            .get_mut(table)?
+            .begin_background_compact(&def, durable)
+    }
+
+    /// Rolls back a just-opened background compaction (WAL append failed
+    /// before anything escaped the write lock).
+    pub(crate) fn abort_background_compact(&mut self, table: &str) {
+        if let Some(st) = self.tables.get_mut(table) {
+            st.abort_background_compact();
+        }
+    }
+
+    /// Swaps an offline-built compaction in and re-applies the captured
+    /// write window. Mirrors the synchronous path exactly: install ≡
+    /// compact-at-snapshot + stats refresh, then the window ops re-run
+    /// through the normal `apply_*` entry points (translated into the new
+    /// rid space). Returns false when a sync compact made the build stale.
+    pub(crate) fn finish_background_compact(&mut self, table: &str, built: CompactedTable) -> bool {
+        let Some(st) = self.tables.get_mut(table) else {
+            return false;
+        };
+        let Some((window, stats, remap)) = st.finish_background_compact(built) else {
+            return false;
+        };
+        let live = st.row_count() as u64;
+        self.stats.insert(stats);
+        if let Some(def) = self.catalog.table_mut(table) {
+            def.row_count = live;
+            if let Some(ts) = self.stats.table(table) {
+                for (cd, cs) in def.columns.iter_mut().zip(&ts.columns) {
+                    cd.ndv = cs.ndv;
+                }
+            }
+        }
+        for op in window {
+            self.replay_op(table, op.translate(&remap));
+        }
+        true
     }
 
     /// Compacts one table: the column store merges its delta into the base,
@@ -456,6 +648,100 @@ impl Database {
     }
 }
 
+/// How and when the WAL makes committed statements durable.
+///
+/// See [`SyncPolicy`]: `PerStatement` fsyncs on every commit,
+/// `GroupCommit { interval }` batches concurrent committers into one fsync
+/// (the leader dwells up to `interval` collecting followers).
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityOptions {
+    /// WAL fsync batching policy.
+    pub sync: SyncPolicy,
+    /// Crash-injection hooks (tests only; `FailPoints::default()` is inert
+    /// and adds one relaxed atomic load per durable write).
+    pub failpoints: FailPoints,
+    /// When set, a dedicated thread compacts tables off the write lock.
+    pub background: Option<BackgroundCompaction>,
+}
+
+/// Background-compaction tuning for [`HtapSystem::open_with`].
+#[derive(Debug, Clone)]
+pub struct BackgroundCompaction {
+    /// Compact a table once `delta rows + tombstones` reaches this.
+    pub min_delta_rows: usize,
+    /// How often the compactor thread re-checks the tables.
+    pub poll: Duration,
+}
+
+impl Default for BackgroundCompaction {
+    fn default() -> Self {
+        BackgroundCompaction {
+            min_delta_rows: 4096,
+            poll: Duration::from_millis(20),
+        }
+    }
+}
+
+/// What [`HtapSystem::open_with`] found and did on startup.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// True when the directory was empty and the database was generated
+    /// fresh (no recovery happened).
+    pub created: bool,
+    /// Manifest version the segments were loaded from.
+    pub manifest_version: u64,
+    /// Tables materialized from persistent segments.
+    pub tables_loaded: usize,
+    /// WAL records replayed on top of the segment snapshot.
+    pub wal_records_replayed: u64,
+    /// WAL generation files the replay walked.
+    pub wal_files_replayed: usize,
+    /// Bytes discarded from torn (partially flushed) WAL tails.
+    pub torn_bytes_discarded: u64,
+    /// Wall-clock time of the whole open (load + replay + index rebuild).
+    pub elapsed: Duration,
+}
+
+/// Durable-mode state shared by the write path, the checkpointer and the
+/// background compactor.
+struct DurabilityCtx {
+    /// Data directory holding `manifest.json`, `*.seg` and `wal.N`.
+    dir: PathBuf,
+    /// Group-commit write-ahead log (active generation).
+    wal: Wal,
+    /// Crash-injection hooks threaded through every durable I/O site.
+    fp: FailPoints,
+    /// Version counter: the last published manifest/checkpoint version.
+    version: AtomicU64,
+    /// Serializes checkpoints, durable sync compacts and background
+    /// compaction runs against each other. Critically this means a durable
+    /// `Compact` WAL record is only ever appended while no *other*
+    /// compaction's rid remap is armed, so log order ≡ replay order.
+    /// Lock order: `ckpt_lock` before the db lock, never the reverse.
+    ckpt_lock: Mutex<()>,
+}
+
+/// Stop flag + wakeup for the background compactor thread.
+struct CompactorShared {
+    stop: Mutex<bool>,
+    cv: Condvar,
+}
+
+struct CompactorHandle {
+    shared: Arc<CompactorShared>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CompactorHandle {
+    fn stop(&mut self) {
+        *self.shared.stop.lock().expect("compactor stop lock") = true;
+        self.shared.cv.notify_all();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
 /// The HTAP system: database + latency model + per-engine pipelines.
 ///
 /// The **query path is `&self`**: binding, planning and execution of reads
@@ -466,8 +752,24 @@ impl Database {
 /// place the data actually changes. The shared [`PlanCache`] serves
 /// prepared statements ([`crate::session::Session::prepare`]) across all
 /// sessions.
+///
+/// # Durability
+///
+/// [`HtapSystem::new`] builds an in-memory system (nothing survives drop).
+/// [`HtapSystem::open`] / [`HtapSystem::open_with`] attach a data
+/// directory: every committed DML statement is WAL-logged before its
+/// outcome is returned, [`HtapSystem::checkpoint`] publishes sealed column
+/// segments plus a manifest and truncates the log, and reopening the
+/// directory recovers byte-identical state (segments + WAL replay). See
+/// the [`crate::storage`] module docs for the full lifecycle.
 pub struct HtapSystem {
-    db: RwLock<Database>,
+    db: Arc<RwLock<Database>>,
+    /// Present iff the system was opened against a data directory.
+    durability: Option<Arc<DurabilityCtx>>,
+    /// Background compactor thread, when enabled in [`DurabilityOptions`].
+    compactor: Option<CompactorHandle>,
+    /// Startup report from [`HtapSystem::open_with`].
+    recovery: Option<RecoveryReport>,
     latency: LatencyModel,
     /// Parallelism knob for the AP batch executor (threads + morsel size).
     /// Defaults to the machine's available cores (`QPE_AP_THREADS` /
@@ -502,7 +804,10 @@ impl HtapSystem {
     /// Builds from an existing database.
     pub fn with_database(db: Database) -> Self {
         HtapSystem {
-            db: RwLock::new(db),
+            db: Arc::new(RwLock::new(db)),
+            durability: None,
+            compactor: None,
+            recovery: None,
             latency: LatencyModel::default(),
             exec_cfg: ExecConfig::global().clone(),
             // Explicit env request ⇒ priced; available-cores default ⇒ the
@@ -512,6 +817,294 @@ impl HtapSystem {
             pruning: true,
             plan_cache: PlanCache::default(),
         }
+    }
+
+    /// Opens (or creates) a durable system in `dir` with default options:
+    /// group-commit WAL, no failpoints, no background compactor.
+    ///
+    /// First open of an empty directory generates the database from
+    /// `config` and seals it as checkpoint 1; any later open ignores
+    /// `config` (the manifest's own config wins — the recovered data was
+    /// generated under it) and recovers: load the manifest's segments,
+    /// replay the WAL chain past the last checkpoint, rebuild indexes and
+    /// statistics. After recovery, TP scans, AP scans and index lookups see
+    /// exactly the committed pre-crash state.
+    pub fn open(dir: impl AsRef<Path>, config: &TpchConfig) -> Result<Self, HtapError> {
+        Self::open_with(dir, config, DurabilityOptions::default())
+    }
+
+    /// [`HtapSystem::open`] with explicit [`DurabilityOptions`].
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        config: &TpchConfig,
+        opts: DurabilityOptions,
+    ) -> Result<Self, HtapError> {
+        let started = Instant::now();
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| DurabilityError::Io(format!("create {}: {e}", dir.display())))?;
+        let fp = opts.failpoints.clone();
+
+        let manifest = persist::read_manifest(&dir)?;
+        let (db, wal, version, report) = match manifest {
+            None => {
+                // Fresh directory: generate, then seal everything as
+                // checkpoint 1 so a crash right after open recovers to the
+                // same generated state.
+                let db = Database::generate(config);
+                let wal_path = dir.join(persist::wal_file_name(1));
+                let wal_file = DurableFile::create(&wal_path, fp.clone(), "wal")?;
+                let wal = Wal::new(wal_file, opts.sync);
+                let snaps = db.snapshot_tables();
+                let mut tables = Vec::with_capacity(snaps.len());
+                for snap in &snaps {
+                    let file = persist::segment_file_name(&snap.name, 1);
+                    persist::write_segment(&dir.join(&file), snap, fp.clone())?;
+                    tables.push(SegmentRef {
+                        table: snap.name.clone(),
+                        file,
+                    });
+                }
+                fp.hit("ckpt:after_segments")?;
+                let m = Manifest {
+                    format: MANIFEST_FORMAT,
+                    version: 1,
+                    wal_gen: 1,
+                    catalog: db.catalog.clone(),
+                    stats: db.stats.clone(),
+                    config: db.config.clone(),
+                    tables,
+                };
+                persist::write_manifest(&dir, &m, &fp)?;
+                let report = RecoveryReport {
+                    created: true,
+                    manifest_version: 1,
+                    tables_loaded: snaps.len(),
+                    wal_records_replayed: 0,
+                    wal_files_replayed: 0,
+                    torn_bytes_discarded: 0,
+                    elapsed: started.elapsed(),
+                };
+                (db, wal, 1, report)
+            }
+            Some(m) => {
+                // Recover: segments give the checkpointed snapshot, the WAL
+                // chain replays everything committed since.
+                let mut col_tables = Vec::with_capacity(m.tables.len());
+                for seg in &m.tables {
+                    let cols = persist::read_segment(&dir.join(&seg.file))?;
+                    if cols.name() != seg.table {
+                        return Err(DurabilityError::Corrupt(format!(
+                            "segment {} holds table {:?}, manifest says {:?}",
+                            seg.file,
+                            cols.name(),
+                            seg.table
+                        ))
+                        .into());
+                    }
+                    col_tables.push(cols);
+                }
+                let tables_loaded = col_tables.len();
+                let mut db = Database::from_recovered(
+                    m.catalog.clone(),
+                    m.stats.clone(),
+                    m.config.clone(),
+                    col_tables,
+                )?;
+                let chain = persist::wal_chain(&dir, m.wal_gen);
+                let mut records_replayed = 0u64;
+                let mut torn_bytes = 0u64;
+                for (_, path) in &chain {
+                    let outcome = wal::read_wal_file(path)?;
+                    torn_bytes += outcome.truncated_bytes;
+                    for rec in outcome.records {
+                        db.replay_wal_record(rec);
+                        records_replayed += 1;
+                    }
+                }
+                // The newest generation (which replay just truncated to its
+                // last whole record) becomes the active log again.
+                let (active_gen, active_path) = chain
+                    .last()
+                    .cloned()
+                    .unwrap_or_else(|| (m.wal_gen, dir.join(persist::wal_file_name(m.wal_gen))));
+                let wal_file = if active_path.exists() {
+                    DurableFile::open_append(&active_path, fp.clone(), "wal")?
+                } else {
+                    DurableFile::create(&active_path, fp.clone(), "wal")?
+                };
+                let wal = Wal::new(wal_file, opts.sync);
+                persist::clean_stale(&dir, &m);
+                let report = RecoveryReport {
+                    created: false,
+                    manifest_version: m.version,
+                    tables_loaded,
+                    wal_records_replayed: records_replayed,
+                    wal_files_replayed: chain.len(),
+                    torn_bytes_discarded: torn_bytes,
+                    elapsed: started.elapsed(),
+                };
+                (db, wal, m.version.max(active_gen), report)
+            }
+        };
+
+        let mut sys = HtapSystem::with_database(db);
+        sys.durability = Some(Arc::new(DurabilityCtx {
+            dir,
+            wal,
+            fp,
+            version: AtomicU64::new(version),
+            ckpt_lock: Mutex::new(()),
+        }));
+        sys.recovery = Some(report);
+        if let Some(bg) = opts.background {
+            sys.start_compactor(bg);
+        }
+        Ok(sys)
+    }
+
+    /// The startup report, when this system was opened from a directory.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// WAL throughput counters (records appended, fsyncs issued), when
+    /// durable. `fsyncs < records` is the group-commit win.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durability.as_ref().map(|d| d.wal.stats())
+    }
+
+    /// Publishes a checkpoint: rotates the WAL to a fresh generation, seals
+    /// every table's current column-store state into versioned segment
+    /// files, swaps the manifest atomically, and removes the WAL
+    /// generations the new manifest no longer needs. Readers proceed
+    /// throughout; writers are excluded only while the snapshot is taken
+    /// (O(tables × width) `Arc` clones). Returns the new version.
+    pub fn checkpoint(&self) -> Result<u64, HtapError> {
+        let d = self
+            .durability
+            .as_ref()
+            .ok_or_else(|| DurabilityError::Io("checkpoint on a non-durable system".into()))?;
+        let _ckpt = d.ckpt_lock.lock().expect("ckpt lock poisoned");
+        let version = d.version.load(Ordering::SeqCst) + 1;
+        let new_wal_path = d.dir.join(persist::wal_file_name(version));
+        let new_wal = DurableFile::create(&new_wal_path, d.fp.clone(), "wal")?;
+        // Read lock: DML takes the write lock, so nothing can commit between
+        // the rotation point and the snapshot — the segments hold exactly
+        // the state the old log's tail described.
+        let db = self.db_read();
+        d.wal
+            .rotate(new_wal, WalRecord::Checkpoint { version })?;
+        let snaps = db.snapshot_tables();
+        let catalog = db.catalog.clone();
+        let stats = db.stats.clone();
+        let config = db.config.clone();
+        drop(db);
+        let mut tables = Vec::with_capacity(snaps.len());
+        for snap in &snaps {
+            let file = persist::segment_file_name(&snap.name, version);
+            persist::write_segment(&d.dir.join(&file), snap, d.fp.clone())?;
+            tables.push(SegmentRef {
+                table: snap.name.clone(),
+                file,
+            });
+        }
+        d.fp.hit("ckpt:after_segments")?;
+        let m = Manifest {
+            format: MANIFEST_FORMAT,
+            version,
+            wal_gen: version,
+            catalog,
+            stats,
+            config,
+            tables,
+        };
+        persist::write_manifest(&d.dir, &m, &d.fp)?;
+        d.version.store(version, Ordering::SeqCst);
+        persist::clean_stale(&d.dir, &m);
+        Ok(version)
+    }
+
+    /// Graceful shutdown: stop the compactor, publish a final checkpoint
+    /// (so the next open recovers from segments alone, replaying nothing).
+    pub fn close(mut self) -> Result<(), HtapError> {
+        if let Some(mut c) = self.compactor.take() {
+            c.stop();
+        }
+        if self.durability.is_some() {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    fn start_compactor(&mut self, cfg: BackgroundCompaction) {
+        let db = Arc::clone(&self.db);
+        let durability = self.durability.clone();
+        let shared = Arc::new(CompactorShared {
+            stop: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name("qpe-compactor".into())
+            .spawn(move || {
+                loop {
+                    {
+                        let stop = thread_shared.stop.lock().expect("compactor stop lock");
+                        if *stop {
+                            return;
+                        }
+                        let (stop, _) = thread_shared
+                            .cv
+                            .wait_timeout(stop, cfg.poll)
+                            .expect("compactor stop lock");
+                        if *stop {
+                            return;
+                        }
+                    }
+                    let candidates: Vec<String> = {
+                        let db = db.read().expect("database lock poisoned");
+                        db.tables
+                            .iter()
+                            .filter(|(_, st)| st.compaction_debt() >= cfg.min_delta_rows)
+                            .map(|(name, _)| name.clone())
+                            .collect()
+                    };
+                    for table in candidates {
+                        // Crash-injection errors surface on the write path
+                        // and at recovery; the compactor itself just moves
+                        // on (the next poll retries).
+                        let _ = background_compact_once(&db, durability.as_deref(), &table);
+                    }
+                }
+            })
+            .expect("spawn compactor thread");
+        self.compactor = Some(CompactorHandle {
+            shared,
+            join: Some(join),
+        });
+    }
+
+    /// Runs one background-compaction pass over every table that has any
+    /// delta rows or tombstones, regardless of thresholds. Exposed for
+    /// tests and benchmarks; the compactor thread does the same thing on a
+    /// timer.
+    pub fn background_compact_all(&self) -> Result<usize, HtapError> {
+        let tables: Vec<String> = {
+            let db = self.db_read();
+            db.tables
+                .iter()
+                .filter(|(_, st)| st.compaction_debt() > 0)
+                .map(|(name, _)| name.clone())
+                .collect()
+        };
+        let mut n = 0;
+        for table in tables {
+            if background_compact_once(&self.db, self.durability.as_deref(), &table)? {
+                n += 1;
+            }
+        }
+        Ok(n)
     }
 
     /// Enables/disables scan-predicate pushdown (zone-map pruning) for AP
@@ -534,12 +1127,15 @@ impl HtapSystem {
         self.db_read()
     }
 
-    /// Mutable database access (index creation). Requires exclusive system
-    /// access, so it bypasses the lock entirely. Physical-design changes
-    /// invalidate cached plans, so the plan cache is cleared.
-    pub fn database_mut(&mut self) -> &mut Database {
+    /// Mutable database access (index creation, compaction knobs).
+    /// Physical-design changes invalidate cached plans, so the plan cache
+    /// is cleared. The guard holds the write lock — keep it short-lived.
+    /// Changes made through this handle bypass the WAL; on a durable
+    /// system, follow up with [`HtapSystem::checkpoint`] if they must
+    /// survive a crash.
+    pub fn database_mut(&mut self) -> RwLockWriteGuard<'_, Database> {
         self.plan_cache.clear();
-        self.db.get_mut().expect("database lock poisoned")
+        self.db_write()
     }
 
     fn db_read(&self) -> RwLockReadGuard<'_, Database> {
@@ -715,11 +1311,42 @@ impl HtapSystem {
             Some(p) => p,
             None => tp::plan_dml(dml, db.stats(), db.catalog())?,
         };
-        let (result, counters) = exec::execute_dml(&plan, dml, &mut db)?;
+        if self.durability.is_some() {
+            db.begin_op_capture();
+        }
+        let exec_result = exec::execute_dml(&plan, dml, &mut db);
+        let (result, counters) = match exec_result {
+            Ok(rc) => rc,
+            Err(e) => {
+                // Validation failures reject the whole statement before any
+                // row is touched, so discarding the (empty) capture is safe.
+                db.take_op_capture();
+                return Err(e.into());
+            }
+        };
         let latency_ns = self.latency.tp_latency_ns(&counters);
         let freshness = db
             .freshness(&result.table)
             .expect("written table exists");
+        // Durable path: append under the write lock (log order = apply
+        // order), then release it and group-commit — concurrent writers
+        // proceed while this statement waits for its fsync batch.
+        let commit_lsn = match &self.durability {
+            Some(d) => {
+                let ops = db.take_op_capture();
+                let records = db.wal_records_for(&ops);
+                if records.is_empty() {
+                    None
+                } else {
+                    Some((Arc::clone(d), d.wal.append(&records)?))
+                }
+            }
+            None => None,
+        };
+        drop(db);
+        if let Some((d, lsn)) = commit_lsn {
+            d.wal.commit(lsn)?;
+        }
         Ok(DmlOutcome {
             sql: sql.to_string(),
             result,
@@ -732,9 +1359,39 @@ impl HtapSystem {
 
     /// Compacts one table (merging the AP delta into the base and dropping
     /// row-store tombstones). Takes the write lock internally. Returns false
-    /// for an unknown table.
+    /// for an unknown table. On a durable system the compaction is
+    /// WAL-logged (replay re-runs it at the same point in the op stream).
     pub fn compact(&self, table: &str) -> bool {
-        self.db_write().compact_table(table)
+        match &self.durability {
+            None => self.db_write().compact_table(table),
+            Some(d) => {
+                // ckpt_lock: a durable sync compact must not interleave with
+                // a background build's armed remap (see DurabilityCtx).
+                let _ckpt = d.ckpt_lock.lock().expect("ckpt lock poisoned");
+                let mut db = self.db_write();
+                let Some(st) = db.tables.get(table) else {
+                    return false;
+                };
+                let lsn = if st.is_dirty() {
+                    match d.wal.append(&[WalRecord::Compact {
+                        table: table.to_string(),
+                    }]) {
+                        Ok(lsn) => Some(lsn),
+                        Err(_) => return false,
+                    }
+                } else {
+                    None
+                };
+                let ok = db.compact_table(table);
+                drop(db);
+                if let Some(lsn) = lsn {
+                    if d.wal.commit(lsn).is_err() {
+                        return false;
+                    }
+                }
+                ok
+            }
+        }
     }
 
     /// Freshness snapshot of one table.
@@ -786,6 +1443,61 @@ impl HtapSystem {
             ap,
         })
     }
+}
+
+impl Drop for HtapSystem {
+    fn drop(&mut self) {
+        if let Some(mut c) = self.compactor.take() {
+            c.stop();
+        }
+        // Crash-consistency means an unclean drop loses nothing committed;
+        // flushing here is just courtesy for buffered-but-unacked appends.
+        if let Some(d) = &self.durability {
+            let _ = d.wal.flush_all();
+        }
+    }
+}
+
+/// One background-compaction cycle for one table: snapshot under a brief
+/// write lock, build the compacted state (encode, zones, stats, indexes)
+/// entirely off-lock, swap it in under a second brief lock and re-apply
+/// the writes that landed in between. On a durable system the `Compact`
+/// record is appended at the snapshot point and every concurrent write's
+/// WAL record is rid-translated into the post-compaction space, so replay
+/// reproduces the exact same state.
+///
+/// Returns `Ok(false)` when there was nothing to compact or a synchronous
+/// compact made the build stale.
+fn background_compact_once(
+    db: &RwLock<Database>,
+    durability: Option<&DurabilityCtx>,
+    table: &str,
+) -> Result<bool, HtapError> {
+    // Held for the whole cycle when durable: checkpoints and durable sync
+    // compacts never observe a half-done background build's remap.
+    let _ckpt = durability.map(|d| d.ckpt_lock.lock().expect("ckpt lock poisoned"));
+    let durable = durability.is_some();
+    let snapshot = {
+        let mut db = db.write().expect("database lock poisoned");
+        let Some(snapshot) = db.begin_background_compact(table, durable) else {
+            return Ok(false);
+        };
+        if let Some(d) = durability {
+            if let Err(e) = d.wal.append(&[WalRecord::Compact {
+                table: table.to_string(),
+            }]) {
+                db.abort_background_compact(table);
+                return Err(e.into());
+            }
+        }
+        snapshot
+    };
+    // The Compact record rides with the next group commit (or the final
+    // flush); ordering is what matters and append fixed that under the
+    // lock.
+    let built = snapshot.build();
+    let mut db = db.write().expect("database lock poisoned");
+    Ok(db.finish_background_compact(table, built))
 }
 
 /// Engine-agreement gate shared by the ad-hoc and prepared paths.

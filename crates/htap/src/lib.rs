@@ -121,6 +121,48 @@
 //!   serial — rows and counters alike, at any thread count, on clean and
 //!   dirty tables.
 //!
+//! # Durability & crash recovery
+//!
+//! [`engine::HtapSystem::open`] attaches a data directory and makes the
+//! system crash-safe; [`engine::HtapSystem::new`] remains the pure
+//! in-memory construction. Durability is layered under the engines, never
+//! beside them — the row store, column store, indexes and statistics are
+//! rebuilt from persistent state rather than serialized wholesale:
+//!
+//! * **Group-commit WAL** ([`storage::wal`]): every committed DML statement
+//!   appends length-prefixed, CRC32-checksummed records *under the write
+//!   lock* (log order ≡ apply order) and fsyncs *after releasing it* —
+//!   concurrent committers share one fsync via a leader/follower protocol
+//!   ([`storage::SyncPolicy::GroupCommit`]), so WAL throughput scales with
+//!   batch size, not fsync latency.
+//! * **Sealed column segments** ([`storage::persist`]): checkpoints write
+//!   each table's column-store state — encoded base columns (dictionary,
+//!   RLE, null masks preserved exactly), delta region, tombstone bitmap —
+//!   into versioned, checksummed segment files, then publish them with an
+//!   atomic manifest swap (`manifest.tmp` → fsync → rename). The WAL
+//!   rotates to a fresh generation at the same point, so old generations
+//!   and segments become garbage the new manifest sweeps.
+//! * **Recovery** (`open` of a non-empty directory): load the manifest's
+//!   segments, replay the WAL chain through the same `apply_*` entry
+//!   points the live statements used, rebuild B-tree indexes over live
+//!   rows, and restore catalog + statistics from the manifest. Torn WAL
+//!   tails and half-written segments/manifests are detected by checksum
+//!   and discarded — recovery returns a [`engine::RecoveryReport`], never
+//!   panics on partial state.
+//! * **Background compaction** ([`engine::DurabilityOptions::background`]):
+//!   a dedicated thread snapshots a dirty table under a brief write lock,
+//!   builds the compacted state (encoding, zone maps, indexes, stats)
+//!   entirely off-lock, then swaps it in and re-applies the write window
+//!   that accumulated meanwhile — writers stay live throughout. In durable
+//!   mode the `Compact` WAL record lands at the snapshot point and
+//!   concurrent writes are rid-translated so replay converges on the same
+//!   bytes.
+//!
+//! The crash-injection harness (`tests/crash_recovery.rs`) drives random
+//! DML/compact/checkpoint interleavings into simulated kills at every
+//! durable I/O site and asserts recovered TP ≡ recovered AP ≡ an oracle
+//! applying exactly the committed prefix.
+//!
 //! **Why counters must stay identical across modes:** everything downstream
 //! consumes [`exec::WorkCounters`], not wall-clock — the latency model turns
 //! counters into deterministic simulated latencies, those latencies pick the
@@ -149,10 +191,11 @@ pub mod storage;
 pub mod tpch;
 
 pub use engine::{
-    Database, DmlOutcome, EngineKind, EngineRun, HtapSystem, QueryOutcome, StatementOutcome,
+    BackgroundCompaction, Database, DmlOutcome, DurabilityOptions, EngineKind, EngineRun,
+    HtapSystem, QueryOutcome, RecoveryReport, StatementOutcome,
 };
 pub use exec::{DmlKind, DmlResult, ExecConfig};
 pub use plan::{NodeType, PlanNode};
 pub use session::{PlanCacheStats, PreparedStatement, Session};
-pub use storage::TableFreshness;
+pub use storage::{DurabilityError, FailPoints, SyncPolicy, TableFreshness, WalStats};
 pub use tpch::TpchConfig;

@@ -34,7 +34,7 @@ use crate::plan::PlanNode;
 use qpe_sql::binder::{coerce_param, substitute_params, BoundDml, BoundExpr, BoundQuery, BoundStatement};
 use qpe_sql::catalog::DataType;
 use qpe_sql::value::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -53,6 +53,9 @@ pub struct PlanCacheStats {
     pub entries: usize,
     /// Maximum resident statements before LRU eviction.
     pub capacity: usize,
+    /// First-seen statements the doorkeeper kept out of a full cache
+    /// (admitted only if prepared again while on probation).
+    pub doorkeeper_deferrals: u64,
 }
 
 impl PlanCacheStats {
@@ -79,16 +82,26 @@ struct CacheSlot {
 struct PlanCacheInner {
     map: HashMap<String, CacheSlot>,
     stamp: u64,
+    /// Doorkeeper probation queue (FIFO, bounded to 2× capacity): the
+    /// fingerprints of statements that missed while the cache was full.
+    /// Only a *second* front-end run while on probation earns admission —
+    /// a stream of ad-hoc one-shot statements therefore churns this queue
+    /// instead of evicting the resident hot set.
+    probation: VecDeque<String>,
 }
 
 /// System-wide LRU cache of prepared statements, shared by every session.
 /// Lookups bump an access stamp; inserts beyond capacity evict the
-/// least-recently-used entry. Hit/miss counters are lock-free.
+/// least-recently-used entry — but only for statements that have earned
+/// admission: once the cache is full, a first-seen statement goes on
+/// doorkeeper probation rather than evicting a resident entry (see
+/// [`PlanCacheInner::probation`]). Hit/miss counters are lock-free.
 pub struct PlanCache {
     inner: Mutex<PlanCacheInner>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    doorkeeper_deferrals: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -105,6 +118,7 @@ impl PlanCache {
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            doorkeeper_deferrals: AtomicU64::new(0),
         }
     }
 
@@ -134,6 +148,23 @@ impl PlanCache {
         inner.stamp += 1;
         let stamp = inner.stamp;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&fingerprint) {
+            // Doorkeeper admission: evicting a resident (proven-reused)
+            // entry for a first-seen statement is only worth it if that
+            // statement shows up again. First sighting goes on probation;
+            // the second sighting pays the eviction.
+            match inner.probation.iter().position(|p| p == &fingerprint) {
+                None => {
+                    if inner.probation.len() >= 2 * self.capacity {
+                        inner.probation.pop_front();
+                    }
+                    inner.probation.push_back(fingerprint);
+                    self.doorkeeper_deferrals.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Some(i) => {
+                    inner.probation.remove(i);
+                }
+            }
             // O(n) LRU eviction — n is the (small) cache capacity, and this
             // only runs on insert-at-capacity, never on the hit path.
             if let Some(victim) = inner
@@ -150,7 +181,9 @@ impl PlanCache {
 
     /// Drops every entry (prepared handles keep their `Arc`'d statements).
     pub fn clear(&self) {
-        self.lock().map.clear();
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.probation.clear();
     }
 
     /// Counter snapshot.
@@ -160,6 +193,7 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.lock().map.len(),
             capacity: self.capacity,
+            doorkeeper_deferrals: self.doorkeeper_deferrals.load(Ordering::Relaxed),
         }
     }
 }
@@ -475,35 +509,72 @@ mod tests {
         assert!(after.hit_rate() > 0.0);
     }
 
+    fn mk_stmt(sql: &str) -> Arc<CachedStatement> {
+        Arc::new(CachedStatement {
+            sql: sql.to_string(),
+            kind: CachedKind::Dml {
+                dml: BoundDml::Insert(qpe_sql::binder::BoundInsert {
+                    table: "t".into(),
+                    rows: vec![],
+                    param_slots: vec![],
+                    params: vec![],
+                }),
+                plan: PlanNode::new(
+                    crate::plan::NodeType::Insert,
+                    crate::plan::PlanOp::Insert { table: "t".into(), rows: 0 },
+                ),
+            },
+        })
+    }
+
     #[test]
-    fn plan_cache_evicts_lru() {
+    fn plan_cache_evicts_lru_among_admitted_entries() {
         let cache = PlanCache::with_capacity(2);
-        let mk = |sql: &str| {
-            Arc::new(CachedStatement {
-                sql: sql.to_string(),
-                kind: CachedKind::Dml {
-                    dml: BoundDml::Insert(qpe_sql::binder::BoundInsert {
-                        table: "t".into(),
-                        rows: vec![],
-                        param_slots: vec![],
-                        params: vec![],
-                    }),
-                    plan: PlanNode::new(
-                        crate::plan::NodeType::Insert,
-                        crate::plan::PlanOp::Insert { table: "t".into(), rows: 0 },
-                    ),
-                },
-            })
-        };
-        cache.insert("a".into(), mk("a"));
-        cache.insert("b".into(), mk("b"));
+        cache.insert("a".into(), mk_stmt("a"));
+        cache.insert("b".into(), mk_stmt("b"));
         assert!(cache.get("a").is_some()); // a is now fresher than b
-        cache.insert("c".into(), mk("c")); // evicts b
-        assert!(cache.get("b").is_none());
-        assert!(cache.get("a").is_some());
+        // First sighting of c at capacity: doorkeeper defers it.
+        cache.insert("c".into(), mk_stmt("c"));
+        assert!(cache.get("c").is_none());
+        assert!(cache.get("b").is_some(), "resident entry survives a one-shot");
+        assert_eq!(cache.stats().doorkeeper_deferrals, 1);
+        // Second sighting: admitted, evicting the LRU entry (a).
+        cache.insert("c".into(), mk_stmt("c"));
+        assert!(cache.get("a").is_none());
+        assert!(cache.get("b").is_some());
         assert!(cache.get("c").is_some());
         assert_eq!(cache.stats().entries, 2);
         assert_eq!(cache.stats().capacity, 2);
+    }
+
+    #[test]
+    fn doorkeeper_preserves_hot_set_hit_rate_under_one_shot_flood() {
+        // Hot set exactly fills the cache; a long stream of distinct
+        // ad-hoc statements then floods it, interleaved with hot
+        // lookups. Without the doorkeeper every flood statement would
+        // evict a hot entry (each interleaved hot lookup would miss);
+        // with it the hot set stays resident and keeps hitting.
+        let cache = PlanCache::with_capacity(4);
+        let hot: Vec<String> = (0..4).map(|i| format!("hot{i}")).collect();
+        for h in &hot {
+            cache.insert(h.clone(), mk_stmt(h));
+        }
+        for round in 0..50 {
+            let ad_hoc = format!("adhoc{round}");
+            assert!(cache.get(&ad_hoc).is_none());
+            cache.insert(ad_hoc.clone(), mk_stmt(&ad_hoc));
+            for h in &hot {
+                assert!(cache.get(h).is_some(), "hot statement evicted by one-shot flood");
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.doorkeeper_deferrals, 50);
+        // 4 hot lookups per round all hit; only the ad-hoc probes miss.
+        assert_eq!(stats.hits, 200);
+        assert_eq!(stats.misses, 50);
+        assert!(stats.hit_rate() > 0.79, "hit rate {}", stats.hit_rate());
+        // Probation is bounded: a flood can't grow it past 2x capacity.
+        assert!(cache.lock().probation.len() <= 8);
     }
 
     #[test]

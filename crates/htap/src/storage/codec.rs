@@ -1,0 +1,229 @@
+//! Panic-free binary codec shared by the WAL and the segment files.
+//!
+//! Writers append to a `Vec<u8>`; the [`Reader`] is a bounds-checked cursor
+//! whose every accessor returns [`DurabilityError::Corrupt`] instead of
+//! panicking, because recovery feeds it *deliberately torn* bytes — the
+//! crash harness cuts files mid-record and recovery must classify that as a
+//! discardable tail, never as a crash of its own.
+//!
+//! All integers are little-endian. Strings are `u32` length + UTF-8 bytes.
+
+use super::durable_io::DurabilityError;
+use qpe_sql::value::Value;
+
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i32(buf: &mut Vec<u8>, v: i32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked read cursor over untrusted bytes.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DurabilityError> {
+        if self.remaining() < n {
+            return Err(DurabilityError::Corrupt(format!(
+                "need {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, DurabilityError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, DurabilityError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, DurabilityError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64, DurabilityError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn i32(&mut self) -> Result<i32, DurabilityError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, DurabilityError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length-prefixed count that must still be plausible given the bytes
+    /// that remain (`min_bytes_each` per element), so a torn length prefix
+    /// can't drive a multi-gigabyte allocation.
+    pub(crate) fn count(&mut self, min_bytes_each: usize) -> Result<usize, DurabilityError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_bytes_each.max(1)) > self.remaining() {
+            return Err(DurabilityError::Corrupt(format!(
+                "count {n} implausible with {} bytes remaining",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn str_(&mut self) -> Result<String, DurabilityError> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DurabilityError::Corrupt("invalid UTF-8 string".into()))
+    }
+}
+
+/// Value tags: 0=Null 1=Int 2=Float 3=Str 4=Date.
+pub(crate) fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => put_u8(buf, 0),
+        Value::Int(x) => {
+            put_u8(buf, 1);
+            put_i64(buf, *x);
+        }
+        Value::Float(x) => {
+            put_u8(buf, 2);
+            put_f64(buf, *x);
+        }
+        Value::Str(s) => {
+            put_u8(buf, 3);
+            put_str(buf, s);
+        }
+        Value::Date(d) => {
+            put_u8(buf, 4);
+            put_i32(buf, *d);
+        }
+    }
+}
+
+pub(crate) fn read_value(r: &mut Reader<'_>) -> Result<Value, DurabilityError> {
+    Ok(match r.u8()? {
+        0 => Value::Null,
+        1 => Value::Int(r.i64()?),
+        2 => Value::Float(r.f64()?),
+        3 => Value::Str(r.str_()?),
+        4 => Value::Date(r.i32()?),
+        t => return Err(DurabilityError::Corrupt(format!("unknown value tag {t}"))),
+    })
+}
+
+pub(crate) fn put_row(buf: &mut Vec<u8>, row: &[Value]) {
+    put_u32(buf, row.len() as u32);
+    for v in row {
+        put_value(buf, v);
+    }
+}
+
+pub(crate) fn read_row(r: &mut Reader<'_>) -> Result<Vec<Value>, DurabilityError> {
+    let n = r.count(1)?;
+    (0..n).map(|_| read_value(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i64(&mut buf, -42);
+        put_i32(&mut buf, -7);
+        put_f64(&mut buf, 2.5);
+        put_str(&mut buf, "héllo");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.i32().unwrap(), -7);
+        assert_eq!(r.f64().unwrap(), 2.5);
+        assert_eq!(r.str_().unwrap(), "héllo");
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let vals = [
+            Value::Null,
+            Value::Int(i64::MIN),
+            Value::Float(-0.0),
+            Value::Str("x'y\"z".into()),
+            Value::Date(-1),
+        ];
+        let mut buf = Vec::new();
+        put_row(&mut buf, &vals);
+        let mut r = Reader::new(&buf);
+        let back = read_row(&mut r).unwrap();
+        assert_eq!(back.len(), 5);
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.total_cmp(b), std::cmp::Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_error_instead_of_panicking() {
+        // Truncated string.
+        let mut buf = Vec::new();
+        put_str(&mut buf, "hello");
+        buf.truncate(6);
+        assert!(Reader::new(&buf).str_().is_err());
+        // Implausible count (would allocate gigabytes from 4 bytes).
+        let huge = u32::MAX.to_le_bytes();
+        assert!(Reader::new(&huge).count(8).is_err());
+        // Unknown value tag.
+        assert!(read_value(&mut Reader::new(&[9u8])).is_err());
+        // Invalid UTF-8.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(Reader::new(&buf).str_().is_err());
+    }
+}

@@ -57,6 +57,7 @@
 
 use super::zone::{self, BlockZone};
 use qpe_sql::value::Value;
+use std::sync::Arc;
 
 /// Minimum base-segment length before the encoder considers dictionary/RLE
 /// representations (tiny columns gain nothing and keep tests transparent).
@@ -685,8 +686,11 @@ impl<'a> ColRef<'a> {
 #[derive(Debug)]
 pub struct ColumnTable {
     name: String,
-    /// Base segment — immutable between compactions.
-    base: Vec<ColumnData>,
+    /// Base segment — immutable between compactions. Behind an `Arc` so
+    /// checkpoints and background compaction snapshot it in O(1) under the
+    /// write lock and do their heavy work (serialization, re-encoding)
+    /// without blocking writers.
+    base: Arc<Vec<ColumnData>>,
     /// Delta segment — append-only typed builders, one per column.
     delta: Vec<ColumnData>,
     base_rows: usize,
@@ -719,7 +723,7 @@ impl ColumnTable {
         let delta = base.iter().map(|c| c.empty_like()).collect();
         let mut t = ColumnTable {
             name: name.to_string(),
-            base,
+            base: Arc::new(base),
             delta,
             base_rows: rows,
             delta_rows: 0,
@@ -916,7 +920,7 @@ impl ColumnTable {
         }
         self.base_rows = live.len();
         self.delta = new_base.iter().map(|c| c.empty_like()).collect();
-        self.base = new_base;
+        self.base = Arc::new(new_base);
         self.delta_rows = 0;
         self.deleted = vec![false; self.base_rows];
         self.n_deleted = 0;
@@ -940,6 +944,138 @@ impl ColumnTable {
             })
             .collect()
     }
+
+    /// O(base-width) consistent snapshot of the full physical state: the
+    /// base columns are shared (`Arc` bump), only the delta builders and
+    /// the tombstone bitmap — both bounded by the write backlog — are
+    /// copied. Checkpoints serialize from this and background compaction
+    /// rebuilds from this, so neither holds the write lock while working.
+    pub fn snapshot(&self) -> ColumnTableSnapshot {
+        ColumnTableSnapshot {
+            name: self.name.clone(),
+            base: Arc::clone(&self.base),
+            delta: self.delta.clone(),
+            deleted: self.deleted.clone(),
+            base_rows: self.base_rows,
+            delta_rows: self.delta_rows,
+            version: self.version,
+            block_rows_override: self.block_rows_override,
+        }
+    }
+
+    /// Rebuilds a table from recovered (deserialized) physical state.
+    /// Zones are recomputed, not persisted — they are deterministic over
+    /// the base, and recomputing keeps segment files smaller and simpler.
+    pub(crate) fn from_parts(
+        name: String,
+        base: Vec<ColumnData>,
+        delta: Vec<ColumnData>,
+        deleted: Vec<bool>,
+        version: u64,
+        block_rows_override: Option<usize>,
+    ) -> ColumnTable {
+        let base_rows = base.first().map(|c| c.len()).unwrap_or(0);
+        let delta_rows = delta.first().map(|c| c.len()).unwrap_or(0);
+        let n_deleted = deleted.iter().filter(|&&d| d).count();
+        let block_rows = block_rows_override.unwrap_or_else(|| zone::default_block_rows(base_rows));
+        let mut t = ColumnTable {
+            name,
+            base: Arc::new(base),
+            delta,
+            base_rows,
+            delta_rows,
+            deleted,
+            n_deleted,
+            version,
+            block_rows,
+            block_rows_override,
+            zones: Vec::new(),
+        };
+        t.rebuild_zones();
+        t
+    }
+
+    /// Atomically installs a compacted base built *offline* by background
+    /// compaction (from a snapshot taken at `new_version - 1`). Equivalent
+    /// to what [`ColumnTable::compact`] would have produced at snapshot
+    /// time: fresh empty delta, clear bitmap, precomputed zones.
+    pub(crate) fn install_compacted(&mut self, built: CompactedCols) {
+        debug_assert_eq!(built.base.len(), self.base.len(), "width preserved");
+        self.base_rows = built.n_live;
+        self.delta = built.base.iter().map(|c| c.empty_like()).collect();
+        self.base = Arc::new(built.base);
+        self.delta_rows = 0;
+        self.deleted = vec![false; built.n_live];
+        self.n_deleted = 0;
+        self.version = built.new_version;
+        self.block_rows = built.block_rows;
+        self.zones = built.zones;
+    }
+}
+
+/// Consistent point-in-time view of a [`ColumnTable`]'s physical state
+/// (shared base + copied delta/bitmap). See [`ColumnTable::snapshot`].
+#[derive(Debug, Clone)]
+pub struct ColumnTableSnapshot {
+    /// Table name.
+    pub name: String,
+    /// Shared immutable base columns.
+    pub base: Arc<Vec<ColumnData>>,
+    /// Copied delta builders (bounded by the write backlog).
+    pub delta: Vec<ColumnData>,
+    /// Copied tombstone bitmap over `base + delta`.
+    pub deleted: Vec<bool>,
+    /// Rows in the base segment.
+    pub base_rows: usize,
+    /// Rows in the delta segment.
+    pub delta_rows: usize,
+    /// Version stamp at snapshot time.
+    pub version: u64,
+    /// Pinned zone block size, if any.
+    pub block_rows_override: Option<usize>,
+}
+
+impl ColumnTableSnapshot {
+    /// Delta-aware column view over the snapshot (same shape as
+    /// [`ColumnTable::column_ref`]).
+    pub fn column_ref(&self, ci: usize) -> ColRef<'_> {
+        if self.delta_rows == 0 {
+            ColRef::Single(&self.base[ci])
+        } else {
+            ColRef::Chunked { base: &self.base[ci], delta: &self.delta[ci] }
+        }
+    }
+
+    /// Physical rids of live rows, ascending (the order compaction packs).
+    pub fn live_rids(&self) -> Vec<u32> {
+        (0..(self.base_rows + self.delta_rows) as u32)
+            .filter(|&rid| !self.deleted[rid as usize])
+            .collect()
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.base.len()
+    }
+}
+
+/// A compacted base built offline from a [`ColumnTableSnapshot`], ready for
+/// [`ColumnTable::install_compacted`] under a brief write lock.
+#[derive(Debug)]
+pub(crate) struct CompactedCols {
+    /// Re-gathered, re-encoded base columns (live rows only).
+    pub base: Vec<ColumnData>,
+    /// Live row count of the new base.
+    pub n_live: usize,
+    /// Zone block size for the new base.
+    pub block_rows: usize,
+    /// Precomputed zone headers for the new base.
+    pub zones: Vec<Vec<BlockZone>>,
+    /// Version the table takes at install: snapshot version + 1, exactly
+    /// the stamp a synchronous compact at snapshot time would have left,
+    /// so WAL replay (which re-runs the compact at that point) converges
+    /// on identical version numbers.
+    pub new_version: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,324 @@
+//! Crash-aware file I/O: the thin layer every durable byte passes through.
+//!
+//! Durability code is only as trustworthy as its failure testing, so this
+//! module makes the failure model *explicit and injectable*:
+//!
+//! * [`DurableFile`] simulates the page cache: `write` buffers bytes in
+//!   memory and only [`DurableFile::flush`] moves them to the OS file and
+//!   `fsync`s. A crash between `write` and `flush` therefore loses exactly
+//!   the unflushed suffix — the same contract a real kernel gives a real
+//!   database after a power cut.
+//! * [`FailPoints`] is a per-system registry of armed crash sites. Every
+//!   flush (and a few non-file control points like the manifest rename)
+//!   consults it; when a site fires, the file persists only a prefix of the
+//!   pending bytes (a *torn write*) and the whole registry trips into a
+//!   poisoned state where every further I/O returns
+//!   [`DurabilityError::Crashed`] — the process is "dead" from the storage
+//!   layer's point of view, even though the test harness keeps running and
+//!   can immediately re-open the directory to exercise recovery.
+//!
+//! Fail points are deliberately per-system (not global) so crash tests run
+//! in parallel, and [`crc32`] is the checksum every WAL record and segment
+//! file carries so recovery can *detect* the torn suffixes this module
+//! creates.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Errors from the durability layer (WAL, segments, manifest, recovery).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurabilityError {
+    /// Underlying filesystem error.
+    Io(String),
+    /// A simulated crash fired (or the system is poisoned by an earlier
+    /// one): no further I/O will succeed until the directory is re-opened.
+    Crashed,
+    /// Persistent state failed validation (checksum mismatch, bad magic,
+    /// truncated payload, undecodable record).
+    Corrupt(String),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "io: {e}"),
+            DurabilityError::Crashed => write!(f, "simulated crash (storage poisoned)"),
+            DurabilityError::Corrupt(e) => write!(f, "corrupt persistent state: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Io(e.to_string())
+    }
+}
+
+/// One armed crash site.
+#[derive(Debug, Clone)]
+struct ArmedPoint {
+    /// Fire on the n-th hit (1 = the very next hit).
+    countdown: u32,
+    /// Fraction of pending bytes that still reach the file at a flush site
+    /// before the crash (0.0 = nothing, 0.5 = torn in half, 1.0 = the flush
+    /// itself completes and the crash lands just after).
+    keep_fraction: f64,
+}
+
+#[derive(Debug, Default)]
+struct FailPointsInner {
+    armed: Mutex<HashMap<String, ArmedPoint>>,
+    crashed: AtomicBool,
+}
+
+/// Injectable crash-site registry, shared by every durable file of one
+/// system. Cloning shares the registry.
+#[derive(Debug, Clone, Default)]
+pub struct FailPoints {
+    inner: Arc<FailPointsInner>,
+}
+
+impl FailPoints {
+    /// Arms `site` to crash on its `countdown`-th hit, persisting none of
+    /// the bytes pending at that point.
+    pub fn arm(&self, site: &str, countdown: u32) {
+        self.arm_partial(site, countdown, 0.0);
+    }
+
+    /// Arms `site` to crash on its `countdown`-th hit after persisting
+    /// `keep_fraction` of the pending bytes — the torn-write case recovery
+    /// checksums exist for.
+    pub fn arm_partial(&self, site: &str, countdown: u32, keep_fraction: f64) {
+        let mut armed = lock_unpoisoned(&self.inner.armed);
+        armed.insert(
+            site.to_string(),
+            ArmedPoint { countdown: countdown.max(1), keep_fraction: keep_fraction.clamp(0.0, 1.0) },
+        );
+    }
+
+    /// True once any armed site has fired (every later I/O call fails).
+    pub fn crashed(&self) -> bool {
+        self.inner.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Trips the crashed state directly (an "anywhere" kill, no site).
+    pub fn trip(&self) {
+        self.inner.crashed.store(true, Ordering::SeqCst);
+    }
+
+    /// Records a hit on `site`. Returns `Some(keep_fraction)` when the site
+    /// fires now (and poisons the registry), `Err` when already poisoned.
+    pub(crate) fn observe(&self, site: &str) -> Result<Option<f64>, DurabilityError> {
+        if self.crashed() {
+            return Err(DurabilityError::Crashed);
+        }
+        let mut armed = lock_unpoisoned(&self.inner.armed);
+        let Some(point) = armed.get_mut(site) else {
+            return Ok(None);
+        };
+        point.countdown -= 1;
+        if point.countdown > 0 {
+            return Ok(None);
+        }
+        let keep = point.keep_fraction;
+        armed.remove(site);
+        self.inner.crashed.store(true, Ordering::SeqCst);
+        Ok(Some(keep))
+    }
+
+    /// Control-point check for non-file sites (e.g. around the manifest
+    /// rename): errors if the site fires or the registry is poisoned.
+    pub(crate) fn hit(&self, site: &str) -> Result<(), DurabilityError> {
+        match self.observe(site)? {
+            Some(_) => Err(DurabilityError::Crashed),
+            None => Ok(()),
+        }
+    }
+}
+
+fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A file whose writes buffer in memory (the simulated page cache) until
+/// [`DurableFile::flush`] pushes them down with an `fsync`. All durability
+/// code writes through this type so the crash harness controls exactly
+/// which bytes survive.
+#[derive(Debug)]
+pub struct DurableFile {
+    file: File,
+    /// Bytes written but not yet flushed — lost on crash.
+    pending: Vec<u8>,
+    fp: FailPoints,
+    /// Fail-point site consulted by every flush of this file.
+    site: &'static str,
+}
+
+impl DurableFile {
+    /// Creates (truncating) a file for writing.
+    pub fn create(
+        path: &Path,
+        fp: FailPoints,
+        site: &'static str,
+    ) -> Result<DurableFile, DurabilityError> {
+        if fp.crashed() {
+            return Err(DurabilityError::Crashed);
+        }
+        let file = File::create(path)?;
+        Ok(DurableFile { file, pending: Vec::new(), fp, site })
+    }
+
+    /// Opens a file for appending (recovery re-opens the tail WAL file).
+    pub fn open_append(
+        path: &Path,
+        fp: FailPoints,
+        site: &'static str,
+    ) -> Result<DurableFile, DurabilityError> {
+        if fp.crashed() {
+            return Err(DurabilityError::Crashed);
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(DurableFile { file, pending: Vec::new(), fp, site })
+    }
+
+    /// Buffers bytes (nothing durable yet).
+    pub fn write(&mut self, bytes: &[u8]) -> Result<(), DurabilityError> {
+        if self.fp.crashed() {
+            return Err(DurabilityError::Crashed);
+        }
+        self.pending.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Pushes pending bytes to the file and `fsync`s. If the flush site is
+    /// armed, only the configured prefix of the pending bytes reaches the
+    /// file (torn write) and the call fails with
+    /// [`DurabilityError::Crashed`].
+    pub fn flush(&mut self) -> Result<(), DurabilityError> {
+        match self.fp.observe(self.site)? {
+            None => {
+                self.file.write_all(&self.pending)?;
+                self.file.sync_data()?;
+                self.pending.clear();
+                Ok(())
+            }
+            Some(keep_fraction) => {
+                let keep = (self.pending.len() as f64 * keep_fraction).floor() as usize;
+                let keep = keep.min(self.pending.len());
+                // Best-effort torn write: the prefix that "made it to disk"
+                // before the kill.
+                let _ = self.file.write_all(&self.pending[..keep]);
+                let _ = self.file.sync_data();
+                self.pending.clear();
+                Err(DurabilityError::Crashed)
+            }
+        }
+    }
+
+    /// Bytes buffered but not yet flushed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+// NOTE: no flush-on-Drop. A dropped DurableFile loses its pending bytes —
+// exactly the crash semantics the harness relies on.
+
+const CRC32_POLY: u32 = 0xEDB8_8320;
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { CRC32_POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// IEEE CRC-32 (the zlib polynomial), table-driven. Every WAL record and
+/// segment file carries one so recovery can tell a torn tail from good data.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn unflushed_writes_are_lost_and_flush_persists() {
+        let dir = std::env::temp_dir().join(format!("qpe_dio_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f1");
+        let fp = FailPoints::default();
+        let mut f = DurableFile::create(&path, fp.clone(), "t").unwrap();
+        f.write(b"hello").unwrap();
+        assert_eq!(f.pending_len(), 5);
+        assert_eq!(std::fs::read(&path).unwrap(), b"");
+        f.flush().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        f.write(b" world").unwrap();
+        drop(f); // crash before flush: suffix lost
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn armed_flush_tears_the_write_and_poisons_everything() {
+        let dir = std::env::temp_dir().join(format!("qpe_dio_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f2");
+        let fp = FailPoints::default();
+        fp.arm_partial("t", 2, 0.5);
+        let mut f = DurableFile::create(&path, fp.clone(), "t").unwrap();
+        f.write(b"aaaa").unwrap();
+        f.flush().unwrap(); // hit 1: survives
+        f.write(b"bbbb").unwrap();
+        assert_eq!(f.flush(), Err(DurabilityError::Crashed)); // hit 2: torn
+        assert_eq!(std::fs::read(&path).unwrap(), b"aaaabb");
+        assert!(fp.crashed());
+        // Everything is poisoned from here on.
+        assert_eq!(f.write(b"x"), Err(DurabilityError::Crashed));
+        assert!(DurableFile::create(&path, fp.clone(), "t").is_err());
+        assert_eq!(fp.hit("other"), Err(DurabilityError::Crashed));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn countdown_and_plain_sites() {
+        let fp = FailPoints::default();
+        fp.arm("ctl", 3);
+        assert!(fp.hit("ctl").is_ok());
+        assert!(fp.hit("other").is_ok());
+        assert!(fp.hit("ctl").is_ok());
+        assert_eq!(fp.hit("ctl"), Err(DurabilityError::Crashed));
+        assert!(fp.crashed());
+    }
+}

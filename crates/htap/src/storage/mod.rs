@@ -1,6 +1,8 @@
-//! Dual-format mutable storage: a row store with B-tree indexes (TP side)
-//! and a column store with a versioned delta region (AP side), kept in sync
-//! by applying every write to both.
+//! Dual-format mutable storage — row store + column store sharing one rid
+//! space — plus the durability subsystem (WAL, segments, manifest,
+//! checkpoints) that makes that state survive a kill.
+//!
+//! # The in-memory pair
 //!
 //! The paper's ByteHTAP keeps a row-oriented copy for the TP engine and a
 //! column-oriented copy for the AP engine *with high data freshness*. Here
@@ -9,55 +11,91 @@
 //! * the **row store** applies writes directly — inserts append, deletes
 //!   tombstone, updates relocate the tuple (heap-update style) — and every
 //!   B-tree index is maintained in place on each write;
-//! * the **column store** keeps its base columns immutable and buffers all
-//!   writes in an append-friendly **delta region** (typed column builders
-//!   plus a deleted-rid bitmap) stamped with a monotonically increasing
-//!   version; [`crate::storage::col_store::ColumnTable::compact`] merges the
-//!   delta into fresh base columns.
+//! * the **column store** keeps its base columns immutable (block-structured
+//!   with [`zone::BlockZone`] headers, dictionary/RLE-encoded where the cost
+//!   rule fires) and buffers all writes in an append-friendly **delta
+//!   region** plus a deleted-rid bitmap, stamped with a monotonically
+//!   increasing version; compaction merges the delta into fresh base
+//!   columns.
 //!
-//! Both representations share one physical rid space at all times (inserts
-//! append at the same rid, deletes tombstone the same rid, updates relocate
-//! to the same new rid, and [`StoredTable::compact`] re-packs both sides
-//! together), so the DML executor locates rows once — on the row store —
-//! and applies the change to both copies. AP scans read base + delta through
-//! selection vectors, which is why a committed write is visible to the next
-//! analytical query *before* any compaction runs.
+//! Both representations share one physical rid space at all times, so the
+//! DML executor locates rows once — on the row store — and applies the
+//! change to both copies. AP scans read base + delta through selection
+//! vectors; zone maps cover only the immutable base (delta rids are always
+//! scanned, never pruned), which keeps block skipping correct under DML.
 //!
-//! # Blocks, zone maps and encodings (AP base segment)
+//! # Durability lifecycle: WAL → segments → manifest → checkpoint
 //!
-//! The column store's base segment is block-structured: each fixed-size
-//! block (sized adaptively per table by [`zone::default_block_rows`], ~64
-//! blocks per segment) carries a per-column stats header
-//! ([`zone::BlockZone`] — min/max, NULL count, constant hint) built at load
-//! and rebuilt by compaction. AP scans whose plan pushed a filter
-//! conjunction into the scan node consult the headers through
-//! [`zone::ScanPruner`] and skip refuted blocks wholesale. Base columns may
-//! additionally be dictionary-encoded (low-cardinality strings — equality
-//! compares `u32` codes) or run-length-encoded (run-heavy ints/dates); see
-//! [`col_store`].
+//! Nothing above survives a process kill by itself; the durability layer
+//! arranges that recovery rebuilds the *identical* physical state:
 //!
-//! **Pruning-safety rule for delta rows:** zone maps cover *only* the
-//! immutable base. The delta region and the tombstone bitmap change on
-//! every write, so delta rids are always scanned (never pruned), and base
-//! headers — which deletes can only make conservatively loose, never wrong
-//! — are refreshed by the same `compact()` that folds the delta in. A
-//! pruned scan and an unpruned scan therefore return identical rows at any
-//! point of the DML timeline (`tests/dml_props.rs` sweeps this).
+//! 1. **WAL** ([`wal`]): every DML statement appends its logical operations
+//!    ([`TableOp`] batches, plus [`wal::WalRecord::Compact`] markers) to a
+//!    checksummed log *while holding the database write lock* — record
+//!    order equals apply order — and is acknowledged only after a batched
+//!    group-commit fsync ([`wal::Wal::commit`]) that runs off the lock.
+//! 2. **Segments** ([`persist`]): a checkpoint snapshots every table's
+//!    physical column-store state (shared-`Arc` base + copied delta +
+//!    bitmap) and serializes it, off the lock, to per-table segment files
+//!    (`<table>.v<N>.seg`, CRC-trailed). The row store is *not* persisted:
+//!    it is derivable — tuples decode from the column state, indexes
+//!    rebuild from the catalog — and recovery does exactly that.
+//! 3. **Manifest** (`manifest.json`): the catalog, statistics, config and
+//!    segment list publish atomically via write-temp + rename. The manifest
+//!    names the WAL generation (`wal.<N>`) replay starts from.
+//! 4. **Checkpoint** ([`crate::engine::HtapSystem::checkpoint`]): rotates
+//!    the WAL onto a fresh generation file (cutting it with a
+//!    [`wal::WalRecord::Checkpoint`]), writes segments + manifest for the
+//!    rotation point, then deletes older generations and segments. A crash
+//!    anywhere in that sequence is safe: until the rename lands, the *old*
+//!    manifest + old WAL generation — whose replay continues seamlessly
+//!    into the new generation file — still reconstruct everything.
+//!
+//! **Recovery** ([`crate::engine::HtapSystem::open`]) loads the manifest's
+//! segments, rebuilds row tables/indexes/zones from them, then replays the
+//! WAL generation chain, truncating any torn tail the checksums expose.
+//! Because replay re-runs the same `apply_*`/`compact` entry points the
+//! live system used, the recovered row store, column store, delta region
+//! and statistics are byte-identical to the pre-crash committed state
+//! (`tests/crash_recovery.rs` pins this against an oracle, across all
+//! executors).
+//!
+//! # Background compaction
+//!
+//! [`StoredTable::begin_background_compact`] snapshots a dirty table in
+//! O(delta) under the lock; a worker thread then gathers/re-encodes the new
+//! base, rebuilds indexes, zones and stats *offline*, and the swap installs
+//! the result under a brief lock. Writes arriving during the build are
+//! captured in a window (and WAL-logged through a [`RidRemap`] into the
+//! post-compaction rid space) and re-applied on top of the swapped state;
+//! a synchronous `compact()` racing the build bumps an epoch so the stale
+//! swap aborts harmlessly. Writers therefore never stall for O(table) work
+//! — the bench pins p99 write latency during a concurrent compaction.
 
 pub mod col_store;
+pub(crate) mod codec;
+pub mod durable_io;
 pub mod index;
+pub mod persist;
 pub mod row_store;
+pub mod wal;
 pub mod zone;
 
-pub use col_store::{ColRef, ColumnData, ColumnTable, DictColumn, RleRuns};
+pub use col_store::{ColRef, ColumnData, ColumnTable, ColumnTableSnapshot, DictColumn, RleRuns};
+pub use durable_io::{crc32, DurabilityError, DurableFile, FailPoints};
 pub use index::{BTreeIndex, KeyVal};
 pub use row_store::RowTable;
+pub use wal::{SyncPolicy, Wal, WalRecord, WalStats};
 pub use zone::{BlockZone, PruneOutcome, ScanPruner, DEFAULT_BLOCK_ROWS};
 
+use crate::stats::TableStats;
 use crate::tpch::GeneratedTable;
+use col_store::CompactedCols;
 use qpe_sql::catalog::TableDef;
 use qpe_sql::value::Value;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-table freshness snapshot: how far the column store's delta region has
 /// drifted from its base since the last compaction. Surfaced to the system
@@ -92,6 +130,114 @@ impl TableFreshness {
     }
 }
 
+/// One statement's worth of logical operations against one table — the unit
+/// the WAL logs and replay re-applies. Batched (a multi-row INSERT is one
+/// op) so that replay triggers lazy stats refreshes at the *same* points of
+/// the timeline the live run did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableOp {
+    /// Validated full-width rows appended by one statement.
+    Insert {
+        /// The rows, in insertion order.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Rids tombstoned by one statement (only *effective* deletes — rids
+    /// that were live — are recorded, so replay flips exactly the same
+    /// bits).
+    Delete {
+        /// The tombstoned rids.
+        rids: Vec<u32>,
+    },
+    /// Relocating updates applied by one statement.
+    Update {
+        /// `(old rid, full new row)` pairs, in application order.
+        changes: Vec<(u32, Vec<Value>)>,
+    },
+}
+
+impl TableOp {
+    /// Rewrites every rid through `remap` (used when an op recorded against
+    /// the pre-compaction rid space must be logged/applied in the
+    /// post-compaction space).
+    pub(crate) fn translate(&self, remap: &RidRemap) -> TableOp {
+        match self {
+            TableOp::Insert { rows } => TableOp::Insert { rows: rows.clone() },
+            TableOp::Delete { rids } => TableOp::Delete {
+                rids: rids.iter().map(|&r| remap.translate_rid(r)).collect(),
+            },
+            TableOp::Update { changes } => TableOp::Update {
+                changes: changes
+                    .iter()
+                    .map(|(r, row)| (remap.translate_rid(*r), row.clone()))
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// Rid translation from a pre-compaction physical space into the space the
+/// compaction produces: live pre-snapshot rids pack down to `0..n_live` in
+/// ascending order, and rids appended after the snapshot follow
+/// contiguously. Both the WAL (logging during a background build) and the
+/// swap (re-applying the captured window) translate through the same map,
+/// which is why replayed logs and the live timeline land on identical
+/// physical states.
+#[derive(Debug)]
+pub struct RidRemap {
+    /// Pre-snapshot physical rid → packed rid (`u32::MAX` = dead at
+    /// snapshot; such rids can never appear in a captured op).
+    map: Vec<u32>,
+    /// Physical length at snapshot time.
+    snap_phys: u32,
+    /// Live rows at snapshot time (= first post-snapshot packed rid).
+    n_live: u32,
+}
+
+impl RidRemap {
+    /// Builds the packing map from a snapshot's tombstone bitmap.
+    pub(crate) fn from_deleted(deleted: &[bool]) -> RidRemap {
+        let mut map = Vec::with_capacity(deleted.len());
+        let mut next = 0u32;
+        for &dead in deleted {
+            if dead {
+                map.push(u32::MAX);
+            } else {
+                map.push(next);
+                next += 1;
+            }
+        }
+        RidRemap { map, snap_phys: deleted.len() as u32, n_live: next }
+    }
+
+    /// Translates one rid. Must only be fed rids that are live post-snapshot
+    /// (captured ops guarantee this).
+    pub(crate) fn translate_rid(&self, rid: u32) -> u32 {
+        if rid < self.snap_phys {
+            let packed = self.map[rid as usize];
+            debug_assert_ne!(packed, u32::MAX, "op touched a rid dead at snapshot");
+            packed
+        } else {
+            self.n_live + (rid - self.snap_phys)
+        }
+    }
+}
+
+/// Background-compaction bookkeeping of one table.
+#[derive(Debug, Default)]
+struct BgState {
+    /// Bumps on every compaction (sync or background swap); a build whose
+    /// snapshot epoch is stale aborts its swap.
+    epoch: u64,
+    /// A background build is running for this table.
+    in_flight: bool,
+    /// Ops applied since the snapshot (old rid space), re-applied on top of
+    /// the swapped state.
+    window: Option<Vec<TableOp>>,
+    /// Translation for WAL records written during the build, so the log
+    /// stays consistent with the `Compact` record at the snapshot point.
+    wal_remap: Option<Arc<RidRemap>>,
+}
+
 /// Both physical representations of one logical table.
 #[derive(Debug)]
 pub struct StoredTable {
@@ -99,6 +245,8 @@ pub struct StoredTable {
     pub rows: RowTable,
     /// Column-oriented copy with the delta region (AP engine).
     pub cols: ColumnTable,
+    /// Background-compaction state.
+    bg: BgState,
 }
 
 impl StoredTable {
@@ -106,7 +254,31 @@ impl StoredTable {
     pub fn load(def: &TableDef, data: &GeneratedTable) -> Self {
         let cols = ColumnTable::from_columns(&def.name, &data.columns);
         let rows = RowTable::from_columns(def, &data.columns);
-        StoredTable { rows, cols }
+        StoredTable { rows, cols, bg: BgState::default() }
+    }
+
+    /// Rebuilds a table from a recovered column-store segment: the row
+    /// store decodes from the same physical slots (tombstoned slots keep
+    /// their last tuple, like the live table) and indexes rebuild over live
+    /// rows per the catalog.
+    pub(crate) fn from_recovered(def: &TableDef, cols: ColumnTable) -> Self {
+        let phys = cols.physical_len();
+        let width = cols.width();
+        let mut rows = Vec::with_capacity(phys);
+        let mut deleted = Vec::with_capacity(phys);
+        for rid in 0..phys {
+            rows.push((0..width).map(|ci| cols.value(ci, rid)).collect());
+            deleted.push(cols.is_deleted(rid));
+        }
+        let indexed: Vec<usize> = def
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| def.has_index(&c.name))
+            .map(|(ci, _)| ci)
+            .collect();
+        let rows = RowTable::from_physical(def, rows, deleted, &indexed);
+        StoredTable { rows, cols, bg: BgState::default() }
     }
 
     /// Live row count (identical in both representations).
@@ -142,11 +314,100 @@ impl StoredTable {
 
     /// Compacts both copies together: the column store merges its delta into
     /// the base, the row store drops tombstones, and the shared rid space
-    /// re-packs to `0..row_count()`.
+    /// re-packs to `0..row_count()`. A racing background build (if any) is
+    /// invalidated: its snapshot epoch goes stale, so its swap aborts.
     pub fn compact(&mut self) {
         self.cols.compact();
         self.rows.compact();
         debug_assert_eq!(self.rows.physical_len(), self.cols.physical_len());
+        // The rid spaces reconverge here (live rows pack identically from
+        // either lineage), so pending window/translation state is obsolete.
+        self.bg.epoch += 1;
+        self.bg.window = None;
+        self.bg.wal_remap = None;
+    }
+
+    /// True when DML against this table must be recorded into a
+    /// background-build window.
+    pub(crate) fn captures_window(&self) -> bool {
+        self.bg.window.is_some()
+    }
+
+    /// Records one applied op into the build window, if one is open.
+    pub(crate) fn record_op(&mut self, op: &TableOp) {
+        if let Some(w) = &mut self.bg.window {
+            w.push(op.clone());
+        }
+    }
+
+    /// Rid translation WAL records must apply while a durable background
+    /// build is in flight.
+    pub(crate) fn wal_remap(&self) -> Option<&Arc<RidRemap>> {
+        self.bg.wal_remap.as_ref()
+    }
+
+    /// True when the table has compaction debt (delta rows or tombstones).
+    pub fn is_dirty(&self) -> bool {
+        !self.cols.is_clean() || self.rows.has_deletions()
+    }
+
+    /// Compaction debt in rows: delta-region rows plus tombstoned slots.
+    /// The background compactor triggers on this.
+    pub fn compaction_debt(&self) -> usize {
+        self.cols.delta_len() + (self.rows.physical_len() - self.rows.row_count())
+    }
+
+    /// Opens a background compaction: snapshots the column-store state in
+    /// O(delta), starts window capture, and (when `durable`) arms the WAL
+    /// rid translation. Returns `None` when the table is clean or a build
+    /// is already in flight.
+    pub(crate) fn begin_background_compact(
+        &mut self,
+        def: &TableDef,
+        durable: bool,
+    ) -> Option<CompactSnapshot> {
+        if self.bg.in_flight || !self.is_dirty() {
+            return None;
+        }
+        let cols = self.cols.snapshot();
+        let remap = Arc::new(RidRemap::from_deleted(&cols.deleted));
+        self.bg.in_flight = true;
+        self.bg.window = Some(Vec::new());
+        if durable {
+            self.bg.wal_remap = Some(Arc::clone(&remap));
+        }
+        Some(CompactSnapshot { cols, def: def.clone(), remap, epoch: self.bg.epoch })
+    }
+
+    /// Rolls back [`StoredTable::begin_background_compact`] before anything
+    /// escaped the lock (e.g. the WAL append of the `Compact` marker
+    /// failed): no window was exposed, nothing to translate.
+    pub(crate) fn abort_background_compact(&mut self) {
+        self.bg.in_flight = false;
+        self.bg.window = None;
+        self.bg.wal_remap = None;
+    }
+
+    /// Swaps in an offline-built compaction. Returns the captured window
+    /// (old rid space) + the offline stats + the remap to re-apply it with,
+    /// or `None` when a synchronous compact invalidated the build.
+    pub(crate) fn finish_background_compact(
+        &mut self,
+        built: CompactedTable,
+    ) -> Option<(Vec<TableOp>, TableStats, Arc<RidRemap>)> {
+        self.bg.in_flight = false;
+        if built.epoch != self.bg.epoch {
+            // A sync compact already reconverged the rid spaces and cleared
+            // the window/remap; the stale build is simply dropped.
+            return None;
+        }
+        let window = self.bg.window.take().unwrap_or_default();
+        self.bg.wal_remap = None;
+        self.bg.epoch += 1;
+        self.cols.install_compacted(built.cols);
+        self.rows.install_compacted(built.rows, built.indexes);
+        debug_assert_eq!(self.rows.physical_len(), self.cols.physical_len());
+        Some((window, built.stats, built.remap))
     }
 
     /// Current freshness snapshot of the column-store side.
@@ -160,6 +421,84 @@ impl StoredTable {
             deleted_rows: self.cols.deleted_len(),
         }
     }
+}
+
+/// Everything a background compaction build needs, captured under the write
+/// lock in O(delta) time. [`CompactSnapshot::build`] runs off-lock.
+#[derive(Debug)]
+pub(crate) struct CompactSnapshot {
+    cols: ColumnTableSnapshot,
+    def: TableDef,
+    remap: Arc<RidRemap>,
+    epoch: u64,
+}
+
+impl CompactSnapshot {
+    /// The rid translation for ops logged while this build runs.
+    #[cfg(test)]
+    pub(crate) fn remap(&self) -> &Arc<RidRemap> {
+        &self.remap
+    }
+
+    /// The expensive part, off the lock: gather live rows, re-run the
+    /// encoding cost rule, rebuild zones, decode tuples for the row store,
+    /// rebuild indexes, and recompute table statistics — byte-for-byte what
+    /// a synchronous [`StoredTable::compact`] at snapshot time produces.
+    pub(crate) fn build(self) -> CompactedTable {
+        let live = self.cols.live_rids();
+        let n_live = live.len();
+        let width = self.cols.width();
+        let mut base = Vec::with_capacity(width);
+        for ci in 0..width {
+            base.push(self.cols.column_ref(ci).gather_rows(&live).encoded());
+        }
+        let block_rows = self
+            .cols
+            .block_rows_override
+            .unwrap_or_else(|| zone::default_block_rows(n_live));
+        let zones = base.iter().map(|c| zone::column_zones(c, block_rows)).collect();
+        // Decode columns once; rows, indexes and stats all derive from it.
+        let decoded: Vec<Vec<Value>> = base
+            .iter()
+            .map(|c| (0..n_live).map(|i| c.get(i)).collect())
+            .collect();
+        let rows: Vec<Vec<Value>> = (0..n_live)
+            .map(|r| decoded.iter().map(|col| col[r].clone()).collect())
+            .collect();
+        let mut indexes = HashMap::new();
+        for (ci, col) in self.def.columns.iter().enumerate() {
+            if self.def.has_index(&col.name) {
+                indexes.insert(ci, BTreeIndex::build(&decoded[ci]));
+            }
+        }
+        let stats = TableStats::collect(self.cols.name.as_str(), &decoded);
+        CompactedTable {
+            cols: CompactedCols {
+                base,
+                n_live,
+                block_rows,
+                zones,
+                new_version: self.cols.version + 1,
+            },
+            rows,
+            indexes,
+            stats,
+            remap: self.remap,
+            epoch: self.epoch,
+        }
+    }
+}
+
+/// The offline-built result of a background compaction, ready for
+/// [`StoredTable::finish_background_compact`].
+#[derive(Debug)]
+pub(crate) struct CompactedTable {
+    cols: CompactedCols,
+    rows: Vec<Vec<Value>>,
+    indexes: HashMap<usize, BTreeIndex>,
+    stats: TableStats,
+    remap: Arc<RidRemap>,
+    epoch: u64,
 }
 
 #[cfg(test)]
@@ -260,5 +599,120 @@ mod tests {
         assert_eq!(fresh.delta_fraction(), 0.0);
         // index rids re-packed with the shared rid space
         assert_eq!(st.rows.index_on(0).unwrap().lookup(&Value::Int(11)), &[3]);
+    }
+
+    #[test]
+    fn rid_remap_packs_live_and_extends_tail() {
+        let remap = RidRemap::from_deleted(&[false, true, false, true, false]);
+        assert_eq!(remap.translate_rid(0), 0);
+        assert_eq!(remap.translate_rid(2), 1);
+        assert_eq!(remap.translate_rid(4), 2);
+        // Post-snapshot appends continue contiguously after the packed live.
+        assert_eq!(remap.translate_rid(5), 3);
+        assert_eq!(remap.translate_rid(7), 5);
+    }
+
+    /// Background compaction must land on the exact state a synchronous
+    /// compaction (then the same ops) would produce — including when writes
+    /// arrive between snapshot and swap.
+    #[test]
+    fn background_build_with_window_matches_sync_compact() {
+        let (def, data) = tiny_table();
+        // Build two identical tables.
+        let mut bg = StoredTable::load(&def, &data);
+        let mut sync = StoredTable::load(&def, &data);
+        for st in [&mut bg, &mut sync] {
+            st.insert(vec![Value::Int(5), Value::Str("c".into())]);
+            st.delete(1);
+        }
+        // bg: snapshot, then apply window ops *before* the swap.
+        let snap = bg.begin_background_compact(&def, false).expect("dirty table");
+        assert!(bg.captures_window());
+        let window_ops = [
+            TableOp::Insert { rows: vec![vec![Value::Int(6), Value::Str("d".into())]] },
+            TableOp::Delete { rids: vec![0] },
+            TableOp::Update { changes: vec![(4, vec![Value::Int(50), Value::Str("e".into())])] },
+        ];
+        // Apply + record, the way the engine's apply_* entry points do.
+        bg.insert(vec![Value::Int(6), Value::Str("d".into())]);
+        bg.delete(0);
+        bg.update(4, vec![Value::Int(50), Value::Str("e".into())]);
+        for op in &window_ops {
+            bg.record_op(op);
+        }
+        // sync: compact at the snapshot point, then the same ops replayed
+        // through the remap (the swap path below does exactly this).
+        sync.compact();
+        let remap = Arc::clone(snap.remap());
+        for op in &window_ops {
+            match op.translate(&remap) {
+                TableOp::Insert { rows } => {
+                    for r in rows {
+                        sync.insert(r);
+                    }
+                }
+                TableOp::Delete { rids } => {
+                    for r in rids {
+                        sync.delete(r);
+                    }
+                }
+                TableOp::Update { changes } => {
+                    for (r, row) in changes {
+                        sync.update(r, row);
+                    }
+                }
+            }
+        }
+        // Swap the offline build in and re-apply the captured window.
+        let built = snap.build();
+        let (window, _stats, remap2) = bg.finish_background_compact(built).expect("fresh epoch");
+        assert_eq!(window.len(), 3);
+        for op in &window {
+            match op.translate(&remap2) {
+                TableOp::Insert { rows } => {
+                    for r in rows {
+                        bg.insert(r);
+                    }
+                }
+                TableOp::Delete { rids } => {
+                    for r in rids {
+                        bg.delete(r);
+                    }
+                }
+                TableOp::Update { changes } => {
+                    for (r, row) in changes {
+                        bg.update(r, row);
+                    }
+                }
+            }
+        }
+        assert_aligned(&bg);
+        assert_aligned(&sync);
+        assert_eq!(bg.rows.physical_len(), sync.rows.physical_len());
+        for rid in 0..bg.rows.physical_len() {
+            assert_eq!(bg.rows.is_deleted(rid), sync.rows.is_deleted(rid));
+            if !bg.rows.is_deleted(rid) {
+                assert_eq!(bg.rows.row(rid), sync.rows.row(rid));
+            }
+        }
+        assert_eq!(bg.cols.version(), sync.cols.version());
+    }
+
+    #[test]
+    fn stale_background_build_aborts_after_sync_compact() {
+        let (def, data) = tiny_table();
+        let mut st = StoredTable::load(&def, &data);
+        st.delete(0);
+        let snap = st.begin_background_compact(&def, true).expect("dirty");
+        assert!(st.wal_remap().is_some());
+        // A synchronous compact intervenes: epoch bumps, window clears.
+        st.compact();
+        assert!(st.wal_remap().is_none());
+        assert!(!st.captures_window());
+        let built = snap.build();
+        assert!(st.finish_background_compact(built).is_none(), "stale build must abort");
+        // The table is usable and a new build can start after more writes.
+        st.insert(vec![Value::Int(9), Value::Str("z".into())]);
+        assert!(st.begin_background_compact(&def, false).is_some());
     }
 }

@@ -208,6 +208,46 @@ impl RowTable {
         }
         self.rebuild_index(ci);
     }
+
+    /// Rebuilds a row table from recovered *physical* state: all slots in
+    /// rid order with their tombstone flags (tombstoned slots keep their
+    /// last tuple, exactly like the live table). Indexes cover live rows
+    /// only, matching incremental index maintenance.
+    pub(crate) fn from_physical(
+        def: &TableDef,
+        rows: Vec<Vec<Value>>,
+        deleted: Vec<bool>,
+        indexed: &[usize],
+    ) -> Self {
+        debug_assert_eq!(rows.len(), deleted.len());
+        let n_deleted = deleted.iter().filter(|&&d| d).count();
+        let width = def.columns.len();
+        let mut t = RowTable {
+            name: def.name.clone(),
+            rows,
+            deleted,
+            n_deleted,
+            indexes: HashMap::new(),
+            width,
+        };
+        for &ci in indexed {
+            t.rebuild_index(ci);
+        }
+        t
+    }
+
+    /// Atomically installs compacted state built offline by background
+    /// compaction: re-packed live rows and their rebuilt indexes.
+    pub(crate) fn install_compacted(
+        &mut self,
+        rows: Vec<Vec<Value>>,
+        indexes: HashMap<usize, BTreeIndex>,
+    ) {
+        self.deleted = vec![false; rows.len()];
+        self.n_deleted = 0;
+        self.rows = rows;
+        self.indexes = indexes;
+    }
 }
 
 #[cfg(test)]

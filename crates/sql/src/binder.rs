@@ -977,7 +977,11 @@ impl<'a> Binder<'a> {
             match item {
                 SelectItem::Wildcard => {
                     for (slot, t) in tables.iter().enumerate() {
-                        let def = self.catalog.table(&t.name).expect("resolved above");
+                        // Resolved during FROM binding, but a structured
+                        // error beats trusting that invariant with a panic.
+                        let Some(def) = self.catalog.table(&t.name) else {
+                            return Err(SqlError::bind(format!("unknown table {:?}", t.name)));
+                        };
                         for (ci, col) in def.columns.iter().enumerate() {
                             projections.push(BoundProjection {
                                 expr: BoundExpr::Column(ColumnRef {

@@ -29,6 +29,10 @@ pub fn parse_statement(input: &str) -> Result<Statement, SqlError> {
     Ok(stmt)
 }
 
+/// Maximum expression nesting before the parser rejects the statement
+/// instead of converting input depth into native stack depth.
+const MAX_EXPR_DEPTH: usize = 128;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -38,11 +42,13 @@ struct Parser {
     /// statement (their numberings would silently collide).
     saw_anon: bool,
     saw_numbered: bool,
+    /// Current expression recursion depth (see [`MAX_EXPR_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0, next_anon: 0, saw_anon: false, saw_numbered: false }
+        Parser { tokens, pos: 0, next_anon: 0, saw_anon: false, saw_numbered: false, depth: 0 }
     }
 
     fn peek(&self) -> &TokenKind {
@@ -408,7 +414,22 @@ impl Parser {
     // --- expression grammar: OR < AND < NOT < predicate < additive < mult < primary
 
     fn expr(&mut self) -> Result<Expr, SqlError> {
-        self.or_expr()
+        // Recursion guard: `( expr )` in `primary` and chained `NOT` both
+        // re-enter the expression grammar, so adversarial input like
+        // `((((…1…))))` or `NOT NOT NOT … 1` would otherwise convert
+        // nesting depth into native stack depth and abort the process.
+        // Anything a human (or the workload generators) writes stays far
+        // below this bound.
+        if self.depth >= MAX_EXPR_DEPTH {
+            return Err(SqlError::parse(
+                self.peek_pos(),
+                format!("expression nesting exceeds the maximum depth of {MAX_EXPR_DEPTH}"),
+            ));
+        }
+        self.depth += 1;
+        let result = self.or_expr();
+        self.depth -= 1;
+        result
     }
 
     fn or_expr(&mut self) -> Result<Expr, SqlError> {
@@ -438,12 +459,25 @@ impl Parser {
     }
 
     fn not_expr(&mut self) -> Result<Expr, SqlError> {
-        if self.eat_keyword("NOT") {
-            let inner = self.not_expr()?;
-            Ok(Expr::Not(Box::new(inner)))
-        } else {
-            self.predicate()
+        // Iterative on purpose, but still bounded: each NOT nests the AST
+        // one level, and every downstream consumer of the tree (binder,
+        // drop glue) recurses over that nesting — an unbounded chain would
+        // just move the stack overflow out of the parser.
+        let mut nots = 0usize;
+        while self.eat_keyword("NOT") {
+            nots += 1;
+            if nots > MAX_EXPR_DEPTH {
+                return Err(SqlError::parse(
+                    self.peek_pos(),
+                    format!("NOT chain exceeds the maximum depth of {MAX_EXPR_DEPTH}"),
+                ));
+            }
         }
+        let mut e = self.predicate()?;
+        for _ in 0..nots {
+            e = Expr::Not(Box::new(e));
+        }
+        Ok(e)
     }
 
     fn predicate(&mut self) -> Result<Expr, SqlError> {

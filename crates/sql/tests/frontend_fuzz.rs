@@ -1,0 +1,142 @@
+//! Panic audit of the SQL front end: `parse_statement` and
+//! `bind_statement` must be *total* — any input, however malformed,
+//! truncated or adversarially nested, either parses/binds or returns a
+//! structured [`SqlError`]. The process must never abort (panic, stack
+//! overflow) on data that arrives as a string.
+
+use proptest::prelude::*;
+use qpe_sql::binder::Binder;
+use qpe_sql::catalog::{ColumnDef, DataType, MemoryCatalog, TableDef};
+use qpe_sql::parser::parse_statement;
+
+fn catalog() -> MemoryCatalog {
+    let mut cat = MemoryCatalog::new();
+    cat.add_table(TableDef {
+        name: "customer".into(),
+        columns: vec![
+            ColumnDef { name: "c_custkey".into(), data_type: DataType::Int, ndv: 100 },
+            ColumnDef { name: "c_name".into(), data_type: DataType::Str, ndv: 100 },
+            ColumnDef { name: "c_acctbal".into(), data_type: DataType::Float, ndv: 90 },
+            ColumnDef { name: "c_date".into(), data_type: DataType::Date, ndv: 50 },
+        ],
+        row_count: 100,
+        indexed_columns: vec![],
+        primary_key: "c_custkey".into(),
+    });
+    cat
+}
+
+/// Statements that are valid against the catalog above — the seeds the
+/// truncation/mutation fuzzers chop up.
+const SEEDS: [&str; 7] = [
+    "SELECT c_name, SUM(c_acctbal) FROM customer WHERE c_custkey BETWEEN 3 AND 9 \
+     GROUP BY c_name ORDER BY c_name LIMIT 5",
+    "SELECT * FROM customer WHERE c_name LIKE 'a%b' OR NOT c_acctbal < 10.5",
+    "SELECT COUNT(*) FROM customer WHERE c_custkey IN (1, 2, 3) AND c_date >= DATE '1995-03-15'",
+    "INSERT INTO customer (c_custkey, c_name, c_acctbal, c_date) \
+     VALUES (1, 'x', 2.5, DATE '1996-01-02')",
+    "UPDATE customer SET c_acctbal = c_acctbal + 1.5 WHERE c_custkey = 7",
+    "DELETE FROM customer WHERE c_name = 'gone' AND c_acctbal <= 0",
+    "SELECT c_name FROM customer WHERE c_custkey = ? AND c_acctbal < $2 AND c_name = $1",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Arbitrary printable garbage through the whole front end.
+    #[test]
+    fn front_end_total_on_garbage(input in "[ -~]{0,120}") {
+        let _ = parse_statement(&input);
+        let cat = catalog();
+        let _ = Binder::new(&cat).bind_statement(&input);
+    }
+
+    /// Every prefix-truncation of a valid statement parses or errors
+    /// cleanly — the "connection died mid-statement" shape.
+    #[test]
+    fn front_end_total_on_truncations(seed_idx in 0usize..7, cut in 0usize..120) {
+        let seed = SEEDS[seed_idx];
+        let mut cut = cut.min(seed.len());
+        // Respect char boundaries (seeds are ASCII, but stay robust).
+        while !seed.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let input = &seed[..cut];
+        let _ = parse_statement(input);
+        let cat = catalog();
+        let _ = Binder::new(&cat).bind_statement(input);
+    }
+
+    /// Single-byte mutations of valid statements: flip one byte to any
+    /// printable character and push the result through parse + bind.
+    #[test]
+    fn front_end_total_on_mutations(
+        seed_idx in 0usize..7,
+        at in 0usize..120,
+        with in 0x20u8..0x7f,
+    ) {
+        let seed = SEEDS[seed_idx];
+        let mut bytes = seed.as_bytes().to_vec();
+        let at = at.min(bytes.len().saturating_sub(1));
+        bytes[at] = with;
+        if let Ok(input) = std::str::from_utf8(&bytes) {
+            let _ = parse_statement(input);
+            let cat = catalog();
+            let _ = Binder::new(&cat).bind_statement(input);
+        }
+    }
+}
+
+/// Pathological nesting must come back as a structured error, not a stack
+/// overflow: parenthesized expressions re-enter the grammar recursively,
+/// so the parser bounds the depth.
+#[test]
+fn deep_paren_nesting_is_a_structured_error() {
+    let nested = format!(
+        "SELECT * FROM customer WHERE {}c_custkey = 1{}",
+        "(".repeat(10_000),
+        ")".repeat(10_000)
+    );
+    let err = parse_statement(&nested).expect_err("bounded depth");
+    assert!(err.to_string().contains("depth"), "unexpected error: {err}");
+
+    // Moderate nesting (well under the bound) still parses.
+    let ok = format!(
+        "SELECT * FROM customer WHERE {}c_custkey = 1{}",
+        "(".repeat(40),
+        ")".repeat(40)
+    );
+    assert!(parse_statement(&ok).is_ok());
+}
+
+/// Chained NOT is parsed iteratively and depth-bounded: a pathological
+/// chain is rejected with a structured error before it can build an AST
+/// deep enough to overflow any downstream recursion (binder, drop glue).
+#[test]
+fn deep_not_chain_never_overflows() {
+    let sql = format!(
+        "SELECT * FROM customer WHERE {} c_custkey = 1",
+        "NOT ".repeat(50_000)
+    );
+    let err = parse_statement(&sql).expect_err("bounded NOT depth");
+    assert!(err.to_string().contains("depth"), "unexpected error: {err}");
+
+    // A chain a human might actually write parses and binds cleanly.
+    let ok = format!(
+        "SELECT * FROM customer WHERE {} c_custkey = 1",
+        "NOT ".repeat(9)
+    );
+    let cat = catalog();
+    assert!(parse_statement(&ok).is_ok());
+    assert!(Binder::new(&cat).bind_statement(&ok).is_ok());
+}
+
+/// An unresolvable wildcard target surfaces as a bind error end to end.
+#[test]
+fn wildcard_on_unknown_table_is_a_bind_error() {
+    let cat = catalog();
+    let err = Binder::new(&cat)
+        .bind_statement("SELECT * FROM no_such_table")
+        .expect_err("unknown table");
+    assert!(err.to_string().contains("no_such_table"), "unexpected error: {err}");
+}

@@ -33,6 +33,15 @@ echo "==> prepared-statement equivalence sweep (prepared ≡ inlined, clean + di
 # multi-session smoke test over one shared Arc<HtapSystem>.
 cargo test -q --test prepared_props
 
+echo "==> crash-injection sweep (WAL/segment/manifest/checkpoint fail points)"
+# Bounded proptest sweep (48 cases fixed in-file): random DML/compact/
+# checkpoint interleavings with a simulated kill at every durable-I/O site,
+# then reopen and compare against the committed-prefix oracle. The suite
+# also covers torn-tail truncation, recovery idempotence (double crash
+# during replay), group-commit loss-lessness under concurrent clients, and
+# the full open -> write -> crash -> recover -> verify cycle in a tempdir.
+cargo test -q --test crash_recovery
+
 echo "==> dirty-table executor comparison (encoded base + delta + tombstones)"
 # --dirty applies uncompacted INSERT/DELETEs first, so the scalar-vs-batch
 # agreement check runs over dictionary-encoded base blocks read through
@@ -43,7 +52,7 @@ cargo run --release -p qpe_bench --bin bench_snapshot -- --compare scalar,batch 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> bench snapshot (BENCH_exec.json; includes prepared-vs-unprepared QPS + plan-cache hit rate)"
+echo "==> bench snapshot (BENCH_exec.json; includes prepared-vs-unprepared QPS, plan-cache hit rate, and the durability cases: wal_commit_qps group-commit vs per-statement, recovery_time_100k_rows, background_compact_p99_write_stall)"
 cargo run --release -p qpe_bench --bin bench_snapshot
 
 echo "CI OK"
