@@ -566,6 +566,38 @@ impl Database {
         }
     }
 
+    /// Enables/disables one table's per-block bloom filters (the `_nobloom`
+    /// benchmark baselines and the forced-encoding test matrix use this;
+    /// pruning stays correct either way). Returns false for an unknown
+    /// table.
+    pub fn set_bloom_filters(&mut self, table: &str, enabled: bool) -> bool {
+        match self.tables.get_mut(table) {
+            Some(st) => {
+                st.cols.set_bloom_filters(enabled);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pins one table's base-segment encoding policy, re-encoding the
+    /// current base under it (see
+    /// [`crate::storage::col_store::EncodingPolicy`]); compactions keep the
+    /// policy. Returns false for an unknown table.
+    pub fn set_encoding_policy(
+        &mut self,
+        table: &str,
+        policy: crate::storage::col_store::EncodingPolicy,
+    ) -> bool {
+        match self.tables.get_mut(table) {
+            Some(st) => {
+                st.cols.set_encoding_policy(policy);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Current freshness snapshot of a table's column-store side.
     pub fn freshness(&self, table: &str) -> Option<crate::storage::TableFreshness> {
         self.tables.get(table).map(|st| st.freshness())
@@ -853,7 +885,7 @@ impl HtapSystem {
                 // same generated state.
                 let db = Database::generate(config);
                 let wal_path = dir.join(persist::wal_file_name(1));
-                let wal_file = DurableFile::create(&wal_path, fp.clone(), "wal")?;
+                let wal_file = DurableFile::create_log(&wal_path, fp.clone(), "wal")?;
                 let wal = Wal::new(wal_file, opts.sync);
                 let snaps = db.snapshot_tables();
                 let mut tables = Vec::with_capacity(snaps.len());
@@ -931,7 +963,7 @@ impl HtapSystem {
                 let wal_file = if active_path.exists() {
                     DurableFile::open_append(&active_path, fp.clone(), "wal")?
                 } else {
-                    DurableFile::create(&active_path, fp.clone(), "wal")?
+                    DurableFile::create_log(&active_path, fp.clone(), "wal")?
                 };
                 let wal = Wal::new(wal_file, opts.sync);
                 persist::clean_stale(&dir, &m);
@@ -988,7 +1020,7 @@ impl HtapSystem {
         let _ckpt = d.ckpt_lock.lock().expect("ckpt lock poisoned");
         let version = d.version.load(Ordering::SeqCst) + 1;
         let new_wal_path = d.dir.join(persist::wal_file_name(version));
-        let new_wal = DurableFile::create(&new_wal_path, d.fp.clone(), "wal")?;
+        let new_wal = DurableFile::create_log(&new_wal_path, d.fp.clone(), "wal")?;
         // Read lock: DML takes the write lock, so nothing can commit between
         // the rotation point and the snapshot — the segments hold exactly
         // the state the old log's tail described.

@@ -10,7 +10,7 @@
 //! hot comparison kernels). The batch kernels are element-wise ports of the
 //! scalar semantics, so both executors produce identical results.
 
-use crate::storage::col_store::{ColRef, ColumnData};
+use crate::storage::col_store::{ColRef, ColumnData, RleRuns};
 use qpe_sql::ast::BinaryOp;
 use qpe_sql::binder::BoundExpr;
 use qpe_sql::value::Value;
@@ -320,6 +320,7 @@ impl<'a> Cell<'a> {
             ColumnData::Dict(d) => Cell::Str(d.get(idx)),
             ColumnData::RleInt(r) => Cell::Int(r.get(idx)),
             ColumnData::RleDate(r) => Cell::Date(r.get(idx)),
+            ColumnData::ForInt(f) => Cell::Int(f.get(idx)),
             ColumnData::Nullable { nulls, values } => {
                 if nulls[idx] {
                     Cell::Null
@@ -728,7 +729,7 @@ fn pred_mask(
             let l = operand_of(left, schema, view)?;
             let r = operand_of(right, schema, view)?;
             out.reserve(n);
-            if dict_eq_mask(&l, *op, &r, view, out) {
+            if cmp_fast_mask(&l, *op, &r, view, out) {
                 return Ok(());
             }
             for j in 0..n {
@@ -771,6 +772,34 @@ fn pred_mask(
             let lo = operand_of(low, schema, view)?;
             let hi = operand_of(high, schema, view)?;
             out.reserve(n);
+            // `x BETWEEN lo AND hi` with literal bounds of the column's own
+            // type decomposes into `x >= lo AND x <= hi`, so the run- and
+            // block-aware comparison kernels can decide whole runs and FOR
+            // envelopes instead of materializing every row. Same-typed
+            // operands make `cmp_cells` agree with this arm's total order,
+            // and these encodings never hold NULLs, so the conjunction is
+            // exact. Mixed-type bounds keep the generic loop below.
+            let typed_lits = matches!(
+                (&v, &lo, &hi),
+                (
+                    Operand::Col(ColumnData::ForInt(_) | ColumnData::RleInt(_)),
+                    Operand::Lit(Value::Int(_)),
+                    Operand::Lit(Value::Int(_)),
+                ) | (
+                    Operand::Col(ColumnData::RleDate(_)),
+                    Operand::Lit(Value::Date(_)),
+                    Operand::Lit(Value::Date(_)),
+                )
+            );
+            if typed_lits && cmp_fast_mask(&v, BinaryOp::GtEq, &lo, view, out) {
+                let mut upper = Vec::with_capacity(n);
+                let hit = cmp_fast_mask(&v, BinaryOp::LtEq, &hi, view, &mut upper);
+                debug_assert!(hit, "a kernel that took the lower bound takes the upper");
+                for (m, u) in out.iter_mut().zip(upper) {
+                    *m = *m && u;
+                }
+                return Ok(());
+            }
             for j in 0..n {
                 let phys = view.phys(j);
                 let (c, l, h) = (v.cell(j, phys), lo.cell(j, phys), hi.cell(j, phys));
@@ -852,6 +881,200 @@ fn dict_eq_mask(
         _ => out.extend(std::iter::repeat_n(op == BinaryOp::NotEq, n)),
     }
     true
+}
+
+/// Dispatch a comparison to whichever compressed-column kernel matches the
+/// operand shapes (dictionary codes, RLE runs, FOR blocks). Returns true
+/// when a kernel wrote the whole mask; false leaves `out` untouched for the
+/// generic per-row loop.
+fn cmp_fast_mask(
+    l: &Operand<'_>,
+    op: BinaryOp,
+    r: &Operand<'_>,
+    view: &BatchView<'_>,
+    out: &mut Vec<bool>,
+) -> bool {
+    dict_eq_mask(l, op, r, view, out)
+        || rle_cmp_mask(l, op, r, view, out)
+        || for_cmp_mask(l, op, r, view, out)
+}
+
+/// Mirror image of a comparison operator, so `lit op col` can be evaluated
+/// as `col flip(op) lit` with the column normalized to the left.
+fn flip_cmp(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other, // Eq / NotEq are symmetric
+    }
+}
+
+/// Run-aware fast path for comparisons between an RLE column and a literal:
+/// the predicate is decided once per *run* through the same [`cmp_cells`]
+/// kernel the generic path uses, then expanded across the run (dense scans)
+/// or looked up per selected row — instead of decoding and comparing every
+/// row. Result-identical by construction; only the work per row changes.
+fn rle_cmp_mask(
+    l: &Operand<'_>,
+    op: BinaryOp,
+    r: &Operand<'_>,
+    view: &BatchView<'_>,
+    out: &mut Vec<bool>,
+) -> bool {
+    enum Runs<'a> {
+        Int(&'a RleRuns<i64>),
+        Date(&'a RleRuns<i32>),
+    }
+    impl Runs<'_> {
+        fn ends(&self) -> &[u32] {
+            match self {
+                Runs::Int(r) => &r.ends,
+                Runs::Date(r) => &r.ends,
+            }
+        }
+        fn run_cell(&self, k: usize) -> Cell<'_> {
+            match self {
+                Runs::Int(r) => Cell::Int(r.vals[k]),
+                Runs::Date(r) => Cell::Date(r.vals[k]),
+            }
+        }
+    }
+    let (runs, lit, op) = match (l, r) {
+        (Operand::Col(ColumnData::RleInt(rr)), Operand::Lit(v)) => (Runs::Int(rr), *v, op),
+        (Operand::Col(ColumnData::RleDate(rr)), Operand::Lit(v)) => (Runs::Date(rr), *v, op),
+        (Operand::Lit(v), Operand::Col(ColumnData::RleInt(rr))) => {
+            (Runs::Int(rr), *v, flip_cmp(op))
+        }
+        (Operand::Lit(v), Operand::Col(ColumnData::RleDate(rr))) => {
+            (Runs::Date(rr), *v, flip_cmp(op))
+        }
+        _ => return false,
+    };
+    let lit_cell = Cell::from_value(lit);
+    let ends = runs.ends();
+    match view.sel {
+        None => {
+            let mut start = 0u32;
+            for (k, &end) in ends.iter().enumerate() {
+                let b = cmp_cells(runs.run_cell(k), op, lit_cell);
+                out.extend(std::iter::repeat_n(b, (end - start) as usize));
+                start = end;
+            }
+        }
+        Some(sel) => {
+            let run_bools: Vec<bool> = (0..ends.len())
+                .map(|k| cmp_cells(runs.run_cell(k), op, lit_cell))
+                .collect();
+            for &p in sel {
+                let k = ends.partition_point(|&e| e <= p);
+                out.push(run_bools[k]);
+            }
+        }
+    }
+    true
+}
+
+/// Packed-domain fast path for comparisons between a frame-of-reference
+/// column and an integer literal. Each FOR block is first decided against
+/// its `[ref, max]` envelope (whole-block fill or skip); only straddling
+/// blocks read the packed words, comparing the raw deltas against
+/// `lit - ref` in the packed domain — the values are never materialized.
+/// Non-integer literals fall back to the generic kernel, whose mixed-type
+/// semantics (float widening) do not reduce to an i64 compare.
+fn for_cmp_mask(
+    l: &Operand<'_>,
+    op: BinaryOp,
+    r: &Operand<'_>,
+    view: &BatchView<'_>,
+    out: &mut Vec<bool>,
+) -> bool {
+    let (f, lit, op) = match (l, r) {
+        (Operand::Col(ColumnData::ForInt(f)), Operand::Lit(Value::Int(x))) => (f, *x, op),
+        (Operand::Lit(Value::Int(x)), Operand::Col(ColumnData::ForInt(f))) => {
+            (f, *x, flip_cmp(op))
+        }
+        _ => return false,
+    };
+    let cmp_i64 = |x: i64| -> bool {
+        match op {
+            BinaryOp::Eq => x == lit,
+            BinaryOp::NotEq => x != lit,
+            BinaryOp::Lt => x < lit,
+            BinaryOp::LtEq => x <= lit,
+            BinaryOp::Gt => x > lit,
+            BinaryOp::GtEq => x >= lit,
+            _ => unreachable!("for_cmp_mask called with non-comparison op"),
+        }
+    };
+    let Some(sel) = view.sel else {
+        for b in 0..f.n_blocks() {
+            let (lo, hi) = (f.refs[b], f.maxs[b]);
+            let n = f.block_range(b).len();
+            // Envelope decision: if every value in [lo, hi] answers the same
+            // way, fill the whole block without touching the packed words.
+            let all = match op {
+                BinaryOp::Eq => (lit < lo || lit > hi).then_some(false),
+                BinaryOp::NotEq => (lit < lo || lit > hi).then_some(true),
+                BinaryOp::Lt => decide_range(hi < lit, lo >= lit),
+                BinaryOp::LtEq => decide_range(hi <= lit, lo > lit),
+                BinaryOp::Gt => decide_range(lo > lit, hi <= lit),
+                BinaryOp::GtEq => decide_range(lo >= lit, hi < lit),
+                _ => unreachable!("for_cmp_mask called with non-comparison op"),
+            };
+            if let Some(v) = all {
+                out.extend(std::iter::repeat_n(v, n));
+                continue;
+            }
+            let w = f.widths[b] as usize;
+            if w == 0 {
+                // Constant block inside the envelope: single compare.
+                out.extend(std::iter::repeat_n(cmp_i64(lo), n));
+                continue;
+            }
+            // Straddling block: compare bit-packed deltas against the
+            // literal shifted into the packed domain. `lo < lit ≤ hi` here,
+            // so `lit - lo` is non-negative and the u64 compare is exact.
+            let target = lit.wrapping_sub(lo) as u64;
+            let words = &f.packed[f.offsets[b] as usize..];
+            let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            let mut bit = 0usize;
+            for _ in 0..n {
+                let word = bit >> 6;
+                let shift = bit & 63;
+                let d = ((words[word] >> shift) | ((words[word + 1] << 1) << (63 - shift))) & mask;
+                out.push(match op {
+                    BinaryOp::Eq => d == target,
+                    BinaryOp::NotEq => d != target,
+                    BinaryOp::Lt => d < target,
+                    BinaryOp::LtEq => d <= target,
+                    BinaryOp::Gt => d > target,
+                    BinaryOp::GtEq => d >= target,
+                    _ => unreachable!(),
+                });
+                bit += w;
+            }
+        }
+        return true;
+    };
+    for &p in sel {
+        out.push(cmp_i64(f.get(p as usize)));
+    }
+    true
+}
+
+/// `Some(true)` when the whole envelope satisfies the predicate,
+/// `Some(false)` when none of it can, `None` when the block straddles.
+#[inline]
+fn decide_range(all_true: bool, all_false: bool) -> Option<bool> {
+    if all_true {
+        Some(true)
+    } else if all_false {
+        Some(false)
+    } else {
+        None
+    }
 }
 
 #[inline]

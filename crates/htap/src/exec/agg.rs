@@ -8,7 +8,7 @@
 use super::{ExecError, Row, WorkCounters};
 use crate::eval::{eval, truthy, EvalError, Schema};
 use crate::plan::AggSpec;
-use crate::storage::col_store::ColumnData;
+use crate::storage::col_store::{ColumnData, DictColumn};
 use qpe_sql::ast::AggFunc;
 use qpe_sql::binder::BoundExpr;
 use qpe_sql::value::Value;
@@ -298,6 +298,25 @@ pub fn aggregate_cols(
     hash: bool,
 ) -> Result<Vec<Row>, ExecError> {
     debug_assert_eq!(leaves.len(), arg_cols.len());
+    // Dictionary-code grouping: a single dict-encoded key groups by `u32`
+    // code into a dense per-code state table — no string materialization,
+    // hashing, or tree comparisons per row. Rows fold in the same dense
+    // order as the generic loop and group strings materialize once at the
+    // end, so output, association order, and counters are identical.
+    if let [ColumnData::Dict(d)] = key_cols {
+        counters.agg_rows += len as u64;
+        if !hash {
+            counters.sort_comparisons += len as u64;
+        }
+        let per_code = fold_dict_groups(d, leaves, arg_cols, 0..len);
+        return finish_groups(
+            dict_groups_to_btree(d, per_code),
+            leaves,
+            group_by,
+            outputs,
+            having,
+        );
+    }
     let mut groups: BTreeMap<Vec<KeyWrap>, Vec<AggState>> = BTreeMap::new();
     for j in 0..len {
         counters.agg_rows += 1;
@@ -349,6 +368,46 @@ pub fn aggregate_cols_partitioned(
         counters.sort_comparisons += len as u64;
     }
     let n_parts = cfg.threads.clamp(2, 255);
+    // Dictionary-code grouping, partitioned: the per-code partition
+    // assignment is computed once over the (small) value table with the same
+    // key hash as the generic path, so group→partition placement is
+    // unchanged; each partition then folds its rows through the dense
+    // per-code table in ascending dense order — bit-identical to the serial
+    // dict fold, which is bit-identical to the generic fold.
+    if let [ColumnData::Dict(d)] = key_cols {
+        let part_of: Vec<usize> = d
+            .values
+            .iter()
+            .map(|s| {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                hash_group_value(&Value::Str(s.clone()), &mut h);
+                (std::hash::Hasher::finish(&h) % n_parts as u64) as usize
+            })
+            .collect();
+        let ranges = morsel_ranges(len, cfg.morsel_rows, &[]);
+        let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
+            let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
+            for j in ranges[i].clone() {
+                lists[part_of[d.codes[j] as usize]].push(j as u32);
+            }
+            lists
+        });
+        let mut by_part: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
+        for lists in pieces {
+            for (p, l) in lists.into_iter().enumerate() {
+                by_part[p].extend(l);
+            }
+        }
+        let folded = run_tasks(cfg.threads, n_parts, |p| {
+            let rows = by_part[p].iter().map(|&j| j as usize);
+            dict_groups_to_btree(d, fold_dict_groups(d, leaves, arg_cols, rows))
+        });
+        let mut groups: BTreeMap<Vec<KeyWrap>, Vec<AggState>> = BTreeMap::new();
+        for g in folded {
+            groups.extend(g);
+        }
+        return finish_groups(groups, leaves, group_by, outputs, having);
+    }
     // Pass 1, parallel over morsels: bucket row indices by the partition of
     // their key. Concatenating morsel buckets in morsel order keeps every
     // partition's index list in ascending dense order.
@@ -395,6 +454,41 @@ pub fn aggregate_cols_partitioned(
         groups.extend(g);
     }
     finish_groups(groups, leaves, group_by, outputs, having)
+}
+
+/// Folds aggregate states into a dense per-dictionary-code table over the
+/// given rows (ascending dense order). Codes never seen stay `None`, so only
+/// groups that actually occur materialize — matching the generic fold.
+fn fold_dict_groups<I: Iterator<Item = usize>>(
+    d: &DictColumn,
+    leaves: &[AggLeaf],
+    arg_cols: &[Option<ColumnData>],
+    rows: I,
+) -> Vec<Option<Vec<AggState>>> {
+    let mut per_code: Vec<Option<Vec<AggState>>> = vec![None; d.values.len()];
+    for j in rows {
+        let states = per_code[d.codes[j] as usize]
+            .get_or_insert_with(|| leaves.iter().map(|_| AggState::new()).collect());
+        for (leaf, (arg, state)) in leaves.iter().zip(arg_cols.iter().zip(states.iter_mut())) {
+            state.update(leaf, arg.as_ref().map(|c| c.get(j)));
+        }
+    }
+    per_code
+}
+
+/// Materializes dict-code groups into the key-sorted map `finish_groups`
+/// consumes — one string clone per *group*, not per row.
+fn dict_groups_to_btree(
+    d: &DictColumn,
+    per_code: Vec<Option<Vec<AggState>>>,
+) -> BTreeMap<Vec<KeyWrap>, Vec<AggState>> {
+    per_code
+        .into_iter()
+        .enumerate()
+        .filter_map(|(code, states)| {
+            states.map(|s| (vec![KeyWrap(Value::Str(d.values[code].clone()))], s))
+        })
+        .collect()
 }
 
 /// Hashes a grouping value consistently with [`KeyWrap`]'s ordering

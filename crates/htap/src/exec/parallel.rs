@@ -36,10 +36,14 @@
 //! the exact serial code path.
 //!
 //! Morsel boundaries additionally respect storage boundaries: a dense scan
-//! over a chunked (base + delta) column view cuts at the segment split, and
-//! a zone-map-pruned scan's selection cuts at every position where it jumps
-//! a pruned block gap or crosses into the delta — so no morsel straddles
-//! two storage regions.
+//! over a chunked (base + delta) column view cuts at the segment split, a
+//! zone-map-pruned scan's selection cuts at every position where it jumps
+//! a pruned block gap or crosses into the delta, and a dense scan over a
+//! frame-of-reference column aligns its morsel step down to the FOR block
+//! size — so no morsel straddles two storage regions or a packed block.
+//! Morsel *sizing* is zone-map-aware too (`zone_aware_step`): a selective
+//! pruned scan sizes its morsels from the surviving row count, not the raw
+//! table length, so thread fan-out sees post-pruning work.
 
 use crate::eval::{eval_batch, eval_predicate_mask, BatchView, EvalError};
 use crate::eval::Schema;
@@ -53,6 +57,40 @@ use std::sync::{mpsc, OnceLock};
 
 /// Rows per morsel when nothing overrides it.
 pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
+/// Smallest morsel [`zone_aware_step`] will shrink to: below this, per-task
+/// dispatch overhead outweighs the extra fan-out.
+pub(crate) const MIN_MORSEL_ROWS: usize = 512;
+
+/// Morsels per worker [`zone_aware_step`] aims for — enough slack that the
+/// work-stealing counter can rebalance when morsel costs are skewed.
+const MORSELS_PER_WORKER: usize = 4;
+
+/// Zone-map-aware morsel sizing. The configured step is sized for raw
+/// full-table scans; a selective zone-pruned scan can leave so few
+/// surviving rows that fixed-size chunks collapse into one or two morsels
+/// and idle most workers. Shrink the step until the *surviving* row count
+/// `n` spreads to [`MORSELS_PER_WORKER`] morsels per worker (floored at
+/// [`MIN_MORSEL_ROWS`] to amortize dispatch overhead), then align it down
+/// to `align` (a frame-of-reference block size) so no morsel straddles a
+/// packed block. Sizing only changes the parallel decomposition — results
+/// and counters are invariant under any morsel split.
+pub(crate) fn zone_aware_step(
+    configured: usize,
+    n: usize,
+    threads: usize,
+    align: Option<usize>,
+) -> usize {
+    let mut step = configured.max(1);
+    if threads > 1 {
+        let spread = n.div_ceil(threads * MORSELS_PER_WORKER);
+        step = step.min(spread.max(MIN_MORSEL_ROWS));
+    }
+    if let Some(a) = align.filter(|&a| a > 0) {
+        step = (step / a).max(1) * a;
+    }
+    step
+}
 
 /// Parallelism knob for the AP batch executor.
 ///
@@ -239,6 +277,9 @@ fn sub_view<'v>(
 
 /// Parallel filter: evaluates the predicate mask per morsel and emits the
 /// surviving physical indices, concatenated in morsel (= serial) order.
+/// `step` is the batch's effective morsel size (already zone-map-aware and
+/// FOR-block-aligned by the caller); `cuts` its storage discontinuities.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn par_filter_sel(
     cfg: &ExecConfig,
     predicate: &BoundExpr,
@@ -246,10 +287,11 @@ pub(crate) fn par_filter_sel(
     cols: &[Option<ColRef<'_>>],
     sel: Option<&[u32]>,
     rows: usize,
+    step: usize,
     cuts: &[usize],
 ) -> Result<Vec<u32>, EvalError> {
     let n = sel.map(|s| s.len()).unwrap_or(rows);
-    let ranges = morsel_ranges(n, cfg.morsel_rows, cuts);
+    let ranges = morsel_ranges(n, step, cuts);
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
         let range = &ranges[i];
         let mut ident = Vec::new();
@@ -462,6 +504,22 @@ mod tests {
         assert_eq!(morsel_ranges(10, 4, &[0]), morsel_ranges(10, 4, &[]));
         assert_eq!(morsel_ranges(10, 4, &[10]), morsel_ranges(10, 4, &[]));
         assert!(morsel_ranges(0, 4, &[]).is_empty());
+    }
+
+    #[test]
+    fn zone_aware_step_spreads_and_aligns() {
+        // Plenty of rows: the configured step stands.
+        assert_eq!(zone_aware_step(4096, 1_000_000, 8, None), 4096);
+        // Few survivors: shrink so 4 workers each see ~4 morsels …
+        assert_eq!(zone_aware_step(4096, 16_000, 4, None), 1000);
+        // … but never below the overhead floor.
+        assert_eq!(zone_aware_step(4096, 5_000, 8, None), MIN_MORSEL_ROWS);
+        // FOR alignment rounds down to whole blocks, never to zero.
+        assert_eq!(zone_aware_step(4096, 1_000_000, 8, Some(1024)), 4096);
+        assert_eq!(zone_aware_step(3000, 1_000_000, 8, Some(1024)), 2048);
+        assert_eq!(zone_aware_step(4096, 5_000, 8, Some(1024)), 1024);
+        // Serial config: sizing is moot, step passes through (aligned).
+        assert_eq!(zone_aware_step(4096, 100, 1, None), 4096);
     }
 
     #[test]

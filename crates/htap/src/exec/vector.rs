@@ -32,7 +32,7 @@ use super::{agg, produces_final_rows, sort, ExecError, Row, WorkCounters};
 use crate::engine::Database;
 use crate::eval::{eval_predicate_mask, BatchView, Schema};
 use crate::plan::{PlanNode, PlanOp};
-use crate::storage::col_store::{ColRef, ColumnData};
+use crate::storage::col_store::{ColRef, ColumnData, FOR_BLOCK_ROWS};
 use qpe_sql::binder::{BoundExpr, BoundQuery, ColumnRef};
 use qpe_sql::value::Value;
 use std::collections::{HashMap, HashSet};
@@ -105,6 +105,21 @@ impl<'a> Batch<'a> {
             .find_map(|c| c.as_ref().and_then(|r| r.split_point()))
             .into_iter()
             .collect()
+    }
+
+    /// Effective morsel size for kernels over this batch
+    /// ([`parallel::zone_aware_step`]): the configured step shrunk so a
+    /// zone-pruned selection's *survivors* still fan out across every
+    /// worker, and — for a dense scan over a frame-of-reference column —
+    /// aligned down to whole FOR blocks so no morsel straddles a packed
+    /// block's reference frame.
+    fn morsel_step(&self, cfg: &ExecConfig) -> usize {
+        let align = (self.sel.is_none()
+            && self.cols.iter().any(|c| {
+                matches!(c.as_ref(), Some(ColRef::Single(ColumnData::ForInt(_))))
+            }))
+        .then_some(FOR_BLOCK_ROWS);
+        parallel::zone_aware_step(cfg.morsel_rows, self.selected_len(), cfg.threads, align)
     }
 }
 
@@ -394,6 +409,7 @@ impl<'a> VecExecutor<'a> {
                 &cols,
                 batch.sel.as_deref(),
                 batch.rows,
+                batch.morsel_step(self.cfg),
                 &batch.morsel_cuts(),
             )?
         } else {
@@ -630,7 +646,10 @@ fn join_pairs(
     // table's delta-aware scan take the generic path below). Restricted to
     // same-variant pairs because the row interpreter's `Value` keys hash
     // with a type tag — an `Int` never matches a `Date` there, so it must
-    // not match here either.
+    // not match here either. Dictionary keys on both sides join on `u32`
+    // codes: the probe side's codes are remapped into the build dictionary's
+    // code space once (string compares only across the two small value
+    // tables), then every row hashes and compares integers.
     if ppos.len() == 1 && bpos.len() == 1 {
         let pcol = probe.cols[ppos[0]]
             .as_ref()
@@ -638,6 +657,21 @@ fn join_pairs(
         let bcol = build.cols[bpos[0]]
             .as_ref()
             .ok_or_else(|| ExecError::BadPlan("join key column not materialized".into()))?;
+        if let (Some(ColumnData::Dict(p)), Some(ColumnData::Dict(b))) =
+            (pcol.as_single(), bcol.as_single())
+        {
+            // Code equality in the build space ≡ string equality: each probe
+            // value maps to its build code, or to -1 (absent — below every
+            // valid code, so the probe can never find it in the table).
+            let to_build: Vec<i64> = p
+                .values
+                .iter()
+                .map(|v| b.code_of(v).map_or(-1, |c| c as i64))
+                .collect();
+            let pk = IntKeyed::Remap { codes: &p.codes, to_build: &to_build };
+            let bk = IntKeyed::Code(&b.codes);
+            return int_keyed_join(cfg, parallel_join, probe, build, pk, bk);
+        }
         let keyed = match (pcol.as_single(), bcol.as_single()) {
             (Some(ColumnData::Int(p)), Some(ColumnData::Int(b))) => {
                 Some((IntKeyed::I64(p), IntKeyed::I64(b)))
@@ -648,31 +682,7 @@ fn join_pairs(
             _ => None,
         };
         if let Some((pk, bk)) = keyed {
-            if parallel_join {
-                let tables = parallel::par_hash_build(cfg, build_len, |j| {
-                    let phys = batch_phys(build, j);
-                    (bk.get(phys), phys as u32)
-                });
-                return Ok(parallel::par_hash_probe(cfg, probe_len, &tables, |j| {
-                    let phys = batch_phys(probe, j);
-                    Some((pk.get(phys), phys as u32))
-                }));
-            }
-            let mut table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(build_len);
-            for j in 0..build_len {
-                let phys = batch_phys(build, j);
-                table.entry(bk.get(phys)).or_default().push(phys as u32);
-            }
-            for j in 0..probe_len {
-                let phys = batch_phys(probe, j);
-                if let Some(matches) = table.get(&pk.get(phys)) {
-                    for &b in matches {
-                        probe_idx.push(phys as u32);
-                        build_idx.push(b);
-                    }
-                }
-            }
-            return Ok((probe_idx, build_idx));
+            return int_keyed_join(cfg, parallel_join, probe, build, pk, bk);
         }
     }
 
@@ -744,11 +754,19 @@ fn batch_phys(batch: &Batch<'_>, j: usize) -> usize {
     }
 }
 
-/// Integer view over `Int` and `Date` key columns.
+/// Integer view over `Int`, `Date`, and dictionary-code key columns.
 #[derive(Clone, Copy)]
 enum IntKeyed<'a> {
     I64(&'a [i64]),
     I32(&'a [i32]),
+    /// Build-side dictionary codes, keyed directly.
+    Code(&'a [u32]),
+    /// Probe-side dictionary codes translated into the build dictionary's
+    /// code space (`-1` ⇒ value absent from the build side, never matches).
+    Remap {
+        codes: &'a [u32],
+        to_build: &'a [i64],
+    },
 }
 
 impl IntKeyed<'_> {
@@ -757,6 +775,50 @@ impl IntKeyed<'_> {
         match self {
             IntKeyed::I64(v) => v[idx],
             IntKeyed::I32(v) => v[idx] as i64,
+            IntKeyed::Code(v) => v[idx] as i64,
+            IntKeyed::Remap { codes, to_build } => to_build[codes[idx] as usize],
         }
     }
+}
+
+/// Shared body of the single-key integer-domain join: serial build/probe in
+/// insertion order, or the hash-partitioned parallel variant — bit-identical
+/// output either way.
+fn int_keyed_join(
+    cfg: &ExecConfig,
+    parallel_join: bool,
+    probe: &Batch<'_>,
+    build: &Batch<'_>,
+    pk: IntKeyed<'_>,
+    bk: IntKeyed<'_>,
+) -> Result<(Vec<u32>, Vec<u32>), ExecError> {
+    let build_len = build.selected_len();
+    let probe_len = probe.selected_len();
+    if parallel_join {
+        let tables = parallel::par_hash_build(cfg, build_len, |j| {
+            let phys = batch_phys(build, j);
+            (bk.get(phys), phys as u32)
+        });
+        return Ok(parallel::par_hash_probe(cfg, probe_len, &tables, |j| {
+            let phys = batch_phys(probe, j);
+            Some((pk.get(phys), phys as u32))
+        }));
+    }
+    let mut probe_idx = Vec::new();
+    let mut build_idx = Vec::new();
+    let mut table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(build_len);
+    for j in 0..build_len {
+        let phys = batch_phys(build, j);
+        table.entry(bk.get(phys)).or_default().push(phys as u32);
+    }
+    for j in 0..probe_len {
+        let phys = batch_phys(probe, j);
+        if let Some(matches) = table.get(&pk.get(phys)) {
+            for &b in matches {
+                probe_idx.push(phys as u32);
+                build_idx.push(b);
+            }
+        }
+    }
+    Ok((probe_idx, build_idx))
 }

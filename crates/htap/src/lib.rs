@@ -69,26 +69,42 @@
 //! work-counter latency model ([`latency`]) so "which engine is faster" labels
 //! are measured, not assumed.
 //!
-//! # Storage-side scan acceleration (zone maps + encodings)
+//! # Storage-side scan acceleration (zone maps, blooms, compressed execution)
 //!
 //! The column store's base segment is block-structured with per-block stats
-//! headers ([`storage::zone`]): min/max, NULL count and a constant hint per
-//! column, built at load and rebuilt by compaction. The AP optimizer pushes
-//! each scan's filter conjunction into its `TableScan` node, and every
-//! executor resolves the scan through one shared entry that consults a
-//! [`storage::ScanPruner`]: blocks whose headers refute a conjunct are
-//! skipped without touching a cell, while delta rows are *never* pruned
-//! (the pruning-safety rule that keeps results exact under buffered DML —
-//! base headers can only go conservatively stale, and compaction re-tightens
-//! them). Base columns are additionally dictionary-encoded (low-cardinality
-//! strings; equality and IN predicates compare `u32` codes via the kernels
-//! in [`eval`]) or run-length-encoded (run-heavy ints/dates), and nullable
-//! typed columns carry a null mask instead of demoting to generic values.
-//! Savings surface as fewer `cells_scanned`/`filter_evals` plus the
-//! `blocks_checked`/`blocks_pruned` counters the latency model prices — so
-//! pruning speeds queries up in wall-clock *and* in the simulated latencies
-//! the router trains on, without ever changing results (pruned ≡ unpruned ≡
-//! TP, swept by `tests/dml_props.rs` under random DML interleavings).
+//! headers ([`storage::zone`]): min/max, NULL count, a constant hint and a
+//! small **bloom filter** per column, built at load and rebuilt by
+//! compaction. The AP optimizer pushes each scan's filter conjunction into
+//! its `TableScan` node, and every executor resolves the scan through one
+//! shared entry that consults a [`storage::ScanPruner`]: blocks whose
+//! min/max refute a range conjunct — or whose bloom filter proves an `=`/`IN`
+//! literal absent — are skipped without touching a cell, while delta rows
+//! are *never* pruned (the pruning-safety rule that keeps results exact
+//! under buffered DML — base headers can only go conservatively stale, and
+//! compaction re-tightens them; bloom false positives only ever cost an
+//! extra block scan, never a wrong answer). The optimizer's pruning
+//! *estimate* comes from sampled clustering statistics ([`stats`]):
+//! sortedness and average run length decide how much of a range predicate's
+//! non-selected fraction plausibly folds into whole prunable blocks.
+//!
+//! Base columns are stored compressed where a cost rule fires —
+//! dictionary-encoded low-cardinality strings, run-length-encoded run-heavy
+//! ints/dates, frame-of-reference bit-packed ints
+//! ([`storage::col_store::ForInt`]) — and the executors run **on** those
+//! representations rather than decoding first: equality/IN compare `u32`
+//! dictionary codes, hash joins and group-bys hash the codes themselves
+//! (kernels in [`eval`] and [`exec`]), RLE predicates evaluate once per run,
+//! and FOR range predicates compare bit-packed deltas in the packed domain.
+//! The delta region stays plain (append-hot, see [`storage`] for the
+//! argument), and nullable typed columns carry a null mask instead of
+//! demoting to generic values. Savings surface as fewer
+//! `cells_scanned`/`filter_evals` plus the `blocks_checked`/`blocks_pruned`
+//! counters the latency model prices — so pruning speeds queries up in
+//! wall-clock *and* in the simulated latencies the router trains on, without
+//! ever changing results (pruned ≡ unpruned ≡ TP, swept by
+//! `tests/dml_props.rs` under random DML interleavings and by the forced
+//! per-table [`storage::col_store::EncodingPolicy`] matrix in
+//! `tests/engine_equivalence.rs`).
 //!
 //! # Execution modes
 //!

@@ -16,6 +16,39 @@ use qpe_sql::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
+/// Physical-layout summary of a column: how *clustered* equal or nearby
+/// values are in storage order. Zone maps (and their planning-time
+/// estimate, [`zone_prune_fraction`]) only skip blocks when matching rows
+/// are clustered, so this is the statistic that turns "the predicate keeps
+/// 5% of rows" into "the scan skips 95% of blocks".
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClusteringStats {
+    /// Fraction of adjacent numeric pairs in non-decreasing order: 1.0 for
+    /// a sorted (e.g. sequentially generated key) column, ~0.5 for a
+    /// shuffled one.
+    pub sortedness: f64,
+    /// Mean length of adjacent-equal runs — long runs mean equal values sit
+    /// together even when the column is not globally sorted.
+    pub avg_run_len: f64,
+}
+
+impl ClusteringStats {
+    /// Maps the summary onto `[0, 1]`: the degree to which block min/max
+    /// headers can refute a range predicate. Sortedness is rescaled so a
+    /// shuffled column (≈0.5) scores 0; run length counts on a log scale
+    /// against the zone block size (a run spanning whole blocks scores 1).
+    pub fn factor(&self) -> f64 {
+        let sort = ((self.sortedness - 0.5) / 0.5).clamp(0.0, 1.0);
+        let block = crate::storage::DEFAULT_BLOCK_ROWS as f64;
+        let runs = if self.avg_run_len > 1.0 {
+            (self.avg_run_len.log2() / block.log2()).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        sort.max(runs)
+    }
+}
+
 /// Per-column statistics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ColumnStats {
@@ -28,6 +61,10 @@ pub struct ColumnStats {
     /// Fraction of NULLs (0 for generated TPC-H data, but execution-side
     /// inserts may introduce them).
     pub null_frac: f64,
+    /// Storage-order clustering sample, refreshed with `ndv`. `None` when
+    /// never sampled (e.g. hand-built stats); estimation then falls back to
+    /// the sequential-primary-key heuristic.
+    pub clustering: Option<ClusteringStats>,
 }
 
 impl ColumnStats {
@@ -38,15 +75,37 @@ impl ColumnStats {
         let mut max = f64::NEG_INFINITY;
         let mut nulls = 0u64;
         let mut total = 0u64;
+        let mut prev_num: Option<f64> = None;
+        let mut prev_hash: Option<u64> = None;
+        let mut ordered_pairs = 0u64;
+        let mut num_pairs = 0u64;
+        let mut runs = 0u64;
         for v in values {
             total += 1;
+            let h = hash_value(v);
+            if prev_hash != Some(h) {
+                runs += 1;
+            }
+            prev_hash = Some(h);
             match v {
-                Value::Null => nulls += 1,
+                Value::Null => {
+                    nulls += 1;
+                    prev_num = None;
+                }
                 other => {
-                    distinct.insert(hash_value(other));
+                    distinct.insert(h);
                     if let Some(x) = other.as_float() {
                         min = min.min(x);
                         max = max.max(x);
+                        if let Some(p) = prev_num {
+                            num_pairs += 1;
+                            if p <= x {
+                                ordered_pairs += 1;
+                            }
+                        }
+                        prev_num = Some(x);
+                    } else {
+                        prev_num = None;
                     }
                 }
             }
@@ -56,6 +115,14 @@ impl ColumnStats {
             min: if min.is_finite() { Some(min) } else { None },
             max: if max.is_finite() { Some(max) } else { None },
             null_frac: if total == 0 { 0.0 } else { nulls as f64 / total as f64 },
+            clustering: Some(ClusteringStats {
+                sortedness: if num_pairs == 0 {
+                    0.0
+                } else {
+                    ordered_pairs as f64 / num_pairs as f64
+                },
+                avg_run_len: if runs == 0 { 1.0 } else { total as f64 / runs as f64 },
+            }),
         }
     }
 
@@ -284,17 +351,16 @@ fn raw_selectivity(stats: &DbStats, query: &BoundQuery, expr: &BoundExpr) -> f64
 /// model discounts filtered scans by.
 ///
 /// Zone maps only skip blocks when matching rows are *clustered*: a range
-/// over a column whose values arrive in order refutes most blocks, while the
-/// same range over shuffled values leaves every block's min/max straddling
-/// it. Per-block layout is not in `DbStats`, so this uses the one clustering
-/// signal the system actually has: primary keys are generated sequentially,
-/// so range/BETWEEN conjuncts on a table's primary key prune roughly
-/// `1 - selectivity` of its blocks. Everything else estimates 0 — the
-/// executor may still prune (e.g. equality on a constant-heavy column), it
-/// is just not *predictable* from table-level stats, and a conservative cost
-/// model beats an optimistic one. Equality conjuncts are also excluded so
-/// the engines' deliberately incomparable cost scales keep their paper
-/// shape for point lookups.
+/// over a column whose values arrive in order refutes most blocks, while
+/// the same range over shuffled values leaves every block's min/max
+/// straddling it. The estimate scales `1 - selectivity` by the column's
+/// measured [`ClusteringStats::factor`] (sortedness / run length, sampled
+/// with the other column stats) — a fully sorted key keeps the old
+/// primary-key behavior, a shuffled column estimates 0, and partially
+/// clustered columns land in between. Columns with no clustering sample
+/// (older persisted stats) fall back to the sequential-primary-key
+/// heuristic. Equality conjuncts are excluded so the engines' deliberately
+/// incomparable cost scales keep their paper shape for point lookups.
 pub fn zone_prune_fraction(
     stats: &DbStats,
     query: &BoundQuery,
@@ -314,31 +380,47 @@ pub fn zone_prune_fraction(
                 BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
             ) =>
         {
-            let clustered = left
+            let factor = left
                 .as_bare_column()
                 .or_else(|| right.as_bare_column())
-                .map(|c| column_is_primary_key(query, catalog, c))
-                .unwrap_or(false);
-            if clustered {
-                1.0 - range_selectivity(stats, query, left, *op, right)
-            } else {
-                0.0
-            }
+                .map(|c| clustering_factor(stats, query, catalog, c))
+                .unwrap_or(0.0);
+            (1.0 - range_selectivity(stats, query, left, *op, right)) * factor
         }
         BoundExpr::Between { expr: inner, .. } => {
-            let clustered = inner
+            let factor = inner
                 .as_bare_column()
-                .map(|c| column_is_primary_key(query, catalog, c))
-                .unwrap_or(false);
-            if clustered {
-                1.0 - raw_selectivity(stats, query, expr)
-            } else {
-                0.0
-            }
+                .map(|c| clustering_factor(stats, query, catalog, c))
+                .unwrap_or(0.0);
+            (1.0 - raw_selectivity(stats, query, expr)) * factor
         }
         _ => 0.0,
     };
     frac.clamp(0.0, 0.98)
+}
+
+/// The clustering factor driving [`zone_prune_fraction`] for one column:
+/// the measured sample where present, else 1.0 for sequentially generated
+/// primary keys and 0.0 for everything unknown.
+fn clustering_factor(
+    stats: &DbStats,
+    query: &BoundQuery,
+    catalog: &dyn qpe_sql::catalog::Catalog,
+    c: &qpe_sql::binder::ColumnRef,
+) -> f64 {
+    match stats
+        .column(query, c.table_slot, c.column_idx)
+        .and_then(|cs| cs.clustering)
+    {
+        Some(cl) => cl.factor(),
+        None => {
+            if column_is_primary_key(query, catalog, c) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
 }
 
 fn column_is_primary_key(
@@ -484,6 +566,55 @@ mod tests {
         assert_eq!(ts.columns[0].max, Some(9.0));
         assert_eq!(ts.columns[1].ndv, 4);
         assert_eq!(ts.columns[1].min, None); // strings have no numeric range
+    }
+
+    #[test]
+    fn clustering_sample_tracks_layout() {
+        // Sorted sequential key: full credit, same as the old PK heuristic.
+        let sorted: Vec<Value> = (0..1000).map(Value::Int).collect();
+        let cl = ColumnStats::collect(sorted.iter()).clustering.unwrap();
+        assert_eq!(cl.sortedness, 1.0);
+        assert!((cl.factor() - 1.0).abs() < 1e-9);
+        // Shuffled values: no sortedness, runs of one — no credit.
+        let shuffled: Vec<Value> =
+            (0..1000).map(|i| Value::Int((i * 919) % 1000)).collect();
+        let cl = ColumnStats::collect(shuffled.iter()).clustering.unwrap();
+        assert!(cl.factor() < 0.3, "shuffled column scored clustered: {cl:?}");
+        // Long equal runs earn credit through run length alone, even when
+        // the run values are not in sorted order.
+        let runs: Vec<Value> = (0..1024)
+            .map(|i| Value::Int([5, 1, 9, 3][(i / 256) as usize]))
+            .collect();
+        let cl = ColumnStats::collect(runs.iter()).clustering.unwrap();
+        assert!(cl.avg_run_len >= 256.0);
+        assert!(cl.factor() > 0.7, "run-clustered column scored flat: {cl:?}");
+    }
+
+    #[test]
+    fn zone_prune_fraction_scales_with_clustering() {
+        let (cat, stats) = setup();
+        // Column `a` cycles 0..9 — runs of one, sortedness 0.9 → partial
+        // credit, strictly between "no pruning" and the sorted-key full
+        // `1 - selectivity`.
+        let q = Binder::new(&cat).bind_sql("SELECT * FROM t WHERE a < 3").unwrap();
+        let f = zone_prune_fraction(&stats, &q, &cat, &q.filters[0].expr);
+        let full = 1.0 - 3.0 / 9.0;
+        assert!(f > 0.0 && f < full, "expected partial credit, got {f}");
+        // A fully sorted column gets the whole discount.
+        let mut sorted_stats = stats.clone();
+        sorted_stats.table_mut("t").unwrap().columns[0] =
+            ColumnStats::collect((0..100).map(Value::Int).collect::<Vec<_>>().iter());
+        let q = Binder::new(&cat).bind_sql("SELECT * FROM t WHERE a < 33").unwrap();
+        let f = zone_prune_fraction(&sorted_stats, &q, &cat, &q.filters[0].expr);
+        assert!((f - (1.0 - 33.0 / 99.0)).abs() < 1e-9, "got {f}");
+        // No clustering sample (older persisted stats): PK falls back to
+        // the sequential-key heuristic, non-keys to zero.
+        let mut legacy = sorted_stats.clone();
+        for cs in &mut legacy.table_mut("t").unwrap().columns {
+            cs.clustering = None;
+        }
+        let f = zone_prune_fraction(&legacy, &q, &cat, &q.filters[0].expr);
+        assert!((f - (1.0 - 33.0 / 99.0)).abs() < 1e-9, "PK fallback, got {f}");
     }
 
     #[test]

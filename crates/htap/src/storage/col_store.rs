@@ -55,7 +55,7 @@
 //! only be stale in the conservative direction (tombstones shrink the true
 //! range), and every buffered write is always scanned.
 
-use super::zone::{self, BlockZone};
+use super::zone::{self, BlockBloom, BlockZone};
 use qpe_sql::value::Value;
 use std::sync::Arc;
 
@@ -64,6 +64,195 @@ use std::sync::Arc;
 pub const ENCODE_MIN_ROWS: usize = 64;
 /// Maximum distinct strings a dictionary may hold.
 pub const DICT_MAX_VALUES: usize = 255;
+/// Rows per frame-of-reference block. Independent of the zone-map block size:
+/// packed bits cannot be re-chunked by [`ColumnTable::set_block_rows`], and a
+/// power of two keeps block addressing a shift/mask.
+pub const FOR_BLOCK_ROWS: usize = 1024;
+
+/// Frame-of-reference encoded i64 column: each [`FOR_BLOCK_ROWS`]-row block
+/// stores its minimum as a reference plus bit-packed non-negative deltas at
+/// one fixed width per block. Point access is O(1) (two word reads); scans
+/// unpack a block at a time into a reusable scratch buffer; range predicates
+/// can be answered per block against the packed domain (compare `lit - ref`
+/// with the deltas) without materializing values.
+#[derive(Debug, Clone)]
+pub struct ForInt {
+    n_rows: usize,
+    /// Per-block reference value (the block minimum).
+    pub refs: Vec<i64>,
+    /// Per-block exact maximum (for packed-domain range answers).
+    pub maxs: Vec<i64>,
+    /// Per-block delta bit width (0 ⇒ constant block).
+    pub widths: Vec<u8>,
+    /// Per-block starting word offset into `packed` (blocks word-aligned).
+    pub offsets: Vec<u32>,
+    /// Bit-packed deltas, LSB-first within each u64 word, plus one trailing
+    /// pad word so straddle reads never branch on bounds.
+    pub packed: Vec<u64>,
+}
+
+impl ForInt {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Number of FOR blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Row range of FOR block `b`.
+    pub fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        let lo = b * FOR_BLOCK_ROWS;
+        lo..(lo + FOR_BLOCK_ROWS).min(self.n_rows)
+    }
+
+    /// Value at row `i`: reference plus a two-word masked delta read.
+    #[inline]
+    pub fn get(&self, i: usize) -> i64 {
+        let b = i / FOR_BLOCK_ROWS;
+        let w = self.widths[b] as usize;
+        if w == 0 {
+            return self.refs[b];
+        }
+        let bit = (i % FOR_BLOCK_ROWS) * w;
+        let word = self.offsets[b] as usize + (bit >> 6);
+        let shift = bit & 63;
+        // `(x << 1) << (63 - shift)` is `x << (64 - shift)` without the
+        // undefined full-width shift at `shift == 0` (where it yields 0).
+        let d = (self.packed[word] >> shift) | ((self.packed[word + 1] << 1) << (63 - shift));
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        self.refs[b].wrapping_add((d & mask) as i64)
+    }
+
+    /// Unpacks block `b` into `out` (cleared first) — the branchless decode
+    /// loop scan kernels drive with a reused scratch buffer.
+    pub fn decode_block_into(&self, b: usize, out: &mut Vec<i64>) {
+        out.clear();
+        let n = self.block_range(b).len();
+        let w = self.widths[b] as usize;
+        let r = self.refs[b];
+        if w == 0 {
+            out.resize(n, r);
+            return;
+        }
+        let words = &self.packed[self.offsets[b] as usize..];
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        out.reserve(n);
+        let mut bit = 0usize;
+        for _ in 0..n {
+            let word = bit >> 6;
+            let shift = bit & 63;
+            let d = (words[word] >> shift) | ((words[word + 1] << 1) << (63 - shift));
+            out.push(r.wrapping_add((d & mask) as i64));
+            bit += w;
+        }
+    }
+
+    /// Builds the FOR representation when the cost rule holds: packed deltas
+    /// take at most half the plain bits (≤ 32 bits/row). Sorted and
+    /// near-sequential data (PKs, dates-as-days) passes with room to spare;
+    /// a block whose value range needs wide deltas votes against.
+    pub fn build(v: &[i64]) -> Option<ForInt> {
+        Self::build_impl(v, false)
+    }
+
+    /// Builds the FOR representation regardless of the cost rule (forced-
+    /// encoding test matrix); only an empty column declines.
+    pub(crate) fn build_forced(v: &[i64]) -> Option<ForInt> {
+        Self::build_impl(v, true)
+    }
+
+    fn build_impl(v: &[i64], forced: bool) -> Option<ForInt> {
+        if v.is_empty() {
+            return None;
+        }
+        let n_blocks = v.len().div_ceil(FOR_BLOCK_ROWS);
+        let mut refs = Vec::with_capacity(n_blocks);
+        let mut maxs = Vec::with_capacity(n_blocks);
+        let mut widths = Vec::with_capacity(n_blocks);
+        let mut total_words = 0usize;
+        for chunk in v.chunks(FOR_BLOCK_ROWS) {
+            let mn = *chunk.iter().min().unwrap();
+            let mx = *chunk.iter().max().unwrap();
+            let range = mx.wrapping_sub(mn) as u64;
+            let w = (64 - range.leading_zeros()) as u8;
+            refs.push(mn);
+            maxs.push(mx);
+            widths.push(w);
+            total_words += (chunk.len() * w as usize).div_ceil(64);
+        }
+        if !forced && total_words * 64 > v.len() * 32 {
+            return None;
+        }
+        let mut offsets = Vec::with_capacity(n_blocks);
+        let mut packed = vec![0u64; total_words + 1];
+        let mut word = 0usize;
+        for (b, chunk) in v.chunks(FOR_BLOCK_ROWS).enumerate() {
+            offsets.push(word as u32);
+            let w = widths[b] as usize;
+            if w > 0 {
+                let mut bit = 0usize;
+                for &x in chunk {
+                    let d = x.wrapping_sub(refs[b]) as u64;
+                    let wd = word + (bit >> 6);
+                    let sh = bit & 63;
+                    packed[wd] |= d << sh;
+                    if sh + w > 64 {
+                        packed[wd + 1] |= d >> (64 - sh);
+                    }
+                    bit += w;
+                }
+                word += (chunk.len() * w).div_ceil(64);
+            }
+        }
+        Some(ForInt { n_rows: v.len(), refs, maxs, widths, offsets, packed })
+    }
+
+    /// Reassembles a persisted FOR column, checking every structural
+    /// invariant `get`/`decode_block_into` index by (block counts, widths,
+    /// word offsets, packed length including the pad word) so corrupt bytes
+    /// surface as an error instead of a panic in a scan.
+    pub(crate) fn from_parts(
+        n_rows: usize,
+        refs: Vec<i64>,
+        maxs: Vec<i64>,
+        widths: Vec<u8>,
+        offsets: Vec<u32>,
+        packed: Vec<u64>,
+    ) -> Result<ForInt, &'static str> {
+        let n_blocks = n_rows.div_ceil(FOR_BLOCK_ROWS);
+        if refs.len() != n_blocks
+            || maxs.len() != n_blocks
+            || widths.len() != n_blocks
+            || offsets.len() != n_blocks
+        {
+            return Err("FOR block vector lengths disagree with row count");
+        }
+        let mut word = 0usize;
+        for b in 0..n_blocks {
+            let w = widths[b] as usize;
+            if w > 64 {
+                return Err("FOR delta width exceeds 64 bits");
+            }
+            if offsets[b] as usize != word {
+                return Err("FOR block word offsets inconsistent");
+            }
+            let rows = (n_rows - b * FOR_BLOCK_ROWS).min(FOR_BLOCK_ROWS);
+            word += (rows * w).div_ceil(64);
+        }
+        if packed.len() != word + 1 {
+            return Err("FOR packed word count inconsistent");
+        }
+        Ok(ForInt { n_rows, refs, maxs, widths, offsets, packed })
+    }
+}
 
 /// Dictionary-encoded low-cardinality string column: per-row codes into a
 /// small table of distinct values (first-appearance order).
@@ -102,6 +291,15 @@ impl DictColumn {
     /// [`DICT_MAX_VALUES`] distinct strings and at least 4 rows per distinct
     /// value on average.
     fn build(strings: &[String]) -> Option<DictColumn> {
+        Self::build_impl(strings, false)
+    }
+
+    /// Builds a dictionary unconditionally (forced-encoding test matrix).
+    pub(crate) fn build_forced(strings: &[String]) -> Option<DictColumn> {
+        Self::build_impl(strings, true)
+    }
+
+    fn build_impl(strings: &[String], forced: bool) -> Option<DictColumn> {
         let mut values: Vec<String> = Vec::new();
         let mut index: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
         let mut codes = Vec::with_capacity(strings.len());
@@ -111,12 +309,12 @@ impl DictColumn {
                 values.push(s.clone());
                 next
             });
-            if values.len() > DICT_MAX_VALUES {
+            if !forced && values.len() > DICT_MAX_VALUES {
                 return None;
             }
             codes.push(code);
         }
-        if values.len() * 4 <= strings.len() {
+        if forced || values.len() * 4 <= strings.len() {
             Some(DictColumn { codes, values })
         } else {
             None
@@ -160,6 +358,16 @@ impl<T: Copy + PartialEq> RleRuns<T> {
     /// Encodes `v` when the cost rule holds: at least 4 rows per run on
     /// average (sorted/constant data; random data stays plain).
     fn build(v: &[T]) -> Option<RleRuns<T>> {
+        Self::build_impl(v, false)
+    }
+
+    /// Encodes unconditionally — worst case one run per row (forced-encoding
+    /// test matrix).
+    pub(crate) fn build_forced(v: &[T]) -> Option<RleRuns<T>> {
+        Self::build_impl(v, true)
+    }
+
+    fn build_impl(v: &[T], forced: bool) -> Option<RleRuns<T>> {
         let mut ends = Vec::new();
         let mut vals: Vec<T> = Vec::new();
         for (i, x) in v.iter().enumerate() {
@@ -171,12 +379,31 @@ impl<T: Copy + PartialEq> RleRuns<T> {
                 }
             }
         }
-        if vals.len() * 4 <= v.len() {
+        if forced || vals.len() * 4 <= v.len() {
             Some(RleRuns { ends, vals })
         } else {
             None
         }
     }
+}
+
+/// Base-segment encoding policy. `Auto` (the default) applies the cost
+/// rules in [`ColumnData::encoded`]; the forcing variants pin one encoding
+/// on every type-compatible column regardless of cost, so the equivalence
+/// test matrix can sweep every representation over the same data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncodingPolicy {
+    /// Cost-rule choice (production behavior).
+    #[default]
+    Auto,
+    /// Decode everything to plain typed vectors.
+    Plain,
+    /// Force dictionary encoding on every string column.
+    Dict,
+    /// Force run-length encoding on every integer/date column.
+    Rle,
+    /// Force frame-of-reference encoding on every integer column.
+    For,
 }
 
 /// Typed column data. Plain typed vectors are the default; the encoded and
@@ -198,6 +425,8 @@ pub enum ColumnData {
     RleInt(RleRuns<i64>),
     /// Run-length encoded date column (base segments).
     RleDate(RleRuns<i32>),
+    /// Frame-of-reference bit-packed i64 column (base segments).
+    ForInt(ForInt),
     /// Typed column with a null mask: `nulls[i]` marks NULL and the value at
     /// that position in `values` is a meaningless sentinel. Keeps nullable
     /// columns on the typed fast path instead of demoting to `Mixed`.
@@ -285,7 +514,10 @@ impl ColumnData {
             },
             ColumnData::Int(v) => match RleRuns::build(&v) {
                 Some(r) => ColumnData::RleInt(r),
-                None => ColumnData::Int(v),
+                None => match ForInt::build(&v) {
+                    Some(f) => ColumnData::ForInt(f),
+                    None => ColumnData::Int(v),
+                },
             },
             ColumnData::Date(v) => match RleRuns::build(&v) {
                 Some(r) => ColumnData::RleDate(r),
@@ -295,12 +527,72 @@ impl ColumnData {
         }
     }
 
+    /// Decodes any encoded representation back to its plain typed variant
+    /// (identity for columns that are already plain, nullable, or mixed).
+    pub fn decoded(self) -> ColumnData {
+        match self {
+            ColumnData::Dict(d) => {
+                ColumnData::Str((0..d.len()).map(|i| d.get(i).to_string()).collect())
+            }
+            ColumnData::RleInt(r) => ColumnData::Int((0..r.len()).map(|i| r.get(i)).collect()),
+            ColumnData::RleDate(r) => ColumnData::Date((0..r.len()).map(|i| r.get(i)).collect()),
+            ColumnData::ForInt(f) => {
+                let mut out = Vec::with_capacity(f.len());
+                let mut scratch = Vec::new();
+                for b in 0..f.n_blocks() {
+                    f.decode_block_into(b, &mut scratch);
+                    out.extend_from_slice(&scratch);
+                }
+                ColumnData::Int(out)
+            }
+            other => other,
+        }
+    }
+
+    /// Applies an [`EncodingPolicy`]: `Auto` runs the cost rules, the
+    /// forcing variants pin one representation on every type-compatible
+    /// column (bypassing [`ENCODE_MIN_ROWS`] and the per-encoding cost
+    /// rules). Logical content never changes.
+    pub fn encoded_with(self, policy: EncodingPolicy) -> ColumnData {
+        match policy {
+            EncodingPolicy::Auto => self.encoded(),
+            EncodingPolicy::Plain => self.decoded(),
+            EncodingPolicy::Dict => match self.decoded() {
+                ColumnData::Str(v) => match DictColumn::build_forced(&v) {
+                    Some(d) => ColumnData::Dict(d),
+                    None => ColumnData::Str(v),
+                },
+                other => other,
+            },
+            EncodingPolicy::Rle => match self.decoded() {
+                ColumnData::Int(v) => match RleRuns::build_forced(&v) {
+                    Some(r) => ColumnData::RleInt(r),
+                    None => ColumnData::Int(v),
+                },
+                ColumnData::Date(v) => match RleRuns::build_forced(&v) {
+                    Some(r) => ColumnData::RleDate(r),
+                    None => ColumnData::Date(v),
+                },
+                other => other,
+            },
+            EncodingPolicy::For => match self.decoded() {
+                ColumnData::Int(v) => match ForInt::build_forced(&v) {
+                    Some(f) => ColumnData::ForInt(f),
+                    None => ColumnData::Int(v),
+                },
+                other => other,
+            },
+        }
+    }
+
     /// An empty column of the shape a fresh delta builder should have for
     /// this base column: plain typed (append-friendly) — encoded bases get
     /// plain builders of the decoded type.
     pub fn empty_like(&self) -> ColumnData {
         match self {
-            ColumnData::Int(_) | ColumnData::RleInt(_) => ColumnData::Int(Vec::new()),
+            ColumnData::Int(_) | ColumnData::RleInt(_) | ColumnData::ForInt(_) => {
+                ColumnData::Int(Vec::new())
+            }
             ColumnData::Float(_) => ColumnData::Float(Vec::new()),
             ColumnData::Str(_) | ColumnData::Dict(_) => ColumnData::Str(Vec::new()),
             ColumnData::Date(_) | ColumnData::RleDate(_) => ColumnData::Date(Vec::new()),
@@ -393,6 +685,7 @@ impl ColumnData {
             ColumnData::Dict(d) => d.len(),
             ColumnData::RleInt(r) => r.len(),
             ColumnData::RleDate(r) => r.len(),
+            ColumnData::ForInt(f) => f.len(),
             ColumnData::Nullable { nulls, .. } => nulls.len(),
             ColumnData::Mixed(v) => v.len(),
         }
@@ -413,6 +706,7 @@ impl ColumnData {
             ColumnData::Dict(d) => Value::Str(d.get(i).to_string()),
             ColumnData::RleInt(r) => Value::Int(r.get(i)),
             ColumnData::RleDate(r) => Value::Date(r.get(i)),
+            ColumnData::ForInt(f) => Value::Int(f.get(i)),
             ColumnData::Nullable { nulls, values } => {
                 if nulls[i] {
                     Value::Null
@@ -518,6 +812,9 @@ impl ColumnData {
             }
             ColumnData::RleDate(r) => {
                 ColumnData::Date(idxs.iter().map(|&i| r.get(i as usize)).collect())
+            }
+            ColumnData::ForInt(f) => {
+                ColumnData::Int(idxs.iter().map(|&i| f.get(i as usize)).collect())
             }
             ColumnData::Nullable { nulls, values } => ColumnData::Nullable {
                 nulls: idxs.iter().map(|&i| nulls[i as usize]).collect(),
@@ -663,6 +960,18 @@ impl<'a> ColRef<'a> {
                             })
                             .collect(),
                     ),
+                    (ColumnData::ForInt(fb), ColumnData::Int(d)) => ColumnData::Int(
+                        idxs.iter()
+                            .map(|&i| {
+                                let i = i as usize;
+                                if i < split {
+                                    fb.get(i)
+                                } else {
+                                    d[i - split]
+                                }
+                            })
+                            .collect(),
+                    ),
                     _ => ColumnData::Mixed(idxs.iter().map(|&i| self.get(i as usize)).collect()),
                 }
             }
@@ -709,6 +1018,16 @@ pub struct ColumnTable {
     /// Per-column block stats headers over the base segment, rebuilt at
     /// load and at compaction.
     zones: Vec<Vec<BlockZone>>,
+    /// Per-column per-block bloom filters over the base segment (`None` for
+    /// column types blooms don't cover), rebuilt beside the zones. Empty
+    /// when disabled.
+    blooms: Vec<Option<Vec<BlockBloom>>>,
+    /// Bloom filters enabled (default). Disabling drops them and stops
+    /// rebuilding — the `_nobloom` baseline benches and tests toggle this.
+    blooms_enabled: bool,
+    /// Base-segment encoding policy; `Auto` outside the forced-encoding
+    /// test matrix. Compactions keep applying it.
+    encoding_policy: EncodingPolicy,
 }
 
 impl ColumnTable {
@@ -733,6 +1052,9 @@ impl ColumnTable {
             block_rows: zone::default_block_rows(rows),
             block_rows_override: None,
             zones: Vec::new(),
+            blooms: Vec::new(),
+            blooms_enabled: true,
+            encoding_policy: EncodingPolicy::Auto,
         };
         t.rebuild_zones();
         t
@@ -836,6 +1158,56 @@ impl ColumnTable {
             .iter()
             .map(|c| zone::column_zones(c, self.block_rows))
             .collect();
+        self.blooms = if self.blooms_enabled {
+            self.base
+                .iter()
+                .map(|c| zone::column_blooms(c, self.block_rows))
+                .collect()
+        } else {
+            Vec::new()
+        };
+    }
+
+    /// Per-block bloom filters of column `ci`, when built for its type and
+    /// blooms are enabled.
+    pub(crate) fn blooms(&self, ci: usize) -> Option<&[BlockBloom]> {
+        self.blooms.get(ci).and_then(|b| b.as_deref())
+    }
+
+    /// Enables/disables per-block bloom filters (rebuilding or dropping
+    /// them). Pruning stays correct either way — blooms only refute more
+    /// blocks; the `_nobloom` baselines use this.
+    pub fn set_bloom_filters(&mut self, enabled: bool) {
+        if self.blooms_enabled == enabled {
+            return;
+        }
+        self.blooms_enabled = enabled;
+        self.rebuild_zones();
+    }
+
+    /// True when per-block bloom filters are enabled.
+    pub fn bloom_filters_enabled(&self) -> bool {
+        self.blooms_enabled
+    }
+
+    /// Pins a base-segment [`EncodingPolicy`], re-encoding the existing base
+    /// under it and rebuilding zones/blooms over the new representation.
+    /// Subsequent compactions keep applying the policy; logical content and
+    /// the delta region are untouched. `Auto` restores cost-rule encoding.
+    pub fn set_encoding_policy(&mut self, policy: EncodingPolicy) {
+        self.encoding_policy = policy;
+        let new_base: Vec<ColumnData> = self
+            .base
+            .iter()
+            .map(|c| c.clone().encoded_with(policy))
+            .collect();
+        self.base = Arc::new(new_base);
+        self.rebuild_zones();
+    }
+
+    /// The active base-segment encoding policy.
+    pub fn encoding_policy(&self) -> EncodingPolicy {
+        self.encoding_policy
     }
 
     /// The *base segment* of column `ci` (zero-copy; pair with
@@ -916,7 +1288,11 @@ impl ColumnTable {
         let live = self.live_rids();
         let mut new_base = Vec::with_capacity(self.base.len());
         for ci in 0..self.base.len() {
-            new_base.push(self.column_ref(ci).gather_rows(&live).encoded());
+            new_base.push(
+                self.column_ref(ci)
+                    .gather_rows(&live)
+                    .encoded_with(self.encoding_policy),
+            );
         }
         self.base_rows = live.len();
         self.delta = new_base.iter().map(|c| c.empty_like()).collect();
@@ -960,6 +1336,8 @@ impl ColumnTable {
             delta_rows: self.delta_rows,
             version: self.version,
             block_rows_override: self.block_rows_override,
+            blooms_enabled: self.blooms_enabled,
+            encoding_policy: self.encoding_policy,
         }
     }
 
@@ -990,6 +1368,9 @@ impl ColumnTable {
             block_rows,
             block_rows_override,
             zones: Vec::new(),
+            blooms: Vec::new(),
+            blooms_enabled: true,
+            encoding_policy: EncodingPolicy::Auto,
         };
         t.rebuild_zones();
         t
@@ -1010,6 +1391,7 @@ impl ColumnTable {
         self.version = built.new_version;
         self.block_rows = built.block_rows;
         self.zones = built.zones;
+        self.blooms = if self.blooms_enabled { built.blooms } else { Vec::new() };
     }
 }
 
@@ -1033,6 +1415,12 @@ pub struct ColumnTableSnapshot {
     pub version: u64,
     /// Pinned zone block size, if any.
     pub block_rows_override: Option<usize>,
+    /// Whether the table builds bloom filters (an offline compact must
+    /// precompute what the install expects).
+    pub blooms_enabled: bool,
+    /// Encoding policy at snapshot time (an offline compact must re-encode
+    /// under the same policy the table will keep).
+    pub encoding_policy: EncodingPolicy,
 }
 
 impl ColumnTableSnapshot {
@@ -1071,6 +1459,8 @@ pub(crate) struct CompactedCols {
     pub block_rows: usize,
     /// Precomputed zone headers for the new base.
     pub zones: Vec<Vec<BlockZone>>,
+    /// Precomputed per-block bloom filters for the new base.
+    pub blooms: Vec<Option<Vec<BlockBloom>>>,
     /// Version the table takes at install: snapshot version + 1, exactly
     /// the stamp a synchronous compact at snapshot time would have left,
     /// so WAL replay (which re-runs the compact at that point) converges
@@ -1207,12 +1597,59 @@ mod tests {
             ColumnData::from_values(&dates).encoded(),
             ColumnData::RleDate(_)
         ));
-        // Random ints stay plain.
+        // Narrow-domain shuffled ints FOR-encode; full-width noise stays plain.
         let random: Vec<Value> = (0..256).map(|i| Value::Int((i * 37 % 251) as i64)).collect();
         assert!(matches!(
             ColumnData::from_values(&random).encoded(),
+            ColumnData::ForInt(_)
+        ));
+        let noise: Vec<Value> = (0..256u64)
+            .map(|i| Value::Int(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) as i64))
+            .collect();
+        assert!(matches!(
+            ColumnData::from_values(&noise).encoded(),
             ColumnData::Int(_)
         ));
+    }
+
+    #[test]
+    fn for_encoding_round_trips_and_packs_blocks() {
+        // Near-sequential keys spanning several FOR blocks, with a straddling
+        // width (9 bits ⇒ deltas cross word boundaries) and a constant block.
+        let n = FOR_BLOCK_ROWS * 2 + 100;
+        let ints: Vec<i64> = (0..n as i64)
+            .map(|i| if i < (FOR_BLOCK_ROWS) as i64 { 500 } else { i * 2 + (i % 3) })
+            .collect();
+        let vals: Vec<Value> = ints.iter().map(|&i| Value::Int(i)).collect();
+        let col = ColumnData::from_values(&vals).encoded();
+        let ColumnData::ForInt(f) = &col else {
+            panic!("expected ForInt, got {col:?}");
+        };
+        assert_eq!(f.n_blocks(), 3);
+        assert_eq!(f.widths[0], 0, "constant block packs to zero bits");
+        assert_eq!(col.len(), n);
+        for (i, &x) in ints.iter().enumerate() {
+            assert_eq!(col.get(i), Value::Int(x), "get at {i}");
+        }
+        let mut scratch = Vec::new();
+        for b in 0..f.n_blocks() {
+            f.decode_block_into(b, &mut scratch);
+            let r = f.block_range(b);
+            assert_eq!(&scratch[..], &ints[r.start..r.end], "block {b}");
+        }
+        // Gather decodes to plain (a gathered subset loses block structure).
+        let g = col.gather_rows(&[0, (n - 1) as u32, (FOR_BLOCK_ROWS + 7) as u32]);
+        assert!(matches!(g, ColumnData::Int(_)));
+        assert_eq!(g.get(1), Value::Int(ints[n - 1]));
+        // A single wide block (width > 32, word-straddling deltas) is legal
+        // when narrow blocks subsidize the average.
+        let mut mixed: Vec<i64> = vec![7; FOR_BLOCK_ROWS];
+        mixed.extend((0..FOR_BLOCK_ROWS as i64).map(|i| i << 40));
+        let f = ForInt::build(&mixed).expect("narrow block subsidizes the wide one");
+        assert!(f.widths[1] > 32);
+        for (i, &x) in mixed.iter().enumerate() {
+            assert_eq!(f.get(i), x, "wide get at {i}");
+        }
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //!   tombstone, updates relocate the tuple (heap-update style) — and every
 //!   B-tree index is maintained in place on each write;
 //! * the **column store** keeps its base columns immutable (block-structured
-//!   with [`zone::BlockZone`] headers, dictionary/RLE-encoded where the cost
-//!   rule fires) and buffers all writes in an append-friendly **delta
+//!   with [`zone::BlockZone`] headers, compressed where a cost rule fires —
+//!   see below) and buffers all writes in an append-friendly **delta
 //!   region** plus a deleted-rid bitmap, stamped with a monotonically
 //!   increasing version; compaction merges the delta into fresh base
 //!   columns.
@@ -23,6 +23,56 @@
 //! change to both copies. AP scans read base + delta through selection
 //! vectors; zone maps cover only the immutable base (delta rids are always
 //! scanned, never pruned), which keeps block skipping correct under DML.
+//!
+//! # Base-segment encodings (and why the delta stays plain)
+//!
+//! Because the base is immutable between compactions, it is the one place
+//! compression pays for itself: encode once at (re)build time, scan many
+//! times. [`col_store`] picks a representation per column when a base is
+//! built, in cost-rule order:
+//!
+//! * **Dictionary** ([`DictColumn`]): string columns whose distinct count is
+//!   small relative to the row count. Scans, hash joins and group-bys then
+//!   work on the `u32` codes — equality/IN compare codes, joins hash codes
+//!   and translate probe-side codes through a build-side remap — and decode
+//!   strings only at materialization.
+//! * **Run-length** ([`RleRuns`]): int/date columns whose average run length
+//!   clears the break-even point. Predicate kernels evaluate once per *run*,
+//!   not once per row, then fan the verdict out to the covered rids.
+//! * **Frame-of-reference** ([`col_store::ForInt`]): int columns that are
+//!   neither low-cardinality nor run-heavy but locally narrow — each
+//!   [`col_store::FOR_BLOCK_ROWS`]-row block stores one reference value plus
+//!   bit-packed deltas, provided the packed widths actually undercut plain
+//!   `i64` storage. Point access stays O(1) (shift + mask), and range
+//!   predicates translate into the packed domain once per block.
+//! * **Plain** typed vectors otherwise; nullable columns carry a null mask
+//!   rather than demoting to generic values.
+//!
+//! The **delta region never encodes**: it is append-hot (every write would
+//! re-run the cost rule), too small to amortize a dictionary or reference
+//! frame, and scanned in full anyway because zone maps don't cover it.
+//! Encoding it would buy nothing and cost every DML statement; compaction is
+//! the moment delta rows earn a compressed representation. A per-table
+//! [`col_store::EncodingPolicy`] can force one representation everywhere
+//! (tests sweep the full matrix; compaction preserves the pinned policy).
+//!
+//! # Per-block bloom filters
+//!
+//! Zone min/max headers refute *range* predicates but are weak against
+//! point predicates over unclustered keys (a block spanning the whole key
+//! domain refutes nothing). Each base block therefore also carries a small
+//! bloom filter over the column's hashed values ([`zone::BlockZone`]), and
+//! the [`ScanPruner`] consults it for `=` and `IN` conjuncts. The safety
+//! argument is one-sided: a bloom answers "definitely absent" or "maybe
+//! present" — false *positives* merely scan a block that min/max would have
+//! scanned anyway (pure, bounded overhead: one probe per block per
+//! conjunct), while false *negatives* cannot occur, so a pruned block
+//! provably contains no match and results are unchanged. Delta rows are
+//! never bloom-pruned (same rule as zone maps), filters are recomputed —
+//! not persisted — whenever a base is (re)built or recovered, and literals
+//! that cannot equal any stored value under SQL comparison semantics (e.g.
+//! fractional floats probing an int column) skip the filter rather than
+//! hash incompatibly.
 //!
 //! # Durability lifecycle: WAL → segments → manifest → checkpoint
 //!
@@ -450,13 +500,23 @@ impl CompactSnapshot {
         let width = self.cols.width();
         let mut base = Vec::with_capacity(width);
         for ci in 0..width {
-            base.push(self.cols.column_ref(ci).gather_rows(&live).encoded());
+            base.push(
+                self.cols
+                    .column_ref(ci)
+                    .gather_rows(&live)
+                    .encoded_with(self.cols.encoding_policy),
+            );
         }
         let block_rows = self
             .cols
             .block_rows_override
             .unwrap_or_else(|| zone::default_block_rows(n_live));
         let zones = base.iter().map(|c| zone::column_zones(c, block_rows)).collect();
+        let blooms = if self.cols.blooms_enabled {
+            base.iter().map(|c| zone::column_blooms(c, block_rows)).collect()
+        } else {
+            Vec::new()
+        };
         // Decode columns once; rows, indexes and stats all derive from it.
         let decoded: Vec<Vec<Value>> = base
             .iter()
@@ -478,6 +538,7 @@ impl CompactSnapshot {
                 n_live,
                 block_rows,
                 zones,
+                blooms,
                 new_version: self.cols.version + 1,
             },
             rows,

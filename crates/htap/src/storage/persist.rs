@@ -19,7 +19,7 @@
 //! only deleted (see [`clean_stale`]) after the rename lands.
 
 use super::codec::{self, Reader};
-use super::col_store::{ColumnData, ColumnTable, ColumnTableSnapshot, DictColumn, RleRuns};
+use super::col_store::{ColumnData, ColumnTable, ColumnTableSnapshot, DictColumn, ForInt, RleRuns};
 use super::durable_io::{crc32, DurabilityError, DurableFile, FailPoints};
 use crate::stats::DbStats;
 use crate::tpch::TpchConfig;
@@ -88,9 +88,12 @@ pub struct Manifest {
 // Column codec
 // ---------------------------------------------------------------------------
 // Tags: 0=Int 1=Float 2=Str 3=Date 4=Dict 5=RleInt 6=RleDate 7=Nullable
-// 8=Mixed. Encoded representations persist as-is — a recovered base must be
-// *physically* identical to the pre-crash base, not merely equal after
-// decoding, because scans and zone maps depend on the representation.
+// 8=Mixed 9=ForInt. Encoded representations persist as-is — a recovered base
+// must be *physically* identical to the pre-crash base, not merely equal
+// after decoding, because scans, zone maps and bloom filters depend on the
+// representation (zones and blooms themselves are recomputed, which is what
+// makes them byte-identical after recovery: same base, same deterministic
+// build).
 
 fn put_col(buf: &mut Vec<u8>, col: &ColumnData) {
     match col {
@@ -168,6 +171,27 @@ fn put_col(buf: &mut Vec<u8>, col: &ColumnData) {
                 codec::put_value(buf, val);
             }
         }
+        ColumnData::ForInt(f) => {
+            codec::put_u8(buf, 9);
+            codec::put_u64(buf, f.len() as u64);
+            codec::put_u32(buf, f.refs.len() as u32);
+            for x in &f.refs {
+                codec::put_i64(buf, *x);
+            }
+            for x in &f.maxs {
+                codec::put_i64(buf, *x);
+            }
+            for w in &f.widths {
+                codec::put_u8(buf, *w);
+            }
+            for o in &f.offsets {
+                codec::put_u32(buf, *o);
+            }
+            codec::put_u32(buf, f.packed.len() as u32);
+            for w in &f.packed {
+                codec::put_u64(buf, *w);
+            }
+        }
     }
 }
 
@@ -235,6 +259,20 @@ fn read_col(r: &mut Reader<'_>, allow_nullable: bool) -> Result<ColumnData, Dura
         8 => {
             let n = r.count(1)?;
             ColumnData::Mixed((0..n).map(|_| codec::read_value(r)).collect::<Result<_, _>>()?)
+        }
+        9 => {
+            let n_rows = r.u64()? as usize;
+            let nb = r.count(21)?;
+            let refs: Vec<i64> = (0..nb).map(|_| r.i64()).collect::<Result<_, _>>()?;
+            let maxs: Vec<i64> = (0..nb).map(|_| r.i64()).collect::<Result<_, _>>()?;
+            let widths: Vec<u8> = (0..nb).map(|_| r.u8()).collect::<Result<_, _>>()?;
+            let offsets: Vec<u32> = (0..nb).map(|_| r.u32()).collect::<Result<_, _>>()?;
+            let np = r.count(8)?;
+            let packed: Vec<u64> = (0..np).map(|_| r.u64()).collect::<Result<_, _>>()?;
+            ColumnData::ForInt(
+                ForInt::from_parts(n_rows, refs, maxs, widths, offsets, packed)
+                    .map_err(|e| DurabilityError::Corrupt(e.into()))?,
+            )
         }
         t => {
             return Err(DurabilityError::Corrupt(format!(
@@ -494,9 +532,15 @@ mod tests {
         let mixed: Vec<Value> = (0..n)
             .map(|i| if i % 2 == 0 { Value::Int(i as i64) } else { Value::Str("x".into()) })
             .collect();
+        // Run-free but narrow-domain: rejected by RLE, accepted by FOR.
+        let nar: Vec<Value> = (0..n).map(|i| Value::Int((i * 13 % 97) as i64)).collect();
         let mut t = ColumnTable::from_columns(
             "exotic",
-            &[ints, floats, dates, dict, plain, nullable, mixed],
+            &[ints, floats, dates, dict, plain, nullable, mixed, nar],
+        );
+        assert!(
+            matches!(t.column(7), ColumnData::ForInt(_)),
+            "fixture column 7 must land on the FOR representation"
         );
         t.insert(&[
             Value::Int(999),
@@ -506,6 +550,7 @@ mod tests {
             Value::Str("tail".into()),
             Value::Null,
             Value::Float(1.5),
+            Value::Int(42),
         ]);
         t.delete(3);
         t.delete(60);

@@ -400,11 +400,14 @@ pub struct WalReadOutcome {
     /// Records that checksummed, in append order.
     pub records: Vec<WalRecord>,
     /// Torn-tail bytes discarded (and physically truncated from the file).
+    /// An all-zero tail — the untouched remainder of a preallocated chunk,
+    /// not a mid-flush crash — is truncated too but counts as zero here.
     pub truncated_bytes: u64,
 }
 
-/// Reads every intact record of a WAL file, truncating any torn tail in
-/// place so a re-opened log appends after the last good record.
+/// Reads every intact record of a WAL file, truncating any torn tail (or
+/// preallocation padding) in place so a re-opened log appends after the
+/// last good record.
 pub fn read_wal_file(path: &Path) -> Result<WalReadOutcome, DurabilityError> {
     let bytes = std::fs::read(path)?;
     let mut records = Vec::new();
@@ -430,8 +433,12 @@ pub fn read_wal_file(path: &Path) -> Result<WalReadOutcome, DurabilityError> {
         pos += 8 + len as usize;
         good = pos;
     }
-    let truncated_bytes = (bytes.len() - good) as u64;
-    if truncated_bytes > 0 {
+    let tail = &bytes[good..];
+    // Flushes write prefixes of the append order into a zero-filled
+    // preallocated region, so an all-zero tail is padding past the last
+    // append, not data lost to a crash.
+    let truncated_bytes = if tail.iter().all(|&b| b == 0) { 0 } else { tail.len() as u64 };
+    if !tail.is_empty() {
         let f = std::fs::OpenOptions::new().write(true).open(path)?;
         f.set_len(good as u64)?;
         f.sync_data()?;

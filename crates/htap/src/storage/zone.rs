@@ -35,6 +35,181 @@ use qpe_sql::binder::BoundExpr;
 use qpe_sql::value::Value;
 use std::cmp::Ordering;
 
+// ---------------------------------------------------------------------------
+// Per-block bloom filters
+// ---------------------------------------------------------------------------
+
+/// Bloom bits for blocks of up to 512 rows (512 bytes per block/column) —
+/// the floor of the adaptive sizing below.
+pub const BLOOM_BITS: usize = 4096;
+const BLOOM_PROBES: u32 = 3;
+
+/// Filter size for a block of `block_rows` rows: ~8 bits per row, rounded
+/// to a power of two, never below [`BLOOM_BITS`]. [`default_block_rows`]
+/// grows blocks to 4096 rows on big segments; a fixed-size filter would
+/// saturate there (every probe a false positive, so the pruner keeps — and
+/// pays sel-vector assembly for — every block). Scaling with the block
+/// keeps the fill factor ≤3/8 and the false-positive rate ≈5% at any size.
+fn bloom_bits_for(block_rows: usize) -> usize {
+    block_rows.saturating_mul(8).next_power_of_two().max(BLOOM_BITS)
+}
+
+/// A small bloom filter over one block of one column (sized to the block by
+/// [`bloom_bits_for`]), built at
+/// load/compact beside the [`BlockZone`] headers (and, like them, never
+/// persisted — recomputed deterministically from the base). It answers
+/// "might a row equal to this value live in the block?" for `=`/`IN`
+/// pruning on high-cardinality unclustered columns, where min/max always
+/// straddles the literal. A false positive only costs reading the block; a
+/// false negative is forbidden — every row value is inserted at build time,
+/// and probing is restricted to literal types whose `sql_eq` matches are
+/// guaranteed hash-identical (see [`bloom_probe_hash`]).
+#[derive(Debug, Clone)]
+pub struct BlockBloom {
+    words: Box<[u64]>,
+    /// `bits - 1`; the bit count is a power of two, so masking replaces `%`.
+    mask: usize,
+}
+
+impl BlockBloom {
+    fn new(block_rows: usize) -> Self {
+        let bits = bloom_bits_for(block_rows);
+        BlockBloom { words: vec![0u64; bits / 64].into_boxed_slice(), mask: bits - 1 }
+    }
+
+    /// Sets the `BLOOM_PROBES` bits derived from `h` (double hashing with an
+    /// odd stride, so probes stay distinct without rehashing).
+    #[inline]
+    fn insert(&mut self, h: u64) {
+        let stride = (h >> 32) | 1;
+        let mut g = h;
+        for _ in 0..BLOOM_PROBES {
+            let bit = (g as usize) & self.mask;
+            self.words[bit / 64] |= 1 << (bit % 64);
+            g = g.wrapping_add(stride);
+        }
+    }
+
+    /// True unless some probe bit is clear (which proves absence).
+    #[inline]
+    pub fn may_contain(&self, h: u64) -> bool {
+        let stride = (h >> 32) | 1;
+        let mut g = h;
+        for _ in 0..BLOOM_PROBES {
+            let bit = (g as usize) & self.mask;
+            if self.words[bit / 64] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+            g = g.wrapping_add(stride);
+        }
+        true
+    }
+}
+
+/// splitmix64 finalizer — the shared scalar mixer under every bloom hash.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Integer-domain bloom hash. Int and Date rows share this domain because
+/// `sql_eq` equates them numerically (`Date(5) = 5` is true), so an Int
+/// literal probing a date bloom must hash identically to the day it matches.
+#[inline]
+fn bloom_hash_i64(x: i64) -> u64 {
+    mix64(x as u64)
+}
+
+/// String-domain bloom hash (FNV-1a over the bytes, then mixed).
+fn bloom_hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// Hash of a predicate literal for bloom probing, or `None` when the literal
+/// must not probe at all. Float literals are excluded: `sql_eq` compares
+/// them to int rows through `as_float`, and above 2^53 several distinct i64
+/// rows round to one float — a hash probe would refute a block that holds a
+/// genuine match. NULL literals never prune anywhere. (Cross-domain probes
+/// — a Str literal against an int bloom — are safe: `sql_eq` is false for
+/// every such row, so refuting the block cannot drop a match.)
+pub(crate) fn bloom_probe_hash(lit: &Value) -> Option<u64> {
+    match lit {
+        Value::Int(x) => Some(bloom_hash_i64(*x)),
+        Value::Date(d) => Some(bloom_hash_i64(*d as i64)),
+        Value::Str(s) => Some(bloom_hash_str(s)),
+        _ => None,
+    }
+}
+
+/// Builds the per-block bloom filters for one column, or `None` for column
+/// types equality blooms do not cover (Float rows because of the rounding
+/// edge above, Nullable/Mixed to keep the build path simple — those columns
+/// still prune through their zone headers).
+pub(crate) fn column_blooms(col: &ColumnData, block_rows: usize) -> Option<Vec<BlockBloom>> {
+    let n = col.len();
+    let step = block_rows.max(1);
+    let n_blocks = n.div_ceil(step);
+    let mut out = Vec::with_capacity(n_blocks);
+    // Dict values hash once per distinct string, not once per row.
+    let dict_hashes: Option<Vec<u64>> = match col {
+        ColumnData::Dict(d) => Some(d.values.iter().map(|s| bloom_hash_str(s)).collect()),
+        _ => None,
+    };
+    for b in 0..n_blocks {
+        let range = b * step..((b + 1) * step).min(n);
+        let mut bloom = BlockBloom::new(step);
+        match col {
+            ColumnData::Int(v) => {
+                for &x in &v[range] {
+                    bloom.insert(bloom_hash_i64(x));
+                }
+            }
+            ColumnData::Date(v) => {
+                for &x in &v[range] {
+                    bloom.insert(bloom_hash_i64(x as i64));
+                }
+            }
+            ColumnData::Str(v) => {
+                for s in &v[range] {
+                    bloom.insert(bloom_hash_str(s));
+                }
+            }
+            ColumnData::Dict(d) => {
+                let hashes = dict_hashes.as_ref().unwrap();
+                for i in range {
+                    bloom.insert(hashes[d.codes[i] as usize]);
+                }
+            }
+            ColumnData::RleInt(r) => {
+                for i in range {
+                    bloom.insert(bloom_hash_i64(r.get(i)));
+                }
+            }
+            ColumnData::RleDate(r) => {
+                for i in range {
+                    bloom.insert(bloom_hash_i64(r.get(i) as i64));
+                }
+            }
+            ColumnData::ForInt(f) => {
+                for i in range {
+                    bloom.insert(bloom_hash_i64(f.get(i)));
+                }
+            }
+            ColumnData::Float(_) | ColumnData::Nullable { .. } | ColumnData::Mixed(_) => {
+                return None;
+            }
+        }
+        out.push(bloom);
+    }
+    Some(out)
+}
+
 /// Smallest zone-map block (tiny tables still get real skipping).
 pub const MIN_BLOCK_ROWS: usize = 16;
 /// Largest zone-map block (production-style page size).
@@ -174,6 +349,38 @@ fn block_zone(col: &ColumnData, range: std::ops::Range<usize>) -> BlockZone {
                     null_count: 0,
                     rows,
                 }
+            }
+        }
+        ColumnData::ForInt(f) => {
+            if range.is_empty() {
+                return BlockZone::empty();
+            }
+            // When the zone block nests inside FOR blocks, the stored
+            // per-FOR-block min/max bound it; exact only when aligned, so
+            // fall back to scanning values otherwise.
+            use super::col_store::FOR_BLOCK_ROWS;
+            let (fb_lo, fb_hi) = (range.start / FOR_BLOCK_ROWS, (range.end - 1) / FOR_BLOCK_ROWS);
+            let aligned = range.start.is_multiple_of(FOR_BLOCK_ROWS)
+                && (range.end.is_multiple_of(FOR_BLOCK_ROWS) || range.end == f.len());
+            let (min, max) = if aligned {
+                let min = (fb_lo..=fb_hi).map(|b| f.refs[b]).min().unwrap();
+                let max = (fb_lo..=fb_hi).map(|b| f.maxs[b]).max().unwrap();
+                (min, max)
+            } else {
+                let mut min = i64::MAX;
+                let mut max = i64::MIN;
+                for i in range {
+                    let x = f.get(i);
+                    min = min.min(x);
+                    max = max.max(x);
+                }
+                (min, max)
+            };
+            BlockZone {
+                min: Some(Value::Int(min)),
+                max: Some(Value::Int(max)),
+                null_count: 0,
+                rows,
             }
         }
         ColumnData::Str(v) => {
@@ -396,10 +603,30 @@ impl<'a> ScanPruner<'a> {
         let n_blocks = table.n_blocks();
         let base_rows = table.base_len();
         let phys = table.physical_len();
+        // Equality/IN literals hash once per scan; per block only bloom bits
+        // are tested. `None` = this conjunct cannot drive bloom refutation.
+        let probes: Vec<Option<Vec<u64>>> = self
+            .conjuncts
+            .iter()
+            .map(|c| match c {
+                Conjunct::Cmp { op: BinaryOp::Eq, lit, .. } => {
+                    bloom_probe_hash(lit).map(|h| vec![h])
+                }
+                Conjunct::InList { items, .. } => {
+                    let non_null = items.iter().filter(|v| !v.is_null());
+                    let hs: Vec<u64> =
+                        non_null.clone().filter_map(bloom_probe_hash).collect();
+                    // Every non-NULL item must be hashable, or a block
+                    // holding an unhashable match could be refuted.
+                    (hs.len() == non_null.count()).then_some(hs)
+                }
+                _ => None,
+            })
+            .collect();
         let mut keep = vec![true; n_blocks];
         let mut pruned = 0u64;
         for (b, k) in keep.iter_mut().enumerate() {
-            for c in &self.conjuncts {
+            for (idx, c) in self.conjuncts.iter().enumerate() {
                 let ci = match c {
                     Conjunct::Cmp { ci, .. }
                     | Conjunct::Between { ci, .. }
@@ -413,6 +640,18 @@ impl<'a> ScanPruner<'a> {
                     *k = false;
                     pruned += 1;
                     break;
+                }
+                // Zone min/max kept the block; a bloom miss on every
+                // equality candidate still proves no row matches. Base
+                // blocks only — the delta below is never pruned.
+                if let (Some(hashes), Some(blooms)) = (&probes[idx], table.blooms(ci)) {
+                    if let Some(bloom) = blooms.get(b) {
+                        if hashes.iter().all(|h| !bloom.may_contain(*h)) {
+                            *k = false;
+                            pruned += 1;
+                            break;
+                        }
+                    }
                 }
             }
         }

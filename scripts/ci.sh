@@ -49,6 +49,15 @@ echo "==> dirty-table executor comparison (encoded base + delta + tombstones)"
 # equivalence a clean-table comparison would never exercise.
 cargo run --release -p qpe_bench --bin bench_snapshot -- --compare scalar,batch --dirty
 
+echo "==> forced-encoding executor gates (pinned dict/rle/for bases, dirty, scalar vs batch)"
+# Each run re-encodes the compared tables' bases under one pinned policy and
+# asserts scalar ≡ batch on rows AND WorkCounters before timing — the
+# compressed-execution kernels must be result-invariant, not just fast.
+for enc in dict rle for; do
+    cargo run --release -p qpe_bench --bin bench_snapshot -- --compare scalar,batch --dirty --encoding "$enc"
+done
+cargo run --release -p qpe_bench --bin bench_snapshot -- --compare batch,par4 --encoding for
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -420,6 +420,69 @@ fn background_compaction_is_equivalent_and_recoverable() {
     assert_states_equal("recovered bg-compacted state", &state(&recovered), &want);
 }
 
+/// Sealed segments carry their physical encoding: a base compacted under a
+/// forced FOR policy checkpoints as `ForInt` columns, and recovery replays
+/// them identically — same representation (column discriminants), same rows,
+/// same work counters, and the same bloom/zone pruning behaviour (blooms and
+/// zone maps are recomputed deterministically from the recovered
+/// representation, so a bloom-pruned point query charges identical counters
+/// before and after the crash).
+#[test]
+fn forced_for_segments_and_bloom_pruning_replay_identically() {
+    use qpe_htap::storage::col_store::{ColumnData, EncodingPolicy};
+
+    let dir = TmpDir::new("forenc");
+    let cfg = config();
+    let fp = FailPoints::default();
+    let mut sys = HtapSystem::open_with(&dir.0, &cfg, opts(fp.clone())).expect("open");
+    assert!(sys.database_mut().set_encoding_policy("customer", EncodingPolicy::For));
+    assert!(sys.database_mut().set_bloom_filters("customer", true));
+    for i in 0..12 {
+        apply(&sys, SimOp::Insert, 61, i);
+    }
+    sys.compact("customer");
+    sys.checkpoint().expect("checkpoint seals the FOR base");
+    // Post-checkpoint writes live in the WAL + delta only.
+    for i in 12..16 {
+        apply(&sys, SimOp::Insert, 61, i);
+    }
+
+    let for_columns = |sys: &HtapSystem| {
+        let db = sys.database();
+        let cols = &db.stored_table("customer").expect("customer exists").cols;
+        [0, 2].map(|ci| matches!(cols.column(ci), ColumnData::ForInt(_)))
+    };
+    assert_eq!(for_columns(&sys), [true, true], "forced FOR base before the crash");
+    let before = state(&sys);
+    // A bloom-prunable point query over the sealed FOR base (key 12 landed
+    // in the base segment; most blocks lack it and their blooms say so).
+    let probe = "SELECT c_name FROM customer WHERE c_custkey = 1001891";
+    let probe_before = sys.run_sql(probe).expect("probe");
+
+    // Tear the 17th insert's WAL flush mid-record and kill the process.
+    fp.arm_partial("wal", 1, 0.3);
+    apply(&sys, SimOp::Insert, 61, 16);
+    assert!(fp.crashed());
+    drop(sys);
+
+    let recovered = HtapSystem::open(&dir.0, &cfg).expect("recover");
+    let report = recovered.recovery_report().expect("durable open has a report").clone();
+    assert_eq!(report.wal_records_replayed, 4, "only the post-checkpoint inserts replay");
+    assert!(report.torn_bytes_discarded > 0, "the torn 17th insert was measured");
+    assert_eq!(
+        for_columns(&recovered),
+        [true, true],
+        "sealed segments replay with their FOR representation intact"
+    );
+    assert_states_equal("forced-FOR recovery", &state(&recovered), &before);
+    let probe_after = recovered.run_sql(probe).expect("probe recovered");
+    assert_eq!(probe_after.tp.rows, probe_before.tp.rows, "probe rows diverge");
+    assert_eq!(
+        probe_after.ap.counters, probe_before.ap.counters,
+        "recomputed blooms/zones must prune exactly as before the crash"
+    );
+}
+
 /// The compactor thread keeps the table compacted while writers stay live:
 /// with a tiny trigger threshold, sustained DML ends with bounded delta
 /// debt and zero lost statements.

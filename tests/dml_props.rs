@@ -341,6 +341,58 @@ proptest! {
     }
 }
 
+/// Forced-encoding matrix on a *dirty* table: after a fixed DML
+/// interleaving, every encoding policy × bloom-filter setting keeps all
+/// read paths identical — TP ≡ AP serial ≡ AP parallel rows, executor
+/// counters identical, pruned ≡ unpruned — and compaction (which folds the
+/// delta into the forced base representation) changes nothing.
+#[test]
+fn forced_encodings_on_dirty_tables_keep_read_paths_identical() {
+    use qpe_htap::storage::col_store::EncodingPolicy;
+    let policies = [
+        EncodingPolicy::Plain,
+        EncodingPolicy::Dict,
+        EncodingPolicy::Rle,
+        EncodingPolicy::For,
+    ];
+    for policy in policies {
+        let mut sys = fresh_system();
+        assert!(sys.database_mut().set_zone_block_rows("customer", 8));
+        assert!(sys.database_mut().set_encoding_policy("customer", policy));
+        for (i, &c) in [0u8, 1, 2, 0, 3, 1, 0, 2].iter().enumerate() {
+            apply(&mut sys, decode(c), 4242, i);
+        }
+        for blooms in [true, false] {
+            assert!(sys.database_mut().set_bloom_filters("customer", blooms));
+            let tp = sorted(scan_rows(&sys, EngineKind::Tp));
+            let ap = sorted(scan_rows(&sys, EngineKind::Ap));
+            assert_eq!(tp, ap, "{policy:?}/blooms={blooms}: TP vs AP scan");
+            let par = sorted(parallel_scan_rows(&sys, 4));
+            assert_eq!(tp, par, "{policy:?}/blooms={blooms}: TP vs parallel AP");
+            assert_executor_equivalence(&sys, "SELECT * FROM customer");
+            for sql in [
+                "SELECT c_custkey, c_mktsegment FROM customer \
+                 WHERE c_mktsegment = 'machinery'",
+                "SELECT COUNT(*), SUM(c_acctbal) FROM customer WHERE c_custkey > 50",
+            ] {
+                assert_pruning_equivalence(&sys, sql);
+            }
+        }
+        // Compaction folds the delta into the forced representation; the
+        // policy survives and answers stay put.
+        let before = sorted(scan_rows(&sys, EngineKind::Ap));
+        sys.compact("customer");
+        assert_eq!(
+            sys.database().stored_table("customer").unwrap().cols.encoding_policy(),
+            policy,
+            "compaction dropped the forced policy"
+        );
+        let after = sorted(scan_rows(&sys, EngineKind::Ap));
+        assert_eq!(before, after, "{policy:?}: compaction changed answers");
+        assert_executor_equivalence(&sys, "SELECT * FROM customer");
+    }
+}
+
 /// Block stats go stale in the conservative direction only, and `compact()`
 /// rebuilds them exactly: relocating a row's value outside every old block
 /// range keeps it visible pre-compaction (delta rows are never pruned), and

@@ -236,6 +236,94 @@ mod scalar_vs_batch {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Forced-encoding matrix: every storage representation × bloom filters
+// ---------------------------------------------------------------------------
+//
+// The compressed-execution kernels (dictionary-code equality/join/group-by,
+// run-aware RLE comparisons, packed-domain FOR range checks) each fire only
+// for their own representation — so the equivalence contract is checked with
+// every representation *forced*, not just the ones the cost rules would
+// pick. For each policy × bloom-filter setting, scalar ≡ serial batch ≡
+// parallel rows and WorkCounters, and answers must match the Plain baseline.
+
+mod forced_encodings {
+    use qpe_htap::engine::{EngineKind, HtapSystem};
+    use qpe_htap::exec::{
+        execute_parallel, execute_scalar, execute_vectorized, vector, ExecConfig, Row,
+    };
+    use qpe_htap::opt::{ap, PlannerCtx};
+    use qpe_htap::storage::col_store::EncodingPolicy;
+    use qpe_htap::tpch::TpchConfig;
+
+    const TABLES: &[&str] = &["customer", "orders", "nation"];
+
+    /// Queries chosen to route through each specialized kernel: dict
+    /// equality + IN, FOR/RLE range predicates, dict-keyed group-by, a
+    /// join, and top-N.
+    const QUERIES: &[&str] = &[
+        "SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'machinery'",
+        "SELECT c_custkey FROM customer WHERE c_mktsegment IN ('building', 'household')",
+        "SELECT COUNT(*), SUM(o_totalprice) FROM orders WHERE o_orderkey < 700",
+        "SELECT c_mktsegment, COUNT(*), AVG(c_acctbal) FROM customer \
+         GROUP BY c_mktsegment ORDER BY c_mktsegment",
+        "SELECT COUNT(*) FROM customer, orders \
+         WHERE o_custkey = c_custkey AND o_totalprice > 1000.0",
+        "SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 7",
+    ];
+
+    /// Row interpreter ≡ serial batch ≡ parallel (2 and 4 threads), rows
+    /// and counters, on whatever representations the system currently has.
+    fn agreed_rows(sys: &HtapSystem, sql: &str, label: &str) -> Vec<Row> {
+        let db = sys.database();
+        let bound = sys.bind(sql).expect("binds");
+        let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
+        let plan = ap::plan(&ctx).expect("ap plan");
+        assert!(vector::supported(&plan), "{label}: unsupported AP plan for {sql}");
+        let (srows, sc) = execute_scalar(&plan, &bound, &db, EngineKind::Ap).expect("scalar");
+        let (brows, bc) = execute_vectorized(&plan, &bound, &db).expect("vectorized");
+        assert_eq!(srows, brows, "{label}: scalar vs batch rows for {sql}");
+        assert_eq!(sc, bc, "{label}: scalar vs batch counters for {sql}");
+        for threads in [2usize, 4] {
+            let cfg = ExecConfig { threads, morsel_rows: 48 };
+            let (prows, pc) = execute_parallel(&plan, &bound, &db, &cfg).expect("parallel");
+            assert_eq!(brows, prows, "{label}: parallel rows at {threads} threads for {sql}");
+            assert_eq!(bc, pc, "{label}: parallel counters at {threads} threads for {sql}");
+        }
+        brows
+    }
+
+    #[test]
+    fn every_policy_and_bloom_setting_agrees_with_plain() {
+        // Plain baseline answers (blooms are irrelevant to plain columns
+        // but toggled anyway below for the cross-check).
+        let mut sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
+        for t in TABLES {
+            assert!(sys.database_mut().set_encoding_policy(t, EncodingPolicy::Plain));
+        }
+        let baseline: Vec<Vec<Row>> = QUERIES
+            .iter()
+            .map(|sql| agreed_rows(&sys, sql, "plain"))
+            .collect();
+
+        for policy in [EncodingPolicy::Dict, EncodingPolicy::Rle, EncodingPolicy::For, EncodingPolicy::Auto] {
+            for t in TABLES {
+                assert!(sys.database_mut().set_encoding_policy(t, policy));
+            }
+            for blooms in [true, false] {
+                for t in TABLES {
+                    assert!(sys.database_mut().set_bloom_filters(t, blooms));
+                }
+                let label = format!("{policy:?}/blooms={blooms}");
+                for (sql, base) in QUERIES.iter().zip(&baseline) {
+                    let rows = agreed_rows(&sys, sql, &label);
+                    assert_eq!(&rows, base, "{label}: answer moved vs Plain for {sql}");
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn order_by_is_respected_by_both_engines() {
     let sys = system();
