@@ -60,6 +60,20 @@
 //!   latency (ns) while the background compactor repeatedly rebuilds and
 //!   swaps the table underneath the writer.
 //!
+//! MVCC mixed-workload cases (the snapshot-read contention story):
+//! * `mvcc_reader_p99_no_writer` — p99 latency (ns) of a prepared
+//!   analytical reader (plan once; per read, pin a snapshot and execute)
+//!   on an otherwise idle durable system;
+//! * `mvcc_reader_p99_with_writer` — the same reads while a concurrent
+//!   paced client streams durable insert/delete cycles (steady-state table
+//!   size, periodic compaction). Snapshot reads hold no lock during
+//!   execution, so the target is busy p99 ≤ 1.5x quiet p99; the ratio is
+//!   printed and a warning fires above the target. Like the `par_*` thread
+//!   scaling, this is hardware-dependent: on a single-core host reader and
+//!   writer timeslice one CPU, the whole latency distribution shifts by
+//!   scheduler interference with the locks never contended, and the
+//!   printed note says so — judge the target on a multi-core host.
+//!
 //! ```sh
 //! cargo run --release --bin bench_snapshot                # print + write
 //! cargo run --release --bin bench_snapshot -- --check     # print only
@@ -869,6 +883,128 @@ fn durability_cases() -> Vec<(&'static str, u64)> {
     out
 }
 
+/// MVCC mixed-workload cases: reader p99 with and without a concurrent
+/// durable writer. Each read pins a snapshot (a brief read lock to clone
+/// the `Arc`'d column state) and executes the aggregate entirely lock-free,
+/// so a writer streaming group-committed DML should cost readers almost
+/// nothing. The writer runs steady-state insert/delete cycles with a
+/// compact every 256 ops — the table stays near its baseline size (a
+/// growing scan would inflate the busy p99 for reasons unrelated to
+/// contention), while the write lock, the WAL and compaction's
+/// copy-on-write swap all stay hot under the readers' feet.
+fn mvcc_cases() -> Vec<(&'static str, u64)> {
+    use qpe_htap::engine::DurabilityOptions;
+    use qpe_htap::SyncPolicy;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let root = std::env::temp_dir().join(format!("qpe_bench_mvcc_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let config = TpchConfig::with_scale(0.02);
+    let opts = DurabilityOptions {
+        sync: SyncPolicy::GroupCommit { interval: Duration::ZERO },
+        ..DurabilityOptions::default()
+    };
+    let sys = Arc::new(HtapSystem::open_with(&root, &config, opts).expect("opens durable dir"));
+
+    const READS: usize = 2_000;
+    // A prepared analytical reader: bind + AP-plan once, then per read pin
+    // a snapshot and execute the cached plan on it (parameter-free, so this
+    // is exactly the prepared-statement serving loop; re-parsing per read
+    // would double the read cost and measure the front end instead).
+    let probe =
+        "SELECT COUNT(*), SUM(c_acctbal) FROM customer WHERE c_mktsegment = 'machinery'";
+    let (plan, bound) = sys.pin_snapshot().plan(probe).expect("plans");
+    let read_p99 = |sys: &HtapSystem| -> u64 {
+        let read_once = || {
+            let snap = sys.pin_snapshot();
+            black_box(execute_vectorized(&plan, &bound, snap.database()).expect("snapshot read"));
+        };
+        for _ in 0..50 {
+            read_once();
+        }
+        let mut lat = Vec::with_capacity(READS);
+        for _ in 0..READS {
+            let start = Instant::now();
+            read_once();
+            lat.push(start.elapsed().as_nanos() as u64);
+        }
+        lat.sort_unstable();
+        println!(
+            "  (reads: p50 {} p90 {} p99 {} max {} ns)",
+            lat[READS / 2],
+            lat[READS * 90 / 100],
+            lat[READS * 99 / 100],
+            lat[READS - 1]
+        );
+        lat[READS * 99 / 100]
+    };
+
+    let quiet_p99 = read_p99(&sys);
+
+    let stop = AtomicBool::new(false);
+    let written = AtomicUsize::new(0);
+    let busy_p99 = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut key = 4_000_000usize;
+            while !stop.load(Ordering::Relaxed) {
+                sys.execute_statement(&format!(
+                    "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, \
+                     c_acctbal, c_mktsegment) VALUES ({key}, 'customer#{key}', 4, \
+                     '20-555-000-1111', 10.5, 'machinery')"
+                ))
+                .expect("durable insert");
+                sys.execute_statement(&format!(
+                    "DELETE FROM customer WHERE c_custkey = {key}"
+                ))
+                .expect("durable delete");
+                if key.is_multiple_of(256) {
+                    sys.compact("customer");
+                }
+                key += 1;
+                written.fetch_add(1, Ordering::Relaxed);
+                // An OLTP-style paced client, not a saturating loop: the
+                // metric targets lock-induced reader stalls, and a writer
+                // that pegs the CPU measures the kernel scheduler instead
+                // (on a single-core host a spinning writer inflates reader
+                // p99 by whole timeslices with the locks never contended).
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        });
+        let p99 = read_p99(&sys);
+        stop.store(true, Ordering::Relaxed);
+        p99
+    });
+
+    let ratio = busy_p99 as f64 / quiet_p99.max(1) as f64;
+    println!(
+        "  (writer landed {} durable insert/delete cycles during the busy window; \
+         reader p99 is {ratio:.2}x the quiet p99)",
+        written.load(Ordering::Relaxed)
+    );
+    if ratio > 1.5 {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores <= 1 {
+            println!(
+                "  (NOTE: single-core host — reader and writer timeslice one CPU, so the \
+                 ratio floor is scheduler-driven CPU sharing, not lock contention; judge \
+                 the 1.5x target on a multi-core host)"
+            );
+        } else {
+            println!(
+                "  (WARNING: reader p99 above the 1.5x no-writer target — snapshot reads \
+                 should not stall behind the writer)"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    vec![
+        ("mvcc_reader_p99_no_writer", quiet_p99),
+        ("mvcc_reader_p99_with_writer", busy_p99),
+    ]
+}
+
 /// Value of a `--flag N` style argument, if present.
 fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -881,6 +1017,14 @@ fn arg_value(flag: &str) -> Option<String> {
 fn main() {
     let check_only = std::env::args().any(|a| a == "--check");
     let mut sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
+    // `--mvcc` runs just the mixed-workload snapshot-read cases,
+    // print-only — the fast loop for chasing reader-stall regressions.
+    if std::env::args().any(|a| a == "--mvcc") {
+        for (label, ns) in mvcc_cases() {
+            println!("{label:<32} {ns:>12} ns (p99)");
+        }
+        return;
+    }
     if std::env::args().any(|a| a == "--compare") {
         let spec = arg_value("--compare").unwrap_or_default();
         let (a, b) = match spec.split_once(',') {
@@ -953,6 +1097,11 @@ fn main() {
         let unit = if label.contains("qps") { "q/s" } else { "ns" };
         println!("{label:<36} {v:>12} {unit}");
         entries.push((label.to_string(), v));
+    }
+
+    for (label, ns) in mvcc_cases() {
+        println!("{label:<32} {ns:>12} ns (p99)");
+        entries.push((label.to_string(), ns));
     }
 
     for (label, ns) in pruning_cases() {

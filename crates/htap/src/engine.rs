@@ -258,9 +258,13 @@ impl std::fmt::Display for HtapError {
 impl std::error::Error for HtapError {}
 
 /// The database: catalog, statistics, and dual-format storage.
+///
+/// Catalog and statistics sit behind `Arc` with copy-on-write
+/// ([`Arc::make_mut`]) so [`Database::pin_snapshot`] shares them in O(1);
+/// a writer only pays for a copy while a pinned snapshot is outstanding.
 pub struct Database {
-    catalog: MemoryCatalog,
-    stats: DbStats,
+    catalog: Arc<MemoryCatalog>,
+    stats: Arc<DbStats>,
     tables: HashMap<String, StoredTable>,
     config: TpchConfig,
     /// When armed (one DML statement's scope), every `apply_*` records the
@@ -282,8 +286,8 @@ impl Database {
             tables.insert(g.name.clone(), StoredTable::load(def, g));
         }
         Database {
-            catalog,
-            stats,
+            catalog: Arc::new(catalog),
+            stats: Arc::new(stats),
             tables,
             config: config.clone(),
             op_tap: None,
@@ -314,7 +318,13 @@ impl Database {
             }
             tables.insert(name.clone(), StoredTable::from_recovered(def, cols));
         }
-        Ok(Database { catalog, stats, tables, config, op_tap: None })
+        Ok(Database {
+            catalog: Arc::new(catalog),
+            stats: Arc::new(stats),
+            tables,
+            config,
+            op_tap: None,
+        })
     }
 
     /// The catalog.
@@ -359,7 +369,7 @@ impl Database {
                 tap.push((table.to_string(), op));
             }
         }
-        self.stats.note_insert(table, rows);
+        Arc::make_mut(&mut self.stats).note_insert(table, rows);
         self.sync_row_count(table);
         self.maybe_refresh_stats(table);
         rows.len() as u64
@@ -392,7 +402,7 @@ impl Database {
                 tap.push((table.to_string(), op));
             }
         }
-        self.stats.note_delete(table, n);
+        Arc::make_mut(&mut self.stats).note_delete(table, n);
         self.sync_row_count(table);
         self.maybe_refresh_stats(table);
         n
@@ -416,7 +426,7 @@ impl Database {
         for (rid, row) in changes {
             st.update(rid, row);
         }
-        self.stats.note_update(table, &new_rows);
+        Arc::make_mut(&mut self.stats).note_update(table, &new_rows);
         self.maybe_refresh_stats(table);
         n
     }
@@ -478,6 +488,38 @@ impl Database {
         }
     }
 
+    /// Pins a consistent MVCC snapshot of the whole database for AP reads:
+    /// every table's column store is pinned at its current epoch
+    /// ([`ColumnTable::view_at`]), catalog/stats/config are shared, and the
+    /// row-store halves are empty shells (AP plans never touch rows or
+    /// indexes). O(tables × width) `Arc` bumps — cheap enough to take per
+    /// statement under the read lock, after which execution proceeds with
+    /// **no lock at all**: writers mutate through copy-on-write and never
+    /// wait for, or block, a pinned reader.
+    pub(crate) fn pin_snapshot(&self) -> Database {
+        let tables = self
+            .tables
+            .iter()
+            .filter_map(|(name, st)| {
+                let def = self.catalog.table(name)?;
+                Some((name.clone(), st.ap_view(def)))
+            })
+            .collect();
+        Database {
+            catalog: Arc::clone(&self.catalog),
+            stats: Arc::clone(&self.stats),
+            tables,
+            config: self.config.clone(),
+            op_tap: None,
+        }
+    }
+
+    /// Physical-design epoch of one table (see
+    /// [`StoredTable::design_epoch`]). `None` for unknown tables.
+    pub fn design_epoch(&self, table: &str) -> Option<u64> {
+        self.tables.get(table).map(|st| st.design_epoch())
+    }
+
     /// Consistent snapshots of every table's physical column-store state,
     /// sorted by name (O(width) each — base columns are `Arc`-shared).
     pub(crate) fn snapshot_tables(&self) -> Vec<ColumnTableSnapshot> {
@@ -520,8 +562,8 @@ impl Database {
             return false;
         };
         let live = st.row_count() as u64;
-        self.stats.insert(stats);
-        if let Some(def) = self.catalog.table_mut(table) {
+        Arc::make_mut(&mut self.stats).insert(stats);
+        if let Some(def) = Arc::make_mut(&mut self.catalog).table_mut(table) {
             def.row_count = live;
             if let Some(ts) = self.stats.table(table) {
                 for (cd, cs) in def.columns.iter_mut().zip(&ts.columns) {
@@ -560,6 +602,7 @@ impl Database {
         match self.tables.get_mut(table) {
             Some(st) => {
                 st.cols.set_block_rows(rows);
+                st.bump_design_epoch();
                 true
             }
             None => false,
@@ -574,6 +617,7 @@ impl Database {
         match self.tables.get_mut(table) {
             Some(st) => {
                 st.cols.set_bloom_filters(enabled);
+                st.bump_design_epoch();
                 true
             }
             None => false,
@@ -592,6 +636,7 @@ impl Database {
         match self.tables.get_mut(table) {
             Some(st) => {
                 st.cols.set_encoding_policy(policy);
+                st.bump_design_epoch();
                 true
             }
             None => false,
@@ -617,7 +662,7 @@ impl Database {
             return;
         };
         let n = st.row_count() as u64;
-        if let Some(def) = self.catalog.table_mut(table) {
+        if let Some(def) = Arc::make_mut(&mut self.catalog).table_mut(table) {
             def.row_count = n;
         }
     }
@@ -649,8 +694,8 @@ impl Database {
                 c.push(v.clone());
             }
         }
-        self.stats.insert(TableStats::collect(table, &columns));
-        if let Some(def) = self.catalog.table_mut(table) {
+        Arc::make_mut(&mut self.stats).insert(TableStats::collect(table, &columns));
+        if let Some(def) = Arc::make_mut(&mut self.catalog).table_mut(table) {
             def.row_count = columns.first().map(|c| c.len()).unwrap_or(0) as u64;
             if let Some(ts) = self.stats.table(table) {
                 for (cd, cs) in def.columns.iter_mut().zip(&ts.columns) {
@@ -664,7 +709,7 @@ impl Database {
     /// "additional index on c_phone" user context). Returns false if the
     /// table/column doesn't exist.
     pub fn create_index(&mut self, table: &str, column: &str) -> bool {
-        let Some(def) = self.catalog.table_mut(table) else {
+        let Some(def) = Arc::make_mut(&mut self.catalog).table_mut(table) else {
             return false;
         };
         let Some(ci) = def.column_index(column) else {
@@ -675,6 +720,7 @@ impl Database {
         }
         if let Some(st) = self.tables.get_mut(table) {
             st.rows.create_index(ci);
+            st.bump_design_epoch();
         }
         true
     }
@@ -825,6 +871,12 @@ pub struct HtapSystem {
     /// their physical plans, keyed by SQL fingerprint, LRU-evicted, with
     /// hit/miss stats.
     plan_cache: PlanCache,
+    /// MVCC snapshot reads (default on; `QPE_MVCC_READS=0` restores the
+    /// legacy hold-the-read-lock-for-the-whole-statement path). When on,
+    /// the AP side of every read pins a snapshot epoch under the read lock
+    /// and executes after releasing it, so a long scan never blocks a
+    /// writer. Results are identical either way.
+    mvcc_reads: bool,
 }
 
 impl HtapSystem {
@@ -848,6 +900,7 @@ impl HtapSystem {
             priced_threads: ExecConfig::env_requested_threads().unwrap_or(1) as u64,
             pruning: true,
             plan_cache: PlanCache::default(),
+            mvcc_reads: std::env::var("QPE_MVCC_READS").map(|v| v != "0").unwrap_or(true),
         }
     }
 
@@ -902,8 +955,8 @@ impl HtapSystem {
                     format: MANIFEST_FORMAT,
                     version: 1,
                     wal_gen: 1,
-                    catalog: db.catalog.clone(),
-                    stats: db.stats.clone(),
+                    catalog: (*db.catalog).clone(),
+                    stats: (*db.stats).clone(),
                     config: db.config.clone(),
                     tables,
                 };
@@ -1028,8 +1081,8 @@ impl HtapSystem {
         d.wal
             .rotate(new_wal, WalRecord::Checkpoint { version })?;
         let snaps = db.snapshot_tables();
-        let catalog = db.catalog.clone();
-        let stats = db.stats.clone();
+        let catalog = (*db.catalog).clone();
+        let stats = (*db.stats).clone();
         let config = db.config.clone();
         drop(db);
         let mut tables = Vec::with_capacity(snaps.len());
@@ -1160,13 +1213,13 @@ impl HtapSystem {
     }
 
     /// Mutable database access (index creation, compaction knobs).
-    /// Physical-design changes invalidate cached plans, so the plan cache
-    /// is cleared. The guard holds the write lock — keep it short-lived.
-    /// Changes made through this handle bypass the WAL; on a durable
-    /// system, follow up with [`HtapSystem::checkpoint`] if they must
-    /// survive a crash.
+    /// Physical-design changes bump the affected table's design epoch, and
+    /// cached plans revalidate their recorded epochs on hit — so unlike the
+    /// old blanket cache clear, plans for untouched tables stay cached.
+    /// The guard holds the write lock — keep it short-lived. Changes made
+    /// through this handle bypass the WAL; on a durable system, follow up
+    /// with [`HtapSystem::checkpoint`] if they must survive a crash.
     pub fn database_mut(&mut self) -> RwLockWriteGuard<'_, Database> {
-        self.plan_cache.clear();
         self.db_write()
     }
 
@@ -1251,7 +1304,8 @@ impl HtapSystem {
         })
     }
 
-    /// Runs a bound query on one engine.
+    /// Runs a bound query on one engine. AP runs execute on a pinned MVCC
+    /// snapshot with the read lock released (unless MVCC reads are off).
     pub fn run_engine(
         &self,
         bound: &BoundQuery,
@@ -1259,6 +1313,11 @@ impl HtapSystem {
     ) -> Result<EngineRun, HtapError> {
         let db = self.db_read();
         let plan = self.plan_on(&db, bound, engine)?;
+        if engine == EngineKind::Ap && self.mvcc_reads {
+            let snap = db.pin_snapshot();
+            drop(db);
+            return self.run_plan_on(&snap, plan, bound, engine);
+        }
         self.run_plan_on(&db, plan, bound, engine)
     }
 
@@ -1271,6 +1330,11 @@ impl HtapSystem {
         engine: EngineKind,
     ) -> Result<EngineRun, HtapError> {
         let db = self.db_read();
+        if engine == EngineKind::Ap && self.mvcc_reads {
+            let snap = db.pin_snapshot();
+            drop(db);
+            return self.run_plan_on(&snap, plan, bound, engine);
+        }
         self.run_plan_on(&db, plan, bound, engine)
     }
 
@@ -1443,8 +1507,20 @@ impl HtapSystem {
         let tp_plan = self.plan_on(&db, &bound, EngineKind::Tp)?;
         let ap_plan = self.plan_on(&db, &bound, EngineKind::Ap)?;
         let tp = self.run_plan_on(&db, tp_plan, &bound, EngineKind::Tp)?;
-        let ap = self.run_plan_on(&db, ap_plan, &bound, EngineKind::Ap)?;
-        drop(db);
+        // The TP run (fast: index probes / row scans) happens under the
+        // read lock; the AP run — the long tail — pins a snapshot at the
+        // same epoch and executes with the lock released, so a streaming
+        // writer is blocked only for the TP run plus an O(tables × width)
+        // pin, not for the whole analytical scan.
+        let ap = if self.mvcc_reads {
+            let snap = db.pin_snapshot();
+            drop(db);
+            self.run_plan_on(&snap, ap_plan, &bound, EngineKind::Ap)?
+        } else {
+            let ap = self.run_plan_on(&db, ap_plan, &bound, EngineKind::Ap)?;
+            drop(db);
+            ap
+        };
         check_results_match(sql, &bound, &tp, &ap)?;
         Ok(QueryOutcome {
             sql: sql.to_string(),
@@ -1465,8 +1541,15 @@ impl HtapSystem {
     ) -> Result<QueryOutcome, HtapError> {
         let db = self.db_read();
         let tp = self.run_plan_on(&db, tp_plan, bound, EngineKind::Tp)?;
-        let ap = self.run_plan_on(&db, ap_plan, bound, EngineKind::Ap)?;
-        drop(db);
+        let ap = if self.mvcc_reads {
+            let snap = db.pin_snapshot();
+            drop(db);
+            self.run_plan_on(&snap, ap_plan, bound, EngineKind::Ap)?
+        } else {
+            let ap = self.run_plan_on(&db, ap_plan, bound, EngineKind::Ap)?;
+            drop(db);
+            ap
+        };
         check_results_match(&bound.sql, bound, &tp, &ap)?;
         Ok(QueryOutcome {
             sql: bound.sql.clone(),
@@ -1474,6 +1557,73 @@ impl HtapSystem {
             tp,
             ap,
         })
+    }
+
+    /// Whether AP reads execute on pinned MVCC snapshots off the lock.
+    pub fn mvcc_reads(&self) -> bool {
+        self.mvcc_reads
+    }
+
+    /// Toggles MVCC snapshot reads (tests and the equivalence sweeps run
+    /// both ways; results are identical, only lock-hold times differ).
+    pub fn set_mvcc_reads(&mut self, enabled: bool) {
+        self.mvcc_reads = enabled;
+    }
+
+    /// Pins an MVCC [`Snapshot`] of the current committed state. The pin
+    /// itself briefly holds the read lock (O(tables × width) `Arc` bumps);
+    /// the returned snapshot holds **no lock** — concurrent writers append
+    /// new versions through copy-on-write and never disturb it, and the
+    /// versions it pinned stay reachable (hence unreclaimable) until the
+    /// snapshot drops.
+    pub fn pin_snapshot(&self) -> Snapshot {
+        Snapshot {
+            db: self.db_read().pin_snapshot(),
+            exec_cfg: self.exec_cfg.clone(),
+            pruning: self.pruning,
+        }
+    }
+}
+
+/// A pinned MVCC snapshot of the database: every table's column store
+/// frozen at the epoch current when [`HtapSystem::pin_snapshot`] ran,
+/// readable lock-free on any AP executor while writers proceed. Reads see
+/// exactly the committed prefix at the pin — never a torn statement, never
+/// a later write.
+pub struct Snapshot {
+    db: Database,
+    exec_cfg: ExecConfig,
+    pruning: bool,
+}
+
+impl Snapshot {
+    /// The pinned database state (AP side only — row stores are empty
+    /// shells; run AP plans against this, not TP plans).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The epoch one table was pinned at.
+    pub fn epoch(&self, table: &str) -> Option<u64> {
+        self.db.stored_table(table).map(|st| st.cols.version())
+    }
+
+    /// Binds and AP-plans `sql` against the pinned catalog and statistics
+    /// (deterministic: two snapshots of identical logical state plan
+    /// identically).
+    pub fn plan(&self, sql: &str) -> Result<(PlanNode, BoundQuery), HtapError> {
+        let bound = Binder::new(self.db.catalog()).bind_sql(sql)?;
+        let mut ctx = PlannerCtx::new(&bound, self.db.stats(), self.db.catalog());
+        ctx.pushdown = self.pruning;
+        let plan = ap::plan(&ctx)?;
+        Ok((plan, bound))
+    }
+
+    /// Runs `sql` against the pinned state (AP batch executor, this
+    /// snapshot's parallelism config), returning rows and work counters.
+    pub fn run_sql(&self, sql: &str) -> Result<(Vec<Row>, exec::WorkCounters), HtapError> {
+        let (plan, bound) = self.plan(sql)?;
+        Ok(exec::execute_with(&plan, &bound, &self.db, EngineKind::Ap, &self.exec_cfg)?)
     }
 }
 

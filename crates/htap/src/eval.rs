@@ -125,6 +125,12 @@ pub fn eval(expr: &BoundExpr, schema: &Schema, row: &[Value]) -> Result<Value, E
             let found = list.iter().any(|item| v.sql_eq(item));
             Ok(bool_val(found != *negated && !(v.is_null())))
         }
+        // Parameterized IN lists are lowered to `InList` by parameter
+        // substitution before execution; reaching one here means a
+        // placeholder was never bound.
+        BoundExpr::InListParam { items, .. } => {
+            Err(EvalError::UnboundParam(first_param_idx(items)))
+        }
         BoundExpr::Between { expr, low, high } => {
             let v = eval(expr, schema, row)?;
             let lo = eval(low, schema, row)?;
@@ -1176,7 +1182,22 @@ pub fn eval_batch(
         }
         BoundExpr::Aggregate { .. } => Err(EvalError::AggregateInScalarContext),
         BoundExpr::Param { idx, .. } => Err(EvalError::UnboundParam(*idx)),
+        BoundExpr::InListParam { items, .. } => {
+            Err(EvalError::UnboundParam(first_param_idx(items)))
+        }
     }
+}
+
+/// The first placeholder index in a parameterized IN list (for the
+/// unbound-parameter error when one survives to execution).
+fn first_param_idx(items: &[BoundExpr]) -> usize {
+    items
+        .iter()
+        .find_map(|it| match it {
+            BoundExpr::Param { idx, .. } => Some(*idx),
+            _ => None,
+        })
+        .unwrap_or(0)
 }
 
 #[inline]

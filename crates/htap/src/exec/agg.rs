@@ -45,6 +45,7 @@ pub fn collect_leaves(expr: &BoundExpr, out: &mut Vec<AggLeaf>) {
         }
         BoundExpr::Not(e)
         | BoundExpr::InList { expr: e, .. }
+        | BoundExpr::InListParam { expr: e, .. }
         | BoundExpr::Like { expr: e, .. }
         | BoundExpr::IsNull { expr: e, .. }
         | BoundExpr::Substring { expr: e, .. } => collect_leaves(e, out),

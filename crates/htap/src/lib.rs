@@ -14,8 +14,8 @@
 //!   optimizer whose cost scale is deliberately *not comparable* to TP's
 //!   (the paper's "never compare costs across engines" trap). Its base
 //!   columns are immutable; writes buffer in a versioned **delta region**
-//!   (typed column builders + a deleted-rid bitmap) that scans read through,
-//!   and `compact()` merges into fresh base columns.
+//!   (typed column builders + per-row begin/end version stamps) that scans
+//!   read through, and `compact()` merges into fresh base columns.
 //!
 //! # Sessions: prepare once, execute many
 //!
@@ -40,11 +40,24 @@
 //! pruning effectiveness exactly match the unprepared run
 //! (`tests/prepared_props.rs`).
 //!
-//! **Concurrency:** the entire read path is `&self` — binding, planning and
-//! execution take a shared read lock, so N threads with N sessions execute
-//! prepared SELECTs fully in parallel over one system. Writes take the write
-//! lock internally; nothing on the public surface needs `&mut` anymore (the
-//! old `execute_sql(&mut self)` remains as a deprecated shim).
+//! **Concurrency:** the entire read path is `&self`, and analytical reads
+//! run on **MVCC snapshots** rather than under the database lock. Every
+//! read statement's AP side — and [`engine::HtapSystem::pin_snapshot`]
+//! explicitly — takes the read lock only long enough to clone the `Arc`'d
+//! column state at the table's current visibility epoch, then drops it and
+//! executes entirely lock-free; writers proceed concurrently via
+//! copy-on-write (`Arc::make_mut` clones any column an outstanding snapshot
+//! still holds). Each delta row carries begin/end version stamps, so a
+//! pinned [`engine::Snapshot`] sees exactly the rows committed at its epoch
+//! — same rows *and* same work counters as a system that stopped there
+//! (`tests/mvcc_props.rs` holds it to a committed-prefix oracle). Old row
+//! versions are reclaimed when the last snapshot `Arc` referencing them
+//! drops; `compact()` advances the table's history floor, the oldest epoch
+//! a version view can still be reconstructed at. Writes take the write lock
+//! internally; nothing on the public surface needs `&mut` (the old
+//! `execute_sql(&mut self)` remains as a deprecated shim), and the
+//! `QPE_MVCC_READS=0` escape hatch routes reads back under the read lock
+//! with identical results — it is a latency knob, not a semantics knob.
 //!
 //! # DML flow (freshness made explicit)
 //!

@@ -271,6 +271,15 @@ pub fn detail_of(expr: &BoundExpr, query: &BoundQuery, catalog: &dyn Catalog) ->
                     items.join(", ")
                 )
             }
+            E::InListParam { expr, items, negated } => {
+                let items: Vec<String> = items.iter().map(|it| rec(it, f)).collect();
+                format!(
+                    "{}{} IN ({})",
+                    rec(expr, f),
+                    if *negated { " NOT" } else { "" },
+                    items.join(", ")
+                )
+            }
             E::Between { expr, low, high } => format!(
                 "{} BETWEEN {} AND {}",
                 rec(expr, f),

@@ -204,6 +204,16 @@ fn find_index_choice(ctx: &PlannerCtx, slot: usize) -> Result<Option<IndexChoice
                     true,
                 )
             }),
+            // A parameterized IN list is index-eligible exactly like the
+            // literal form: placeholder elements become `Param` key terms,
+            // lowered to literals at execution like `col = ?` keys — so the
+            // prepared plan's shape matches the literal-inlined plan.
+            BoundExpr::InListParam { expr, items, negated: false } => {
+                expr.as_bare_column().and_then(|c| {
+                    let keys: Option<Vec<PlanTerm>> = items.iter().map(term_of).collect();
+                    keys.map(|keys| (c, IndexLookup::Keys(keys), true))
+                })
+            }
             BoundExpr::Between { expr, low, high } => {
                 match (expr.as_bare_column(), term_of(low), term_of(high)) {
                     (Some(c), Some(lo), Some(hi)) => Some((

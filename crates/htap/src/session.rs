@@ -126,15 +126,36 @@ impl PlanCache {
         self.inner.lock().expect("plan cache poisoned")
     }
 
+    /// Plain lookup with no validation (tests exercise the LRU/doorkeeper
+    /// mechanics without design-epoch checks).
+    #[cfg(test)]
     fn get(&self, fingerprint: &str) -> Option<Arc<CachedStatement>> {
+        self.get_validated(fingerprint, |_| true)
+    }
+
+    /// Lookup with validate-on-hit: the resident entry is served only if
+    /// `valid` approves it (the caller checks its recorded per-table design
+    /// epochs against the live catalog). A stale entry is evicted and the
+    /// lookup counted as a miss, so the hit-rate reflects plans actually
+    /// served — never a plan built against a since-changed physical design.
+    fn get_validated(
+        &self,
+        fingerprint: &str,
+        valid: impl FnOnce(&CachedStatement) -> bool,
+    ) -> Option<Arc<CachedStatement>> {
         let mut inner = self.lock();
         inner.stamp += 1;
         let stamp = inner.stamp;
         match inner.map.get_mut(fingerprint) {
-            Some(slot) => {
+            Some(slot) if valid(&slot.stmt) => {
                 slot.last_used = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&slot.stmt))
+            }
+            Some(_) => {
+                inner.map.remove(fingerprint);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -208,6 +229,12 @@ impl PlanCache {
 pub struct CachedStatement {
     /// The fingerprint SQL (trimmed, trailing `;` stripped).
     sql: String,
+    /// Each referenced table's design epoch at plan time
+    /// ([`crate::engine::Database::design_epoch`]). A cache hit is only
+    /// served while every entry still matches, so a physical-design change
+    /// (index build, zone/bloom/encoding reconfiguration) invalidates
+    /// exactly the statements that touch the changed table.
+    design_epochs: Vec<(String, u64)>,
     kind: CachedKind,
 }
 
@@ -250,31 +277,67 @@ impl HtapSystem {
     /// [`PreparedStatement::execute`] is the "execute many" half.
     pub(crate) fn prepare_cached(&self, sql: &str) -> Result<Arc<CachedStatement>, HtapError> {
         let fingerprint = sql.trim().trim_end_matches(';');
-        if let Some(hit) = self.plan_cache().get(fingerprint) {
-            return Ok(hit);
+        {
+            // Validate-on-hit: a resident plan is only served while every
+            // table it was planned against still has the design epoch it
+            // was planned at. The brief read guard is taken before the
+            // cache lock; nothing acquires them in the other order.
+            let db = self.database();
+            let hit = self.plan_cache().get_validated(fingerprint, |stmt| {
+                stmt.design_epochs
+                    .iter()
+                    .all(|(table, epoch)| db.design_epoch(table) == Some(*epoch))
+            });
+            if let Some(hit) = hit {
+                return Ok(hit);
+            }
         }
-        let kind = match self.bind_statement(fingerprint)? {
+        let (kind, design_epochs) = match self.bind_statement(fingerprint)? {
             BoundStatement::Query(bound) => {
                 let db = self.database();
                 let mut ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
                 ctx.pushdown = self.pruning();
                 let tp = tp::plan(&ctx)?;
                 let ap = ap::plan(&ctx)?;
+                let epochs = design_epochs_for(&db, bound.tables.iter().map(|t| t.name.as_str()));
                 drop(db);
-                CachedKind::Query { bound: Arc::new(bound), tp, ap }
+                (CachedKind::Query { bound: Arc::new(bound), tp, ap }, epochs)
             }
             BoundStatement::Dml(dml) => {
                 let db = self.database();
                 let plan = tp::plan_dml(&dml, db.stats(), db.catalog())?;
+                let epochs = design_epochs_for(&db, std::iter::once(dml.table_name()));
                 drop(db);
-                CachedKind::Dml { dml, plan }
+                (CachedKind::Dml { dml, plan }, epochs)
             }
         };
-        let stmt = Arc::new(CachedStatement { sql: fingerprint.to_string(), kind });
+        let stmt = Arc::new(CachedStatement {
+            sql: fingerprint.to_string(),
+            design_epochs,
+            kind,
+        });
         self.plan_cache()
             .insert(fingerprint.to_string(), Arc::clone(&stmt));
         Ok(stmt)
     }
+}
+
+/// The deduplicated `(table, design_epoch)` pairs a statement was planned
+/// against, captured under the same guard the planner used.
+fn design_epochs_for<'a>(
+    db: &crate::engine::Database,
+    tables: impl Iterator<Item = &'a str>,
+) -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = Vec::new();
+    for name in tables {
+        if out.iter().any(|(n, _)| n == name) {
+            continue;
+        }
+        if let Some(epoch) = db.design_epoch(name) {
+            out.push((name.to_string(), epoch));
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -512,6 +575,7 @@ mod tests {
     fn mk_stmt(sql: &str) -> Arc<CachedStatement> {
         Arc::new(CachedStatement {
             sql: sql.to_string(),
+            design_epochs: vec![],
             kind: CachedKind::Dml {
                 dml: BoundDml::Insert(qpe_sql::binder::BoundInsert {
                     table: "t".into(),
@@ -575,6 +639,40 @@ mod tests {
         assert!(stats.hit_rate() > 0.79, "hit rate {}", stats.hit_rate());
         // Probation is bounded: a flood can't grow it past 2x capacity.
         assert!(cache.lock().probation.len() <= 8);
+    }
+
+    #[test]
+    fn design_change_invalidates_only_affected_cached_plans() {
+        let mut sys = HtapSystem::new(&TpchConfig::with_scale(0.002));
+        let cust = "SELECT COUNT(*) FROM customer WHERE c_acctbal < 0.0";
+        let nation = "SELECT COUNT(*) FROM nation";
+        sys.prepare_cached(cust).unwrap(); // miss: front end runs
+        sys.prepare_cached(nation).unwrap(); // miss
+        // Physical-design change on customer only. This no longer clears
+        // the cache — invalidation is per-table via design epochs.
+        assert!(sys.database_mut().set_bloom_filters("customer", true));
+        let before = sys.plan_cache_stats();
+
+        // The untouched table's plan is still served from cache.
+        sys.prepare_cached(nation).unwrap();
+        let mid = sys.plan_cache_stats();
+        assert_eq!(mid.hits, before.hits + 1, "nation plan must survive");
+        assert_eq!(mid.misses, before.misses);
+
+        // The changed table's plan is stale: evicted, re-front-ended.
+        sys.prepare_cached(cust).unwrap();
+        let after = sys.plan_cache_stats();
+        assert_eq!(after.hits, mid.hits, "stale plan must not be served");
+        assert_eq!(after.misses, mid.misses + 1);
+
+        // The re-planned entry hits again at the new epoch.
+        sys.prepare_cached(cust).unwrap();
+        let last = sys.plan_cache_stats();
+        assert_eq!(last.hits, after.hits + 1);
+        assert_eq!(last.misses, after.misses);
+        // 2 hits / 5 lookups: only the initial misses and the one
+        // genuinely-stale entry paid the front end.
+        assert!(last.hit_rate() >= 0.4, "hit rate {}", last.hit_rate());
     }
 
     #[test]

@@ -304,6 +304,24 @@ fn raw_selectivity(stats: &DbStats, query: &BoundQuery, expr: &BoundExpr) -> f64
                 s
             }
         }
+        // Same estimate as the literal form: it depends only on the probed
+        // column's ndv and the element count, both known before parameter
+        // injection — so prepared and inlined plans cost identically.
+        BoundExpr::InListParam { expr, items, negated } => {
+            let per = match expr.as_bare_column() {
+                Some(c) => match stats.column(query, c.table_slot, c.column_idx) {
+                    Some(cs) => 1.0 / cs.ndv as f64,
+                    None => EXPR_EQ_SELECTIVITY,
+                },
+                None => EXPR_EQ_SELECTIVITY,
+            };
+            let s = (per * items.len() as f64).min(1.0);
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
         BoundExpr::Between { expr, low, high } => {
             if let (Some(c), BoundExpr::Literal(lo), BoundExpr::Literal(hi)) =
                 (expr.as_bare_column(), low.as_ref(), high.as_ref())

@@ -1000,28 +1000,48 @@ pub struct ColumnTable {
     /// write lock and do their heavy work (serialization, re-encoding)
     /// without blocking writers.
     base: Arc<Vec<ColumnData>>,
-    /// Delta segment — append-only typed builders, one per column.
-    delta: Vec<ColumnData>,
+    /// Delta segment — append-only typed builders, one per column. Behind
+    /// an `Arc` with copy-on-write ([`Arc::make_mut`]): pinned snapshot
+    /// views share it for free, and a writer only pays for a copy while a
+    /// snapshot is actually outstanding.
+    delta: Arc<Vec<ColumnData>>,
     base_rows: usize,
     delta_rows: usize,
-    /// Deleted-rid bitmap over the combined `base + delta` rid space.
-    deleted: Vec<bool>,
+    /// Per-row begin version over the combined `base + delta` rid space:
+    /// the version stamp at which the row became visible. Within the delta
+    /// region begin stamps are nondecreasing in rid order (inserts append).
+    row_begin: Arc<Vec<u64>>,
+    /// Per-row end version: `u64::MAX` while the row is live; a delete
+    /// marks the rid with the deleting version instead of mutating a
+    /// shared bitmap. A row is visible at epoch `e` iff
+    /// `begin <= e && e < end`.
+    row_end: Arc<Vec<u64>>,
+    /// Rids *invisible* at this table's own `version` (for a live table:
+    /// tombstones; for a pinned view: tombstones plus rows born later).
     n_deleted: usize,
     /// Monotonically increasing write stamp (bumps on every insert, delete,
-    /// update and compaction).
+    /// update and compaction). Doubles as the **visibility epoch**: every
+    /// read predicate evaluates visibility at `self.version`, so a pinned
+    /// [`ColumnTable::view_at`] is just this struct with `version` set to
+    /// the pinned epoch — live scans and snapshot scans share one code
+    /// path.
     version: u64,
+    /// Oldest epoch still reconstructible: compaction drops dead rows, so
+    /// views older than the last compact (or initial load) are refused.
+    history_floor: u64,
     /// Rows per zone-map block (recomputed adaptively per base rebuild
     /// unless pinned by [`ColumnTable::set_block_rows`]).
     block_rows: usize,
     /// Explicit block-size override (tests / experiments).
     block_rows_override: Option<usize>,
     /// Per-column block stats headers over the base segment, rebuilt at
-    /// load and at compaction.
-    zones: Vec<Vec<BlockZone>>,
+    /// load and at compaction. `Arc`-shared so snapshot views pin them in
+    /// O(1); always replaced wholesale, never edited in place.
+    zones: Arc<Vec<Vec<BlockZone>>>,
     /// Per-column per-block bloom filters over the base segment (`None` for
     /// column types blooms don't cover), rebuilt beside the zones. Empty
     /// when disabled.
-    blooms: Vec<Option<Vec<BlockBloom>>>,
+    blooms: Arc<Vec<Option<Vec<BlockBloom>>>>,
     /// Bloom filters enabled (default). Disabling drops them and stops
     /// rebuilding — the `_nobloom` baseline benches and tests toggle this.
     blooms_enabled: bool,
@@ -1043,16 +1063,18 @@ impl ColumnTable {
         let mut t = ColumnTable {
             name: name.to_string(),
             base: Arc::new(base),
-            delta,
+            delta: Arc::new(delta),
             base_rows: rows,
             delta_rows: 0,
-            deleted: vec![false; rows],
+            row_begin: Arc::new(vec![0; rows]),
+            row_end: Arc::new(vec![u64::MAX; rows]),
             n_deleted: 0,
             version: 0,
+            history_floor: 0,
             block_rows: zone::default_block_rows(rows),
             block_rows_override: None,
-            zones: Vec::new(),
-            blooms: Vec::new(),
+            zones: Arc::new(Vec::new()),
+            blooms: Arc::new(Vec::new()),
             blooms_enabled: true,
             encoding_policy: EncodingPolicy::Auto,
         };
@@ -1089,31 +1111,52 @@ impl ColumnTable {
     /// Delta rows still live (inserted since the last compaction and not
     /// deleted again).
     pub fn live_delta_len(&self) -> usize {
-        self.deleted[self.base_rows..]
-            .iter()
-            .filter(|&&d| !d)
+        (self.base_rows..self.base_rows + self.delta_rows)
+            .filter(|&rid| self.visible_at(rid, self.version))
             .count()
     }
 
-    /// Rids currently tombstoned.
+    /// Rids invisible at this table's epoch (tombstones, for a live table).
     pub fn deleted_len(&self) -> usize {
         self.n_deleted
     }
 
-    /// Current version stamp.
+    /// Current version stamp — also the epoch every read on this handle
+    /// evaluates visibility at.
     pub fn version(&self) -> u64 {
         self.version
     }
 
+    /// Oldest epoch [`ColumnTable::view_at`] can still serve (advances to
+    /// the compacting version on every compaction, which drops dead rows).
+    pub fn history_floor(&self) -> u64 {
+        self.history_floor
+    }
+
     /// True when scans can borrow base columns with no selection vector:
-    /// empty delta and no tombstones.
+    /// empty delta and every row visible.
     pub fn is_clean(&self) -> bool {
         self.delta_rows == 0 && self.n_deleted == 0
     }
 
-    /// True when physical rid `rid` is tombstoned.
+    /// MVCC visibility: row `rid` exists at epoch `epoch`.
+    #[inline]
+    pub fn visible_at(&self, rid: usize, epoch: u64) -> bool {
+        self.row_begin[rid] <= epoch && epoch < self.row_end[rid]
+    }
+
+    /// True when physical rid `rid` is invisible at this handle's epoch
+    /// (for a live table: tombstoned).
+    #[inline]
     pub fn is_deleted(&self, rid: usize) -> bool {
-        self.deleted[rid]
+        !self.visible_at(rid, self.version)
+    }
+
+    /// Per-row begin/end version stamps over the physical rid space
+    /// (`end == u64::MAX` ⇒ live). Exposed for recovery tests that pin
+    /// byte-identical replay of the visibility metadata.
+    pub fn row_versions(&self) -> (&[u64], &[u64]) {
+        (&self.row_begin, &self.row_end)
     }
 
     /// Number of columns.
@@ -1153,19 +1196,20 @@ impl ColumnTable {
     }
 
     fn rebuild_zones(&mut self) {
-        self.zones = self
-            .base
-            .iter()
-            .map(|c| zone::column_zones(c, self.block_rows))
-            .collect();
-        self.blooms = if self.blooms_enabled {
+        self.zones = Arc::new(
+            self.base
+                .iter()
+                .map(|c| zone::column_zones(c, self.block_rows))
+                .collect(),
+        );
+        self.blooms = Arc::new(if self.blooms_enabled {
             self.base
                 .iter()
                 .map(|c| zone::column_blooms(c, self.block_rows))
                 .collect()
         } else {
             Vec::new()
-        };
+        });
     }
 
     /// Per-block bloom filters of column `ci`, when built for its type and
@@ -1237,35 +1281,80 @@ impl ColumnTable {
         }
     }
 
-    /// Physical rids of live rows, ascending (base region first, then
-    /// delta) — the selection vector a delta-aware scan starts from.
+    /// Physical rids of rows visible at this handle's epoch, ascending
+    /// (base region first, then delta) — the selection vector a delta-aware
+    /// scan starts from. On a live table this is exactly the non-tombstoned
+    /// set; on a pinned view it is the committed prefix at the epoch.
     pub fn live_rids(&self) -> Vec<u32> {
         (0..self.physical_len() as u32)
-            .filter(|&rid| !self.deleted[rid as usize])
+            .filter(|&rid| self.visible_at(rid as usize, self.version))
             .collect()
+    }
+
+    /// Pins a read-only view of this table at `epoch`: `Arc`-shared base,
+    /// delta and version vectors (O(width)), with `version` — the epoch all
+    /// reads evaluate visibility at — set to the pin. Delta rows born after
+    /// the epoch are sliced off logically (begin stamps are nondecreasing in
+    /// rid order within the delta), so the view's physical shape, clean-scan
+    /// fast path and work counters are identical to a table that simply
+    /// stopped at the epoch. Returns `None` when `epoch` predates the last
+    /// compaction (dead rows already reclaimed) or postdates the present.
+    pub fn view_at(&self, epoch: u64) -> Option<ColumnTable> {
+        if epoch < self.history_floor || epoch > self.version {
+            return None;
+        }
+        let delta_begin = &self.row_begin[self.base_rows..self.base_rows + self.delta_rows];
+        let delta_rows = delta_begin.partition_point(|&b| b <= epoch);
+        let n_deleted = if epoch == self.version {
+            self.n_deleted
+        } else {
+            (0..self.base_rows + delta_rows)
+                .filter(|&rid| !self.visible_at(rid, epoch))
+                .count()
+        };
+        Some(ColumnTable {
+            name: self.name.clone(),
+            base: Arc::clone(&self.base),
+            delta: Arc::clone(&self.delta),
+            base_rows: self.base_rows,
+            delta_rows,
+            row_begin: Arc::clone(&self.row_begin),
+            row_end: Arc::clone(&self.row_end),
+            n_deleted,
+            version: epoch,
+            history_floor: self.history_floor,
+            block_rows: self.block_rows,
+            block_rows_override: self.block_rows_override,
+            zones: Arc::clone(&self.zones),
+            blooms: Arc::clone(&self.blooms),
+            blooms_enabled: self.blooms_enabled,
+            encoding_policy: self.encoding_policy,
+        })
     }
 
     /// Appends a row to the delta region. Returns the new physical rid.
     pub fn insert(&mut self, row: &[Value]) -> u32 {
         debug_assert_eq!(row.len(), self.base.len());
-        for (col, v) in self.delta.iter_mut().zip(row) {
+        self.version += 1;
+        for (col, v) in Arc::make_mut(&mut self.delta).iter_mut().zip(row) {
             col.push(v.clone());
         }
         self.delta_rows += 1;
-        self.deleted.push(false);
-        self.version += 1;
+        Arc::make_mut(&mut self.row_begin).push(self.version);
+        Arc::make_mut(&mut self.row_end).push(u64::MAX);
         (self.physical_len() - 1) as u32
     }
 
-    /// Tombstones a physical rid. Returns false when already deleted.
+    /// Tombstones a physical rid (marks its end version). Returns false
+    /// when already deleted.
     pub fn delete(&mut self, rid: u32) -> bool {
         let r = rid as usize;
-        if self.deleted[r] {
+        if self.row_end[r] != u64::MAX {
             return false;
         }
-        self.deleted[r] = true;
-        self.n_deleted += 1;
         self.version += 1;
+        Arc::make_mut(&mut self.row_end)[r] = self.version;
+        self.n_deleted += 1;
         true
     }
 
@@ -1275,12 +1364,16 @@ impl ColumnTable {
         self.insert(row)
     }
 
-    /// Merges live delta rows into fresh base columns and clears the bitmap
-    /// — the freshness mechanism made explicit. Physical rids re-pack to
-    /// `0..row_count()`; subsequent scans take the zero-copy clean path.
-    /// The merged base re-runs the encoding cost rule and rebuilds every
-    /// block stats header, so zone maps left stale by deletes (conservative
-    /// but loose) tighten back to exact.
+    /// Merges live delta rows into fresh base columns and drops dead
+    /// versions — the freshness mechanism made explicit, and the moment old
+    /// row versions are reclaimed: every surviving row restarts at
+    /// `begin = new version`, so the history floor advances and epochs older
+    /// than this compaction can no longer be pinned (outstanding pinned
+    /// views keep their own `Arc`s and are unaffected). Physical rids
+    /// re-pack to `0..row_count()`; subsequent scans take the zero-copy
+    /// clean path. The merged base re-runs the encoding cost rule and
+    /// rebuilds every block stats header, so zone maps left stale by deletes
+    /// (conservative but loose) tighten back to exact.
     pub fn compact(&mut self) {
         if self.is_clean() {
             return;
@@ -1295,12 +1388,14 @@ impl ColumnTable {
             );
         }
         self.base_rows = live.len();
-        self.delta = new_base.iter().map(|c| c.empty_like()).collect();
+        self.delta = Arc::new(new_base.iter().map(|c| c.empty_like()).collect());
         self.base = Arc::new(new_base);
         self.delta_rows = 0;
-        self.deleted = vec![false; self.base_rows];
-        self.n_deleted = 0;
         self.version += 1;
+        self.history_floor = self.version;
+        self.row_begin = Arc::new(vec![self.version; self.base_rows]);
+        self.row_end = Arc::new(vec![u64::MAX; self.base_rows]);
+        self.n_deleted = 0;
         self.block_rows = self
             .block_rows_override
             .unwrap_or_else(|| zone::default_block_rows(self.base_rows));
@@ -1321,20 +1416,23 @@ impl ColumnTable {
             .collect()
     }
 
-    /// O(base-width) consistent snapshot of the full physical state: the
-    /// base columns are shared (`Arc` bump), only the delta builders and
-    /// the tombstone bitmap — both bounded by the write backlog — are
-    /// copied. Checkpoints serialize from this and background compaction
-    /// rebuilds from this, so neither holds the write lock while working.
+    /// O(width) consistent snapshot of the full physical state: base
+    /// columns, delta builders and the begin/end version vectors are all
+    /// shared (`Arc` bumps; the live table copies-on-write if it mutates
+    /// while the snapshot is out). Checkpoints serialize from this and
+    /// background compaction rebuilds from this, so neither holds the write
+    /// lock while working.
     pub fn snapshot(&self) -> ColumnTableSnapshot {
         ColumnTableSnapshot {
             name: self.name.clone(),
             base: Arc::clone(&self.base),
-            delta: self.delta.clone(),
-            deleted: self.deleted.clone(),
+            delta: Arc::clone(&self.delta),
+            row_begin: Arc::clone(&self.row_begin),
+            row_end: Arc::clone(&self.row_end),
             base_rows: self.base_rows,
             delta_rows: self.delta_rows,
             version: self.version,
+            history_floor: self.history_floor,
             block_rows_override: self.block_rows_override,
             blooms_enabled: self.blooms_enabled,
             encoding_policy: self.encoding_policy,
@@ -1344,31 +1442,40 @@ impl ColumnTable {
     /// Rebuilds a table from recovered (deserialized) physical state.
     /// Zones are recomputed, not persisted — they are deterministic over
     /// the base, and recomputing keeps segment files smaller and simpler.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         name: String,
         base: Vec<ColumnData>,
         delta: Vec<ColumnData>,
-        deleted: Vec<bool>,
+        row_begin: Vec<u64>,
+        row_end: Vec<u64>,
         version: u64,
+        history_floor: u64,
         block_rows_override: Option<usize>,
     ) -> ColumnTable {
         let base_rows = base.first().map(|c| c.len()).unwrap_or(0);
         let delta_rows = delta.first().map(|c| c.len()).unwrap_or(0);
-        let n_deleted = deleted.iter().filter(|&&d| d).count();
+        let n_deleted = row_begin
+            .iter()
+            .zip(&row_end)
+            .filter(|&(&b, &e)| !(b <= version && version < e))
+            .count();
         let block_rows = block_rows_override.unwrap_or_else(|| zone::default_block_rows(base_rows));
         let mut t = ColumnTable {
             name,
             base: Arc::new(base),
-            delta,
+            delta: Arc::new(delta),
             base_rows,
             delta_rows,
-            deleted,
+            row_begin: Arc::new(row_begin),
+            row_end: Arc::new(row_end),
             n_deleted,
             version,
+            history_floor,
             block_rows,
             block_rows_override,
-            zones: Vec::new(),
-            blooms: Vec::new(),
+            zones: Arc::new(Vec::new()),
+            blooms: Arc::new(Vec::new()),
             blooms_enabled: true,
             encoding_policy: EncodingPolicy::Auto,
         };
@@ -1383,36 +1490,43 @@ impl ColumnTable {
     pub(crate) fn install_compacted(&mut self, built: CompactedCols) {
         debug_assert_eq!(built.base.len(), self.base.len(), "width preserved");
         self.base_rows = built.n_live;
-        self.delta = built.base.iter().map(|c| c.empty_like()).collect();
+        self.delta = Arc::new(built.base.iter().map(|c| c.empty_like()).collect());
         self.base = Arc::new(built.base);
         self.delta_rows = 0;
-        self.deleted = vec![false; built.n_live];
-        self.n_deleted = 0;
         self.version = built.new_version;
+        self.history_floor = built.new_version;
+        self.row_begin = Arc::new(vec![built.new_version; built.n_live]);
+        self.row_end = Arc::new(vec![u64::MAX; built.n_live]);
+        self.n_deleted = 0;
         self.block_rows = built.block_rows;
-        self.zones = built.zones;
-        self.blooms = if self.blooms_enabled { built.blooms } else { Vec::new() };
+        self.zones = Arc::new(built.zones);
+        self.blooms = Arc::new(if self.blooms_enabled { built.blooms } else { Vec::new() });
     }
 }
 
 /// Consistent point-in-time view of a [`ColumnTable`]'s physical state
-/// (shared base + copied delta/bitmap). See [`ColumnTable::snapshot`].
+/// (everything `Arc`-shared; the live table copies-on-write). See
+/// [`ColumnTable::snapshot`].
 #[derive(Debug, Clone)]
 pub struct ColumnTableSnapshot {
     /// Table name.
     pub name: String,
     /// Shared immutable base columns.
     pub base: Arc<Vec<ColumnData>>,
-    /// Copied delta builders (bounded by the write backlog).
-    pub delta: Vec<ColumnData>,
-    /// Copied tombstone bitmap over `base + delta`.
-    pub deleted: Vec<bool>,
+    /// Shared delta builders (as of snapshot time).
+    pub delta: Arc<Vec<ColumnData>>,
+    /// Shared per-row begin versions over `base + delta`.
+    pub row_begin: Arc<Vec<u64>>,
+    /// Shared per-row end versions (`u64::MAX` = live at snapshot time).
+    pub row_end: Arc<Vec<u64>>,
     /// Rows in the base segment.
     pub base_rows: usize,
     /// Rows in the delta segment.
     pub delta_rows: usize,
     /// Version stamp at snapshot time.
     pub version: u64,
+    /// Oldest pinnable epoch at snapshot time (last compaction's version).
+    pub history_floor: u64,
     /// Pinned zone block size, if any.
     pub block_rows_override: Option<usize>,
     /// Whether the table builds bloom filters (an offline compact must
@@ -1437,7 +1551,16 @@ impl ColumnTableSnapshot {
     /// Physical rids of live rows, ascending (the order compaction packs).
     pub fn live_rids(&self) -> Vec<u32> {
         (0..(self.base_rows + self.delta_rows) as u32)
-            .filter(|&rid| !self.deleted[rid as usize])
+            .filter(|&rid| self.row_end[rid as usize] == u64::MAX)
+            .collect()
+    }
+
+    /// Tombstone bitmap over the physical rid space (true = dead at
+    /// snapshot time), for rid-remap construction.
+    pub(crate) fn deleted_mask(&self) -> Vec<bool> {
+        self.row_end[..self.base_rows + self.delta_rows]
+            .iter()
+            .map(|&e| e != u64::MAX)
             .collect()
     }
 

@@ -14,15 +14,38 @@
 //! * the **column store** keeps its base columns immutable (block-structured
 //!   with [`zone::BlockZone`] headers, compressed where a cost rule fires —
 //!   see below) and buffers all writes in an append-friendly **delta
-//!   region** plus a deleted-rid bitmap, stamped with a monotonically
-//!   increasing version; compaction merges the delta into fresh base
-//!   columns.
+//!   region** versioned per row: the table's monotonically increasing
+//!   version stamp doubles as the **visibility epoch**, and every physical
+//!   row carries a begin version (the epoch its insert committed) and an
+//!   end version (the epoch a delete/relocating-update retired it;
+//!   `u64::MAX` while live). A row is visible at epoch `E` iff
+//!   `begin <= E < end`. Compaction merges the delta into fresh base
+//!   columns, drops retired versions, and advances the **history floor** —
+//!   the oldest epoch a version view can still be reconstructed at.
 //!
 //! Both representations share one physical rid space at all times, so the
 //! DML executor locates rows once — on the row store — and applies the
 //! change to both copies. AP scans read base + delta through selection
 //! vectors; zone maps cover only the immutable base (delta rids are always
 //! scanned, never pruned), which keeps block skipping correct under DML.
+//!
+//! # MVCC snapshot reads
+//!
+//! Column state lives behind `Arc`s, so pinning a snapshot is cheap: every
+//! read statement's AP side (and `HtapSystem::pin_snapshot` explicitly)
+//! clones those `Arc`s at the current epoch under a briefly-held read lock,
+//! then executes with no lock at all. Writers mutate through
+//! `Arc::make_mut` — copy-on-write when an outstanding snapshot still
+//! references the state, in-place when nobody does — so readers never block
+//! writers and vice versa. Because delta begin stamps are monotone, a
+//! snapshot truncates its delta view at the pin epoch (`view_at`), making
+//! its physical shape identical to a table that simply stopped there: work
+//! counters, pruning and encodings all match the committed-prefix oracle,
+//! not just the row set. Old versions are reclaimed by `Arc` drop when the
+//! last snapshot holding them goes away — there is no separate vacuum.
+//! Begin/end stamps are assigned deterministically in commit order, so WAL
+//! replay after a crash reproduces them byte-identically (v2 segments
+//! persist the vectors and the floor).
 //!
 //! # Base-segment encodings (and why the delta stays plain)
 //!
@@ -297,6 +320,12 @@ pub struct StoredTable {
     pub cols: ColumnTable,
     /// Background-compaction state.
     bg: BgState,
+    /// Physical-design epoch: bumps whenever this table's plan-relevant
+    /// physical design changes (index creation, encoding policy, zone block
+    /// size, bloom toggles). The plan cache records the epochs a statement
+    /// was planned under and revalidates on hit, so a design change on one
+    /// table no longer evicts every other table's cached plans.
+    design_epoch: u64,
 }
 
 impl StoredTable {
@@ -304,7 +333,34 @@ impl StoredTable {
     pub fn load(def: &TableDef, data: &GeneratedTable) -> Self {
         let cols = ColumnTable::from_columns(&def.name, &data.columns);
         let rows = RowTable::from_columns(def, &data.columns);
-        StoredTable { rows, cols, bg: BgState::default() }
+        StoredTable { rows, cols, bg: BgState::default(), design_epoch: 0 }
+    }
+
+    /// A read-only AP view of this table pinned at the current epoch: the
+    /// column store is [`ColumnTable::view_at`] the head version (O(width)
+    /// `Arc` shares), the row store is an empty shell — AP plans never
+    /// touch rows or indexes, and snapshot reads are AP-only.
+    pub(crate) fn ap_view(&self, def: &TableDef) -> StoredTable {
+        let cols = self
+            .cols
+            .view_at(self.cols.version())
+            .expect("head epoch is always pinnable");
+        StoredTable {
+            rows: RowTable::from_physical(def, Vec::new(), Vec::new(), &[]),
+            cols,
+            bg: BgState::default(),
+            design_epoch: self.design_epoch,
+        }
+    }
+
+    /// Current physical-design epoch (see the field docs).
+    pub fn design_epoch(&self) -> u64 {
+        self.design_epoch
+    }
+
+    /// Marks a plan-relevant physical-design change.
+    pub(crate) fn bump_design_epoch(&mut self) {
+        self.design_epoch += 1;
     }
 
     /// Rebuilds a table from a recovered column-store segment: the row
@@ -328,7 +384,7 @@ impl StoredTable {
             .map(|(ci, _)| ci)
             .collect();
         let rows = RowTable::from_physical(def, rows, deleted, &indexed);
-        StoredTable { rows, cols, bg: BgState::default() }
+        StoredTable { rows, cols, bg: BgState::default(), design_epoch: 0 }
     }
 
     /// Live row count (identical in both representations).
@@ -420,7 +476,7 @@ impl StoredTable {
             return None;
         }
         let cols = self.cols.snapshot();
-        let remap = Arc::new(RidRemap::from_deleted(&cols.deleted));
+        let remap = Arc::new(RidRemap::from_deleted(&cols.deleted_mask()));
         self.bg.in_flight = true;
         self.bg.window = Some(Vec::new());
         if durable {

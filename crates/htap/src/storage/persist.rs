@@ -29,7 +29,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Segment file magic (8 bytes).
-const SEGMENT_MAGIC: &[u8; 8] = b"QPESEG1\0";
+const SEGMENT_MAGIC: &[u8; 8] = b"QPESEG2\0";
 
 /// Manifest schema version.
 pub const MANIFEST_FORMAT: u32 = 1;
@@ -304,6 +304,7 @@ pub fn write_segment(
     let mut payload = Vec::new();
     codec::put_str(&mut payload, &snap.name);
     codec::put_u64(&mut payload, snap.version);
+    codec::put_u64(&mut payload, snap.history_floor);
     match snap.block_rows_override {
         Some(b) => {
             codec::put_u8(&mut payload, 1);
@@ -317,12 +318,18 @@ pub fn write_segment(
     for col in snap.base.iter() {
         put_col(&mut payload, col);
     }
-    for col in &snap.delta {
+    for col in snap.delta.iter() {
         put_col(&mut payload, col);
     }
-    codec::put_u32(&mut payload, snap.deleted.len() as u32);
-    for &d in &snap.deleted {
-        codec::put_u8(&mut payload, d as u8);
+    // Per-row MVCC version stamps (begin/end) over the physical rid space;
+    // replay on top of a recovered segment must see the exact visibility
+    // history the live table had at checkpoint time.
+    codec::put_u32(&mut payload, snap.row_begin.len() as u32);
+    for &b in snap.row_begin.iter() {
+        codec::put_u64(&mut payload, b);
+    }
+    for &e in snap.row_end.iter() {
+        codec::put_u64(&mut payload, e);
     }
     let mut f = DurableFile::create(path, fp, "seg")?;
     f.write(SEGMENT_MAGIC)?;
@@ -353,6 +360,12 @@ pub fn read_segment(path: &Path) -> Result<ColumnTable, DurabilityError> {
     let mut r = Reader::new(payload);
     let name = r.str_()?;
     let version = r.u64()?;
+    let history_floor = r.u64()?;
+    if history_floor > version {
+        return Err(DurabilityError::Corrupt(format!(
+            "history floor {history_floor} exceeds version {version}"
+        )));
+    }
     let block_rows_override = match r.u8()? {
         0 => None,
         1 => Some(r.u64()? as usize),
@@ -388,10 +401,18 @@ pub fn read_segment(path: &Path) -> Result<ColumnTable, DurabilityError> {
     let n = r.count(1)?;
     if n != base_rows + delta_rows {
         return Err(DurabilityError::Corrupt(
-            "tombstone bitmap length differs from rid space".into(),
+            "row-version vector length differs from rid space".into(),
         ));
     }
-    let deleted: Vec<bool> = (0..n).map(|_| r.u8().map(|b| b != 0)).collect::<Result<_, _>>()?;
+    let row_begin: Vec<u64> = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+    let row_end: Vec<u64> = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+    for (&b, &e) in row_begin.iter().zip(&row_end) {
+        if b > version || (e != u64::MAX && (e > version || e <= b)) {
+            return Err(DurabilityError::Corrupt(
+                "row version stamp out of range".into(),
+            ));
+        }
+    }
     if !r.is_done() {
         return Err(DurabilityError::Corrupt("trailing bytes in segment".into()));
     }
@@ -399,8 +420,10 @@ pub fn read_segment(path: &Path) -> Result<ColumnTable, DurabilityError> {
         name,
         base,
         delta,
-        deleted,
+        row_begin,
+        row_end,
         version,
+        history_floor,
         block_rows_override,
     ))
 }
@@ -565,6 +588,12 @@ mod tests {
         assert_eq!(a.deleted_len(), b.deleted_len());
         assert_eq!(a.width(), b.width());
         assert_eq!(a.block_rows(), b.block_rows());
+        assert_eq!(a.history_floor(), b.history_floor());
+        assert_eq!(
+            a.row_versions(),
+            b.row_versions(),
+            "per-row begin/end versions changed across the round trip"
+        );
         for ci in 0..a.width() {
             // Same representation, not merely equal values.
             assert_eq!(

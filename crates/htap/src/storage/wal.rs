@@ -94,14 +94,24 @@ const KIND_CHECKPOINT: u8 = 5;
 /// this is classified as tail garbage without attempting allocation.
 const MAX_RECORD_LEN: u32 = 256 * 1024 * 1024;
 
+/// Checked `usize → u32` for WAL frame and count fields. An unchecked
+/// `as u32` here would wrap: the frame would carry a truncated length, the
+/// CRC would be computed over the truncated view, and replay would
+/// checksum-pass garbage. Oversized batches are rejected up front instead.
+fn checked_len(what: &str, n: usize) -> Result<u32, DurabilityError> {
+    u32::try_from(n).map_err(|_| {
+        DurabilityError::Corrupt(format!("WAL {what} length {n} exceeds the u32 frame limit"))
+    })
+}
+
 impl WalRecord {
-    fn encode_payload(&self, buf: &mut Vec<u8>) {
+    fn encode_payload(&self, buf: &mut Vec<u8>) -> Result<(), DurabilityError> {
         match self {
             WalRecord::Op { table, op } => match op {
                 TableOp::Insert { rows } => {
                     codec::put_u8(buf, KIND_INSERT);
                     codec::put_str(buf, table);
-                    codec::put_u32(buf, rows.len() as u32);
+                    codec::put_u32(buf, checked_len("insert row count", rows.len())?);
                     for row in rows {
                         codec::put_row(buf, row);
                     }
@@ -109,7 +119,7 @@ impl WalRecord {
                 TableOp::Delete { rids } => {
                     codec::put_u8(buf, KIND_DELETE);
                     codec::put_str(buf, table);
-                    codec::put_u32(buf, rids.len() as u32);
+                    codec::put_u32(buf, checked_len("delete rid count", rids.len())?);
                     for rid in rids {
                         codec::put_u32(buf, *rid);
                     }
@@ -117,7 +127,7 @@ impl WalRecord {
                 TableOp::Update { changes } => {
                     codec::put_u8(buf, KIND_UPDATE);
                     codec::put_str(buf, table);
-                    codec::put_u32(buf, changes.len() as u32);
+                    codec::put_u32(buf, checked_len("update change count", changes.len())?);
                     for (rid, row) in changes {
                         codec::put_u32(buf, *rid);
                         codec::put_row(buf, row);
@@ -133,15 +143,19 @@ impl WalRecord {
                 codec::put_u64(buf, *version);
             }
         }
+        Ok(())
     }
 
     /// Appends the framed record (`len + crc + payload`) to `buf`.
-    pub fn encode(&self, buf: &mut Vec<u8>) {
+    /// Errors (and leaves `buf` untouched) if any length field overflows
+    /// the u32 frame format.
+    pub fn encode(&self, buf: &mut Vec<u8>) -> Result<(), DurabilityError> {
         let mut payload = Vec::new();
-        self.encode_payload(&mut payload);
-        codec::put_u32(buf, payload.len() as u32);
+        self.encode_payload(&mut payload)?;
+        codec::put_u32(buf, checked_len("payload", payload.len())?);
         codec::put_u32(buf, crc32(&payload));
         buf.extend_from_slice(&payload);
+        Ok(())
     }
 
     fn decode_payload(payload: &[u8]) -> Result<WalRecord, DurabilityError> {
@@ -248,9 +262,14 @@ impl Wal {
         if s.dead {
             return Err(DurabilityError::Crashed);
         }
+        // Encode into a scratch buffer first: if one record of the batch
+        // overflows the frame format, nothing of the batch reaches the log
+        // (a partial prefix would replay operations that never applied).
+        let mut scratch = Vec::new();
         for rec in records {
-            rec.encode(&mut s.buf);
+            rec.encode(&mut scratch)?;
         }
+        s.buf.extend_from_slice(&scratch);
         s.appended += records.len() as u64;
         self.records.fetch_add(records.len() as u64, Ordering::Relaxed);
         let lsn = s.appended;
@@ -353,7 +372,7 @@ impl Wal {
             }
             s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
         }
-        checkpoint_record.encode(&mut s.buf);
+        checkpoint_record.encode(&mut s.buf)?;
         s.appended += 1;
         self.records.fetch_add(1, Ordering::Relaxed);
         s.flushing = true;
@@ -515,17 +534,33 @@ mod tests {
     }
 
     #[test]
+    fn oversized_length_is_a_structured_error_not_a_truncated_frame() {
+        // u32::MAX still frames; one past it must surface a structured
+        // Corrupt error instead of wrapping to 0 and checksum-passing a
+        // truncated view on replay. Lengths are synthetic — no 4 GiB
+        // buffer is allocated.
+        assert_eq!(checked_len("probe", u32::MAX as usize).unwrap(), u32::MAX);
+        match checked_len("insert row count", (u32::MAX as usize) + 1) {
+            Err(DurabilityError::Corrupt(msg)) => {
+                assert!(msg.contains("insert row count"), "{msg}");
+                assert!(msg.contains("4294967296"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn torn_tail_is_detected_and_truncated() {
         let path = tmp_path("torn");
         let mut buf = Vec::new();
         let recs = sample_records();
         for r in &recs {
-            r.encode(&mut buf);
+            r.encode(&mut buf).unwrap();
         }
         let good_len = {
             let mut first_two = Vec::new();
-            recs[0].encode(&mut first_two);
-            recs[1].encode(&mut first_two);
+            recs[0].encode(&mut first_two).unwrap();
+            recs[1].encode(&mut first_two).unwrap();
             first_two.len()
         };
         // Cut mid-way through the third record.
@@ -545,11 +580,11 @@ mod tests {
         let path = tmp_path("crc");
         let mut buf = Vec::new();
         for r in sample_records() {
-            r.encode(&mut buf);
+            r.encode(&mut buf).unwrap();
         }
         // Flip one payload byte of the second record.
         let mut first = Vec::new();
-        sample_records()[0].encode(&mut first);
+        sample_records()[0].encode(&mut first).unwrap();
         buf[first.len() + 10] ^= 0xFF;
         std::fs::write(&path, &buf).unwrap();
         let out = read_wal_file(&path).unwrap();

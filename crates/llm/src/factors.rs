@@ -286,6 +286,7 @@ pub fn function_disables_index(outcome: &QueryOutcome) -> bool {
                 BoundExpr::Binary { left, right, .. } => has_substr(left) || has_substr(right),
                 BoundExpr::Not(x)
                 | BoundExpr::InList { expr: x, .. }
+                | BoundExpr::InListParam { expr: x, .. }
                 | BoundExpr::Like { expr: x, .. }
                 | BoundExpr::IsNull { expr: x, .. } => has_substr(x),
                 BoundExpr::Between { expr, low, high } => {

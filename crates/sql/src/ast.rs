@@ -241,6 +241,18 @@ pub enum Expr {
         /// True for `NOT IN`.
         negated: bool,
     },
+    /// `expr IN (...)` with at least one `?`/`$n` element. Kept distinct
+    /// from [`Expr::InList`] so the all-literal form stays a plain value
+    /// list; the binder lowers this to a literal list once parameters are
+    /// injected.
+    InListParam {
+        /// The probed expression.
+        expr: Box<Expr>,
+        /// Mixed literal / placeholder elements.
+        items: Vec<InListItem>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
     /// `expr BETWEEN low AND high`
     Between {
         /// The tested expression.
@@ -284,6 +296,15 @@ pub enum Expr {
         /// `COUNT(DISTINCT x)` flag.
         distinct: bool,
     },
+}
+
+/// One element of a parameterized IN list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InListItem {
+    /// A literal element.
+    Lit(Value),
+    /// A placeholder element (0-based parameter index).
+    Param(u32),
 }
 
 impl Expr {
@@ -341,7 +362,9 @@ impl Expr {
                 left.contains_aggregate() || right.contains_aggregate()
             }
             Expr::Not(e) => e.contains_aggregate(),
-            Expr::InList { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, .. } | Expr::InListParam { expr, .. } => {
+                expr.contains_aggregate()
+            }
             Expr::Between { expr, low, high } => {
                 expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
             }
@@ -363,7 +386,7 @@ impl Expr {
                     walk(right, out);
                 }
                 Expr::Not(e) => walk(e, out),
-                Expr::InList { expr, .. } => walk(expr, out),
+                Expr::InList { expr, .. } | Expr::InListParam { expr, .. } => walk(expr, out),
                 Expr::Between { expr, low, high } => {
                     walk(expr, out);
                     walk(low, out);
@@ -395,6 +418,17 @@ impl fmt::Display for Expr {
             Expr::Not(e) => write!(f, "NOT ({e})"),
             Expr::InList { expr, list, negated } => {
                 let items: Vec<String> = list.iter().map(|v| v.to_string()).collect();
+                let not = if *negated { " NOT" } else { "" };
+                write!(f, "{expr}{not} IN ({})", items.join(", "))
+            }
+            Expr::InListParam { expr, items, negated } => {
+                let items: Vec<String> = items
+                    .iter()
+                    .map(|it| match it {
+                        InListItem::Lit(v) => v.to_string(),
+                        InListItem::Param(idx) => format!("${}", idx + 1),
+                    })
+                    .collect();
                 let not = if *negated { " NOT" } else { "" };
                 write!(f, "{expr}{not} IN ({})", items.join(", "))
             }

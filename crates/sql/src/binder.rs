@@ -10,8 +10,8 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::ast::{
-    AggFunc, BinaryOp, DeleteStatement, Expr, InsertStatement, SelectItem, SelectStatement,
-    Statement, UpdateStatement,
+    AggFunc, BinaryOp, DeleteStatement, Expr, InListItem, InsertStatement, SelectItem,
+    SelectStatement, Statement, UpdateStatement,
 };
 use crate::catalog::{Catalog, DataType, TableDef};
 use crate::error::SqlError;
@@ -74,6 +74,19 @@ pub enum BoundExpr {
         expr: Box<BoundExpr>,
         /// Literal list.
         list: Vec<Value>,
+        /// `NOT IN` flag.
+        negated: bool,
+    },
+    /// `IN` list with one or more parameter placeholders among the
+    /// elements. `items` holds only [`BoundExpr::Literal`] and
+    /// [`BoundExpr::Param`] nodes; [`substitute_params`] lowers the whole
+    /// node to a plain [`BoundExpr::InList`] once every placeholder has a
+    /// value, so executors and pruners only ever see the literal form.
+    InListParam {
+        /// Probed expression.
+        expr: Box<BoundExpr>,
+        /// Literal / placeholder elements.
+        items: Vec<BoundExpr>,
         /// `NOT IN` flag.
         negated: bool,
     },
@@ -144,7 +157,9 @@ impl BoundExpr {
                 right.walk_columns(f);
             }
             BoundExpr::Not(e) => e.walk_columns(f),
-            BoundExpr::InList { expr, .. } => expr.walk_columns(f),
+            BoundExpr::InList { expr, .. } | BoundExpr::InListParam { expr, .. } => {
+                expr.walk_columns(f)
+            }
             BoundExpr::Between { expr, low, high } => {
                 expr.walk_columns(f);
                 low.walk_columns(f);
@@ -171,6 +186,7 @@ impl BoundExpr {
             }
             BoundExpr::Not(e)
             | BoundExpr::InList { expr: e, .. }
+            | BoundExpr::InListParam { expr: e, .. }
             | BoundExpr::Like { expr: e, .. }
             | BoundExpr::IsNull { expr: e, .. }
             | BoundExpr::Substring { expr: e, .. } => e.contains_aggregate(),
@@ -548,6 +564,22 @@ fn infer_expr_params(e: &mut BoundExpr, t: &mut ParamTable) -> Result<(), SqlErr
                 constrain_param(expr, ty, t)?;
             }
         }
+        BoundExpr::InListParam { expr, items, .. } => {
+            infer_expr_params(expr, t)?;
+            for item in items.iter_mut() {
+                infer_expr_params(item, t)?;
+            }
+            // The probed column's type pins every placeholder element; a
+            // literal element's type pins a placeholder probed expression.
+            if let Some(ty) = context_type(expr) {
+                for item in items.iter_mut() {
+                    constrain_param(item, ty, t)?;
+                }
+            }
+            if let Some(ty) = items.iter().find_map(context_type) {
+                constrain_param(expr, ty, t)?;
+            }
+        }
         BoundExpr::Between { expr, low, high } => {
             infer_expr_params(expr, t)?;
             infer_expr_params(low, t)?;
@@ -622,6 +654,9 @@ pub fn expr_has_params(e: &BoundExpr) -> bool {
         BoundExpr::Between { expr, low, high } => {
             expr_has_params(expr) || expr_has_params(low) || expr_has_params(high)
         }
+        BoundExpr::InListParam { expr, items, .. } => {
+            expr_has_params(expr) || items.iter().any(expr_has_params)
+        }
         BoundExpr::Aggregate { arg, .. } => arg.as_deref().is_some_and(expr_has_params),
     }
 }
@@ -656,6 +691,34 @@ fn subst_rec(e: &BoundExpr, params: &[Value]) -> BoundExpr {
             list: list.clone(),
             negated: *negated,
         },
+        BoundExpr::InListParam { expr, items, negated } => {
+            let items: Vec<BoundExpr> = items.iter().map(|it| subst_rec(it, params)).collect();
+            // Fully injected: lower to the literal form every downstream
+            // consumer (pruners, executors, dictionary fast paths) knows.
+            // An out-of-range index leaves a `Param` element behind and
+            // keeps this form, surfacing as an execution error like any
+            // other unbound parameter.
+            if items.iter().all(|it| matches!(it, BoundExpr::Literal(_))) {
+                let list = items
+                    .into_iter()
+                    .map(|it| match it {
+                        BoundExpr::Literal(v) => v,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                BoundExpr::InList {
+                    expr: Box::new(subst_rec(expr, params)),
+                    list,
+                    negated: *negated,
+                }
+            } else {
+                BoundExpr::InListParam {
+                    expr: Box::new(subst_rec(expr, params)),
+                    items,
+                    negated: *negated,
+                }
+            }
+        }
         BoundExpr::Between { expr, low, high } => BoundExpr::Between {
             expr: Box::new(subst_rec(expr, params)),
             low: Box::new(subst_rec(low, params)),
@@ -1168,6 +1231,19 @@ impl Resolver<'_> {
             Expr::InList { expr, list, negated } => BoundExpr::InList {
                 expr: Box::new(self.bind_expr(expr)?),
                 list: list.clone(),
+                negated: *negated,
+            },
+            Expr::InListParam { expr, items, negated } => BoundExpr::InListParam {
+                expr: Box::new(self.bind_expr(expr)?),
+                items: items
+                    .iter()
+                    .map(|it| match it {
+                        InListItem::Lit(v) => BoundExpr::Literal(v.clone()),
+                        InListItem::Param(idx) => {
+                            BoundExpr::Param { idx: *idx as usize, ty: None }
+                        }
+                    })
+                    .collect(),
                 negated: *negated,
             },
             Expr::Between { expr, low, high } => BoundExpr::Between {

@@ -24,6 +24,14 @@ pub enum SqlError {
     Bind(String),
     /// The statement is valid SQL but outside the supported subset.
     Unsupported(String),
+    /// A parameter placeholder appeared in a position whose plan shape
+    /// depends on the concrete value (`LIMIT` / `OFFSET`), so the statement
+    /// cannot be prepared parametrically. Structured so clients can
+    /// distinguish "inline this value" from a malformed statement.
+    ParamNotSupported {
+        /// The clause that cannot take a placeholder.
+        clause: &'static str,
+    },
 }
 
 impl SqlError {
@@ -48,6 +56,12 @@ impl fmt::Display for SqlError {
             SqlError::Parse { pos, message } => write!(f, "parse error at byte {pos}: {message}"),
             SqlError::Bind(message) => write!(f, "bind error: {message}"),
             SqlError::Unsupported(message) => write!(f, "unsupported SQL: {message}"),
+            SqlError::ParamNotSupported { clause } => write!(
+                f,
+                "parameter placeholders are not supported in {clause}: the plan \
+                 shape depends on the concrete value, so it cannot be cached \
+                 parametrically — inline the value instead"
+            ),
         }
     }
 }

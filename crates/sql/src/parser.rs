@@ -169,6 +169,16 @@ impl Parser {
         }
     }
 
+    /// Surfaces a structured [`SqlError::ParamNotSupported`] when a
+    /// placeholder sits in a plan-shape-affecting position (`LIMIT` /
+    /// `OFFSET` choose between top-N and full-sort plans by value).
+    fn reject_param_here(&mut self, clause: &'static str) -> Result<(), SqlError> {
+        if matches!(self.peek(), TokenKind::Question | TokenKind::Dollar(_)) {
+            return Err(SqlError::ParamNotSupported { clause });
+        }
+        Ok(())
+    }
+
     fn integer(&mut self) -> Result<i64, SqlError> {
         match self.advance() {
             TokenKind::Int(v) => Ok(v),
@@ -222,11 +232,13 @@ impl Parser {
             }
         }
         let limit = if self.eat_keyword("LIMIT") {
+            self.reject_param_here("LIMIT")?;
             Some(self.integer()? as u64)
         } else {
             None
         };
         let offset = if self.eat_keyword("OFFSET") {
+            self.reject_param_here("OFFSET")?;
             Some(self.integer()? as u64)
         } else {
             None
@@ -517,17 +529,42 @@ impl Parser {
         };
         if self.eat_keyword("IN") {
             self.expect(&TokenKind::LParen)?;
-            let mut list = Vec::new();
+            let mut items = Vec::new();
             loop {
-                list.push(self.literal_value()?);
+                let pos = self.peek_pos();
+                match self.peek() {
+                    TokenKind::Question => {
+                        self.advance();
+                        items.push(InListItem::Param(self.param_index(None, pos)?));
+                    }
+                    TokenKind::Dollar(n) => {
+                        let n = *n;
+                        self.advance();
+                        items.push(InListItem::Param(self.param_index(Some(n), pos)?));
+                    }
+                    _ => items.push(InListItem::Lit(self.literal_value()?)),
+                }
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
             }
             self.expect(&TokenKind::RParen)?;
-            return Ok(Expr::InList {
+            // All-literal lists keep the plain value-list form; one or more
+            // placeholders switch to the parameterized form the binder
+            // lowers at injection time.
+            if items.iter().all(|it| matches!(it, InListItem::Lit(_))) {
+                let list = items
+                    .into_iter()
+                    .map(|it| match it {
+                        InListItem::Lit(v) => v,
+                        InListItem::Param(_) => unreachable!(),
+                    })
+                    .collect();
+                return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            }
+            return Ok(Expr::InListParam {
                 expr: Box::new(left),
-                list,
+                items,
                 negated,
             });
         }

@@ -33,6 +33,23 @@ echo "==> prepared-statement equivalence sweep (prepared ≡ inlined, clean + di
 # multi-session smoke test over one shared Arc<HtapSystem>.
 cargo test -q --test prepared_props
 
+echo "==> MVCC snapshot gates (committed-prefix oracle, both read paths)"
+# The proptest sweep pins a snapshot after every op of a random DML/compact
+# tape and holds it to a lockstep oracle system that stopped at that epoch —
+# rows AND WorkCounters, on all three executors. The threaded stress test is
+# scheduling-sensitive, so it runs three times; reader threads pin snapshots
+# while writers stream inserts and assert per-writer prefix consistency.
+# Both settings of the read-path toggle must be observationally identical:
+# QPE_MVCC_READS=1 executes analytical reads lock-free on a pinned snapshot,
+# =0 executes them under the read guard. Same rows, same counters.
+for mvcc in 0 1; do
+    QPE_MVCC_READS="$mvcc" cargo test -q --test mvcc_props
+    QPE_MVCC_READS="$mvcc" cargo test -q --test engine_equivalence
+done
+for i in 1 2 3; do
+    cargo test -q --test mvcc_props concurrent_writers_and_snapshot_readers
+done
+
 echo "==> crash-injection sweep (WAL/segment/manifest/checkpoint fail points)"
 # Bounded proptest sweep (48 cases fixed in-file): random DML/compact/
 # checkpoint interleavings with a simulated kill at every durable-I/O site,
@@ -61,7 +78,7 @@ cargo run --release -p qpe_bench --bin bench_snapshot -- --compare batch,par4 --
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> bench snapshot (BENCH_exec.json; includes prepared-vs-unprepared QPS, plan-cache hit rate, and the durability cases: wal_commit_qps group-commit vs per-statement, recovery_time_100k_rows, background_compact_p99_write_stall)"
+echo "==> bench snapshot (BENCH_exec.json; includes prepared-vs-unprepared QPS, plan-cache hit rate, the durability cases: wal_commit_qps group-commit vs per-statement, recovery_time_100k_rows, background_compact_p99_write_stall, and the MVCC mixed-workload reader p99 with/without a concurrent durable writer)"
 cargo run --release -p qpe_bench --bin bench_snapshot
 
 echo "CI OK"
