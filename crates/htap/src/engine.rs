@@ -6,14 +6,17 @@
 //! work counters and simulated latencies — the raw material for router
 //! training, knowledge-base construction, and explanations.
 
-use crate::exec::{self, DmlResult, ExecConfig, Row, WorkCounters};
+use crate::exec::{self, DmlResult, ExecConfig, ExecGuard, GovernError, Row, StatementLimits,
+                  WorkCounters};
 use crate::latency::LatencyModel;
 use crate::opt::{ap, tp, OptError, PlannerCtx};
 use crate::plan::PlanNode;
 use crate::session::{PlanCache, PlanCacheStats};
 use crate::stats::{DbStats, TableStats};
 use crate::storage::col_store::ColumnTableSnapshot;
-use crate::storage::durable_io::{DurabilityError, DurableFile, FailPoints};
+use crate::storage::durable_io::{
+    lock_unpoisoned, DurabilityError, DurableFile, FailPoints, RetryPolicy,
+};
 use crate::storage::persist::{self, Manifest, SegmentRef, MANIFEST_FORMAT};
 use crate::storage::wal::{self, SyncPolicy, Wal, WalRecord, WalStats};
 use crate::storage::{CompactSnapshot, CompactedTable, StoredTable, TableFreshness, TableOp};
@@ -25,7 +28,7 @@ use qpe_sql::SqlError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
@@ -208,6 +211,35 @@ pub enum HtapError {
     /// Durable storage failed: I/O error, simulated crash, or corrupt
     /// on-disk state discovered during recovery.
     Durability(DurabilityError),
+    /// The statement's cancellation flag was raised (see
+    /// [`crate::session::Session::cancel_handle`]); execution stopped at the
+    /// next block/morsel boundary.
+    Cancelled,
+    /// The statement exceeded its wall-clock budget
+    /// ([`StatementLimits::timeout`]).
+    Timeout {
+        /// The configured budget that was exceeded.
+        limit: Duration,
+    },
+    /// The statement tried to materialize past its memory budget
+    /// ([`StatementLimits::memory_budget`]).
+    MemoryBudget {
+        /// The configured budget in (approximate) bytes.
+        budget_bytes: u64,
+        /// The approximate total the statement had charged when it tripped.
+        attempted_bytes: u64,
+    },
+    /// The system is in read-only degraded mode: durable writes kept failing
+    /// past their retry budget (or a writer panicked mid-statement), so
+    /// write statements are rejected until [`HtapSystem::resume_writes`]
+    /// succeeds. Reads and snapshots keep serving throughout.
+    ReadOnly {
+        /// Root cause that tripped degradation.
+        cause: String,
+    },
+    /// An executor panicked; the panic was contained at the session boundary
+    /// and the payload captured here. The system stays usable.
+    Internal(String),
 }
 
 impl From<SqlError> for HtapError {
@@ -222,7 +254,23 @@ impl From<OptError> for HtapError {
 }
 impl From<exec::ExecError> for HtapError {
     fn from(e: exec::ExecError) -> Self {
-        HtapError::Exec(e)
+        match e {
+            // Governance violations get first-class variants — callers match
+            // on Cancelled/Timeout/MemoryBudget, not on executor internals.
+            exec::ExecError::Governed(g) => g.into(),
+            other => HtapError::Exec(other),
+        }
+    }
+}
+impl From<GovernError> for HtapError {
+    fn from(e: GovernError) -> Self {
+        match e {
+            GovernError::Cancelled => HtapError::Cancelled,
+            GovernError::Timeout { limit } => HtapError::Timeout { limit },
+            GovernError::MemoryBudget { budget_bytes, attempted_bytes } => {
+                HtapError::MemoryBudget { budget_bytes, attempted_bytes }
+            }
+        }
     }
 }
 impl From<DurabilityError> for HtapError {
@@ -251,6 +299,21 @@ impl std::fmt::Display for HtapError {
                 idx + 1
             ),
             HtapError::Durability(e) => write!(f, "durability: {e}"),
+            HtapError::Cancelled => write!(f, "statement cancelled"),
+            HtapError::Timeout { limit } => {
+                write!(f, "statement timed out (limit {limit:?})")
+            }
+            HtapError::MemoryBudget { budget_bytes, attempted_bytes } => write!(
+                f,
+                "statement exceeded its memory budget ({attempted_bytes} of {budget_bytes} \
+                 approx bytes)"
+            ),
+            HtapError::ReadOnly { cause } => write!(
+                f,
+                "system is read-only (degraded mode): {cause}; reads keep serving, call \
+                 resume_writes() after the fault clears"
+            ),
+            HtapError::Internal(msg) => write!(f, "internal executor panic (contained): {msg}"),
         }
     }
 }
@@ -740,6 +803,11 @@ pub struct DurabilityOptions {
     pub failpoints: FailPoints,
     /// When set, a dedicated thread compacts tables off the write lock.
     pub background: Option<BackgroundCompaction>,
+    /// Bounded retry (exponential backoff + jitter) wrapped around every
+    /// transiently-failing durable I/O step: WAL fsyncs, segment seals, the
+    /// manifest swap. Exhausted retries — or a non-retryable error like
+    /// ENOSPC — trip read-only degraded mode instead of looping forever.
+    pub retry: RetryPolicy,
 }
 
 /// Background-compaction tuning for [`HtapSystem::open_with`].
@@ -797,7 +865,99 @@ struct DurabilityCtx {
     /// compaction's rid remap is armed, so log order ≡ replay order.
     /// Lock order: `ckpt_lock` before the db lock, never the reverse.
     ckpt_lock: Mutex<()>,
+    /// Retry policy for segment seals and manifest swaps (the WAL holds its
+    /// own copy and retries its fsyncs internally).
+    retry: RetryPolicy,
 }
+
+/// Shared mutable health status: degraded-mode latch plus fault counters.
+/// One `Arc` is held by the system, another by the compactor thread.
+struct HealthState {
+    /// Read-only degraded mode: writes are rejected until
+    /// [`HtapSystem::resume_writes`] clears it.
+    degraded: AtomicBool,
+    /// Root cause recorded when `degraded` was first tripped.
+    cause: Mutex<Option<String>>,
+    /// One-shot latch for database-lock poison recovery: the first recovery
+    /// after a writer panic trips degraded mode exactly once.
+    poison_handled: AtomicBool,
+    /// Writer panics observed through lock-poison recovery.
+    writer_panics: AtomicU64,
+    /// Background compaction cycles that returned an error.
+    compactor_failures: AtomicU64,
+    /// Compaction candidates skipped because their table was backing off.
+    compactor_backoffs: AtomicU64,
+}
+
+impl HealthState {
+    fn new() -> HealthState {
+        HealthState {
+            degraded: AtomicBool::new(false),
+            cause: Mutex::new(None),
+            poison_handled: AtomicBool::new(false),
+            writer_panics: AtomicU64::new(0),
+            compactor_failures: AtomicU64::new(0),
+            compactor_backoffs: AtomicU64::new(0),
+        }
+    }
+
+    /// Enter degraded mode, recording `cause` if this is the first trip.
+    fn trip_degraded(&self, cause: &str) {
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            *lock_unpoisoned(&self.cause) = Some(cause.to_string());
+        }
+    }
+
+    /// Leave degraded mode (after a successful write probe).
+    fn clear_degraded(&self) {
+        self.degraded.store(false, Ordering::SeqCst);
+        *lock_unpoisoned(&self.cause) = None;
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    fn cause_string(&self) -> String {
+        lock_unpoisoned(&self.cause)
+            .clone()
+            .unwrap_or_else(|| "unknown".to_string())
+    }
+
+    /// Called when a database-lock acquisition found the lock poisoned. The
+    /// std `RwLock` only poisons when a *writer* panicked, so the committed
+    /// copy-on-write state readers observe is still consistent — recovery is
+    /// safe — but an interrupted write statement may have applied without
+    /// reaching the WAL, so the first recovery trips degraded mode until an
+    /// operator (or test) resumes writes deliberately.
+    fn note_poisoned_db_lock(&self) {
+        if !self.poison_handled.swap(true, Ordering::SeqCst) {
+            self.writer_panics.fetch_add(1, Ordering::Relaxed);
+            self.trip_degraded("database write lock poisoned by a panicking writer");
+        }
+    }
+}
+
+/// Point-in-time health snapshot from [`HtapSystem::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Health {
+    /// True while the system is in read-only degraded mode.
+    pub degraded: bool,
+    /// Root cause of the current degradation, when degraded.
+    pub degraded_cause: Option<String>,
+    /// Writer panics absorbed through lock-poison recovery.
+    pub writer_panics: u64,
+    /// Background-compaction cycles that failed.
+    pub compactor_failures: u64,
+    /// Compaction candidates skipped while their table was backing off.
+    pub compactor_backoffs: u64,
+    /// Transient WAL fsync failures absorbed by the retry policy.
+    pub wal_flush_retries: u64,
+}
+
+/// Cap on the compactor's per-table backoff exponent: a repeatedly-failing
+/// table is skipped for at most `2^6 = 64` polls between attempts.
+const COMPACTOR_MAX_BACKOFF_EXP: u32 = 6;
 
 /// Stop flag + wakeup for the background compactor thread.
 struct CompactorShared {
@@ -812,7 +972,7 @@ struct CompactorHandle {
 
 impl CompactorHandle {
     fn stop(&mut self) {
-        *self.shared.stop.lock().expect("compactor stop lock") = true;
+        *lock_unpoisoned(&self.shared.stop) = true;
         self.shared.cv.notify_all();
         if let Some(j) = self.join.take() {
             let _ = j.join();
@@ -877,6 +1037,11 @@ pub struct HtapSystem {
     /// and executes after releasing it, so a long scan never blocks a
     /// writer. Results are identical either way.
     mvcc_reads: bool,
+    /// Degraded-mode latch + fault counters, shared with the compactor.
+    health: Arc<HealthState>,
+    /// Default [`StatementLimits`] applied to every statement that does not
+    /// carry explicit per-call limits. Unlimited by default.
+    limits: StatementLimits,
 }
 
 impl HtapSystem {
@@ -901,6 +1066,8 @@ impl HtapSystem {
             pruning: true,
             plan_cache: PlanCache::default(),
             mvcc_reads: std::env::var("QPE_MVCC_READS").map(|v| v != "0").unwrap_or(true),
+            health: Arc::new(HealthState::new()),
+            limits: StatementLimits::default(),
         }
     }
 
@@ -939,7 +1106,7 @@ impl HtapSystem {
                 let db = Database::generate(config);
                 let wal_path = dir.join(persist::wal_file_name(1));
                 let wal_file = DurableFile::create_log(&wal_path, fp.clone(), "wal")?;
-                let wal = Wal::new(wal_file, opts.sync);
+                let wal = Wal::with_retry(wal_file, opts.sync, opts.retry.clone());
                 let snaps = db.snapshot_tables();
                 let mut tables = Vec::with_capacity(snaps.len());
                 for snap in &snaps {
@@ -1018,7 +1185,7 @@ impl HtapSystem {
                 } else {
                     DurableFile::create_log(&active_path, fp.clone(), "wal")?
                 };
-                let wal = Wal::new(wal_file, opts.sync);
+                let wal = Wal::with_retry(wal_file, opts.sync, opts.retry.clone());
                 persist::clean_stale(&dir, &m);
                 let report = RecoveryReport {
                     created: false,
@@ -1040,6 +1207,7 @@ impl HtapSystem {
             fp,
             version: AtomicU64::new(version),
             ckpt_lock: Mutex::new(()),
+            retry: opts.retry,
         }));
         sys.recovery = Some(report);
         if let Some(bg) = opts.background {
@@ -1066,11 +1234,12 @@ impl HtapSystem {
     /// throughout; writers are excluded only while the snapshot is taken
     /// (O(tables × width) `Arc` clones). Returns the new version.
     pub fn checkpoint(&self) -> Result<u64, HtapError> {
+        self.check_writable()?;
         let d = self
             .durability
             .as_ref()
             .ok_or_else(|| DurabilityError::Io("checkpoint on a non-durable system".into()))?;
-        let _ckpt = d.ckpt_lock.lock().expect("ckpt lock poisoned");
+        let _ckpt = lock_unpoisoned(&d.ckpt_lock);
         let version = d.version.load(Ordering::SeqCst) + 1;
         let new_wal_path = d.dir.join(persist::wal_file_name(version));
         let new_wal = DurableFile::create_log(&new_wal_path, d.fp.clone(), "wal")?;
@@ -1079,7 +1248,8 @@ impl HtapSystem {
         // the state the old log's tail described.
         let db = self.db_read();
         d.wal
-            .rotate(new_wal, WalRecord::Checkpoint { version })?;
+            .rotate(new_wal, WalRecord::Checkpoint { version })
+            .map_err(|e| self.degrade_on("wal rotate", e))?;
         let snaps = db.snapshot_tables();
         let catalog = (*db.catalog).clone();
         let stats = (*db.stats).clone();
@@ -1088,13 +1258,19 @@ impl HtapSystem {
         let mut tables = Vec::with_capacity(snaps.len());
         for snap in &snaps {
             let file = persist::segment_file_name(&snap.name, version);
-            persist::write_segment(&d.dir.join(&file), snap, d.fp.clone())?;
+            // Re-creating a segment file is idempotent, so a transient
+            // failure anywhere inside the write retries the whole file.
+            let (sealed, _) = d
+                .retry
+                .run(|| persist::write_segment(&d.dir.join(&file), snap, d.fp.clone()));
+            sealed.map_err(|e| self.degrade_on("segment seal", e))?;
             tables.push(SegmentRef {
                 table: snap.name.clone(),
                 file,
             });
         }
-        d.fp.hit("ckpt:after_segments")?;
+        let (hit, _) = d.retry.run(|| d.fp.hit("ckpt:after_segments"));
+        hit.map_err(|e| self.degrade_on("checkpoint", e))?;
         let m = Manifest {
             format: MANIFEST_FORMAT,
             version,
@@ -1104,7 +1280,8 @@ impl HtapSystem {
             config,
             tables,
         };
-        persist::write_manifest(&d.dir, &m, &d.fp)?;
+        let (swapped, _) = d.retry.run(|| persist::write_manifest(&d.dir, &m, &d.fp));
+        swapped.map_err(|e| self.degrade_on("manifest swap", e))?;
         d.version.store(version, Ordering::SeqCst);
         persist::clean_stale(&d.dir, &m);
         Ok(version)
@@ -1125,6 +1302,7 @@ impl HtapSystem {
     fn start_compactor(&mut self, cfg: BackgroundCompaction) {
         let db = Arc::clone(&self.db);
         let durability = self.durability.clone();
+        let health = Arc::clone(&self.health);
         let shared = Arc::new(CompactorShared {
             stop: Mutex::new(false),
             cv: Condvar::new(),
@@ -1133,22 +1311,37 @@ impl HtapSystem {
         let join = std::thread::Builder::new()
             .name("qpe-compactor".into())
             .spawn(move || {
+                // Per-table consecutive-failure counts drive an exponential
+                // backoff: a table whose compaction failed f times in a row
+                // is skipped for the next 2^f polls (capped), so a
+                // persistent fault on one table can't spin this thread while
+                // healthy tables keep compacting. Every failure and every
+                // backoff skip is counted into [`HealthState`].
+                let mut failures: HashMap<String, u32> = HashMap::new();
+                let mut skip_until: HashMap<String, u64> = HashMap::new();
+                let mut tick: u64 = 0;
                 loop {
                     {
-                        let stop = thread_shared.stop.lock().expect("compactor stop lock");
+                        let stop = lock_unpoisoned(&thread_shared.stop);
                         if *stop {
                             return;
                         }
                         let (stop, _) = thread_shared
                             .cv
                             .wait_timeout(stop, cfg.poll)
-                            .expect("compactor stop lock");
+                            .unwrap_or_else(|e| e.into_inner());
                         if *stop {
                             return;
                         }
                     }
+                    tick += 1;
+                    // Degraded mode: the WAL is down, so a durable compact's
+                    // Compact record can't be logged — don't grind on it.
+                    if durability.is_some() && health.is_degraded() {
+                        continue;
+                    }
                     let candidates: Vec<String> = {
-                        let db = db.read().expect("database lock poisoned");
+                        let db = read_recovered(&db, &health);
                         db.tables
                             .iter()
                             .filter(|(_, st)| st.compaction_debt() >= cfg.min_delta_rows)
@@ -1156,10 +1349,23 @@ impl HtapSystem {
                             .collect()
                     };
                     for table in candidates {
-                        // Crash-injection errors surface on the write path
-                        // and at recovery; the compactor itself just moves
-                        // on (the next poll retries).
-                        let _ = background_compact_once(&db, durability.as_deref(), &table);
+                        if skip_until.get(&table).is_some_and(|&until| tick < until) {
+                            health.compactor_backoffs.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        match background_compact_once(&db, durability.as_deref(), &health, &table)
+                        {
+                            Ok(_) => {
+                                failures.remove(&table);
+                                skip_until.remove(&table);
+                            }
+                            Err(_) => {
+                                let f = failures.entry(table.clone()).or_insert(0);
+                                *f = (*f + 1).min(COMPACTOR_MAX_BACKOFF_EXP);
+                                health.compactor_failures.fetch_add(1, Ordering::Relaxed);
+                                skip_until.insert(table, tick + (1u64 << *f));
+                            }
+                        }
                     }
                 }
             })
@@ -1175,6 +1381,7 @@ impl HtapSystem {
     /// tests and benchmarks; the compactor thread does the same thing on a
     /// timer.
     pub fn background_compact_all(&self) -> Result<usize, HtapError> {
+        self.check_writable()?;
         let tables: Vec<String> = {
             let db = self.db_read();
             db.tables
@@ -1185,7 +1392,8 @@ impl HtapSystem {
         };
         let mut n = 0;
         for table in tables {
-            if background_compact_once(&self.db, self.durability.as_deref(), &table)? {
+            if background_compact_once(&self.db, self.durability.as_deref(), &self.health, &table)?
+            {
                 n += 1;
             }
         }
@@ -1224,11 +1432,96 @@ impl HtapSystem {
     }
 
     fn db_read(&self) -> RwLockReadGuard<'_, Database> {
-        self.db.read().expect("database lock poisoned")
+        read_recovered(&self.db, &self.health)
     }
 
     fn db_write(&self) -> RwLockWriteGuard<'_, Database> {
-        self.db.write().expect("database lock poisoned")
+        write_recovered(&self.db, &self.health)
+    }
+
+    /// Point-in-time health snapshot: degraded-mode state plus the fault
+    /// counters (writer panics absorbed, compactor failures/backoffs, WAL
+    /// fsync retries).
+    pub fn health(&self) -> Health {
+        Health {
+            degraded: self.health.is_degraded(),
+            degraded_cause: if self.health.is_degraded() {
+                Some(self.health.cause_string())
+            } else {
+                None
+            },
+            writer_panics: self.health.writer_panics.load(Ordering::Relaxed),
+            compactor_failures: self.health.compactor_failures.load(Ordering::Relaxed),
+            compactor_backoffs: self.health.compactor_backoffs.load(Ordering::Relaxed),
+            wal_flush_retries: self
+                .durability
+                .as_ref()
+                .map(|d| d.wal.flush_retries())
+                .unwrap_or(0),
+        }
+    }
+
+    /// Whether the system is currently read-only (degraded mode).
+    pub fn is_degraded(&self) -> bool {
+        self.health.is_degraded()
+    }
+
+    /// Rejects write statements while degraded.
+    fn check_writable(&self) -> Result<(), HtapError> {
+        if self.health.is_degraded() {
+            return Err(HtapError::ReadOnly { cause: self.health.cause_string() });
+        }
+        Ok(())
+    }
+
+    /// Trips degraded mode with the failing step as root cause and converts
+    /// the durability error for propagation.
+    fn degrade_on(&self, what: &str, e: DurabilityError) -> HtapError {
+        self.health.trip_degraded(&format!("{what} failed: {e}"));
+        e.into()
+    }
+
+    /// Attempts to leave read-only degraded mode: revives the WAL, then
+    /// probes it end to end (append + committed fsync of a no-op
+    /// `Checkpoint` marker — ignored at replay). Only a successful probe
+    /// lifts the degradation; a still-broken WAL leaves the system degraded
+    /// and returns the probe's error. A *crashed* failpoint state is
+    /// permanent by design (the process is simulating a kill) and is never
+    /// lifted.
+    pub fn resume_writes(&self) -> Result<(), HtapError> {
+        if let Some(d) = &self.durability {
+            if d.fp.crashed() {
+                return Err(DurabilityError::Crashed.into());
+            }
+            d.wal.revive();
+            let version = d.version.load(Ordering::SeqCst);
+            let lsn = d
+                .wal
+                .append(&[WalRecord::Checkpoint { version }])
+                .map_err(HtapError::from)?;
+            d.wal.commit(lsn).map_err(HtapError::from)?;
+        }
+        self.health.clear_degraded();
+        // Poison recovery may arm again after a genuine new writer panic.
+        self.health.poison_handled.store(false, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Default limits applied to statements without per-call limits.
+    pub fn statement_limits(&self) -> &StatementLimits {
+        &self.limits
+    }
+
+    /// Sets the system-wide default [`StatementLimits`] (timeout and memory
+    /// budget). Sessions and prepared statements can still override them
+    /// per call.
+    pub fn set_statement_limits(&mut self, limits: StatementLimits) {
+        self.limits = limits;
+    }
+
+    /// A fresh guard enforcing the system-default limits.
+    fn statement_guard(&self) -> ExecGuard {
+        ExecGuard::new(&self.limits)
     }
 
     /// Shared plan-cache counters (hits, misses, residency).
@@ -1313,12 +1606,13 @@ impl HtapSystem {
     ) -> Result<EngineRun, HtapError> {
         let db = self.db_read();
         let plan = self.plan_on(&db, bound, engine)?;
+        let guard = self.statement_guard();
         if engine == EngineKind::Ap && self.mvcc_reads {
             let snap = db.pin_snapshot();
             drop(db);
-            return self.run_plan_on(&snap, plan, bound, engine);
+            return self.run_plan_on(&snap, plan, bound, engine, &guard);
         }
-        self.run_plan_on(&db, plan, bound, engine)
+        self.run_plan_on(&db, plan, bound, engine, &guard)
     }
 
     /// Executes an already-built physical plan on one engine (the prepared
@@ -1330,12 +1624,13 @@ impl HtapSystem {
         engine: EngineKind,
     ) -> Result<EngineRun, HtapError> {
         let db = self.db_read();
+        let guard = self.statement_guard();
         if engine == EngineKind::Ap && self.mvcc_reads {
             let snap = db.pin_snapshot();
             drop(db);
-            return self.run_plan_on(&snap, plan, bound, engine);
+            return self.run_plan_on(&snap, plan, bound, engine, &guard);
         }
-        self.run_plan_on(&db, plan, bound, engine)
+        self.run_plan_on(&db, plan, bound, engine, &guard)
     }
 
     fn run_plan_on(
@@ -1344,8 +1639,10 @@ impl HtapSystem {
         plan: PlanNode,
         bound: &BoundQuery,
         engine: EngineKind,
+        guard: &ExecGuard,
     ) -> Result<EngineRun, HtapError> {
-        let (rows, counters) = exec::execute_with(&plan, bound, db, engine, &self.exec_cfg)?;
+        let cfg = self.exec_cfg.with_guard(guard.clone());
+        let (rows, counters) = exec::execute_with(&plan, bound, db, engine, &cfg)?;
         // Counters are executor-invariant, so the serial and parallel AP
         // latencies price the *same* work — the parallel model just walks
         // the critical path instead of the full sum.
@@ -1371,12 +1668,23 @@ impl HtapSystem {
     /// store absorbing the same change through its delta region, so the next
     /// AP read is fresh without blocking readers of other tables.
     pub fn execute_statement(&self, sql: &str) -> Result<StatementOutcome, HtapError> {
+        self.execute_statement_guarded(sql, &self.statement_guard())
+    }
+
+    /// [`HtapSystem::execute_statement`] under a caller-supplied guard (the
+    /// session layer builds guards carrying its cancel flag and per-call
+    /// limit overrides).
+    pub(crate) fn execute_statement_guarded(
+        &self,
+        sql: &str,
+        guard: &ExecGuard,
+    ) -> Result<StatementOutcome, HtapError> {
         match self.bind_statement(sql)? {
             BoundStatement::Query(bound) => Ok(StatementOutcome::Query(Box::new(
-                self.run_bound(sql, bound)?,
+                self.run_bound(sql, bound, guard)?,
             ))),
             BoundStatement::Dml(dml) => Ok(StatementOutcome::Dml(Box::new(
-                self.execute_dml_with_plan(sql, &dml, None)?,
+                self.execute_dml_with_plan(sql, &dml, None, guard)?,
             ))),
         }
     }
@@ -1391,17 +1699,19 @@ impl HtapSystem {
     /// Plans and executes one bound write statement on the TP engine. Takes
     /// the write lock internally — `&self`, like every other entry point.
     pub fn execute_dml(&self, sql: &str, dml: &BoundDml) -> Result<DmlOutcome, HtapError> {
-        self.execute_dml_with_plan(sql, dml, None)
+        self.execute_dml_with_plan(sql, dml, None, &self.statement_guard())
     }
 
     /// [`HtapSystem::execute_dml`] with an optional pre-built (prepared,
-    /// parameter-substituted) write plan.
+    /// parameter-substituted) write plan, under the caller's guard.
     pub(crate) fn execute_dml_with_plan(
         &self,
         sql: &str,
         dml: &BoundDml,
         plan: Option<PlanNode>,
+        guard: &ExecGuard,
     ) -> Result<DmlOutcome, HtapError> {
+        self.check_writable()?;
         let mut db = self.db_write();
         let plan = match plan {
             Some(p) => p,
@@ -1410,7 +1720,7 @@ impl HtapSystem {
         if self.durability.is_some() {
             db.begin_op_capture();
         }
-        let exec_result = exec::execute_dml(&plan, dml, &mut db);
+        let exec_result = exec::execute_dml_guarded(&plan, dml, &mut db, guard);
         let (result, counters) = match exec_result {
             Ok(rc) => rc,
             Err(e) => {
@@ -1429,19 +1739,30 @@ impl HtapSystem {
         // proceed while this statement waits for its fsync batch.
         let commit_lsn = match &self.durability {
             Some(d) => {
+                // Fault-injection hook: a panic here models an executor
+                // dying after the rows applied but before the WAL append —
+                // the worst spot, proving poison recovery + degraded mode
+                // keep the system serving.
+                d.fp.panic_if_armed("dml:after_apply");
                 let ops = db.take_op_capture();
                 let records = db.wal_records_for(&ops);
                 if records.is_empty() {
                     None
                 } else {
-                    Some((Arc::clone(d), d.wal.append(&records)?))
+                    let lsn = d
+                        .wal
+                        .append(&records)
+                        .map_err(|e| self.degrade_on("wal append", e))?;
+                    Some((Arc::clone(d), lsn))
                 }
             }
             None => None,
         };
         drop(db);
         if let Some((d, lsn)) = commit_lsn {
-            d.wal.commit(lsn)?;
+            d.wal
+                .commit(lsn)
+                .map_err(|e| self.degrade_on("wal commit", e))?;
         }
         Ok(DmlOutcome {
             sql: sql.to_string(),
@@ -1458,12 +1779,16 @@ impl HtapSystem {
     /// for an unknown table. On a durable system the compaction is
     /// WAL-logged (replay re-runs it at the same point in the op stream).
     pub fn compact(&self, table: &str) -> bool {
+        // Degraded mode: a durable compact cannot log its Compact record.
+        if self.durability.is_some() && self.health.is_degraded() {
+            return false;
+        }
         match &self.durability {
             None => self.db_write().compact_table(table),
             Some(d) => {
                 // ckpt_lock: a durable sync compact must not interleave with
                 // a background build's armed remap (see DurabilityCtx).
-                let _ckpt = d.ckpt_lock.lock().expect("ckpt lock poisoned");
+                let _ckpt = lock_unpoisoned(&d.ckpt_lock);
                 let mut db = self.db_write();
                 let Some(st) = db.tables.get(table) else {
                     return false;
@@ -1496,17 +1821,25 @@ impl HtapSystem {
     }
 
     /// Full pipeline: bind, run on both engines, check result agreement.
+    /// Governed by the system-default [`StatementLimits`].
     pub fn run_sql(&self, sql: &str) -> Result<QueryOutcome, HtapError> {
         let bound = self.bind(sql)?;
-        self.run_bound(sql, bound)
+        self.run_bound(sql, bound, &self.statement_guard())
     }
 
-    /// [`HtapSystem::run_sql`] over an already-bound query (no re-parse).
-    fn run_bound(&self, sql: &str, bound: BoundQuery) -> Result<QueryOutcome, HtapError> {
+    /// [`HtapSystem::run_sql`] over an already-bound query (no re-parse),
+    /// under the caller's statement guard. One guard governs both engine
+    /// runs: a trip during either surfaces as the statement's error.
+    pub(crate) fn run_bound(
+        &self,
+        sql: &str,
+        bound: BoundQuery,
+        guard: &ExecGuard,
+    ) -> Result<QueryOutcome, HtapError> {
         let db = self.db_read();
         let tp_plan = self.plan_on(&db, &bound, EngineKind::Tp)?;
         let ap_plan = self.plan_on(&db, &bound, EngineKind::Ap)?;
-        let tp = self.run_plan_on(&db, tp_plan, &bound, EngineKind::Tp)?;
+        let tp = self.run_plan_on(&db, tp_plan, &bound, EngineKind::Tp, guard)?;
         // The TP run (fast: index probes / row scans) happens under the
         // read lock; the AP run — the long tail — pins a snapshot at the
         // same epoch and executes with the lock released, so a streaming
@@ -1515,9 +1848,9 @@ impl HtapSystem {
         let ap = if self.mvcc_reads {
             let snap = db.pin_snapshot();
             drop(db);
-            self.run_plan_on(&snap, ap_plan, &bound, EngineKind::Ap)?
+            self.run_plan_on(&snap, ap_plan, &bound, EngineKind::Ap, guard)?
         } else {
-            let ap = self.run_plan_on(&db, ap_plan, &bound, EngineKind::Ap)?;
+            let ap = self.run_plan_on(&db, ap_plan, &bound, EngineKind::Ap, guard)?;
             drop(db);
             ap
         };
@@ -1538,15 +1871,16 @@ impl HtapSystem {
         bound: &Arc<BoundQuery>,
         tp_plan: PlanNode,
         ap_plan: PlanNode,
+        guard: &ExecGuard,
     ) -> Result<QueryOutcome, HtapError> {
         let db = self.db_read();
-        let tp = self.run_plan_on(&db, tp_plan, bound, EngineKind::Tp)?;
+        let tp = self.run_plan_on(&db, tp_plan, bound, EngineKind::Tp, guard)?;
         let ap = if self.mvcc_reads {
             let snap = db.pin_snapshot();
             drop(db);
-            self.run_plan_on(&snap, ap_plan, bound, EngineKind::Ap)?
+            self.run_plan_on(&snap, ap_plan, bound, EngineKind::Ap, guard)?
         } else {
-            let ap = self.run_plan_on(&db, ap_plan, bound, EngineKind::Ap)?;
+            let ap = self.run_plan_on(&db, ap_plan, bound, EngineKind::Ap, guard)?;
             drop(db);
             ap
         };
@@ -1653,33 +1987,85 @@ impl Drop for HtapSystem {
 fn background_compact_once(
     db: &RwLock<Database>,
     durability: Option<&DurabilityCtx>,
+    health: &HealthState,
     table: &str,
 ) -> Result<bool, HtapError> {
     // Held for the whole cycle when durable: checkpoints and durable sync
     // compacts never observe a half-done background build's remap.
-    let _ckpt = durability.map(|d| d.ckpt_lock.lock().expect("ckpt lock poisoned"));
+    let _ckpt = durability.map(|d| lock_unpoisoned(&d.ckpt_lock));
     let durable = durability.is_some();
+    let mut lsn = None;
     let snapshot = {
-        let mut db = db.write().expect("database lock poisoned");
+        let mut db = write_recovered(db, health);
         let Some(snapshot) = db.begin_background_compact(table, durable) else {
             return Ok(false);
         };
         if let Some(d) = durability {
-            if let Err(e) = d.wal.append(&[WalRecord::Compact {
+            match d.wal.append(&[WalRecord::Compact {
                 table: table.to_string(),
             }]) {
-                db.abort_background_compact(table);
-                return Err(e.into());
+                Ok(l) => lsn = Some(l),
+                Err(e) => {
+                    db.abort_background_compact(table);
+                    return Err(e.into());
+                }
             }
         }
         snapshot
     };
-    // The Compact record rides with the next group commit (or the final
-    // flush); ordering is what matters and append fixed that under the
-    // lock.
+    // Append under the lock fixed the record's position; the swap below
+    // publishes the matching in-memory state.
     let built = snapshot.build();
-    let mut db = db.write().expect("database lock poisoned");
-    Ok(db.finish_background_compact(table, built))
+    let swapped = {
+        let mut db = write_recovered(db, health);
+        db.finish_background_compact(table, built)
+    };
+    if let (Some(d), Some(lsn)) = (durability, lsn) {
+        // Commit (fsync) the Compact record so a compaction is only
+        // reported successful once its record is durable. On failure the
+        // swap stands — memory and the WAL buffer still agree, and the
+        // record flushes with the next successful sync — but the error
+        // feeds the compactor's failure accounting and the WAL's dead
+        // latch turns the next write into a degraded-mode trip.
+        d.wal.commit(lsn)?;
+    }
+    Ok(swapped)
+}
+
+/// Read-lock the database, recovering (and recording) a poisoned lock.
+/// Safe per the MVCC design: readers only ever observe committed
+/// copy-on-write state, so a writer's panic cannot leave a torn row/column
+/// visible — see [`HealthState::note_poisoned_db_lock`].
+fn read_recovered<'a>(
+    db: &'a RwLock<Database>,
+    health: &HealthState,
+) -> RwLockReadGuard<'a, Database> {
+    match db.read() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            health.note_poisoned_db_lock();
+            // Clear the flag so one panic is one incident: without this,
+            // every access after `resume_writes()` would re-trip degraded
+            // mode on the same long-dead poison.
+            db.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Write-lock twin of [`read_recovered`].
+fn write_recovered<'a>(
+    db: &'a RwLock<Database>,
+    health: &HealthState,
+) -> RwLockWriteGuard<'a, Database> {
+    match db.write() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            health.note_poisoned_db_lock();
+            db.clear_poison();
+            poisoned.into_inner()
+        }
+    }
 }
 
 /// Engine-agreement gate shared by the ad-hoc and prepared paths.

@@ -5,7 +5,8 @@
 //! them per group, then evaluate each output expression with the folded
 //! values substituted in.
 
-use super::{ExecError, Row, WorkCounters};
+use super::guard::ExecGuard;
+use super::{ExecError, Row, WorkCounters, GUARD_CHECK_ROWS};
 use crate::eval::{eval, truthy, EvalError, Schema};
 use crate::plan::AggSpec;
 use crate::storage::col_store::{ColumnData, DictColumn};
@@ -241,6 +242,7 @@ fn eval_with_aggs(
 /// return rows ordered by group key so engine outputs are directly
 /// comparable (hash-group output is canonicalized the same way real engines
 /// do when asked for deterministic tests).
+#[allow(clippy::too_many_arguments)]
 pub fn aggregate(
     counters: &mut WorkCounters,
     input: &[Row],
@@ -249,6 +251,7 @@ pub fn aggregate(
     outputs: &[AggSpec],
     having: Option<&BoundExpr>,
     hash: bool,
+    guard: &ExecGuard,
 ) -> Result<Vec<Row>, ExecError> {
     let leaves = collect_all_leaves(outputs, having);
 
@@ -256,7 +259,10 @@ pub fn aggregate(
     // both strategies; the sort-vs-hash distinction is carried by the work
     // counters, which is what the latency model consumes.
     let mut groups: BTreeMap<Vec<KeyWrap>, Vec<AggState>> = BTreeMap::new();
-    for row in input {
+    for (i, row) in input.iter().enumerate() {
+        if i % GUARD_CHECK_ROWS == 0 {
+            guard.check()?;
+        }
         counters.agg_rows += 1;
         if !hash {
             // sort-based grouping pays comparison costs
@@ -297,8 +303,10 @@ pub fn aggregate_cols(
     outputs: &[AggSpec],
     having: Option<&BoundExpr>,
     hash: bool,
+    guard: &ExecGuard,
 ) -> Result<Vec<Row>, ExecError> {
     debug_assert_eq!(leaves.len(), arg_cols.len());
+    guard.check()?;
     // Dictionary-code grouping: a single dict-encoded key groups by `u32`
     // code into a dense per-code state table — no string materialization,
     // hashing, or tree comparisons per row. Rows fold in the same dense
@@ -309,7 +317,8 @@ pub fn aggregate_cols(
         if !hash {
             counters.sort_comparisons += len as u64;
         }
-        let per_code = fold_dict_groups(d, leaves, arg_cols, 0..len);
+        let per_code = fold_dict_groups(d, leaves, arg_cols, 0..len, guard);
+        guard.check()?;
         return finish_groups(
             dict_groups_to_btree(d, per_code),
             leaves,
@@ -320,6 +329,9 @@ pub fn aggregate_cols(
     }
     let mut groups: BTreeMap<Vec<KeyWrap>, Vec<AggState>> = BTreeMap::new();
     for j in 0..len {
+        if j % GUARD_CHECK_ROWS == 0 {
+            guard.check()?;
+        }
         counters.agg_rows += 1;
         if !hash {
             counters.sort_comparisons += 1;
@@ -358,11 +370,13 @@ pub fn aggregate_cols_partitioned(
     hash: bool,
 ) -> Result<Vec<Row>, ExecError> {
     use super::parallel::{morsel_ranges, run_tasks};
+    let guard = cfg.guard();
     if group_by.is_empty() || !cfg.parallel_for(len) {
         return aggregate_cols(
-            counters, len, key_cols, arg_cols, group_by, leaves, outputs, having, hash,
+            counters, len, key_cols, arg_cols, group_by, leaves, outputs, having, hash, guard,
         );
     }
+    guard.check()?;
     // Same counter totals as the serial per-row loop.
     counters.agg_rows += len as u64;
     if !hash {
@@ -388,6 +402,9 @@ pub fn aggregate_cols_partitioned(
         let ranges = morsel_ranges(len, cfg.morsel_rows, &[]);
         let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
             let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
+            if guard.poll() {
+                return lists;
+            }
             for j in ranges[i].clone() {
                 lists[part_of[d.codes[j] as usize]].push(j as u32);
             }
@@ -400,9 +417,13 @@ pub fn aggregate_cols_partitioned(
             }
         }
         let folded = run_tasks(cfg.threads, n_parts, |p| {
+            if guard.poll() {
+                return BTreeMap::new();
+            }
             let rows = by_part[p].iter().map(|&j| j as usize);
-            dict_groups_to_btree(d, fold_dict_groups(d, leaves, arg_cols, rows))
+            dict_groups_to_btree(d, fold_dict_groups(d, leaves, arg_cols, rows, guard))
         });
+        guard.check()?;
         let mut groups: BTreeMap<Vec<KeyWrap>, Vec<AggState>> = BTreeMap::new();
         for g in folded {
             groups.extend(g);
@@ -415,6 +436,9 @@ pub fn aggregate_cols_partitioned(
     let ranges = morsel_ranges(len, cfg.morsel_rows, &[]);
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
+        if guard.poll() {
+            return lists;
+        }
         for j in ranges[i].clone() {
             let mut h = std::collections::hash_map::DefaultHasher::new();
             for c in key_cols {
@@ -435,6 +459,9 @@ pub fn aggregate_cols_partitioned(
     // touching only its own rows, in global dense order.
     let folded = run_tasks(cfg.threads, n_parts, |p| {
         let mut groups: BTreeMap<Vec<KeyWrap>, Vec<AggState>> = BTreeMap::new();
+        if guard.poll() {
+            return groups;
+        }
         for &j in &by_part[p] {
             let j = j as usize;
             let key: Vec<KeyWrap> = key_cols.iter().map(|c| KeyWrap(c.get(j))).collect();
@@ -450,6 +477,7 @@ pub fn aggregate_cols_partitioned(
     });
     // Partitions hold disjoint key sets, so extending reproduces the exact
     // serial BTreeMap.
+    guard.check()?;
     let mut groups: BTreeMap<Vec<KeyWrap>, Vec<AggState>> = BTreeMap::new();
     for g in folded {
         groups.extend(g);
@@ -460,14 +488,20 @@ pub fn aggregate_cols_partitioned(
 /// Folds aggregate states into a dense per-dictionary-code table over the
 /// given rows (ascending dense order). Codes never seen stay `None`, so only
 /// groups that actually occur materialize — matching the generic fold.
+/// Abandons the fold (returning a truncated table) once the guard trips; the
+/// caller's next `check` discards the partial result.
 fn fold_dict_groups<I: Iterator<Item = usize>>(
     d: &DictColumn,
     leaves: &[AggLeaf],
     arg_cols: &[Option<ColumnData>],
     rows: I,
+    guard: &ExecGuard,
 ) -> Vec<Option<Vec<AggState>>> {
     let mut per_code: Vec<Option<Vec<AggState>>> = vec![None; d.values.len()];
-    for j in rows {
+    for (i, j) in rows.enumerate() {
+        if i % GUARD_CHECK_ROWS == 0 && guard.poll() {
+            return per_code;
+        }
         let states = per_code[d.codes[j] as usize]
             .get_or_insert_with(|| leaves.iter().map(|_| AggState::new()).collect());
         for (leaf, (arg, state)) in leaves.iter().zip(arg_cols.iter().zip(states.iter_mut())) {

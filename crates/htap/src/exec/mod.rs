@@ -32,11 +32,13 @@
 //! `tests/parallel_determinism.rs` enforce this).
 
 mod agg;
+pub mod guard;
 pub mod parallel;
 mod sort;
 pub mod vector;
 
 pub use agg::AggLeaf;
+pub use guard::{CancelHandle, ExecGuard, GovernError, StatementLimits};
 pub use parallel::ExecConfig;
 
 use crate::engine::{Database, EngineKind};
@@ -128,11 +130,21 @@ pub enum ExecError {
     MissingTable(String),
     /// A write violated a constraint (duplicate primary key, type mismatch).
     Write(String),
+    /// The statement's [`ExecGuard`] tripped (cancelled / timed out /
+    /// exceeded its memory budget) — mapped to the corresponding structured
+    /// `HtapError` at the engine boundary.
+    Governed(GovernError),
 }
 
 impl From<EvalError> for ExecError {
     fn from(e: EvalError) -> Self {
         ExecError::Eval(e)
+    }
+}
+
+impl From<GovernError> for ExecError {
+    fn from(e: GovernError) -> Self {
+        ExecError::Governed(e)
     }
 }
 
@@ -143,6 +155,7 @@ impl std::fmt::Display for ExecError {
             ExecError::BadPlan(m) => write!(f, "bad plan: {m}"),
             ExecError::MissingTable(t) => write!(f, "missing table: {t}"),
             ExecError::Write(m) => write!(f, "write error: {m}"),
+            ExecError::Governed(g) => write!(f, "statement stopped: {g}"),
         }
     }
 }
@@ -175,10 +188,16 @@ pub fn execute_with(
     engine: EngineKind,
     cfg: &ExecConfig,
 ) -> Result<(Vec<Row>, WorkCounters), ExecError> {
-    if engine == EngineKind::Ap && vector::supported(plan) {
-        return vector::execute_with(plan, query, db, cfg);
-    }
-    execute_scalar(plan, query, db, engine)
+    let out = if engine == EngineKind::Ap && vector::supported(plan) {
+        vector::execute_with(plan, query, db, cfg)
+    } else {
+        execute_scalar_guarded(plan, query, db, engine, cfg.guard())
+    };
+    // A tripped guard outranks whatever the abort produced (truncated rows
+    // from abandoned morsels, or a secondary error): the caller always sees
+    // the structured governed cause, never the debris.
+    cfg.guard().check()?;
+    out
 }
 
 /// Executes `plan` on the row-at-a-time interpreter regardless of engine —
@@ -189,11 +208,28 @@ pub fn execute_scalar(
     db: &Database,
     engine: EngineKind,
 ) -> Result<(Vec<Row>, WorkCounters), ExecError> {
-    let mut ex = Executor { query, db, engine, counters: WorkCounters::default() };
+    execute_scalar_guarded(plan, query, db, engine, ExecGuard::unlimited())
+}
+
+/// [`execute_scalar`] under a statement guard, checked at operator entry
+/// and every ~1k rows of the interpreter's hot loops.
+pub(crate) fn execute_scalar_guarded(
+    plan: &PlanNode,
+    query: &BoundQuery,
+    db: &Database,
+    engine: EngineKind,
+    guard: &ExecGuard,
+) -> Result<(Vec<Row>, WorkCounters), ExecError> {
+    let mut ex = Executor { query, db, engine, counters: WorkCounters::default(), guard };
     let rows = ex.run(plan)?;
     ex.counters.output_rows = rows.len() as u64;
     Ok((rows, ex.counters))
 }
+
+/// Rows between cooperative guard checks in scalar per-row loops: frequent
+/// enough that cancellation lands within one block, rare enough that the
+/// check (one relaxed load) is amortized to noise.
+pub(crate) const GUARD_CHECK_ROWS: usize = 1024;
 
 /// Executes `plan` on the *serial* vectorized batch executor, erroring on
 /// operators outside its vocabulary. Exposed for the cross-executor
@@ -238,10 +274,12 @@ pub(crate) struct Executor<'a> {
     db: &'a Database,
     engine: EngineKind,
     counters: WorkCounters,
+    guard: &'a ExecGuard,
 }
 
 impl Executor<'_> {
     fn run(&mut self, node: &PlanNode) -> Result<Vec<Row>, ExecError> {
+        self.guard.check()?;
         match &node.op {
             PlanOp::TableScan { table_slot, columns, pushed } => {
                 self.table_scan(*table_slot, columns, pushed.as_ref())
@@ -257,7 +295,10 @@ impl Executor<'_> {
                 let schema = child.output_schema();
                 let input = self.run(child)?;
                 let mut out = Vec::new();
-                for row in input {
+                for (i, row) in input.into_iter().enumerate() {
+                    if i % GUARD_CHECK_ROWS == 0 {
+                        self.guard.check()?;
+                    }
                     self.counters.filter_evals += 1;
                     if eval_predicate(predicate, &schema, &row)? {
                         out.push(row);
@@ -287,7 +328,13 @@ impl Executor<'_> {
                     })
                     .collect::<Result<_, ExecError>>()?;
                 let mut out = Vec::new();
+                let mut pairs_since_check = 0usize;
                 for o in &outer {
+                    pairs_since_check += inner.len();
+                    if pairs_since_check >= GUARD_CHECK_ROWS {
+                        pairs_since_check = 0;
+                        self.guard.check()?;
+                    }
                     for i in &inner {
                         self.counters.nlj_pairs += 1;
                         if keys.iter().all(|&(l, r)| o[l].sql_eq(&i[r])) {
@@ -332,7 +379,10 @@ impl Executor<'_> {
                 })?;
                 let mut out = Vec::new();
                 let out_width = outer_schema.len() + columns.len();
-                for o in &outer {
+                for (oi, o) in outer.iter().enumerate() {
+                    if oi % GUARD_CHECK_ROWS == 0 {
+                        self.guard.check()?;
+                    }
                     self.counters.index_probes += 1;
                     let rids = index.lookup(&o[key_pos]);
                     self.counters.index_fetches += rids.len() as u64;
@@ -383,15 +433,23 @@ impl Executor<'_> {
                 // Keys borrow from the build/probe rows — no per-row
                 // `Vec<Value>` clone. Single-key joins (the common case)
                 // skip the key vector entirely.
+                self.guard
+                    .charge_cells(build_rows.len() as u64 * build_schema.len().max(1) as u64)?;
                 let mut out = Vec::new();
                 if let (&[bp], &[pp]) = (&bpos[..], &ppos[..]) {
                     let mut table: HashMap<&Value, Vec<&Row>> =
                         HashMap::with_capacity(build_rows.len());
-                    for row in &build_rows {
+                    for (i, row) in build_rows.iter().enumerate() {
+                        if i % GUARD_CHECK_ROWS == 0 {
+                            self.guard.check()?;
+                        }
                         self.counters.hash_build_rows += 1;
                         table.entry(&row[bp]).or_default().push(row);
                     }
-                    for row in &probe_rows {
+                    for (i, row) in probe_rows.iter().enumerate() {
+                        if i % GUARD_CHECK_ROWS == 0 {
+                            self.guard.check()?;
+                        }
                         self.counters.hash_probe_rows += 1;
                         // NULL join keys never match (sql_eq semantics).
                         if row[pp].is_null() {
@@ -408,13 +466,19 @@ impl Executor<'_> {
                 } else {
                     let mut table: HashMap<Vec<&Value>, Vec<&Row>> =
                         HashMap::with_capacity(build_rows.len());
-                    for row in &build_rows {
+                    for (i, row) in build_rows.iter().enumerate() {
+                        if i % GUARD_CHECK_ROWS == 0 {
+                            self.guard.check()?;
+                        }
                         self.counters.hash_build_rows += 1;
                         let key: Vec<&Value> = bpos.iter().map(|&p| &row[p]).collect();
                         table.entry(key).or_default().push(row);
                     }
                     let mut scratch: Vec<&Value> = Vec::with_capacity(ppos.len());
-                    for row in &probe_rows {
+                    for (i, row) in probe_rows.iter().enumerate() {
+                        if i % GUARD_CHECK_ROWS == 0 {
+                            self.guard.check()?;
+                        }
                         self.counters.hash_probe_rows += 1;
                         scratch.clear();
                         scratch.extend(ppos.iter().map(|&p| &row[p]));
@@ -445,19 +509,20 @@ impl Executor<'_> {
                     outputs,
                     having.as_ref(),
                     *hash,
+                    self.guard,
                 )
             }
             PlanOp::Sort { keys } => {
                 let child = &node.children[0];
                 let schema = child.output_schema();
                 let input = self.run(child)?;
-                sort::full_sort(&mut self.counters, input, &schema, keys)
+                sort::full_sort(&mut self.counters, input, &schema, keys, self.guard)
             }
             PlanOp::TopNSort { keys, limit, offset } => {
                 let child = &node.children[0];
                 let schema = child.output_schema();
                 let input = self.run(child)?;
-                sort::top_n(&mut self.counters, input, &schema, keys, *limit, *offset)
+                sort::top_n(&mut self.counters, input, &schema, keys, *limit, *offset, self.guard)
             }
             PlanOp::Limit { limit, offset } => self.limit(node, *limit, *offset),
             PlanOp::Projection { exprs, .. } => {
@@ -468,8 +533,12 @@ impl Executor<'_> {
                 }
                 let schema = child.output_schema();
                 let input = self.run(child)?;
+                self.guard.charge_cells(input.len() as u64 * exprs.len().max(1) as u64)?;
                 let mut out = Vec::with_capacity(input.len());
-                for row in input {
+                for (i, row) in input.into_iter().enumerate() {
+                    if i % GUARD_CHECK_ROWS == 0 {
+                        self.guard.check()?;
+                    }
                     let mut projected = Vec::with_capacity(exprs.len());
                     for e in exprs {
                         projected.push(eval(e, &schema, &row)?);
@@ -480,7 +549,7 @@ impl Executor<'_> {
             }
             PlanOp::OutputSort { keys } => {
                 let input = self.run(&node.children[0])?;
-                sort::output_sort(&mut self.counters, input, keys)
+                sort::output_sort(&mut self.counters, input, keys, self.guard)
             }
             PlanOp::Insert { .. } | PlanOp::Update { .. } | PlanOp::Delete { .. } => {
                 Err(ExecError::BadPlan(
@@ -501,6 +570,15 @@ impl Executor<'_> {
             .db
             .stored_table(name)
             .ok_or_else(|| ExecError::MissingTable(name.to_string()))?;
+        // Both scan shapes materialize the touched cells; charge the guard's
+        // memory budget before allocating. Count rows on the side this
+        // engine scans: AP-only snapshot views keep their row store empty,
+        // so the combined `row_count()` invariant doesn't hold here.
+        let scan_rows = match self.engine {
+            EngineKind::Tp => stored.rows.row_count(),
+            EngineKind::Ap => stored.cols.row_count(),
+        } as u64;
+        self.guard.charge_cells(scan_rows * columns.len().max(1) as u64)?;
         match self.engine {
             EngineKind::Tp => {
                 // Row-store scan: full tuples are touched even if the plan
@@ -627,9 +705,12 @@ impl Executor<'_> {
             .ok_or_else(|| ExecError::BadPlan(format!("no index on {name}.{column_idx}")))?;
         self.counters.index_probes += 1;
         let mut out = Vec::with_capacity(need);
-        for rid in index.ordered_row_ids(*descending) {
+        for (i, rid) in index.ordered_row_ids(*descending).into_iter().enumerate() {
             if out.len() >= need {
                 break;
+            }
+            if i % GUARD_CHECK_ROWS == 0 {
+                self.guard.check()?;
             }
             self.counters.index_fetches += 1;
             self.counters.rows_scanned += 1;
@@ -755,6 +836,19 @@ pub fn execute_dml(
     dml: &BoundDml,
     db: &mut Database,
 ) -> Result<(DmlResult, WorkCounters), ExecError> {
+    execute_dml_guarded(plan, dml, db, ExecGuard::unlimited())
+}
+
+/// [`execute_dml`] under a statement guard: the target-collection and
+/// row-rewrite loops check it cooperatively, so a runaway write is stopped
+/// *before* any mutation is applied (targets are fully collected first).
+pub(crate) fn execute_dml_guarded(
+    plan: &PlanNode,
+    dml: &BoundDml,
+    db: &mut Database,
+    guard: &ExecGuard,
+) -> Result<(DmlResult, WorkCounters), ExecError> {
+    guard.check()?;
     let mut counters = WorkCounters::default();
     let table = dml.table_name().to_string();
     let stored = db
@@ -763,7 +857,7 @@ pub fn execute_dml(
     let n_indexes = stored.rows.index_count() as u64;
     let (kind, rows_affected) = match dml {
         BoundDml::Insert(ins) => {
-            check_primary_key(&mut counters, db, &table, &ins.rows)?;
+            check_primary_key(&mut counters, db, &table, &ins.rows, guard)?;
             counters.rows_inserted += ins.rows.len() as u64;
             counters.index_updates += ins.rows.len() as u64 * n_indexes;
             (DmlKind::Insert, db.apply_insert(&table, &ins.rows))
@@ -773,7 +867,7 @@ pub fn execute_dml(
                 .children
                 .first()
                 .ok_or_else(|| ExecError::BadPlan("Update node without access path".into()))?;
-            let rids = collect_target_rids(&mut counters, child, &up.scan, db)?;
+            let rids = collect_target_rids(&mut counters, child, &up.scan, db, guard)?;
             let def = db
                 .catalog()
                 .table(&table)
@@ -781,8 +875,12 @@ pub fn execute_dml(
             let types: Vec<_> = def.columns.iter().map(|c| (c.data_type, c.name.clone())).collect();
             let stored = db.stored_table(&table).expect("checked above");
             let schema = Schema::new((0..stored.rows.width()).map(|c| (0, c)).collect());
+            guard.charge_cells(rids.len() as u64 * stored.rows.width().max(1) as u64)?;
             let mut changes = Vec::with_capacity(rids.len());
-            for &rid in &rids {
+            for (i, &rid) in rids.iter().enumerate() {
+                if i % GUARD_CHECK_ROWS == 0 {
+                    guard.check()?;
+                }
                 let old = stored.rows.row(rid as usize);
                 let mut new_row = old.to_vec();
                 for (ci, expr) in &up.assignments {
@@ -832,7 +930,7 @@ pub fn execute_dml(
                 .children
                 .first()
                 .ok_or_else(|| ExecError::BadPlan("Delete node without access path".into()))?;
-            let rids = collect_target_rids(&mut counters, child, &del.scan, db)?;
+            let rids = collect_target_rids(&mut counters, child, &del.scan, db, guard)?;
             counters.rows_deleted += rids.len() as u64;
             counters.index_updates += rids.len() as u64 * n_indexes;
             (DmlKind::Delete, db.apply_delete(&table, &rids))
@@ -854,6 +952,7 @@ fn check_primary_key(
     db: &Database,
     table: &str,
     rows: &[Row],
+    guard: &ExecGuard,
 ) -> Result<(), ExecError> {
     let def = db
         .catalog()
@@ -867,7 +966,10 @@ fn check_primary_key(
         return Ok(());
     };
     let mut batch_keys: std::collections::HashSet<&Value> = HashSet::with_capacity(rows.len());
-    for row in rows {
+    for (i, row) in rows.iter().enumerate() {
+        if i % GUARD_CHECK_ROWS == 0 {
+            guard.check()?;
+        }
         let pk = &row[pk_ci];
         if pk.is_null() {
             return Err(ExecError::Write(format!(
@@ -894,6 +996,7 @@ fn collect_target_rids(
     node: &PlanNode,
     scan_query: &BoundQuery,
     db: &Database,
+    guard: &ExecGuard,
 ) -> Result<Vec<u32>, ExecError> {
     let (filter, scan) = match &node.op {
         PlanOp::Filter { predicate } => (Some(predicate), &node.children[0]),
@@ -943,7 +1046,10 @@ fn collect_target_rids(
     };
     let schema = scan.output_schema();
     let mut out = Vec::new();
-    for rid in candidates {
+    for (i, rid) in candidates.into_iter().enumerate() {
+        if i % GUARD_CHECK_ROWS == 0 {
+            guard.check()?;
+        }
         counters.filter_evals += 1;
         if eval_predicate(pred, &schema, row_table.row(rid as usize))? {
             out.push(rid);

@@ -45,6 +45,7 @@
 //! pruned scan sizes its morsels from the surviving row count, not the raw
 //! table length, so thread fan-out sees post-pruning work.
 
+use super::guard::ExecGuard;
 use crate::eval::{eval_batch, eval_predicate_mask, BatchView, EvalError};
 use crate::eval::Schema;
 use crate::storage::col_store::{ColRef, ColumnData};
@@ -97,24 +98,50 @@ pub(crate) fn zone_aware_step(
 /// `threads == 1` is the exact serial executor. With more threads, any
 /// kernel whose input exceeds one morsel fans out over a scoped worker
 /// pool; results are deterministic either way (see the module docs).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ExecConfig {
     /// Worker threads for AP batch kernels (1 ⇒ serial).
     pub threads: usize,
     /// Rows per morsel; also the minimum input size before any kernel
     /// bothers to go parallel.
     pub morsel_rows: usize,
+    /// Statement governor consulted at every morsel boundary (`None` ⇒
+    /// ungoverned). Carried here so the guard reaches every kernel the
+    /// config already reaches; excluded from equality — two configs that
+    /// decompose work identically are equal regardless of governance.
+    pub guard: Option<ExecGuard>,
 }
+
+/// Equality ignores the guard: it governs *when a statement stops*, never
+/// how work is decomposed, so configs compare on decomposition alone.
+impl PartialEq for ExecConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads && self.morsel_rows == other.morsel_rows
+    }
+}
+
+impl Eq for ExecConfig {}
 
 impl ExecConfig {
     /// The exact serial executor.
     pub fn serial() -> Self {
-        ExecConfig { threads: 1, morsel_rows: DEFAULT_MORSEL_ROWS }
+        ExecConfig { threads: 1, morsel_rows: DEFAULT_MORSEL_ROWS, guard: None }
     }
 
     /// `threads` workers with the default morsel size.
     pub fn with_threads(threads: usize) -> Self {
-        ExecConfig { threads: threads.max(1), morsel_rows: DEFAULT_MORSEL_ROWS }
+        ExecConfig { threads: threads.max(1), morsel_rows: DEFAULT_MORSEL_ROWS, guard: None }
+    }
+
+    /// This config with a statement guard attached.
+    pub fn with_guard(&self, guard: ExecGuard) -> Self {
+        ExecConfig { guard: Some(guard), ..self.clone() }
+    }
+
+    /// The effective guard: the attached one, or the shared no-limit guard.
+    #[inline]
+    pub(crate) fn guard(&self) -> &ExecGuard {
+        self.guard.as_ref().unwrap_or_else(|| ExecGuard::unlimited())
     }
 
     /// The thread count explicitly requested via `QPE_AP_THREADS`, if any.
@@ -141,7 +168,7 @@ impl ExecConfig {
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&m| m > 0)
             .unwrap_or(DEFAULT_MORSEL_ROWS);
-        ExecConfig { threads, morsel_rows }
+        ExecConfig { threads, morsel_rows, guard: None }
     }
 
     /// The process-wide default ([`ExecConfig::from_env`], read once).
@@ -292,7 +319,13 @@ pub(crate) fn par_filter_sel(
 ) -> Result<Vec<u32>, EvalError> {
     let n = sel.map(|s| s.len()).unwrap_or(rows);
     let ranges = morsel_ranges(n, step, cuts);
+    let guard = cfg.guard();
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
+        if guard.poll() {
+            // Tripped: abandon the morsel. The executor's next guard check
+            // discards the truncated result and surfaces the cause.
+            return Ok(Vec::new());
+        }
         let range = &ranges[i];
         let mut ident = Vec::new();
         let view = sub_view(cols, sel, rows, range, &mut ident);
@@ -334,7 +367,14 @@ pub(crate) fn par_eval_batch(
         return eval_batch(expr, schema, &view);
     }
     let ranges = morsel_ranges(n, cfg.morsel_rows, &[]);
+    let guard = cfg.guard();
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
+        if guard.poll() {
+            // Tripped: evaluate over zero rows — a cheap, type-correct
+            // placeholder the caller discards at its next guard check.
+            let view = BatchView { cols, sel: Some(&[]), rows };
+            return eval_batch(expr, schema, &view);
+        }
         let range = &ranges[i];
         let mut ident = Vec::new();
         let view = sub_view(cols, sel, rows, range, &mut ident);
@@ -355,7 +395,11 @@ pub(crate) fn par_gather(cfg: &ExecConfig, col: ColRef<'_>, idxs: &[u32]) -> Col
         return col.gather_rows(idxs);
     }
     let ranges = morsel_ranges(idxs.len(), cfg.morsel_rows, &[]);
+    let guard = cfg.guard();
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
+        if guard.poll() {
+            return col.gather_rows(&[]);
+        }
         col.gather_rows(&idxs[ranges[i].clone()])
     });
     let mut iter = pieces.into_iter();
@@ -384,7 +428,13 @@ pub(crate) fn par_build_rows(
         return build(0..n);
     }
     let ranges = morsel_ranges(n, cfg.morsel_rows, &[]);
-    let pieces = run_tasks(cfg.threads, ranges.len(), |i| build(ranges[i].clone()));
+    let guard = cfg.guard();
+    let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
+        if guard.poll() {
+            return Vec::new();
+        }
+        build(ranges[i].clone())
+    });
     let mut out = Vec::with_capacity(n);
     for p in pieces {
         out.extend(p);
@@ -422,7 +472,11 @@ where
 {
     let n_parts = cfg.threads.clamp(1, 255);
     let ranges = morsel_ranges(build_len, cfg.morsel_rows, &[]);
+    let guard = cfg.guard();
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
+        if guard.poll() {
+            return Vec::new();
+        }
         ranges[i]
             .clone()
             .map(|j| partition_of(&key_at(j).0, n_parts) as u8)
@@ -434,6 +488,9 @@ where
     }
     run_tasks(cfg.threads, n_parts, |p| {
         let mut table: HashMap<K, Vec<u32>> = HashMap::new();
+        if guard.poll() {
+            return table;
+        }
         for (j, &part) in parts.iter().enumerate() {
             if part == p as u8 {
                 let (key, phys) = key_at(j);
@@ -460,9 +517,13 @@ where
 {
     let n_parts = tables.len().max(1);
     let ranges = morsel_ranges(probe_len, cfg.morsel_rows, &[]);
+    let guard = cfg.guard();
     let pieces = run_tasks(cfg.threads, ranges.len(), |i| {
         let mut probe_idx = Vec::new();
         let mut build_idx = Vec::new();
+        if guard.poll() {
+            return (probe_idx, build_idx);
+        }
         for j in ranges[i].clone() {
             let Some((key, phys)) = key_at(j) else {
                 continue;
@@ -540,7 +601,7 @@ mod tests {
 
     #[test]
     fn config_parallel_gate() {
-        let cfg = ExecConfig { threads: 4, morsel_rows: 100 };
+        let cfg = ExecConfig { threads: 4, morsel_rows: 100, ..ExecConfig::serial() };
         assert!(cfg.parallel_for(101));
         assert!(!cfg.parallel_for(100));
         assert!(!ExecConfig::serial().parallel_for(1_000_000));

@@ -7,7 +7,8 @@
 //! same (stable sort / bounded-buffer) algorithms so tie-breaking — and
 //! therefore output order — is identical across executors.
 
-use super::{ExecError, Row, WorkCounters};
+use super::guard::ExecGuard;
+use super::{ExecError, Row, WorkCounters, GUARD_CHECK_ROWS};
 use crate::eval::{eval, Schema};
 use crate::storage::col_store::ColumnData;
 use qpe_sql::binder::BoundExpr;
@@ -40,16 +41,20 @@ pub fn full_sort(
     input: Vec<Row>,
     schema: &Schema,
     keys: &[(BoundExpr, bool)],
+    guard: &ExecGuard,
 ) -> Result<Vec<Row>, ExecError> {
     let descs: Vec<bool> = keys.iter().map(|(_, d)| *d).collect();
-    let mut keyed: Vec<(Vec<Value>, Row)> = input
-        .into_iter()
-        .map(|row| {
-            let kv: Result<Vec<Value>, _> =
-                keys.iter().map(|(k, _)| eval(k, schema, &row)).collect();
-            kv.map(|kv| (kv, row))
-        })
-        .collect::<Result<_, _>>()?;
+    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(input.len());
+    for (i, row) in input.into_iter().enumerate() {
+        if i % GUARD_CHECK_ROWS == 0 {
+            guard.check()?;
+        }
+        let kv: Vec<Value> = keys
+            .iter()
+            .map(|(k, _)| eval(k, schema, &row))
+            .collect::<Result<_, _>>()?;
+        keyed.push((kv, row));
+    }
     charge_sort_comparisons(counters, keyed.len() as u64);
     keyed.sort_by(|(ka, _), (kb, _)| cmp_keys(ka, kb, &descs));
     Ok(keyed.into_iter().map(|(_, r)| r).collect())
@@ -63,16 +68,20 @@ pub fn full_sort_indices(
     key_cols: &[ColumnData],
     descs: &[bool],
     sel: Vec<u32>,
+    guard: &ExecGuard,
 ) -> Vec<u32> {
     let n = sel.len();
     charge_sort_comparisons(counters, n as u64);
     // Key tuples per dense position; the stable sort then reproduces the row
     // interpreter's permutation exactly (same comparator, same input order).
-    let mut keyed: Vec<(Vec<Value>, u32)> = sel
-        .into_iter()
-        .enumerate()
-        .map(|(j, phys)| (key_cols.iter().map(|c| c.get(j)).collect(), phys))
-        .collect();
+    let mut keyed: Vec<(Vec<Value>, u32)> = Vec::with_capacity(n);
+    for (j, phys) in sel.into_iter().enumerate() {
+        if j % GUARD_CHECK_ROWS == 0 && guard.poll() {
+            // Abandon on trip; the caller's next check discards this.
+            return Vec::new();
+        }
+        keyed.push((key_cols.iter().map(|c| c.get(j)).collect(), phys));
+    }
     keyed.sort_by(|(ka, _), (kb, _)| cmp_keys(ka, kb, descs));
     keyed.into_iter().map(|(_, phys)| phys).collect()
 }
@@ -92,8 +101,9 @@ pub fn full_sort_indices_par(
     sel: Vec<u32>,
 ) -> Vec<u32> {
     let n = sel.len();
+    let guard = cfg.guard();
     if !cfg.parallel_for(n) {
-        return full_sort_indices(counters, key_cols, descs, sel);
+        return full_sort_indices(counters, key_cols, descs, sel, guard);
     }
     charge_sort_comparisons(counters, n as u64);
     // Contiguous equal chunks, one per worker (keys are keyed by *dense*
@@ -101,6 +111,11 @@ pub fn full_sort_indices_par(
     let chunks = cfg.threads.min(n.div_ceil(cfg.morsel_rows)).max(1);
     let step = n.div_ceil(chunks);
     let sorted_chunks = super::parallel::run_tasks(cfg.threads, chunks, |c| {
+        if guard.poll() {
+            // Abandon the chunk on trip; the executor's next check discards
+            // the truncated merge below.
+            return Vec::new();
+        }
         let lo = c * step;
         let hi = ((c + 1) * step).min(n);
         let mut keyed: Vec<(Vec<Value>, u32)> = (lo..hi)
@@ -110,10 +125,16 @@ pub fn full_sort_indices_par(
         keyed
     });
     // k-way stable merge: scan chunks in order, strictly-less replaces —
-    // so ties go to the lowest (earliest-input) chunk.
+    // so ties go to the lowest (earliest-input) chunk. Merge however many
+    // entries the chunks actually hold — fewer than `n` only when the guard
+    // tripped mid-sort.
+    let total: usize = sorted_chunks.iter().map(|c| c.len()).sum();
     let mut cursors = vec![0usize; sorted_chunks.len()];
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
+    let mut out = Vec::with_capacity(total);
+    for i in 0..total {
+        if i % GUARD_CHECK_ROWS == 0 && guard.poll() {
+            return out;
+        }
         let mut best: Option<usize> = None;
         for (c, chunk) in sorted_chunks.iter().enumerate() {
             if cursors[c] >= chunk.len() {
@@ -148,6 +169,7 @@ pub fn top_n(
     keys: &[(BoundExpr, bool)],
     limit: u64,
     offset: u64,
+    guard: &ExecGuard,
 ) -> Result<Vec<Row>, ExecError> {
     let need = (limit + offset) as usize;
     if need == 0 {
@@ -157,7 +179,10 @@ pub fn top_n(
     // Simple bounded selection: maintain a sorted buffer of at most `need`
     // rows. Each push charges one heap operation.
     let mut buf: Vec<(Vec<Value>, Row)> = Vec::with_capacity(need + 1);
-    for row in input {
+    for (i, row) in input.into_iter().enumerate() {
+        if i % GUARD_CHECK_ROWS == 0 {
+            guard.check()?;
+        }
         counters.topn_pushes += 1;
         let kv: Vec<Value> = keys
             .iter()
@@ -194,6 +219,7 @@ pub fn top_n_indices(
     sel: Vec<u32>,
     limit: u64,
     offset: u64,
+    guard: &ExecGuard,
 ) -> Vec<u32> {
     let need = (limit + offset) as usize;
     if need == 0 {
@@ -201,6 +227,10 @@ pub fn top_n_indices(
     }
     let mut buf: Vec<(Vec<Value>, u32)> = Vec::with_capacity(need + 1);
     for (j, phys) in sel.into_iter().enumerate() {
+        if j % GUARD_CHECK_ROWS == 0 && guard.poll() {
+            // Abandon on trip; the caller's next check discards this.
+            return Vec::new();
+        }
         counters.topn_pushes += 1;
         let kv: Vec<Value> = key_cols.iter().map(|c| c.get(j)).collect();
         if buf.len() < need {
@@ -228,7 +258,9 @@ pub fn output_sort(
     counters: &mut WorkCounters,
     mut input: Vec<Row>,
     keys: &[(usize, bool)],
+    guard: &ExecGuard,
 ) -> Result<Vec<Row>, ExecError> {
+    guard.check()?;
     charge_sort_comparisons(counters, input.len() as u64);
     input.sort_by(|a, b| {
         for &(pos, desc) in keys {
@@ -263,7 +295,7 @@ mod tests {
         let keys = ColumnData::Int(vec![3, 1, 3, 1, 2]);
         let mut c = WorkCounters::default();
         let sel: Vec<u32> = (0..5).collect();
-        let sorted = full_sort_indices(&mut c, &[keys], &[false], sel);
+        let sorted = full_sort_indices(&mut c, &[keys], &[false], sel, ExecGuard::unlimited());
         assert_eq!(sorted, vec![1, 3, 4, 0, 2]);
         assert!(c.sort_comparisons > 0);
     }
@@ -273,7 +305,8 @@ mod tests {
         let keys = ColumnData::Int(vec![5, 2, 9, 1, 7, 3]);
         let mut c = WorkCounters::default();
         let sel: Vec<u32> = (0..6).collect();
-        let top = top_n_indices(&mut c, &[keys], &[false], sel, 2, 1);
+        let top =
+            top_n_indices(&mut c, &[keys], &[false], sel, 2, 1, ExecGuard::unlimited());
         // ascending: 1 (idx 3), 2 (idx 1), 3 (idx 5) → offset 1 drops idx 3
         assert_eq!(top, vec![1, 5]);
         assert_eq!(c.topn_pushes, 6);

@@ -290,6 +290,12 @@ impl<'a> VecExecutor<'a> {
     }
 
     fn run(&mut self, node: &PlanNode, needs: &Needs) -> Result<VOut<'a>, ExecError> {
+        // Cooperative governance checkpoint at every operator boundary. This
+        // also discards any truncated child output: parallel kernels that
+        // observe a tripped guard return shape-valid placeholders, and the
+        // latched violation surfaces here (or at the later per-kernel
+        // checks) before anything length-sensitive consumes them.
+        self.cfg.guard().check()?;
         match &node.op {
             PlanOp::TableScan { table_slot, columns, pushed } => {
                 self.table_scan(*table_slot, columns, pushed.as_ref())
@@ -332,7 +338,12 @@ impl<'a> VecExecutor<'a> {
                 let VOut::Rows(rows) = child else {
                     return Err(ExecError::BadPlan("OutputSort over a batch".into()));
                 };
-                Ok(VOut::Rows(sort::output_sort(&mut self.counters, rows, keys)?))
+                Ok(VOut::Rows(sort::output_sort(
+                    &mut self.counters,
+                    rows,
+                    keys,
+                    self.cfg.guard(),
+                )?))
             }
             _ => Err(ExecError::BadPlan(format!(
                 "operator {:?} not supported by the batch executor",
@@ -473,8 +484,15 @@ impl<'a> VecExecutor<'a> {
         let (probe_idx, build_idx) =
             join_pairs(self.cfg, &probe, &ppos, &build, &bpos)?;
 
+        // A tripped guard may have truncated the pair lists; surface it
+        // before gathering from them.
+        self.cfg.guard().check()?;
+
         // Late materialization: gather only the columns some ancestor reads.
         let out_schema = probe_schema.concat(&build_schema);
+        self.cfg
+            .guard()
+            .charge_cells(probe_idx.len() as u64 * out_schema.len().max(1) as u64)?;
         let probe_w = probe_schema.len();
         let mut cols = Vec::with_capacity(out_schema.len());
         for (p, &(slot, cidx)) in out_schema.columns().iter().enumerate() {
@@ -518,6 +536,10 @@ impl<'a> VecExecutor<'a> {
 
         let cols: Vec<Option<ColRef>> = batch.cols.iter().map(BatchCol::as_ref).collect();
         let sel = batch.sel.as_deref();
+        // Key/argument columns materialize one cell per selected row each.
+        self.cfg.guard().charge_cells(
+            batch.selected_len() as u64 * (group_by.len() + leaves.len()).max(1) as u64,
+        )?;
         let key_cols: Vec<ColumnData> = group_by
             .iter()
             .map(|g| parallel::par_eval_batch(self.cfg, g, &schema, &cols, sel, batch.rows))
@@ -578,7 +600,15 @@ impl<'a> VecExecutor<'a> {
         let schema = child.output_schema();
         let (key_cols, descs) = self.sort_keys(keys, &schema, &batch)?;
         let sel = batch.take_selection();
-        let top = sort::top_n_indices(&mut self.counters, &key_cols, &descs, sel, limit, offset);
+        let top = sort::top_n_indices(
+            &mut self.counters,
+            &key_cols,
+            &descs,
+            sel,
+            limit,
+            offset,
+            self.cfg.guard(),
+        );
         Ok(VOut::Batch(Batch::plain(batch.cols, Some(top), batch.rows)))
     }
 
@@ -590,10 +620,16 @@ impl<'a> VecExecutor<'a> {
     ) -> Result<(Vec<ColumnData>, Vec<bool>), ExecError> {
         let cols: Vec<Option<ColRef>> = batch.cols.iter().map(BatchCol::as_ref).collect();
         let sel = batch.sel.as_deref();
+        self.cfg
+            .guard()
+            .charge_cells(batch.selected_len() as u64 * keys.len().max(1) as u64)?;
         let key_cols: Vec<ColumnData> = keys
             .iter()
             .map(|(k, _)| parallel::par_eval_batch(self.cfg, k, schema, &cols, sel, batch.rows))
             .collect::<Result<_, _>>()?;
+        // Discard truncated key columns before the sort kernels index them
+        // against the full selection.
+        self.cfg.guard().check()?;
         let descs: Vec<bool> = keys.iter().map(|(_, d)| *d).collect();
         Ok((key_cols, descs))
     }
@@ -609,10 +645,17 @@ impl<'a> VecExecutor<'a> {
         let schema = child.output_schema();
         let cols: Vec<Option<ColRef>> = batch.cols.iter().map(BatchCol::as_ref).collect();
         let sel = batch.sel.as_deref();
+        // Projection materializes one cell per output row per expression,
+        // twice (column form, then row form).
+        self.cfg.guard().charge_cells(
+            2 * batch.selected_len() as u64 * exprs.len().max(1) as u64,
+        )?;
         let out_cols: Vec<ColumnData> = exprs
             .iter()
             .map(|e| parallel::par_eval_batch(self.cfg, e, &schema, &cols, sel, batch.rows))
             .collect::<Result<_, _>>()?;
+        // Discard truncated output columns before row building indexes them.
+        self.cfg.guard().check()?;
         let n = sel.map(|s| s.len()).unwrap_or(batch.rows);
         Ok(VOut::Rows(parallel::par_build_rows(self.cfg, &out_cols, n)))
     }

@@ -192,6 +192,46 @@
 //! durable I/O site and asserts recovered TP ≡ recovered AP ≡ an oracle
 //! applying exactly the committed prefix.
 //!
+//! # Fault-tolerant statement lifecycle
+//!
+//! Statements are governed and failures are structured — nothing in the
+//! engine `panic!`s its way out of a bad statement, and nothing loops
+//! forever on a bad disk:
+//!
+//! * **Governance** ([`exec::ExecGuard`]): every statement runs under a
+//!   guard combining a cancel flag ([`session::Session::cancel_handle`] —
+//!   usable from any thread), a deadline, and an approximate memory budget
+//!   ([`exec::StatementLimits`], defaulted system-wide via
+//!   [`engine::HtapSystem::set_statement_limits`] or overridden per call).
+//!   All three executors poll it cooperatively at operator/morsel/1k-row
+//!   granularity and surface trips as
+//!   `HtapError::{Cancelled, Timeout, MemoryBudget}`. Guard polls are one
+//!   relaxed atomic load — the `governed_ap_scan` benchmark holds the
+//!   overhead under 2%.
+//! * **Transient-fault retry** ([`storage::durable_io::RetryPolicy`]): WAL
+//!   fsyncs, segment seals and manifest swaps retry transiently-failing
+//!   I/O with exponential backoff + jitter under a bounded budget.
+//!   Retryable = I/O errors that may heal (everything except ENOSPC-class
+//!   errors, simulated crashes, and checksum corruption).
+//! * **Read-only degraded mode**: when retries exhaust (or a non-retryable
+//!   error hits, or a writer panic poisons the database lock), the system
+//!   latches degraded mode — writes fail fast with
+//!   [`engine::HtapError::ReadOnly`] carrying the root cause, while reads
+//!   and MVCC snapshots keep serving lock-free.
+//!   [`engine::HtapSystem::health`] reports the mode, cause and fault
+//!   counters; [`engine::HtapSystem::resume_writes`] re-probes the WAL end
+//!   to end and lifts the degradation only on success. The state machine is
+//!   `Healthy → (retry budget exhausted | non-retryable | writer panic) →
+//!   Degraded → (resume_writes probe OK) → Healthy`.
+//! * **Containment**: session-boundary `catch_unwind` turns an executor
+//!   panic into [`engine::HtapError::Internal`]; poisoned locks are
+//!   recovered rather than propagated (safe because readers only ever see
+//!   committed copy-on-write state), with a writer panic additionally
+//!   tripping degraded mode. `tests/fault_tolerance.rs` sweeps all of this:
+//!   transient errors armed at every durable I/O site over random DML tapes
+//!   (zero acked-write loss), mid-scan cancellation, deterministic
+//!   timeouts, injected panics, and the degraded-mode round trip.
+//!
 //! **Why counters must stay identical across modes:** everything downstream
 //! consumes [`exec::WorkCounters`], not wall-clock — the latency model turns
 //! counters into deterministic simulated latencies, those latencies pick the
@@ -221,10 +261,11 @@ pub mod tpch;
 
 pub use engine::{
     BackgroundCompaction, Database, DmlOutcome, DurabilityOptions, EngineKind, EngineRun,
-    HtapSystem, QueryOutcome, RecoveryReport, StatementOutcome,
+    Health, HtapError, HtapSystem, QueryOutcome, RecoveryReport, StatementOutcome,
 };
-pub use exec::{DmlKind, DmlResult, ExecConfig};
+pub use exec::{CancelHandle, DmlKind, DmlResult, ExecConfig, GovernError, StatementLimits};
 pub use plan::{NodeType, PlanNode};
 pub use session::{PlanCacheStats, PreparedStatement, Session};
 pub use storage::{DurabilityError, FailPoints, SyncPolicy, TableFreshness, WalStats};
+pub use storage::durable_io::RetryPolicy;
 pub use tpch::TpchConfig;

@@ -27,15 +27,36 @@
 //! Reads execute through `&self` (a shared read lock), so concurrent
 //! sessions run prepared SELECTs fully in parallel; prepared DML takes the
 //! write lock internally, exactly like [`HtapSystem::execute_statement`].
+//!
+//! # Statement lifecycle governance
+//!
+//! Every statement a session executes runs under an
+//! [`crate::exec::ExecGuard`] built from the system-default
+//! [`StatementLimits`] — or per-call overrides via
+//! [`Session::execute_sql_with`] / [`PreparedStatement::execute_with`] —
+//! plus the session's shared **cancel flag**. [`Session::cancel_handle`]
+//! returns a handle any thread can use to stop the session's in-flight
+//! statement at its next block/morsel boundary; the statement returns
+//! [`HtapError::Cancelled`]. The flag is cleared when the next statement
+//! starts, so a cancel aimed at one statement never leaks into the next.
+//!
+//! The session boundary is also the **containment** boundary: statement
+//! execution runs under `catch_unwind`, so an executor panic surfaces as a
+//! structured [`HtapError::Internal`] instead of unwinding into the caller,
+//! and the next statement on the session proceeds normally (a panic that
+//! poisoned the database write lock additionally trips read-only degraded
+//! mode — see [`HtapSystem::health`]).
 
 use crate::engine::{HtapError, HtapSystem, StatementOutcome};
+use crate::exec::{CancelHandle, ExecGuard, StatementLimits};
 use crate::opt::{ap, tp, PlannerCtx};
 use crate::plan::PlanNode;
+use crate::storage::durable_io::lock_unpoisoned;
 use qpe_sql::binder::{coerce_param, substitute_params, BoundDml, BoundExpr, BoundQuery, BoundStatement};
 use qpe_sql::catalog::DataType;
 use qpe_sql::value::Value;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------------
@@ -123,7 +144,10 @@ impl PlanCache {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, PlanCacheInner> {
-        self.inner.lock().expect("plan cache poisoned")
+        // Poison recovery is safe here: every cache mutation is a single
+        // HashMap/VecDeque operation that cannot leave the structure torn
+        // if a holder panics between operations.
+        lock_unpoisoned(&self.inner)
     }
 
     /// Plain lookup with no validation (tests exercise the LRU/doorkeeper
@@ -348,17 +372,29 @@ fn design_epochs_for<'a>(
 /// (an `Arc` clone) and independent — every thread gets its own.
 pub struct Session {
     system: Arc<HtapSystem>,
+    /// Shared cancel flag: raised by [`CancelHandle`]s from any thread,
+    /// cleared when the next statement starts. Prepared statements from
+    /// this session share it.
+    cancel: Arc<AtomicBool>,
 }
 
 impl Session {
     /// Opens a session over a shared system.
     pub fn new(system: Arc<HtapSystem>) -> Self {
-        Session { system }
+        Session { system, cancel: Arc::new(AtomicBool::new(false)) }
     }
 
     /// The underlying system.
     pub fn system(&self) -> &Arc<HtapSystem> {
         &self.system
+    }
+
+    /// A handle that cancels this session's in-flight statement from any
+    /// other thread. The statement observes the flag at its next
+    /// block/morsel boundary and returns [`HtapError::Cancelled`]; starting
+    /// the next statement clears the flag.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle::from_flag(Arc::clone(&self.cancel))
     }
 
     /// Prepares a statement: full front end on cache miss, `Arc` clone on
@@ -367,14 +403,56 @@ impl Session {
     /// `VALUES` rows.
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, HtapError> {
         let stmt = self.system.prepare_cached(sql)?;
-        Ok(PreparedStatement { system: Arc::clone(&self.system), stmt })
+        Ok(PreparedStatement {
+            system: Arc::clone(&self.system),
+            cancel: Arc::clone(&self.cancel),
+            stmt,
+        })
     }
 
     /// One-shot convenience: prepare (through the shared cache) and execute
-    /// with no parameters. Repeated calls with identical SQL skip the front
-    /// end after the first.
+    /// with no parameters under the system-default limits. Repeated calls
+    /// with identical SQL skip the front end after the first.
     pub fn execute_sql(&self, sql: &str) -> Result<StatementOutcome, HtapError> {
-        self.prepare(sql)?.execute(&[])
+        let limits = self.system.statement_limits().clone();
+        self.execute_sql_with(sql, &limits)
+    }
+
+    /// [`Session::execute_sql`] with explicit per-statement limits (timeout,
+    /// memory budget) overriding the system defaults for this call only.
+    pub fn execute_sql_with(
+        &self,
+        sql: &str,
+        limits: &StatementLimits,
+    ) -> Result<StatementOutcome, HtapError> {
+        self.prepare(sql)?.execute_with(&[], limits)
+    }
+}
+
+/// Runs `f`, containing any panic as a structured [`HtapError::Internal`].
+/// This is the session-boundary firewall: an executor bug (or an injected
+/// panic) stops the statement, not the process, and the session stays
+/// usable. `AssertUnwindSafe` is sound here because the engine repairs its
+/// own shared state on the next access — poisoned locks are recovered (and
+/// a writer panic trips read-only degraded mode), and all read state is
+/// committed copy-on-write.
+fn contain<T>(f: impl FnOnce() -> Result<T, HtapError>) -> Result<T, HtapError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        // `&*payload`, not `&payload`: the latter would unsize the `Box`
+        // itself into the `dyn Any` and every downcast would miss.
+        Err(payload) => Err(HtapError::Internal(panic_message(&*payload))),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -384,6 +462,9 @@ impl Session {
 #[derive(Clone)]
 pub struct PreparedStatement {
     system: Arc<HtapSystem>,
+    /// The owning session's cancel flag (shared — cancelling the session
+    /// cancels whichever of its statements is in flight).
+    cancel: Arc<AtomicBool>,
     stmt: Arc<CachedStatement>,
 }
 
@@ -391,6 +472,12 @@ impl PreparedStatement {
     /// The prepared SQL text.
     pub fn sql(&self) -> &str {
         self.stmt.sql()
+    }
+
+    /// A handle that cancels an in-flight execution of this statement (or
+    /// any other statement of the owning session) from another thread.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle::from_flag(Arc::clone(&self.cancel))
     }
 
     /// Number of parameters the statement expects.
@@ -405,16 +492,32 @@ impl PreparedStatement {
 
     /// Executes with the given parameter values: validate + coerce, inject
     /// into the cached plans, run. No re-lex, re-parse, re-bind or re-plan.
+    /// Governed by the system-default [`StatementLimits`].
     pub fn execute(&self, params: &[Value]) -> Result<StatementOutcome, HtapError> {
+        let limits = self.system.statement_limits().clone();
+        self.execute_with(params, &limits)
+    }
+
+    /// [`PreparedStatement::execute`] with explicit per-call limits. The
+    /// whole execution runs under one [`ExecGuard`] (cancel flag + deadline
+    /// + memory budget) and inside the session's panic-containment boundary.
+    pub fn execute_with(
+        &self,
+        params: &[Value],
+        limits: &StatementLimits,
+    ) -> Result<StatementOutcome, HtapError> {
         let params = self.coerce(params)?;
-        match &self.stmt.kind {
+        // Starting a statement lowers any stale cancel from a previous one.
+        self.cancel.store(false, Ordering::SeqCst);
+        let guard = ExecGuard::with_cancel(limits, Arc::clone(&self.cancel));
+        contain(|| match &self.stmt.kind {
             CachedKind::Query { bound, tp, ap } => {
                 let (tp_plan, ap_plan) = if params.is_empty() {
                     (tp.clone(), ap.clone())
                 } else {
                     (tp.substitute_params(&params), ap.substitute_params(&params))
                 };
-                let outcome = self.system.run_prepared(bound, tp_plan, ap_plan)?;
+                let outcome = self.system.run_prepared(bound, tp_plan, ap_plan, &guard)?;
                 Ok(StatementOutcome::Query(Box::new(outcome)))
             }
             CachedKind::Dml { dml, plan } => {
@@ -423,12 +526,12 @@ impl PreparedStatement {
                 } else {
                     (substitute_dml_params(dml, &params), plan.substitute_params(&params))
                 };
-                let outcome = self
-                    .system
-                    .execute_dml_with_plan(self.stmt.sql(), &dml, Some(plan))?;
+                let outcome =
+                    self.system
+                        .execute_dml_with_plan(self.stmt.sql(), &dml, Some(plan), &guard)?;
                 Ok(StatementOutcome::Dml(Box::new(outcome)))
             }
-        }
+        })
     }
 
     /// Validates count and coerces every value to its context-inferred type

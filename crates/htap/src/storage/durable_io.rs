@@ -17,18 +17,32 @@
 //!   layer's point of view, even though the test harness keeps running and
 //!   can immediately re-open the directory to exercise recovery.
 //!
+//! Beyond crashes, the registry models two further failure classes:
+//!
+//! * **Transient errors** ([`FailPoints::arm_errors`]): a site returns
+//!   [`DurabilityError::Io`] for its next N hits and then heals — the disk
+//!   hiccup / EINTR / throttled-volume class. Unlike a crash, nothing is
+//!   poisoned and *no bytes move*: an armed flush fails before writing, so
+//!   the pending buffer survives intact and a retry re-flushes exactly the
+//!   same data. [`RetryPolicy`] is the bounded exponential-backoff loop the
+//!   engine wraps around every durable write to absorb this class.
+//! * **Injected panics** ([`FailPoints::arm_panic`]): a one-shot panic at a
+//!   named control point, used to prove statement containment (a panicking
+//!   statement must not take the system down with it).
+//!
 //! Fail points are deliberately per-system (not global) so crash tests run
 //! in parallel, and [`crc32`] is the checksum every WAL record and segment
 //! file carries so recovery can *detect* the torn suffixes this module
 //! creates.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Errors from the durability layer (WAL, segments, manifest, recovery).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +90,10 @@ struct ArmedPoint {
 struct FailPointsInner {
     armed: Mutex<HashMap<String, ArmedPoint>>,
     crashed: AtomicBool,
+    /// Sites armed to return transient `Io` errors: remaining error count.
+    err_armed: Mutex<HashMap<String, u32>>,
+    /// Sites armed to panic exactly once.
+    panic_armed: Mutex<HashSet<String>>,
 }
 
 /// Injectable crash-site registry, shared by every durable file of one
@@ -136,15 +154,160 @@ impl FailPoints {
     /// Control-point check for non-file sites (e.g. around the manifest
     /// rename): errors if the site fires or the registry is poisoned.
     pub(crate) fn hit(&self, site: &str) -> Result<(), DurabilityError> {
+        if let Some(e) = self.transient_error(site) {
+            return Err(e);
+        }
         match self.observe(site)? {
             Some(_) => Err(DurabilityError::Crashed),
             None => Ok(()),
         }
     }
+
+    /// Arms `site` to return [`DurabilityError::Io`] for its next `count`
+    /// hits, then heal. Unlike [`FailPoints::arm`], nothing is poisoned and
+    /// no bytes are torn — the failing operation leaves its pending state
+    /// intact, so a retry can succeed once the site heals.
+    pub fn arm_errors(&self, site: &str, count: u32) {
+        let mut errs = lock_unpoisoned(&self.inner.err_armed);
+        if count == 0 {
+            errs.remove(site);
+        } else {
+            errs.insert(site.to_string(), count);
+        }
+    }
+
+    /// Heals `site` immediately, discarding any remaining transient-error
+    /// budget (a disk that recovered faster than expected).
+    pub fn heal(&self, site: &str) {
+        lock_unpoisoned(&self.inner.err_armed).remove(site);
+    }
+
+    /// Remaining transient-error count armed at `site` (0 = healed).
+    pub fn transient_remaining(&self, site: &str) -> u32 {
+        lock_unpoisoned(&self.inner.err_armed).get(site).copied().unwrap_or(0)
+    }
+
+    /// Consumes one transient-error charge at `site`, if armed.
+    pub(crate) fn transient_error(&self, site: &str) -> Option<DurabilityError> {
+        let mut errs = lock_unpoisoned(&self.inner.err_armed);
+        let n = errs.get_mut(site)?;
+        *n -= 1;
+        if *n == 0 {
+            errs.remove(site);
+        }
+        Some(DurabilityError::Io(format!("injected transient I/O error at {site}")))
+    }
+
+    /// Arms `site` to panic on its next [`FailPoints::panic_if_armed`] — a
+    /// one-shot statement-containment probe.
+    pub fn arm_panic(&self, site: &str) {
+        lock_unpoisoned(&self.inner.panic_armed).insert(site.to_string());
+    }
+
+    /// Panics if `site` is armed (consuming the arming). Callers place this
+    /// at the control point whose panic behavior they want to prove safe.
+    pub fn panic_if_armed(&self, site: &str) {
+        if lock_unpoisoned(&self.inner.panic_armed).remove(site) {
+            panic!("injected panic at {site}");
+        }
+    }
 }
 
-fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+/// Locks a mutex, recovering from poisoning. Safe for the registries and
+/// counters this crate guards with it: their state is updated atomically
+/// (insert/remove/increment), so a panicking holder cannot leave them
+/// half-written.
+pub(crate) fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Bounded retry with exponential backoff + jitter for transient durable-I/O
+/// failures. This is the engine's *only* tolerance for I/O errors: an
+/// operation that still fails after `max_attempts` (or fails non-retryably)
+/// escalates to the caller, which trips read-only degraded mode.
+///
+/// What is retryable: plain [`DurabilityError::Io`] — the EINTR / hiccuping
+/// volume class. What is not: `Io` carrying an ENOSPC-class message ("No
+/// space left"), which retrying cannot fix; [`DurabilityError::Crashed`]
+/// (the harness's simulated process death); and
+/// [`DurabilityError::Corrupt`] (retrying would re-read the same bad bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (first failure escalates).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Whether `e` is worth retrying at all.
+    pub fn is_retryable(e: &DurabilityError) -> bool {
+        match e {
+            DurabilityError::Io(msg) => !msg.contains("No space left"),
+            DurabilityError::Crashed | DurabilityError::Corrupt(_) => false,
+        }
+    }
+
+    /// Runs `op` under the policy. Returns the final result plus the number
+    /// of retries consumed (0 = first attempt succeeded or failed
+    /// non-retryably).
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, DurabilityError>,
+    ) -> (Result<T, DurabilityError>, u32) {
+        let mut backoff = self.base_backoff;
+        let mut retries = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return (Ok(v), retries),
+                Err(e) => {
+                    if retries + 1 >= self.max_attempts || !Self::is_retryable(&e) {
+                        return (Err(e), retries);
+                    }
+                    retries += 1;
+                    if !backoff.is_zero() {
+                        // Full backoff plus up to 50% jitter so colliding
+                        // writers decorrelate.
+                        let half = (backoff.as_nanos() as u64 / 2).max(1);
+                        std::thread::sleep(backoff + Duration::from_nanos(jitter_below(half)));
+                    }
+                    backoff = (backoff * 2).min(self.max_backoff);
+                }
+            }
+        }
+    }
+}
+
+/// Cheap process-wide jitter source (splitmix64 over an atomic counter) —
+/// decorrelates concurrent retry loops without threading RNG state through
+/// the storage layer.
+fn jitter_below(bound: u64) -> u64 {
+    static SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    let mut z = SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % bound.max(1)
 }
 
 /// Bytes the log-tuned constructors grow the file by ahead of the append
@@ -285,6 +448,12 @@ impl DurableFile {
     /// file (torn write) and the call fails with
     /// [`DurabilityError::Crashed`].
     pub fn flush(&mut self) -> Result<(), DurabilityError> {
+        if let Some(e) = self.fp.transient_error(self.site) {
+            // Transient failure: fail *before* any byte moves, keeping the
+            // pending buffer intact so a retry re-flushes the same data and
+            // the file never holds a torn prefix.
+            return Err(e);
+        }
         match self.fp.observe(self.site)? {
             None => {
                 self.reserve(self.pending.len() as u64)?;
@@ -396,6 +565,74 @@ mod tests {
         assert!(DurableFile::create(&path, fp.clone(), "t").is_err());
         assert_eq!(fp.hit("other"), Err(DurabilityError::Crashed));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn transient_errors_heal_and_keep_pending_intact() {
+        let dir = std::env::temp_dir().join(format!("qpe_dio_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f3");
+        let fp = FailPoints::default();
+        fp.arm_errors("t", 2);
+        let mut f = DurableFile::create(&path, fp.clone(), "t").unwrap();
+        f.write(b"data").unwrap();
+        assert!(matches!(f.flush(), Err(DurabilityError::Io(_))));
+        assert!(matches!(f.flush(), Err(DurabilityError::Io(_))));
+        // Not a crash: nothing is poisoned, nothing was torn.
+        assert!(!fp.crashed());
+        assert_eq!(std::fs::read(&path).unwrap(), b"");
+        assert_eq!(f.pending_len(), 4);
+        // Healed: the retry flushes the full original payload.
+        f.flush().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"data");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn retry_policy_absorbs_transient_errors_within_budget() {
+        let fp = FailPoints::default();
+        fp.arm_errors("ctl", 3);
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        };
+        let (res, retries) = policy.run(|| fp.hit("ctl"));
+        assert!(res.is_ok());
+        assert_eq!(retries, 3);
+    }
+
+    #[test]
+    fn retry_policy_exhausts_and_skips_non_retryable() {
+        let fp = FailPoints::default();
+        fp.arm_errors("ctl", 10);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        };
+        let (res, retries) = policy.run(|| fp.hit("ctl"));
+        assert!(matches!(res, Err(DurabilityError::Io(_))));
+        assert_eq!(retries, 2);
+        // ENOSPC-class and crashes are not retried at all.
+        assert!(!RetryPolicy::is_retryable(&DurabilityError::Io(
+            "No space left on device (os error 28)".into()
+        )));
+        assert!(!RetryPolicy::is_retryable(&DurabilityError::Crashed));
+        let (res, retries) = policy.run(|| -> Result<(), _> { Err(DurabilityError::Crashed) });
+        assert_eq!(res, Err(DurabilityError::Crashed));
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn armed_panic_fires_once() {
+        let fp = FailPoints::default();
+        fp.arm_panic("stmt");
+        let fp2 = fp.clone();
+        let r = std::panic::catch_unwind(move || fp2.panic_if_armed("stmt"));
+        assert!(r.is_err());
+        // One-shot: the next hit is clean.
+        fp.panic_if_armed("stmt");
     }
 
     #[test]

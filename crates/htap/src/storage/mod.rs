@@ -144,6 +144,45 @@
 //! a synchronous `compact()` racing the build bumps an epoch so the stale
 //! swap aborts harmlessly. Writers therefore never stall for O(table) work
 //! — the bench pins p99 write latency during a concurrent compaction.
+//!
+//! # Error handling: retry, then degrade — never lose an acked write
+//!
+//! Durable I/O distinguishes three failure classes:
+//!
+//! * **Transient** I/O errors (a flaky fsync, a hiccuping filesystem —
+//!   simulated by [`durable_io::FailPoints::arm_errors`], which makes a
+//!   site fail N times then heal). These are absorbed by a bounded
+//!   [`durable_io::RetryPolicy`] (exponential backoff + deterministic
+//!   jitter): the WAL retries only the *fsync* step — the record batch is
+//!   written to the page cache once, and a failed flush keeps the pending
+//!   buffer intact, so a retry re-flushes the same prefix-consistent bytes
+//!   and the log never holds a torn or duplicated record. Segment seals and
+//!   the manifest swap retry by idempotent re-creation of the whole file.
+//! * **Non-retryable** errors — ENOSPC-class I/O errors, simulated crashes
+//!   ([`DurabilityError::Crashed`]), checksum corruption
+//!   ([`DurabilityError::Corrupt`]). Retrying cannot help; they fail
+//!   immediately ([`durable_io::RetryPolicy::is_retryable`]).
+//! * **Exhausted** retries, which collapse into the non-retryable outcome.
+//!
+//! Either terminal outcome trips the engine's **read-only degraded mode**
+//! ([`crate::engine::HtapError::ReadOnly`]): the WAL latches dead with the
+//! root cause, in-flight followers are woken with that cause, and every
+//! subsequent write statement fails fast — while reads and MVCC snapshots,
+//! which never touch durable I/O, keep serving lock-free. No acked write is
+//! ever lost: a statement is acknowledged only after its commit fsync, so
+//! everything before the fault is durable and everything after it errored
+//! structurally. [`crate::engine::HtapSystem::resume_writes`] revives the
+//! WAL, probes it with an appended + committed no-op record, and lifts the
+//! degradation only if the probe round-trips.
+//!
+//! **Poison recovery**: locks guarding this state are acquired through
+//! recover-don't-propagate helpers (`durable_io::lock_unpoisoned` and the
+//! engine's database-lock twins). This is safe, not optimistic: readers
+//! only ever observe committed copy-on-write state (a panicking writer
+//! cannot expose a torn row or column), and the database write lock —
+//! where a mid-statement panic *could* mean a statement applied but never
+//! logged — additionally trips degraded mode on first recovery, forcing an
+//! explicit `resume_writes()` decision before any further write.
 
 pub mod col_store;
 pub(crate) mod codec;

@@ -32,7 +32,7 @@
 //! torn one.
 
 use super::codec::{self, Reader};
-use super::durable_io::{crc32, DurabilityError, DurableFile};
+use super::durable_io::{crc32, DurabilityError, DurableFile, RetryPolicy};
 use super::TableOp;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -202,8 +202,17 @@ struct WalState {
     durable: u64,
     /// A leader currently owns the file and is flushing.
     flushing: bool,
-    /// A flush failed or a crash fired: every later call errors.
+    /// A flush failed (even after retries) or a crash fired: every later
+    /// call errors until [`Wal::revive`] clears the latch.
     dead: bool,
+    /// Root cause of the dead latch, surfaced to appenders and followers.
+    dead_cause: Option<DurabilityError>,
+}
+
+impl WalState {
+    fn dead_err(&self) -> DurabilityError {
+        self.dead_cause.clone().unwrap_or(DurabilityError::Crashed)
+    }
 }
 
 /// Counters the benchmarks and crash tests assert on.
@@ -226,13 +235,23 @@ pub struct Wal {
     /// database lock) touches it, and never while holding `state`.
     file: Mutex<DurableFile>,
     policy: SyncPolicy,
+    /// Bounded retry applied to every physical flush before the dead latch
+    /// trips. The batch is written to the (in-memory) page cache once; only
+    /// the failing fsync step retries, so no byte is ever duplicated.
+    retry: RetryPolicy,
     fsyncs: AtomicU64,
     records: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl Wal {
-    /// Wraps an open log file.
+    /// Wraps an open log file with the default [`RetryPolicy`].
     pub fn new(file: DurableFile, policy: SyncPolicy) -> Wal {
+        Wal::with_retry(file, policy, RetryPolicy::default())
+    }
+
+    /// Wraps an open log file with an explicit flush retry policy.
+    pub fn with_retry(file: DurableFile, policy: SyncPolicy, retry: RetryPolicy) -> Wal {
         Wal {
             state: Mutex::new(WalState {
                 buf: Vec::new(),
@@ -240,12 +259,15 @@ impl Wal {
                 durable: 0,
                 flushing: false,
                 dead: false,
+                dead_cause: None,
             }),
             cv: Condvar::new(),
             file: Mutex::new(file),
             policy,
+            retry,
             fsyncs: AtomicU64::new(0),
             records: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
         }
     }
 
@@ -260,7 +282,7 @@ impl Wal {
     pub fn append(&self, records: &[WalRecord]) -> Result<u64, DurabilityError> {
         let mut s = self.lock_state();
         if s.dead {
-            return Err(DurabilityError::Crashed);
+            return Err(s.dead_err());
         }
         // Encode into a scratch buffer first: if one record of the batch
         // overflows the frame format, nothing of the batch reaches the log
@@ -286,7 +308,7 @@ impl Wal {
             if !interval.is_zero() {
                 let s = self.lock_state();
                 if s.dead {
-                    return Err(DurabilityError::Crashed);
+                    return Err(s.dead_err());
                 }
                 // Prospective leader dwells (lock released) so concurrent
                 // statements append into the batch; followers skip straight
@@ -316,7 +338,7 @@ impl Wal {
     ) -> Result<(), DurabilityError> {
         loop {
             if s.dead {
-                return Err(DurabilityError::Crashed);
+                return Err(s.dead_err());
             }
             if s.durable >= target {
                 return Ok(());
@@ -333,7 +355,15 @@ impl Wal {
             drop(s);
             let res = {
                 let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-                file.write(&batch).and_then(|()| file.flush())
+                // Write the batch into the page cache once; only the fsync
+                // step retries (a transient flush failure keeps the pending
+                // bytes, so each retry pushes the same prefix-consistent
+                // data).
+                file.write(&batch).and_then(|()| {
+                    let (r, retries) = self.retry.run(|| file.flush());
+                    self.retries.fetch_add(retries as u64, Ordering::Relaxed);
+                    r
+                })
             };
             let mut s2 = self.lock_state();
             s2.flushing = false;
@@ -346,6 +376,7 @@ impl Wal {
                 }
                 Err(e) => {
                     s2.dead = true;
+                    s2.dead_cause = Some(e.clone());
                     self.cv.notify_all();
                     return Err(e);
                 }
@@ -365,7 +396,7 @@ impl Wal {
         let mut s = self.lock_state();
         loop {
             if s.dead {
-                return Err(DurabilityError::Crashed);
+                return Err(s.dead_err());
             }
             if !s.flushing {
                 break;
@@ -381,7 +412,11 @@ impl Wal {
         drop(s);
         let res = {
             let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-            let r = file.write(&batch).and_then(|()| file.flush());
+            let r = file.write(&batch).and_then(|()| {
+                let (r, retries) = self.retry.run(|| file.flush());
+                self.retries.fetch_add(retries as u64, Ordering::Relaxed);
+                r
+            });
             if r.is_ok() {
                 *file = new_file;
             }
@@ -398,10 +433,34 @@ impl Wal {
             }
             Err(e) => {
                 s.dead = true;
+                s.dead_cause = Some(e.clone());
                 self.cv.notify_all();
                 Err(e)
             }
         }
+    }
+
+    /// Clears the dead latch after the underlying fault healed (the
+    /// degraded-mode exit path; callers must first confirm nothing is
+    /// crash-poisoned). Buffered-but-unacknowledged records are kept: they
+    /// may become durable on the next flush, which is sound — only
+    /// *acknowledged* writes carry a durability promise, and the file's
+    /// pending bytes are still a prefix of append order.
+    pub fn revive(&self) {
+        let mut s = self.lock_state();
+        s.dead = false;
+        s.dead_cause = None;
+        self.cv.notify_all();
+    }
+
+    /// Whether the dead latch is currently set.
+    pub fn is_dead(&self) -> bool {
+        self.lock_state().dead
+    }
+
+    /// Total flush retries absorbed by the retry policy so far.
+    pub fn flush_retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// Append/fsync counters.
@@ -623,6 +682,52 @@ mod tests {
             "dwell interval must batch commits: {stats:?}"
         );
         assert_eq!(read_wal_file(&path).unwrap().records.len(), 48);
+    }
+
+    #[test]
+    fn transient_flush_errors_are_retried_transparently() {
+        let path = tmp_path("retry");
+        let fp = FailPoints::default();
+        fp.arm_errors("wal", 3);
+        let wal = Wal::new(
+            DurableFile::create(&path, fp, "wal").unwrap(),
+            SyncPolicy::default(),
+        );
+        let lsn = wal.append(&sample_records()).unwrap();
+        // Default policy (5 attempts) absorbs the 3 injected errors.
+        wal.commit(lsn).unwrap();
+        assert_eq!(wal.flush_retries(), 3);
+        assert_eq!(read_wal_file(&path).unwrap().records.len(), 5);
+    }
+
+    #[test]
+    fn exhausted_retries_latch_dead_until_revive() {
+        let path = tmp_path("revive");
+        let fp = FailPoints::default();
+        fp.arm_errors("wal", 100);
+        let wal = Wal::with_retry(
+            DurableFile::create(&path, fp.clone(), "wal").unwrap(),
+            SyncPolicy::default(),
+            RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+            },
+        );
+        let lsn = wal.append(&sample_records()).unwrap();
+        assert!(matches!(wal.commit(lsn), Err(DurabilityError::Io(_))));
+        // The dead latch surfaces the root cause, not a fake crash.
+        assert!(matches!(
+            wal.append(&sample_records()),
+            Err(DurabilityError::Io(_))
+        ));
+        assert!(wal.is_dead());
+        fp.heal("wal");
+        wal.revive();
+        assert!(!wal.is_dead());
+        // The buffered (never-acknowledged) batch flushes cleanly now.
+        wal.flush_all().unwrap();
+        assert_eq!(read_wal_file(&path).unwrap().records.len(), 5);
     }
 
     #[test]

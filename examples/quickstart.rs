@@ -6,12 +6,14 @@
 
 use qpe_core::explainer::{Explainer, PipelineConfig};
 use qpe_htap::engine::HtapSystem;
+use qpe_htap::exec::StatementLimits;
 use qpe_htap::latency::format_latency;
 use qpe_htap::session::Session;
 use qpe_htap::tpch::TpchConfig;
 use qpe_sql::value::Value;
 use qpe_treecnn::train::TrainerConfig;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     // 1. Build the system: generates TPC-H data, runs a training workload on
@@ -197,4 +199,31 @@ fn main() {
     println!("recovered insert visible to both engines: COUNT(*) = {:?}", count.ap.rows[0][0]);
     reopened.close().expect("clean close checkpoints");
     let _ = std::fs::remove_dir_all(&dir);
+
+    // 5. Statement lifecycle governance: every statement runs under a guard
+    //    carrying the session's cancel flag plus an optional deadline and
+    //    memory budget, checked at block/morsel granularity. Limits can be
+    //    set system-wide (set_statement_limits) or per call; health()
+    //    reports degraded mode and the fault-tolerance counters.
+    println!("\n--- Governance: timeouts, memory budgets, health ---");
+    let heavy = "SELECT c_nationkey, COUNT(*), SUM(c_acctbal) FROM customer, orders \
+                 WHERE o_custkey = c_custkey GROUP BY c_nationkey";
+    let strict = StatementLimits { timeout: Some(Duration::ZERO), memory_budget: None };
+    match session.execute_sql_with(heavy, &strict) {
+        Err(e) => println!("zero deadline trips before the first morsel: {e}"),
+        Ok(_) => println!("zero deadline: statement finished before the first check"),
+    }
+    let tight = StatementLimits { timeout: None, memory_budget: Some(256) };
+    match session.execute_sql_with("SELECT * FROM customer", &tight) {
+        Err(e) => println!("256-byte result budget: {e}"),
+        Ok(_) => println!("256-byte result budget: result fit"),
+    }
+    // The limits were statement-scoped: the same session runs the heavy
+    // query to completion without them.
+    session.execute_sql(heavy).expect("ungoverned rerun succeeds");
+    let health = sys.health();
+    println!(
+        "health: degraded={} writer_panics={} compactor_failures={} wal_flush_retries={}",
+        health.degraded, health.writer_panics, health.compactor_failures, health.wal_flush_retries
+    );
 }

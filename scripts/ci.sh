@@ -59,6 +59,21 @@ echo "==> crash-injection sweep (WAL/segment/manifest/checkpoint fail points)"
 # the full open -> write -> crash -> recover -> verify cycle in a tempdir.
 cargo test -q --test crash_recovery
 
+echo "==> fault-tolerance sweep (transient retry, governance, panic containment, degraded mode)"
+# Transient faults under the retry budget must be invisible (proptest sweep
+# against a fault-free oracle); exhausted/persistent faults must degrade to
+# read-only and resume cleanly; panics contain at the session boundary.
+cargo test -q --test fault_tolerance
+
+echo "==> governance gates (in-flight cancellation + deadline/budget trips, repeated)"
+# Cancellation races a 4-thread parallel scan, so it repeats like the
+# determinism loop; the timeout/budget trips are deterministic.
+for i in 1 2 3; do
+    cargo test -q --test fault_tolerance cancellation_interrupts_a_parallel_scan
+done
+cargo test -q --test fault_tolerance deadlines_trip_timeouts_without_side_effects
+cargo test -q --test fault_tolerance memory_budgets_bound_result_materialization
+
 echo "==> dirty-table executor comparison (encoded base + delta + tombstones)"
 # --dirty applies uncompacted INSERT/DELETEs first, so the scalar-vs-batch
 # agreement check runs over dictionary-encoded base blocks read through

@@ -55,7 +55,7 @@ fn opts(fp: FailPoints) -> DurabilityOptions {
     DurabilityOptions {
         sync: SyncPolicy::GroupCommit { interval: Duration::ZERO },
         failpoints: fp,
-        background: None,
+        ..DurabilityOptions::default()
     }
 }
 

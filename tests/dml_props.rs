@@ -122,7 +122,7 @@ fn assert_executor_equivalence(sys: &HtapSystem, sql: &str) {
     assert_eq!(srows, brows, "executor rows diverged for {sql}");
     assert_eq!(sc, bc, "executor counters diverged for {sql}");
     for threads in [2usize, 4] {
-        let cfg = ExecConfig { threads, morsel_rows: 16 };
+        let cfg = ExecConfig { threads, morsel_rows: 16, ..ExecConfig::serial() };
         let (prows, pc) = execute_parallel(&plan, &bound, &db, &cfg).expect("parallel");
         assert_eq!(brows, prows, "parallel rows diverged at {threads} threads for {sql}");
         assert_eq!(bc, pc, "parallel counters diverged at {threads} threads for {sql}");
@@ -136,7 +136,7 @@ fn parallel_scan_rows(sys: &HtapSystem, threads: usize) -> Vec<Row> {
     let bound = sys.bind("SELECT * FROM customer").expect("binds");
     let ctx = PlannerCtx::new(&bound, db.stats(), db.catalog());
     let plan = ap::plan(&ctx).expect("ap plan");
-    let cfg = ExecConfig { threads, morsel_rows: 16 };
+    let cfg = ExecConfig { threads, morsel_rows: 16, ..ExecConfig::serial() };
     execute_parallel(&plan, &bound, &db, &cfg).expect("parallel scan").0
 }
 
@@ -155,7 +155,7 @@ fn run_all_executors(
     assert_eq!(srows, brows, "{label}: scalar vs batch rows");
     assert_eq!(sc, bc, "{label}: scalar vs batch counters");
     for threads in [2usize, 4] {
-        let cfg = ExecConfig { threads, morsel_rows: 16 };
+        let cfg = ExecConfig { threads, morsel_rows: 16, ..ExecConfig::serial() };
         let (prows, pc) = execute_parallel(plan, bound, &db, &cfg).expect("parallel");
         assert_eq!(brows, prows, "{label}: parallel rows at {threads} threads");
         assert_eq!(bc, pc, "{label}: parallel counters at {threads} threads");

@@ -106,7 +106,7 @@ mod scalar_vs_batch {
     /// A parallel config whose morsels are small enough that the test-scale
     /// tables split into many of them.
     fn par_cfg(threads: usize) -> ExecConfig {
-        ExecConfig { threads, morsel_rows: 48 }
+        ExecConfig { threads, morsel_rows: 48, ..ExecConfig::serial() }
     }
 
     /// Runs `sql`'s AP plan through the row interpreter, the serial batch
@@ -285,7 +285,7 @@ mod forced_encodings {
         assert_eq!(srows, brows, "{label}: scalar vs batch rows for {sql}");
         assert_eq!(sc, bc, "{label}: scalar vs batch counters for {sql}");
         for threads in [2usize, 4] {
-            let cfg = ExecConfig { threads, morsel_rows: 48 };
+            let cfg = ExecConfig { threads, morsel_rows: 48, ..ExecConfig::serial() };
             let (prows, pc) = execute_parallel(&plan, &bound, &db, &cfg).expect("parallel");
             assert_eq!(brows, prows, "{label}: parallel rows at {threads} threads for {sql}");
             assert_eq!(bc, pc, "{label}: parallel counters at {threads} threads for {sql}");

@@ -153,7 +153,7 @@ fn assert_snapshot_equals_oracle(
         let (b_rows, b_c) = execute_vectorized(&plan, &bound, db).expect("batch");
         assert_eq!(sorted(b_rows), sorted(want_rows.clone()), "{label}: batch rows");
         assert_eq!(b_c, want_c, "{label}: batch counters");
-        let cfg = ExecConfig { threads: 2, morsel_rows: 48 };
+        let cfg = ExecConfig { threads: 2, morsel_rows: 48, ..ExecConfig::serial() };
         let (p_rows, p_c) = execute_parallel(&plan, &bound, db, &cfg).expect("parallel");
         assert_eq!(sorted(p_rows), sorted(want_rows), "{label}: parallel rows");
         assert_eq!(p_c, want_c, "{label}: parallel counters");

@@ -72,7 +72,7 @@ fn dirty_system() -> HtapSystem {
 fn repeated_parallel_runs_are_byte_identical() {
     let sys = dirty_system();
     let db = sys.database();
-    let cfg = ExecConfig { threads: 4, morsel_rows: 16 };
+    let cfg = ExecConfig { threads: 4, morsel_rows: 16, ..ExecConfig::serial() };
     for sql in QUERIES {
         let (plan, bound) = ap_plan(&sys, sql);
         let (serial_rows, serial_counters): (Vec<Row>, WorkCounters) =
@@ -104,7 +104,7 @@ fn thread_count_and_morsel_size_are_invisible() {
             execute_vectorized(&plan, &bound, &db).expect("serial batch");
         for threads in [2usize, 3, 4, 8] {
             for morsel_rows in [7usize, 33, 256] {
-                let cfg = ExecConfig { threads, morsel_rows };
+                let cfg = ExecConfig { threads, morsel_rows, ..ExecConfig::serial() };
                 let (rows, counters) =
                     execute_parallel(&plan, &bound, &db, &cfg).expect("parallel");
                 assert_eq!(
@@ -126,7 +126,7 @@ fn thread_count_and_morsel_size_are_invisible() {
 #[test]
 fn parallel_system_runs_are_stable_end_to_end() {
     let mut sys = dirty_system();
-    sys.set_exec_config(ExecConfig { threads: 4, morsel_rows: 16 });
+    sys.set_exec_config(ExecConfig { threads: 4, morsel_rows: 16, ..ExecConfig::serial() });
     let sql = "SELECT c_mktsegment, COUNT(*), SUM(c_acctbal) FROM customer \
                GROUP BY c_mktsegment ORDER BY c_mktsegment";
     let first = sys.run_sql(sql).expect("runs");
