@@ -1182,7 +1182,19 @@ fn main() {
         entries.push((label, v));
     }
 
-    let mut obj = serde_json::Map::new();
+    // Merge-preserve: overlay this run's entries onto whatever is already
+    // in BENCH_exec.json, so keys written by other recorders (the server
+    // loadgen's qps/latency entries) survive a snapshot refresh.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_exec.json");
+    let mut obj = match std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+    {
+        Some(serde_json::Value::Object(existing)) => existing,
+        _ => serde_json::Map::new(),
+    };
     for (label, ns) in &entries {
         obj.insert(label.clone(), serde_json::Value::from(*ns));
     }
@@ -1192,9 +1204,6 @@ fn main() {
         println!("{json}");
         return;
     }
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_exec.json");
     std::fs::write(&path, json + "\n").expect("writes BENCH_exec.json");
     println!("wrote {}", path.display());
 }

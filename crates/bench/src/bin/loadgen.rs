@@ -1,0 +1,413 @@
+//! Multi-client traffic harness for the network front end.
+//!
+//! Starts a [`qpe_server::Server`] on an ephemeral loopback port over a
+//! TPC-H-seeded [`HtapSystem`] and drives it with N concurrent wire
+//! clients across four phases:
+//!
+//! 1. `point_lookup` — prepared TP-pinned PK point lookups (the OLTP
+//!    serving shape; comparable against the in-process
+//!    `prepared_point_lookup_qps` snapshot entry).
+//! 2. `point_lookup_dual` — the same lookups dual-run (both engines +
+//!    agreement check) for an honest pinned-vs-dual delta.
+//! 3. `ap_scan` — AP-pinned group-by aggregates (the analytical class).
+//! 4. `mixed` — 90% TP point reads, 8% DML (insert+delete cycles on
+//!    client-private keys), 2% AP scans, all interleaved; read latencies
+//!    are recorded separately so the run reports reader p99 **under DML**.
+//!
+//! Every phase records throughput and a latency histogram (p50/p95/p99).
+//! Before any load runs, an equivalence gate proves wire results are
+//! byte-identical to an in-process session (rows and counters, dual and
+//! pinned), and after the load the server's `Stats` frame must report
+//! **zero protocol errors** — loadgen traffic is well-formed by
+//! construction, so any protocol error is a framing bug.
+//!
+//! ```text
+//! cargo run --release --bin loadgen                 # print
+//! cargo run --release --bin loadgen -- --record     # also merge into BENCH_exec.json
+//! cargo run --release --bin loadgen -- --smoke      # short CI gate run
+//! cargo run --release --bin loadgen -- --clients 16 --secs 3
+//! ```
+//!
+//! Single-core note: on a 1-CPU host the server's connection threads, the
+//! client threads and the engine all timeslice one core, so wire qps is
+//! bounded by context-switch overhead on top of statement cost; the pinned
+//! phase exists to show the protocol+scheduling overhead is paid back by
+//! skipping the second engine run.
+
+use qpe_htap::tpch::TpchConfig;
+use qpe_htap::{HtapSystem, Session};
+use qpe_server::client::{Client, ConnectOptions};
+use qpe_server::protocol::EnginePref;
+use qpe_server::server::{Server, ServerConfig};
+use qpe_server::stats::ServerStats;
+use qpe_sql::value::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The prepared OLTP point lookup (same shape as the in-process
+/// `prepared_point_lookup_qps` snapshot case).
+const POINT_SQL: &str = "SELECT c_name, c_acctbal FROM customer \
+    WHERE c_custkey = ? AND c_mktsegment = ? AND c_acctbal BETWEEN ? AND ? \
+    AND c_nationkey <> ? AND c_phone <> ? AND c_name IS NOT NULL";
+
+/// The analytical scan class.
+const SCAN_SQL: &str = "SELECT c_nationkey, COUNT(*), SUM(c_acctbal) \
+    FROM customer GROUP BY c_nationkey ORDER BY c_nationkey";
+
+const INSERT_SQL: &str = "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, \
+    c_acctbal, c_mktsegment) VALUES (?, ?, ?, '20-000-000-0000', 1.5, 'machinery')";
+const DELETE_SQL: &str = "DELETE FROM customer WHERE c_custkey = ?";
+
+fn point_params(key: i64) -> Vec<Value> {
+    vec![
+        Value::Int(key),
+        Value::Str("machinery".into()),
+        Value::Float(-100000.0),
+        Value::Float(100000.0),
+        Value::Int(26),
+        Value::Str("none".into()),
+    ]
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One phase's merged measurements.
+struct PhaseResult {
+    ops: u64,
+    qps: u64,
+    lat_sorted: Vec<u64>,
+}
+
+impl PhaseResult {
+    fn p(&self, p: f64) -> u64 {
+        percentile(&self.lat_sorted, p)
+    }
+}
+
+/// Runs `work` on `clients` threads for `dur`, merging op counts and
+/// latencies. `work` gets (client_index, op_index) and returns the op's
+/// recorded latency in ns, or None for ops excluded from the histogram.
+fn run_phase(
+    clients: usize,
+    dur: Duration,
+    mut mk: impl FnMut(usize) -> Box<dyn FnMut(u64) -> Option<u64> + Send>,
+) -> PhaseResult {
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let mut work = mk(c);
+            let total_ops = Arc::clone(&total_ops);
+            std::thread::spawn(move || {
+                let mut lats = Vec::with_capacity(4096);
+                let t0 = Instant::now();
+                let mut i = 0u64;
+                while t0.elapsed() < dur {
+                    if let Some(ns) = work(i) {
+                        lats.push(ns);
+                    }
+                    total_ops.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+                lats
+            })
+        })
+        .collect();
+    let mut lat_sorted = Vec::new();
+    for t in threads {
+        lat_sorted.extend(t.join().expect("phase worker"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    lat_sorted.sort_unstable();
+    let ops = total_ops.load(Ordering::Relaxed);
+    PhaseResult {
+        ops,
+        qps: (ops as f64 / elapsed) as u64,
+        lat_sorted,
+    }
+}
+
+/// Byte-identity gate: wire rows/counters (dual, TP, AP) against an
+/// in-process session on the *same* system the server fronts.
+fn equivalence_gate(addr: std::net::SocketAddr, sys: &Arc<HtapSystem>, n_keys: i64) {
+    let oracle = Session::new(Arc::clone(sys));
+    let stmt = oracle.prepare(POINT_SQL).expect("oracle prepare");
+    let mut client = Client::connect(addr).expect("gate connect");
+    let remote = client.prepare(POINT_SQL).expect("gate prepare");
+    for key in [1, 42, n_keys / 2, n_keys] {
+        let params = point_params(key);
+        let want = stmt.execute(&params).expect("oracle execute");
+        let want = want.as_query().expect("query");
+
+        let dual = client.execute(remote.stmt_id, &params).expect("wire dual");
+        let dual = dual.rows().expect("rows");
+        assert_eq!(dual.rows, want.tp.rows, "dual rows diverged at key {key}");
+        assert_eq!(dual.counters, want.tp.counters, "dual counters diverged at key {key}");
+
+        let tp = client
+            .execute_pref(remote.stmt_id, EnginePref::Tp, &params)
+            .expect("wire tp");
+        let tp = tp.rows().expect("rows");
+        assert_eq!(tp.rows, want.tp.rows, "tp rows diverged at key {key}");
+        assert_eq!(tp.counters, want.tp.counters, "tp counters diverged at key {key}");
+
+        let ap = client
+            .execute_pref(remote.stmt_id, EnginePref::Ap, &params)
+            .expect("wire ap");
+        let ap = ap.rows().expect("rows");
+        assert_eq!(ap.rows, want.ap.rows, "ap rows diverged at key {key}");
+        assert_eq!(ap.counters, want.ap.counters, "ap counters diverged at key {key}");
+    }
+    client.goodbye().expect("gate goodbye");
+    println!("equivalence gate: wire ≡ in-process (rows + counters; dual, TP, AP)");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let record = std::env::args().any(|a| a == "--record");
+    let clients: usize = arg_value("--clients").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let secs: f64 = arg_value("--secs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 0.4 } else { 2.0 });
+    let dur = Duration::from_secs_f64(secs);
+
+    let sys = Arc::new(HtapSystem::new(&TpchConfig::with_scale(0.002)));
+    let n_keys = sys
+        .database()
+        .stored_table("customer")
+        .expect("customer exists")
+        .row_count() as i64;
+    let server = Server::start(Arc::clone(&sys), "127.0.0.1:0", ServerConfig::default())
+        .expect("server start");
+    let addr = server.addr();
+    println!(
+        "loadgen: {clients} clients x {secs:.1}s/phase against {addr} \
+         ({n_keys} customer rows)"
+    );
+
+    equivalence_gate(addr, &sys, n_keys);
+
+    // Phase 1: prepared TP-pinned point lookups.
+    let pinned = run_phase(clients, dur, |c| {
+        let mut client = Client::connect_with(
+            addr,
+            &ConnectOptions { engine: EnginePref::Tp, ..ConnectOptions::default() },
+        )
+        .expect("connect");
+        let stmt = client.prepare(POINT_SQL).expect("prepare");
+        let base = (c as i64 * 7919) % n_keys;
+        Box::new(move |i| {
+            let key = 1 + (base + i as i64) % n_keys;
+            let t = Instant::now();
+            client.execute(stmt.stmt_id, &point_params(key)).expect("point lookup");
+            Some(t.elapsed().as_nanos() as u64)
+        })
+    });
+    println!(
+        "server_point_lookup        {:>10} q/s  p50 {:>9} ns  p95 {:>9} ns  p99 {:>9} ns",
+        pinned.qps,
+        pinned.p(50.0),
+        pinned.p(95.0),
+        pinned.p(99.0)
+    );
+
+    // Phase 2: the same lookups dual-run.
+    let dual = run_phase(clients, dur, |c| {
+        let mut client = Client::connect(addr).expect("connect");
+        let stmt = client.prepare(POINT_SQL).expect("prepare");
+        let base = (c as i64 * 104_729) % n_keys;
+        Box::new(move |i| {
+            let key = 1 + (base + i as i64) % n_keys;
+            let t = Instant::now();
+            client.execute(stmt.stmt_id, &point_params(key)).expect("dual lookup");
+            Some(t.elapsed().as_nanos() as u64)
+        })
+    });
+    println!(
+        "server_point_lookup_dual   {:>10} q/s  p50 {:>9} ns  p95 {:>9} ns  p99 {:>9} ns",
+        dual.qps,
+        dual.p(50.0),
+        dual.p(95.0),
+        dual.p(99.0)
+    );
+
+    // Phase 3: AP-pinned analytical scans.
+    let scans = run_phase(clients, dur, |_| {
+        let mut client = Client::connect_with(
+            addr,
+            &ConnectOptions { engine: EnginePref::Ap, ..ConnectOptions::default() },
+        )
+        .expect("connect");
+        let stmt = client.prepare(SCAN_SQL).expect("prepare");
+        Box::new(move |_| {
+            let t = Instant::now();
+            client.execute(stmt.stmt_id, &[]).expect("ap scan");
+            Some(t.elapsed().as_nanos() as u64)
+        })
+    });
+    println!(
+        "server_ap_scan             {:>10} q/s  p50 {:>9} ns  p95 {:>9} ns  p99 {:>9} ns",
+        scans.qps,
+        scans.p(50.0),
+        scans.p(95.0),
+        scans.p(99.0)
+    );
+
+    // Phase 4: the mixed serving loop — 90% TP reads, 8% DML, 2% AP scans.
+    // Only read latencies land in the histogram: the metric is reader p99
+    // *under* concurrent DML, the HTAP isolation claim.
+    let dml_ops = Arc::new(AtomicU64::new(0));
+    let scan_ops = Arc::new(AtomicU64::new(0));
+    let mixed = {
+        let dml_ops = Arc::clone(&dml_ops);
+        let scan_ops = Arc::clone(&scan_ops);
+        run_phase(clients, dur, move |c| {
+            let mut client = Client::connect_with(
+                addr,
+                &ConnectOptions { engine: EnginePref::Tp, ..ConnectOptions::default() },
+            )
+            .expect("connect");
+            let point = client.prepare(POINT_SQL).expect("prepare point");
+            let scan = client.prepare(SCAN_SQL).expect("prepare scan");
+            let ins = client.prepare(INSERT_SQL).expect("prepare insert");
+            let del = client.prepare(DELETE_SQL).expect("prepare delete");
+            let base = (c as i64 * 15_485_863) % n_keys;
+            // Client-private key space keeps insert/delete cycles steady-state.
+            let dml_key = 950_000 + c as i64 * 1000;
+            let dml_ops = Arc::clone(&dml_ops);
+            let scan_ops = Arc::clone(&scan_ops);
+            Box::new(move |i| match i % 50 {
+                // 4 of 50 ops are DML (insert+delete pairs = 8%).
+                0 | 25 => {
+                    client
+                        .execute(
+                            ins.stmt_id,
+                            &[
+                                Value::Int(dml_key + (i as i64 / 25) % 500),
+                                Value::Str(format!("lg#{c}:{i}")),
+                                Value::Int(c as i64 % 25),
+                            ],
+                        )
+                        .expect("insert");
+                    dml_ops.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+                1 | 26 => {
+                    client
+                        .execute(del.stmt_id, &[Value::Int(dml_key + (i as i64 / 25) % 500)])
+                        .expect("delete");
+                    dml_ops.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+                // 1 of 50 ops is an AP scan (2%), dual-pref overridden to AP.
+                40 => {
+                    client
+                        .execute_pref(scan.stmt_id, EnginePref::Ap, &[])
+                        .expect("mixed scan");
+                    scan_ops.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+                // The rest are TP point reads; these feed the histogram.
+                _ => {
+                    let key = 1 + (base + i as i64) % n_keys;
+                    let t = Instant::now();
+                    client.execute(point.stmt_id, &point_params(key)).expect("mixed read");
+                    Some(t.elapsed().as_nanos() as u64)
+                }
+            })
+        })
+    };
+    println!(
+        "server_mixed               {:>10} q/s  read p50 {:>9} ns  p95 {:>9} ns  p99 {:>9} ns",
+        mixed.qps,
+        mixed.p(50.0),
+        mixed.p(95.0),
+        mixed.p(99.0)
+    );
+    println!(
+        "  (mix actually served: {} reads, {} DML, {} AP scans)",
+        mixed.lat_sorted.len(),
+        dml_ops.load(Ordering::Relaxed),
+        scan_ops.load(Ordering::Relaxed)
+    );
+
+    // Post-load gates, read over the wire like everything else.
+    let mut probe = Client::connect(addr).expect("stats connect");
+    let stats = probe.stats().expect("stats frame");
+    probe.goodbye().expect("goodbye");
+    assert_eq!(
+        stats.protocol_errors, 0,
+        "loadgen traffic is well-formed; protocol errors mean a framing bug"
+    );
+    assert!(!stats.degraded, "the load must not trip degraded mode");
+    println!(
+        "server stats: {} stmts, {} conns, {} bytes in, {} bytes out, 0 protocol errors",
+        stats.statements_executed,
+        stats.connections_accepted,
+        stats.bytes_read,
+        stats.bytes_written
+    );
+    // Direct API view agrees with the wire view.
+    assert_eq!(
+        ServerStats::get(&server.stats().protocol_errors),
+        0,
+        "ServerStats API and Stats frame must agree"
+    );
+
+    if smoke {
+        assert!(pinned.ops > 0 && dual.ops > 0 && scans.ops > 0, "all classes must run");
+        assert!(
+            dml_ops.load(Ordering::Relaxed) > 0 && scan_ops.load(Ordering::Relaxed) > 0,
+            "the mixed phase must actually mix"
+        );
+        println!("smoke gates passed: equivalence, class coverage, zero protocol errors");
+    }
+
+    if record {
+        let entries: Vec<(&str, u64)> = vec![
+            ("server_point_lookup_qps", pinned.qps),
+            ("server_point_lookup_p50_ns", pinned.p(50.0)),
+            ("server_point_lookup_p95_ns", pinned.p(95.0)),
+            ("server_point_lookup_p99_ns", pinned.p(99.0)),
+            ("server_point_lookup_dual_qps", dual.qps),
+            ("server_ap_scan_qps", scans.qps),
+            ("server_ap_scan_p99_ns", scans.p(99.0)),
+            ("server_mixed_qps", mixed.qps),
+            ("server_mixed_read_p50_ns", mixed.p(50.0)),
+            ("server_mixed_read_p95_ns", mixed.p(95.0)),
+            ("server_reader_p99_under_dml_ns", mixed.p(99.0)),
+        ];
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_exec.json");
+        // Merge-preserve: overlay onto the snapshot's existing entries.
+        let mut obj = match std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        {
+            Some(serde_json::Value::Object(existing)) => existing,
+            _ => serde_json::Map::new(),
+        };
+        for (label, v) in &entries {
+            obj.insert((*label).to_string(), serde_json::Value::from(*v));
+        }
+        let json = serde_json::to_string_pretty(&serde_json::Value::Object(obj))
+            .expect("serializes");
+        std::fs::write(&path, json + "\n").expect("writes BENCH_exec.json");
+        println!("recorded {} server entries into {}", entries.len(), path.display());
+    }
+
+    drop(server); // graceful shutdown via Drop
+}

@@ -109,7 +109,9 @@ impl Explainer {
         for sql in &sqls {
             match session.execute_sql(sql)? {
                 StatementOutcome::Query(q) => outcomes.push(*q),
-                StatementOutcome::Dml(_) => unreachable!("training workload is read-only"),
+                StatementOutcome::PinnedQuery(_) | StatementOutcome::Dml(_) => {
+                    unreachable!("training workload is read-only and never pins an engine")
+                }
             }
         }
 
@@ -158,6 +160,9 @@ impl Explainer {
     ) -> Result<ExplainReport, HtapError> {
         let outcome = match self.session().execute_sql(sql)? {
             StatementOutcome::Query(q) => *q,
+            StatementOutcome::PinnedQuery(_) => {
+                unreachable!("explainer sessions never pin an engine: both runs are its input")
+            }
             StatementOutcome::Dml(d) => {
                 return Err(HtapError::Sql(qpe_sql::SqlError::Unsupported(format!(
                     "cannot explain a write statement: {}",

@@ -99,6 +99,25 @@ pub struct DmlOutcome {
     pub freshness: TableFreshness,
 }
 
+/// Outcome of a single-engine (pinned) read: exactly one [`EngineRun`], no
+/// dual-run and no cross-engine agreement check. This is what a server
+/// client that knows its workload gets from [`HtapSystem::execute_on`] /
+/// [`crate::session::Session::pin_engine`] — the other engine's cost is
+/// simply never paid. The run is produced by the same plan → substitute →
+/// execute pipeline as the corresponding side of a dual run, so its rows,
+/// [`WorkCounters`] and simulated latency are byte-identical to what
+/// [`QueryOutcome::run`] would report for that engine
+/// (`tests/engine_pinning.rs` proves it).
+#[derive(Debug, Clone)]
+pub struct PinnedQueryOutcome {
+    /// Original SQL.
+    pub sql: String,
+    /// The bound query.
+    pub bound: Arc<BoundQuery>,
+    /// The single engine run.
+    pub run: EngineRun,
+}
+
 /// Outcome of [`HtapSystem::execute_statement`]: a read ran on both engines, or a
 /// write ran on the TP engine. The read variant boxes its payload — a
 /// [`QueryOutcome`] carries two full engine runs and dwarfs the DML variant.
@@ -106,16 +125,27 @@ pub struct DmlOutcome {
 pub enum StatementOutcome {
     /// A `SELECT` executed on both engines.
     Query(Box<QueryOutcome>),
+    /// A `SELECT` executed on one pinned engine only (no dual-run; see
+    /// [`HtapSystem::execute_on`]).
+    PinnedQuery(Box<PinnedQueryOutcome>),
     /// An `INSERT`/`UPDATE`/`DELETE` executed on the TP engine.
     Dml(Box<DmlOutcome>),
 }
 
 impl StatementOutcome {
-    /// The read outcome, if this was a query.
+    /// The dual-run read outcome, if this was an unpinned query.
     pub fn as_query(&self) -> Option<&QueryOutcome> {
         match self {
             StatementOutcome::Query(q) => Some(q),
-            StatementOutcome::Dml(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The single-engine read outcome, if this was a pinned query.
+    pub fn as_pinned(&self) -> Option<&PinnedQueryOutcome> {
+        match self {
+            StatementOutcome::PinnedQuery(p) => Some(p),
+            _ => None,
         }
     }
 
@@ -123,7 +153,17 @@ impl StatementOutcome {
     pub fn as_dml(&self) -> Option<&DmlOutcome> {
         match self {
             StatementOutcome::Dml(d) => Some(d),
-            StatementOutcome::Query(_) => None,
+            _ => None,
+        }
+    }
+
+    /// Result rows of a read (dual-run rows are engine-agreed, so the TP
+    /// side is reported); `None` for DML.
+    pub fn rows(&self) -> Option<&[exec::Row]> {
+        match self {
+            StatementOutcome::Query(q) => Some(&q.tp.rows),
+            StatementOutcome::PinnedQuery(p) => Some(&p.run.rows),
+            StatementOutcome::Dml(_) => None,
         }
     }
 }
@@ -1890,6 +1930,85 @@ impl HtapSystem {
             bound: Arc::clone(bound),
             tp,
             ap,
+        })
+    }
+
+    /// Executes any statement with reads pinned to **one** engine: the
+    /// statement is planned and run on `engine` only — no dual-run, no
+    /// cross-engine agreement check — so a client that knows its workload
+    /// (a pure-OLTP server connection, say) stops paying for the engine it
+    /// never wants. Writes are unaffected (DML is TP-only on every path).
+    /// The single run is byte-identical — rows, [`WorkCounters`], simulated
+    /// latency — to the same engine's side of a dual
+    /// [`HtapSystem::execute_statement`] run.
+    pub fn execute_on(&self, sql: &str, engine: EngineKind) -> Result<StatementOutcome, HtapError> {
+        self.execute_on_guarded(sql, engine, &self.statement_guard())
+    }
+
+    /// [`HtapSystem::execute_on`] under a caller-supplied guard.
+    pub(crate) fn execute_on_guarded(
+        &self,
+        sql: &str,
+        engine: EngineKind,
+        guard: &ExecGuard,
+    ) -> Result<StatementOutcome, HtapError> {
+        match self.bind_statement(sql)? {
+            BoundStatement::Query(bound) => Ok(StatementOutcome::PinnedQuery(Box::new(
+                self.run_bound_pinned(sql, bound, engine, guard)?,
+            ))),
+            BoundStatement::Dml(dml) => Ok(StatementOutcome::Dml(Box::new(
+                self.execute_dml_with_plan(sql, &dml, None, guard)?,
+            ))),
+        }
+    }
+
+    /// Plans and runs a bound read on one engine only, honoring the MVCC
+    /// read path exactly like the dual pipeline (an AP run pins a snapshot
+    /// and executes off-lock).
+    pub(crate) fn run_bound_pinned(
+        &self,
+        sql: &str,
+        bound: BoundQuery,
+        engine: EngineKind,
+        guard: &ExecGuard,
+    ) -> Result<PinnedQueryOutcome, HtapError> {
+        let db = self.db_read();
+        let plan = self.plan_on(&db, &bound, engine)?;
+        let run = if engine == EngineKind::Ap && self.mvcc_reads {
+            let snap = db.pin_snapshot();
+            drop(db);
+            self.run_plan_on(&snap, plan, &bound, engine, guard)?
+        } else {
+            self.run_plan_on(&db, plan, &bound, engine, guard)?
+        };
+        Ok(PinnedQueryOutcome {
+            sql: sql.to_string(),
+            bound: Arc::new(bound),
+            run,
+        })
+    }
+
+    /// Runs one of a prepared query's substituted plans on its engine only
+    /// (the session layer picks the plan matching the pin).
+    pub(crate) fn run_prepared_pinned(
+        &self,
+        bound: &Arc<BoundQuery>,
+        plan: PlanNode,
+        engine: EngineKind,
+        guard: &ExecGuard,
+    ) -> Result<PinnedQueryOutcome, HtapError> {
+        let db = self.db_read();
+        let run = if engine == EngineKind::Ap && self.mvcc_reads {
+            let snap = db.pin_snapshot();
+            drop(db);
+            self.run_plan_on(&snap, plan, bound, engine, guard)?
+        } else {
+            self.run_plan_on(&db, plan, bound, engine, guard)?
+        };
+        Ok(PinnedQueryOutcome {
+            sql: bound.sql.clone(),
+            bound: Arc::clone(bound),
+            run,
         })
     }
 

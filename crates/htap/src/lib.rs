@@ -232,6 +232,35 @@
 //!   (zero acked-write loss), mid-scan cancellation, deterministic
 //!   timeouts, injected panics, and the degraded-mode round trip.
 //!
+//! # Engine pinning & the network front end
+//!
+//! Dual-running every read is the *calibration* configuration — it is what
+//! measures both engines, checks cross-engine agreement, and produces the
+//! labels the router trains on. Once routing is trusted, a client can
+//! **pin**: [`engine::HtapSystem::execute_on`] runs a statement on exactly
+//! one engine, [`session::Session::pin_engine`] routes a whole session
+//! (including statements prepared before the pin), and
+//! [`session::PreparedStatement::execute_on`] pins per call. A pinned run
+//! returns a [`engine::PinnedQueryOutcome`] whose rows, counters and
+//! simulated latency are byte-identical to the same engine's side of a
+//! dual run — pinning skips the other engine's work and the agreement
+//! check, never changes what the pinned engine computes
+//! (`tests/engine_pinning.rs`), and DML stays TP-only on every path.
+//!
+//! The `qpe_server` crate serves this session layer over TCP: a
+//! thread-per-connection server speaking a length-prefixed, CRC-checked
+//! binary protocol, where each connection maps onto its own [`session::Session`]
+//! over the shared `Arc<HtapSystem>`. The wire is a *transparent
+//! transport*: rows, `WorkCounters`, and every typed error — SQL stages,
+//! parameter mismatches, `Cancelled`/`Timeout`/`MemoryBudget`/`ReadOnly`
+//! governance trips — round-trip losslessly, `Hello` negotiates
+//! per-session [`exec::StatementLimits`] clamped by server caps, admission
+//! control answers with structured `Busy` frames, and out-of-band `Cancel`
+//! (conn-id + secret, Postgres-style) lands on the victim's
+//! [`session::Session::cancel_handle`]. Its integration suite proves wire
+//! results byte-identical to in-process sessions; its fuzz suite proves
+//! the framing layer total on garbage, truncated and bit-flipped input.
+//!
 //! **Why counters must stay identical across modes:** everything downstream
 //! consumes [`exec::WorkCounters`], not wall-clock — the latency model turns
 //! counters into deterministic simulated latencies, those latencies pick the
@@ -261,7 +290,8 @@ pub mod tpch;
 
 pub use engine::{
     BackgroundCompaction, Database, DmlOutcome, DurabilityOptions, EngineKind, EngineRun,
-    Health, HtapError, HtapSystem, QueryOutcome, RecoveryReport, StatementOutcome,
+    Health, HtapError, HtapSystem, PinnedQueryOutcome, QueryOutcome, RecoveryReport,
+    StatementOutcome,
 };
 pub use exec::{CancelHandle, DmlKind, DmlResult, ExecConfig, GovernError, StatementLimits};
 pub use plan::{NodeType, PlanNode};

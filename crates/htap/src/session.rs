@@ -47,7 +47,7 @@
 //! poisoned the database write lock additionally trips read-only degraded
 //! mode — see [`HtapSystem::health`]).
 
-use crate::engine::{HtapError, HtapSystem, StatementOutcome};
+use crate::engine::{EngineKind, HtapError, HtapSystem, StatementOutcome};
 use crate::exec::{CancelHandle, ExecGuard, StatementLimits};
 use crate::opt::{ap, tp, PlannerCtx};
 use crate::plan::PlanNode;
@@ -56,7 +56,7 @@ use qpe_sql::binder::{coerce_param, substitute_params, BoundDml, BoundExpr, Boun
 use qpe_sql::catalog::DataType;
 use qpe_sql::value::Value;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------------
@@ -376,12 +376,56 @@ pub struct Session {
     /// cleared when the next statement starts. Prepared statements from
     /// this session share it.
     cancel: Arc<AtomicBool>,
+    /// Session-level engine pin (see [`Session::pin_engine`]): `PIN_DUAL`
+    /// runs reads on both engines, `PIN_TP`/`PIN_AP` on one. Shared with
+    /// prepared statements like the cancel flag, so re-pinning a session
+    /// re-routes statements it already prepared.
+    pin: Arc<AtomicU8>,
+}
+
+const PIN_DUAL: u8 = 0;
+const PIN_TP: u8 = 1;
+const PIN_AP: u8 = 2;
+
+fn pin_code(engine: Option<EngineKind>) -> u8 {
+    match engine {
+        None => PIN_DUAL,
+        Some(EngineKind::Tp) => PIN_TP,
+        Some(EngineKind::Ap) => PIN_AP,
+    }
+}
+
+fn pin_engine_of(code: u8) -> Option<EngineKind> {
+    match code {
+        PIN_TP => Some(EngineKind::Tp),
+        PIN_AP => Some(EngineKind::Ap),
+        _ => None,
+    }
 }
 
 impl Session {
     /// Opens a session over a shared system.
     pub fn new(system: Arc<HtapSystem>) -> Self {
-        Session { system, cancel: Arc::new(AtomicBool::new(false)) }
+        Session {
+            system,
+            cancel: Arc::new(AtomicBool::new(false)),
+            pin: Arc::new(AtomicU8::new(PIN_DUAL)),
+        }
+    }
+
+    /// Pins this session's reads to one engine (`None` restores dual-run).
+    /// While pinned, every `SELECT` the session (or its prepared statements)
+    /// executes runs on that engine **only** — the other engine's plan is
+    /// never executed, so a pure-OLTP client stops paying the analytical
+    /// run. Writes are unaffected (DML is TP-only on every path). Pinned
+    /// results are byte-identical to the same engine's side of a dual run.
+    pub fn pin_engine(&self, engine: Option<EngineKind>) {
+        self.pin.store(pin_code(engine), Ordering::SeqCst);
+    }
+
+    /// The current engine pin (`None` = dual-run).
+    pub fn engine_pin(&self) -> Option<EngineKind> {
+        pin_engine_of(self.pin.load(Ordering::SeqCst))
     }
 
     /// The underlying system.
@@ -406,6 +450,7 @@ impl Session {
         Ok(PreparedStatement {
             system: Arc::clone(&self.system),
             cancel: Arc::clone(&self.cancel),
+            pin: Arc::clone(&self.pin),
             stmt,
         })
     }
@@ -465,6 +510,9 @@ pub struct PreparedStatement {
     /// The owning session's cancel flag (shared — cancelling the session
     /// cancels whichever of its statements is in flight).
     cancel: Arc<AtomicBool>,
+    /// The owning session's engine pin (shared — re-pinning the session
+    /// re-routes statements prepared earlier).
+    pin: Arc<AtomicU8>,
     stmt: Arc<CachedStatement>,
 }
 
@@ -472,6 +520,11 @@ impl PreparedStatement {
     /// The prepared SQL text.
     pub fn sql(&self) -> &str {
         self.stmt.sql()
+    }
+
+    /// True for `SELECT` statements.
+    pub fn is_query(&self) -> bool {
+        self.stmt.is_query()
     }
 
     /// A handle that cancels an in-flight execution of this statement (or
@@ -499,27 +552,88 @@ impl PreparedStatement {
     }
 
     /// [`PreparedStatement::execute`] with explicit per-call limits. The
-    /// whole execution runs under one [`ExecGuard`] (cancel flag + deadline
-    /// + memory budget) and inside the session's panic-containment boundary.
+    /// whole execution runs under one [`ExecGuard`] (cancel flag, deadline
+    /// and memory budget) and inside the session's panic-containment
+    /// boundary. Honors the owning session's engine pin
+    /// ([`Session::pin_engine`]): pinned reads run on one engine only.
     pub fn execute_with(
         &self,
         params: &[Value],
         limits: &StatementLimits,
+    ) -> Result<StatementOutcome, HtapError> {
+        self.execute_routed(params, limits, pin_engine_of(self.pin.load(Ordering::SeqCst)))
+    }
+
+    /// Executes this statement's read on **one** engine only (no dual-run,
+    /// no agreement check), regardless of the session pin. DML executes
+    /// normally (writes are TP-only on every path). Governed by the
+    /// system-default [`StatementLimits`].
+    pub fn execute_on(
+        &self,
+        engine: EngineKind,
+        params: &[Value],
+    ) -> Result<StatementOutcome, HtapError> {
+        let limits = self.system.statement_limits().clone();
+        self.execute_on_with(engine, params, &limits)
+    }
+
+    /// [`PreparedStatement::execute_on`] with explicit per-call limits.
+    pub fn execute_on_with(
+        &self,
+        engine: EngineKind,
+        params: &[Value],
+        limits: &StatementLimits,
+    ) -> Result<StatementOutcome, HtapError> {
+        self.execute_routed(params, limits, Some(engine))
+    }
+
+    /// Executes with an explicit dual-run (both engines + agreement check),
+    /// overriding any session engine pin for this call only.
+    pub fn execute_dual_with(
+        &self,
+        params: &[Value],
+        limits: &StatementLimits,
+    ) -> Result<StatementOutcome, HtapError> {
+        self.execute_routed(params, limits, None)
+    }
+
+    /// The shared execute path: coerce, arm the guard, substitute the
+    /// cached plan(s), run — dual or pinned.
+    fn execute_routed(
+        &self,
+        params: &[Value],
+        limits: &StatementLimits,
+        pin: Option<EngineKind>,
     ) -> Result<StatementOutcome, HtapError> {
         let params = self.coerce(params)?;
         // Starting a statement lowers any stale cancel from a previous one.
         self.cancel.store(false, Ordering::SeqCst);
         let guard = ExecGuard::with_cancel(limits, Arc::clone(&self.cancel));
         contain(|| match &self.stmt.kind {
-            CachedKind::Query { bound, tp, ap } => {
-                let (tp_plan, ap_plan) = if params.is_empty() {
-                    (tp.clone(), ap.clone())
-                } else {
-                    (tp.substitute_params(&params), ap.substitute_params(&params))
-                };
-                let outcome = self.system.run_prepared(bound, tp_plan, ap_plan, &guard)?;
-                Ok(StatementOutcome::Query(Box::new(outcome)))
-            }
+            CachedKind::Query { bound, tp, ap } => match pin {
+                None => {
+                    let (tp_plan, ap_plan) = if params.is_empty() {
+                        (tp.clone(), ap.clone())
+                    } else {
+                        (tp.substitute_params(&params), ap.substitute_params(&params))
+                    };
+                    let outcome = self.system.run_prepared(bound, tp_plan, ap_plan, &guard)?;
+                    Ok(StatementOutcome::Query(Box::new(outcome)))
+                }
+                Some(engine) => {
+                    let cached = match engine {
+                        EngineKind::Tp => tp,
+                        EngineKind::Ap => ap,
+                    };
+                    let plan = if params.is_empty() {
+                        cached.clone()
+                    } else {
+                        cached.substitute_params(&params)
+                    };
+                    let outcome = self.system.run_prepared_pinned(bound, plan, engine, &guard)?;
+                    Ok(StatementOutcome::PinnedQuery(Box::new(outcome)))
+                }
+            },
             CachedKind::Dml { dml, plan } => {
                 let (dml, plan) = if params.is_empty() {
                     (dml.clone(), plan.clone())

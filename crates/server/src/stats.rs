@@ -1,0 +1,67 @@
+//! Server observability: lock-free counters at server and session scope.
+//!
+//! [`ServerStats`] is shared (behind `Arc`) between the accept loop, every
+//! connection thread, and the embedding application; [`SessionStats`] is
+//! per-connection. Both are plain relaxed atomics — they are monotonic
+//! tallies, not synchronization — and both snapshot into the wire-level
+//! [`StatsSnapshot`](crate::protocol::StatsSnapshot) served by the `Stats`
+//! frame, which additionally folds in system health (degraded mode, writer
+//! panics, WAL retries) from [`qpe_htap::HtapSystem::health`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Server-wide counters. All increments are relaxed; readers see a
+/// near-point-in-time snapshot, which is all observability needs.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted since start.
+    pub connections_accepted: AtomicU64,
+    /// Connections rejected by admission control (connection cap).
+    pub connections_rejected: AtomicU64,
+    /// Currently open connections.
+    pub connections_active: AtomicU64,
+    /// Statements executed to completion (success or statement error).
+    pub statements_executed: AtomicU64,
+    /// Statements rejected by in-flight admission control.
+    pub statements_rejected: AtomicU64,
+    /// Out-of-band cancel requests that matched a live connection.
+    pub cancels_matched: AtomicU64,
+    /// Frames that failed to decode (malformed, bad CRC, oversized).
+    pub protocol_errors: AtomicU64,
+    /// Error frames sent (statement errors included).
+    pub errors_sent: AtomicU64,
+    /// Total bytes read from clients.
+    pub bytes_read: AtomicU64,
+    /// Total bytes written to clients.
+    pub bytes_written: AtomicU64,
+}
+
+impl ServerStats {
+    /// Relaxed add helper.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Relaxed increment helper.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read helper.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-connection counters.
+#[derive(Debug, Default)]
+pub struct SessionStats {
+    /// Statements this session executed (success or error).
+    pub statements: AtomicU64,
+    /// Result + DML rows this session received.
+    pub rows: AtomicU64,
+    /// Bytes read from this session's connection.
+    pub bytes_read: AtomicU64,
+    /// Bytes written to this session's connection.
+    pub bytes_written: AtomicU64,
+}

@@ -5,6 +5,7 @@
 //! ```
 
 use qpe_core::explainer::{Explainer, PipelineConfig};
+use qpe_server::{Client, EnginePref, Server, ServerConfig};
 use qpe_htap::engine::HtapSystem;
 use qpe_htap::exec::StatementLimits;
 use qpe_htap::latency::format_latency;
@@ -226,4 +227,44 @@ fn main() {
         "health: degraded={} writer_panics={} compactor_failures={} wal_flush_retries={}",
         health.degraded, health.writer_panics, health.compactor_failures, health.wal_flush_retries
     );
+
+    // 6. The network front end: the same Session API served over TCP. Each
+    //    connection maps onto its own Session over the shared system and
+    //    speaks a length-prefixed, CRC-checked binary protocol, so wire
+    //    results — rows, WorkCounters, typed errors — are byte-identical
+    //    to in-process ones.
+    println!("\n--- Network front end: TCP server + binary protocol ---");
+    let mut server = Server::start(Arc::clone(&sys), "127.0.0.1:0", ServerConfig::default())
+        .expect("server binds an ephemeral port");
+    println!("serving on {}", server.addr());
+
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let remote = client
+        .prepare("SELECT c_name, c_acctbal FROM customer WHERE c_custkey = ?")
+        .expect("prepares over the wire");
+    for key in [7i64, 42, 137] {
+        let out = client
+            .execute(remote.stmt_id, &[Value::Int(key)])
+            .expect("executes over the wire");
+        let result = out.rows().expect("query result");
+        println!(
+            "  c_custkey = {key:>3} -> {:?} (winner: {:?})",
+            result.rows.first().map(|r| &r[0]),
+            result.engine
+        );
+    }
+    // Per-call engine pinning skips the other engine's run and the
+    // agreement check — the serving configuration once routing is trusted.
+    let pinned = client
+        .execute_pref(remote.stmt_id, EnginePref::Ap, &[Value::Int(42)])
+        .expect("pinned execute");
+    println!("  AP-pinned rerun: {} row(s)", pinned.rows().expect("rows").rows.len());
+
+    let stats = client.stats().expect("stats frame");
+    println!(
+        "server stats: {} statements over {} connections, {} bytes out, degraded={}",
+        stats.statements_executed, stats.connections_accepted, stats.bytes_written, stats.degraded
+    );
+    client.goodbye().expect("clean goodbye");
+    server.shutdown(); // stop accepting, cancel in-flight, drain handlers
 }

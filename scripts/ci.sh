@@ -74,6 +74,23 @@ done
 cargo test -q --test fault_tolerance deadlines_trip_timeouts_without_side_effects
 cargo test -q --test fault_tolerance memory_budgets_bound_result_materialization
 
+echo "==> network front end (wire ≡ in-process byte-identity, typed errors, fuzz, pinning)"
+# The wire path must be a transparent transport: the integration suite
+# proves rows, WorkCounters and every typed error (governance trips
+# included) round-trip byte-identically to an in-process Session; the fuzz
+# suite feeds the framing layer garbage / truncated / bit-flipped streams
+# (structured error or clean disconnect, never a panic, length capped
+# before allocation); the pinning suite proves a pinned run equals the
+# same engine's side of a dual run.
+cargo test -q -p qpe_server
+cargo test -q --test engine_pinning
+
+echo "==> loadgen smoke (ephemeral-port server, 8 wire clients, all three traffic classes)"
+# Gates: wire ≡ in-process equivalence before any load, prepared TP point
+# lookups + dual-runs + AP scans + mixed DML all actually served, and zero
+# protocol errors after the multi-client traffic.
+cargo run --release -p qpe_bench --bin loadgen -- --smoke
+
 echo "==> dirty-table executor comparison (encoded base + delta + tombstones)"
 # --dirty applies uncompacted INSERT/DELETEs first, so the scalar-vs-batch
 # agreement check runs over dictionary-encoded base blocks read through
@@ -95,5 +112,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> bench snapshot (BENCH_exec.json; includes prepared-vs-unprepared QPS, plan-cache hit rate, the durability cases: wal_commit_qps group-commit vs per-statement, recovery_time_100k_rows, background_compact_p99_write_stall, and the MVCC mixed-workload reader p99 with/without a concurrent durable writer)"
 cargo run --release -p qpe_bench --bin bench_snapshot
+
+echo "==> server loadgen record (server_point_lookup_qps, server_mixed_qps, reader p99 under DML)"
+# Runs after the snapshot: both recorders merge-preserve BENCH_exec.json,
+# and the wire numbers should overlay the same run's in-process baseline.
+cargo run --release -p qpe_bench --bin loadgen -- --record
 
 echo "CI OK"
