@@ -102,7 +102,10 @@ pub struct QueryResult {
     pub tp_latency_ns: u64,
     /// Simulated AP latency in ns (0 when AP did not run).
     pub ap_latency_ns: u64,
-    /// Work performed by the reported run.
+    /// Work performed. Dual runs always report the TP run's counters
+    /// (the deterministic side, matching what an in-process caller reads
+    /// off `QueryOutcome::tp`) even when `engine` names AP as the latency
+    /// winner; pinned runs report the pinned engine's counters.
     pub counters: WorkCounters,
     /// All result rows.
     pub rows: Vec<Vec<Value>>,

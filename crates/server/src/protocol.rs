@@ -93,9 +93,20 @@ impl From<io::Error> for FrameError {
 }
 
 /// Writes one frame (envelope + payload) and flushes. Returns the total
-/// bytes put on the wire.
+/// bytes put on the wire. Payloads over [`MAX_FRAME_LEN`] are refused
+/// (in every build profile) before anything reaches the stream — the
+/// receiver would reject the length prefix, and a half-delivered
+/// oversized frame would poison the connection for every later reply.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<u64> {
-    debug_assert!(payload.len() as u64 <= MAX_FRAME_LEN as u64);
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+                payload.len()
+            ),
+        ));
+    }
     let len = payload.len() as u32;
     let crc = qpe_htap::storage::crc32(payload);
     // Envelope and payload go out in ONE write: sockets here run with
@@ -380,6 +391,21 @@ fn counters_from_array(f: &[u64; COUNTER_FIELDS]) -> WorkCounters {
     }
 }
 
+/// Exact encoded size of one value cell, matching `Writer::put_value`.
+pub(crate) fn encoded_value_len(v: &Value) -> usize {
+    1 + match v {
+        Value::Null => 0,
+        Value::Int(_) | Value::Float(_) => 8,
+        Value::Str(s) => 4 + s.len(),
+        Value::Date(_) => 4,
+    }
+}
+
+/// Exact encoded size of one row, matching `Writer::put_row`.
+pub(crate) fn encoded_row_len(row: &[Value]) -> usize {
+    4 + row.iter().map(encoded_value_len).sum::<usize>()
+}
+
 fn put_data_type(w: &mut Writer, ty: Option<DataType>) {
     w.put_u8(match ty {
         None => 255,
@@ -478,6 +504,9 @@ pub enum BusyWhat {
     Connections,
     /// The server is at its in-flight statement cap.
     Statements,
+    /// This connection is at its prepared-statement cap; close handles
+    /// with `CloseStmt` to free slots.
+    PreparedStatements,
 }
 
 /// The wire form of every error the server can send. [`HtapError`]
@@ -605,6 +634,7 @@ impl std::fmt::Display for WireError {
                 match what {
                     BusyWhat::Connections => "connection",
                     BusyWhat::Statements => "in-flight statement",
+                    BusyWhat::PreparedStatements => "prepared statement",
                 }
             ),
             WireError::Protocol(m) => write!(f, "protocol: {m}"),
@@ -760,6 +790,7 @@ fn put_wire_error(w: &mut Writer, e: &WireError) {
             w.put_u8(match what {
                 BusyWhat::Connections => 0,
                 BusyWhat::Statements => 1,
+                BusyWhat::PreparedStatements => 2,
             });
             w.put_u32(*limit);
         }
@@ -820,6 +851,7 @@ fn wire_error(r: &mut Reader) -> DecodeResult<WireError> {
             what: match r.u8()? {
                 0 => BusyWhat::Connections,
                 1 => BusyWhat::Statements,
+                2 => BusyWhat::PreparedStatements,
                 t => return Err(malformed(format!("unknown busy kind {t}"))),
             },
             limit: r.u32()?,
@@ -946,7 +978,10 @@ pub enum ServerFrame {
         tp_latency_ns: u64,
         /// Simulated AP latency in ns (0 when not run).
         ap_latency_ns: u64,
-        /// Work performed by the reported run.
+        /// Work performed. Dual runs always carry the TP run's counters
+        /// (the deterministic side, matching what an in-process caller
+        /// reads off `QueryOutcome::tp`) even when `engine` names AP as
+        /// the latency winner; pinned runs carry the pinned engine's.
         counters: WorkCounters,
         /// Total rows in the result (across all chunks).
         total_rows: u64,
@@ -1003,7 +1038,8 @@ pub struct StatsSnapshot {
     pub connections_active: u64,
     /// Statements executed to completion (success or statement error).
     pub statements_executed: u64,
-    /// Statements rejected by in-flight admission control.
+    /// Statements rejected by admission control (in-flight or
+    /// prepared-statement caps).
     pub statements_rejected: u64,
     /// Out-of-band cancel requests that matched a live connection.
     pub cancels_matched: u64,
@@ -1446,6 +1482,7 @@ mod tests {
             WireError::Internal("panicked at ...".into()),
             WireError::Busy { what: BusyWhat::Connections, limit: 64 },
             WireError::Busy { what: BusyWhat::Statements, limit: 32 },
+            WireError::Busy { what: BusyWhat::PreparedStatements, limit: 256 },
             WireError::Protocol("unknown opcode 99".into()),
             WireError::UnknownStatement { stmt_id: 12 },
             WireError::NoCursor,
@@ -1510,6 +1547,29 @@ mod tests {
             read_frame(&mut &truncated[..]),
             Err(FrameError::Io(_))
         ));
+    }
+
+    #[test]
+    fn write_frame_refuses_oversized_payloads_in_release_builds() {
+        let payload = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let mut wire = Vec::new();
+        let err = write_frame(&mut wire, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(wire.is_empty(), "nothing may reach the stream");
+    }
+
+    #[test]
+    fn encoded_row_len_matches_the_writer() {
+        let row = vec![
+            Value::Null,
+            Value::Int(7),
+            Value::Float(1.5),
+            Value::Str("naïve".into()),
+            Value::Date(9501),
+        ];
+        let mut w = Writer::default();
+        w.put_row(&row);
+        assert_eq!(encoded_row_len(&row), w.finish().len());
     }
 
     #[test]

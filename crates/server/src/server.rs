@@ -14,10 +14,12 @@
 //!   `(conn_id, secret)` credentials another connection can use to cancel
 //!   this one.
 //! - **Admission control**: at most [`ServerConfig::max_connections`]
-//!   concurrent connections and [`ServerConfig::max_inflight_statements`]
-//!   concurrently-executing statements; beyond either cap the client gets
-//!   a structured [`WireError::Busy`] frame (and, for connections, a
-//!   disconnect), never a hang or a silent drop.
+//!   concurrent connections, [`ServerConfig::max_inflight_statements`]
+//!   concurrently-executing statements, and
+//!   [`ServerConfig::max_prepared_statements`] open prepared handles per
+//!   connection; beyond any cap the client gets a structured
+//!   [`WireError::Busy`] frame (and, for connections, a disconnect),
+//!   never a hang or a silent drop.
 //! - **Out-of-band cancel**: a `Cancel { conn_id, secret }` frame — on a
 //!   fresh connection or an established one — raises the target session's
 //!   cancel flag through the same [`qpe_htap::exec::CancelHandle`] the
@@ -25,33 +27,58 @@
 //!   `Cancelled` error frame at its next block/morsel boundary.
 //! - **Graceful shutdown**: [`Server::shutdown`] stops accepting, cancels
 //!   every in-flight statement, lets each connection thread finish its
-//!   current reply (the drain), then joins all threads.
+//!   current reply (the drain), then joins all threads. Handlers that are
+//!   still blocked on a socket after a grace window — a peer that sent a
+//!   partial frame and went silent, or one that stopped reading its reply
+//!   — get their sockets forced shut so the join is always bounded.
 //!
 //! Connection handlers read with a short socket timeout and poll the stop
 //! flag between (and during) frames, so shutdown is observed within
 //! ~100 ms even by idle connections. Partial reads across a timeout are
-//! preserved — a frame straddling poll ticks decodes intact.
+//! preserved — a frame straddling poll ticks decodes intact. Once the
+//! stop flag is up, a mid-frame read is abandoned after a bounded drain
+//! window ([`STOP_DRAIN_POLLS`] ticks): the stream desync that would
+//! normally forbid abandoning a partial read is irrelevant when the
+//! connection is being torn down.
 
 use crate::protocol::{
-    write_frame, BusyWhat, ClientFrame, EnginePref, FrameError, ServerFrame, StatsSnapshot,
-    WireError, DEFAULT_FETCH_ROWS, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    encoded_row_len, write_frame, BusyWhat, ClientFrame, EnginePref, FrameError, ServerFrame,
+    StatsSnapshot, WireError, DEFAULT_FETCH_ROWS, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use crate::stats::{ServerStats, SessionStats};
-use qpe_htap::exec::{CancelHandle, StatementLimits};
+use qpe_htap::exec::{CancelHandle, StatementLimits, WorkCounters};
 use qpe_htap::{EngineKind, HtapSystem, PreparedStatement, Session, StatementOutcome};
 use qpe_sql::value::Value;
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher};
 use std::io::{self, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often blocked reads wake up to poll the stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Extra poll ticks a mid-frame read is granted after the stop flag is
+/// observed, so a frame already in flight can finish arriving. Past the
+/// window the read is abandoned — the connection is being torn down, so
+/// losing stream sync no longer matters.
+const STOP_DRAIN_POLLS: u32 = 5;
+
+/// How long [`Server::shutdown`] waits for handlers to drain gracefully
+/// before forcing their sockets shut. Must exceed the read drain window
+/// (`POLL_INTERVAL * STOP_DRAIN_POLLS`) so the forced path only fires for
+/// handlers blocked somewhere polling cannot reach (e.g. a write to a
+/// peer that stopped reading).
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(1);
+
+/// Backoff after a failed `accept()`: a persistent error such as fd
+/// exhaustion (precisely when the server is overloaded) must not turn the
+/// accept thread into a 100% CPU busy-loop.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -61,6 +88,10 @@ pub struct ServerConfig {
     /// Concurrently-executing statement cap across all connections; excess
     /// `Execute`s get a `Busy` error (the connection stays usable).
     pub max_inflight_statements: u32,
+    /// Per-connection cap on open prepared-statement handles; excess
+    /// `Prepare`s get a `Busy` error until the client `CloseStmt`s some.
+    /// Bounds server memory against a client preparing in a loop.
+    pub max_prepared_statements: u32,
     /// Upper bound on the per-session statement timeout a `Hello` may
     /// request (`None` = no cap). Also applied when the client requests no
     /// timeout at all.
@@ -75,6 +106,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_connections: 64,
             max_inflight_statements: 32,
+            max_prepared_statements: 256,
             max_statement_timeout: None,
             max_memory_budget: None,
         }
@@ -102,6 +134,12 @@ struct Shared {
     /// Live connection-handler threads (reaped opportunistically, joined
     /// at shutdown).
     handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// Socket clones of live connections, keyed by an accept-time token
+    /// (present from accept, before any `Hello`), so shutdown can force
+    /// sockets shut under handlers still blocked on I/O after the grace
+    /// window.
+    sockets: Mutex<HashMap<u64, TcpStream>>,
+    next_sock_token: AtomicU64,
 }
 
 /// A running network front end. Dropping without [`Server::shutdown`]
@@ -131,6 +169,8 @@ impl Server {
             next_conn_id: AtomicU64::new(1),
             registry: Mutex::new(HashMap::new()),
             handlers: Mutex::new(Vec::new()),
+            sockets: Mutex::new(HashMap::new()),
+            next_sock_token: AtomicU64::new(1),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -160,7 +200,10 @@ impl Server {
 
     /// Graceful shutdown: stop accepting, cancel every in-flight
     /// statement, drain connection threads (each finishes its current
-    /// reply), join everything. Idempotent.
+    /// reply), join everything. Handlers still blocked on a socket after
+    /// [`SHUTDOWN_GRACE`] — a peer that sent a partial frame and went
+    /// silent, or stopped reading its reply — get their sockets forced
+    /// shut, so this never hangs on a misbehaving client. Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         // Cancel in-flight statements so the drain is bounded by one
@@ -175,6 +218,28 @@ impl Server {
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        // Phase 1 (graceful): handlers observe the stop flag within one
+        // poll tick (idle or between frames) or one drain window
+        // (mid-frame) and exit after finishing their current reply.
+        let deadline = Instant::now() + SHUTDOWN_GRACE;
+        loop {
+            let all_done = {
+                let h = self.shared.handlers.lock().expect("handlers lock");
+                h.iter().all(|t| t.is_finished())
+            };
+            if all_done || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Phase 2 (forced): whoever is still alive is blocked on a socket
+        // polling cannot reach; shut the sockets down to unblock them.
+        {
+            let sockets = self.shared.sockets.lock().expect("sockets lock");
+            for s in sockets.values() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
         }
         let handlers = {
             let mut h = self.shared.handlers.lock().expect("handlers lock");
@@ -200,6 +265,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
+                std::thread::sleep(ACCEPT_ERROR_BACKOFF);
                 continue;
             }
         };
@@ -217,11 +283,24 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         }
         ServerStats::bump(&shared.stats.connections_accepted);
         ServerStats::bump(&shared.stats.connections_active);
+        // Register a socket clone so shutdown can force the stream shut
+        // under a handler blocked on I/O (`Shutdown` acts on the shared
+        // underlying socket, not the clone).
+        let sock_token = shared.next_sock_token.fetch_add(1, Ordering::SeqCst);
+        if let Ok(clone) = stream.try_clone() {
+            let mut sockets = shared.sockets.lock().expect("sockets lock");
+            sockets.insert(sock_token, clone);
+        }
         let conn_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("qpe-server-conn".into())
             .spawn(move || {
                 Connection::run(stream, Arc::clone(&conn_shared));
+                conn_shared
+                    .sockets
+                    .lock()
+                    .expect("sockets lock")
+                    .remove(&sock_token);
                 conn_shared
                     .stats
                     .connections_active
@@ -234,6 +313,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 handlers.push(h);
             }
             Err(_) => {
+                shared
+                    .sockets
+                    .lock()
+                    .expect("sockets lock")
+                    .remove(&sock_token);
                 shared
                     .stats
                     .connections_active
@@ -265,22 +349,31 @@ fn reject_busy(mut stream: TcpStream, shared: &Shared) {
 /// Reads into `buf[*filled..]` until full, polling `stop` across read
 /// timeouts. Partial progress survives a timeout — `filled` advances
 /// monotonically, so a frame straddling poll ticks is reassembled intact.
-/// Returns `Ok(true)` when full, `Ok(false)` when `stop` was observed
-/// while **no** bytes of `buf` had arrived yet (safe point to abandon the
-/// stream), and `Err` on I/O failure (EOF included).
+/// Returns `Ok(true)` when full, `Ok(false)` when `stop` was observed and
+/// the read abandoned — immediately when no bytes of `buf` had arrived,
+/// after the [`STOP_DRAIN_POLLS`] drain window mid-buffer (a peer that
+/// goes silent mid-frame must not pin this thread past shutdown) — and
+/// `Err` on I/O failure (EOF included).
 fn read_full_polling(
     stream: &mut TcpStream,
     buf: &mut [u8],
     filled: &mut usize,
     stop: &AtomicBool,
 ) -> io::Result<bool> {
+    let mut stop_polls = 0u32;
     while *filled < buf.len() {
         match stream.read(&mut buf[*filled..]) {
             Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
             Ok(n) => *filled += n,
             Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
-                if stop.load(Ordering::SeqCst) && *filled == 0 {
-                    return Ok(false);
+                if stop.load(Ordering::SeqCst) {
+                    if *filled == 0 {
+                        return Ok(false);
+                    }
+                    stop_polls += 1;
+                    if stop_polls >= STOP_DRAIN_POLLS {
+                        return Ok(false);
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -324,16 +417,12 @@ fn read_frame_polling(
     }
     let mut payload = vec![0u8; len as usize];
     let mut filled = 0;
-    // Mid-frame, stop cannot abandon the read (that would desync the
-    // stream); the in-flight cancel raised at shutdown bounds how long the
-    // peer keeps us here, and EOF exits immediately.
-    loop {
-        match read_full_polling(stream, &mut payload, &mut filled, &shared.stop) {
-            Ok(true) => break,
-            Ok(false) if filled == 0 && len > 0 => continue,
-            Ok(false) => break,
-            Err(_) => return PolledFrame::Disconnected,
-        }
+    // Mid-frame, stop abandons the read after a bounded drain window —
+    // the connection is being torn down, so stream desync is moot.
+    match read_full_polling(stream, &mut payload, &mut filled, &shared.stop) {
+        Ok(true) => {}
+        Ok(false) => return PolledFrame::Stopped,
+        Err(_) => return PolledFrame::Disconnected,
     }
     let wire_bytes = 8 + len as u64;
     ServerStats::add(&shared.stats.bytes_read, wire_bytes);
@@ -370,6 +459,11 @@ impl Drop for InflightSlot<'_> {
     }
 }
 
+/// Byte budget for one `Rows`/`RowsChunk` frame's row data, leaving
+/// headroom under [`MAX_FRAME_LEN`] for the frame's fixed header fields
+/// (opcode, engine, latencies, counters, totals — well under 4 KiB).
+const CHUNK_BYTE_BUDGET: usize = MAX_FRAME_LEN as usize - 4096;
+
 /// An open result cursor: the full materialized result, a read position,
 /// and the chunk protocol's `more` flag derives from what's left.
 struct Cursor {
@@ -378,17 +472,40 @@ struct Cursor {
 }
 
 impl Cursor {
-    fn next_chunk(&mut self, max_rows: u32) -> (Vec<Vec<Value>>, bool) {
+    /// The next chunk, bounded by `max_rows` **and** by encoded byte size
+    /// (wide string rows must not assemble a frame past the protocol's
+    /// length cap). `Err(bytes)` means the single next row alone exceeds
+    /// the budget and no frame can carry it.
+    fn next_chunk(&mut self, max_rows: u32) -> Result<(Vec<Vec<Value>>, bool), usize> {
         let max = if max_rows == 0 {
             DEFAULT_FETCH_ROWS
         } else {
             max_rows
         } as usize;
-        let end = (self.pos + max).min(self.rows.len());
+        let mut bytes = 0usize;
+        let mut end = self.pos;
+        while end < self.rows.len() && end - self.pos < max {
+            let row_bytes = encoded_row_len(&self.rows[end]);
+            if bytes + row_bytes > CHUNK_BYTE_BUDGET {
+                if end == self.pos {
+                    return Err(row_bytes);
+                }
+                break;
+            }
+            bytes += row_bytes;
+            end += 1;
+        }
         let chunk = self.rows[self.pos..end].to_vec();
         self.pos = end;
-        (chunk, self.pos < self.rows.len())
+        Ok((chunk, self.pos < self.rows.len()))
     }
+}
+
+/// The typed error for a result row no frame can carry.
+fn oversized_row_error(bytes: usize) -> WireError {
+    WireError::Exec(format!(
+        "result row of {bytes} encoded bytes exceeds the {MAX_FRAME_LEN}-byte frame cap"
+    ))
 }
 
 /// One connection's server-side state.
@@ -563,6 +680,18 @@ impl Connection {
     }
 
     fn on_prepare(&mut self, sql: &str) -> bool {
+        // Handle cap: ids are never reused, so without it a client
+        // preparing in a loop would grow this map without bound.
+        let cap = self.shared.config.max_prepared_statements;
+        if self.statements.len() as u64 >= cap as u64 {
+            ServerStats::bump(&self.shared.stats.statements_rejected);
+            return self
+                .send(ServerFrame::Error(WireError::Busy {
+                    what: BusyWhat::PreparedStatements,
+                    limit: cap,
+                }))
+                .is_ok();
+        }
         let session = self.session.as_ref().expect("session after Hello");
         match session.prepare(sql) {
             Ok(stmt) => {
@@ -608,44 +737,31 @@ impl Connection {
                 // report the winner as the serving engine and the TP run's
                 // counters (the deterministic choice — identical to what an
                 // in-process caller reads off `QueryOutcome::tp`).
-                let total = q.tp.rows.len() as u64;
-                ServerStats::add(&self.session_stats.rows, total);
-                let mut cursor = Cursor { rows: q.tp.rows.clone(), pos: 0 };
-                let (rows, more) = cursor.next_chunk(max_rows);
-                self.cursor = more.then_some(cursor);
-                self.send(ServerFrame::Rows {
-                    engine: q.winner(),
-                    dual: true,
-                    tp_latency_ns: q.tp.latency_ns,
-                    ap_latency_ns: q.ap.latency_ns,
-                    counters: q.tp.counters,
-                    total_rows: total,
-                    rows,
-                    more,
-                })
-                .is_ok()
+                let winner = q.winner();
+                self.send_rows(
+                    winner,
+                    true,
+                    q.tp.latency_ns,
+                    q.ap.latency_ns,
+                    q.tp.counters,
+                    q.tp.rows,
+                    max_rows,
+                )
             }
             Ok(StatementOutcome::PinnedQuery(p)) => {
-                let total = p.run.rows.len() as u64;
-                ServerStats::add(&self.session_stats.rows, total);
                 let (tp_ns, ap_ns) = match p.run.engine {
                     EngineKind::Tp => (p.run.latency_ns, 0),
                     EngineKind::Ap => (0, p.run.latency_ns),
                 };
-                let mut cursor = Cursor { rows: p.run.rows.clone(), pos: 0 };
-                let (rows, more) = cursor.next_chunk(max_rows);
-                self.cursor = more.then_some(cursor);
-                self.send(ServerFrame::Rows {
-                    engine: p.run.engine,
-                    dual: false,
-                    tp_latency_ns: tp_ns,
-                    ap_latency_ns: ap_ns,
-                    counters: p.run.counters,
-                    total_rows: total,
-                    rows,
-                    more,
-                })
-                .is_ok()
+                self.send_rows(
+                    p.run.engine,
+                    false,
+                    tp_ns,
+                    ap_ns,
+                    p.run.counters,
+                    p.run.rows,
+                    max_rows,
+                )
             }
             Ok(StatementOutcome::Dml(d)) => {
                 self.cursor = None;
@@ -664,15 +780,62 @@ impl Connection {
         }
     }
 
+    /// Registers `all_rows` as the open cursor and sends the result
+    /// header plus its first chunk. A row too wide for any frame becomes
+    /// a typed error instead of an unsendable frame (the connection
+    /// stays usable; the cursor is dropped).
+    #[allow(clippy::too_many_arguments)]
+    fn send_rows(
+        &mut self,
+        engine: EngineKind,
+        dual: bool,
+        tp_latency_ns: u64,
+        ap_latency_ns: u64,
+        counters: WorkCounters,
+        all_rows: Vec<Vec<Value>>,
+        max_rows: u32,
+    ) -> bool {
+        let total = all_rows.len() as u64;
+        ServerStats::add(&self.session_stats.rows, total);
+        let mut cursor = Cursor { rows: all_rows, pos: 0 };
+        match cursor.next_chunk(max_rows) {
+            Ok((rows, more)) => {
+                self.cursor = more.then_some(cursor);
+                self.send(ServerFrame::Rows {
+                    engine,
+                    dual,
+                    tp_latency_ns,
+                    ap_latency_ns,
+                    counters,
+                    total_rows: total,
+                    rows,
+                    more,
+                })
+                .is_ok()
+            }
+            Err(bytes) => {
+                self.cursor = None;
+                self.send(ServerFrame::Error(oversized_row_error(bytes))).is_ok()
+            }
+        }
+    }
+
     fn on_fetch(&mut self, max_rows: u32) -> bool {
         let Some(cursor) = self.cursor.as_mut() else {
             return self.send(ServerFrame::Error(WireError::NoCursor)).is_ok();
         };
-        let (rows, more) = cursor.next_chunk(max_rows);
-        if !more {
-            self.cursor = None;
+        match cursor.next_chunk(max_rows) {
+            Ok((rows, more)) => {
+                if !more {
+                    self.cursor = None;
+                }
+                self.send(ServerFrame::RowsChunk { rows, more }).is_ok()
+            }
+            Err(bytes) => {
+                self.cursor = None;
+                self.send(ServerFrame::Error(oversized_row_error(bytes))).is_ok()
+            }
         }
-        self.send(ServerFrame::RowsChunk { rows, more }).is_ok()
     }
 
     fn stats_snapshot(&self) -> StatsSnapshot {

@@ -22,7 +22,8 @@ pub struct ServerStats {
     pub connections_active: AtomicU64,
     /// Statements executed to completion (success or statement error).
     pub statements_executed: AtomicU64,
-    /// Statements rejected by in-flight admission control.
+    /// Statements rejected by admission control (in-flight or
+    /// prepared-statement caps).
     pub statements_rejected: AtomicU64,
     /// Out-of-band cancel requests that matched a live connection.
     pub cancels_matched: AtomicU64,

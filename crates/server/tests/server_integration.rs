@@ -11,11 +11,12 @@ use qpe_htap::storage::{FailPoints, SyncPolicy};
 use qpe_htap::tpch::TpchConfig;
 use qpe_htap::{EngineKind, HtapError, HtapSystem, RetryPolicy, Session};
 use qpe_server::client::{Client, ClientError, ConnectOptions};
-use qpe_server::protocol::{BusyWhat, EnginePref, SqlStage, WireError};
+use qpe_server::protocol::{BusyWhat, EnginePref, SqlStage, WireError, MAX_FRAME_LEN};
 use qpe_server::server::{Server, ServerConfig};
 use qpe_sql::catalog::DataType;
 use qpe_sql::value::Value;
-use std::net::SocketAddr;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -528,6 +529,131 @@ fn shutdown_cancels_inflight_and_drains() {
 
     // The listener is gone: new connections are refused.
     assert!(Client::connect(addr).is_err(), "shutdown must stop accepting");
+}
+
+/// A client that sends a partial frame (header plus a few payload bytes)
+/// and goes silent must not pin its handler thread — and therefore
+/// `Server::shutdown`, which joins all handlers — forever. The mid-frame
+/// read is abandoned after a bounded drain window once stop is raised.
+#[test]
+fn shutdown_is_not_blocked_by_a_stalled_partial_frame() {
+    let (server, addr, _sys) = start(0.0005, ServerConfig::default());
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    let mut partial = Vec::new();
+    partial.extend_from_slice(&100u32.to_le_bytes()); // claims 100 payload bytes
+    partial.extend_from_slice(&0u32.to_le_bytes());
+    partial.extend_from_slice(&[0u8; 10]); // ...delivers 10, then silence
+    stalled.write_all(&partial).expect("partial write");
+    // Let the handler enter the mid-payload read before shutting down.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let shutter = std::thread::spawn(move || {
+        let mut server = server;
+        server.shutdown();
+        tx.send(()).expect("send");
+    });
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("shutdown must not hang on a stalled partial frame");
+    shutter.join().expect("shutdown thread");
+    drop(stalled);
+}
+
+/// The per-connection prepared-statement map is bounded: past the cap,
+/// `Prepare` earns a typed `Busy` and `CloseStmt` frees a slot.
+#[test]
+fn prepared_statement_cap_rejects_with_typed_busy() {
+    let (_server, addr, _sys) = start(
+        0.0005,
+        ServerConfig { max_prepared_statements: 2, ..ServerConfig::default() },
+    );
+    let mut client = Client::connect(addr).expect("connect");
+    let s1 = client.prepare("SELECT COUNT(*) FROM customer").expect("prepare 1");
+    let _s2 = client
+        .prepare("SELECT c_name FROM customer WHERE c_custkey = ?")
+        .expect("prepare 2");
+    match client.prepare("SELECT c_acctbal FROM customer WHERE c_custkey = ?") {
+        Err(ClientError::Server(WireError::Busy {
+            what: BusyWhat::PreparedStatements,
+            limit: 2,
+        })) => {}
+        other => panic!("expected Busy(prepared statements), got {other:?}"),
+    }
+    // Closing a handle frees a slot; the connection stays fully usable.
+    client.close_stmt(s1.stmt_id).expect("close");
+    let s3 = client
+        .prepare("SELECT c_acctbal FROM customer WHERE c_custkey = ?")
+        .expect("prepare after close");
+    assert!(client.execute(s3.stmt_id, &[Value::Int(1)]).is_ok());
+    client.goodbye().expect("goodbye");
+}
+
+/// Chunks are bounded by encoded byte size, not just row count: a result
+/// whose default-sized chunk would exceed the frame cap streams through
+/// in smaller chunks instead of poisoning the connection.
+#[test]
+fn wide_rows_chunk_by_bytes_not_just_row_count() {
+    let (_server, addr, _sys) = start(0.0005, ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let insert = client
+        .prepare(
+            "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
+             c_mktsegment) VALUES (?, ?, 1, '20-000-000-0000', 0.0, 'machinery')",
+        )
+        .expect("prepare insert");
+    let wide = "w".repeat(1 << 20); // 1 MiB per row
+    for i in 0..20 {
+        client
+            .execute(insert.stmt_id, &[Value::Int(940_000 + i), Value::Str(wide.clone())])
+            .expect("insert wide row");
+    }
+    // ~20 MiB of row data in under 1024 rows: a row-count-only chunker
+    // would encode one > MAX_FRAME_LEN frame and poison the stream.
+    let select = client
+        .prepare("SELECT c_custkey, c_name FROM customer WHERE c_custkey >= ? ORDER BY c_custkey")
+        .expect("prepare select");
+    let out = client.execute(select.stmt_id, &[Value::Int(940_000)]).expect("wide select");
+    let rows = &out.rows().expect("rows").rows;
+    assert_eq!(rows.len(), 20);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row[0], Value::Int(940_000 + i as i64));
+        assert_eq!(row[1], Value::Str(wide.clone()));
+    }
+    client.goodbye().expect("goodbye");
+}
+
+/// A single row whose encoding exceeds the frame cap cannot be delivered
+/// at all — it must surface as a typed error on a connection that stays
+/// usable, never as an oversized frame the client rejects.
+#[test]
+fn an_unframeable_row_is_a_typed_error_not_a_poisoned_stream() {
+    let (_server, addr, sys) = start(0.0005, ServerConfig::default());
+    // Only an in-process session can create such a row: the wire itself
+    // refuses to send any frame past the cap.
+    let session = Session::new(Arc::clone(&sys));
+    let giant = "g".repeat(MAX_FRAME_LEN as usize + 1024);
+    let stmt = session
+        .prepare(
+            "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_phone, c_acctbal, \
+             c_mktsegment) VALUES (?, ?, 1, '20-000-000-0000', 0.0, 'machinery')",
+        )
+        .expect("prepare");
+    stmt.execute(&[Value::Int(950_001), Value::Str(giant)]).expect("insert giant row");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let select = client
+        .prepare("SELECT c_name FROM customer WHERE c_custkey = ?")
+        .expect("prepare");
+    match client.execute(select.stmt_id, &[Value::Int(950_001)]) {
+        Err(ClientError::Server(WireError::Exec(m))) => {
+            assert!(m.contains("frame cap"), "message: {m}");
+        }
+        other => panic!("expected typed Exec error, got {other:?}"),
+    }
+    // The error replaced the unsendable frame; the connection survives.
+    let count = client.prepare("SELECT COUNT(*) FROM customer").expect("prepare");
+    assert!(client.execute(count.stmt_id, &[]).is_ok());
+    client.goodbye().expect("goodbye");
 }
 
 /// A `ReadOnly` error mapped from a real `HtapError` through the server's
